@@ -1,0 +1,34 @@
+//! Wegman–Carter authentication for the classical channel.
+//!
+//! Every classical post-processing message (basis lists, syndromes,
+//! verification hashes, Toeplitz seeds) must be authenticated with
+//! information-theoretic security, otherwise a man-in-the-middle defeats the
+//! whole protocol. The standard construction is Wegman–Carter: hash the
+//! message with an ε-almost-XOR-universal family (here polynomial evaluation
+//! over GF(2¹²⁸), or a Toeplitz hash), then one-time-pad the digest with
+//! pre-shared key bits.
+//!
+//! The crate also provides the [`KeyPool`] ledger that tracks how much
+//! pre-shared/previously-distilled key authentication consumes — a quantity
+//! the end-to-end evaluation subtracts from the distilled key budget.
+//!
+//! # Example
+//!
+//! ```
+//! use qkd_auth::{Authenticator, AuthConfig, KeyPool};
+//!
+//! let pool = KeyPool::with_random_key(4096, 7);
+//! let auth = Authenticator::new(AuthConfig::default(), pool);
+//! let tag = auth.sign(b"syndrome block 42").unwrap();
+//! assert!(auth.verify(b"syndrome block 42", &tag).unwrap());
+//! assert!(!auth.verify(b"syndrome block 43", &tag).unwrap());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ledger;
+pub mod mac;
+
+pub use ledger::{KeyPool, KeyPoolStats};
+pub use mac::{AuthConfig, Authenticator, HashFamily, Tag};

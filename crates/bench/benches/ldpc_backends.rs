@@ -1,0 +1,42 @@
+//! Criterion bench behind Table 2: LDPC syndrome decoding per backend.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qkd_hetero::{CpuDevice, Device, KernelTask, SimFpga, SimGpu};
+use qkd_ldpc::{DecoderConfig, ParityCheckMatrix, SyndromeDecoder};
+use qkd_types::rng::derive_rng;
+use qkd_types::BitVec;
+
+fn bench_ldpc_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ldpc_decode");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    for &block in &[4096usize, 16_384] {
+        let matrix = Arc::new(ParityCheckMatrix::for_rate(block, 0.5, 1).unwrap());
+        let decoder = Arc::new(SyndromeDecoder::new(&matrix, DecoderConfig::default()).unwrap());
+        let mut rng = derive_rng(2, "bench-ldpc");
+        let truth = BitVec::random_with_density(&mut rng, matrix.num_vars(), 0.03);
+        let task = KernelTask::LdpcDecode {
+            target_syndrome: matrix.syndrome(&truth),
+            qber: 0.03,
+            decoder,
+            llr_overrides: Vec::new(),
+        };
+        let devices: Vec<(&str, Box<dyn Device>)> = vec![
+            ("cpu-1", Box::new(CpuDevice::single_core())),
+            ("sim-gpu", Box::new(SimGpu::new())),
+            ("sim-fpga", Box::new(SimFpga::new())),
+        ];
+        for (name, device) in &devices {
+            group.bench_with_input(BenchmarkId::new(*name, block), &task, |b, task| {
+                b.iter(|| device.execute(task).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ldpc_backends);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Evaluation harness: regenerates every table and figure of the
+//! reconstructed evaluation (see `DESIGN.md` §3 and `EXPERIMENTS.md`).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p qkd-bench --bin harness -- all
+//! cargo run --release -p qkd-bench --bin harness -- table1 fig5 ablate-decoder
+//! ```
+
+use qkd_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: harness [all|table1|table2|table3|fig1..fig7|ablate-decoder] ...");
+        std::process::exit(2);
+    }
+    for arg in &args {
+        match arg.as_str() {
+            "all" => experiments::run_all(),
+            "table1" => experiments::table1(),
+            "table2" => experiments::table2(),
+            "table3" => experiments::table3(),
+            "fig1" => experiments::fig1(),
+            "fig2" => experiments::fig2(),
+            "fig3" => experiments::fig3(),
+            "fig4" => experiments::fig4(),
+            "fig5" => experiments::fig5(),
+            "fig6" => experiments::fig6(),
+            "fig7" => experiments::fig7(),
+            "ablate-decoder" => experiments::ablate_decoder(),
+            other => {
+                eprintln!("unknown experiment `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+}

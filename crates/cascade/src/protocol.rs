@@ -1,0 +1,480 @@
+//! The Cascade protocol itself.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use qkd_types::rng::random_permutation;
+use qkd_types::{BitVec, QkdError, Result};
+
+/// Configuration of the Cascade reconciler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CascadeConfig {
+    /// Number of passes (original Cascade uses 4).
+    pub passes: usize,
+    /// Numerator of the initial-block-size rule `k1 = alpha / qber`
+    /// (0.73 in the original paper; modern variants use 1.0).
+    pub alpha: f64,
+    /// Upper clamp on the initial block size.
+    pub max_initial_block: usize,
+    /// Lower clamp on the initial block size.
+    pub min_initial_block: usize,
+    /// When `true`, the QBER fed to the block-size rule is re-estimated from
+    /// the errors found in pass 1 for subsequent passes.
+    pub adaptive_block_size: bool,
+}
+
+impl Default for CascadeConfig {
+    fn default() -> Self {
+        Self {
+            passes: 4,
+            alpha: 0.73,
+            max_initial_block: 1 << 14,
+            min_initial_block: 8,
+            adaptive_block_size: false,
+        }
+    }
+}
+
+impl CascadeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] when a field is out of domain.
+    pub fn validate(&self) -> Result<()> {
+        if self.passes == 0 {
+            return Err(QkdError::invalid_parameter("passes", "must be at least 1"));
+        }
+        if self.alpha <= 0.0 {
+            return Err(QkdError::invalid_parameter("alpha", "must be positive"));
+        }
+        if self.min_initial_block < 2 {
+            return Err(QkdError::invalid_parameter("min_initial_block", "must be at least 2"));
+        }
+        if self.max_initial_block < self.min_initial_block {
+            return Err(QkdError::invalid_parameter(
+                "max_initial_block",
+                "must be at least min_initial_block",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Initial block size for a given QBER estimate.
+    pub fn initial_block_size(&self, qber: f64) -> usize {
+        let q = qber.max(1e-4);
+        ((self.alpha / q).ceil() as usize)
+            .clamp(self.min_initial_block, self.max_initial_block)
+    }
+}
+
+/// Result of running Cascade on one block pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CascadeOutcome {
+    /// Bob's key after correction (equal to Alice's when the protocol
+    /// succeeded).
+    pub corrected: BitVec,
+    /// Parity bits Alice disclosed (the information leakage).
+    pub leaked_bits: usize,
+    /// Number of bit errors corrected.
+    pub corrected_errors: usize,
+    /// Number of sequential round trips on the classical channel
+    /// (parities within one batch are assumed to travel together).
+    pub round_trips: usize,
+    /// Total parity-request messages exchanged (both directions).
+    pub messages: usize,
+    /// Number of Cascade passes executed.
+    pub passes: usize,
+}
+
+impl CascadeOutcome {
+    /// Reconciliation efficiency `f = leak / (n · h(qber))` computed from the
+    /// *actual* error rate that was corrected.
+    pub fn efficiency(&self, n: usize) -> Option<f64> {
+        if n == 0 || self.corrected_errors == 0 {
+            return None;
+        }
+        let qber = self.corrected_errors as f64 / n as f64;
+        let h = qkd_types::key::binary_entropy(qber);
+        if h <= 0.0 {
+            None
+        } else {
+            Some(self.leaked_bits as f64 / (n as f64 * h))
+        }
+    }
+}
+
+/// The Cascade reconciler.
+///
+/// One instance is reusable across blocks; all per-block state lives on the
+/// stack of [`CascadeReconciler::reconcile`].
+#[derive(Debug, Clone, Default)]
+pub struct CascadeReconciler {
+    config: CascadeConfig,
+}
+
+/// Internal per-pass bookkeeping.
+struct Pass {
+    /// Permutation: position-in-pass -> original index.
+    perm: Vec<usize>,
+    /// Inverse permutation: original index -> position-in-pass.
+    inv: Vec<usize>,
+    /// Block size of this pass.
+    block_size: usize,
+}
+
+impl Pass {
+    fn block_of(&self, original_index: usize) -> usize {
+        self.inv[original_index] / self.block_size
+    }
+
+    fn block_range(&self, block: usize, n: usize) -> (usize, usize) {
+        let start = block * self.block_size;
+        let end = ((block + 1) * self.block_size).min(n);
+        (start, end)
+    }
+
+    fn num_blocks(&self, n: usize) -> usize {
+        (n + self.block_size - 1) / self.block_size
+    }
+}
+
+impl CascadeReconciler {
+    /// Creates a reconciler with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; validate untrusted
+    /// configurations with [`CascadeConfig::validate`] first.
+    pub fn new(config: CascadeConfig) -> Self {
+        config.validate().expect("invalid cascade configuration");
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CascadeConfig {
+        &self.config
+    }
+
+    /// Reconciles `bob` against `alice`, returning the corrected key and the
+    /// full interaction accounting.
+    ///
+    /// `estimated_qber` seeds the initial block-size rule — it does not have
+    /// to be exact, but a wild under-estimate degrades efficiency.
+    ///
+    /// # Errors
+    ///
+    /// * [`QkdError::DimensionMismatch`] when the two keys differ in length.
+    /// * [`QkdError::InvalidParameter`] when the key is empty.
+    /// * [`QkdError::ReconciliationFailed`] when residual errors remain after
+    ///   all passes (possible when the true error rate is far above the
+    ///   estimate).
+    pub fn reconcile<R: Rng + ?Sized>(
+        &self,
+        alice: &BitVec,
+        bob: &BitVec,
+        estimated_qber: f64,
+        rng: &mut R,
+    ) -> Result<CascadeOutcome> {
+        if alice.len() != bob.len() {
+            return Err(QkdError::DimensionMismatch {
+                context: "cascade reconciliation",
+                expected: alice.len(),
+                actual: bob.len(),
+            });
+        }
+        let n = alice.len();
+        if n == 0 {
+            return Err(QkdError::invalid_parameter("key", "cannot reconcile an empty key"));
+        }
+
+        let mut corrected = bob.clone();
+        let mut leaked_bits = 0usize;
+        let mut messages = 0usize;
+        let mut round_trips = 0usize;
+        let mut corrected_errors = 0usize;
+
+        let mut qber_for_sizing = estimated_qber;
+        let mut passes: Vec<Pass> = Vec::with_capacity(self.config.passes);
+
+        for pass_idx in 0..self.config.passes {
+            let block_size = if pass_idx == 0 {
+                self.config.initial_block_size(qber_for_sizing)
+            } else {
+                (passes[pass_idx - 1].block_size * 2).min(n.max(2))
+            };
+            let perm: Vec<usize> = if pass_idx == 0 {
+                (0..n).collect()
+            } else {
+                random_permutation(rng, n)
+            };
+            let mut inv = vec![0usize; n];
+            for (pos, &orig) in perm.iter().enumerate() {
+                inv[orig] = pos;
+            }
+            passes.push(Pass { perm, inv, block_size });
+            let pass = &passes[pass_idx];
+
+            // Top-level parity exchange for this pass: one batched round trip.
+            round_trips += 1;
+            let num_blocks = pass.num_blocks(n);
+            messages += num_blocks;
+            leaked_bits += num_blocks;
+
+            let mut mismatched: Vec<(usize, usize)> = Vec::new();
+            for b in 0..num_blocks {
+                let (s, e) = pass.block_range(b, n);
+                if block_parity(alice, &pass.perm[s..e]) != block_parity(&corrected, &pass.perm[s..e]) {
+                    mismatched.push((pass_idx, b));
+                }
+            }
+
+            // Work queue of (pass, block) pairs with odd relative parity.
+            let mut queue = mismatched;
+            while let Some((p_idx, b)) = queue.pop() {
+                let pass_ref = &passes[p_idx];
+                let (s, e) = pass_ref.block_range(b, n);
+                let indices = &pass_ref.perm[s..e];
+                // The block may have been fixed by a cascading correction in
+                // the meantime; re-check before searching.
+                if block_parity(alice, indices) == block_parity(&corrected, indices) {
+                    continue;
+                }
+                let (flip_index, search_leak, search_rounds) =
+                    binary_search_error(alice, &corrected, indices);
+                leaked_bits += search_leak;
+                messages += search_leak * 2;
+                round_trips += search_rounds;
+                corrected.flip(flip_index);
+                corrected_errors += 1;
+
+                // Cascade: every other pass has exactly one block containing
+                // the flipped position; its relative parity just toggled.
+                for (other_idx, other_pass) in passes.iter().enumerate() {
+                    if other_idx == p_idx {
+                        continue;
+                    }
+                    let ob = other_pass.block_of(flip_index);
+                    let (os, oe) = other_pass.block_range(ob, n);
+                    let oidx = &other_pass.perm[os..oe];
+                    if block_parity(alice, oidx) != block_parity(&corrected, oidx) {
+                        queue.push((other_idx, ob));
+                    }
+                }
+            }
+
+            if pass_idx == 0 && self.config.adaptive_block_size {
+                let found = corrected_errors.max(1);
+                qber_for_sizing = found as f64 / n as f64;
+            }
+        }
+
+        let residual = alice.hamming_distance(&corrected);
+        if residual != 0 {
+            return Err(QkdError::ReconciliationFailed {
+                block: 0,
+                iterations: self.config.passes,
+                residual_errors: Some(residual),
+            });
+        }
+
+        Ok(CascadeOutcome {
+            corrected,
+            leaked_bits,
+            corrected_errors,
+            round_trips,
+            messages,
+            passes: self.config.passes,
+        })
+    }
+}
+
+/// Parity of Alice's/Bob's bits at the given original indices.
+fn block_parity(key: &BitVec, indices: &[usize]) -> bool {
+    let mut p = false;
+    for &i in indices {
+        p ^= key.get(i);
+    }
+    p
+}
+
+/// Binary search for one error position within `indices` (which is known to
+/// have odd relative parity). Returns `(original_index, parities_disclosed,
+/// round_trips)`.
+fn binary_search_error(alice: &BitVec, bob: &BitVec, indices: &[usize]) -> (usize, usize, usize) {
+    let mut lo = 0usize;
+    let mut hi = indices.len();
+    let mut leaked = 0usize;
+    let mut rounds = 0usize;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        let first_half = &indices[lo..mid];
+        leaked += 1;
+        rounds += 1;
+        if block_parity(alice, first_half) != block_parity(bob, first_half) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    (indices[lo], leaked, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkd_types::key::binary_entropy;
+    use qkd_types::rng::derive_rng;
+
+    fn correlated(n: usize, qber: f64, seed: u64) -> (BitVec, BitVec, usize) {
+        let mut rng = derive_rng(seed, "cascade-test");
+        let alice = BitVec::random(&mut rng, n);
+        let mut bob = alice.clone();
+        let mut errs = 0;
+        for i in 0..n {
+            if rng.gen_bool(qber) {
+                bob.flip(i);
+                errs += 1;
+            }
+        }
+        (alice, bob, errs)
+    }
+
+    #[test]
+    fn corrects_all_errors_at_typical_qber() {
+        for &qber in &[0.005, 0.02, 0.05] {
+            let (alice, bob, errs) = correlated(16_384, qber, 42);
+            let mut rng = derive_rng(1, "cascade-run");
+            let out = CascadeReconciler::new(CascadeConfig::default())
+                .reconcile(&alice, &bob, qber, &mut rng)
+                .unwrap();
+            assert_eq!(out.corrected, alice, "qber {qber}");
+            assert_eq!(out.corrected_errors, errs);
+        }
+    }
+
+    #[test]
+    fn handles_error_free_keys() {
+        let (alice, _, _) = correlated(4096, 0.0, 3);
+        let bob = alice.clone();
+        let mut rng = derive_rng(2, "cascade-run");
+        let out = CascadeReconciler::new(CascadeConfig::default())
+            .reconcile(&alice, &bob, 0.02, &mut rng)
+            .unwrap();
+        assert_eq!(out.corrected, alice);
+        assert_eq!(out.corrected_errors, 0);
+        assert!(out.leaked_bits > 0, "top-level parities are still disclosed");
+        assert!(out.efficiency(4096).is_none());
+    }
+
+    #[test]
+    fn efficiency_is_reasonable() {
+        let (alice, bob, _) = correlated(65_536, 0.03, 7);
+        let mut rng = derive_rng(3, "cascade-run");
+        let out = CascadeReconciler::new(CascadeConfig::default())
+            .reconcile(&alice, &bob, 0.03, &mut rng)
+            .unwrap();
+        let f = out.efficiency(65_536).unwrap();
+        assert!(f > 1.0, "leakage cannot beat the Shannon bound, f = {f}");
+        assert!(f < 1.6, "Cascade efficiency should be modest, f = {f}");
+    }
+
+    #[test]
+    fn leakage_exceeds_shannon_bound() {
+        let (alice, bob, errs) = correlated(32_768, 0.04, 11);
+        let mut rng = derive_rng(4, "cascade-run");
+        let out = CascadeReconciler::new(CascadeConfig::default())
+            .reconcile(&alice, &bob, 0.04, &mut rng)
+            .unwrap();
+        let qber = errs as f64 / 32_768.0;
+        let shannon = 32_768.0 * binary_entropy(qber);
+        assert!(out.leaked_bits as f64 >= shannon);
+    }
+
+    #[test]
+    fn round_trips_grow_with_qber() {
+        let (alice_lo, bob_lo, _) = correlated(32_768, 0.01, 13);
+        let (alice_hi, bob_hi, _) = correlated(32_768, 0.08, 13);
+        let mut rng = derive_rng(5, "cascade-run");
+        let cfg = CascadeConfig::default();
+        let lo = CascadeReconciler::new(cfg.clone())
+            .reconcile(&alice_lo, &bob_lo, 0.01, &mut rng)
+            .unwrap();
+        let hi = CascadeReconciler::new(cfg)
+            .reconcile(&alice_hi, &bob_hi, 0.08, &mut rng)
+            .unwrap();
+        assert!(
+            hi.round_trips > lo.round_trips,
+            "more errors require more interaction: {} vs {}",
+            hi.round_trips,
+            lo.round_trips
+        );
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let a = BitVec::zeros(100);
+        let b = BitVec::zeros(99);
+        let mut rng = derive_rng(6, "cascade-run");
+        assert!(matches!(
+            CascadeReconciler::new(CascadeConfig::default()).reconcile(&a, &b, 0.02, &mut rng),
+            Err(QkdError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_key_rejected() {
+        let mut rng = derive_rng(7, "cascade-run");
+        assert!(CascadeReconciler::new(CascadeConfig::default())
+            .reconcile(&BitVec::new(), &BitVec::new(), 0.02, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn block_size_rule() {
+        let cfg = CascadeConfig::default();
+        assert_eq!(cfg.initial_block_size(0.73), cfg.min_initial_block.max(1));
+        let k1 = cfg.initial_block_size(0.01);
+        assert!((73..=74).contains(&k1), "k1 = {k1}");
+        // Below the QBER floor the rule saturates (and can never exceed the clamp).
+        assert_eq!(cfg.initial_block_size(1e-9), cfg.initial_block_size(1e-4));
+        assert!(cfg.initial_block_size(1e-9) <= cfg.max_initial_block);
+        assert!(cfg.initial_block_size(0.05) >= cfg.min_initial_block);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = CascadeConfig::default();
+        c.passes = 0;
+        assert!(c.validate().is_err());
+        let mut c = CascadeConfig::default();
+        c.alpha = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = CascadeConfig::default();
+        c.min_initial_block = 1;
+        assert!(c.validate().is_err());
+        let mut c = CascadeConfig::default();
+        c.max_initial_block = 4;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn works_even_when_estimate_is_wrong() {
+        let (alice, bob, _) = correlated(16_384, 0.05, 17);
+        let mut rng = derive_rng(8, "cascade-run");
+        // Feed a badly wrong estimate; correctness must still hold.
+        let out = CascadeReconciler::new(CascadeConfig::default())
+            .reconcile(&alice, &bob, 0.005, &mut rng)
+            .unwrap();
+        assert_eq!(out.corrected, alice);
+    }
+
+    #[test]
+    fn adaptive_block_size_still_correct() {
+        let (alice, bob, _) = correlated(16_384, 0.03, 19);
+        let cfg = CascadeConfig { adaptive_block_size: true, ..CascadeConfig::default() };
+        let mut rng = derive_rng(9, "cascade-run");
+        let out = CascadeReconciler::new(cfg).reconcile(&alice, &bob, 0.01, &mut rng).unwrap();
+        assert_eq!(out.corrected, alice);
+    }
+}

@@ -1,0 +1,146 @@
+//! Classical-channel model and traffic accounting.
+//!
+//! Cascade's many round trips only hurt when each one costs a fibre round-trip
+//! time; LDPC's single syndrome message is insensitive to RTT. This module
+//! turns the message/round-trip counts reported by the reconcilers into time,
+//! which Figure 6 sweeps over RTT.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use qkd_types::{QkdError, Result};
+
+/// Latency/bandwidth model of the authenticated classical channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelModel {
+    /// One-way propagation latency.
+    pub one_way_latency: Duration,
+    /// Usable bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+    /// Fixed per-message protocol overhead in bits (framing, tags, headers).
+    pub per_message_overhead_bits: usize,
+}
+
+impl ChannelModel {
+    /// A metropolitan link: 25 km of fibre (~125 µs one way), 1 Gbit/s.
+    pub fn metro() -> Self {
+        Self {
+            one_way_latency: Duration::from_micros(125),
+            bandwidth_bps: 1.0e9,
+            per_message_overhead_bits: 512,
+        }
+    }
+
+    /// A long-haul link: 500 km (~2.5 ms one way), 1 Gbit/s.
+    pub fn long_haul() -> Self {
+        Self {
+            one_way_latency: Duration::from_micros(2_500),
+            bandwidth_bps: 1.0e9,
+            per_message_overhead_bits: 512,
+        }
+    }
+
+    /// A channel with an explicit one-way latency (for RTT sweeps).
+    pub fn with_latency(one_way_latency: Duration) -> Self {
+        Self { one_way_latency, ..Self::metro() }
+    }
+
+    /// Validates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] for non-positive bandwidth.
+    pub fn validate(&self) -> Result<()> {
+        if self.bandwidth_bps <= 0.0 {
+            return Err(QkdError::invalid_parameter("bandwidth_bps", "must be positive"));
+        }
+        Ok(())
+    }
+
+    /// Round-trip time.
+    pub fn rtt(&self) -> Duration {
+        self.one_way_latency * 2
+    }
+
+    /// Time to complete an exchange of `round_trips` sequential round trips
+    /// carrying `payload_bits` in `messages` messages in total.
+    pub fn exchange_time(&self, round_trips: usize, messages: usize, payload_bits: usize) -> Duration {
+        let serialization =
+            (payload_bits + messages * self.per_message_overhead_bits) as f64 / self.bandwidth_bps;
+        self.rtt() * round_trips as u32 + Duration::from_secs_f64(serialization)
+    }
+}
+
+impl Default for ChannelModel {
+    fn default() -> Self {
+        Self::metro()
+    }
+}
+
+/// Accumulated classical-channel usage of a session or block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelUsage {
+    /// Sequential round trips.
+    pub round_trips: usize,
+    /// Total messages sent (both directions).
+    pub messages: usize,
+    /// Total payload bits sent.
+    pub payload_bits: usize,
+}
+
+impl ChannelUsage {
+    /// Adds another usage record.
+    pub fn add(&mut self, other: ChannelUsage) {
+        self.round_trips += other.round_trips;
+        self.messages += other.messages;
+        self.payload_bits += other.payload_bits;
+    }
+
+    /// Time this usage costs on a given channel.
+    pub fn time_on(&self, channel: &ChannelModel) -> Duration {
+        channel.exchange_time(self.round_trips, self.messages, self.payload_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid_and_ordered() {
+        ChannelModel::metro().validate().unwrap();
+        ChannelModel::long_haul().validate().unwrap();
+        assert!(ChannelModel::long_haul().rtt() > ChannelModel::metro().rtt());
+    }
+
+    #[test]
+    fn exchange_time_scales_with_round_trips_and_payload() {
+        let ch = ChannelModel::metro();
+        let one = ch.exchange_time(1, 1, 1_000);
+        let ten = ch.exchange_time(10, 10, 1_000);
+        assert!(ten > one * 5);
+        let big_payload = ch.exchange_time(1, 1, 1_000_000_000);
+        assert!(big_payload > one, "1 Gbit payload must add ~1 s of serialisation");
+        assert!(big_payload > Duration::from_millis(900));
+    }
+
+    #[test]
+    fn usage_accumulates_and_costs_time() {
+        let mut usage = ChannelUsage::default();
+        usage.add(ChannelUsage { round_trips: 3, messages: 6, payload_bits: 10_000 });
+        usage.add(ChannelUsage { round_trips: 1, messages: 1, payload_bits: 2_048 });
+        assert_eq!(usage.round_trips, 4);
+        assert_eq!(usage.messages, 7);
+        assert_eq!(usage.payload_bits, 12_048);
+        let ch = ChannelModel::with_latency(Duration::from_millis(1));
+        assert!(usage.time_on(&ch) >= Duration::from_millis(8));
+    }
+
+    #[test]
+    fn invalid_bandwidth_rejected() {
+        let mut ch = ChannelModel::metro();
+        ch.bandwidth_bps = 0.0;
+        assert!(ch.validate().is_err());
+    }
+}

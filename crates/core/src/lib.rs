@@ -1,0 +1,45 @@
+//! End-to-end QKD post-processing engine.
+//!
+//! This crate ties the substrates together into the system the paper
+//! evaluates: a [`PostProcessor`] that takes sifted (or raw) key material and
+//! drives it through estimation, reconciliation (LDPC or Cascade),
+//! verification, privacy amplification and authentication, while accounting
+//! every disclosed bit, every classical-channel round trip and every consumed
+//! authentication key bit.
+//!
+//! * [`config`] — engine configuration (block size, reconciliation backend,
+//!   security parameters, execution backend);
+//! * [`channel`] — classical-channel model (RTT, bandwidth, traffic counters)
+//!   used to convert protocol interactivity into time;
+//! * [`verification`] — post-reconciliation error verification;
+//! * [`engine`] — the block processor and session accounting;
+//! * [`metrics`] — session summaries and secret-key-rate computation.
+//!
+//! # Example
+//!
+//! ```
+//! use qkd_core::{PostProcessingConfig, PostProcessor};
+//! use qkd_simulator::{CorrelatedKeySource, WorkloadPreset};
+//!
+//! let config = PostProcessingConfig::for_block_size(4096);
+//! let mut processor = PostProcessor::new(config, 7).unwrap();
+//! let mut source = CorrelatedKeySource::from_preset(WorkloadPreset::Metro, 4096, 1).unwrap();
+//! let block = source.next_block();
+//! let result = processor.process_sifted_block(&block.alice, &block.bob).unwrap();
+//! assert!(result.secret_key.len() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod channel;
+pub mod config;
+pub mod engine;
+pub mod metrics;
+pub mod verification;
+
+pub use channel::{ChannelModel, ChannelUsage};
+pub use config::{ExecutionBackend, PostProcessingConfig, ReconciliationMethod};
+pub use engine::{BlockResult, PostProcessor};
+pub use metrics::SessionSummary;
+pub use verification::{verify_keys, VerificationConfig, VerificationOutcome};

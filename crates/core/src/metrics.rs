@@ -1,0 +1,112 @@
+//! Session-level accounting.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::channel::{ChannelModel, ChannelUsage};
+
+/// Running totals across all blocks processed by one [`crate::PostProcessor`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SessionSummary {
+    /// Blocks successfully distilled.
+    pub blocks_ok: usize,
+    /// Blocks aborted (QBER, reconciliation or verification failure).
+    pub blocks_failed: usize,
+    /// Sifted bits consumed (including estimation samples).
+    pub sifted_bits_in: u64,
+    /// Secret bits produced.
+    pub secret_bits_out: u64,
+    /// Bits disclosed by estimation, reconciliation and verification.
+    pub disclosed_bits: u64,
+    /// Authentication key bits consumed.
+    pub auth_bits_consumed: u64,
+    /// Total modeled processing time (sum over stages and blocks).
+    pub processing_time: Duration,
+    /// Total classical-channel usage.
+    pub channel_usage: ChannelUsage,
+}
+
+impl SessionSummary {
+    /// Fraction of sifted input that became secret key.
+    pub fn secret_fraction(&self) -> f64 {
+        if self.sifted_bits_in == 0 {
+            0.0
+        } else {
+            self.secret_bits_out as f64 / self.sifted_bits_in as f64
+        }
+    }
+
+    /// Net secret bits after subtracting the authentication key spent.
+    pub fn net_secret_bits(&self) -> i64 {
+        self.secret_bits_out as i64 - self.auth_bits_consumed as i64
+    }
+
+    /// Secret-key throughput against compute time only (bits per second).
+    pub fn compute_throughput_bps(&self) -> f64 {
+        let secs = self.processing_time.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.secret_bits_out as f64 / secs
+        }
+    }
+
+    /// Secret-key throughput including classical-channel time on the given
+    /// channel model.
+    pub fn end_to_end_throughput_bps(&self, channel: &ChannelModel) -> f64 {
+        let secs =
+            self.processing_time.as_secs_f64() + self.channel_usage.time_on(channel).as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.secret_bits_out as f64 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn summary() -> SessionSummary {
+        SessionSummary {
+            blocks_ok: 10,
+            blocks_failed: 1,
+            sifted_bits_in: 1_000_000,
+            secret_bits_out: 400_000,
+            disclosed_bits: 250_000,
+            auth_bits_consumed: 5_000,
+            processing_time: Duration::from_secs(2),
+            channel_usage: ChannelUsage { round_trips: 20, messages: 40, payload_bits: 300_000 },
+        }
+    }
+
+    #[test]
+    fn fractions_and_throughputs() {
+        let s = summary();
+        assert!((s.secret_fraction() - 0.4).abs() < 1e-12);
+        assert_eq!(s.net_secret_bits(), 395_000);
+        assert!((s.compute_throughput_bps() - 200_000.0).abs() < 1e-6);
+        let e2e = s.end_to_end_throughput_bps(&ChannelModel::metro());
+        assert!(e2e < s.compute_throughput_bps());
+        assert!(e2e > 0.0);
+    }
+
+    #[test]
+    fn empty_summary_has_zero_rates() {
+        let s = SessionSummary::default();
+        assert_eq!(s.secret_fraction(), 0.0);
+        assert_eq!(s.compute_throughput_bps(), 0.0);
+        assert_eq!(s.net_secret_bits(), 0);
+    }
+
+    #[test]
+    fn slower_channel_lowers_end_to_end_rate() {
+        let s = summary();
+        let fast = s.end_to_end_throughput_bps(&ChannelModel::metro());
+        let slow = s.end_to_end_throughput_bps(&ChannelModel::long_haul());
+        assert!(slow < fast);
+    }
+}

@@ -1,0 +1,130 @@
+//! Post-reconciliation error verification.
+//!
+//! After reconciliation Alice and Bob compare short universal-hash digests of
+//! their keys over the authenticated channel. A match bounds the probability
+//! of an undetected residual error by `2^-tag_bits`; a mismatch aborts the
+//! block before privacy amplification can silently produce divergent "secret"
+//! keys.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use qkd_privacy::{ToeplitzHash, ToeplitzStrategy};
+use qkd_types::{BitVec, QkdError, Result};
+
+/// Verification settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerificationConfig {
+    /// Digest length in bits (failure-to-detect probability is `2^-tag_bits`).
+    pub tag_bits: usize,
+}
+
+impl Default for VerificationConfig {
+    fn default() -> Self {
+        Self { tag_bits: 64 }
+    }
+}
+
+impl VerificationConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] when `tag_bits` is zero or
+    /// larger than 256.
+    pub fn validate(&self) -> Result<()> {
+        if self.tag_bits == 0 || self.tag_bits > 256 {
+            return Err(QkdError::invalid_parameter("tag_bits", "must lie in 1..=256"));
+        }
+        Ok(())
+    }
+}
+
+/// Result of verifying one block pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerificationOutcome {
+    /// Whether the digests matched.
+    pub matched: bool,
+    /// Bits disclosed by the exchange (the tag length).
+    pub disclosed_bits: usize,
+}
+
+/// Verifies that `alice` and `bob` hold identical keys by comparing Toeplitz
+/// digests under a seed drawn from `rng` (the seed itself travels over the
+/// authenticated channel and is public).
+///
+/// # Errors
+///
+/// * [`QkdError::DimensionMismatch`] when the keys differ in length.
+/// * [`QkdError::InvalidParameter`] when the key is shorter than the digest.
+pub fn verify_keys<R: Rng + ?Sized>(
+    alice: &BitVec,
+    bob: &BitVec,
+    config: &VerificationConfig,
+    rng: &mut R,
+) -> Result<VerificationOutcome> {
+    config.validate()?;
+    if alice.len() != bob.len() {
+        return Err(QkdError::DimensionMismatch {
+            context: "error verification",
+            expected: alice.len(),
+            actual: bob.len(),
+        });
+    }
+    if alice.len() <= config.tag_bits {
+        return Err(QkdError::invalid_parameter(
+            "tag_bits",
+            "key must be longer than the verification digest",
+        ));
+    }
+    let hash = ToeplitzHash::random(alice.len(), config.tag_bits, rng)?;
+    let tag_a = hash.hash(alice, ToeplitzStrategy::Clmul)?;
+    let tag_b = hash.hash(bob, ToeplitzStrategy::Clmul)?;
+    Ok(VerificationOutcome { matched: tag_a == tag_b, disclosed_bits: config.tag_bits })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkd_types::rng::derive_rng;
+
+    #[test]
+    fn identical_keys_verify() {
+        let mut rng = derive_rng(1, "verify-test");
+        let key = BitVec::random(&mut rng, 10_000);
+        let out = verify_keys(&key, &key.clone(), &VerificationConfig::default(), &mut rng).unwrap();
+        assert!(out.matched);
+        assert_eq!(out.disclosed_bits, 64);
+    }
+
+    #[test]
+    fn single_bit_error_is_detected_with_high_probability() {
+        let mut rng = derive_rng(2, "verify-test");
+        let key = BitVec::random(&mut rng, 10_000);
+        let mut detected = 0;
+        for trial in 0..50 {
+            let mut bob = key.clone();
+            bob.flip(trial * 100);
+            let out = verify_keys(&key, &bob, &VerificationConfig::default(), &mut rng).unwrap();
+            if !out.matched {
+                detected += 1;
+            }
+        }
+        assert!(detected >= 49, "64-bit digests should miss essentially nothing, detected {detected}/50");
+    }
+
+    #[test]
+    fn mismatched_lengths_and_bad_config_rejected() {
+        let mut rng = derive_rng(3, "verify-test");
+        let a = BitVec::zeros(1000);
+        let b = BitVec::zeros(999);
+        assert!(matches!(
+            verify_keys(&a, &b, &VerificationConfig::default(), &mut rng),
+            Err(QkdError::DimensionMismatch { .. })
+        ));
+        assert!(verify_keys(&a, &a.clone(), &VerificationConfig { tag_bits: 0 }, &mut rng).is_err());
+        assert!(verify_keys(&a, &a.clone(), &VerificationConfig { tag_bits: 2000 }, &mut rng).is_err());
+        let short = BitVec::zeros(32);
+        assert!(verify_keys(&short, &short.clone(), &VerificationConfig::default(), &mut rng).is_err());
+    }
+}

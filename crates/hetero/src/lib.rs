@@ -1,0 +1,45 @@
+//! Heterogeneous execution framework for QKD post-processing kernels.
+//!
+//! The paper's thesis is that the post-processing stages have very different
+//! compute profiles — LDPC decoding is iteration-bound and massively data
+//! parallel, Toeplitz privacy amplification is a large binary convolution,
+//! authentication is tiny — so a production system maps each kernel onto the
+//! device where it runs best (multicore CPU, GPU, FPGA) and pipelines blocks
+//! across devices.
+//!
+//! No physical accelerator is available in this reproduction (see
+//! `DESIGN.md`), so the framework pairs *bit-exact functional execution* on the
+//! CPU with *analytic cost models* of the accelerators:
+//!
+//! * [`CpuDevice`] — executes kernels with the substrate crates and reports
+//!   measured wall-clock time (optionally divided across worker threads for
+//!   batch kernels);
+//! * [`SimGpu`] — same functional result, but the reported latency follows a
+//!   launch + PCIe-transfer + bandwidth model with a batching discount,
+//!   reproducing the characteristic "slow at small blocks, dominant at large
+//!   blocks" crossover;
+//! * [`SimFpga`] — streaming model with deterministic per-bit latency and a
+//!   fixed pipeline fill cost, reproducing line-rate behaviour independent of
+//!   block size.
+//!
+//! On top of the devices sit the [`scheduler`] (static, greedy
+//! earliest-finish, and HEFT-style list scheduling of per-block stage tasks)
+//! and the [`pipeline`] executor (bounded-channel stage pipeline with
+//! back-pressure and per-stage utilisation metrics).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cost;
+pub mod device;
+pub mod kernel;
+pub mod pipeline;
+pub mod profiler;
+pub mod scheduler;
+
+pub use cost::CostModel;
+pub use device::{CpuDevice, Device, DeviceKind, SimFpga, SimGpu};
+pub use kernel::{KernelKind, KernelResult, KernelTask};
+pub use pipeline::{Pipeline, PipelineReport, Stage};
+pub use profiler::{StageMetrics, ThroughputReport};
+pub use scheduler::{SchedulePolicy, Scheduler, SimulatedSchedule, TaskSpec};

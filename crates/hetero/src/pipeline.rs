@@ -1,0 +1,277 @@
+//! Bounded-channel stage pipeline with back-pressure.
+//!
+//! The end-to-end engine processes a stream of key blocks through the six
+//! post-processing stages. Running the stages in a pipeline — each on its own
+//! worker thread, connected by bounded channels — hides the latency of the
+//! slow stages behind the fast ones and is the software analogue of the
+//! hardware pipelining the paper advocates. [`Pipeline`] is generic over the
+//! item type so both the real engine (`qkd-core`) and synthetic benchmarks use
+//! the same executor.
+
+use std::time::Instant;
+
+#[cfg(test)]
+use std::time::Duration;
+
+use crossbeam::channel;
+
+use qkd_types::{QkdError, Result};
+
+use crate::profiler::{StageMetrics, ThroughputReport};
+
+/// One pipeline stage: a named transformation applied to every item.
+pub trait Stage<T>: Send {
+    /// Name used in reports.
+    fn name(&self) -> &str;
+
+    /// Processes one item. Returning `Err` aborts the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Implementations should return domain errors ([`QkdError`]) rather than
+    /// panicking; the pipeline propagates the first error to the caller.
+    fn process(&mut self, item: T) -> Result<T>;
+}
+
+/// A closure-backed stage.
+pub struct FnStage<T, F: FnMut(T) -> Result<T> + Send> {
+    name: String,
+    f: F,
+    _marker: std::marker::PhantomData<fn(T) -> T>,
+}
+
+impl<T, F: FnMut(T) -> Result<T> + Send> FnStage<T, F> {
+    /// Creates a stage from a name and a closure.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        Self { name: name.into(), f, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<T, F: FnMut(T) -> Result<T> + Send> Stage<T> for FnStage<T, F> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, item: T) -> Result<T> {
+        (self.f)(item)
+    }
+}
+
+/// Report produced by a pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineReport<T> {
+    /// Items in output order.
+    pub items: Vec<T>,
+    /// Per-stage and end-to-end metrics.
+    pub throughput: ThroughputReport,
+}
+
+/// A multi-threaded stage pipeline.
+pub struct Pipeline<T> {
+    stages: Vec<Box<dyn Stage<T>>>,
+    channel_capacity: usize,
+}
+
+impl<T: Send + 'static> Pipeline<T> {
+    /// Creates an empty pipeline with the given inter-stage buffer depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel_capacity` is zero.
+    pub fn new(channel_capacity: usize) -> Self {
+        assert!(channel_capacity > 0, "channel capacity must be positive");
+        Self { stages: Vec::new(), channel_capacity }
+    }
+
+    /// Appends a stage.
+    pub fn add_stage(mut self, stage: Box<dyn Stage<T>>) -> Self {
+        self.stages.push(stage);
+        self
+    }
+
+    /// Appends a closure stage.
+    pub fn add_fn<F>(self, name: impl Into<String>, f: F) -> Self
+    where
+        F: FnMut(T) -> Result<T> + Send + 'static,
+    {
+        self.add_stage(Box::new(FnStage::new(name, f)))
+    }
+
+    /// Number of stages currently configured.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Runs `items` through all stages concurrently (one thread per stage) and
+    /// returns the processed items plus a throughput report.
+    ///
+    /// Items are delivered to the first stage in order; each stage preserves
+    /// order, so the output order equals the input order.
+    ///
+    /// # Errors
+    ///
+    /// * [`QkdError::InvalidParameter`] when the pipeline has no stages.
+    /// * The first error returned by any stage (the pipeline drains and stops).
+    /// * [`QkdError::PipelineStalled`] when a stage thread panics.
+    pub fn run(self, items: Vec<T>) -> Result<PipelineReport<T>> {
+        if self.stages.is_empty() {
+            return Err(QkdError::invalid_parameter("stages", "pipeline needs at least one stage"));
+        }
+        let num_items = items.len();
+        let capacity = self.channel_capacity;
+        let start = Instant::now();
+
+        let stage_names: Vec<String> =
+            self.stages.iter().map(|s| s.name().to_string()).collect();
+
+        // input channel -> stage 0 -> ... -> stage k-1 -> output channel
+        let (input_tx, mut prev_rx) = channel::bounded::<T>(capacity);
+
+        let mut handles = Vec::new();
+        for mut stage in self.stages {
+            let (tx, rx) = channel::bounded::<T>(capacity);
+            let handle = std::thread::spawn(move || -> std::result::Result<StageMetrics, QkdError> {
+                let mut metrics = StageMetrics::default();
+                for item in prev_rx.iter() {
+                    let t0 = Instant::now();
+                    let out = stage.process(item)?;
+                    let dt = t0.elapsed();
+                    metrics.record(dt, dt, 0, 0);
+                    if tx.send(out).is_err() {
+                        // Downstream hung up (error case); stop quietly.
+                        break;
+                    }
+                }
+                Ok(metrics)
+            });
+            handles.push(handle);
+            prev_rx = rx;
+        }
+        let output_rx = prev_rx;
+
+        // Feed inputs from this thread (bounded channel provides back-pressure),
+        // then collect outputs.
+        let feeder = std::thread::spawn(move || {
+            for item in items {
+                if input_tx.send(item).is_err() {
+                    break;
+                }
+            }
+        });
+
+        let mut out_items = Vec::with_capacity(num_items);
+        for item in output_rx.iter() {
+            out_items.push(item);
+        }
+        feeder.join().map_err(|_| QkdError::PipelineStalled { stage: "feeder" })?;
+
+        let mut report = ThroughputReport {
+            makespan: start.elapsed(),
+            items: out_items.len(),
+            input_bits: 0,
+            ..Default::default()
+        };
+        let mut first_error: Option<QkdError> = None;
+        for (handle, name) in handles.into_iter().zip(stage_names) {
+            match handle.join() {
+                Ok(Ok(metrics)) => report.record_stage(&name, metrics),
+                Ok(Err(e)) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+                Err(_) => {
+                    if first_error.is_none() {
+                        first_error = Some(QkdError::PipelineStalled { stage: "worker" });
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        Ok(PipelineReport { items: out_items, throughput: report })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_applies_all_stages() {
+        let pipeline = Pipeline::new(4)
+            .add_fn("double", |x: u64| Ok(x * 2))
+            .add_fn("plus-one", |x: u64| Ok(x + 1));
+        let report = pipeline.run((0..100).collect()).unwrap();
+        assert_eq!(report.items.len(), 100);
+        for (i, &v) in report.items.iter().enumerate() {
+            assert_eq!(v, (i as u64) * 2 + 1);
+        }
+        assert_eq!(report.throughput.stages.len(), 2);
+        assert_eq!(report.throughput.stages["double"].count, 100);
+    }
+
+    #[test]
+    fn pipelining_overlaps_slow_stages() {
+        // Two stages that each sleep 2 ms per item: serial execution of
+        // 20 items would take ~80 ms; a 2-stage pipeline should take ~40–60 ms.
+        let pipeline = Pipeline::new(4)
+            .add_fn("slow-a", |x: u64| {
+                std::thread::sleep(Duration::from_millis(2));
+                Ok(x)
+            })
+            .add_fn("slow-b", |x: u64| {
+                std::thread::sleep(Duration::from_millis(2));
+                Ok(x)
+            });
+        let start = Instant::now();
+        let report = pipeline.run((0..20).collect()).unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!(report.items.len(), 20);
+        assert!(
+            elapsed < Duration::from_millis(70),
+            "pipeline should overlap the two 40 ms stages, took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn stage_error_aborts_the_run() {
+        let pipeline = Pipeline::new(2)
+            .add_fn("ok", |x: u64| Ok(x))
+            .add_fn("fail-on-5", |x: u64| {
+                if x == 5 {
+                    Err(QkdError::PipelineStalled { stage: "fail-on-5" })
+                } else {
+                    Ok(x)
+                }
+            });
+        let err = pipeline.run((0..10).collect()).unwrap_err();
+        assert!(matches!(err, QkdError::PipelineStalled { .. }));
+    }
+
+    #[test]
+    fn empty_pipeline_is_rejected_and_empty_input_is_fine() {
+        let empty: Pipeline<u64> = Pipeline::new(2);
+        assert!(empty.run(vec![1, 2, 3]).is_err());
+
+        let pipeline = Pipeline::new(2).add_fn("id", |x: u64| Ok(x));
+        let report = pipeline.run(Vec::new()).unwrap();
+        assert!(report.items.is_empty());
+        assert_eq!(report.throughput.items, 0);
+    }
+
+    #[test]
+    fn utilisation_reflects_stage_imbalance() {
+        let pipeline = Pipeline::new(4)
+            .add_fn("fast", |x: u64| Ok(x))
+            .add_fn("slow", |x: u64| {
+                std::thread::sleep(Duration::from_millis(1));
+                Ok(x)
+            });
+        let report = pipeline.run((0..30).collect()).unwrap().throughput;
+        let (bottleneck, _) = report.bottleneck().unwrap();
+        assert_eq!(bottleneck, "slow");
+        assert!(report.utilisation("slow") > report.utilisation("fast"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Per-stage metrics and throughput reporting.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated metrics of one pipeline stage or kernel kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageMetrics {
+    /// Number of items processed.
+    pub count: usize,
+    /// Total modeled time spent.
+    pub modeled_time: Duration,
+    /// Total host wall-clock time spent.
+    pub host_time: Duration,
+    /// Total input bits processed.
+    pub bits_in: u64,
+    /// Total output bits produced.
+    pub bits_out: u64,
+}
+
+impl StageMetrics {
+    /// Records one processed item.
+    pub fn record(&mut self, modeled: Duration, host: Duration, bits_in: usize, bits_out: usize) {
+        self.count += 1;
+        self.modeled_time += modeled;
+        self.host_time += host;
+        self.bits_in += bits_in as u64;
+        self.bits_out += bits_out as u64;
+    }
+
+    /// Merges another metrics record into this one.
+    pub fn merge(&mut self, other: &StageMetrics) {
+        self.count += other.count;
+        self.modeled_time += other.modeled_time;
+        self.host_time += other.host_time;
+        self.bits_in += other.bits_in;
+        self.bits_out += other.bits_out;
+    }
+
+    /// Modeled throughput in input bits per second.
+    pub fn throughput_bps(&self) -> f64 {
+        let secs = self.modeled_time.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.bits_in as f64 / secs
+        }
+    }
+
+    /// Average modeled latency per item.
+    pub fn avg_latency(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.modeled_time / self.count as u32
+        }
+    }
+}
+
+/// A throughput report over a set of named stages plus an overall makespan.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Per-stage metrics keyed by stage name.
+    pub stages: BTreeMap<String, StageMetrics>,
+    /// End-to-end wall-clock time of the run.
+    pub makespan: Duration,
+    /// Total items that flowed through the pipeline.
+    pub items: usize,
+    /// Total input bits ingested at the first stage.
+    pub input_bits: u64,
+}
+
+impl ThroughputReport {
+    /// Records metrics under a stage name.
+    pub fn record_stage(&mut self, name: &str, metrics: StageMetrics) {
+        self.stages.entry(name.to_string()).or_default().merge(&metrics);
+    }
+
+    /// End-to-end throughput in input bits per second of makespan.
+    pub fn end_to_end_bps(&self) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.input_bits as f64 / secs
+        }
+    }
+
+    /// Utilisation of a stage: busy time over makespan (can exceed 1.0 when a
+    /// stage runs multiple workers).
+    pub fn utilisation(&self, stage: &str) -> f64 {
+        let makespan = self.makespan.as_secs_f64();
+        if makespan <= 0.0 {
+            return 0.0;
+        }
+        self.stages
+            .get(stage)
+            .map(|m| m.host_time.as_secs_f64() / makespan)
+            .unwrap_or(0.0)
+    }
+
+    /// The stage with the largest modeled busy time (the bottleneck).
+    pub fn bottleneck(&self) -> Option<(&str, &StageMetrics)> {
+        self.stages
+            .iter()
+            .max_by(|a, b| a.1.modeled_time.cmp(&b.1.modeled_time))
+            .map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>10} {:>14} {:>14} {:>12}\n",
+            "stage", "items", "busy (ms)", "Mbit/s", "util"
+        ));
+        for (name, m) in &self.stages {
+            out.push_str(&format!(
+                "{:<24} {:>10} {:>14.2} {:>14.2} {:>12.2}\n",
+                name,
+                m.count,
+                m.modeled_time.as_secs_f64() * 1e3,
+                m.throughput_bps() / 1e6,
+                self.utilisation(name),
+            ));
+        }
+        out.push_str(&format!(
+            "end-to-end: {:.2} ms makespan, {:.2} Mbit/s\n",
+            self.makespan.as_secs_f64() * 1e3,
+            self.end_to_end_bps() / 1e6
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_accumulate_and_compute_rates() {
+        let mut m = StageMetrics::default();
+        m.record(Duration::from_millis(10), Duration::from_millis(12), 1_000_000, 500_000);
+        m.record(Duration::from_millis(10), Duration::from_millis(8), 1_000_000, 500_000);
+        assert_eq!(m.count, 2);
+        assert_eq!(m.bits_in, 2_000_000);
+        assert!((m.throughput_bps() - 1e8).abs() / 1e8 < 1e-9);
+        assert_eq!(m.avg_latency(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn empty_metrics_have_zero_rates() {
+        let m = StageMetrics::default();
+        assert_eq!(m.throughput_bps(), 0.0);
+        assert_eq!(m.avg_latency(), Duration::ZERO);
+    }
+
+    #[test]
+    fn report_identifies_bottleneck_and_utilisation() {
+        let mut report = ThroughputReport { makespan: Duration::from_secs(1), items: 10, input_bits: 1_000_000, ..Default::default() };
+        let mut fast = StageMetrics::default();
+        fast.record(Duration::from_millis(100), Duration::from_millis(100), 1_000_000, 900_000);
+        let mut slow = StageMetrics::default();
+        slow.record(Duration::from_millis(800), Duration::from_millis(800), 900_000, 400_000);
+        report.record_stage("sifting", fast);
+        report.record_stage("reconciliation", slow);
+        let (name, _) = report.bottleneck().unwrap();
+        assert_eq!(name, "reconciliation");
+        assert!((report.utilisation("reconciliation") - 0.8).abs() < 1e-9);
+        assert!((report.end_to_end_bps() - 1e6).abs() < 1e-3);
+        let table = report.to_table();
+        assert!(table.contains("reconciliation"));
+        assert!(table.contains("end-to-end"));
+    }
+
+    #[test]
+    fn merging_stage_records_adds_up() {
+        let mut report = ThroughputReport::default();
+        let mut a = StageMetrics::default();
+        a.record(Duration::from_millis(5), Duration::from_millis(5), 100, 50);
+        report.record_stage("pa", a);
+        report.record_stage("pa", a);
+        assert_eq!(report.stages["pa"].count, 2);
+        assert_eq!(report.stages["pa"].bits_in, 200);
+    }
+}

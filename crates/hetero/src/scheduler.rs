@@ -1,0 +1,496 @@
+//! Offload planning: mapping per-block stage tasks onto devices.
+//!
+//! The scheduler works on *task specifications* (kernel kind + workload
+//! descriptors + dependencies) and device cost models; it does not execute
+//! anything. Its output — a simulated schedule with per-device busy intervals
+//! and the overall makespan — is what Figure 4 sweeps across policies.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use qkd_types::{QkdError, Result};
+
+use crate::cost::CostModel;
+use crate::kernel::KernelKind;
+
+/// A schedulable task: one kernel invocation for one block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Task id (unique within a scheduling problem).
+    pub id: usize,
+    /// Kernel kind.
+    pub kind: KernelKind,
+    /// Input bits transferred to the device.
+    pub input_bits: usize,
+    /// Output bits transferred back.
+    pub output_bits: usize,
+    /// Abstract work units (see [`crate::KernelTask::work_units`]).
+    pub work_units: f64,
+    /// Ids of tasks that must finish before this one starts.
+    pub depends_on: Vec<usize>,
+}
+
+/// Scheduling policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SchedulePolicy {
+    /// Fixed kernel-kind → device-index mapping (the classical "LDPC on the
+    /// GPU, everything else on the CPU" setup).
+    Static(BTreeMap<String, usize>),
+    /// Greedy earliest-finish-time: tasks in ready order, each placed on the
+    /// device that finishes it soonest.
+    GreedyEarliestFinish,
+    /// HEFT-style list scheduling: tasks ranked by upward rank (critical-path
+    /// length using average costs), then placed earliest-finish.
+    Heft,
+}
+
+impl SchedulePolicy {
+    /// Builds a static policy from `(kernel name, device index)` pairs.
+    pub fn static_mapping(pairs: &[(KernelKind, usize)]) -> Self {
+        SchedulePolicy::Static(
+            pairs.iter().map(|(k, d)| (k.name().to_string(), *d)).collect(),
+        )
+    }
+}
+
+/// One scheduled task in the simulated timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Task id.
+    pub task: usize,
+    /// Device index the task ran on.
+    pub device: usize,
+    /// Simulated start time.
+    pub start: Duration,
+    /// Simulated finish time.
+    pub finish: Duration,
+}
+
+/// The outcome of simulating a schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulatedSchedule {
+    /// Placements in task-id order.
+    pub placements: Vec<Placement>,
+    /// Total simulated makespan.
+    pub makespan: Duration,
+    /// Busy time per device.
+    pub device_busy: Vec<Duration>,
+    /// Device names, index-aligned with `device_busy`.
+    pub device_names: Vec<String>,
+}
+
+impl SimulatedSchedule {
+    /// Utilisation of device `i` (busy / makespan).
+    pub fn utilisation(&self, device: usize) -> f64 {
+        let makespan = self.makespan.as_secs_f64();
+        if makespan <= 0.0 {
+            0.0
+        } else {
+            self.device_busy[device].as_secs_f64() / makespan
+        }
+    }
+
+    /// Throughput in blocks per second given `blocks` blocks were scheduled.
+    pub fn blocks_per_sec(&self, blocks: usize) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            blocks as f64 / secs
+        }
+    }
+}
+
+/// The scheduler: a set of named device cost models plus a policy.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    devices: Vec<(String, CostModel)>,
+    policy: SchedulePolicy,
+}
+
+impl Scheduler {
+    /// Creates a scheduler over the given devices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] when no devices are supplied or
+    /// a static policy references a device that does not exist.
+    pub fn new(devices: Vec<(String, CostModel)>, policy: SchedulePolicy) -> Result<Self> {
+        if devices.is_empty() {
+            return Err(QkdError::invalid_parameter("devices", "at least one device is required"));
+        }
+        if let SchedulePolicy::Static(map) = &policy {
+            for (kind, &idx) in map {
+                if idx >= devices.len() {
+                    return Err(QkdError::invalid_parameter(
+                        "policy",
+                        format!("kernel `{kind}` mapped to missing device index {idx}"),
+                    ));
+                }
+            }
+        }
+        Ok(Self { devices, policy })
+    }
+
+    /// The device list.
+    pub fn devices(&self) -> &[(String, CostModel)] {
+        &self.devices
+    }
+
+    /// Predicted cost of `task` on device `d`.
+    fn cost(&self, task: &TaskSpec, d: usize) -> Duration {
+        self.devices[d].1.predict_raw(task.kind, task.input_bits, task.output_bits, task.work_units)
+    }
+
+    /// Average predicted cost across devices (used by HEFT ranking).
+    fn avg_cost(&self, task: &TaskSpec) -> f64 {
+        self.devices
+            .iter()
+            .enumerate()
+            .map(|(d, _)| self.cost(task, d).as_secs_f64())
+            .sum::<f64>()
+            / self.devices.len() as f64
+    }
+
+    /// Simulates scheduling `tasks` (which must form a DAG) and returns the
+    /// timeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] when task ids are not dense
+    /// (`0..n`), a dependency references an unknown task, or the dependency
+    /// graph contains a cycle.
+    pub fn simulate(&self, tasks: &[TaskSpec]) -> Result<SimulatedSchedule> {
+        let n = tasks.len();
+        for (i, t) in tasks.iter().enumerate() {
+            if t.id != i {
+                return Err(QkdError::invalid_parameter("tasks", "task ids must be dense 0..n in order"));
+            }
+            for &d in &t.depends_on {
+                if d >= n {
+                    return Err(QkdError::invalid_parameter("tasks", format!("dependency {d} out of range")));
+                }
+            }
+        }
+
+        // Topological order (Kahn).
+        let mut indegree = vec![0usize; n];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for t in tasks {
+            indegree[t.id] = t.depends_on.len();
+            for &d in &t.depends_on {
+                dependents[d].push(t.id);
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        let mut indeg = indegree.clone();
+        let mut queue = ready.clone();
+        while let Some(t) = queue.pop() {
+            topo.push(t);
+            for &d in &dependents[t] {
+                indeg[d] -= 1;
+                if indeg[d] == 0 {
+                    queue.push(d);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(QkdError::invalid_parameter("tasks", "dependency graph contains a cycle"));
+        }
+
+        // Order in which tasks are placed.
+        let order: Vec<usize> = match &self.policy {
+            SchedulePolicy::Heft => {
+                // Upward rank: rank(t) = avg_cost(t) + max over dependents rank.
+                let mut rank = vec![0.0f64; n];
+                for &t in topo.iter().rev() {
+                    let _ = t;
+                }
+                // Process in reverse topological order so dependents are done.
+                let mut rev = topo.clone();
+                rev.reverse();
+                for &t in &rev {
+                    let max_dep = dependents[t]
+                        .iter()
+                        .map(|&d| rank[d])
+                        .fold(0.0f64, f64::max);
+                    rank[t] = self.avg_cost(&tasks[t]) + max_dep;
+                }
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by(|&a, &b| rank[b].partial_cmp(&rank[a]).expect("ranks are finite"));
+                order
+            }
+            _ => {
+                // Ready order (topological, stable by id).
+                let mut order = topo.clone();
+                order.sort_by_key(|&t| (tasks[t].depends_on.len(), t));
+                // A plain topological order is fine for list scheduling; use it.
+                let _ = order;
+                let mut topo_sorted = Vec::with_capacity(n);
+                let mut indeg2 = indegree;
+                let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> =
+                    (0..n).filter(|&i| indeg2[i] == 0).map(std::cmp::Reverse).collect();
+                while let Some(std::cmp::Reverse(t)) = heap.pop() {
+                    topo_sorted.push(t);
+                    for &d in &dependents[t] {
+                        indeg2[d] -= 1;
+                        if indeg2[d] == 0 {
+                            heap.push(std::cmp::Reverse(d));
+                        }
+                    }
+                }
+                topo_sorted
+            }
+        };
+        ready.clear();
+
+        // List scheduling simulation.
+        let mut device_free = vec![0.0f64; self.devices.len()];
+        let mut device_busy = vec![0.0f64; self.devices.len()];
+        let mut finish_time = vec![0.0f64; n];
+        let mut placements = vec![
+            Placement { task: 0, device: 0, start: Duration::ZERO, finish: Duration::ZERO };
+            n
+        ];
+
+        for &t in &order {
+            let task = &tasks[t];
+            let ready_at = task
+                .depends_on
+                .iter()
+                .map(|&d| finish_time[d])
+                .fold(0.0f64, f64::max);
+
+            let candidate_devices: Vec<usize> = match &self.policy {
+                SchedulePolicy::Static(map) => {
+                    vec![*map.get(task.kind.name()).unwrap_or(&0)]
+                }
+                _ => (0..self.devices.len()).collect(),
+            };
+
+            let (best_dev, best_start, best_finish) = candidate_devices
+                .into_iter()
+                .map(|d| {
+                    let start = ready_at.max(device_free[d]);
+                    let finish = start + self.cost(task, d).as_secs_f64();
+                    (d, start, finish)
+                })
+                .min_by(|a, b| a.2.partial_cmp(&b.2).expect("times are finite"))
+                .expect("at least one candidate device");
+
+            device_free[best_dev] = best_finish;
+            device_busy[best_dev] += best_finish - best_start;
+            finish_time[t] = best_finish;
+            placements[t] = Placement {
+                task: t,
+                device: best_dev,
+                start: Duration::from_secs_f64(best_start),
+                finish: Duration::from_secs_f64(best_finish),
+            };
+        }
+
+        let makespan = finish_time.iter().fold(0.0f64, |a, &b| a.max(b));
+        Ok(SimulatedSchedule {
+            placements,
+            makespan: Duration::from_secs_f64(makespan),
+            device_busy: device_busy.into_iter().map(Duration::from_secs_f64).collect(),
+            device_names: self.devices.iter().map(|(n, _)| n.clone()).collect(),
+        })
+    }
+}
+
+/// Builds the per-block task DAG of the standard post-processing pipeline for
+/// `blocks` blocks of `block_bits` bits each: sift → syndrome → decode →
+/// toeplitz → mac, with dependencies within each block only.
+pub fn pipeline_task_graph(blocks: usize, block_bits: usize) -> Vec<TaskSpec> {
+    let mut tasks = Vec::with_capacity(blocks * 5);
+    for b in 0..blocks {
+        let base = b * 5;
+        let work_sift = block_bits as f64;
+        let work_syndrome = block_bits as f64 * 3.0;
+        let work_decode = block_bits as f64 * 3.0 * 20.0;
+        let work_toeplitz = (block_bits as f64 / 64.0) * (block_bits as f64 * 1.5 / 64.0);
+        tasks.push(TaskSpec {
+            id: base,
+            kind: KernelKind::Sift,
+            input_bits: block_bits * 2,
+            output_bits: block_bits,
+            work_units: work_sift,
+            depends_on: vec![],
+        });
+        tasks.push(TaskSpec {
+            id: base + 1,
+            kind: KernelKind::Syndrome,
+            input_bits: block_bits,
+            output_bits: block_bits / 2,
+            work_units: work_syndrome,
+            depends_on: vec![base],
+        });
+        tasks.push(TaskSpec {
+            id: base + 2,
+            kind: KernelKind::LdpcDecode,
+            input_bits: block_bits + block_bits / 2,
+            output_bits: block_bits,
+            work_units: work_decode,
+            depends_on: vec![base + 1],
+        });
+        tasks.push(TaskSpec {
+            id: base + 3,
+            kind: KernelKind::ToeplitzHash,
+            input_bits: block_bits * 2,
+            output_bits: block_bits / 2,
+            work_units: work_toeplitz,
+            depends_on: vec![base + 2],
+        });
+        tasks.push(TaskSpec {
+            id: base + 4,
+            kind: KernelKind::PolyMac,
+            input_bits: 4096,
+            output_bits: 128,
+            work_units: 256.0,
+            depends_on: vec![base + 3],
+        });
+    }
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn devices() -> Vec<(String, CostModel)> {
+        vec![
+            ("cpu".to_string(), CostModel::cpu_core()),
+            ("gpu".to_string(), CostModel::sim_gpu()),
+            ("fpga".to_string(), CostModel::sim_fpga()),
+        ]
+    }
+
+    #[test]
+    fn dependencies_are_respected() {
+        let tasks = pipeline_task_graph(4, 65_536);
+        let sched = Scheduler::new(devices(), SchedulePolicy::GreedyEarliestFinish).unwrap();
+        let sim = sched.simulate(&tasks).unwrap();
+        for t in &tasks {
+            for &d in &t.depends_on {
+                assert!(
+                    sim.placements[t.id].start >= sim.placements[d].finish,
+                    "task {} started before its dependency {} finished",
+                    t.id,
+                    d
+                );
+            }
+        }
+        assert!(sim.makespan > Duration::ZERO);
+    }
+
+    #[test]
+    fn greedy_offloads_heavy_kernels_to_accelerators() {
+        let tasks = pipeline_task_graph(8, 1 << 20);
+        let sched = Scheduler::new(devices(), SchedulePolicy::GreedyEarliestFinish).unwrap();
+        let sim = sched.simulate(&tasks).unwrap();
+        // At megabit blocks the bulk of the LDPC decodes should land off the
+        // single CPU core (greedy may still spill a few onto the CPU once the
+        // accelerators' queues grow — that is load balancing, not a bug).
+        let decodes: Vec<_> = tasks.iter().filter(|t| t.kind == KernelKind::LdpcDecode).collect();
+        let decode_on_cpu =
+            decodes.iter().filter(|t| sim.placements[t.id].device == 0).count();
+        assert!(
+            decode_on_cpu * 2 <= decodes.len(),
+            "most large LDPC decodes should be offloaded ({decode_on_cpu}/{} on CPU)",
+            decodes.len()
+        );
+    }
+
+    #[test]
+    fn heft_is_no_worse_than_static_cpu_only() {
+        let tasks = pipeline_task_graph(16, 1 << 18);
+        let static_cpu = Scheduler::new(
+            devices(),
+            SchedulePolicy::static_mapping(&[
+                (KernelKind::Sift, 0),
+                (KernelKind::Syndrome, 0),
+                (KernelKind::LdpcDecode, 0),
+                (KernelKind::ToeplitzHash, 0),
+                (KernelKind::PolyMac, 0),
+            ]),
+        )
+        .unwrap();
+        let heft = Scheduler::new(devices(), SchedulePolicy::Heft).unwrap();
+        let m_static = static_cpu.simulate(&tasks).unwrap().makespan;
+        let m_heft = heft.simulate(&tasks).unwrap().makespan;
+        assert!(m_heft <= m_static, "HEFT {m_heft:?} must not lose to CPU-only {m_static:?}");
+    }
+
+    #[test]
+    fn static_policy_places_kernels_where_told() {
+        let tasks = pipeline_task_graph(2, 65_536);
+        let policy = SchedulePolicy::static_mapping(&[
+            (KernelKind::Sift, 0),
+            (KernelKind::Syndrome, 2),
+            (KernelKind::LdpcDecode, 1),
+            (KernelKind::ToeplitzHash, 1),
+            (KernelKind::PolyMac, 0),
+        ]);
+        let sched = Scheduler::new(devices(), policy).unwrap();
+        let sim = sched.simulate(&tasks).unwrap();
+        for t in &tasks {
+            let expected = match t.kind {
+                KernelKind::Sift | KernelKind::PolyMac => 0,
+                KernelKind::LdpcDecode | KernelKind::ToeplitzHash => 1,
+                KernelKind::Syndrome => 2,
+            };
+            assert_eq!(sim.placements[t.id].device, expected, "task {}", t.id);
+        }
+    }
+
+    #[test]
+    fn utilisation_and_throughput_are_consistent() {
+        let tasks = pipeline_task_graph(8, 1 << 16);
+        let sched = Scheduler::new(devices(), SchedulePolicy::Heft).unwrap();
+        let sim = sched.simulate(&tasks).unwrap();
+        for d in 0..3 {
+            let u = sim.utilisation(d);
+            assert!((0.0..=1.0 + 1e-9).contains(&u), "utilisation {u} out of range");
+        }
+        assert!(sim.blocks_per_sec(8) > 0.0);
+        assert_eq!(sim.device_names.len(), 3);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(Scheduler::new(Vec::new(), SchedulePolicy::Heft).is_err());
+        let bad_static = SchedulePolicy::static_mapping(&[(KernelKind::Sift, 9)]);
+        assert!(Scheduler::new(devices(), bad_static).is_err());
+
+        let sched = Scheduler::new(devices(), SchedulePolicy::Heft).unwrap();
+        // Non-dense ids.
+        let bad = vec![TaskSpec {
+            id: 3,
+            kind: KernelKind::Sift,
+            input_bits: 10,
+            output_bits: 10,
+            work_units: 1.0,
+            depends_on: vec![],
+        }];
+        assert!(sched.simulate(&bad).is_err());
+        // Cycle.
+        let cyc = vec![
+            TaskSpec { id: 0, kind: KernelKind::Sift, input_bits: 1, output_bits: 1, work_units: 1.0, depends_on: vec![1] },
+            TaskSpec { id: 1, kind: KernelKind::Sift, input_bits: 1, output_bits: 1, work_units: 1.0, depends_on: vec![0] },
+        ];
+        assert!(sched.simulate(&cyc).is_err());
+    }
+
+    #[test]
+    fn task_graph_has_expected_shape() {
+        let tasks = pipeline_task_graph(3, 1024);
+        assert_eq!(tasks.len(), 15);
+        assert!(tasks.iter().enumerate().all(|(i, t)| t.id == i));
+        assert_eq!(tasks[5].depends_on, Vec::<usize>::new());
+        assert_eq!(tasks[7].depends_on, vec![6]);
+    }
+}

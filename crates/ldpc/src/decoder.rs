@@ -1,0 +1,499 @@
+//! Belief-propagation syndrome decoders.
+//!
+//! Reconciliation uses *syndrome decoding*: given Bob's key `y`, Alice's
+//! syndrome `s_A = H x`, and Bob's own syndrome `s_B = H y`, Bob decodes the
+//! error pattern `e` with `H e = s_A ⊕ s_B` under an i.i.d. bit-flip prior at
+//! the estimated QBER, then sets `x = y ⊕ e`.
+//!
+//! Two message-passing algorithms (sum-product and normalised min-sum) and
+//! two schedules (flooding and layered) are provided; the combinations are the
+//! ablation axes of the evaluation (Table 2, `ablate-decoder`).
+
+use serde::{Deserialize, Serialize};
+
+use qkd_types::{BitVec, QkdError, Result};
+
+use crate::matrix::ParityCheckMatrix;
+
+/// Message-passing algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DecoderAlgorithm {
+    /// Exact sum-product (tanh rule). Best threshold, slowest.
+    SumProduct,
+    /// Normalised min-sum with the given scale factor numerator over 100
+    /// (e.g. 75 means messages are scaled by 0.75). Hardware friendly.
+    MinSum {
+        /// Normalisation factor in hundredths (75 ⇒ 0.75).
+        scale_pct: u8,
+    },
+}
+
+impl DecoderAlgorithm {
+    /// The conventional normalised min-sum variant (scale 0.75).
+    pub const NORMALIZED_MIN_SUM: DecoderAlgorithm = DecoderAlgorithm::MinSum { scale_pct: 75 };
+}
+
+/// Message-update schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Schedule {
+    /// All checks updated from the previous iteration's variable messages.
+    Flooding,
+    /// Checks processed sequentially, posteriors updated immediately
+    /// (converges in roughly half the iterations).
+    Layered,
+}
+
+/// Decoder configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecoderConfig {
+    /// Algorithm to run.
+    pub algorithm: DecoderAlgorithm,
+    /// Schedule to use.
+    pub schedule: Schedule,
+    /// Maximum number of iterations before giving up.
+    pub max_iterations: usize,
+    /// Magnitude at which LLRs are clamped for numerical stability.
+    pub llr_clamp: f64,
+}
+
+impl Default for DecoderConfig {
+    fn default() -> Self {
+        Self {
+            algorithm: DecoderAlgorithm::NORMALIZED_MIN_SUM,
+            schedule: Schedule::Layered,
+            max_iterations: 60,
+            llr_clamp: 30.0,
+        }
+    }
+}
+
+impl DecoderConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] for out-of-domain fields.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_iterations == 0 {
+            return Err(QkdError::invalid_parameter("max_iterations", "must be at least 1"));
+        }
+        if self.llr_clamp <= 0.0 {
+            return Err(QkdError::invalid_parameter("llr_clamp", "must be positive"));
+        }
+        if let DecoderAlgorithm::MinSum { scale_pct } = self.algorithm {
+            if scale_pct == 0 || scale_pct > 100 {
+                return Err(QkdError::invalid_parameter("scale_pct", "must lie in 1..=100"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of a decode attempt.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecodeOutcome {
+    /// The decoded error pattern (only meaningful when `converged`).
+    pub error_pattern: BitVec,
+    /// Whether the syndrome constraint was satisfied.
+    pub converged: bool,
+    /// Iterations actually executed.
+    pub iterations: usize,
+}
+
+/// A belief-propagation syndrome decoder bound to one parity-check matrix.
+///
+/// The decoder owns per-edge message buffers sized for its matrix, so a single
+/// instance can decode many blocks without reallocating.
+#[derive(Debug, Clone)]
+pub struct SyndromeDecoder {
+    config: DecoderConfig,
+    /// Flattened (check-major) variable indices.
+    edge_var: Vec<usize>,
+    /// Start offset of each check's edges in `edge_var`.
+    check_offsets: Vec<usize>,
+    /// For each variable, the edge ids incident to it.
+    var_edges: Vec<Vec<usize>>,
+    n: usize,
+    m: usize,
+}
+
+impl SyndromeDecoder {
+    /// Builds a decoder for the given matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] if the configuration is invalid.
+    pub fn new(matrix: &ParityCheckMatrix, config: DecoderConfig) -> Result<Self> {
+        config.validate()?;
+        let m = matrix.num_checks();
+        let n = matrix.num_vars();
+        let mut edge_var = Vec::with_capacity(matrix.num_edges());
+        let mut check_offsets = Vec::with_capacity(m + 1);
+        let mut var_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        check_offsets.push(0);
+        for c in 0..m {
+            for &v in matrix.check_neighbors(c) {
+                var_edges[v].push(edge_var.len());
+                edge_var.push(v);
+            }
+            check_offsets.push(edge_var.len());
+        }
+        Ok(Self { config, edge_var, check_offsets, var_edges, n, m })
+    }
+
+    /// The decoder configuration.
+    pub fn config(&self) -> &DecoderConfig {
+        &self.config
+    }
+
+    /// Codeword length this decoder expects.
+    pub fn block_len(&self) -> usize {
+        self.n
+    }
+
+    /// Syndrome length this decoder expects.
+    pub fn syndrome_len(&self) -> usize {
+        self.m
+    }
+
+    /// Decodes an error pattern `e` with `H e = target_syndrome` under an
+    /// i.i.d. flip prior `qber`, with optional per-variable LLR overrides.
+    ///
+    /// `llr_overrides` assigns a fixed prior LLR to selected variables:
+    /// shortened (known-zero) positions use a large positive LLR, punctured
+    /// (unknown) positions use zero.
+    ///
+    /// # Errors
+    ///
+    /// * [`QkdError::DimensionMismatch`] when the syndrome length is wrong.
+    /// * [`QkdError::InvalidParameter`] when `qber` is outside `(0, 0.5)`.
+    pub fn decode(
+        &self,
+        target_syndrome: &BitVec,
+        qber: f64,
+        llr_overrides: &[(usize, f64)],
+    ) -> Result<DecodeOutcome> {
+        if target_syndrome.len() != self.m {
+            return Err(QkdError::DimensionMismatch {
+                context: "syndrome decoding",
+                expected: self.m,
+                actual: target_syndrome.len(),
+            });
+        }
+        if !(0.0 < qber && qber < 0.5) {
+            return Err(QkdError::invalid_parameter("qber", "must lie strictly in (0, 0.5)"));
+        }
+
+        let clamp = self.config.llr_clamp;
+        let prior = ((1.0 - qber) / qber).ln().min(clamp);
+        let mut channel = vec![prior; self.n];
+        for &(v, llr) in llr_overrides {
+            if v < self.n {
+                channel[v] = llr.clamp(-clamp, clamp);
+            }
+        }
+
+        match self.config.schedule {
+            Schedule::Flooding => self.decode_flooding(target_syndrome, &channel),
+            Schedule::Layered => self.decode_layered(target_syndrome, &channel),
+        }
+    }
+
+    fn check_update(&self, values: &mut [f64], sign_target: f64) {
+        // `values` holds the incoming variable-to-check messages for one check
+        // and is overwritten with the outgoing check-to-variable messages.
+        match self.config.algorithm {
+            DecoderAlgorithm::SumProduct => {
+                let deg = values.len();
+                // Product of tanh(v/2) excluding self, via prefix/suffix products.
+                let tanhs: Vec<f64> = values.iter().map(|&v| (v / 2.0).tanh()).collect();
+                let mut prefix = vec![1.0; deg + 1];
+                for i in 0..deg {
+                    prefix[i + 1] = prefix[i] * tanhs[i];
+                }
+                let mut suffix = vec![1.0; deg + 1];
+                for i in (0..deg).rev() {
+                    suffix[i] = suffix[i + 1] * tanhs[i];
+                }
+                for i in 0..deg {
+                    let prod = (prefix[i] * suffix[i + 1] * sign_target).clamp(-0.999_999, 0.999_999);
+                    values[i] = 2.0 * prod.atanh();
+                }
+            }
+            DecoderAlgorithm::MinSum { scale_pct } => {
+                let scale = f64::from(scale_pct) / 100.0;
+                let deg = values.len();
+                // Two smallest magnitudes and the overall sign product.
+                let mut min1 = f64::INFINITY;
+                let mut min2 = f64::INFINITY;
+                let mut min1_idx = 0usize;
+                let mut sign_prod = sign_target;
+                for (i, &v) in values.iter().enumerate() {
+                    let a = v.abs();
+                    if a < min1 {
+                        min2 = min1;
+                        min1 = a;
+                        min1_idx = i;
+                    } else if a < min2 {
+                        min2 = a;
+                    }
+                    if v < 0.0 {
+                        sign_prod = -sign_prod;
+                    }
+                }
+                for (i, v) in values.iter_mut().enumerate() {
+                    let self_sign = if *v < 0.0 { -1.0 } else { 1.0 };
+                    let mag = if i == min1_idx { min2 } else { min1 };
+                    *v = sign_prod * self_sign * scale * if mag.is_finite() { mag } else { 0.0 };
+                }
+                let _ = deg;
+            }
+        }
+    }
+
+    fn decode_flooding(&self, target: &BitVec, channel: &[f64]) -> Result<DecodeOutcome> {
+        let num_edges = self.edge_var.len();
+        let clamp = self.config.llr_clamp;
+        // Variable-to-check messages, initialised with the channel prior.
+        let mut v2c: Vec<f64> = self.edge_var.iter().map(|&v| channel[v]).collect();
+        let mut c2v = vec![0.0f64; num_edges];
+        let mut hard = BitVec::zeros(self.n);
+
+        for iter in 1..=self.config.max_iterations {
+            // Check node update.
+            for c in 0..self.m {
+                let (s, e) = (self.check_offsets[c], self.check_offsets[c + 1]);
+                let sign_target = if target.get(c) { -1.0 } else { 1.0 };
+                let mut buf: Vec<f64> = v2c[s..e].to_vec();
+                self.check_update(&mut buf, sign_target);
+                c2v[s..e].copy_from_slice(&buf);
+            }
+            // Variable node update + hard decision.
+            for v in 0..self.n {
+                let total: f64 = channel[v] + self.var_edges[v].iter().map(|&e| c2v[e]).sum::<f64>();
+                hard.set(v, total < 0.0);
+                for &e in &self.var_edges[v] {
+                    v2c[e] = (total - c2v[e]).clamp(-clamp, clamp);
+                }
+            }
+            if self.syndrome_ok(&hard, target) {
+                return Ok(DecodeOutcome { error_pattern: hard, converged: true, iterations: iter });
+            }
+        }
+        Ok(DecodeOutcome {
+            error_pattern: hard,
+            converged: false,
+            iterations: self.config.max_iterations,
+        })
+    }
+
+    fn decode_layered(&self, target: &BitVec, channel: &[f64]) -> Result<DecodeOutcome> {
+        let num_edges = self.edge_var.len();
+        let clamp = self.config.llr_clamp;
+        // Posterior LLR per variable; per-edge check-to-variable messages.
+        let mut posterior: Vec<f64> = channel.to_vec();
+        let mut c2v = vec![0.0f64; num_edges];
+        let mut hard = BitVec::zeros(self.n);
+
+        for iter in 1..=self.config.max_iterations {
+            for c in 0..self.m {
+                let (s, e) = (self.check_offsets[c], self.check_offsets[c + 1]);
+                let sign_target = if target.get(c) { -1.0 } else { 1.0 };
+                // Extrinsic inputs: posterior minus this check's previous message.
+                let mut buf: Vec<f64> = (s..e)
+                    .map(|edge| (posterior[self.edge_var[edge]] - c2v[edge]).clamp(-clamp, clamp))
+                    .collect();
+                let inputs = buf.clone();
+                self.check_update(&mut buf, sign_target);
+                for (k, edge) in (s..e).enumerate() {
+                    posterior[self.edge_var[edge]] =
+                        (inputs[k] + buf[k]).clamp(-clamp, clamp);
+                    c2v[edge] = buf[k];
+                }
+            }
+            for v in 0..self.n {
+                hard.set(v, posterior[v] < 0.0);
+            }
+            if self.syndrome_ok(&hard, target) {
+                return Ok(DecodeOutcome { error_pattern: hard, converged: true, iterations: iter });
+            }
+        }
+        Ok(DecodeOutcome {
+            error_pattern: hard,
+            converged: false,
+            iterations: self.config.max_iterations,
+        })
+    }
+
+    fn syndrome_ok(&self, e: &BitVec, target: &BitVec) -> bool {
+        for c in 0..self.m {
+            let (s, end) = (self.check_offsets[c], self.check_offsets[c + 1]);
+            let mut p = false;
+            for edge in s..end {
+                p ^= e.get(self.edge_var[edge]);
+            }
+            if p != target.get(c) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkd_types::rng::derive_rng;
+    use rand::Rng;
+
+    fn setup(n: usize, rate: f64, seed: u64) -> ParityCheckMatrix {
+        ParityCheckMatrix::for_rate(n, rate, seed).unwrap()
+    }
+
+    fn random_error<R: Rng + ?Sized>(rng: &mut R, n: usize, p: f64) -> BitVec {
+        BitVec::random_with_density(rng, n, p)
+    }
+
+    fn decode_roundtrip(config: DecoderConfig, n: usize, rate: f64, qber: f64) -> (bool, usize) {
+        let h = setup(n, rate, 99);
+        let mut rng = derive_rng(7, "decoder-test");
+        let truth = random_error(&mut rng, h.num_vars(), qber);
+        let syndrome = h.syndrome(&truth);
+        let dec = SyndromeDecoder::new(&h, config).unwrap();
+        let out = dec.decode(&syndrome, qber, &[]).unwrap();
+        let exact = out.converged && out.error_pattern == truth;
+        (exact, out.iterations)
+    }
+
+    #[test]
+    fn min_sum_layered_decodes_low_qber() {
+        let (ok, iters) = decode_roundtrip(DecoderConfig::default(), 4096, 0.5, 0.02);
+        assert!(ok, "rate-1/2 code must correct 2% errors");
+        assert!(iters < 30, "should converge quickly, took {iters}");
+    }
+
+    #[test]
+    fn sum_product_flooding_decodes_low_qber() {
+        let cfg = DecoderConfig {
+            algorithm: DecoderAlgorithm::SumProduct,
+            schedule: Schedule::Flooding,
+            ..DecoderConfig::default()
+        };
+        let (ok, _) = decode_roundtrip(cfg, 4096, 0.5, 0.03);
+        assert!(ok, "sum-product flooding must correct 3% errors at rate 1/2");
+    }
+
+    #[test]
+    fn layered_converges_faster_than_flooding() {
+        let h = setup(4096, 0.5, 5);
+        let mut rng = derive_rng(8, "decoder-test");
+        let truth = random_error(&mut rng, h.num_vars(), 0.04);
+        let syndrome = h.syndrome(&truth);
+        let layered = SyndromeDecoder::new(&h, DecoderConfig::default()).unwrap();
+        let flooding = SyndromeDecoder::new(
+            &h,
+            DecoderConfig { schedule: Schedule::Flooding, ..DecoderConfig::default() },
+        )
+        .unwrap();
+        let out_l = layered.decode(&syndrome, 0.04, &[]).unwrap();
+        let out_f = flooding.decode(&syndrome, 0.04, &[]).unwrap();
+        assert!(out_l.converged && out_f.converged);
+        assert!(
+            out_l.iterations <= out_f.iterations,
+            "layered ({}) should not need more iterations than flooding ({})",
+            out_l.iterations,
+            out_f.iterations
+        );
+    }
+
+    #[test]
+    fn decoder_fails_gracefully_beyond_capacity() {
+        // Rate 0.8 code cannot correct 15% errors; decoder must report
+        // non-convergence, not wrong answers flagged as success.
+        let h = setup(2048, 0.8, 6);
+        let mut rng = derive_rng(9, "decoder-test");
+        let truth = random_error(&mut rng, h.num_vars(), 0.15);
+        let syndrome = h.syndrome(&truth);
+        let dec = SyndromeDecoder::new(
+            &h,
+            DecoderConfig { max_iterations: 30, ..DecoderConfig::default() },
+        )
+        .unwrap();
+        let out = dec.decode(&syndrome, 0.15, &[]).unwrap();
+        if out.converged {
+            // If it converged it must satisfy the syndrome (a valid coset
+            // member), even if not the original pattern.
+            assert!(h.syndrome_matches(&out.error_pattern, &syndrome));
+        } else {
+            assert_eq!(out.iterations, 30);
+        }
+    }
+
+    #[test]
+    fn zero_syndrome_and_tiny_qber_decodes_to_zero() {
+        let h = setup(1024, 0.5, 10);
+        let dec = SyndromeDecoder::new(&h, DecoderConfig::default()).unwrap();
+        let out = dec.decode(&BitVec::zeros(h.num_checks()), 0.001, &[]).unwrap();
+        assert!(out.converged);
+        assert_eq!(out.error_pattern.count_ones(), 0);
+        assert_eq!(out.iterations, 1);
+    }
+
+    #[test]
+    fn llr_overrides_pin_shortened_positions() {
+        let h = setup(1024, 0.5, 11);
+        let mut rng = derive_rng(12, "decoder-test");
+        let mut truth = random_error(&mut rng, h.num_vars(), 0.03);
+        // Pretend the first 100 variables are shortened to zero.
+        for v in 0..100 {
+            truth.set(v, false);
+        }
+        let syndrome = h.syndrome(&truth);
+        let overrides: Vec<(usize, f64)> = (0..100).map(|v| (v, 25.0)).collect();
+        let dec = SyndromeDecoder::new(&h, DecoderConfig::default()).unwrap();
+        let out = dec.decode(&syndrome, 0.03, &overrides).unwrap();
+        assert!(out.converged);
+        for v in 0..100 {
+            assert!(!out.error_pattern.get(v), "shortened variable {v} must stay zero");
+        }
+        assert_eq!(out.error_pattern, truth);
+    }
+
+    #[test]
+    fn dimension_and_parameter_errors() {
+        let h = setup(512, 0.5, 13);
+        let dec = SyndromeDecoder::new(&h, DecoderConfig::default()).unwrap();
+        assert!(matches!(
+            dec.decode(&BitVec::zeros(10), 0.02, &[]),
+            Err(QkdError::DimensionMismatch { .. })
+        ));
+        assert!(dec.decode(&BitVec::zeros(h.num_checks()), 0.0, &[]).is_err());
+        assert!(dec.decode(&BitVec::zeros(h.num_checks()), 0.5, &[]).is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let h = setup(512, 0.5, 14);
+        let bad = DecoderConfig { max_iterations: 0, ..DecoderConfig::default() };
+        assert!(SyndromeDecoder::new(&h, bad).is_err());
+        let bad = DecoderConfig {
+            algorithm: DecoderAlgorithm::MinSum { scale_pct: 0 },
+            ..DecoderConfig::default()
+        };
+        assert!(SyndromeDecoder::new(&h, bad).is_err());
+        let bad = DecoderConfig { llr_clamp: -1.0, ..DecoderConfig::default() };
+        assert!(SyndromeDecoder::new(&h, bad).is_err());
+    }
+
+    #[test]
+    fn quasi_cyclic_code_decodes_too() {
+        let h = ParityCheckMatrix::quasi_cyclic(4096, 2048, 64, 6, 21).unwrap();
+        let mut rng = derive_rng(22, "decoder-test");
+        let truth = random_error(&mut rng, 4096, 0.02);
+        let syndrome = h.syndrome(&truth);
+        let dec = SyndromeDecoder::new(&h, DecoderConfig::default()).unwrap();
+        let out = dec.decode(&syndrome, 0.02, &[]).unwrap();
+        assert!(out.converged);
+        assert_eq!(out.error_pattern, truth);
+    }
+}

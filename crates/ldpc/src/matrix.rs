@@ -1,0 +1,468 @@
+//! Sparse parity-check matrices and their construction.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use qkd_types::rng::derive_rng;
+use qkd_types::{BitVec, QkdError, Result};
+
+/// How a parity-check matrix was (or should be) constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Construction {
+    /// Progressive edge growth: greedy girth-maximising placement. Best
+    /// decoding performance, slower to build.
+    Peg,
+    /// Quasi-cyclic from a random protograph: structured, fast to build,
+    /// hardware-friendly (this is what FPGA implementations use).
+    QuasiCyclic {
+        /// Circulant (lifting) size.
+        circulant: usize,
+    },
+}
+
+/// A sparse binary parity-check matrix in adjacency form.
+///
+/// Both orientations of the bipartite Tanner graph are stored: the variable
+/// indices of every check row (`check_to_var`) and the check indices of every
+/// variable column (`var_to_check`). Decoders index messages by *edge id*,
+/// which is the position of the entry in the flattened check-major edge list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParityCheckMatrix {
+    n: usize,
+    m: usize,
+    check_to_var: Vec<Vec<usize>>,
+    var_to_check: Vec<Vec<usize>>,
+    construction: Construction,
+}
+
+impl ParityCheckMatrix {
+    /// Number of variable nodes (codeword length).
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of check nodes (syndrome length).
+    pub fn num_checks(&self) -> usize {
+        self.m
+    }
+
+    /// Design rate `1 - m/n`.
+    pub fn rate(&self) -> f64 {
+        1.0 - self.m as f64 / self.n as f64
+    }
+
+    /// Total number of edges in the Tanner graph.
+    pub fn num_edges(&self) -> usize {
+        self.check_to_var.iter().map(Vec::len).sum()
+    }
+
+    /// Variable neighbours of check `c`.
+    pub fn check_neighbors(&self, c: usize) -> &[usize] {
+        &self.check_to_var[c]
+    }
+
+    /// Check neighbours of variable `v`.
+    pub fn var_neighbors(&self, v: usize) -> &[usize] {
+        &self.var_to_check[v]
+    }
+
+    /// The construction used to build this matrix.
+    pub fn construction(&self) -> Construction {
+        self.construction
+    }
+
+    /// Computes the syndrome `H x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars()`.
+    pub fn syndrome(&self, x: &BitVec) -> BitVec {
+        assert_eq!(x.len(), self.n, "codeword length must equal the number of variables");
+        let mut s = BitVec::zeros(self.m);
+        for (c, vars) in self.check_to_var.iter().enumerate() {
+            let mut p = false;
+            for &v in vars {
+                p ^= x.get(v);
+            }
+            if p {
+                s.set(c, true);
+            }
+        }
+        s
+    }
+
+    /// Returns `true` when `H e` equals `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions do not match.
+    pub fn syndrome_matches(&self, e: &BitVec, target: &BitVec) -> bool {
+        assert_eq!(target.len(), self.m, "target syndrome length must equal the number of checks");
+        self.syndrome(e) == *target
+    }
+
+    /// Average variable-node degree.
+    pub fn avg_var_degree(&self) -> f64 {
+        self.num_edges() as f64 / self.n as f64
+    }
+
+    /// Average check-node degree.
+    pub fn avg_check_degree(&self) -> f64 {
+        self.num_edges() as f64 / self.m as f64
+    }
+
+    /// Builds a matrix with the progressive-edge-growth (PEG) algorithm.
+    ///
+    /// Variables are assigned `var_degree` edges each; every edge goes to the
+    /// check that is farthest from the variable in the current graph (or, when
+    /// unreachable checks exist, the unreachable check of lowest degree),
+    /// which greedily maximises girth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] when the dimensions are
+    /// degenerate (`m >= n`, zero sizes, or a variable degree that exceeds the
+    /// number of checks).
+    pub fn peg(n: usize, m: usize, var_degree: usize, seed: u64) -> Result<Self> {
+        validate_dims(n, m)?;
+        if var_degree == 0 || var_degree > m {
+            return Err(QkdError::invalid_parameter(
+                "var_degree",
+                format!("must lie in 1..={m}, got {var_degree}"),
+            ));
+        }
+        let mut rng = derive_rng(seed, "peg-construction");
+        let mut check_to_var: Vec<Vec<usize>> = vec![Vec::new(); m];
+        let mut var_to_check: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+        for v in 0..n {
+            for k in 0..var_degree {
+                let target = if k == 0 {
+                    // First edge: lowest-degree check (ties broken randomly).
+                    lowest_degree_check(&check_to_var, &mut rng, &var_to_check[v])
+                } else {
+                    // Subsequent edges: BFS from v to find the most distant
+                    // checks; among unreachable (or farthest) checks pick the
+                    // one with the lowest degree.
+                    farthest_check(&check_to_var, &var_to_check, v, &mut rng)
+                };
+                check_to_var[target].push(v);
+                var_to_check[v].push(target);
+            }
+        }
+
+        Ok(Self { n, m, check_to_var, var_to_check, construction: Construction::Peg })
+    }
+
+    /// Builds a quasi-cyclic matrix from a random protograph.
+    ///
+    /// The base graph has `m / circulant` check rows and `n / circulant`
+    /// variable columns; each base entry present is lifted to a `circulant ×
+    /// circulant` cyclic permutation with a random shift.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] when `circulant` does not divide
+    /// both dimensions or the dimensions are degenerate.
+    pub fn quasi_cyclic(n: usize, m: usize, circulant: usize, base_row_weight: usize, seed: u64) -> Result<Self> {
+        validate_dims(n, m)?;
+        if circulant == 0 || n % circulant != 0 || m % circulant != 0 {
+            return Err(QkdError::invalid_parameter(
+                "circulant",
+                format!("must divide both n={n} and m={m}"),
+            ));
+        }
+        let base_cols = n / circulant;
+        let base_rows = m / circulant;
+        if base_row_weight == 0 || base_row_weight > base_cols {
+            return Err(QkdError::invalid_parameter(
+                "base_row_weight",
+                format!("must lie in 1..={base_cols}"),
+            ));
+        }
+        if base_row_weight * base_rows < base_cols * 2 {
+            return Err(QkdError::invalid_parameter(
+                "base_row_weight",
+                format!(
+                    "too sparse: {base_rows} base rows of weight {base_row_weight} cannot give every one of {base_cols} base columns degree >= 2"
+                ),
+            ));
+        }
+        let mut rng = derive_rng(seed, "qc-construction");
+
+        // Column-driven base graph: every base column receives a target column
+        // weight (total edges / columns, at least 2), each edge going to the
+        // currently least-loaded row it is not yet connected to. This keeps
+        // both column and row degrees near-regular — weight-1 variable columns
+        // would cripple belief propagation.
+        let total_edges = base_row_weight * base_rows;
+        let col_weight = ((total_edges as f64 / base_cols as f64).round() as usize).max(2);
+        let mut base: Vec<Vec<usize>> = vec![Vec::new(); base_rows];
+        for c in 0..base_cols {
+            for _ in 0..col_weight {
+                let min_load = base
+                    .iter()
+                    .filter(|row| !row.contains(&c))
+                    .map(|row| row.len())
+                    .min()
+                    .unwrap_or(0);
+                let candidates: Vec<usize> = base
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, row)| !row.contains(&c) && row.len() == min_load)
+                    .map(|(r, _)| r)
+                    .collect();
+                if candidates.is_empty() {
+                    break;
+                }
+                let r = candidates[rng.gen_range(0..candidates.len())];
+                base[r].push(c);
+            }
+        }
+
+        let mut check_to_var: Vec<Vec<usize>> = vec![Vec::new(); m];
+        let mut var_to_check: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (br, cols) in base.iter().enumerate() {
+            for &bc in cols {
+                let shift = rng.gen_range(0..circulant);
+                for i in 0..circulant {
+                    let check = br * circulant + i;
+                    let var = bc * circulant + (i + shift) % circulant;
+                    check_to_var[check].push(var);
+                    var_to_check[var].push(check);
+                }
+            }
+        }
+
+        Ok(Self {
+            n,
+            m,
+            check_to_var,
+            var_to_check,
+            construction: Construction::QuasiCyclic { circulant },
+        })
+    }
+
+    /// Builds a matrix for the requested design rate using the construction
+    /// that suits the block size (quasi-cyclic for large blocks, PEG
+    /// otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] for degenerate rates.
+    pub fn for_rate(n: usize, rate: f64, seed: u64) -> Result<Self> {
+        if !(0.0 < rate && rate < 1.0) {
+            return Err(QkdError::invalid_parameter("rate", "must lie strictly in (0, 1)"));
+        }
+        let m = ((1.0 - rate) * n as f64).round() as usize;
+        let m = m.clamp(1, n - 1);
+        if n >= 16_384 {
+            // Hardware-friendly structured code for large blocks.
+            let circulant = 64;
+            let n_pad = n - n % circulant;
+            let m_pad = (m - m % circulant).max(circulant);
+            // Average check degree ~ var_degree / (1 - rate) with var degree 3.
+            let base_cols = n_pad / circulant;
+            let row_weight = ((3.0 / (1.0 - rate)).round() as usize).clamp(4, base_cols);
+            Self::quasi_cyclic(n_pad, m_pad, circulant, row_weight, seed)
+        } else {
+            Self::peg(n, m, 3, seed)
+        }
+    }
+}
+
+fn validate_dims(n: usize, m: usize) -> Result<()> {
+    if n == 0 || m == 0 {
+        return Err(QkdError::invalid_parameter("n/m", "dimensions must be positive"));
+    }
+    if m >= n {
+        return Err(QkdError::invalid_parameter(
+            "m",
+            format!("number of checks ({m}) must be below the block length ({n})"),
+        ));
+    }
+    Ok(())
+}
+
+fn lowest_degree_check<R: Rng + ?Sized>(
+    check_to_var: &[Vec<usize>],
+    rng: &mut R,
+    exclude: &[usize],
+) -> usize {
+    let min_deg = check_to_var
+        .iter()
+        .enumerate()
+        .filter(|(c, _)| !exclude.contains(c))
+        .map(|(_, v)| v.len())
+        .min()
+        .unwrap_or(0);
+    let candidates: Vec<usize> = check_to_var
+        .iter()
+        .enumerate()
+        .filter(|(c, v)| v.len() == min_deg && !exclude.contains(c))
+        .map(|(c, _)| c)
+        .collect();
+    candidates[rng.gen_range(0..candidates.len())]
+}
+
+/// BFS from variable `v` through the current Tanner graph; returns the check
+/// to connect next per the PEG rule.
+fn farthest_check<R: Rng + ?Sized>(
+    check_to_var: &[Vec<usize>],
+    var_to_check: &[Vec<usize>],
+    v: usize,
+    rng: &mut R,
+) -> usize {
+    let m = check_to_var.len();
+    let mut reached = vec![false; m];
+    let mut var_seen = vec![false; var_to_check.len()];
+    var_seen[v] = true;
+
+    let mut frontier_checks: Vec<usize> = var_to_check[v].clone();
+    for &c in &frontier_checks {
+        reached[c] = true;
+    }
+    let mut last_layer = frontier_checks.clone();
+
+    // Expand until no new checks are reached.
+    loop {
+        let mut next_vars = Vec::new();
+        for &c in &frontier_checks {
+            for &u in &check_to_var[c] {
+                if !var_seen[u] {
+                    var_seen[u] = true;
+                    next_vars.push(u);
+                }
+            }
+        }
+        let mut next_checks = Vec::new();
+        for &u in &next_vars {
+            for &c in &var_to_check[u] {
+                if !reached[c] {
+                    reached[c] = true;
+                    next_checks.push(c);
+                }
+            }
+        }
+        if next_checks.is_empty() {
+            break;
+        }
+        last_layer = next_checks.clone();
+        frontier_checks = next_checks;
+    }
+
+    let unreachable: Vec<usize> = (0..m).filter(|&c| !reached[c]).collect();
+    let pool = if unreachable.is_empty() { last_layer } else { unreachable };
+    // Lowest degree within the pool, random tie-break.
+    let min_deg = pool.iter().map(|&c| check_to_var[c].len()).min().unwrap_or(0);
+    let candidates: Vec<usize> =
+        pool.into_iter().filter(|&c| check_to_var[c].len() == min_deg).collect();
+    candidates[rng.gen_range(0..candidates.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkd_types::rng::derive_rng;
+
+    #[test]
+    fn peg_has_requested_degrees() {
+        let h = ParityCheckMatrix::peg(1024, 512, 3, 1).unwrap();
+        assert_eq!(h.num_vars(), 1024);
+        assert_eq!(h.num_checks(), 512);
+        assert_eq!(h.num_edges(), 1024 * 3);
+        for v in 0..1024 {
+            assert_eq!(h.var_neighbors(v).len(), 3, "variable {v}");
+        }
+        assert!((h.rate() - 0.5).abs() < 1e-9);
+        assert!((h.avg_check_degree() - 6.0).abs() < 0.01);
+        assert_eq!(h.construction(), Construction::Peg);
+    }
+
+    #[test]
+    fn peg_has_no_duplicate_edges() {
+        let h = ParityCheckMatrix::peg(512, 256, 3, 2).unwrap();
+        for v in 0..512 {
+            let mut nb = h.var_neighbors(v).to_vec();
+            nb.sort_unstable();
+            nb.dedup();
+            assert_eq!(nb.len(), h.var_neighbors(v).len(), "variable {v} has a repeated edge");
+        }
+    }
+
+    #[test]
+    fn quasi_cyclic_dimensions_and_structure() {
+        let h = ParityCheckMatrix::quasi_cyclic(1024, 256, 64, 8, 3).unwrap();
+        assert_eq!(h.num_vars(), 1024);
+        assert_eq!(h.num_checks(), 256);
+        // Every check row has exactly base_row_weight entries.
+        for c in 0..256 {
+            assert_eq!(h.check_neighbors(c).len(), 8);
+        }
+        assert!(matches!(h.construction(), Construction::QuasiCyclic { circulant: 64 }));
+    }
+
+    #[test]
+    fn quasi_cyclic_every_variable_is_protected() {
+        let h = ParityCheckMatrix::quasi_cyclic(1024, 256, 64, 8, 5).unwrap();
+        for v in 0..1024 {
+            assert!(!h.var_neighbors(v).is_empty(), "variable {v} has no checks");
+        }
+    }
+
+    #[test]
+    fn syndrome_is_linear() {
+        let mut rng = derive_rng(9, "matrix-test");
+        let h = ParityCheckMatrix::peg(256, 128, 3, 7).unwrap();
+        let a = BitVec::random(&mut rng, 256);
+        let b = BitVec::random(&mut rng, 256);
+        let sa = h.syndrome(&a);
+        let sb = h.syndrome(&b);
+        let sum = &a ^ &b;
+        assert_eq!(h.syndrome(&sum), &sa ^ &sb);
+        assert_eq!(h.syndrome(&BitVec::zeros(256)).count_ones(), 0);
+    }
+
+    #[test]
+    fn syndrome_matches_helper() {
+        let mut rng = derive_rng(10, "matrix-test");
+        let h = ParityCheckMatrix::peg(128, 64, 3, 8).unwrap();
+        let x = BitVec::random(&mut rng, 128);
+        let s = h.syndrome(&x);
+        assert!(h.syndrome_matches(&x, &s));
+        let mut y = x.clone();
+        y.flip(0);
+        assert!(!h.syndrome_matches(&y, &s));
+    }
+
+    #[test]
+    fn for_rate_picks_construction_by_size() {
+        let small = ParityCheckMatrix::for_rate(2048, 0.7, 1).unwrap();
+        assert_eq!(small.construction(), Construction::Peg);
+        assert!((small.rate() - 0.7).abs() < 0.01);
+        let large = ParityCheckMatrix::for_rate(32_768, 0.8, 1).unwrap();
+        assert!(matches!(large.construction(), Construction::QuasiCyclic { .. }));
+        assert!((large.rate() - 0.8).abs() < 0.02);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(ParityCheckMatrix::peg(0, 0, 3, 1).is_err());
+        assert!(ParityCheckMatrix::peg(100, 100, 3, 1).is_err());
+        assert!(ParityCheckMatrix::peg(100, 50, 0, 1).is_err());
+        assert!(ParityCheckMatrix::peg(100, 50, 51, 1).is_err());
+        assert!(ParityCheckMatrix::quasi_cyclic(100, 50, 7, 3, 1).is_err());
+        assert!(ParityCheckMatrix::quasi_cyclic(128, 64, 64, 0, 1).is_err());
+        assert!(ParityCheckMatrix::for_rate(1000, 0.0, 1).is_err());
+        assert!(ParityCheckMatrix::for_rate(1000, 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn construction_is_deterministic_in_the_seed() {
+        let a = ParityCheckMatrix::peg(256, 128, 3, 11).unwrap();
+        let b = ParityCheckMatrix::peg(256, 128, 3, 11).unwrap();
+        let c = ParityCheckMatrix::peg(256, 128, 3, 12).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,443 @@
+//! Rate-adaptive LDPC reconciliation protocol.
+//!
+//! [`LdpcReconciler`] owns a [`CodeLibrary`] of mother codes at several design
+//! rates for one block size. For each block it selects the highest-rate code
+//! whose redundancy covers the estimated QBER (with a safety margin), runs
+//! syndrome decoding, and falls back to progressively lower rates when the
+//! decoder fails to converge — the practical equivalent of blind
+//! reconciliation, with every disclosed syndrome counted as leakage.
+
+use serde::{Deserialize, Serialize};
+
+use qkd_types::key::binary_entropy;
+use qkd_types::rng::derive_block_rng;
+use qkd_types::{BitVec, QkdError, Result};
+
+use crate::decoder::{DecoderConfig, SyndromeDecoder};
+use crate::matrix::ParityCheckMatrix;
+
+/// Default set of mother-code design rates.
+///
+/// The low-rate tail (0.40/0.45) exists for stressed links near the abort
+/// threshold, where `1 − R` must exceed ~1.35·h(8%) ≈ 0.54.
+pub const DEFAULT_RATES: [f64; 8] = [0.4, 0.45, 0.5, 0.6, 0.7, 0.75, 0.8, 0.85];
+
+/// A library of mother codes (one per design rate) for a fixed block size,
+/// with decoders pre-built for each.
+#[derive(Debug, Clone)]
+pub struct CodeLibrary {
+    block_size: usize,
+    entries: Vec<LibraryEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct LibraryEntry {
+    rate: f64,
+    matrix: ParityCheckMatrix,
+    decoder: SyndromeDecoder,
+}
+
+impl CodeLibrary {
+    /// Builds a library for `block_size`-bit blocks at the given design rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] when `block_size` is too small
+    /// or a rate is degenerate.
+    pub fn new(block_size: usize, rates: &[f64], decoder_config: DecoderConfig, seed: u64) -> Result<Self> {
+        if block_size < 64 {
+            return Err(QkdError::invalid_parameter("block_size", "must be at least 64 bits"));
+        }
+        if rates.is_empty() {
+            return Err(QkdError::invalid_parameter("rates", "at least one design rate is required"));
+        }
+        let mut entries = Vec::with_capacity(rates.len());
+        for (i, &rate) in rates.iter().enumerate() {
+            let matrix = ParityCheckMatrix::for_rate(block_size, rate, seed.wrapping_add(i as u64))?;
+            let decoder = SyndromeDecoder::new(&matrix, decoder_config)?;
+            entries.push(LibraryEntry { rate, matrix, decoder });
+        }
+        // Sort descending by rate so "highest feasible rate" is a linear scan.
+        entries.sort_by(|a, b| b.rate.partial_cmp(&a.rate).expect("rates are finite"));
+        Ok(Self { block_size, entries })
+    }
+
+    /// Builds the default library (rates 0.5–0.85) for `block_size`.
+    ///
+    /// # Errors
+    ///
+    /// See [`CodeLibrary::new`].
+    pub fn standard(block_size: usize, seed: u64) -> Result<Self> {
+        Self::new(block_size, &DEFAULT_RATES, DecoderConfig::default(), seed)
+    }
+
+    /// The block size the library was built for.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Available design rates, highest first.
+    pub fn rates(&self) -> Vec<f64> {
+        self.entries.iter().map(|e| e.rate).collect()
+    }
+
+    /// Index of the highest-rate code whose redundancy is at least
+    /// `efficiency * h(qber)` per payload bit, or the lowest-rate code if none
+    /// qualifies.
+    pub fn select(&self, qber: f64, efficiency: f64) -> usize {
+        let needed = efficiency * binary_entropy(qber.max(1e-4));
+        self.entries
+            .iter()
+            .position(|e| (1.0 - e.rate) >= needed)
+            .unwrap_or(self.entries.len() - 1)
+    }
+}
+
+/// Configuration of the LDPC reconciler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReconcilerConfig {
+    /// Block size (codeword length) in bits.
+    pub block_size: usize,
+    /// Design rates of the mother codes.
+    pub rates: Vec<f64>,
+    /// Efficiency margin used for rate selection (`1.0` = Shannon limit;
+    /// practical values 1.1–1.3).
+    pub efficiency_target: f64,
+    /// Decoder settings shared by all codes in the library.
+    pub decoder: DecoderConfig,
+    /// Maximum number of progressively lower-rate attempts per block.
+    pub max_rate_retries: usize,
+    /// Seed for code construction and shortening-position agreement.
+    pub seed: u64,
+}
+
+impl ReconcilerConfig {
+    /// Sensible defaults for the given block size.
+    pub fn for_block_size(block_size: usize) -> Self {
+        Self {
+            block_size,
+            rates: DEFAULT_RATES.to_vec(),
+            efficiency_target: 1.35,
+            decoder: DecoderConfig::default(),
+            max_rate_retries: 3,
+            seed: 0xC0DE,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] for degenerate fields.
+    pub fn validate(&self) -> Result<()> {
+        if self.block_size < 64 {
+            return Err(QkdError::invalid_parameter("block_size", "must be at least 64 bits"));
+        }
+        if self.efficiency_target < 1.0 {
+            return Err(QkdError::invalid_parameter(
+                "efficiency_target",
+                "cannot beat the Shannon limit (must be >= 1.0)",
+            ));
+        }
+        if self.max_rate_retries == 0 {
+            return Err(QkdError::invalid_parameter("max_rate_retries", "must be at least 1"));
+        }
+        self.decoder.validate()
+    }
+}
+
+/// Result of reconciling one block with LDPC syndrome coding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LdpcOutcome {
+    /// Bob's corrected key (equal to Alice's on success).
+    pub corrected: BitVec,
+    /// Total syndrome bits disclosed across all attempts.
+    pub leaked_bits: usize,
+    /// Errors corrected in the block.
+    pub corrected_errors: usize,
+    /// Decoder iterations used by the successful attempt.
+    pub iterations: usize,
+    /// Design rate of the code that succeeded.
+    pub rate_used: f64,
+    /// Number of decode attempts (1 = first-choice rate succeeded).
+    pub attempts: usize,
+    /// One-way messages exchanged (one syndrome per attempt).
+    pub messages: usize,
+}
+
+impl LdpcOutcome {
+    /// Reconciliation efficiency `f = leak / (n · h(qber))` from the corrected
+    /// error count.
+    pub fn efficiency(&self, n: usize) -> Option<f64> {
+        if n == 0 || self.corrected_errors == 0 {
+            return None;
+        }
+        let qber = self.corrected_errors as f64 / n as f64;
+        let h = binary_entropy(qber);
+        if h <= 0.0 {
+            None
+        } else {
+            Some(self.leaked_bits as f64 / (n as f64 * h))
+        }
+    }
+}
+
+/// Rate-adaptive LDPC reconciler for fixed-size blocks.
+#[derive(Debug, Clone)]
+pub struct LdpcReconciler {
+    config: ReconcilerConfig,
+    library: CodeLibrary,
+}
+
+impl LdpcReconciler {
+    /// Builds a reconciler (and its code library) from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] when the configuration is
+    /// invalid or code construction fails.
+    pub fn new(config: ReconcilerConfig) -> Result<Self> {
+        config.validate()?;
+        let library = CodeLibrary::new(config.block_size, &config.rates, config.decoder, config.seed)?;
+        Ok(Self { config, library })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ReconcilerConfig {
+        &self.config
+    }
+
+    /// The code library in use.
+    pub fn library(&self) -> &CodeLibrary {
+        &self.library
+    }
+
+    /// Block size expected by [`LdpcReconciler::reconcile`].
+    pub fn block_size(&self) -> usize {
+        self.config.block_size
+    }
+
+    /// Reconciles `bob` against `alice` (both exactly `block_size` bits, or
+    /// shorter — shorter blocks are handled by shortening the code).
+    ///
+    /// # Errors
+    ///
+    /// * [`QkdError::DimensionMismatch`] when the keys differ in length or
+    ///   exceed the block size.
+    /// * [`QkdError::InvalidParameter`] when `estimated_qber` is outside
+    ///   `(0, 0.5)`.
+    /// * [`QkdError::ReconciliationFailed`] when no code in the library
+    ///   converges within the retry budget.
+    pub fn reconcile(&self, alice: &BitVec, bob: &BitVec, estimated_qber: f64) -> Result<LdpcOutcome> {
+        if alice.len() != bob.len() {
+            return Err(QkdError::DimensionMismatch {
+                context: "ldpc reconciliation",
+                expected: alice.len(),
+                actual: bob.len(),
+            });
+        }
+        if alice.len() > self.config.block_size || alice.is_empty() {
+            return Err(QkdError::DimensionMismatch {
+                context: "ldpc block size",
+                expected: self.config.block_size,
+                actual: alice.len(),
+            });
+        }
+        if !(0.0 < estimated_qber && estimated_qber < 0.5) {
+            return Err(QkdError::invalid_parameter("estimated_qber", "must lie strictly in (0, 0.5)"));
+        }
+
+        let n = self.config.block_size;
+        let payload = alice.len();
+        let shortened = n - payload;
+
+        // Both parties pad their key to the codeword length with agreed
+        // pseudo-random filler derived from the shared seed and block length
+        // (filler positions are the tail; values are public knowledge).
+        let (alice_word, bob_word, overrides) = if shortened > 0 {
+            let mut rng = derive_block_rng(self.config.seed, "ldpc-shortening", payload as u64);
+            let filler = BitVec::random(&mut rng, shortened);
+            let mut aw = alice.clone();
+            aw.extend_from(&filler);
+            let mut bw = bob.clone();
+            bw.extend_from(&filler);
+            // Shortened positions get a strong known-value prior. The prior
+            // sign encodes the known filler bit: positive LLR means "no error",
+            // and since both parties share the filler there is never an error
+            // at a shortened position.
+            let overrides: Vec<(usize, f64)> = (payload..n).map(|v| (v, 30.0)).collect();
+            (aw, bw, overrides)
+        } else {
+            (alice.clone(), bob.clone(), Vec::new())
+        };
+
+        let start = self.library.select(estimated_qber, self.config.efficiency_target);
+        let mut leaked = 0usize;
+        let mut attempts = 0usize;
+        let max_attempts = self.config.max_rate_retries;
+
+        for entry in self.library.entries.iter().skip(start) {
+            if attempts >= max_attempts {
+                break;
+            }
+            attempts += 1;
+            let syndrome_a = entry.matrix.syndrome(&alice_word);
+            let syndrome_b = entry.matrix.syndrome(&bob_word);
+            leaked += entry.matrix.num_checks();
+            let target = &syndrome_a ^ &syndrome_b;
+            let decode = entry.decoder.decode(&target, estimated_qber, &overrides)?;
+            if !decode.converged {
+                continue;
+            }
+            let mut corrected_word = bob_word.clone();
+            corrected_word.xor_assign(&decode.error_pattern);
+            // Sanity: syndrome now matches Alice's.
+            if entry.matrix.syndrome(&corrected_word) != syndrome_a {
+                continue;
+            }
+            let corrected = corrected_word.slice(0, payload);
+            let corrected_errors = corrected.hamming_distance(bob);
+            return Ok(LdpcOutcome {
+                corrected,
+                leaked_bits: leaked,
+                corrected_errors,
+                iterations: decode.iterations,
+                rate_used: entry.rate,
+                attempts,
+                messages: attempts,
+            });
+        }
+
+        Err(QkdError::ReconciliationFailed {
+            block: 0,
+            iterations: attempts,
+            residual_errors: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkd_types::rng::derive_rng;
+    use rand::Rng;
+
+    fn correlated(n: usize, qber: f64, seed: u64) -> (BitVec, BitVec, usize) {
+        let mut rng = derive_rng(seed, "ldpc-recon-test");
+        let alice = BitVec::random(&mut rng, n);
+        let mut bob = alice.clone();
+        let mut errs = 0;
+        for i in 0..n {
+            if rng.gen_bool(qber) {
+                bob.flip(i);
+                errs += 1;
+            }
+        }
+        (alice, bob, errs)
+    }
+
+    #[test]
+    fn library_selects_higher_rates_for_lower_qber() {
+        let lib = CodeLibrary::standard(2048, 1).unwrap();
+        let low = lib.select(0.01, 1.2);
+        let high = lib.select(0.08, 1.2);
+        let rates = lib.rates();
+        assert!(rates[low] > rates[high], "low QBER should map to a higher rate");
+        assert_eq!(lib.block_size(), 2048);
+    }
+
+    #[test]
+    fn reconciles_typical_qber_range() {
+        let reconciler = LdpcReconciler::new(ReconcilerConfig::for_block_size(4096)).unwrap();
+        for &qber in &[0.01, 0.03, 0.05] {
+            let (alice, bob, errs) = correlated(4096, qber, 100 + (qber * 1000.0) as u64);
+            let out = reconciler.reconcile(&alice, &bob, qber).unwrap();
+            assert_eq!(out.corrected, alice, "qber {qber}");
+            assert_eq!(out.corrected_errors, errs);
+            assert!(out.rate_used >= 0.5);
+        }
+    }
+
+    #[test]
+    fn leakage_and_efficiency_are_sane() {
+        let reconciler = LdpcReconciler::new(ReconcilerConfig::for_block_size(4096)).unwrap();
+        let (alice, bob, _) = correlated(4096, 0.03, 7);
+        let out = reconciler.reconcile(&alice, &bob, 0.03).unwrap();
+        let f = out.efficiency(4096).unwrap();
+        assert!(f >= 1.0, "cannot beat Shannon, f = {f}");
+        assert!(f < 2.0, "efficiency should stay moderate, f = {f}");
+        assert_eq!(out.messages, out.attempts);
+    }
+
+    #[test]
+    fn handles_short_final_block_by_shortening() {
+        let reconciler = LdpcReconciler::new(ReconcilerConfig::for_block_size(4096)).unwrap();
+        let (alice, bob, _) = correlated(3000, 0.02, 9);
+        let out = reconciler.reconcile(&alice, &bob, 0.02).unwrap();
+        assert_eq!(out.corrected, alice);
+        assert_eq!(out.corrected.len(), 3000);
+    }
+
+    #[test]
+    fn underestimated_qber_falls_back_to_lower_rate_or_fails_cleanly() {
+        let reconciler = LdpcReconciler::new(ReconcilerConfig::for_block_size(2048)).unwrap();
+        // True error rate 8%, but the caller claims 2%: the first-choice high
+        // rate cannot converge, so either a retry at a lower rate succeeds or
+        // the reconciler reports failure — it must never return a wrong key
+        // labelled as success.
+        let (alice, bob, _) = correlated(2048, 0.08, 11);
+        match reconciler.reconcile(&alice, &bob, 0.02) {
+            Ok(out) => {
+                assert_eq!(out.corrected, alice);
+                assert!(out.attempts >= 1);
+            }
+            Err(QkdError::ReconciliationFailed { .. }) => {}
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let reconciler = LdpcReconciler::new(ReconcilerConfig::for_block_size(1024)).unwrap();
+        let a = BitVec::zeros(1024);
+        let b = BitVec::zeros(1000);
+        assert!(matches!(
+            reconciler.reconcile(&a, &b, 0.02),
+            Err(QkdError::DimensionMismatch { .. })
+        ));
+        let a = BitVec::zeros(2048);
+        let b = BitVec::zeros(2048);
+        assert!(matches!(
+            reconciler.reconcile(&a, &b, 0.02),
+            Err(QkdError::DimensionMismatch { .. })
+        ));
+        let a = BitVec::zeros(1024);
+        let b = BitVec::zeros(1024);
+        assert!(reconciler.reconcile(&a, &b, 0.0).is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = ReconcilerConfig::for_block_size(1024);
+        cfg.efficiency_target = 0.9;
+        assert!(LdpcReconciler::new(cfg).is_err());
+        let mut cfg = ReconcilerConfig::for_block_size(1024);
+        cfg.block_size = 32;
+        assert!(LdpcReconciler::new(cfg).is_err());
+        let mut cfg = ReconcilerConfig::for_block_size(1024);
+        cfg.max_rate_retries = 0;
+        assert!(LdpcReconciler::new(cfg).is_err());
+        assert!(CodeLibrary::new(1024, &[], DecoderConfig::default(), 1).is_err());
+    }
+
+    #[test]
+    fn higher_qber_uses_lower_rate_and_leaks_more() {
+        let reconciler = LdpcReconciler::new(ReconcilerConfig::for_block_size(4096)).unwrap();
+        let (a1, b1, _) = correlated(4096, 0.01, 21);
+        let (a2, b2, _) = correlated(4096, 0.06, 22);
+        let low = reconciler.reconcile(&a1, &b1, 0.01).unwrap();
+        let high = reconciler.reconcile(&a2, &b2, 0.06).unwrap();
+        assert!(low.rate_used > high.rate_used);
+        assert!(low.leaked_bits < high.leaked_bits);
+    }
+}

@@ -1,0 +1,205 @@
+//! Finite-key secret-length computation.
+//!
+//! The composable finite-key bound used here follows the standard structure of
+//! decoy-state BB84 analyses (Lim et al., PRA 89, 022307 (2014), simplified to
+//! the collective-attack form):
+//!
+//! ```text
+//! ℓ = n·(1 − h(e_ph)) − leak_EC − leak_verify − 2·log2(1/ε_PA) − log2(2/ε_cor)
+//! ```
+//!
+//! where `e_ph` is the phase-error (upper-bounded QBER) estimate and the
+//! epsilon terms make the output key `ε_sec + ε_cor`-secure in the composable
+//! sense.
+
+use serde::{Deserialize, Serialize};
+
+use qkd_types::key::binary_entropy;
+use qkd_types::{QkdError, Result};
+
+/// Security parameters of the finite-key analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FiniteKeyParams {
+    /// Privacy-amplification failure probability (ε_PA).
+    pub epsilon_pa: f64,
+    /// Correctness failure probability (ε_cor).
+    pub epsilon_cor: f64,
+    /// Parameter-estimation failure probability (ε_PE); used by callers that
+    /// fold the QBER confidence bound into `phase_error`.
+    pub epsilon_pe: f64,
+}
+
+impl Default for FiniteKeyParams {
+    fn default() -> Self {
+        Self { epsilon_pa: 1e-10, epsilon_cor: 1e-15, epsilon_pe: 1e-10 }
+    }
+}
+
+impl FiniteKeyParams {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] if any epsilon is outside
+    /// `(0, 1)`.
+    pub fn validate(&self) -> Result<()> {
+        for (name, eps) in [
+            ("epsilon_pa", self.epsilon_pa),
+            ("epsilon_cor", self.epsilon_cor),
+            ("epsilon_pe", self.epsilon_pe),
+        ] {
+            if !(0.0 < eps && eps < 1.0) {
+                return Err(QkdError::invalid_parameter("epsilon", format!("{name} must lie in (0, 1)")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total composable security parameter of a key produced with these
+    /// settings.
+    pub fn total_epsilon(&self) -> f64 {
+        self.epsilon_pa + self.epsilon_cor + self.epsilon_pe
+    }
+
+    /// Bits subtracted for privacy amplification and correctness.
+    pub fn security_overhead_bits(&self) -> f64 {
+        2.0 * (1.0 / self.epsilon_pa).log2() + (2.0 / self.epsilon_cor).log2()
+    }
+}
+
+/// Result of the secret-length computation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SecretLength {
+    /// Number of secret bits that may be extracted (zero when the block is not
+    /// distillable).
+    pub secret_bits: usize,
+    /// The raw (possibly negative) value of the bound before clamping.
+    pub raw_bound: f64,
+    /// Fraction `secret_bits / n`.
+    pub secret_fraction: f64,
+}
+
+/// Computes the finite-key secret length for a reconciled block.
+///
+/// * `n` — reconciled key length in bits;
+/// * `phase_error` — upper bound on the phase-error rate (for BB84 the QBER
+///   upper bound from parameter estimation);
+/// * `leak_ec` — bits disclosed by error correction;
+/// * `leak_verify` — bits disclosed by error verification.
+///
+/// # Errors
+///
+/// Returns [`QkdError::InvalidParameter`] when `n` is zero, the phase error is
+/// outside `[0, 0.5]`, or the parameters are invalid.
+pub fn secret_length(
+    n: usize,
+    phase_error: f64,
+    leak_ec: usize,
+    leak_verify: usize,
+    params: &FiniteKeyParams,
+) -> Result<SecretLength> {
+    params.validate()?;
+    if n == 0 {
+        return Err(QkdError::invalid_parameter("n", "reconciled key must be non-empty"));
+    }
+    if !(0.0..=0.5).contains(&phase_error) {
+        return Err(QkdError::invalid_parameter("phase_error", "must lie in [0, 0.5]"));
+    }
+    let raw = n as f64 * (1.0 - binary_entropy(phase_error))
+        - leak_ec as f64
+        - leak_verify as f64
+        - params.security_overhead_bits();
+    let secret_bits = if raw > 0.0 { raw.floor() as usize } else { 0 };
+    Ok(SecretLength {
+        secret_bits,
+        raw_bound: raw,
+        secret_fraction: secret_bits as f64 / n as f64,
+    })
+}
+
+/// Asymptotic secret fraction `1 − h(q) − f·h(q)` for reconciliation
+/// efficiency `f` (clamped at zero).
+pub fn asymptotic_secret_fraction(qber: f64, reconciliation_efficiency: f64) -> f64 {
+    let h = binary_entropy(qber);
+    (1.0 - h - reconciliation_efficiency * h).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secret_length_matches_hand_computation() {
+        let params = FiniteKeyParams { epsilon_pa: 1e-10, epsilon_cor: 1e-15, epsilon_pe: 1e-10 };
+        let out = secret_length(100_000, 0.03, 25_000, 64, &params).unwrap();
+        let expected = 100_000.0 * (1.0 - binary_entropy(0.03))
+            - 25_000.0
+            - 64.0
+            - 2.0 * (1e10f64).log2()
+            - (2e15f64).log2();
+        assert!((out.raw_bound - expected).abs() < 1e-6);
+        assert_eq!(out.secret_bits, expected.floor() as usize);
+        assert!(out.secret_fraction > 0.0 && out.secret_fraction < 1.0);
+    }
+
+    #[test]
+    fn short_blocks_yield_zero_key() {
+        let out = secret_length(500, 0.05, 400, 64, &FiniteKeyParams::default()).unwrap();
+        assert_eq!(out.secret_bits, 0, "finite-size penalties dominate small blocks");
+        assert!(out.raw_bound < 0.0);
+    }
+
+    #[test]
+    fn secret_fraction_increases_with_block_size() {
+        let params = FiniteKeyParams::default();
+        let fractions: Vec<f64> = [10_000usize, 100_000, 1_000_000]
+            .iter()
+            .map(|&n| {
+                let leak = (1.2 * binary_entropy(0.02) * n as f64) as usize;
+                secret_length(n, 0.02, leak, 64, &params).unwrap().secret_fraction
+            })
+            .collect();
+        assert!(fractions[0] < fractions[1]);
+        assert!(fractions[1] < fractions[2]);
+        // Large-n limit approaches the asymptotic fraction.
+        let asym = asymptotic_secret_fraction(0.02, 1.2);
+        assert!((fractions[2] - asym).abs() < 0.01);
+    }
+
+    #[test]
+    fn higher_qber_lowers_the_fraction() {
+        let params = FiniteKeyParams::default();
+        let at = |q: f64| {
+            let n = 1_000_000;
+            let leak = (1.2 * binary_entropy(q) * n as f64) as usize;
+            secret_length(n, q, leak, 64, &params).unwrap().secret_fraction
+        };
+        assert!(at(0.01) > at(0.03));
+        assert!(at(0.03) > at(0.06));
+    }
+
+    #[test]
+    fn asymptotic_fraction_properties() {
+        assert!((asymptotic_secret_fraction(0.0, 1.2) - 1.0).abs() < 1e-12);
+        assert_eq!(asymptotic_secret_fraction(0.12, 1.2), 0.0, "beyond the BB84 threshold");
+        assert!(asymptotic_secret_fraction(0.02, 1.0) > asymptotic_secret_fraction(0.02, 1.5));
+    }
+
+    #[test]
+    fn stricter_epsilons_cost_more_bits() {
+        let loose = FiniteKeyParams { epsilon_pa: 1e-6, epsilon_cor: 1e-6, epsilon_pe: 1e-6 };
+        let tight = FiniteKeyParams { epsilon_pa: 1e-15, epsilon_cor: 1e-15, epsilon_pe: 1e-15 };
+        assert!(tight.security_overhead_bits() > loose.security_overhead_bits());
+        assert!(tight.total_epsilon() < loose.total_epsilon());
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let params = FiniteKeyParams::default();
+        assert!(secret_length(0, 0.02, 10, 0, &params).is_err());
+        assert!(secret_length(100, 0.6, 10, 0, &params).is_err());
+        let bad = FiniteKeyParams { epsilon_pa: 0.0, ..FiniteKeyParams::default() };
+        assert!(secret_length(100, 0.02, 10, 0, &bad).is_err());
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,329 @@
+//! Toeplitz universal hashing.
+//!
+//! A Toeplitz matrix `T` of size `m × n` is defined by a seed of `n + m − 1`
+//! bits `t`, with `T[j][i] = t[j + (n − 1 − i)]`. The hash of an input `x` is
+//! `y = T x` over GF(2). Equivalently, `y` is a window of the binary
+//! convolution (carry-less product) of `x` (bit-reversed) with `t`, which is
+//! what the fast implementations exploit.
+
+use serde::{Deserialize, Serialize};
+
+use qkd_types::gf2::clmul64;
+use qkd_types::{BitVec, QkdError, Result};
+
+/// Evaluation strategy for the Toeplitz hash.
+///
+/// All strategies compute exactly the same function; they differ only in cost,
+/// which is what the Figure 3 benchmark sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ToeplitzStrategy {
+    /// Bit-by-bit reference implementation, `O(n · m)` bit operations.
+    Naive,
+    /// Word-packed rows: each output bit is the parity of a 64-bit-word AND
+    /// between the input and a sliding window of the seed.
+    Packed,
+    /// Carry-less-multiply convolution: the whole product is formed as a
+    /// GF(2) polynomial multiplication, `O(n·m/64²)` word multiplies.
+    Clmul,
+}
+
+/// A Toeplitz hash instance: output length plus seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ToeplitzHash {
+    input_len: usize,
+    output_len: usize,
+    /// Seed bits, length `input_len + output_len - 1`.
+    seed: BitVec,
+}
+
+impl ToeplitzHash {
+    /// Creates a hash instance from an explicit seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::DimensionMismatch`] when the seed length is not
+    /// `input_len + output_len - 1`, and [`QkdError::InvalidParameter`] when a
+    /// length is zero or the output is longer than the input.
+    pub fn new(input_len: usize, output_len: usize, seed: BitVec) -> Result<Self> {
+        if input_len == 0 || output_len == 0 {
+            return Err(QkdError::invalid_parameter("input_len/output_len", "must be positive"));
+        }
+        if output_len > input_len {
+            return Err(QkdError::invalid_parameter(
+                "output_len",
+                "privacy amplification cannot expand the key",
+            ));
+        }
+        let expected = input_len + output_len - 1;
+        if seed.len() != expected {
+            return Err(QkdError::DimensionMismatch {
+                context: "toeplitz seed",
+                expected,
+                actual: seed.len(),
+            });
+        }
+        Ok(Self { input_len, output_len, seed })
+    }
+
+    /// Draws a random seed and creates the hash instance.
+    ///
+    /// # Errors
+    ///
+    /// See [`ToeplitzHash::new`].
+    pub fn random<R: rand::Rng + ?Sized>(input_len: usize, output_len: usize, rng: &mut R) -> Result<Self> {
+        if input_len == 0 || output_len == 0 || output_len > input_len {
+            return Err(QkdError::invalid_parameter(
+                "input_len/output_len",
+                "must be positive with output_len <= input_len",
+            ));
+        }
+        let seed = BitVec::random(rng, input_len + output_len - 1);
+        Self::new(input_len, output_len, seed)
+    }
+
+    /// Input length the hash expects.
+    pub fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    /// Output length the hash produces.
+    pub fn output_len(&self) -> usize {
+        self.output_len
+    }
+
+    /// The seed defining the Toeplitz matrix.
+    pub fn seed(&self) -> &BitVec {
+        &self.seed
+    }
+
+    /// Matrix entry `T[row][col]` (mostly useful for tests).
+    pub fn entry(&self, row: usize, col: usize) -> bool {
+        self.seed.get(row + (self.input_len - 1 - col))
+    }
+
+    /// Evaluates the hash with the chosen strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::DimensionMismatch`] when `input` has the wrong
+    /// length.
+    pub fn hash(&self, input: &BitVec, strategy: ToeplitzStrategy) -> Result<BitVec> {
+        if input.len() != self.input_len {
+            return Err(QkdError::DimensionMismatch {
+                context: "toeplitz input",
+                expected: self.input_len,
+                actual: input.len(),
+            });
+        }
+        Ok(match strategy {
+            ToeplitzStrategy::Naive => self.hash_naive(input),
+            ToeplitzStrategy::Packed => self.hash_packed(input),
+            ToeplitzStrategy::Clmul => self.hash_clmul(input),
+        })
+    }
+
+    fn hash_naive(&self, input: &BitVec) -> BitVec {
+        let mut out = BitVec::zeros(self.output_len);
+        for row in 0..self.output_len {
+            let mut acc = false;
+            for col in 0..self.input_len {
+                if self.entry(row, col) && input.get(col) {
+                    acc = !acc;
+                }
+            }
+            out.set(row, acc);
+        }
+        out
+    }
+
+    fn hash_packed(&self, input: &BitVec) -> BitVec {
+        // Output bit j is parity( input AND seed[j + n-1-i for i] ) which is a
+        // dot product of the input with the reversed seed window starting at
+        // offset j. Precompute the reversed input once, then each row is a
+        // word-wise AND/popcount against a shifted view of the seed.
+        let n = self.input_len;
+        let mut reversed = BitVec::zeros(n);
+        for i in 0..n {
+            if input.get(i) {
+                reversed.set(n - 1 - i, true);
+            }
+        }
+        let rev_words = reversed.as_words();
+        let seed_words = self.seed.as_words();
+        let seed_len = self.seed.len();
+
+        let mut out = BitVec::zeros(self.output_len);
+        for row in 0..self.output_len {
+            // Window seed[row .. row + n), compared against reversed input.
+            let mut acc = 0u64;
+            let shift = row % 64;
+            let word_off = row / 64;
+            let words_needed = (n + 63) / 64;
+            for w in 0..words_needed {
+                let lo = seed_words.get(word_off + w).copied().unwrap_or(0) >> shift;
+                let hi = if shift == 0 {
+                    0
+                } else {
+                    seed_words.get(word_off + w + 1).copied().unwrap_or(0) << (64 - shift)
+                };
+                let mut window = lo | hi;
+                // Mask the final partial word of the window.
+                if w == words_needed - 1 && n % 64 != 0 {
+                    window &= (1u64 << (n % 64)) - 1;
+                }
+                acc ^= window & rev_words[w];
+            }
+            let _ = seed_len;
+            if acc.count_ones() % 2 == 1 {
+                out.set(row, true);
+            }
+        }
+        out
+    }
+
+    fn hash_clmul(&self, input: &BitVec) -> BitVec {
+        // y[j] = sum_i x[i] · t[(j + n − 1) − i]  =  (x * t)[j + n − 1],
+        // a plain carry-less convolution. Compute the full product with
+        // word-blocked clmul and read out bits n−1 .. n−1+m.
+        let n = self.input_len;
+        let m = self.output_len;
+        let a = input.as_words();
+        let b = self.seed.as_words();
+        let prod_words = a.len() + b.len() + 1;
+        let mut prod = vec![0u64; prod_words];
+        for (i, &aw) in a.iter().enumerate() {
+            if aw == 0 {
+                continue;
+            }
+            for (j, &bw) in b.iter().enumerate() {
+                if bw == 0 {
+                    continue;
+                }
+                let (lo, hi) = clmul64(aw, bw);
+                prod[i + j] ^= lo;
+                prod[i + j + 1] ^= hi;
+            }
+        }
+        // Extract bits [n-1, n-1+m).
+        let mut out = BitVec::zeros(m);
+        for j in 0..m {
+            let bit_index = n - 1 + j;
+            if (prod[bit_index / 64] >> (bit_index % 64)) & 1 == 1 {
+                out.set(j, true);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkd_types::rng::derive_rng;
+
+    fn instance(n: usize, m: usize, seed: u64) -> (ToeplitzHash, BitVec) {
+        let mut rng = derive_rng(seed, "toeplitz-test");
+        let h = ToeplitzHash::random(n, m, &mut rng).unwrap();
+        let x = BitVec::random(&mut rng, n);
+        (h, x)
+    }
+
+    #[test]
+    fn strategies_agree() {
+        for &(n, m) in &[(64, 16), (200, 77), (1024, 512), (1000, 999), (130, 1)] {
+            let (h, x) = instance(n, m, n as u64 * 31 + m as u64);
+            let naive = h.hash(&x, ToeplitzStrategy::Naive).unwrap();
+            let packed = h.hash(&x, ToeplitzStrategy::Packed).unwrap();
+            let clmul = h.hash(&x, ToeplitzStrategy::Clmul).unwrap();
+            assert_eq!(naive, packed, "packed mismatch at ({n}, {m})");
+            assert_eq!(naive, clmul, "clmul mismatch at ({n}, {m})");
+        }
+    }
+
+    #[test]
+    fn hash_is_linear() {
+        let (h, x) = instance(256, 100, 3);
+        let mut rng = derive_rng(4, "toeplitz-test");
+        let y = BitVec::random(&mut rng, 256);
+        let hx = h.hash(&x, ToeplitzStrategy::Clmul).unwrap();
+        let hy = h.hash(&y, ToeplitzStrategy::Clmul).unwrap();
+        let hxy = h.hash(&(&x ^ &y), ToeplitzStrategy::Clmul).unwrap();
+        assert_eq!(hxy, &hx ^ &hy);
+        let zero = h.hash(&BitVec::zeros(256), ToeplitzStrategy::Naive).unwrap();
+        assert_eq!(zero.count_ones(), 0);
+    }
+
+    #[test]
+    fn matrix_entries_are_toeplitz() {
+        let (h, _) = instance(50, 20, 5);
+        for row in 1..20 {
+            for col in 1..50 {
+                assert_eq!(h.entry(row, col), h.entry(row - 1, col - 1), "({row},{col})");
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_hashes() {
+        let mut rng = derive_rng(6, "toeplitz-test");
+        let x = BitVec::random(&mut rng, 512);
+        let h1 = ToeplitzHash::random(512, 128, &mut rng).unwrap();
+        let h2 = ToeplitzHash::random(512, 128, &mut rng).unwrap();
+        assert_ne!(
+            h1.hash(&x, ToeplitzStrategy::Clmul).unwrap(),
+            h2.hash(&x, ToeplitzStrategy::Clmul).unwrap()
+        );
+    }
+
+    #[test]
+    fn output_distribution_is_balanced() {
+        // Universal hashing of a random input should give ~50% ones.
+        let (h, x) = instance(4096, 2048, 7);
+        let y = h.hash(&x, ToeplitzStrategy::Clmul).unwrap();
+        let frac = y.count_ones() as f64 / 2048.0;
+        assert!((frac - 0.5).abs() < 0.08, "ones fraction {frac}");
+    }
+
+    #[test]
+    fn collision_behaviour_is_universal_like() {
+        // For a fixed pair x != y, Pr over seeds that hashes collide should be
+        // ~2^-m; with m = 8 and 2000 trials we expect about 8 collisions.
+        let mut rng = derive_rng(8, "toeplitz-test");
+        let x = BitVec::random(&mut rng, 64);
+        let mut y = x.clone();
+        y.flip(10);
+        let mut collisions = 0;
+        let trials = 2000;
+        for _ in 0..trials {
+            let h = ToeplitzHash::random(64, 8, &mut rng).unwrap();
+            if h.hash(&x, ToeplitzStrategy::Packed).unwrap() == h.hash(&y, ToeplitzStrategy::Packed).unwrap() {
+                collisions += 1;
+            }
+        }
+        let rate = collisions as f64 / trials as f64;
+        assert!(rate < 0.02, "collision rate {rate} far above 2^-8");
+    }
+
+    #[test]
+    fn invalid_dimensions_rejected() {
+        let mut rng = derive_rng(9, "toeplitz-test");
+        assert!(ToeplitzHash::random(0, 1, &mut rng).is_err());
+        assert!(ToeplitzHash::random(10, 0, &mut rng).is_err());
+        assert!(ToeplitzHash::random(10, 11, &mut rng).is_err());
+        assert!(ToeplitzHash::new(10, 5, BitVec::zeros(13)).is_err());
+        let h = ToeplitzHash::random(100, 10, &mut rng).unwrap();
+        assert!(matches!(
+            h.hash(&BitVec::zeros(99), ToeplitzStrategy::Naive),
+            Err(QkdError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn seed_accessors() {
+        let mut rng = derive_rng(10, "toeplitz-test");
+        let h = ToeplitzHash::random(100, 40, &mut rng).unwrap();
+        assert_eq!(h.input_len(), 100);
+        assert_eq!(h.output_len(), 40);
+        assert_eq!(h.seed().len(), 139);
+    }
+}

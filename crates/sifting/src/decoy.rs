@@ -1,0 +1,194 @@
+//! Decoy-state parameter estimation (vacuum + weak decoy bounds).
+//!
+//! Implements the standard analytic lower bound on the single-photon yield
+//! `Y1` and upper bound on the single-photon error rate `e1` from observed
+//! gains/QBERs of the signal, decoy and vacuum intensity classes
+//! (Ma, Qi, Zhao & Lo, PRA 72, 012326 (2005)).
+
+use serde::{Deserialize, Serialize};
+
+use qkd_types::{QkdError, Result};
+
+/// Observed per-class counts from which decoy bounds are computed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecoyCounts {
+    /// Mean photon number of the signal state.
+    pub mu: f64,
+    /// Mean photon number of the decoy state.
+    pub nu: f64,
+    /// Observed signal gain (detections / signal pulses).
+    pub gain_signal: f64,
+    /// Observed decoy gain.
+    pub gain_decoy: f64,
+    /// Observed vacuum gain (background yield Y0 estimate).
+    pub gain_vacuum: f64,
+    /// Observed signal QBER.
+    pub qber_signal: f64,
+    /// Observed decoy QBER.
+    pub qber_decoy: f64,
+}
+
+/// Bounds produced by decoy-state analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecoyEstimate {
+    /// Lower bound on the single-photon yield `Y1`.
+    pub y1_lower: f64,
+    /// Lower bound on the single-photon gain of the signal state `Q1`.
+    pub q1_lower: f64,
+    /// Upper bound on the single-photon error rate `e1`.
+    pub e1_upper: f64,
+    /// Background yield used (`Y0`).
+    pub y0: f64,
+}
+
+impl DecoyCounts {
+    /// Validates the observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] when the intensities are not
+    /// ordered `mu > nu >= 0` or a probability lies outside `[0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.mu > self.nu && self.nu >= 0.0) {
+            return Err(QkdError::invalid_parameter("mu/nu", "require mu > nu >= 0"));
+        }
+        if self.mu + self.nu >= 2.0 * self.mu {
+            // always false given mu > nu; kept for clarity of the standard
+            // condition nu < mu which the formula requires
+        }
+        for (name, p) in [
+            ("gain_signal", self.gain_signal),
+            ("gain_decoy", self.gain_decoy),
+            ("gain_vacuum", self.gain_vacuum),
+            ("qber_signal", self.qber_signal),
+            ("qber_decoy", self.qber_decoy),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(QkdError::invalid_parameter("decoy counts", format!("{name} must lie in [0, 1]")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes the vacuum + weak decoy bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] when the observation is invalid
+    /// or internally inconsistent (e.g. negative yield bound caused by
+    /// statistical fluctuations too large for the formula).
+    pub fn estimate(&self) -> Result<DecoyEstimate> {
+        self.validate()?;
+        let mu = self.mu;
+        let nu = self.nu;
+        let y0 = self.gain_vacuum;
+
+        // Y1 lower bound (Ma et al., Eq. 34):
+        // Y1 >= (mu / (mu*nu - nu^2)) * ( Q_nu e^nu - Q_mu e^mu (nu/mu)^2
+        //        - ((mu^2 - nu^2)/mu^2) Y0 )
+        let q_mu_e = self.gain_signal * mu.exp();
+        let q_nu_e = self.gain_decoy * nu.exp();
+        let y1 = (mu / (mu * nu - nu * nu))
+            * (q_nu_e - q_mu_e * (nu * nu) / (mu * mu) - ((mu * mu - nu * nu) / (mu * mu)) * y0);
+        let y1_lower = y1.clamp(0.0, 1.0);
+        if y1 <= 0.0 {
+            return Err(QkdError::invalid_parameter(
+                "decoy estimate",
+                format!("Y1 lower bound is non-positive ({y1:.3e}); statistics insufficient"),
+            ));
+        }
+
+        // Q1 lower bound for the signal state.
+        let q1_lower = y1_lower * mu * (-mu).exp();
+
+        // e1 upper bound (Ma et al., Eq. 37 using the decoy class):
+        // e1 <= (E_nu Q_nu e^nu - e0 Y0) / (Y1 nu)
+        let e0 = 0.5;
+        let e1 = (self.qber_decoy * q_nu_e - e0 * y0) / (y1_lower * nu);
+        let e1_upper = e1.clamp(0.0, 0.5);
+
+        Ok(DecoyEstimate { y1_lower, q1_lower, e1_upper, y0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkd_simulator::{ChannelConfig, DecoyStateTheory, DetectorConfig, SourceConfig};
+    use qkd_types::PulseClass;
+
+    fn counts_from_theory(distance_km: f64) -> (DecoyCounts, DecoyStateTheory) {
+        let theory = DecoyStateTheory::new(
+            SourceConfig::typical(),
+            ChannelConfig::standard_fibre(distance_km),
+            DetectorConfig::typical_apd(),
+        );
+        let counts = DecoyCounts {
+            mu: theory.source.mu_signal,
+            nu: theory.source.mu_decoy,
+            gain_signal: theory.gain(PulseClass::Signal),
+            gain_decoy: theory.gain(PulseClass::Decoy),
+            gain_vacuum: theory.gain(PulseClass::Vacuum),
+            qber_signal: theory.qber(PulseClass::Signal),
+            qber_decoy: theory.qber(PulseClass::Decoy),
+        };
+        (counts, theory)
+    }
+
+    #[test]
+    fn bounds_are_conservative_but_close_to_truth() {
+        for d in [10.0, 50.0, 100.0] {
+            let (counts, theory) = counts_from_theory(d);
+            let est = counts.estimate().unwrap();
+            let true_y1 = theory.y1();
+            let true_e1 = theory.e1();
+            assert!(
+                est.y1_lower <= true_y1 * 1.001,
+                "Y1 bound {} must not exceed truth {} at {d} km",
+                est.y1_lower,
+                true_y1
+            );
+            assert!(
+                est.y1_lower >= true_y1 * 0.5,
+                "Y1 bound {} too loose vs {} at {d} km",
+                est.y1_lower,
+                true_y1
+            );
+            assert!(
+                est.e1_upper >= true_e1 * 0.999,
+                "e1 bound {} must not undershoot truth {} at {d} km",
+                est.e1_upper,
+                true_e1
+            );
+            assert!(est.e1_upper <= 0.5);
+        }
+    }
+
+    #[test]
+    fn q1_bound_below_signal_gain() {
+        let (counts, theory) = counts_from_theory(25.0);
+        let est = counts.estimate().unwrap();
+        assert!(est.q1_lower > 0.0);
+        assert!(est.q1_lower < theory.gain(PulseClass::Signal));
+    }
+
+    #[test]
+    fn rejects_bad_intensities() {
+        let (mut counts, _) = counts_from_theory(25.0);
+        counts.nu = counts.mu;
+        assert!(counts.estimate().is_err());
+        let (mut counts, _) = counts_from_theory(25.0);
+        counts.gain_signal = 1.5;
+        assert!(counts.estimate().is_err());
+    }
+
+    #[test]
+    fn rejects_statistically_impossible_observations() {
+        // A decoy gain far below what the vacuum gain implies forces Y1 <= 0.
+        let (mut counts, _) = counts_from_theory(25.0);
+        counts.gain_decoy = counts.gain_vacuum * 0.1;
+        counts.gain_signal *= 10.0;
+        let res = counts.estimate();
+        assert!(res.is_err());
+    }
+}

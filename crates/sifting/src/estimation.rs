@@ -1,0 +1,266 @@
+//! Random-sampling QBER estimation.
+//!
+//! Alice and Bob sacrifice a random subset of the sifted key, compare it in
+//! the clear, and use the observed disagreement fraction as the QBER estimate.
+//! The upper confidence bound uses the Hoeffding/Serfling-style additive term
+//! standard in finite-key analyses.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use qkd_types::rng::sample_indices;
+use qkd_types::{BitVec, QkdError, Result};
+
+/// Configuration of the sampling estimator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SamplingConfig {
+    /// Fraction of the sifted key disclosed for estimation (0 < f < 1).
+    pub sample_fraction: f64,
+    /// Minimum number of sampled bits regardless of the fraction.
+    pub min_sample: usize,
+    /// Failure probability of the estimate (epsilon_PE in finite-key proofs).
+    pub epsilon: f64,
+    /// QBER above which the protocol aborts.
+    pub abort_threshold: f64,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        Self { sample_fraction: 0.1, min_sample: 256, epsilon: 1e-10, abort_threshold: 0.11 }
+    }
+}
+
+impl SamplingConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] for out-of-domain fields.
+    pub fn validate(&self) -> Result<()> {
+        if !(0.0 < self.sample_fraction && self.sample_fraction < 1.0) {
+            return Err(QkdError::invalid_parameter("sample_fraction", "must lie in (0, 1)"));
+        }
+        if !(0.0 < self.epsilon && self.epsilon < 1.0) {
+            return Err(QkdError::invalid_parameter("epsilon", "must lie in (0, 1)"));
+        }
+        if !(0.0 < self.abort_threshold && self.abort_threshold <= 0.5) {
+            return Err(QkdError::invalid_parameter("abort_threshold", "must lie in (0, 0.5]"));
+        }
+        Ok(())
+    }
+}
+
+/// The abort decision compares the *observed* sample QBER against the
+/// threshold (standard operational practice — the threshold is chosen with
+/// margin below the proof's limit); the Hoeffding upper bound is still
+/// reported for use in finite-key formulas.
+///
+/// Result of QBER estimation on one block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QberEstimate {
+    /// Point estimate (errors / sample size).
+    pub observed_qber: f64,
+    /// Upper confidence bound at the configured epsilon.
+    pub upper_bound: f64,
+    /// Number of bits disclosed.
+    pub sample_size: usize,
+    /// Number of errors observed in the sample.
+    pub sample_errors: usize,
+    /// Alice's remaining (undisclosed) bits.
+    pub alice_remaining: BitVec,
+    /// Bob's remaining (undisclosed) bits.
+    pub bob_remaining: BitVec,
+    /// Indices (into the original sifted key) that were disclosed.
+    pub disclosed_indices: Vec<usize>,
+}
+
+impl QberEstimate {
+    /// Returns `true` when the observed sample QBER exceeds the given abort
+    /// threshold.
+    pub fn should_abort(&self, threshold: f64) -> bool {
+        self.observed_qber > threshold
+    }
+}
+
+/// Estimates the QBER by sampling and comparing a random subset of the sifted
+/// key, removing the disclosed bits from both sides.
+///
+/// # Errors
+///
+/// * [`QkdError::DimensionMismatch`] when Alice's and Bob's keys differ in
+///   length.
+/// * [`QkdError::InvalidParameter`] when the key is too short to sample from
+///   or the configuration is invalid.
+/// * [`QkdError::QberAboveThreshold`] when the upper bound exceeds the
+///   configured abort threshold.
+pub fn estimate_qber<R: Rng + ?Sized>(
+    alice: &BitVec,
+    bob: &BitVec,
+    config: &SamplingConfig,
+    rng: &mut R,
+) -> Result<QberEstimate> {
+    config.validate()?;
+    if alice.len() != bob.len() {
+        return Err(QkdError::DimensionMismatch {
+            context: "qber estimation",
+            expected: alice.len(),
+            actual: bob.len(),
+        });
+    }
+    let n = alice.len();
+    let sample_size = ((n as f64 * config.sample_fraction).round() as usize).max(config.min_sample);
+    if sample_size >= n {
+        return Err(QkdError::invalid_parameter(
+            "sample_fraction",
+            format!("sample of {sample_size} bits would consume the whole {n}-bit key"),
+        ));
+    }
+
+    let indices = sample_indices(rng, n, sample_size);
+    let mut errors = 0usize;
+    for &i in &indices {
+        if alice.get(i) != bob.get(i) {
+            errors += 1;
+        }
+    }
+    let observed = errors as f64 / sample_size as f64;
+    // Hoeffding deviation term: sqrt(ln(1/eps) / (2k)).
+    let deviation = ((1.0 / config.epsilon).ln() / (2.0 * sample_size as f64)).sqrt();
+    let upper = (observed + deviation).min(0.5);
+
+    let alice_remaining = alice.remove_indices(&indices);
+    let bob_remaining = bob.remove_indices(&indices);
+
+    let estimate = QberEstimate {
+        observed_qber: observed,
+        upper_bound: upper,
+        sample_size,
+        sample_errors: errors,
+        alice_remaining,
+        bob_remaining,
+        disclosed_indices: indices,
+    };
+    if estimate.should_abort(config.abort_threshold) {
+        return Err(QkdError::QberAboveThreshold {
+            qber: estimate.observed_qber,
+            threshold: config.abort_threshold,
+        });
+    }
+    Ok(estimate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkd_types::rng::derive_rng;
+
+    fn correlated_pair(n: usize, qber: f64, seed: u64) -> (BitVec, BitVec) {
+        let mut rng = derive_rng(seed, "est-test");
+        let alice = BitVec::random(&mut rng, n);
+        let mut bob = alice.clone();
+        for i in 0..n {
+            if rng.gen_bool(qber) {
+                bob.flip(i);
+            }
+        }
+        (alice, bob)
+    }
+
+    #[test]
+    fn estimate_tracks_true_qber() {
+        let (alice, bob) = correlated_pair(200_000, 0.03, 1);
+        let mut rng = derive_rng(2, "est");
+        let est = estimate_qber(&alice, &bob, &SamplingConfig::default(), &mut rng).unwrap();
+        assert!((est.observed_qber - 0.03).abs() < 0.01, "observed {}", est.observed_qber);
+        assert!(est.upper_bound >= est.observed_qber);
+        assert_eq!(est.alice_remaining.len(), 200_000 - est.sample_size);
+        assert_eq!(est.bob_remaining.len(), est.alice_remaining.len());
+    }
+
+    #[test]
+    fn disclosed_bits_are_removed_consistently() {
+        let (alice, bob) = correlated_pair(100_000, 0.05, 3);
+        let mut rng = derive_rng(4, "est");
+        let est = estimate_qber(&alice, &bob, &SamplingConfig::default(), &mut rng).unwrap();
+        // The error rate of the remaining key should still be near 5%.
+        let remaining_qber = est.alice_remaining.error_rate(&est.bob_remaining);
+        assert!((remaining_qber - 0.05).abs() < 0.02, "remaining qber {remaining_qber}");
+        // Sample + remaining must partition the original key.
+        assert_eq!(est.sample_size + est.alice_remaining.len(), alice.len());
+    }
+
+    #[test]
+    fn aborts_above_threshold() {
+        let (alice, bob) = correlated_pair(50_000, 0.15, 5);
+        let mut rng = derive_rng(6, "est");
+        let err = estimate_qber(&alice, &bob, &SamplingConfig::default(), &mut rng).unwrap_err();
+        assert!(matches!(err, QkdError::QberAboveThreshold { .. }));
+        assert!(err.is_security_abort());
+    }
+
+    #[test]
+    fn identical_keys_give_zero_estimate() {
+        let (alice, _) = correlated_pair(20_000, 0.0, 7);
+        let bob = alice.clone();
+        let mut rng = derive_rng(8, "est");
+        let est = estimate_qber(&alice, &bob, &SamplingConfig::default(), &mut rng).unwrap();
+        assert_eq!(est.observed_qber, 0.0);
+        assert_eq!(est.sample_errors, 0);
+        assert!(est.upper_bound > 0.0, "upper bound keeps a finite-size penalty");
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let a = BitVec::zeros(100);
+        let b = BitVec::zeros(99);
+        let mut rng = derive_rng(9, "est");
+        assert!(matches!(
+            estimate_qber(&a, &b, &SamplingConfig::default(), &mut rng),
+            Err(QkdError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn too_small_keys_rejected() {
+        let (alice, bob) = correlated_pair(100, 0.01, 11);
+        let mut rng = derive_rng(12, "est");
+        let err = estimate_qber(&alice, &bob, &SamplingConfig::default(), &mut rng).unwrap_err();
+        assert!(matches!(err, QkdError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut cfg = SamplingConfig::default();
+        cfg.sample_fraction = 1.5;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SamplingConfig::default();
+        cfg.epsilon = 0.0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SamplingConfig::default();
+        cfg.abort_threshold = 0.6;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn larger_samples_tighten_the_bound() {
+        let (alice, bob) = correlated_pair(400_000, 0.02, 13);
+        let mut rng = derive_rng(14, "est");
+        let small = estimate_qber(
+            &alice,
+            &bob,
+            &SamplingConfig { sample_fraction: 0.01, ..SamplingConfig::default() },
+            &mut rng,
+        )
+        .unwrap();
+        let large = estimate_qber(
+            &alice,
+            &bob,
+            &SamplingConfig { sample_fraction: 0.2, ..SamplingConfig::default() },
+            &mut rng,
+        )
+        .unwrap();
+        let small_gap = small.upper_bound - small.observed_qber;
+        let large_gap = large.upper_bound - large.observed_qber;
+        assert!(large_gap < small_gap, "bigger sample should shrink the deviation term");
+    }
+}

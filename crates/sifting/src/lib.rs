@@ -1,0 +1,33 @@
+//! Basis sifting, QBER estimation and decoy-state parameter estimation.
+//!
+//! This crate implements the first two stages of the post-processing pipeline:
+//!
+//! * [`sift`] — basis reconciliation over a batch of detection events,
+//!   producing matched sifted-key pairs for Alice and Bob;
+//! * [`estimation`] — random-sampling QBER estimation with a
+//!   Clopper–Pearson-style upper bound, plus the vacuum + weak-decoy bounds on
+//!   the single-photon yield and error rate used by the secret-key-rate
+//!   formula.
+//!
+//! # Example
+//!
+//! ```
+//! use qkd_simulator::{LinkConfig, LinkSimulator};
+//! use qkd_sifting::{sift, SiftingConfig};
+//!
+//! let mut sim = LinkSimulator::new(LinkConfig::metro_25km(), 3);
+//! let batch = sim.run_pulses(100_000);
+//! let outcome = sift(&batch.events, &SiftingConfig::default());
+//! assert_eq!(outcome.alice_bits.len(), outcome.bob_bits.len());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod decoy;
+pub mod estimation;
+pub mod sifter;
+
+pub use decoy::{DecoyCounts, DecoyEstimate};
+pub use estimation::{estimate_qber, QberEstimate, SamplingConfig};
+pub use sifter::{sift, SiftOutcome, SiftingConfig};

@@ -1,0 +1,189 @@
+//! Basis sifting over detection events.
+
+use serde::{Deserialize, Serialize};
+
+use qkd_types::{BitVec, DetectionEvent, PulseClass};
+
+/// Configuration of the sifting stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiftingConfig {
+    /// Keep only signal-class pulses in the sifted key (decoy and vacuum
+    /// detections are used for parameter estimation but carry no key bits).
+    pub signal_only: bool,
+    /// Discard double-click events instead of keeping their squashed random
+    /// bit.
+    pub discard_double_clicks: bool,
+}
+
+impl Default for SiftingConfig {
+    fn default() -> Self {
+        Self { signal_only: true, discard_double_clicks: true }
+    }
+}
+
+/// Result of sifting a batch of detection events.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SiftOutcome {
+    /// Alice's sifted bits.
+    pub alice_bits: BitVec,
+    /// Bob's sifted bits (same length as Alice's).
+    pub bob_bits: BitVec,
+    /// Pulse indices of the retained events (for audit / replay).
+    pub retained_indices: Vec<u64>,
+    /// Number of events discarded because the bases disagreed.
+    pub discarded_basis_mismatch: usize,
+    /// Number discarded because they were not signal pulses.
+    pub discarded_non_signal: usize,
+    /// Number discarded as double clicks.
+    pub discarded_double_clicks: usize,
+}
+
+impl SiftOutcome {
+    /// Sifted key length.
+    pub fn len(&self) -> usize {
+        self.alice_bits.len()
+    }
+
+    /// Returns `true` if nothing survived sifting.
+    pub fn is_empty(&self) -> bool {
+        self.alice_bits.is_empty()
+    }
+
+    /// Sifting ratio: retained / total events seen.
+    pub fn sift_ratio(&self) -> f64 {
+        let total = self.len()
+            + self.discarded_basis_mismatch
+            + self.discarded_non_signal
+            + self.discarded_double_clicks;
+        if total == 0 {
+            0.0
+        } else {
+            self.len() as f64 / total as f64
+        }
+    }
+
+    /// Ground-truth QBER of the sifted key (only meaningful in simulation,
+    /// where both sides are visible).
+    pub fn true_qber(&self) -> f64 {
+        if self.alice_bits.is_empty() {
+            0.0
+        } else {
+            self.alice_bits.error_rate(&self.bob_bits)
+        }
+    }
+}
+
+/// Performs basis sifting over a slice of detection events.
+///
+/// Events are processed in order; an event is retained when Alice's and Bob's
+/// bases match and it passes the configured filters.
+pub fn sift(events: &[DetectionEvent], config: &SiftingConfig) -> SiftOutcome {
+    let mut outcome = SiftOutcome::default();
+    for ev in events {
+        if config.signal_only && ev.pulse_class != PulseClass::Signal {
+            outcome.discarded_non_signal += 1;
+            continue;
+        }
+        if config.discard_double_clicks && ev.double_click {
+            outcome.discarded_double_clicks += 1;
+            continue;
+        }
+        if !ev.bases_match() {
+            outcome.discarded_basis_mismatch += 1;
+            continue;
+        }
+        outcome.alice_bits.push(ev.alice_bit.to_bool());
+        outcome.bob_bits.push(ev.bob_bit.to_bool());
+        outcome.retained_indices.push(ev.pulse_index);
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkd_types::{Basis, BitValue};
+
+    fn ev(
+        idx: u64,
+        class: PulseClass,
+        ab: Basis,
+        bb: Basis,
+        abit: bool,
+        bbit: bool,
+        double: bool,
+    ) -> DetectionEvent {
+        DetectionEvent {
+            pulse_index: idx,
+            pulse_class: class,
+            alice_basis: ab,
+            alice_bit: BitValue::from_bool(abit),
+            bob_basis: bb,
+            bob_bit: BitValue::from_bool(bbit),
+            dark_count: false,
+            double_click: double,
+        }
+    }
+
+    #[test]
+    fn retains_only_matching_signal_events() {
+        let events = vec![
+            ev(0, PulseClass::Signal, Basis::Rectilinear, Basis::Rectilinear, true, true, false),
+            ev(1, PulseClass::Signal, Basis::Rectilinear, Basis::Diagonal, true, false, false),
+            ev(2, PulseClass::Decoy, Basis::Diagonal, Basis::Diagonal, false, false, false),
+            ev(3, PulseClass::Signal, Basis::Diagonal, Basis::Diagonal, false, true, false),
+            ev(4, PulseClass::Signal, Basis::Diagonal, Basis::Diagonal, true, true, true),
+        ];
+        let out = sift(&events, &SiftingConfig::default());
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.retained_indices, vec![0, 3]);
+        assert_eq!(out.discarded_basis_mismatch, 1);
+        assert_eq!(out.discarded_non_signal, 1);
+        assert_eq!(out.discarded_double_clicks, 1);
+        // event 3 is an error (bits differ)
+        assert!((out.true_qber() - 0.5).abs() < 1e-12);
+        assert!((out.sift_ratio() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn keeping_all_classes_and_double_clicks() {
+        let events = vec![
+            ev(0, PulseClass::Decoy, Basis::Rectilinear, Basis::Rectilinear, true, true, false),
+            ev(1, PulseClass::Signal, Basis::Diagonal, Basis::Diagonal, false, false, true),
+        ];
+        let cfg = SiftingConfig { signal_only: false, discard_double_clicks: false };
+        let out = sift(&events, &cfg);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.discarded_non_signal, 0);
+        assert_eq!(out.discarded_double_clicks, 0);
+    }
+
+    #[test]
+    fn empty_input_produces_empty_outcome() {
+        let out = sift(&[], &SiftingConfig::default());
+        assert!(out.is_empty());
+        assert_eq!(out.sift_ratio(), 0.0);
+        assert_eq!(out.true_qber(), 0.0);
+    }
+
+    #[test]
+    fn alice_and_bob_lengths_always_match() {
+        let events: Vec<DetectionEvent> = (0..100)
+            .map(|i| {
+                ev(
+                    i,
+                    PulseClass::Signal,
+                    if i % 2 == 0 { Basis::Rectilinear } else { Basis::Diagonal },
+                    Basis::Rectilinear,
+                    i % 3 == 0,
+                    i % 5 == 0,
+                    false,
+                )
+            })
+            .collect();
+        let out = sift(&events, &SiftingConfig::default());
+        assert_eq!(out.alice_bits.len(), out.bob_bits.len());
+        assert_eq!(out.alice_bits.len(), out.retained_indices.len());
+        assert_eq!(out.len(), 50);
+    }
+}

@@ -1,0 +1,109 @@
+//! Optical fibre channel model: attenuation and polarisation misalignment.
+
+use serde::{Deserialize, Serialize};
+
+use qkd_types::{QkdError, Result};
+
+/// Configuration of the quantum channel between Alice and Bob.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelConfig {
+    /// Fibre length in kilometres.
+    pub distance_km: f64,
+    /// Fibre attenuation in dB/km (0.2 dB/km is standard SMF-28 at 1550 nm).
+    pub attenuation_db_per_km: f64,
+    /// Additional fixed insertion loss in dB (connectors, multiplexers).
+    pub insertion_loss_db: f64,
+    /// Probability that a transmitted photon flips basis-correlated value at
+    /// the receiver (optical misalignment / polarisation drift).
+    pub misalignment: f64,
+}
+
+impl ChannelConfig {
+    /// Standard single-mode fibre at 1550 nm over the given distance.
+    pub fn standard_fibre(distance_km: f64) -> Self {
+        Self {
+            distance_km,
+            attenuation_db_per_km: 0.2,
+            insertion_loss_db: 1.0,
+            misalignment: 0.01,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] when a field is negative or the
+    /// misalignment is not a probability below one half.
+    pub fn validate(&self) -> Result<()> {
+        if self.distance_km < 0.0 {
+            return Err(QkdError::invalid_parameter("distance_km", "must be non-negative"));
+        }
+        if self.attenuation_db_per_km < 0.0 {
+            return Err(QkdError::invalid_parameter("attenuation_db_per_km", "must be non-negative"));
+        }
+        if self.insertion_loss_db < 0.0 {
+            return Err(QkdError::invalid_parameter("insertion_loss_db", "must be non-negative"));
+        }
+        if !(0.0..0.5).contains(&self.misalignment) {
+            return Err(QkdError::invalid_parameter("misalignment", "must lie in [0, 0.5)"));
+        }
+        Ok(())
+    }
+
+    /// Total channel loss in dB.
+    pub fn total_loss_db(&self) -> f64 {
+        self.distance_km * self.attenuation_db_per_km + self.insertion_loss_db
+    }
+
+    /// Channel transmittance (probability a photon survives the fibre).
+    pub fn transmittance(&self) -> f64 {
+        10f64.powf(-self.total_loss_db() / 10.0)
+    }
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        Self::standard_fibre(25.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_fibre_is_valid() {
+        ChannelConfig::standard_fibre(0.0).validate().unwrap();
+        ChannelConfig::standard_fibre(200.0).validate().unwrap();
+    }
+
+    #[test]
+    fn transmittance_decreases_with_distance() {
+        let short = ChannelConfig::standard_fibre(10.0);
+        let long = ChannelConfig::standard_fibre(100.0);
+        assert!(short.transmittance() > long.transmittance());
+        // 50 km at 0.2 dB/km + 1 dB insertion = 11 dB -> ~0.0794
+        let mid = ChannelConfig::standard_fibre(50.0);
+        assert!((mid.transmittance() - 10f64.powf(-1.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_distance_transmittance_is_insertion_loss_only() {
+        let c = ChannelConfig { insertion_loss_db: 0.0, ..ChannelConfig::standard_fibre(0.0) };
+        assert!((c.transmittance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = ChannelConfig::standard_fibre(10.0);
+        c.distance_km = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = ChannelConfig::standard_fibre(10.0);
+        c.misalignment = 0.5;
+        assert!(c.validate().is_err());
+        let mut c = ChannelConfig::standard_fibre(10.0);
+        c.attenuation_db_per_km = -0.1;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Threshold single-photon detector model (InGaAs APD style).
+
+use serde::{Deserialize, Serialize};
+
+use qkd_types::{QkdError, Result};
+
+/// Configuration of Bob's detection apparatus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Detector quantum efficiency (probability a photon that reaches the
+    /// detector produces a click).
+    pub efficiency: f64,
+    /// Dark-count probability per gate per detector.
+    pub dark_count_prob: f64,
+    /// Internal optical loss of Bob's receiver in dB.
+    pub receiver_loss_db: f64,
+    /// Probability that Bob measures in the rectilinear basis.
+    pub p_rectilinear: f64,
+    /// Dead time expressed as the number of subsequent gates blocked after a
+    /// click (0 disables dead-time modelling).
+    pub dead_time_gates: u32,
+}
+
+impl DetectorConfig {
+    /// A typical gated InGaAs avalanche photodiode receiver.
+    pub fn typical_apd() -> Self {
+        Self {
+            efficiency: 0.2,
+            dark_count_prob: 5.0e-6,
+            receiver_loss_db: 2.0,
+            p_rectilinear: 0.9,
+            dead_time_gates: 0,
+        }
+    }
+
+    /// A high-efficiency superconducting nanowire (SNSPD) receiver.
+    pub fn typical_snspd() -> Self {
+        Self {
+            efficiency: 0.75,
+            dark_count_prob: 1.0e-7,
+            receiver_loss_db: 1.5,
+            p_rectilinear: 0.9,
+            dead_time_gates: 0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] when a probability is outside
+    /// its domain or the receiver loss is negative.
+    pub fn validate(&self) -> Result<()> {
+        if !(0.0 < self.efficiency && self.efficiency <= 1.0) {
+            return Err(QkdError::invalid_parameter("efficiency", "must lie in (0, 1]"));
+        }
+        if !(0.0..1.0).contains(&self.dark_count_prob) {
+            return Err(QkdError::invalid_parameter("dark_count_prob", "must lie in [0, 1)"));
+        }
+        if self.receiver_loss_db < 0.0 {
+            return Err(QkdError::invalid_parameter("receiver_loss_db", "must be non-negative"));
+        }
+        if !(0.0 < self.p_rectilinear && self.p_rectilinear < 1.0) {
+            return Err(QkdError::invalid_parameter("p_rectilinear", "must lie strictly in (0, 1)"));
+        }
+        Ok(())
+    }
+
+    /// Receiver transmittance from its internal loss.
+    pub fn receiver_transmittance(&self) -> f64 {
+        10f64.powf(-self.receiver_loss_db / 10.0)
+    }
+
+    /// Overall detection efficiency seen by a photon arriving at Bob's input
+    /// (receiver optics times detector quantum efficiency).
+    pub fn overall_efficiency(&self) -> f64 {
+        self.receiver_transmittance() * self.efficiency
+    }
+
+    /// Probability of at least one dark count across the two detectors in a
+    /// gate.
+    pub fn any_dark_count_prob(&self) -> f64 {
+        1.0 - (1.0 - self.dark_count_prob).powi(2)
+    }
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self::typical_apd()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        DetectorConfig::typical_apd().validate().unwrap();
+        DetectorConfig::typical_snspd().validate().unwrap();
+    }
+
+    #[test]
+    fn snspd_outperforms_apd() {
+        let apd = DetectorConfig::typical_apd();
+        let snspd = DetectorConfig::typical_snspd();
+        assert!(snspd.overall_efficiency() > apd.overall_efficiency());
+        assert!(snspd.dark_count_prob < apd.dark_count_prob);
+    }
+
+    #[test]
+    fn overall_efficiency_combines_loss_and_qe() {
+        let d = DetectorConfig { receiver_loss_db: 3.0103, efficiency: 0.5, ..DetectorConfig::typical_apd() };
+        assert!((d.overall_efficiency() - 0.25).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dark_count_probability_for_two_detectors() {
+        let d = DetectorConfig { dark_count_prob: 0.1, ..DetectorConfig::typical_apd() };
+        assert!((d.any_dark_count_prob() - 0.19).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut d = DetectorConfig::typical_apd();
+        d.efficiency = 0.0;
+        assert!(d.validate().is_err());
+        let mut d = DetectorConfig::typical_apd();
+        d.dark_count_prob = 1.0;
+        assert!(d.validate().is_err());
+        let mut d = DetectorConfig::typical_apd();
+        d.receiver_loss_db = -1.0;
+        assert!(d.validate().is_err());
+    }
+}

@@ -1,0 +1,350 @@
+//! Pulse-by-pulse Monte-Carlo simulation of a decoy-state BB84 link.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use qkd_types::rng::derive_rng;
+use qkd_types::{Basis, BitValue, DetectionEvent, QkdError, Result};
+
+use crate::channel::ChannelConfig;
+use crate::detector::DetectorConfig;
+use crate::source::{emit_pulse, SourceConfig};
+use crate::stats::GroundTruth;
+use crate::theory::DecoyStateTheory;
+
+/// Complete configuration of a simulated QKD link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Transmitter configuration.
+    pub source: SourceConfig,
+    /// Fibre configuration.
+    pub channel: ChannelConfig,
+    /// Receiver configuration.
+    pub detector: DetectorConfig,
+}
+
+impl LinkConfig {
+    /// A 25 km metropolitan link with APD detectors.
+    pub fn metro_25km() -> Self {
+        Self {
+            source: SourceConfig::typical(),
+            channel: ChannelConfig::standard_fibre(25.0),
+            detector: DetectorConfig::typical_apd(),
+        }
+    }
+
+    /// A 100 km backbone link with APD detectors.
+    pub fn backbone_100km() -> Self {
+        Self {
+            source: SourceConfig::typical(),
+            channel: ChannelConfig::standard_fibre(100.0),
+            detector: DetectorConfig::typical_apd(),
+        }
+    }
+
+    /// A 150 km long-haul link with SNSPD detectors.
+    pub fn longhaul_150km() -> Self {
+        Self {
+            source: SourceConfig::typical(),
+            channel: ChannelConfig::standard_fibre(150.0),
+            detector: DetectorConfig::typical_snspd(),
+        }
+    }
+
+    /// A link at an arbitrary fibre length with APD detectors.
+    pub fn at_distance(distance_km: f64) -> Self {
+        Self {
+            source: SourceConfig::typical(),
+            channel: ChannelConfig::standard_fibre(distance_km),
+            detector: DetectorConfig::typical_apd(),
+        }
+    }
+
+    /// Validates all component configurations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`QkdError::InvalidParameter`] found.
+    pub fn validate(&self) -> Result<()> {
+        self.source.validate()?;
+        self.channel.validate()?;
+        self.detector.validate()?;
+        Ok(())
+    }
+
+    /// Analytic model matching this configuration.
+    pub fn theory(&self) -> DecoyStateTheory {
+        DecoyStateTheory::new(self.source.clone(), self.channel.clone(), self.detector.clone())
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self::metro_25km()
+    }
+}
+
+/// Output of one simulation run: the detections plus ground truth.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DetectionBatch {
+    /// Detection events in pulse order.
+    pub events: Vec<DetectionEvent>,
+    /// Exact statistics of the run.
+    pub ground_truth: GroundTruth,
+    /// Number of pulses simulated to obtain the batch.
+    pub pulses_sent: u64,
+}
+
+impl DetectionBatch {
+    /// QBER among sifted signal-class detections (ground truth).
+    pub fn sifted_qber(&self) -> f64 {
+        self.ground_truth.signal_qber()
+    }
+
+    /// Number of detections that would survive sifting.
+    pub fn sifted_len(&self) -> usize {
+        self.events.iter().filter(|e| e.bases_match()).count()
+    }
+
+    /// Appends another batch (renumbering is the caller's concern).
+    pub fn merge(&mut self, other: DetectionBatch) {
+        self.events.extend(other.events);
+        self.ground_truth.merge(&other.ground_truth);
+        self.pulses_sent += other.pulses_sent;
+    }
+}
+
+/// Monte-Carlo simulator of a decoy-state BB84 link.
+///
+/// The simulator is deterministic for a given `(config, seed)` pair. Detection
+/// physics follows the standard threshold-detector model: a photon-induced
+/// click occurs with probability `1 - e^{-mu*eta}`, a dark-count click with
+/// the configured per-gate probability, and dead time suppresses the
+/// configured number of subsequent gates after any click.
+#[derive(Debug, Clone)]
+pub struct LinkSimulator {
+    config: LinkConfig,
+    theory: DecoyStateTheory,
+    rng: rand::rngs::StdRng,
+    next_pulse_index: u64,
+    dead_gates_remaining: u32,
+}
+
+impl LinkSimulator {
+    /// Creates a simulator with the given configuration and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use [`LinkConfig::validate`]
+    /// first when the configuration comes from untrusted input.
+    pub fn new(config: LinkConfig, seed: u64) -> Self {
+        config.validate().expect("invalid link configuration");
+        let theory = config.theory();
+        Self {
+            config,
+            theory,
+            rng: derive_rng(seed, "link-simulator"),
+            next_pulse_index: 0,
+            dead_gates_remaining: 0,
+        }
+    }
+
+    /// The configuration used by this simulator.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// The analytic model for this configuration.
+    pub fn theory(&self) -> &DecoyStateTheory {
+        &self.theory
+    }
+
+    /// Simulates `pulses` transmitted pulses and returns the detections.
+    pub fn run_pulses(&mut self, pulses: u64) -> DetectionBatch {
+        let mut batch = DetectionBatch::default();
+        batch.pulses_sent = pulses;
+        let eta = self.theory.eta();
+        let dark2 = self.config.detector.any_dark_count_prob();
+
+        for _ in 0..pulses {
+            let pulse_index = self.next_pulse_index;
+            self.next_pulse_index += 1;
+
+            let pulse = emit_pulse(&self.config.source, &mut self.rng);
+            batch.ground_truth.record_emitted(pulse.class, 1);
+
+            if self.dead_gates_remaining > 0 {
+                self.dead_gates_remaining -= 1;
+                continue;
+            }
+
+            // Photon-induced click at Bob.
+            let p_photon_click = 1.0 - (-pulse.intensity * eta).exp();
+            let photon_click = self.rng.gen_bool(p_photon_click.clamp(0.0, 1.0));
+            // Dark-count click (either detector).
+            let dark_click = self.rng.gen_bool(dark2.clamp(0.0, 1.0));
+
+            if !photon_click && !dark_click {
+                continue;
+            }
+
+            let bob_basis = if self.rng.gen_bool(self.config.detector.p_rectilinear) {
+                Basis::Rectilinear
+            } else {
+                Basis::Diagonal
+            };
+
+            // Determine Bob's registered bit.
+            let double_click = photon_click && dark_click && self.rng.gen_bool(0.5);
+            let bob_bit = if double_click {
+                // Squashing model: assign a random bit.
+                BitValue::from_bool(self.rng.gen_bool(0.5))
+            } else if photon_click {
+                if bob_basis == pulse.basis {
+                    // Misalignment flips the bit with probability e_mis.
+                    if self.rng.gen_bool(self.config.channel.misalignment) {
+                        pulse.bit.flipped()
+                    } else {
+                        pulse.bit
+                    }
+                } else {
+                    // Wrong basis: outcome is uniformly random.
+                    BitValue::from_bool(self.rng.gen_bool(0.5))
+                }
+            } else {
+                // Pure dark count: uniformly random outcome.
+                BitValue::from_bool(self.rng.gen_bool(0.5))
+            };
+
+            let event = DetectionEvent {
+                pulse_index,
+                pulse_class: pulse.class,
+                alice_basis: pulse.basis,
+                alice_bit: pulse.bit,
+                bob_basis,
+                bob_bit,
+                dark_count: dark_click && !photon_click,
+                double_click,
+            };
+            batch.ground_truth.record_detection(&event);
+            batch.events.push(event);
+
+            if self.config.detector.dead_time_gates > 0 {
+                self.dead_gates_remaining = self.config.detector.dead_time_gates;
+            }
+        }
+        batch
+    }
+
+    /// Runs the simulator until at least `target` sifted signal-class
+    /// detections have been produced, in chunks of `chunk_pulses`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] if the analytic detection rate is
+    /// so low that reaching the target would take more than `max_pulses`
+    /// pulses.
+    pub fn run_until_sifted(
+        &mut self,
+        target: usize,
+        chunk_pulses: u64,
+        max_pulses: u64,
+    ) -> Result<DetectionBatch> {
+        let expected_per_pulse = self.theory.gain(qkd_types::PulseClass::Signal)
+            * self.config.source.p_signal
+            * 0.8; // conservative sifting factor
+        if expected_per_pulse <= 0.0 || (target as f64 / expected_per_pulse) > max_pulses as f64 {
+            return Err(QkdError::invalid_parameter(
+                "target",
+                format!("reaching {target} sifted bits would exceed the {max_pulses}-pulse budget"),
+            ));
+        }
+        let mut batch = DetectionBatch::default();
+        while batch.events.iter().filter(|e| e.bases_match()).count() < target {
+            if batch.pulses_sent >= max_pulses {
+                return Err(QkdError::invalid_parameter(
+                    "max_pulses",
+                    "pulse budget exhausted before reaching the sifted-bit target",
+                ));
+            }
+            let chunk = self.run_pulses(chunk_pulses);
+            batch.merge(chunk);
+        }
+        Ok(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkd_types::PulseClass;
+
+    #[test]
+    fn empirical_gain_matches_theory() {
+        let config = LinkConfig::metro_25km();
+        let theory = config.theory();
+        let mut sim = LinkSimulator::new(config, 42);
+        let batch = sim.run_pulses(400_000);
+        let empirical = batch.ground_truth.class(PulseClass::Signal).gain();
+        let expected = theory.gain(PulseClass::Signal);
+        let rel = (empirical - expected).abs() / expected;
+        assert!(rel < 0.15, "empirical gain {empirical} vs theory {expected}");
+    }
+
+    #[test]
+    fn empirical_qber_matches_theory() {
+        let config = LinkConfig::metro_25km();
+        let theory = config.theory();
+        let mut sim = LinkSimulator::new(config, 43);
+        let batch = sim.run_pulses(600_000);
+        let empirical = batch.sifted_qber();
+        let expected = theory.qber(PulseClass::Signal);
+        assert!(
+            (empirical - expected).abs() < 0.01,
+            "empirical QBER {empirical} vs theory {expected}"
+        );
+    }
+
+    #[test]
+    fn longer_fibre_yields_fewer_detections() {
+        let mut near = LinkSimulator::new(LinkConfig::at_distance(10.0), 1);
+        let mut far = LinkSimulator::new(LinkConfig::at_distance(120.0), 1);
+        let n_near = near.run_pulses(100_000).events.len();
+        let n_far = far.run_pulses(100_000).events.len();
+        assert!(n_near > n_far * 3, "near {n_near} vs far {n_far}");
+    }
+
+    #[test]
+    fn simulation_is_deterministic_for_a_seed() {
+        let a = LinkSimulator::new(LinkConfig::metro_25km(), 9).run_pulses(50_000);
+        let b = LinkSimulator::new(LinkConfig::metro_25km(), 9).run_pulses(50_000);
+        assert_eq!(a.events.len(), b.events.len());
+        assert_eq!(a.events, b.events);
+        let c = LinkSimulator::new(LinkConfig::metro_25km(), 10).run_pulses(50_000);
+        assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn run_until_sifted_reaches_target() {
+        let mut sim = LinkSimulator::new(LinkConfig::metro_25km(), 5);
+        let batch = sim.run_until_sifted(2_000, 50_000, 10_000_000).unwrap();
+        assert!(batch.sifted_len() >= 2_000);
+    }
+
+    #[test]
+    fn run_until_sifted_rejects_impossible_targets() {
+        let mut sim = LinkSimulator::new(LinkConfig::at_distance(200.0), 5);
+        let err = sim.run_until_sifted(1_000_000, 10_000, 100_000).unwrap_err();
+        assert!(matches!(err, QkdError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn dead_time_reduces_detection_count() {
+        let mut cfg = LinkConfig::at_distance(5.0);
+        cfg.detector.dead_time_gates = 0;
+        let without = LinkSimulator::new(cfg.clone(), 3).run_pulses(100_000).events.len();
+        cfg.detector.dead_time_gates = 20;
+        let with = LinkSimulator::new(cfg, 3).run_pulses(100_000).events.len();
+        assert!(with < without, "dead time should suppress clicks: {with} vs {without}");
+    }
+}

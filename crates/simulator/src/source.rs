@@ -1,0 +1,211 @@
+//! Decoy-state weak-coherent-pulse source model.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use qkd_types::{Basis, BitValue, PulseClass, QkdError, Result};
+
+/// Configuration of Alice's decoy-state transmitter.
+///
+/// The three intensity classes follow the standard vacuum + weak-decoy scheme:
+/// a signal state carrying key bits and two weaker states used only for
+/// parameter estimation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceConfig {
+    /// Mean photon number of the signal state (typically 0.4–0.7).
+    pub mu_signal: f64,
+    /// Mean photon number of the decoy state (typically 0.05–0.2).
+    pub mu_decoy: f64,
+    /// Mean photon number of the vacuum state (0 or a tiny residual).
+    pub mu_vacuum: f64,
+    /// Probability of emitting a signal pulse.
+    pub p_signal: f64,
+    /// Probability of emitting a decoy pulse.
+    pub p_decoy: f64,
+    /// Probability of emitting a vacuum pulse.
+    pub p_vacuum: f64,
+    /// Probability that Alice prepares in the rectilinear basis (basis bias;
+    /// efficient BB84 uses a value above 0.5).
+    pub p_rectilinear: f64,
+    /// Pulse repetition rate in Hz (used to convert counts to rates).
+    pub pulse_rate_hz: f64,
+}
+
+impl SourceConfig {
+    /// A typical GHz-clocked decoy-state transmitter.
+    pub fn typical() -> Self {
+        Self {
+            mu_signal: 0.5,
+            mu_decoy: 0.1,
+            mu_vacuum: 0.0,
+            p_signal: 0.875,
+            p_decoy: 0.0625,
+            p_vacuum: 0.0625,
+            p_rectilinear: 0.9,
+            pulse_rate_hz: 1.0e9,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] if intensities are negative, the
+    /// class probabilities do not sum to one, or the basis bias is outside
+    /// `(0, 1)`.
+    pub fn validate(&self) -> Result<()> {
+        if self.mu_signal <= 0.0 {
+            return Err(QkdError::invalid_parameter("mu_signal", "must be positive"));
+        }
+        if self.mu_decoy < 0.0 || self.mu_vacuum < 0.0 {
+            return Err(QkdError::invalid_parameter("mu_decoy/mu_vacuum", "must be non-negative"));
+        }
+        if self.mu_decoy >= self.mu_signal {
+            return Err(QkdError::invalid_parameter(
+                "mu_decoy",
+                "decoy intensity must be below the signal intensity",
+            ));
+        }
+        let sum = self.p_signal + self.p_decoy + self.p_vacuum;
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(QkdError::invalid_parameter(
+                "p_signal+p_decoy+p_vacuum",
+                format!("class probabilities must sum to 1, got {sum}"),
+            ));
+        }
+        if !(self.p_signal > 0.0 && self.p_decoy >= 0.0 && self.p_vacuum >= 0.0) {
+            return Err(QkdError::invalid_parameter("class probabilities", "must be non-negative"));
+        }
+        if !(0.0 < self.p_rectilinear && self.p_rectilinear < 1.0) {
+            return Err(QkdError::invalid_parameter("p_rectilinear", "must lie strictly in (0, 1)"));
+        }
+        if self.pulse_rate_hz <= 0.0 {
+            return Err(QkdError::invalid_parameter("pulse_rate_hz", "must be positive"));
+        }
+        Ok(())
+    }
+
+    /// Mean photon number of a pulse class.
+    pub fn intensity(&self, class: PulseClass) -> f64 {
+        match class {
+            PulseClass::Signal => self.mu_signal,
+            PulseClass::Decoy => self.mu_decoy,
+            PulseClass::Vacuum => self.mu_vacuum,
+        }
+    }
+
+    /// Emission probability of a pulse class.
+    pub fn class_probability(&self, class: PulseClass) -> f64 {
+        match class {
+            PulseClass::Signal => self.p_signal,
+            PulseClass::Decoy => self.p_decoy,
+            PulseClass::Vacuum => self.p_vacuum,
+        }
+    }
+}
+
+impl Default for SourceConfig {
+    fn default() -> Self {
+        Self::typical()
+    }
+}
+
+/// One pulse leaving Alice's transmitter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmittedPulse {
+    /// Intensity class of the pulse.
+    pub class: PulseClass,
+    /// Basis Alice prepared in.
+    pub basis: Basis,
+    /// Bit value Alice encoded.
+    pub bit: BitValue,
+    /// Mean photon number of this pulse.
+    pub intensity: f64,
+}
+
+/// Samples one pulse from the source.
+pub fn emit_pulse<R: Rng + ?Sized>(config: &SourceConfig, rng: &mut R) -> EmittedPulse {
+    let roll: f64 = rng.gen();
+    let class = if roll < config.p_signal {
+        PulseClass::Signal
+    } else if roll < config.p_signal + config.p_decoy {
+        PulseClass::Decoy
+    } else {
+        PulseClass::Vacuum
+    };
+    let basis = if rng.gen_bool(config.p_rectilinear) { Basis::Rectilinear } else { Basis::Diagonal };
+    let bit = BitValue::from_bool(rng.gen_bool(0.5));
+    EmittedPulse { class, basis, bit, intensity: config.intensity(class) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkd_types::rng::derive_rng;
+
+    #[test]
+    fn typical_config_is_valid() {
+        SourceConfig::typical().validate().unwrap();
+        SourceConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = SourceConfig::typical();
+        c.mu_signal = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = SourceConfig::typical();
+        c.mu_decoy = 0.9;
+        assert!(c.validate().is_err());
+
+        let mut c = SourceConfig::typical();
+        c.p_signal = 0.5;
+        assert!(c.validate().is_err(), "probabilities no longer sum to one");
+
+        let mut c = SourceConfig::typical();
+        c.p_rectilinear = 1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn intensity_and_probability_accessors() {
+        let c = SourceConfig::typical();
+        assert_eq!(c.intensity(PulseClass::Signal), c.mu_signal);
+        assert_eq!(c.intensity(PulseClass::Vacuum), c.mu_vacuum);
+        assert_eq!(c.class_probability(PulseClass::Decoy), c.p_decoy);
+    }
+
+    #[test]
+    fn emitted_class_frequencies_match_probabilities() {
+        let c = SourceConfig::typical();
+        let mut rng = derive_rng(11, "source-test");
+        let n = 200_000;
+        let mut signal = 0usize;
+        let mut rect = 0usize;
+        for _ in 0..n {
+            let p = emit_pulse(&c, &mut rng);
+            if p.class == PulseClass::Signal {
+                signal += 1;
+            }
+            if p.basis == Basis::Rectilinear {
+                rect += 1;
+            }
+        }
+        let f_signal = signal as f64 / n as f64;
+        let f_rect = rect as f64 / n as f64;
+        assert!((f_signal - c.p_signal).abs() < 0.01, "signal fraction {f_signal}");
+        assert!((f_rect - c.p_rectilinear).abs() < 0.01, "rectilinear fraction {f_rect}");
+    }
+
+    #[test]
+    fn emitted_bits_are_balanced() {
+        let c = SourceConfig::typical();
+        let mut rng = derive_rng(12, "source-test");
+        let ones = (0..100_000)
+            .filter(|_| emit_pulse(&c, &mut rng).bit == BitValue::One)
+            .count();
+        let frac = ones as f64 / 100_000.0;
+        assert!((frac - 0.5).abs() < 0.02, "bit balance {frac}");
+    }
+}

@@ -1,0 +1,215 @@
+//! Ground-truth statistics accumulated during simulation.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use qkd_types::{DetectionEvent, PulseClass};
+
+/// Per-pulse-class counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassCounters {
+    /// Pulses emitted in this class.
+    pub emitted: u64,
+    /// Pulses of this class that produced a detection.
+    pub detected: u64,
+    /// Detections whose bases matched (sifted).
+    pub sifted: u64,
+    /// Sifted detections whose bits disagreed (errors).
+    pub errors: u64,
+}
+
+impl ClassCounters {
+    /// Empirical gain (detections / emitted), or 0 when nothing was emitted.
+    pub fn gain(&self) -> f64 {
+        if self.emitted == 0 {
+            0.0
+        } else {
+            self.detected as f64 / self.emitted as f64
+        }
+    }
+
+    /// Empirical QBER among sifted detections, or 0 when nothing was sifted.
+    pub fn qber(&self) -> f64 {
+        if self.sifted == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.sifted as f64
+        }
+    }
+}
+
+/// Ground truth for a simulated batch: exact per-class gains and error rates,
+/// which the estimation stage never sees but tests and experiments compare
+/// against.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Total pulses simulated.
+    pub pulses: u64,
+    /// Counters per pulse class.
+    pub per_class: HashMap<PulseClassKey, ClassCounters>,
+    /// Number of detections caused purely by dark counts.
+    pub dark_count_detections: u64,
+    /// Number of double-click events.
+    pub double_clicks: u64,
+}
+
+/// Hashable key for [`PulseClass`] (kept separate so the map serialises as a
+/// plain string-keyed object).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum PulseClassKey {
+    /// Signal pulses.
+    Signal,
+    /// Decoy pulses.
+    Decoy,
+    /// Vacuum pulses.
+    Vacuum,
+}
+
+impl From<PulseClass> for PulseClassKey {
+    fn from(c: PulseClass) -> Self {
+        match c {
+            PulseClass::Signal => PulseClassKey::Signal,
+            PulseClass::Decoy => PulseClassKey::Decoy,
+            PulseClass::Vacuum => PulseClassKey::Vacuum,
+        }
+    }
+}
+
+impl GroundTruth {
+    /// Creates empty ground-truth counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `count` pulses of `class` were emitted.
+    pub fn record_emitted(&mut self, class: PulseClass, count: u64) {
+        self.per_class.entry(class.into()).or_default().emitted += count;
+        self.pulses += count;
+    }
+
+    /// Records one detection event.
+    pub fn record_detection(&mut self, event: &DetectionEvent) {
+        let c = self.per_class.entry(event.pulse_class.into()).or_default();
+        c.detected += 1;
+        if event.bases_match() {
+            c.sifted += 1;
+            if event.is_error() {
+                c.errors += 1;
+            }
+        }
+        if event.dark_count {
+            self.dark_count_detections += 1;
+        }
+        if event.double_click {
+            self.double_clicks += 1;
+        }
+    }
+
+    /// Counters for a pulse class (zeroes if the class never appeared).
+    pub fn class(&self, class: PulseClass) -> ClassCounters {
+        self.per_class.get(&class.into()).copied().unwrap_or_default()
+    }
+
+    /// Overall sifted QBER across all pulse classes.
+    pub fn overall_sifted_qber(&self) -> f64 {
+        let (sifted, errors) = self
+            .per_class
+            .values()
+            .fold((0u64, 0u64), |(s, e), c| (s + c.sifted, e + c.errors));
+        if sifted == 0 {
+            0.0
+        } else {
+            errors as f64 / sifted as f64
+        }
+    }
+
+    /// QBER of the signal class only (the one that matters for key).
+    pub fn signal_qber(&self) -> f64 {
+        self.class(PulseClass::Signal).qber()
+    }
+
+    /// Merges another set of counters into this one.
+    pub fn merge(&mut self, other: &GroundTruth) {
+        self.pulses += other.pulses;
+        self.dark_count_detections += other.dark_count_detections;
+        self.double_clicks += other.double_clicks;
+        for (k, v) in &other.per_class {
+            let c = self.per_class.entry(*k).or_default();
+            c.emitted += v.emitted;
+            c.detected += v.detected;
+            c.sifted += v.sifted;
+            c.errors += v.errors;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkd_types::{Basis, BitValue};
+
+    fn event(class: PulseClass, error: bool, matched: bool) -> DetectionEvent {
+        DetectionEvent {
+            pulse_index: 0,
+            pulse_class: class,
+            alice_basis: Basis::Rectilinear,
+            alice_bit: BitValue::Zero,
+            bob_basis: if matched { Basis::Rectilinear } else { Basis::Diagonal },
+            bob_bit: if error { BitValue::One } else { BitValue::Zero },
+            dark_count: false,
+            double_click: false,
+        }
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut gt = GroundTruth::new();
+        gt.record_emitted(PulseClass::Signal, 100);
+        gt.record_detection(&event(PulseClass::Signal, false, true));
+        gt.record_detection(&event(PulseClass::Signal, true, true));
+        gt.record_detection(&event(PulseClass::Signal, true, false));
+        let c = gt.class(PulseClass::Signal);
+        assert_eq!(c.emitted, 100);
+        assert_eq!(c.detected, 3);
+        assert_eq!(c.sifted, 2);
+        assert_eq!(c.errors, 1);
+        assert!((c.gain() - 0.03).abs() < 1e-12);
+        assert!((c.qber() - 0.5).abs() < 1e-12);
+        assert!((gt.signal_qber() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counters_have_zero_rates() {
+        let gt = GroundTruth::new();
+        assert_eq!(gt.class(PulseClass::Decoy).gain(), 0.0);
+        assert_eq!(gt.overall_sifted_qber(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = GroundTruth::new();
+        a.record_emitted(PulseClass::Signal, 10);
+        a.record_detection(&event(PulseClass::Signal, false, true));
+        let mut b = GroundTruth::new();
+        b.record_emitted(PulseClass::Signal, 20);
+        b.record_detection(&event(PulseClass::Signal, true, true));
+        a.merge(&b);
+        assert_eq!(a.pulses, 30);
+        let c = a.class(PulseClass::Signal);
+        assert_eq!(c.emitted, 30);
+        assert_eq!(c.sifted, 2);
+        assert_eq!(c.errors, 1);
+    }
+
+    #[test]
+    fn dark_and_double_click_counters() {
+        let mut gt = GroundTruth::new();
+        let mut e = event(PulseClass::Decoy, false, true);
+        e.dark_count = true;
+        e.double_click = true;
+        gt.record_detection(&e);
+        assert_eq!(gt.dark_count_detections, 1);
+        assert_eq!(gt.double_clicks, 1);
+    }
+}

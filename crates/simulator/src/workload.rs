@@ -1,0 +1,232 @@
+//! Fast correlated-key workload generation for benchmarks.
+//!
+//! The Monte-Carlo [`crate::LinkSimulator`] is faithful but slow when a
+//! benchmark only needs "a pair of 1 Mbit sifted keys differing in 2% of
+//! positions". [`CorrelatedKeySource`] produces exactly that: Alice's block is
+//! uniform, Bob's block is Alice's with i.i.d. bit flips at the target QBER,
+//! which is the post-sifting error model of a depolarising BB84 channel.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use qkd_types::rng::derive_block_rng;
+use qkd_types::{BitVec, BlockId, QkdError, Result};
+
+/// Named workload presets mirroring the link distances used in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadPreset {
+    /// Short metro link: QBER ≈ 1%, high raw rate.
+    Metro,
+    /// Regional backbone: QBER ≈ 2.5%.
+    Backbone,
+    /// Long haul: QBER ≈ 4.5%.
+    LongHaul,
+    /// Stressed link near the abort threshold: QBER ≈ 8%.
+    Stressed,
+}
+
+impl WorkloadPreset {
+    /// All presets in increasing-QBER order.
+    pub const ALL: [WorkloadPreset; 4] = [
+        WorkloadPreset::Metro,
+        WorkloadPreset::Backbone,
+        WorkloadPreset::LongHaul,
+        WorkloadPreset::Stressed,
+    ];
+
+    /// The target QBER of the preset.
+    pub fn qber(self) -> f64 {
+        match self {
+            WorkloadPreset::Metro => 0.01,
+            WorkloadPreset::Backbone => 0.025,
+            WorkloadPreset::LongHaul => 0.045,
+            WorkloadPreset::Stressed => 0.08,
+        }
+    }
+
+    /// A short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadPreset::Metro => "metro",
+            WorkloadPreset::Backbone => "backbone",
+            WorkloadPreset::LongHaul => "long-haul",
+            WorkloadPreset::Stressed => "stressed",
+        }
+    }
+}
+
+/// A pair of correlated sifted-key blocks (Alice's and Bob's view).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrelatedBlock {
+    /// Block identity.
+    pub id: BlockId,
+    /// Alice's sifted bits.
+    pub alice: BitVec,
+    /// Bob's sifted bits (Alice's with channel errors applied).
+    pub bob: BitVec,
+    /// Number of flipped positions (ground truth).
+    pub true_errors: usize,
+    /// The QBER the block was generated at.
+    pub target_qber: f64,
+}
+
+impl CorrelatedBlock {
+    /// Block length in bits.
+    pub fn len(&self) -> usize {
+        self.alice.len()
+    }
+
+    /// Returns `true` when the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.alice.is_empty()
+    }
+
+    /// The realised error rate of the block.
+    pub fn actual_qber(&self) -> f64 {
+        if self.alice.is_empty() {
+            0.0
+        } else {
+            self.true_errors as f64 / self.alice.len() as f64
+        }
+    }
+}
+
+/// Generator of correlated sifted-key blocks at a fixed target QBER.
+#[derive(Debug, Clone)]
+pub struct CorrelatedKeySource {
+    block_bits: usize,
+    qber: f64,
+    seed: u64,
+    next_sequence: u64,
+    epoch: u64,
+}
+
+impl CorrelatedKeySource {
+    /// Creates a source of `block_bits`-bit blocks at `qber`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] when `block_bits` is zero or
+    /// `qber` is outside `[0, 0.5)`.
+    pub fn new(block_bits: usize, qber: f64, seed: u64) -> Result<Self> {
+        if block_bits == 0 {
+            return Err(QkdError::invalid_parameter("block_bits", "must be positive"));
+        }
+        if !(0.0..0.5).contains(&qber) {
+            return Err(QkdError::invalid_parameter("qber", "must lie in [0, 0.5)"));
+        }
+        Ok(Self { block_bits, qber, seed, next_sequence: 0, epoch: 0 })
+    }
+
+    /// Creates a source from a named preset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] when `block_bits` is zero.
+    pub fn from_preset(preset: WorkloadPreset, block_bits: usize, seed: u64) -> Result<Self> {
+        Self::new(block_bits, preset.qber(), seed)
+    }
+
+    /// The block size in bits.
+    pub fn block_bits(&self) -> usize {
+        self.block_bits
+    }
+
+    /// The target QBER.
+    pub fn qber(&self) -> f64 {
+        self.qber
+    }
+
+    /// Advances to the next epoch (resets the sequence counter).
+    pub fn next_epoch(&mut self) {
+        self.epoch += 1;
+        self.next_sequence = 0;
+    }
+
+    /// Generates the next correlated block.
+    pub fn next_block(&mut self) -> CorrelatedBlock {
+        let id = BlockId::new(self.epoch, self.next_sequence);
+        self.next_sequence += 1;
+        let mut rng = derive_block_rng(self.seed, "correlated-key", id.as_u64());
+        let alice = BitVec::random(&mut rng, self.block_bits);
+        let mut bob = alice.clone();
+        let mut true_errors = 0usize;
+        for i in 0..self.block_bits {
+            if rng.gen_bool(self.qber) {
+                bob.flip(i);
+                true_errors += 1;
+            }
+        }
+        CorrelatedBlock { id, alice, bob, true_errors, target_qber: self.qber }
+    }
+
+    /// Generates `count` blocks.
+    pub fn blocks(&mut self, count: usize) -> Vec<CorrelatedBlock> {
+        (0..count).map(|_| self.next_block()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_qber() {
+        let qbers: Vec<f64> = WorkloadPreset::ALL.iter().map(|p| p.qber()).collect();
+        for w in qbers.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(WorkloadPreset::Metro.label(), "metro");
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(CorrelatedKeySource::new(0, 0.02, 1).is_err());
+        assert!(CorrelatedKeySource::new(1024, 0.5, 1).is_err());
+        assert!(CorrelatedKeySource::new(1024, -0.1, 1).is_err());
+    }
+
+    #[test]
+    fn block_error_rate_is_near_target() {
+        let mut src = CorrelatedKeySource::new(100_000, 0.03, 7).unwrap();
+        let blk = src.next_block();
+        assert_eq!(blk.len(), 100_000);
+        assert_eq!(blk.alice.hamming_distance(&blk.bob), blk.true_errors);
+        assert!((blk.actual_qber() - 0.03).abs() < 0.005, "qber {}", blk.actual_qber());
+    }
+
+    #[test]
+    fn zero_qber_blocks_are_identical() {
+        let mut src = CorrelatedKeySource::new(4096, 0.0, 3).unwrap();
+        let blk = src.next_block();
+        assert_eq!(blk.alice, blk.bob);
+        assert_eq!(blk.true_errors, 0);
+    }
+
+    #[test]
+    fn blocks_are_deterministic_per_seed_and_id() {
+        let mut a = CorrelatedKeySource::new(2048, 0.02, 11).unwrap();
+        let mut b = CorrelatedKeySource::new(2048, 0.02, 11).unwrap();
+        assert_eq!(a.next_block(), b.next_block());
+        assert_eq!(a.next_block().id, BlockId::new(0, 1));
+        let mut c = CorrelatedKeySource::new(2048, 0.02, 12).unwrap();
+        assert_ne!(b.next_block().alice, c.next_block().alice);
+    }
+
+    #[test]
+    fn epochs_reset_sequence_numbers() {
+        let mut src = CorrelatedKeySource::new(64, 0.01, 1).unwrap();
+        let _ = src.next_block();
+        src.next_epoch();
+        let blk = src.next_block();
+        assert_eq!(blk.id, BlockId::new(1, 0));
+    }
+
+    #[test]
+    fn generates_requested_number_of_blocks() {
+        let mut src = CorrelatedKeySource::from_preset(WorkloadPreset::Backbone, 512, 5).unwrap();
+        let blocks = src.blocks(10);
+        assert_eq!(blocks.len(), 10);
+        assert!(blocks.iter().all(|b| b.target_qber == WorkloadPreset::Backbone.qber()));
+    }
+}

@@ -1,0 +1,724 @@
+//! Packed bit strings.
+//!
+//! [`BitVec`] stores bits in 64-bit words (LSB-first within a word). It is the
+//! workhorse container for raw, sifted, reconciled and secret keys as well as
+//! for LDPC codewords, syndromes and Toeplitz hash inputs. All hot operations
+//! (XOR, Hamming weight/distance, parity) work word-at-a-time.
+
+use std::fmt;
+use std::ops::{BitXor, BitXorAssign, Index};
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Number of bits per storage word.
+const WORD_BITS: usize = 64;
+
+/// A growable, packed vector of bits.
+///
+/// Bits are stored LSB-first inside `u64` words. Trailing bits of the final
+/// word beyond [`BitVec::len`] are always kept at zero; this invariant lets
+/// word-level operations (weight, parity, equality) ignore the tail.
+///
+/// # Example
+///
+/// ```
+/// use qkd_types::BitVec;
+///
+/// let a = BitVec::from_bools(&[true, false, true, true]);
+/// assert_eq!(a.len(), 4);
+/// assert_eq!(a.count_ones(), 3);
+/// assert!(a.get(0));
+/// assert!(!a.get(1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an empty bit vector.
+    pub fn new() -> Self {
+        Self { words: Vec::new(), len: 0 }
+    }
+
+    /// Creates an empty bit vector with capacity for `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        Self { words: Vec::with_capacity(words_for(bits)), len: 0 }
+    }
+
+    /// Creates a bit vector of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        Self { words: vec![0u64; words_for(len)], len }
+    }
+
+    /// Creates a bit vector of `len` one bits.
+    pub fn ones(len: usize) -> Self {
+        let mut v = Self { words: vec![u64::MAX; words_for(len)], len };
+        v.mask_tail();
+        v
+    }
+
+    /// Creates a bit vector from a slice of booleans.
+    pub fn from_bools(bools: &[bool]) -> Self {
+        let mut v = Self::with_capacity(bools.len());
+        for &b in bools {
+            v.push(b);
+        }
+        v
+    }
+
+    /// Creates a bit vector of length `len` from packed little-endian bytes.
+    ///
+    /// Bit `i` is taken from byte `i / 8`, bit position `i % 8` (LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` holds fewer than `len` bits.
+    pub fn from_bytes(bytes: &[u8], len: usize) -> Self {
+        assert!(bytes.len() * 8 >= len, "byte slice too short for requested bit length");
+        let mut words = vec![0u64; words_for(len)];
+        for (i, &b) in bytes.iter().enumerate() {
+            let word = i / 8;
+            if word >= words.len() {
+                break;
+            }
+            words[word] |= (b as u64) << ((i % 8) * 8);
+        }
+        let mut v = Self { words, len };
+        v.mask_tail();
+        v
+    }
+
+    /// Creates a bit vector of `len` uniformly random bits.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Self {
+        let mut words = vec![0u64; words_for(len)];
+        for w in &mut words {
+            *w = rng.gen();
+        }
+        let mut v = Self { words, len };
+        v.mask_tail();
+        v
+    }
+
+    /// Creates a bit vector where each bit is one with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn random_with_density<R: Rng + ?Sized>(rng: &mut R, len: usize, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must lie in [0, 1]");
+        let mut v = Self::zeros(len);
+        for i in 0..len {
+            if rng.gen_bool(p) {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Number of bits stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the vector holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns bit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of range for length {}", self.len);
+        (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `index` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn set(&mut self, index: usize, value: bool) {
+        assert!(index < self.len, "bit index {index} out of range for length {}", self.len);
+        let mask = 1u64 << (index % WORD_BITS);
+        if value {
+            self.words[index / WORD_BITS] |= mask;
+        } else {
+            self.words[index / WORD_BITS] &= !mask;
+        }
+    }
+
+    /// Flips bit `index`, returning its new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn flip(&mut self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of range for length {}", self.len);
+        self.words[index / WORD_BITS] ^= 1u64 << (index % WORD_BITS);
+        self.get(index)
+    }
+
+    /// Appends a bit.
+    pub fn push(&mut self, value: bool) {
+        if self.len % WORD_BITS == 0 {
+            self.words.push(0);
+        }
+        self.len += 1;
+        if value {
+            let idx = self.len - 1;
+            self.words[idx / WORD_BITS] |= 1u64 << (idx % WORD_BITS);
+        }
+    }
+
+    /// Removes and returns the last bit, or `None` when empty.
+    pub fn pop(&mut self) -> Option<bool> {
+        if self.len == 0 {
+            return None;
+        }
+        let bit = self.get(self.len - 1);
+        self.len -= 1;
+        self.words.truncate(words_for(self.len));
+        self.mask_tail();
+        Some(bit)
+    }
+
+    /// Truncates the vector to `len` bits. Does nothing if already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len {
+            self.len = len;
+            self.words.truncate(words_for(len));
+            self.mask_tail();
+        }
+    }
+
+    /// Appends all bits of `other`.
+    pub fn extend_from(&mut self, other: &BitVec) {
+        // Fast path when self ends on a word boundary: memcpy the words.
+        if self.len % WORD_BITS == 0 {
+            self.words.extend_from_slice(&other.words);
+            self.len += other.len;
+            self.words.truncate(words_for(self.len));
+            self.mask_tail();
+        } else {
+            for i in 0..other.len {
+                self.push(other.get(i));
+            }
+        }
+    }
+
+    /// Number of one bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of zero bits.
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    /// Parity (XOR of all bits): `true` when the number of ones is odd.
+    pub fn parity(&self) -> bool {
+        self.words.iter().fold(0u64, |acc, w| acc ^ w).count_ones() % 2 == 1
+    }
+
+    /// Parity of the bits in `range` (half-open `[start, end)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end > len()` or `start > end`.
+    pub fn parity_range(&self, start: usize, end: usize) -> bool {
+        assert!(start <= end && end <= self.len, "invalid parity range {start}..{end}");
+        if start == end {
+            return false;
+        }
+        let (sw, sb) = (start / WORD_BITS, start % WORD_BITS);
+        let (ew, eb) = ((end - 1) / WORD_BITS, (end - 1) % WORD_BITS + 1);
+        let mut acc = 0u64;
+        if sw == ew {
+            let mask = mask_range(sb, eb);
+            acc ^= self.words[sw] & mask;
+        } else {
+            acc ^= self.words[sw] & mask_range(sb, WORD_BITS);
+            for w in &self.words[sw + 1..ew] {
+                acc ^= w;
+            }
+            acc ^= self.words[ew] & mask_range(0, eb);
+        }
+        acc.count_ones() % 2 == 1
+    }
+
+    /// Hamming distance to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn hamming_distance(&self, other: &BitVec) -> usize {
+        assert_eq!(self.len, other.len, "hamming distance requires equal lengths");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// In-place XOR with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "xor requires equal lengths");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// Returns a sub-vector covering bits `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end > len()` or `start > end`.
+    pub fn slice(&self, start: usize, end: usize) -> BitVec {
+        assert!(start <= end && end <= self.len, "invalid slice range {start}..{end}");
+        let mut out = BitVec::zeros(end - start);
+        for (j, i) in (start..end).enumerate() {
+            if self.get(i) {
+                out.set(j, true);
+            }
+        }
+        out
+    }
+
+    /// Builds a new vector from the bits at `indices` (in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn gather(&self, indices: &[usize]) -> BitVec {
+        let mut out = BitVec::zeros(indices.len());
+        for (j, &i) in indices.iter().enumerate() {
+            if self.get(i) {
+                out.set(j, true);
+            }
+        }
+        out
+    }
+
+    /// Removes the bits at `indices` (must be sorted ascending, unique) and
+    /// returns the remaining bits in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are not strictly increasing or out of range.
+    pub fn remove_indices(&self, indices: &[usize]) -> BitVec {
+        for w in indices.windows(2) {
+            assert!(w[0] < w[1], "indices must be strictly increasing");
+        }
+        if let Some(&last) = indices.last() {
+            assert!(last < self.len, "index {last} out of range");
+        }
+        let mut out = BitVec::with_capacity(self.len - indices.len());
+        let mut iter = indices.iter().peekable();
+        for i in 0..self.len {
+            if iter.peek() == Some(&&i) {
+                iter.next();
+            } else {
+                out.push(self.get(i));
+            }
+        }
+        out
+    }
+
+    /// Iterator over the bits.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { vec: self, pos: 0 }
+    }
+
+    /// Returns the positions of all one bits.
+    pub fn one_positions(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.count_ones());
+        for (wi, &w) in self.words.iter().enumerate() {
+            let mut word = w;
+            while word != 0 {
+                let tz = word.trailing_zeros() as usize;
+                out.push(wi * WORD_BITS + tz);
+                word &= word - 1;
+            }
+        }
+        out
+    }
+
+    /// Converts to a `Vec<bool>`.
+    pub fn to_bools(&self) -> Vec<bool> {
+        self.iter().collect()
+    }
+
+    /// Converts to packed little-endian bytes (bit `i` at byte `i/8`, LSB first).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; (self.len + 7) / 8];
+        for (i, byte) in out.iter_mut().enumerate() {
+            let word = self.words.get(i / 8).copied().unwrap_or(0);
+            *byte = (word >> ((i % 8) * 8)) as u8;
+        }
+        out
+    }
+
+    /// Access to the underlying words (tail bits beyond `len` are zero).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable access to the underlying words.
+    ///
+    /// Callers must keep tail bits beyond `len` at zero; use
+    /// [`BitVec::mask_tail`]-equivalent behaviour by never setting them.
+    pub fn as_words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Fraction of positions where `self` and `other` differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ or the vectors are empty.
+    pub fn error_rate(&self, other: &BitVec) -> f64 {
+        assert!(!self.is_empty(), "error rate of empty vectors is undefined");
+        self.hamming_distance(other) as f64 / self.len as f64
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.len % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+        // Drop extra words if any (can happen after truncate).
+        let needed = words_for(self.len);
+        self.words.truncate(needed);
+        while self.words.len() < needed {
+            self.words.push(0);
+        }
+    }
+}
+
+/// Mask with ones in bit positions `[start, end)` of a word.
+fn mask_range(start: usize, end: usize) -> u64 {
+    debug_assert!(start <= end && end <= WORD_BITS);
+    if end - start == WORD_BITS {
+        u64::MAX
+    } else {
+        ((1u64 << (end - start)) - 1) << start
+    }
+}
+
+fn words_for(bits: usize) -> usize {
+    (bits + WORD_BITS - 1) / WORD_BITS
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[{}; ", self.len)?;
+        let shown = self.len.min(64);
+        for i in 0..shown {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        if self.len > shown {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        Ok(())
+    }
+}
+
+impl Index<usize> for BitVec {
+    type Output = bool;
+
+    fn index(&self, index: usize) -> &bool {
+        if self.get(index) {
+            &true
+        } else {
+            &false
+        }
+    }
+}
+
+impl BitXorAssign<&BitVec> for BitVec {
+    fn bitxor_assign(&mut self, rhs: &BitVec) {
+        self.xor_assign(rhs);
+    }
+}
+
+impl BitXor<&BitVec> for &BitVec {
+    type Output = BitVec;
+
+    fn bitxor(self, rhs: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.xor_assign(rhs);
+        out
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let mut v = BitVec::new();
+        for b in iter {
+            v.push(b);
+        }
+        v
+    }
+}
+
+impl Extend<bool> for BitVec {
+    fn extend<T: IntoIterator<Item = bool>>(&mut self, iter: T) {
+        for b in iter {
+            self.push(b);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitVec {
+    type Item = bool;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over the bits of a [`BitVec`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    vec: &'a BitVec,
+    pos: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        if self.pos < self.vec.len() {
+            let b = self.vec.get(self.pos);
+            self.pos += 1;
+            Some(b)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.vec.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_ones_have_expected_weight() {
+        assert_eq!(BitVec::zeros(100).count_ones(), 0);
+        assert_eq!(BitVec::ones(100).count_ones(), 100);
+        assert_eq!(BitVec::ones(100).count_zeros(), 0);
+    }
+
+    #[test]
+    fn ones_tail_is_masked() {
+        let v = BitVec::ones(70);
+        assert_eq!(v.as_words().len(), 2);
+        assert_eq!(v.as_words()[1], (1u64 << 6) - 1);
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let mut v = BitVec::new();
+        let pattern = [true, false, true, true, false];
+        for &b in &pattern {
+            v.push(b);
+        }
+        assert_eq!(v.len(), 5);
+        for &b in pattern.iter().rev() {
+            assert_eq!(v.pop(), Some(b));
+        }
+        assert_eq!(v.pop(), None);
+    }
+
+    #[test]
+    fn get_set_flip() {
+        let mut v = BitVec::zeros(130);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1));
+        assert!(!v.flip(0));
+        assert!(v.flip(1));
+        assert_eq!(v.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::zeros(8).get(8);
+    }
+
+    #[test]
+    fn from_bools_and_back() {
+        let bools = vec![true, false, false, true, true, false, true];
+        let v = BitVec::from_bools(&bools);
+        assert_eq!(v.to_bools(), bools);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let bytes = [0xAB, 0xCD, 0x01];
+        let v = BitVec::from_bytes(&bytes, 24);
+        assert_eq!(v.to_bytes(), bytes);
+        let v5 = BitVec::from_bytes(&bytes, 5);
+        assert_eq!(v5.len(), 5);
+        assert_eq!(v5.to_bytes(), [0xAB & 0x1F]);
+    }
+
+    #[test]
+    fn xor_and_hamming() {
+        let a = BitVec::from_bools(&[true, true, false, false]);
+        let b = BitVec::from_bools(&[true, false, true, false]);
+        assert_eq!(a.hamming_distance(&b), 2);
+        let c = &a ^ &b;
+        assert_eq!(c.to_bools(), vec![false, true, true, false]);
+        let mut d = a.clone();
+        d ^= &b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn parity_matches_count() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for len in [1, 63, 64, 65, 200] {
+            let v = BitVec::random(&mut rng, len);
+            assert_eq!(v.parity(), v.count_ones() % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn parity_range_matches_slice_parity() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let v = BitVec::random(&mut rng, 300);
+        for &(s, e) in &[(0, 0), (0, 300), (5, 64), (64, 128), (63, 65), (10, 201)] {
+            assert_eq!(v.parity_range(s, e), v.slice(s, e).parity(), "range {s}..{e}");
+        }
+    }
+
+    #[test]
+    fn slice_and_gather() {
+        let v = BitVec::from_bools(&[true, false, true, true, false, true]);
+        assert_eq!(v.slice(1, 4).to_bools(), vec![false, true, true]);
+        assert_eq!(v.gather(&[0, 5, 1]).to_bools(), vec![true, true, false]);
+    }
+
+    #[test]
+    fn remove_indices_keeps_order() {
+        let v = BitVec::from_bools(&[true, false, true, true, false, true]);
+        let out = v.remove_indices(&[1, 4]);
+        assert_eq!(out.to_bools(), vec![true, true, true, true]);
+    }
+
+    #[test]
+    fn extend_from_word_aligned_and_unaligned() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = BitVec::random(&mut rng, 128);
+        let b = BitVec::random(&mut rng, 37);
+        // aligned
+        let mut c = a.clone();
+        c.extend_from(&b);
+        assert_eq!(c.len(), 165);
+        for i in 0..128 {
+            assert_eq!(c.get(i), a.get(i));
+        }
+        for i in 0..37 {
+            assert_eq!(c.get(128 + i), b.get(i));
+        }
+        // unaligned
+        let mut d = b.clone();
+        d.extend_from(&a);
+        assert_eq!(d.len(), 165);
+        for i in 0..128 {
+            assert_eq!(d.get(37 + i), a.get(i));
+        }
+    }
+
+    #[test]
+    fn ones_positions() {
+        let v = BitVec::from_bools(&[false, true, false, true, true]);
+        assert_eq!(v.one_positions(), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn random_with_density_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let v = BitVec::random_with_density(&mut rng, 10_000, 0.05);
+        let frac = v.count_ones() as f64 / 10_000.0;
+        assert!((0.03..0.07).contains(&frac), "frac {frac} not near 0.05");
+        assert_eq!(BitVec::random_with_density(&mut rng, 100, 0.0).count_ones(), 0);
+        assert_eq!(BitVec::random_with_density(&mut rng, 100, 1.0).count_ones(), 100);
+    }
+
+    #[test]
+    fn error_rate_counts_fraction() {
+        let a = BitVec::zeros(100);
+        let mut b = BitVec::zeros(100);
+        for i in 0..5 {
+            b.set(i * 10, true);
+        }
+        assert!((a.error_rate(&b) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncate_clears_tail() {
+        let mut v = BitVec::ones(100);
+        v.truncate(65);
+        assert_eq!(v.len(), 65);
+        assert_eq!(v.count_ones(), 65);
+        v.truncate(10);
+        assert_eq!(v.count_ones(), 10);
+        // pushing after truncate must not resurrect old bits
+        v.push(false);
+        assert_eq!(v.count_ones(), 10);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let v = BitVec::from_bools(&[true, false, true]);
+        assert_eq!(v.to_string(), "101");
+        assert!(format!("{v:?}").contains("101"));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let v: BitVec = [true, false, true].into_iter().collect();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.iter().filter(|&b| b).count(), 2);
+    }
+}

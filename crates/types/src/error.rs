@@ -1,0 +1,186 @@
+//! Workspace-wide error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced anywhere in the QKD post-processing stack.
+///
+/// All public fallible APIs in the workspace return [`crate::Result`], which
+/// uses this error type, so downstream code can handle every failure mode with
+/// one `match`.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QkdError {
+    /// Two operands (keys, codewords, matrices) had incompatible dimensions.
+    DimensionMismatch {
+        /// What the caller was trying to do.
+        context: &'static str,
+        /// Dimension expected by the operation.
+        expected: usize,
+        /// Dimension actually supplied.
+        actual: usize,
+    },
+    /// A configuration parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// Information reconciliation failed to converge on a block.
+    ReconciliationFailed {
+        /// Block the failure occurred on.
+        block: u64,
+        /// Number of decoder iterations or protocol passes spent.
+        iterations: usize,
+        /// Residual error estimate when the protocol gave up, if known.
+        residual_errors: Option<usize>,
+    },
+    /// Error-verification hashes disagreed after reconciliation.
+    VerificationFailed {
+        /// Block the failure occurred on.
+        block: u64,
+    },
+    /// Privacy amplification would produce a non-positive secret key length.
+    InsufficientKeyMaterial {
+        /// Bits available after reconciliation.
+        available: usize,
+        /// Bits that must be subtracted (leakage + security penalties).
+        required_overhead: usize,
+    },
+    /// A message authentication tag did not verify.
+    AuthenticationFailed {
+        /// Sequence number of the rejected message.
+        sequence: u64,
+    },
+    /// The authentication key pool has been exhausted.
+    AuthKeyExhausted {
+        /// Bits requested from the pool.
+        requested: usize,
+        /// Bits remaining in the pool.
+        remaining: usize,
+    },
+    /// The estimated QBER exceeded the abort threshold.
+    QberAboveThreshold {
+        /// Estimated quantum bit error rate.
+        qber: f64,
+        /// Configured abort threshold.
+        threshold: f64,
+    },
+    /// A heterogeneous device rejected or failed a kernel launch.
+    DeviceError {
+        /// Device that reported the failure.
+        device: String,
+        /// Description of the failure.
+        reason: String,
+    },
+    /// A pipeline stage terminated unexpectedly (channel closed, worker panic).
+    PipelineStalled {
+        /// Stage that stalled.
+        stage: &'static str,
+    },
+    /// The classical channel dropped or reordered a protocol message.
+    ChannelError {
+        /// Description of the channel failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for QkdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QkdError::DimensionMismatch { context, expected, actual } => {
+                write!(f, "dimension mismatch in {context}: expected {expected}, got {actual}")
+            }
+            QkdError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            QkdError::ReconciliationFailed { block, iterations, residual_errors } => {
+                match residual_errors {
+                    Some(r) => write!(
+                        f,
+                        "reconciliation failed on block {block} after {iterations} iterations ({r} residual errors)"
+                    ),
+                    None => write!(f, "reconciliation failed on block {block} after {iterations} iterations"),
+                }
+            }
+            QkdError::VerificationFailed { block } => {
+                write!(f, "error verification failed on block {block}")
+            }
+            QkdError::InsufficientKeyMaterial { available, required_overhead } => write!(
+                f,
+                "insufficient key material: {available} bits available, {required_overhead} bits of overhead required"
+            ),
+            QkdError::AuthenticationFailed { sequence } => {
+                write!(f, "authentication tag rejected for message {sequence}")
+            }
+            QkdError::AuthKeyExhausted { requested, remaining } => write!(
+                f,
+                "authentication key pool exhausted: {requested} bits requested, {remaining} remaining"
+            ),
+            QkdError::QberAboveThreshold { qber, threshold } => {
+                write!(f, "estimated QBER {qber:.4} exceeds abort threshold {threshold:.4}")
+            }
+            QkdError::DeviceError { device, reason } => {
+                write!(f, "device `{device}` failed: {reason}")
+            }
+            QkdError::PipelineStalled { stage } => write!(f, "pipeline stage `{stage}` stalled"),
+            QkdError::ChannelError { reason } => write!(f, "classical channel error: {reason}"),
+        }
+    }
+}
+
+impl Error for QkdError {}
+
+impl QkdError {
+    /// Convenience constructor for [`QkdError::InvalidParameter`].
+    pub fn invalid_parameter(name: &'static str, reason: impl Into<String>) -> Self {
+        QkdError::InvalidParameter { name, reason: reason.into() }
+    }
+
+    /// Convenience constructor for [`QkdError::DeviceError`].
+    pub fn device(device: impl Into<String>, reason: impl Into<String>) -> Self {
+        QkdError::DeviceError { device: device.into(), reason: reason.into() }
+    }
+
+    /// Returns `true` when the error indicates a security-relevant abort
+    /// (rather than a recoverable performance/configuration issue).
+    pub fn is_security_abort(&self) -> bool {
+        matches!(
+            self,
+            QkdError::VerificationFailed { .. }
+                | QkdError::AuthenticationFailed { .. }
+                | QkdError::QberAboveThreshold { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = QkdError::DimensionMismatch { context: "syndrome", expected: 10, actual: 12 };
+        assert!(e.to_string().contains("syndrome"));
+        let e = QkdError::invalid_parameter("qber", "must be below 0.5");
+        assert!(e.to_string().contains("qber"));
+        let e = QkdError::QberAboveThreshold { qber: 0.12, threshold: 0.11 };
+        assert!(e.to_string().contains("0.12"));
+    }
+
+    #[test]
+    fn security_abort_classification() {
+        assert!(QkdError::VerificationFailed { block: 1 }.is_security_abort());
+        assert!(QkdError::AuthenticationFailed { sequence: 0 }.is_security_abort());
+        assert!(QkdError::QberAboveThreshold { qber: 0.2, threshold: 0.11 }.is_security_abort());
+        assert!(!QkdError::PipelineStalled { stage: "pa" }.is_security_abort());
+        assert!(!QkdError::invalid_parameter("x", "y").is_security_abort());
+    }
+
+    #[test]
+    fn error_trait_object_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QkdError>();
+    }
+}

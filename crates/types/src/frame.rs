@@ -1,0 +1,199 @@
+//! Block framing and epoch bookkeeping.
+//!
+//! Post-processing never operates on a continuous bit stream; it cuts the
+//! sifted key into fixed-size *blocks* grouped into *epochs* (one finite-key
+//! accounting unit). [`BlockId`] names a block, [`KeyBlock`] carries its
+//! payload through the heterogeneous pipeline together with timing metadata.
+
+use std::fmt;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bits::BitVec;
+
+/// An epoch: the unit over which finite-key statistics are accumulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Epoch(pub u64);
+
+impl Epoch {
+    /// Returns the next epoch.
+    pub fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "epoch {}", self.0)
+    }
+}
+
+/// Identifies one key block within an epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct BlockId {
+    /// Epoch the block belongs to.
+    pub epoch: Epoch,
+    /// Sequence number of the block within its epoch.
+    pub sequence: u64,
+}
+
+impl BlockId {
+    /// Creates a block id from raw epoch and sequence numbers.
+    pub fn new(epoch: u64, sequence: u64) -> Self {
+        Self { epoch: Epoch(epoch), sequence }
+    }
+
+    /// Returns the id of the next block in the same epoch.
+    pub fn next(self) -> BlockId {
+        BlockId { epoch: self.epoch, sequence: self.sequence + 1 }
+    }
+
+    /// Packs the id into a single `u64` for compact logging / hashing
+    /// (upper 32 bits epoch, lower 32 bits sequence).
+    pub fn as_u64(self) -> u64 {
+        (self.epoch.0 << 32) | (self.sequence & 0xFFFF_FFFF)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/block {}", self.epoch, self.sequence)
+    }
+}
+
+/// Per-stage timing recorded as a block flows through the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StageLabel {
+    /// Basis sifting.
+    Sifting,
+    /// QBER / decoy-state parameter estimation.
+    Estimation,
+    /// Information reconciliation (LDPC or Cascade).
+    Reconciliation,
+    /// Error verification.
+    Verification,
+    /// Privacy amplification.
+    PrivacyAmplification,
+    /// Classical-channel authentication.
+    Authentication,
+}
+
+impl StageLabel {
+    /// All pipeline stages in execution order.
+    pub const ALL: [StageLabel; 6] = [
+        StageLabel::Sifting,
+        StageLabel::Estimation,
+        StageLabel::Reconciliation,
+        StageLabel::Verification,
+        StageLabel::PrivacyAmplification,
+        StageLabel::Authentication,
+    ];
+
+    /// Short human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageLabel::Sifting => "sifting",
+            StageLabel::Estimation => "estimation",
+            StageLabel::Reconciliation => "reconciliation",
+            StageLabel::Verification => "verification",
+            StageLabel::PrivacyAmplification => "privacy-amplification",
+            StageLabel::Authentication => "authentication",
+        }
+    }
+}
+
+impl fmt::Display for StageLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A key block travelling through the pipeline, with per-stage timings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KeyBlock {
+    /// Identity of the block.
+    pub id: BlockId,
+    /// Current payload bits (meaning depends on the stage already applied).
+    pub payload: BitVec,
+    /// Stages that have completed, with the wall-clock time each took.
+    pub stage_times: Vec<(StageLabel, Duration)>,
+}
+
+impl KeyBlock {
+    /// Creates a block with the given payload and no completed stages.
+    pub fn new(id: BlockId, payload: BitVec) -> Self {
+        Self { id, payload, stage_times: Vec::new() }
+    }
+
+    /// Records that `stage` completed in `elapsed`.
+    pub fn record_stage(&mut self, stage: StageLabel, elapsed: Duration) {
+        self.stage_times.push((stage, elapsed));
+    }
+
+    /// Total processing time across all recorded stages.
+    pub fn total_time(&self) -> Duration {
+        self.stage_times.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Time spent in a particular stage, if recorded.
+    pub fn stage_time(&self, stage: StageLabel) -> Option<Duration> {
+        self.stage_times.iter().find(|(s, _)| *s == stage).map(|(_, d)| *d)
+    }
+
+    /// Payload length in bits.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Returns `true` when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_and_block_ordering() {
+        let a = BlockId::new(0, 1);
+        let b = BlockId::new(0, 2);
+        let c = BlockId::new(1, 0);
+        assert!(a < b && b < c);
+        assert_eq!(a.next(), b);
+        assert_eq!(Epoch(3).next(), Epoch(4));
+    }
+
+    #[test]
+    fn block_id_packs_into_u64() {
+        let id = BlockId::new(2, 5);
+        assert_eq!(id.as_u64(), (2u64 << 32) | 5);
+        assert_ne!(BlockId::new(1, 0).as_u64(), BlockId::new(0, 1).as_u64());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(BlockId::new(1, 2).to_string(), "epoch 1/block 2");
+        assert_eq!(StageLabel::PrivacyAmplification.to_string(), "privacy-amplification");
+    }
+
+    #[test]
+    fn key_block_records_stage_times() {
+        let mut blk = KeyBlock::new(BlockId::new(0, 0), BitVec::zeros(16));
+        assert!(blk.stage_time(StageLabel::Sifting).is_none());
+        blk.record_stage(StageLabel::Sifting, Duration::from_millis(2));
+        blk.record_stage(StageLabel::Reconciliation, Duration::from_millis(10));
+        assert_eq!(blk.total_time(), Duration::from_millis(12));
+        assert_eq!(blk.stage_time(StageLabel::Sifting), Some(Duration::from_millis(2)));
+        assert_eq!(blk.len(), 16);
+    }
+
+    #[test]
+    fn stage_labels_are_in_pipeline_order() {
+        assert_eq!(StageLabel::ALL.len(), 6);
+        assert_eq!(StageLabel::ALL[0], StageLabel::Sifting);
+        assert_eq!(StageLabel::ALL[5], StageLabel::Authentication);
+    }
+}

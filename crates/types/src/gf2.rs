@@ -1,0 +1,388 @@
+//! GF(2) and GF(2^n) arithmetic helpers.
+//!
+//! Three building blocks live here:
+//!
+//! * software carry-less multiplication ([`clmul64`]), the primitive behind
+//!   both Toeplitz hashing and polynomial MACs;
+//! * [`Gf2_128`], the finite field GF(2^128) with the GCM reduction polynomial,
+//!   used by the Wegman–Carter authenticator;
+//! * [`BitMatrix`], a dense GF(2) matrix used for small linear-algebra tasks
+//!   (random universal hash matrices, rank computations in tests).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::bits::BitVec;
+
+/// Carry-less (polynomial) multiplication of two 64-bit operands, returning
+/// the full 128-bit product as `(low, high)`.
+///
+/// This is the software equivalent of the `PCLMULQDQ` instruction and runs in
+/// 64 shift/xor steps.
+pub fn clmul64(a: u64, b: u64) -> (u64, u64) {
+    let mut lo = 0u64;
+    let mut hi = 0u64;
+    for i in 0..64 {
+        if (b >> i) & 1 == 1 {
+            lo ^= a << i;
+            if i != 0 {
+                hi ^= a >> (64 - i);
+            }
+        }
+    }
+    (lo, hi)
+}
+
+/// An element of GF(2^128) using the GCM polynomial
+/// `x^128 + x^7 + x^2 + x + 1`.
+///
+/// The representation is little-endian in the polynomial sense: bit 0 of
+/// `lo` is the coefficient of `x^0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Gf2_128 {
+    /// Coefficients of x^0 .. x^63.
+    pub lo: u64,
+    /// Coefficients of x^64 .. x^127.
+    pub hi: u64,
+}
+
+impl Gf2_128 {
+    /// The additive identity.
+    pub const ZERO: Gf2_128 = Gf2_128 { lo: 0, hi: 0 };
+    /// The multiplicative identity.
+    pub const ONE: Gf2_128 = Gf2_128 { lo: 1, hi: 0 };
+
+    /// Builds an element from 16 little-endian bytes.
+    pub fn from_bytes(bytes: &[u8; 16]) -> Self {
+        let lo = u64::from_le_bytes(bytes[0..8].try_into().expect("slice length checked"));
+        let hi = u64::from_le_bytes(bytes[8..16].try_into().expect("slice length checked"));
+        Self { lo, hi }
+    }
+
+    /// Serialises the element to 16 little-endian bytes.
+    pub fn to_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[0..8].copy_from_slice(&self.lo.to_le_bytes());
+        out[8..16].copy_from_slice(&self.hi.to_le_bytes());
+        out
+    }
+
+    /// Draws a uniformly random element.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self { lo: rng.gen(), hi: rng.gen() }
+    }
+
+    /// Field addition (XOR).
+    pub fn add(self, other: Gf2_128) -> Gf2_128 {
+        Gf2_128 { lo: self.lo ^ other.lo, hi: self.hi ^ other.hi }
+    }
+
+    /// Field multiplication modulo the GCM polynomial.
+    pub fn mul(self, other: Gf2_128) -> Gf2_128 {
+        // Schoolbook product of 128x128 -> 256 bits using four 64x64 clmuls
+        // (Karatsuba is unnecessary at this size for clarity).
+        let (ll_lo, ll_hi) = clmul64(self.lo, other.lo);
+        let (lh_lo, lh_hi) = clmul64(self.lo, other.hi);
+        let (hl_lo, hl_hi) = clmul64(self.hi, other.lo);
+        let (hh_lo, hh_hi) = clmul64(self.hi, other.hi);
+
+        // 256-bit product in four 64-bit limbs d0..d3 (low to high).
+        let d0 = ll_lo;
+        let d1 = ll_hi ^ lh_lo ^ hl_lo;
+        let d2 = lh_hi ^ hl_hi ^ hh_lo;
+        let d3 = hh_hi;
+
+        reduce_gcm(d0, d1, d2, d3)
+    }
+
+    /// Exponentiation by squaring.
+    pub fn pow(self, mut exp: u64) -> Gf2_128 {
+        let mut base = self;
+        let mut acc = Gf2_128::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul(base);
+            }
+            base = base.mul(base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Returns `true` if this is the zero element.
+    pub fn is_zero(self) -> bool {
+        self.lo == 0 && self.hi == 0
+    }
+}
+
+/// Reduces a 256-bit polynomial (limbs low→high) modulo
+/// `x^128 + x^7 + x^2 + x + 1`, using `x^128 ≡ r(x) = 0x87`.
+fn reduce_gcm(d0: u64, d1: u64, d2: u64, d3: u64) -> Gf2_128 {
+    let mut lo = d0;
+    let mut hi = d1;
+
+    // d2 · x^128 ≡ d2(x) · r(x), a polynomial of degree ≤ 70.
+    let (a_lo, a_hi) = clmul64(d2, 0x87);
+    lo ^= a_lo;
+    hi ^= a_hi;
+
+    // d3 · x^192 ≡ d3(x) · r(x) · x^64; the part that overflows past x^127
+    // (degree ≤ 13 after the fold) is reduced once more.
+    let (b_lo, b_hi) = clmul64(d3, 0x87);
+    hi ^= b_lo;
+    let (c_lo, c_hi) = clmul64(b_hi, 0x87);
+    debug_assert_eq!(c_hi, 0, "double fold of a degree-7 overflow cannot overflow again");
+    lo ^= c_lo;
+
+    Gf2_128 { lo, hi }
+}
+
+/// A dense GF(2) matrix stored row-major as packed 64-bit words.
+///
+/// Intended for moderate sizes (up to a few thousand rows/columns): random
+/// universal-hash matrices, rank checks in tests, and reference
+/// implementations that the optimised kernels are validated against.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    row_data: Vec<BitVec>,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, row_data: vec![BitVec::zeros(cols); rows] }
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// Creates a uniformly random matrix.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Self {
+        let row_data = (0..rows).map(|_| BitVec::random(rng, cols)).collect();
+        Self { rows, cols, row_data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        assert!(r < self.rows, "row {r} out of range");
+        self.row_data[r].get(c)
+    }
+
+    /// Sets entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, r: usize, c: usize, v: bool) {
+        assert!(r < self.rows, "row {r} out of range");
+        self.row_data[r].set(c, v);
+    }
+
+    /// Returns row `r` as a [`BitVec`].
+    pub fn row(&self, r: usize) -> &BitVec {
+        &self.row_data[r]
+    }
+
+    /// Matrix–vector product over GF(2): `y = M x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols()`.
+    pub fn mul_vec(&self, x: &BitVec) -> BitVec {
+        assert_eq!(x.len(), self.cols, "vector length must equal column count");
+        let mut y = BitVec::zeros(self.rows);
+        for (r, row) in self.row_data.iter().enumerate() {
+            let mut acc = 0u64;
+            for (a, b) in row.as_words().iter().zip(x.as_words()) {
+                acc ^= a & b;
+            }
+            if acc.count_ones() % 2 == 1 {
+                y.set(r, true);
+            }
+        }
+        y
+    }
+
+    /// Rank of the matrix over GF(2), computed by Gaussian elimination on a
+    /// copy.
+    pub fn rank(&self) -> usize {
+        let mut rows: Vec<BitVec> = self.row_data.clone();
+        let mut rank = 0;
+        let mut pivot_col = 0;
+        while pivot_col < self.cols && rank < rows.len() {
+            if let Some(pivot_row) = (rank..rows.len()).find(|&r| rows[r].get(pivot_col)) {
+                rows.swap(rank, pivot_row);
+                let pivot = rows[rank].clone();
+                for (r, row) in rows.iter_mut().enumerate() {
+                    if r != rank && row.get(pivot_col) {
+                        row.xor_assign(&pivot);
+                    }
+                }
+                rank += 1;
+            }
+            pivot_col += 1;
+        }
+        rank
+    }
+
+    /// XORs row `src` into row `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range or the two are equal.
+    pub fn xor_rows(&mut self, dst: usize, src: usize) {
+        assert!(dst != src, "cannot xor a row into itself");
+        assert!(dst < self.rows && src < self.rows, "row index out of range");
+        let src_row = self.row_data[src].clone();
+        self.row_data[dst].xor_assign(&src_row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clmul_small_cases() {
+        assert_eq!(clmul64(0, 12345), (0, 0));
+        assert_eq!(clmul64(1, 0xDEAD), (0xDEAD, 0));
+        // x * x = x^2
+        assert_eq!(clmul64(2, 2), (4, 0));
+        // (x^63) * x = x^64 -> carries into hi
+        assert_eq!(clmul64(1 << 63, 2), (0, 1));
+        // (x+1)(x+1) = x^2 + 1 over GF(2)
+        assert_eq!(clmul64(3, 3), (5, 0));
+    }
+
+    #[test]
+    fn clmul_is_commutative() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let a: u64 = rng.gen();
+            let b: u64 = rng.gen();
+            assert_eq!(clmul64(a, b), clmul64(b, a));
+        }
+    }
+
+    #[test]
+    fn gf128_identity_and_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let a = Gf2_128::random(&mut rng);
+            assert_eq!(a.mul(Gf2_128::ONE), a);
+            assert_eq!(a.mul(Gf2_128::ZERO), Gf2_128::ZERO);
+            assert_eq!(a.add(a), Gf2_128::ZERO);
+            assert_eq!(a.add(Gf2_128::ZERO), a);
+        }
+    }
+
+    #[test]
+    fn gf128_mul_commutative_and_associative() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let a = Gf2_128::random(&mut rng);
+            let b = Gf2_128::random(&mut rng);
+            let c = Gf2_128::random(&mut rng);
+            assert_eq!(a.mul(b), b.mul(a));
+            assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)));
+            // distributivity
+            assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+        }
+    }
+
+    #[test]
+    fn gf128_pow_matches_repeated_mul() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Gf2_128::random(&mut rng);
+        let mut acc = Gf2_128::ONE;
+        for e in 0..10u64 {
+            assert_eq!(a.pow(e), acc);
+            acc = acc.mul(a);
+        }
+    }
+
+    #[test]
+    fn gf128_bytes_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Gf2_128::random(&mut rng);
+        assert_eq!(Gf2_128::from_bytes(&a.to_bytes()), a);
+    }
+
+    #[test]
+    fn gf128_x_to_128_reduces_to_pentanomial() {
+        // x^64 squared = x^128 ≡ x^7 + x^2 + x + 1 = 0x87.
+        let x64 = Gf2_128 { lo: 0, hi: 1 };
+        assert_eq!(x64.mul(x64), Gf2_128 { lo: 0x87, hi: 0 });
+    }
+
+    #[test]
+    fn bitmatrix_identity_mul() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = BitMatrix::identity(50);
+        let x = BitVec::random(&mut rng, 50);
+        assert_eq!(m.mul_vec(&x), x);
+        assert_eq!(m.rank(), 50);
+    }
+
+    #[test]
+    fn bitmatrix_mul_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = BitMatrix::random(&mut rng, 33, 70);
+        let x = BitVec::random(&mut rng, 70);
+        let fast = m.mul_vec(&x);
+        for r in 0..33 {
+            let mut acc = false;
+            for c in 0..70 {
+                acc ^= m.get(r, c) & x.get(c);
+            }
+            assert_eq!(fast.get(r), acc, "row {r}");
+        }
+    }
+
+    #[test]
+    fn bitmatrix_rank_of_duplicated_rows() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut m = BitMatrix::random(&mut rng, 10, 40);
+        // duplicate row 0 into row 9 -> rank can be at most 9
+        let row0 = m.row(0).clone();
+        for c in 0..40 {
+            m.set(9, c, row0.get(c));
+        }
+        assert!(m.rank() <= 9);
+    }
+
+    #[test]
+    fn bitmatrix_xor_rows() {
+        let mut m = BitMatrix::zeros(2, 4);
+        m.set(0, 1, true);
+        m.set(1, 1, true);
+        m.set(1, 2, true);
+        m.xor_rows(0, 1);
+        assert!(!m.get(0, 1));
+        assert!(m.get(0, 2));
+    }
+}

@@ -1,0 +1,249 @@
+//! Key containers for each stage of the post-processing pipeline.
+//!
+//! The pipeline transforms key material through four stages, each with its own
+//! newtype so the compiler prevents, say, privacy-amplifying a key that was
+//! never reconciled:
+//!
+//! 1. [`RawKey`] — Bob's detection bits before sifting.
+//! 2. [`SiftedKey`] — bits surviving basis reconciliation.
+//! 3. [`ReconciledKey`] — bits after error correction and verification,
+//!    carrying the leakage that must be subtracted during privacy
+//!    amplification.
+//! 4. [`SecretKey`] — the final, information-theoretically secret output.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bits::BitVec;
+use crate::frame::BlockId;
+
+/// The stage of the pipeline a key container belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KeyStage {
+    /// Raw detection bits.
+    Raw,
+    /// After basis sifting.
+    Sifted,
+    /// After information reconciliation and verification.
+    Reconciled,
+    /// After privacy amplification.
+    Secret,
+}
+
+/// Raw key: Bob's detection bits with their basis choices, before sifting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RawKey {
+    /// Block this key belongs to.
+    pub block: BlockId,
+    /// Bob's measured bits, one per detection event.
+    pub bits: BitVec,
+    /// Bob's basis choices encoded as bits (see [`crate::Basis::to_bit`]).
+    pub bases: BitVec,
+}
+
+impl RawKey {
+    /// Creates a raw key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` and `bases` have different lengths.
+    pub fn new(block: BlockId, bits: BitVec, bases: BitVec) -> Self {
+        assert_eq!(bits.len(), bases.len(), "bits and bases must have equal length");
+        Self { block, bits, bases }
+    }
+
+    /// Number of detections in this raw key.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Returns `true` when the raw key is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+}
+
+/// Sifted key: bits where Alice's and Bob's bases agreed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiftedKey {
+    /// Block this key belongs to.
+    pub block: BlockId,
+    /// The sifted bits.
+    pub bits: BitVec,
+    /// QBER estimated from the disclosed sample, if estimation has run.
+    pub estimated_qber: Option<f64>,
+    /// Number of bits disclosed (and discarded) during QBER estimation.
+    pub disclosed_bits: usize,
+}
+
+impl SiftedKey {
+    /// Creates a sifted key that has not yet been through QBER estimation.
+    pub fn new(block: BlockId, bits: BitVec) -> Self {
+        Self { block, bits, estimated_qber: None, disclosed_bits: 0 }
+    }
+
+    /// Number of sifted bits retained.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Returns `true` when the sifted key is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+}
+
+/// Reconciled key: error-corrected bits plus the accounting needed by privacy
+/// amplification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReconciledKey {
+    /// Block this key belongs to.
+    pub block: BlockId,
+    /// The corrected bits (identical at Alice and Bob when verification
+    /// passed).
+    pub bits: BitVec,
+    /// Bits of syndrome/parity information disclosed during reconciliation.
+    pub leaked_bits: usize,
+    /// Bits disclosed by error verification (hash tag length).
+    pub verification_bits: usize,
+    /// Number of bit errors corrected.
+    pub corrected_errors: usize,
+    /// QBER measured exactly during reconciliation (errors / length).
+    pub measured_qber: f64,
+    /// Whether error verification succeeded.
+    pub verified: bool,
+}
+
+impl ReconciledKey {
+    /// Number of reconciled bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Returns `true` when the reconciled key is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Total classical leakage (reconciliation + verification) in bits.
+    pub fn total_leakage(&self) -> usize {
+        self.leaked_bits + self.verification_bits
+    }
+
+    /// Reconciliation efficiency `f = leak / (n * h(qber))`, the standard
+    /// figure of merit (1.0 is the Shannon limit; practical codes are above).
+    ///
+    /// Returns `None` when the QBER is zero or the key is empty, where the
+    /// ratio is undefined.
+    pub fn reconciliation_efficiency(&self) -> Option<f64> {
+        if self.bits.is_empty() || self.measured_qber <= 0.0 {
+            return None;
+        }
+        let h = binary_entropy(self.measured_qber);
+        if h <= 0.0 {
+            return None;
+        }
+        Some(self.leaked_bits as f64 / (self.bits.len() as f64 * h))
+    }
+}
+
+/// Final secret key output by privacy amplification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SecretKey {
+    /// Block this key was distilled from.
+    pub block: BlockId,
+    /// The secret bits.
+    pub bits: BitVec,
+    /// Security parameter: the trace-distance bound on this key's deviation
+    /// from an ideal key (composable epsilon).
+    pub epsilon: f64,
+}
+
+impl SecretKey {
+    /// Number of secret bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Returns `true` when the secret key is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+}
+
+/// Binary entropy function `h(p) = -p log2 p - (1-p) log2 (1-p)`.
+///
+/// Returns 0 for `p <= 0` or `p >= 1`, which is the convention used throughout
+/// secret-key-rate formulas.
+pub fn binary_entropy(p: f64) -> f64 {
+    if p <= 0.0 || p >= 1.0 {
+        return 0.0;
+    }
+    -p * p.log2() - (1.0 - p) * (1.0 - p).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::BlockId;
+
+    fn bid() -> BlockId {
+        BlockId::new(0, 7)
+    }
+
+    #[test]
+    fn binary_entropy_known_values() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+        assert!((binary_entropy(0.5) - 1.0).abs() < 1e-12);
+        assert!((binary_entropy(0.11) - 0.4999).abs() < 5e-3);
+        // symmetry
+        assert!((binary_entropy(0.3) - binary_entropy(0.7)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn raw_key_length_mismatch_panics() {
+        RawKey::new(bid(), BitVec::zeros(4), BitVec::zeros(5));
+    }
+
+    #[test]
+    fn raw_and_sifted_lengths() {
+        let rk = RawKey::new(bid(), BitVec::zeros(10), BitVec::zeros(10));
+        assert_eq!(rk.len(), 10);
+        assert!(!rk.is_empty());
+        let sk = SiftedKey::new(bid(), BitVec::zeros(5));
+        assert_eq!(sk.len(), 5);
+        assert_eq!(sk.estimated_qber, None);
+    }
+
+    #[test]
+    fn reconciliation_efficiency_matches_formula() {
+        let rk = ReconciledKey {
+            block: bid(),
+            bits: BitVec::zeros(10_000),
+            leaked_bits: 3_000,
+            verification_bits: 64,
+            corrected_errors: 500,
+            measured_qber: 0.05,
+            verified: true,
+        };
+        let f = rk.reconciliation_efficiency().unwrap();
+        let expected = 3_000.0 / (10_000.0 * binary_entropy(0.05));
+        assert!((f - expected).abs() < 1e-12);
+        assert_eq!(rk.total_leakage(), 3_064);
+    }
+
+    #[test]
+    fn reconciliation_efficiency_undefined_at_zero_qber() {
+        let rk = ReconciledKey {
+            block: bid(),
+            bits: BitVec::zeros(100),
+            leaked_bits: 10,
+            verification_bits: 0,
+            corrected_errors: 0,
+            measured_qber: 0.0,
+            verified: true,
+        };
+        assert!(rk.reconciliation_efficiency().is_none());
+    }
+}

@@ -1,0 +1,40 @@
+//! Common types for the QKD post-processing stack.
+//!
+//! This crate hosts the vocabulary shared by every other crate in the
+//! workspace: packed bit strings ([`BitVec`]), key containers at each stage of
+//! the post-processing pipeline ([`key`]), the quantum-layer enums used by the
+//! simulator ([`quantum`]), block framing ([`frame`]), GF(2) helpers
+//! ([`gf2`]), deterministic randomness ([`rng`]) and the workspace-wide error
+//! type ([`QkdError`]).
+//!
+//! # Example
+//!
+//! ```
+//! use qkd_types::BitVec;
+//!
+//! let mut alice = BitVec::zeros(8);
+//! alice.set(3, true);
+//! let mut bob = alice.clone();
+//! bob.set(5, true);
+//! assert_eq!(alice.hamming_distance(&bob), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bits;
+pub mod error;
+pub mod frame;
+pub mod gf2;
+pub mod key;
+pub mod quantum;
+pub mod rng;
+
+pub use bits::BitVec;
+pub use error::QkdError;
+pub use frame::{BlockId, Epoch, KeyBlock};
+pub use key::{KeyStage, RawKey, ReconciledKey, SecretKey, SiftedKey};
+pub use quantum::{Basis, BitValue, DetectionEvent, PulseClass};
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, QkdError>;

@@ -1,0 +1,177 @@
+//! Quantum-layer vocabulary: bases, bit values, pulse classes and detection
+//! events exchanged between the simulator and the sifting stage.
+
+use serde::{Deserialize, Serialize};
+
+/// Measurement/preparation basis used by BB84-family protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Basis {
+    /// The computational (rectilinear, "+") basis.
+    Rectilinear,
+    /// The Hadamard (diagonal, "×") basis.
+    Diagonal,
+}
+
+impl Basis {
+    /// All bases, in a fixed order.
+    pub const ALL: [Basis; 2] = [Basis::Rectilinear, Basis::Diagonal];
+
+    /// Returns the other basis.
+    pub fn conjugate(self) -> Basis {
+        match self {
+            Basis::Rectilinear => Basis::Diagonal,
+            Basis::Diagonal => Basis::Rectilinear,
+        }
+    }
+
+    /// Encodes the basis as a single bit (Rectilinear = 0, Diagonal = 1).
+    pub fn to_bit(self) -> bool {
+        matches!(self, Basis::Diagonal)
+    }
+
+    /// Decodes a basis from a single bit.
+    pub fn from_bit(bit: bool) -> Basis {
+        if bit {
+            Basis::Diagonal
+        } else {
+            Basis::Rectilinear
+        }
+    }
+}
+
+/// A classical bit value carried by a qubit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BitValue {
+    /// Logical zero.
+    Zero,
+    /// Logical one.
+    One,
+}
+
+impl BitValue {
+    /// Converts to `bool` (`One` → `true`).
+    pub fn to_bool(self) -> bool {
+        matches!(self, BitValue::One)
+    }
+
+    /// Converts from `bool` (`true` → `One`).
+    pub fn from_bool(b: bool) -> BitValue {
+        if b {
+            BitValue::One
+        } else {
+            BitValue::Zero
+        }
+    }
+
+    /// Returns the flipped value.
+    pub fn flipped(self) -> BitValue {
+        match self {
+            BitValue::Zero => BitValue::One,
+            BitValue::One => BitValue::Zero,
+        }
+    }
+}
+
+/// Intensity class of a transmitted pulse in decoy-state BB84.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PulseClass {
+    /// Signal state (highest mean photon number, carries key bits).
+    Signal,
+    /// Weak decoy state used for parameter estimation.
+    Decoy,
+    /// Vacuum (or near-vacuum) state used to bound the dark-count rate.
+    Vacuum,
+}
+
+impl PulseClass {
+    /// All pulse classes, in a fixed order.
+    pub const ALL: [PulseClass; 3] = [PulseClass::Signal, PulseClass::Decoy, PulseClass::Vacuum];
+}
+
+/// One detection event as recorded by Bob, paired with Alice's ground truth.
+///
+/// The simulator produces a stream of these; sifting consumes them. Fields that
+/// a real receiver could not know (Alice's bit and basis) are carried so that
+/// tests can verify the post-processing stack against ground truth, but the
+/// sifting implementation only reads the public fields, mirroring the
+/// information flow of the actual protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectionEvent {
+    /// Index of the transmitted pulse this detection corresponds to.
+    pub pulse_index: u64,
+    /// Intensity class Alice used for this pulse.
+    pub pulse_class: PulseClass,
+    /// Basis Alice prepared in.
+    pub alice_basis: Basis,
+    /// Bit value Alice encoded.
+    pub alice_bit: BitValue,
+    /// Basis Bob measured in.
+    pub bob_basis: Basis,
+    /// Bit value Bob registered.
+    pub bob_bit: BitValue,
+    /// Whether the click originated from a dark count rather than a photon.
+    pub dark_count: bool,
+    /// Whether both of Bob's detectors clicked (double click); such events are
+    /// assigned a random bit per the standard squashing model.
+    pub double_click: bool,
+}
+
+impl DetectionEvent {
+    /// Returns `true` when Alice's and Bob's bases match (the event survives
+    /// sifting).
+    pub fn bases_match(&self) -> bool {
+        self.alice_basis == self.bob_basis
+    }
+
+    /// Returns `true` when the sifted bit would be erroneous (bases match but
+    /// bits differ).
+    pub fn is_error(&self) -> bool {
+        self.bases_match() && self.alice_bit != self.bob_bit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_conjugate_and_bit_roundtrip() {
+        for b in Basis::ALL {
+            assert_eq!(b.conjugate().conjugate(), b);
+            assert_eq!(Basis::from_bit(b.to_bit()), b);
+        }
+        assert_ne!(Basis::Rectilinear, Basis::Diagonal);
+    }
+
+    #[test]
+    fn bit_value_roundtrip_and_flip() {
+        assert_eq!(BitValue::from_bool(true), BitValue::One);
+        assert_eq!(BitValue::from_bool(false), BitValue::Zero);
+        assert!(BitValue::One.to_bool());
+        assert_eq!(BitValue::One.flipped(), BitValue::Zero);
+        assert_eq!(BitValue::Zero.flipped().flipped(), BitValue::Zero);
+    }
+
+    #[test]
+    fn detection_event_classification() {
+        let ev = DetectionEvent {
+            pulse_index: 0,
+            pulse_class: PulseClass::Signal,
+            alice_basis: Basis::Rectilinear,
+            alice_bit: BitValue::One,
+            bob_basis: Basis::Rectilinear,
+            bob_bit: BitValue::Zero,
+            dark_count: false,
+            double_click: false,
+        };
+        assert!(ev.bases_match());
+        assert!(ev.is_error());
+
+        let mismatched = DetectionEvent { bob_basis: Basis::Diagonal, ..ev };
+        assert!(!mismatched.bases_match());
+        assert!(!mismatched.is_error());
+
+        let correct = DetectionEvent { bob_bit: BitValue::One, ..ev };
+        assert!(!correct.is_error());
+    }
+}

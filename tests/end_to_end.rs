@@ -1,0 +1,148 @@
+//! Integration tests spanning the whole workspace: simulator → sifting →
+//! reconciliation → verification → privacy amplification → authentication.
+
+use qkd::core::{ExecutionBackend, PostProcessingConfig, PostProcessor, ReconciliationMethod};
+use qkd::simulator::{CorrelatedKeySource, LinkConfig, LinkSimulator, WorkloadPreset};
+use qkd::types::frame::StageLabel;
+use qkd::types::QkdError;
+
+#[test]
+fn full_stack_distils_key_from_simulated_link() {
+    let mut sim = LinkSimulator::new(LinkConfig::metro_25km(), 2024);
+    let batch = sim.run_until_sifted(40_000, 500_000, 80_000_000).unwrap();
+    let mut config = PostProcessingConfig::for_block_size(8192);
+    config.sampling.sample_fraction = 0.15;
+    let mut processor = PostProcessor::new(config, 1).unwrap();
+    let results = processor.process_detections(&batch.events).unwrap();
+    assert!(results.len() >= 3, "expected at least three full blocks, got {}", results.len());
+
+    let summary = processor.summary();
+    assert_eq!(summary.blocks_failed, 0);
+    assert!(summary.secret_fraction() > 0.15, "secret fraction {}", summary.secret_fraction());
+    assert!(summary.secret_fraction() < 0.95);
+    // The distilled rate should not exceed the asymptotic bound for the
+    // link's QBER.
+    let qber = batch.sifted_qber();
+    let asymptotic = qkd::privacy::asymptotic_secret_fraction(qber, 1.0);
+    assert!(
+        summary.secret_fraction() <= asymptotic,
+        "measured fraction {} cannot beat the asymptotic bound {}",
+        summary.secret_fraction(),
+        asymptotic
+    );
+}
+
+#[test]
+fn ldpc_and_cascade_both_distil_the_same_workload() {
+    let mut src = CorrelatedKeySource::from_preset(WorkloadPreset::Backbone, 16_384, 5).unwrap();
+    let block = src.next_block();
+
+    for method in [ReconciliationMethod::Ldpc, ReconciliationMethod::Cascade] {
+        let config =
+            PostProcessingConfig::for_block_size(16_384).with_reconciliation(method);
+        let mut processor = PostProcessor::new(config, 3).unwrap();
+        let result = processor.process_sifted_block(&block.alice, &block.bob).unwrap();
+        assert!(result.secret_key.len() > 4_000, "{method:?} produced {}", result.secret_key.len());
+        assert_eq!(result.method, method);
+        // Every stage must have been timed.
+        for stage in [
+            StageLabel::Estimation,
+            StageLabel::Reconciliation,
+            StageLabel::Verification,
+            StageLabel::PrivacyAmplification,
+            StageLabel::Authentication,
+        ] {
+            assert!(result.stage_time(stage).is_some(), "{method:?} missing {stage}");
+        }
+    }
+}
+
+#[test]
+fn backends_agree_functionally_but_differ_in_modeled_time() {
+    let mut src = CorrelatedKeySource::from_preset(WorkloadPreset::Metro, 8192, 6).unwrap();
+    let block = src.next_block();
+    let mut lengths = Vec::new();
+    for backend in [ExecutionBackend::CpuSingle, ExecutionBackend::SimGpu, ExecutionBackend::SimFpga] {
+        let config = PostProcessingConfig::for_block_size(8192).with_backend(backend);
+        let mut processor = PostProcessor::new(config, 5).unwrap();
+        let result = processor.process_sifted_block(&block.alice, &block.bob).unwrap();
+        lengths.push(result.secret_key.len());
+    }
+    assert_eq!(lengths[0], lengths[1]);
+    assert_eq!(lengths[1], lengths[2]);
+}
+
+#[test]
+fn stressed_link_still_reconciles_but_yields_less_key() {
+    let mut metro = CorrelatedKeySource::from_preset(WorkloadPreset::Metro, 16_384, 9).unwrap();
+    let mut stressed = CorrelatedKeySource::from_preset(WorkloadPreset::LongHaul, 16_384, 9).unwrap();
+    let metro_block = metro.next_block();
+    let stressed_block = stressed.next_block();
+
+    let mut processor = PostProcessor::new(PostProcessingConfig::for_block_size(16_384), 7).unwrap();
+    let metro_result = processor.process_sifted_block(&metro_block.alice, &metro_block.bob).unwrap();
+    let stressed_result =
+        processor.process_sifted_block(&stressed_block.alice, &stressed_block.bob).unwrap();
+    assert!(
+        stressed_result.secret_key.len() < metro_result.secret_key.len() / 2,
+        "4.5% QBER should cost far more key than 1%: {} vs {}",
+        stressed_result.secret_key.len(),
+        metro_result.secret_key.len()
+    );
+    assert!(stressed_result.reconciliation_leak > metro_result.reconciliation_leak);
+}
+
+#[test]
+fn tampered_channel_aborts_the_block() {
+    // A QBER near 15% models an intercept-resend attack; the protocol must
+    // abort rather than distil key.
+    let mut src = CorrelatedKeySource::new(8192, 0.15, 11).unwrap();
+    let block = src.next_block();
+    let mut processor = PostProcessor::new(PostProcessingConfig::for_block_size(8192), 13).unwrap();
+    let err = processor.process_sifted_block(&block.alice, &block.bob).unwrap_err();
+    assert!(err.is_security_abort(), "expected a security abort, got {err}");
+    assert_eq!(processor.summary().blocks_ok, 0);
+    assert_eq!(processor.summary().secret_bits_out, 0);
+}
+
+#[test]
+fn scheduler_and_engine_tell_a_consistent_offload_story() {
+    use qkd::hetero::{scheduler::pipeline_task_graph, CostModel, SchedulePolicy, Scheduler};
+    // The simulated schedule over CPU+GPU+FPGA must beat the CPU-only one for
+    // a large batch, which is the premise behind offloading in the engine.
+    let tasks = pipeline_task_graph(32, 1 << 18);
+    let cpu_only = Scheduler::new(
+        vec![("cpu".into(), CostModel::cpu_core())],
+        SchedulePolicy::GreedyEarliestFinish,
+    )
+    .unwrap();
+    let hetero = Scheduler::new(
+        vec![
+            ("cpu".into(), CostModel::cpu_core()),
+            ("gpu".into(), CostModel::sim_gpu()),
+            ("fpga".into(), CostModel::sim_fpga()),
+        ],
+        SchedulePolicy::Heft,
+    )
+    .unwrap();
+    let m_cpu = cpu_only.simulate(&tasks).unwrap().makespan;
+    let m_het = hetero.simulate(&tasks).unwrap().makespan;
+    assert!(
+        m_het.as_secs_f64() < m_cpu.as_secs_f64() / 2.0,
+        "heterogeneous schedule {m_het:?} should be far faster than CPU-only {m_cpu:?}"
+    );
+}
+
+#[test]
+fn error_types_are_stable_across_the_stack() {
+    // Errors surfaced by the umbrella crate should be the shared QkdError.
+    let mut src = CorrelatedKeySource::new(4096, 0.2, 17).unwrap();
+    let block = src.next_block();
+    let mut processor = PostProcessor::new(PostProcessingConfig::for_block_size(4096), 19).unwrap();
+    match processor.process_sifted_block(&block.alice, &block.bob) {
+        Err(QkdError::QberAboveThreshold { qber, threshold }) => {
+            assert!(qber > threshold);
+        }
+        other => panic!("expected QberAboveThreshold, got {other:?}"),
+    }
+}

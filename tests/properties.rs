@@ -1,0 +1,142 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use qkd::ldpc::{DecoderConfig, ParityCheckMatrix, SyndromeDecoder};
+use qkd::privacy::{ToeplitzHash, ToeplitzStrategy};
+use qkd::types::gf2::{clmul64, Gf2_128};
+use qkd::types::key::binary_entropy;
+use qkd::types::rng::derive_rng;
+use qkd::types::BitVec;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------- BitVec ----------------
+
+    #[test]
+    fn bitvec_roundtrips_through_bools(bools in proptest::collection::vec(any::<bool>(), 0..300)) {
+        let v = BitVec::from_bools(&bools);
+        prop_assert_eq!(v.len(), bools.len());
+        prop_assert_eq!(v.to_bools(), bools);
+    }
+
+    #[test]
+    fn bitvec_roundtrips_through_bytes(bools in proptest::collection::vec(any::<bool>(), 1..300)) {
+        let v = BitVec::from_bools(&bools);
+        let bytes = v.to_bytes();
+        let back = BitVec::from_bytes(&bytes, v.len());
+        prop_assert_eq!(v, back);
+    }
+
+    #[test]
+    fn xor_is_involutive(bools_a in proptest::collection::vec(any::<bool>(), 1..256),
+                         seed in any::<u64>()) {
+        let a = BitVec::from_bools(&bools_a);
+        let mut rng = derive_rng(seed, "prop-xor");
+        let b = BitVec::random(&mut rng, a.len());
+        let mut c = a.clone();
+        c.xor_assign(&b);
+        c.xor_assign(&b);
+        prop_assert_eq!(c, a);
+    }
+
+    #[test]
+    fn hamming_distance_is_a_metric(len in 1usize..200, seed in any::<u64>()) {
+        let mut rng = derive_rng(seed, "prop-metric");
+        let a = BitVec::random(&mut rng, len);
+        let b = BitVec::random(&mut rng, len);
+        let c = BitVec::random(&mut rng, len);
+        prop_assert_eq!(a.hamming_distance(&a), 0);
+        prop_assert_eq!(a.hamming_distance(&b), b.hamming_distance(&a));
+        prop_assert!(a.hamming_distance(&c) <= a.hamming_distance(&b) + b.hamming_distance(&c));
+    }
+
+    #[test]
+    fn parity_range_composes(len in 2usize..300, seed in any::<u64>(), split_frac in 0.0f64..1.0) {
+        let mut rng = derive_rng(seed, "prop-parity");
+        let v = BitVec::random(&mut rng, len);
+        let split = ((len as f64 * split_frac) as usize).min(len);
+        let whole = v.parity_range(0, len);
+        let parts = v.parity_range(0, split) ^ v.parity_range(split, len);
+        prop_assert_eq!(whole, parts);
+    }
+
+    // ---------------- GF(2) arithmetic ----------------
+
+    #[test]
+    fn clmul_distributes_over_xor(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (lo1, hi1) = clmul64(a, b ^ c);
+        let (lo2, hi2) = clmul64(a, b);
+        let (lo3, hi3) = clmul64(a, c);
+        prop_assert_eq!((lo1, hi1), (lo2 ^ lo3, hi2 ^ hi3));
+    }
+
+    #[test]
+    fn gf128_field_axioms(a_lo in any::<u64>(), a_hi in any::<u64>(),
+                          b_lo in any::<u64>(), b_hi in any::<u64>()) {
+        let a = Gf2_128 { lo: a_lo, hi: a_hi };
+        let b = Gf2_128 { lo: b_lo, hi: b_hi };
+        prop_assert_eq!(a.mul(b), b.mul(a));
+        prop_assert_eq!(a.mul(Gf2_128::ONE), a);
+        prop_assert_eq!(a.add(a), Gf2_128::ZERO);
+    }
+
+    // ---------------- Binary entropy ----------------
+
+    #[test]
+    fn binary_entropy_bounds_and_symmetry(p in 0.0f64..=1.0) {
+        let h = binary_entropy(p);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&h));
+        prop_assert!((h - binary_entropy(1.0 - p)).abs() < 1e-9);
+    }
+
+    // ---------------- Toeplitz hashing ----------------
+
+    #[test]
+    fn toeplitz_strategies_are_bit_exact(n in 65usize..400, frac in 0.1f64..0.9, seed in any::<u64>()) {
+        let m = ((n as f64 * frac) as usize).max(1);
+        let mut rng = derive_rng(seed, "prop-toeplitz");
+        let hash = ToeplitzHash::random(n, m, &mut rng).unwrap();
+        let x = BitVec::random(&mut rng, n);
+        let naive = hash.hash(&x, ToeplitzStrategy::Naive).unwrap();
+        let packed = hash.hash(&x, ToeplitzStrategy::Packed).unwrap();
+        let clmul = hash.hash(&x, ToeplitzStrategy::Clmul).unwrap();
+        prop_assert_eq!(&naive, &packed);
+        prop_assert_eq!(&naive, &clmul);
+    }
+
+    #[test]
+    fn toeplitz_hash_is_linear(n in 65usize..300, seed in any::<u64>()) {
+        let mut rng = derive_rng(seed, "prop-toeplitz-lin");
+        let hash = ToeplitzHash::random(n, n / 2, &mut rng).unwrap();
+        let x = BitVec::random(&mut rng, n);
+        let y = BitVec::random(&mut rng, n);
+        let hx = hash.hash(&x, ToeplitzStrategy::Clmul).unwrap();
+        let hy = hash.hash(&y, ToeplitzStrategy::Clmul).unwrap();
+        let hxy = hash.hash(&(&x ^ &y), ToeplitzStrategy::Clmul).unwrap();
+        prop_assert_eq!(hxy, &hx ^ &hy);
+    }
+}
+
+proptest! {
+    // Fewer cases for the expensive LDPC property.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn ldpc_syndrome_is_linear_and_decoding_corrects_sparse_errors(seed in any::<u64>()) {
+        let matrix = ParityCheckMatrix::for_rate(1024, 0.5, seed).unwrap();
+        let mut rng = derive_rng(seed, "prop-ldpc");
+        let a = BitVec::random(&mut rng, 1024);
+        let b = BitVec::random(&mut rng, 1024);
+        // Linearity of the syndrome map.
+        let s_sum = matrix.syndrome(&(&a ^ &b));
+        prop_assert_eq!(s_sum, &matrix.syndrome(&a) ^ &matrix.syndrome(&b));
+        // A 1.5% error pattern is decodable by the rate-1/2 code.
+        let truth = BitVec::random_with_density(&mut rng, 1024, 0.015);
+        let decoder = SyndromeDecoder::new(&matrix, DecoderConfig::default()).unwrap();
+        let out = decoder.decode(&matrix.syndrome(&truth), 0.02, &[]).unwrap();
+        prop_assert!(out.converged);
+        prop_assert_eq!(out.error_pattern, truth);
+    }
+}
