@@ -44,7 +44,12 @@ impl KeyPool {
     pub fn new(bits: BitVec) -> Self {
         let total = bits.len();
         Self {
-            inner: Arc::new(Mutex::new(PoolInner { bits, cursor: 0, total_added: total, draws: 0 })),
+            inner: Arc::new(Mutex::new(PoolInner {
+                bits,
+                cursor: 0,
+                total_added: total,
+                draws: 0,
+            })),
         }
     }
 
@@ -65,7 +70,10 @@ impl KeyPool {
         let mut inner = self.inner.lock();
         let remaining = inner.bits.len() - inner.cursor;
         if count > remaining {
-            return Err(QkdError::AuthKeyExhausted { requested: count, remaining });
+            return Err(QkdError::AuthKeyExhausted {
+                requested: count,
+                remaining,
+            });
         }
         let out = inner.bits.slice(inner.cursor, inner.cursor + count);
         inner.cursor += count;
@@ -119,7 +127,13 @@ mod tests {
         let pool = KeyPool::with_random_key(100, 2);
         assert!(pool.draw(80).is_ok());
         let err = pool.draw(40).unwrap_err();
-        assert!(matches!(err, QkdError::AuthKeyExhausted { requested: 40, remaining: 20 }));
+        assert!(matches!(
+            err,
+            QkdError::AuthKeyExhausted {
+                requested: 40,
+                remaining: 20
+            }
+        ));
     }
 
     #[test]

@@ -44,7 +44,9 @@ pub struct AuthConfig {
 
 impl Default for AuthConfig {
     fn default() -> Self {
-        Self { family: HashFamily::Polynomial128 }
+        Self {
+            family: HashFamily::Polynomial128,
+        }
     }
 }
 
@@ -82,7 +84,9 @@ impl Authenticator {
     /// Panics if the pool cannot supply the 128-bit hash key; construct pools
     /// with at least 128 bits.
     pub fn new(config: AuthConfig, pool: KeyPool) -> Self {
-        let key_bits = pool.draw(128).expect("key pool must hold at least 128 bits for the hash key");
+        let key_bits = pool
+            .draw(128)
+            .expect("key pool must hold at least 128 bits for the hash key");
         let mut key_bytes = [0u8; 16];
         key_bytes.copy_from_slice(&key_bits.to_bytes());
         let hash_key = Gf2_128::from_bytes(&key_bytes);
@@ -91,7 +95,9 @@ impl Authenticator {
             pool,
             hash_key,
             sequence: std::sync::Arc::new(parking_lot::Mutex::new(0)),
-            issued_pads: std::sync::Arc::new(parking_lot::Mutex::new(std::collections::HashMap::new())),
+            issued_pads: std::sync::Arc::new(parking_lot::Mutex::new(
+                std::collections::HashMap::new(),
+            )),
         }
     }
 
@@ -112,14 +118,14 @@ impl Authenticator {
         for chunk in message.chunks(16) {
             let mut block = [0u8; 16];
             block[..chunk.len()].copy_from_slice(chunk);
-            acc = acc.add(Gf2_128::from_bytes(&block)).mul(self.hash_key);
+            acc = (acc + Gf2_128::from_bytes(&block)) * self.hash_key;
         }
         // Length-and-sequence block closes the polynomial (prevents extension
         // and replay).
         let mut tail = [0u8; 16];
         tail[..8].copy_from_slice(&(message.len() as u64).to_le_bytes());
         tail[8..].copy_from_slice(&sequence.to_le_bytes());
-        acc.add(Gf2_128::from_bytes(&tail)).mul(self.hash_key)
+        (acc + Gf2_128::from_bytes(&tail)) * self.hash_key
     }
 
     fn digest_bits(&self, message: &[u8], sequence: u64) -> BitVec {
@@ -224,7 +230,10 @@ mod tests {
         let t0 = auth.sign(b"message A").unwrap();
         let _t1 = auth.sign(b"message B").unwrap();
         // Replaying t0's bits under a different sequence number must fail.
-        let forged = Tag { sequence: 1, bits: t0.bits.clone() };
+        let forged = Tag {
+            sequence: 1,
+            bits: t0.bits.clone(),
+        };
         assert!(!auth.verify(b"message A", &forged).unwrap());
     }
 
@@ -233,7 +242,10 @@ mod tests {
         let auth = authenticator(4096);
         let t0 = auth.sign(b"same message").unwrap();
         let t1 = auth.sign(b"same message").unwrap();
-        assert_ne!(t0.bits, t1.bits, "fresh OTP must randomise repeated messages");
+        assert_ne!(
+            t0.bits, t1.bits,
+            "fresh OTP must randomise repeated messages"
+        );
         assert_eq!(t0.sequence, 0);
         assert_eq!(t1.sequence, 1);
     }
@@ -255,7 +267,12 @@ mod tests {
     #[test]
     fn shorter_tags_consume_less_key() {
         let pool = KeyPool::with_random_key(128 + 64 * 2, 9);
-        let auth = Authenticator::new(AuthConfig { family: HashFamily::Polynomial64 }, pool);
+        let auth = Authenticator::new(
+            AuthConfig {
+                family: HashFamily::Polynomial64,
+            },
+            pool,
+        );
         let tag = auth.sign(b"cheap tag").unwrap();
         assert_eq!(tag.bits.len(), 64);
         assert_eq!(auth.remaining_messages(), 1);
@@ -272,7 +289,9 @@ mod tests {
         let alice = Authenticator::new(AuthConfig::default(), alice_pool);
         let bob = Authenticator::new(AuthConfig::default(), bob_pool);
         let tag = alice.sign(b"reconciliation syndrome").unwrap();
-        assert!(bob.verify_consuming(b"reconciliation syndrome", &tag).unwrap());
+        assert!(bob
+            .verify_consuming(b"reconciliation syndrome", &tag)
+            .unwrap());
         let tag2 = alice.sign(b"verification hash").unwrap();
         assert!(!bob.verify_consuming(b"tampered hash", &tag2).unwrap());
     }

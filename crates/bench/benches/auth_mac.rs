@@ -8,12 +8,16 @@ use qkd_auth::{AuthConfig, Authenticator, KeyPool};
 
 fn bench_mac(c: &mut Criterion) {
     let mut group = c.benchmark_group("wegman_carter");
-    group.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
     for &len in &[256usize, 4096, 65_536] {
         let message = vec![0xA5u8; len];
         group.bench_with_input(BenchmarkId::new("sign", len), &message, |b, message| {
             // A large pool so the bench never exhausts it.
-            let auth = Authenticator::new(AuthConfig::default(), KeyPool::with_random_key(1 << 26, 1));
+            let auth =
+                Authenticator::new(AuthConfig::default(), KeyPool::with_random_key(1 << 26, 1));
             b.iter(|| auth.sign(message).unwrap());
         });
     }

@@ -11,20 +11,35 @@ use qkd_types::rng::derive_rng;
 
 fn bench_reconciliation(c: &mut Criterion) {
     let mut group = c.benchmark_group("reconciliation");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
     let block = 16_384usize;
     for &qber in &[0.02f64, 0.05] {
         let mut src = CorrelatedKeySource::new(block, qber, 7).unwrap();
         let blk = src.next_block();
         let ldpc = LdpcReconciler::new(ReconcilerConfig::for_block_size(block)).unwrap();
-        group.bench_with_input(BenchmarkId::new("ldpc", format!("{qber}")), &blk, |b, blk| {
-            b.iter(|| ldpc.reconcile(&blk.alice, &blk.bob, qber).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("ldpc", format!("{qber}")),
+            &blk,
+            |b, blk| {
+                b.iter(|| ldpc.reconcile(&blk.alice, &blk.bob, qber).unwrap());
+            },
+        );
         let cascade = CascadeReconciler::new(CascadeConfig::default());
-        group.bench_with_input(BenchmarkId::new("cascade", format!("{qber}")), &blk, |b, blk| {
-            let mut rng = derive_rng(9, "bench-cascade");
-            b.iter(|| cascade.reconcile(&blk.alice, &blk.bob, qber, &mut rng).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cascade", format!("{qber}")),
+            &blk,
+            |b, blk| {
+                let mut rng = derive_rng(9, "bench-cascade");
+                b.iter(|| {
+                    cascade
+                        .reconcile(&blk.alice, &blk.bob, qber, &mut rng)
+                        .unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -12,7 +12,10 @@ use qkd_types::BitVec;
 
 fn bench_ldpc_backends(c: &mut Criterion) {
     let mut group = c.benchmark_group("ldpc_decode");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     for &block in &[4096usize, 16_384] {
         let matrix = Arc::new(ParityCheckMatrix::for_rate(block, 0.5, 1).unwrap());
         let decoder = Arc::new(SyndromeDecoder::new(&matrix, DecoderConfig::default()).unwrap());

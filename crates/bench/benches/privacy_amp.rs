@@ -10,7 +10,10 @@ use qkd_types::BitVec;
 
 fn bench_toeplitz(c: &mut Criterion) {
     let mut group = c.benchmark_group("toeplitz");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     for &n in &[16_384usize, 65_536] {
         let mut rng = derive_rng(3, "bench-pa");
         let input = BitVec::random(&mut rng, n);

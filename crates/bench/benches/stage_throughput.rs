@@ -9,18 +9,25 @@ use qkd_simulator::{CorrelatedKeySource, WorkloadPreset};
 
 fn bench_block_path(c: &mut Criterion) {
     let mut group = c.benchmark_group("block_pipeline");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
     for preset in [WorkloadPreset::Metro, WorkloadPreset::LongHaul] {
         let block = 16_384usize;
         let mut src = CorrelatedKeySource::from_preset(preset, block, 3).unwrap();
         let blk = src.next_block();
-        group.bench_with_input(BenchmarkId::new("full_block", preset.label()), &blk, |b, blk| {
-            let mut config = PostProcessingConfig::for_block_size(block);
-            config.trust_external_qber = true;
-            config.auth_pool_bits = 1 << 24;
-            let mut proc = PostProcessor::new(config, 5).unwrap();
-            b.iter(|| proc.process_sifted_block(&blk.alice, &blk.bob).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("full_block", preset.label()),
+            &blk,
+            |b, blk| {
+                let mut config = PostProcessingConfig::for_block_size(block);
+                config.trust_external_qber = true;
+                config.auth_pool_bits = 1 << 24;
+                let mut proc = PostProcessor::new(config, 5).unwrap();
+                b.iter(|| proc.process_sifted_block(&blk.alice, &blk.bob).unwrap());
+            },
+        );
     }
     group.finish();
 }

@@ -13,11 +13,14 @@ use qkd_bench::experiments;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: harness [all|table1|table2|table3|fig1..fig7|ablate-decoder] ...");
+        eprintln!(
+            "usage: harness [--smoke|all|table1|table2|table3|fig1..fig7|ablate-decoder] ..."
+        );
         std::process::exit(2);
     }
     for arg in &args {
         match arg.as_str() {
+            "--smoke" | "smoke" => experiments::smoke(),
             "all" => experiments::run_all(),
             "table1" => experiments::table1(),
             "table2" => experiments::table2(),

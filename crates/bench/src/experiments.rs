@@ -9,9 +9,12 @@ use qkd_hetero::{
     scheduler::pipeline_task_graph, CostModel, CpuDevice, Device, KernelKind, KernelTask,
     SchedulePolicy, Scheduler, SimFpga, SimGpu,
 };
-use qkd_ldpc::{DecoderAlgorithm, DecoderConfig, LdpcReconciler, ParityCheckMatrix, ReconcilerConfig, Schedule, SyndromeDecoder};
-use qkd_privacy::{asymptotic_secret_fraction, FiniteKeyParams, ToeplitzHash, ToeplitzStrategy};
+use qkd_ldpc::{
+    DecoderAlgorithm, DecoderConfig, LdpcReconciler, ParityCheckMatrix, ReconcilerConfig, Schedule,
+    SyndromeDecoder,
+};
 use qkd_privacy::finite_key::secret_length;
+use qkd_privacy::{asymptotic_secret_fraction, FiniteKeyParams, ToeplitzHash, ToeplitzStrategy};
 use qkd_simulator::{CorrelatedKeySource, LinkConfig};
 use qkd_types::key::binary_entropy;
 use qkd_types::rng::derive_rng;
@@ -23,10 +26,16 @@ use crate::{header, mbps, timed};
 pub fn table1() {
     header(
         "Table 1: per-stage CPU throughput (64 kbit blocks)",
-        &format!("{:<10} {:>8} {:<22} {:>12} {:>12}", "preset", "QBER%", "stage", "ms/block", "Mbit/s"),
+        &format!(
+            "{:<10} {:>8} {:<22} {:>12} {:>12}",
+            "preset", "QBER%", "stage", "ms/block", "Mbit/s"
+        ),
     );
     let block = 65_536usize;
-    for preset in [qkd_simulator::WorkloadPreset::Metro, qkd_simulator::WorkloadPreset::LongHaul] {
+    for preset in [
+        qkd_simulator::WorkloadPreset::Metro,
+        qkd_simulator::WorkloadPreset::LongHaul,
+    ] {
         let mut src = CorrelatedKeySource::from_preset(preset, block, 11).unwrap();
         let blk = src.next_block();
         let mut config = PostProcessingConfig::for_block_size(block);
@@ -51,7 +60,10 @@ pub fn table1() {
 pub fn table2() {
     header(
         "Table 2: LDPC decode throughput by backend",
-        &format!("{:<10} {:<10} {:>14} {:>14}", "block", "backend", "modeled (ms)", "Mbit/s"),
+        &format!(
+            "{:<10} {:<10} {:>14} {:>14}",
+            "block", "backend", "modeled (ms)", "Mbit/s"
+        ),
     );
     for &block in &[4096usize, 16_384, 65_536] {
         let matrix = Arc::new(ParityCheckMatrix::for_rate(block, 0.5, 21).unwrap());
@@ -109,12 +121,22 @@ pub fn table3() {
                 out.messages
             );
         } else {
-            println!("{:<8.1} {:<10} {:>8} {:>10} {:>12} {:>12}", qber * 100.0, "ldpc", "fail", "-", "-", "-");
+            println!(
+                "{:<8.1} {:<10} {:>8} {:>10} {:>12} {:>12}",
+                qber * 100.0,
+                "ldpc",
+                "fail",
+                "-",
+                "-",
+                "-"
+            );
         }
 
         let cascade = CascadeReconciler::new(CascadeConfig::default());
         let mut rng = derive_rng(33, "table3");
-        let out = cascade.reconcile(&blk.alice, &blk.bob, qber, &mut rng).unwrap();
+        let out = cascade
+            .reconcile(&blk.alice, &blk.bob, qber, &mut rng)
+            .unwrap();
         println!(
             "{:<8.1} {:<10} {:>8.2} {:>10} {:>12} {:>12}",
             qber * 100.0,
@@ -132,7 +154,10 @@ pub fn table3() {
 pub fn fig1() {
     header(
         "Figure 1: secret key rate vs distance (decoy-state BB84)",
-        &format!("{:<8} {:>10} {:>16} {:>18}", "km", "QBER%", "asympt b/pulse", "finite (1e6 sifted)"),
+        &format!(
+            "{:<8} {:>10} {:>16} {:>18}",
+            "km", "QBER%", "asympt b/pulse", "finite (1e6 sifted)"
+        ),
     );
     let params = FiniteKeyParams::default();
     for &d in &[0.0, 25.0, 50.0, 75.0, 100.0, 125.0, 150.0, 175.0, 200.0] {
@@ -144,7 +169,13 @@ pub fn fig1() {
         let finite = secret_length(n, (qber + 0.003).min(0.5), leak, 64, &params)
             .map(|s| s.secret_fraction)
             .unwrap_or(0.0);
-        println!("{:<8.0} {:>10.2} {:>16.3e} {:>18.4}", d, qber * 100.0, asym, finite);
+        println!(
+            "{:<8.0} {:>10.2} {:>16.3e} {:>18.4}",
+            d,
+            qber * 100.0,
+            asym,
+            finite
+        );
     }
     println!("(expected shape: exponential decay, zero beyond ~170-200 km)");
 }
@@ -153,10 +184,17 @@ pub fn fig1() {
 pub fn fig2() {
     header(
         "Figure 2: end-to-end modeled throughput vs block size",
-        &format!("{:<10} {:<10} {:>16} {:>16}", "block", "backend", "block time (ms)", "Mbit/s"),
+        &format!(
+            "{:<10} {:<10} {:>16} {:>16}",
+            "block", "backend", "block time (ms)", "Mbit/s"
+        ),
     );
     for &block in &[8_192usize, 32_768, 131_072] {
-        for backend in [ExecutionBackend::CpuSingle, ExecutionBackend::SimGpu, ExecutionBackend::SimFpga] {
+        for backend in [
+            ExecutionBackend::CpuSingle,
+            ExecutionBackend::SimGpu,
+            ExecutionBackend::SimFpga,
+        ] {
             let mut config = PostProcessingConfig::for_block_size(block).with_backend(backend);
             config.trust_external_qber = true;
             let mut proc = PostProcessor::new(config, 5).unwrap();
@@ -180,7 +218,10 @@ pub fn fig2() {
 pub fn fig3() {
     header(
         "Figure 3: Toeplitz hashing throughput (compress to 50%)",
-        &format!("{:<10} {:<10} {:>14} {:>14}", "input", "strategy", "time (ms)", "Mbit/s"),
+        &format!(
+            "{:<10} {:<10} {:>14} {:>14}",
+            "input", "strategy", "time (ms)", "Mbit/s"
+        ),
     );
     for &n in &[16_384usize, 65_536, 262_144] {
         let mut rng = derive_rng(51, "fig3");
@@ -199,7 +240,13 @@ pub fn fig3() {
                 continue;
             }
             let (_, t) = timed(|| hash.hash(&input, strategy).unwrap());
-            println!("{:<10} {:<10} {:>14.3} {:>14.2}", n, label, t.as_secs_f64() * 1e3, mbps(n as f64, t));
+            println!(
+                "{:<10} {:<10} {:>14.3} {:>14.2}",
+                n,
+                label,
+                t.as_secs_f64() * 1e3,
+                mbps(n as f64, t)
+            );
         }
         // Simulated GPU offload of the same hash.
         let task = KernelTask::ToeplitzHash {
@@ -223,7 +270,10 @@ pub fn fig3() {
 pub fn fig4() {
     header(
         "Figure 4: scheduler policy comparison (32 blocks x 256 kbit)",
-        &format!("{:<22} {:>14} {:>14} {:>10} {:>10} {:>10}", "policy", "makespan (ms)", "blocks/s", "cpu", "gpu", "fpga"),
+        &format!(
+            "{:<22} {:>14} {:>14} {:>10} {:>10} {:>10}",
+            "policy", "makespan (ms)", "blocks/s", "cpu", "gpu", "fpga"
+        ),
     );
     let tasks = pipeline_task_graph(32, 1 << 18);
     let devices = vec![
@@ -248,7 +298,10 @@ pub fn fig4() {
     for (name, policy) in [
         ("static cpu-only", cpu_only),
         ("static offload", static_offload),
-        ("greedy earliest-finish", SchedulePolicy::GreedyEarliestFinish),
+        (
+            "greedy earliest-finish",
+            SchedulePolicy::GreedyEarliestFinish,
+        ),
         ("heft", SchedulePolicy::Heft),
     ] {
         let sched = Scheduler::new(devices.clone(), policy).unwrap();
@@ -270,7 +323,10 @@ pub fn fig4() {
 pub fn fig5() {
     header(
         "Figure 5: LDPC offload latency crossover",
-        &format!("{:<12} {:>14} {:>14} {:>14}", "block", "cpu (model)", "gpu (model)", "fpga (model)"),
+        &format!(
+            "{:<12} {:>14} {:>14} {:>14}",
+            "block", "cpu (model)", "gpu (model)", "fpga (model)"
+        ),
     );
     let cpu = CostModel::cpu_core();
     let gpu = CostModel::sim_gpu();
@@ -300,7 +356,10 @@ pub fn fig5() {
 pub fn fig6() {
     header(
         "Figure 6: reconciliation time vs channel RTT (16 kbit, 2.5% QBER)",
-        &format!("{:<12} {:>12} {:>18} {:>18}", "RTT (ms)", "protocol", "channel time (ms)", "eff. Mbit/s"),
+        &format!(
+            "{:<12} {:>12} {:>18} {:>18}",
+            "RTT (ms)", "protocol", "channel time (ms)", "eff. Mbit/s"
+        ),
     );
     let block = 16_384usize;
     let mut src = CorrelatedKeySource::new(block, 0.025, 61).unwrap();
@@ -309,12 +368,18 @@ pub fn fig6() {
     let ldpc_out = ldpc.reconcile(&blk.alice, &blk.bob, 0.025).unwrap();
     let cascade = CascadeReconciler::new(CascadeConfig::default());
     let mut rng = derive_rng(63, "fig6");
-    let cas_out = cascade.reconcile(&blk.alice, &blk.bob, 0.025, &mut rng).unwrap();
+    let cas_out = cascade
+        .reconcile(&blk.alice, &blk.bob, 0.025, &mut rng)
+        .unwrap();
 
     for &rtt_ms in &[0.25f64, 1.0, 5.0, 20.0] {
         let ch = ChannelModel::with_latency(Duration::from_secs_f64(rtt_ms / 2.0 / 1e3));
         let t_ldpc = ch.exchange_time(1, ldpc_out.messages, ldpc_out.leaked_bits);
-        let t_cas = ch.exchange_time(cas_out.round_trips, cas_out.messages, cas_out.leaked_bits * 2);
+        let t_cas = ch.exchange_time(
+            cas_out.round_trips,
+            cas_out.messages,
+            cas_out.leaked_bits * 2,
+        );
         println!(
             "{:<12.2} {:>12} {:>18.2} {:>18.2}",
             rtt_ms,
@@ -340,15 +405,24 @@ pub fn fig6() {
 pub fn fig7() {
     header(
         "Figure 7: finite-key secret fraction vs sifted block size",
-        &format!("{:<12} {:>10} {:>14} {:>14}", "n (bits)", "QBER%", "finite frac", "asymptotic"),
+        &format!(
+            "{:<12} {:>10} {:>14} {:>14}",
+            "n (bits)", "QBER%", "finite frac", "asymptotic"
+        ),
     );
     let params = FiniteKeyParams::default();
     for &qber in &[0.01, 0.03, 0.05] {
         for &n in &[10_000usize, 100_000, 1_000_000, 10_000_000] {
             let leak = (1.2 * binary_entropy(qber) * n as f64) as usize;
-            let frac = secret_length(n, qber + (23.0 / (2.0 * n as f64)).sqrt(), leak, 64, &params)
-                .map(|s| s.secret_fraction)
-                .unwrap_or(0.0);
+            let frac = secret_length(
+                n,
+                qber + (23.0 / (2.0 * n as f64)).sqrt(),
+                leak,
+                64,
+                &params,
+            )
+            .map(|s| s.secret_fraction)
+            .unwrap_or(0.0);
             println!(
                 "{:<12} {:>10.1} {:>14.4} {:>14.4}",
                 n,
@@ -365,19 +439,42 @@ pub fn fig7() {
 pub fn ablate_decoder() {
     header(
         "Ablation: LDPC decoder algorithm x schedule (16 kbit, rate 1/2, 3% QBER)",
-        &format!("{:<26} {:>12} {:>12} {:>12}", "variant", "iters", "time (ms)", "converged"),
+        &format!(
+            "{:<26} {:>12} {:>12} {:>12}",
+            "variant", "iters", "time (ms)", "converged"
+        ),
     );
     let matrix = ParityCheckMatrix::for_rate(16_384, 0.5, 71).unwrap();
     let mut rng = derive_rng(73, "ablate");
     let truth = BitVec::random_with_density(&mut rng, matrix.num_vars(), 0.03);
     let syndrome = matrix.syndrome(&truth);
     for (name, algorithm, schedule) in [
-        ("sum-product / flooding", DecoderAlgorithm::SumProduct, Schedule::Flooding),
-        ("sum-product / layered", DecoderAlgorithm::SumProduct, Schedule::Layered),
-        ("min-sum(0.75) / flooding", DecoderAlgorithm::NORMALIZED_MIN_SUM, Schedule::Flooding),
-        ("min-sum(0.75) / layered", DecoderAlgorithm::NORMALIZED_MIN_SUM, Schedule::Layered),
+        (
+            "sum-product / flooding",
+            DecoderAlgorithm::SumProduct,
+            Schedule::Flooding,
+        ),
+        (
+            "sum-product / layered",
+            DecoderAlgorithm::SumProduct,
+            Schedule::Layered,
+        ),
+        (
+            "min-sum(0.75) / flooding",
+            DecoderAlgorithm::NORMALIZED_MIN_SUM,
+            Schedule::Flooding,
+        ),
+        (
+            "min-sum(0.75) / layered",
+            DecoderAlgorithm::NORMALIZED_MIN_SUM,
+            Schedule::Layered,
+        ),
     ] {
-        let config = DecoderConfig { algorithm, schedule, ..DecoderConfig::default() };
+        let config = DecoderConfig {
+            algorithm,
+            schedule,
+            ..DecoderConfig::default()
+        };
         let decoder = SyndromeDecoder::new(&matrix, config).unwrap();
         let (out, t) = timed(|| decoder.decode(&syndrome, 0.03, &[]).unwrap());
         println!(
@@ -389,6 +486,113 @@ pub fn ablate_decoder() {
         );
     }
     println!("(expected shape: layered halves the iterations; min-sum trades a little accuracy for speed)");
+}
+
+/// Quick smoke benchmark: exercises one representative workload per stage at
+/// reduced sizes and prints one machine-readable JSON document to stdout.
+///
+/// Designed for CI: the whole run finishes in seconds and the output schema
+/// (`qkd-bench-smoke/v1`) is stable so successive runs can be collected into
+/// a benchmark trajectory.
+pub fn smoke() {
+    let total_start = std::time::Instant::now();
+    let block = 16_384usize;
+    let qber = 0.02f64;
+    let mut results: Vec<(&str, f64, f64)> = Vec::new(); // (name, ms, mbit/s)
+
+    // LDPC syndrome decode.
+    let matrix = ParityCheckMatrix::for_rate(block, 0.5, 91).unwrap();
+    let decoder = SyndromeDecoder::new(&matrix, DecoderConfig::default()).unwrap();
+    let mut rng = derive_rng(93, "smoke");
+    let truth = BitVec::random_with_density(&mut rng, block, qber);
+    let syndrome = matrix.syndrome(&truth);
+    let (out, t) = timed(|| decoder.decode(&syndrome, qber, &[]).unwrap());
+    assert!(out.converged, "smoke decode must converge");
+    results.push((
+        "ldpc_decode_16k",
+        t.as_secs_f64() * 1e3,
+        mbps(block as f64, t),
+    ));
+
+    // Rate-adaptive LDPC reconciliation.
+    let mut src = CorrelatedKeySource::new(block, qber, 95).unwrap();
+    let blk = src.next_block();
+    let ldpc = LdpcReconciler::new(ReconcilerConfig::for_block_size(block)).unwrap();
+    let (_, t) = timed(|| ldpc.reconcile(&blk.alice, &blk.bob, qber).unwrap());
+    results.push((
+        "ldpc_reconcile_16k",
+        t.as_secs_f64() * 1e3,
+        mbps(block as f64, t),
+    ));
+
+    // Cascade reconciliation.
+    let cascade = CascadeReconciler::new(CascadeConfig::default());
+    let mut rng = derive_rng(97, "smoke-cascade");
+    let (_, t) = timed(|| {
+        cascade
+            .reconcile(&blk.alice, &blk.bob, qber, &mut rng)
+            .unwrap()
+    });
+    results.push((
+        "cascade_reconcile_16k",
+        t.as_secs_f64() * 1e3,
+        mbps(block as f64, t),
+    ));
+
+    // Toeplitz privacy amplification (clmul strategy).
+    let n = 65_536usize;
+    let mut rng = derive_rng(99, "smoke-toeplitz");
+    let input = BitVec::random(&mut rng, n);
+    let hash = ToeplitzHash::random(n, n / 2, &mut rng).unwrap();
+    let (_, t) = timed(|| hash.hash(&input, ToeplitzStrategy::Clmul).unwrap());
+    results.push((
+        "toeplitz_clmul_64k",
+        t.as_secs_f64() * 1e3,
+        mbps(n as f64, t),
+    ));
+
+    // Full post-processing block path.
+    let mut config = PostProcessingConfig::for_block_size(block);
+    config.trust_external_qber = true;
+    let mut proc = PostProcessor::new(config, 3).unwrap();
+    let (_, t) = timed(|| proc.process_sifted_block(&blk.alice, &blk.bob).unwrap());
+    results.push((
+        "full_block_16k",
+        t.as_secs_f64() * 1e3,
+        mbps(block as f64, t),
+    ));
+
+    // Modeled heterogeneous schedule for reference (no wall-clock component).
+    let tasks = pipeline_task_graph(8, 1 << 16);
+    let sched = Scheduler::new(
+        vec![
+            ("cpu".to_string(), CostModel::cpu_core()),
+            ("gpu".to_string(), CostModel::sim_gpu()),
+            ("fpga".to_string(), CostModel::sim_fpga()),
+        ],
+        SchedulePolicy::Heft,
+    )
+    .unwrap();
+    let sim = sched.simulate(&tasks).unwrap();
+    results.push((
+        "heft_schedule_8x64k_modeled",
+        sim.makespan.as_secs_f64() * 1e3,
+        mbps(8.0 * (1 << 16) as f64, sim.makespan),
+    ));
+
+    // Hand-rolled JSON so the harness stays dependency-free.
+    let mut json = String::from("{\n  \"schema\": \"qkd-bench-smoke/v1\",\n  \"results\": [\n");
+    for (i, (name, ms, mbit)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"ms\": {ms:.4}, \"mbit_per_s\": {mbit:.3}}}{comma}\n"
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"total_wall_s\": {:.3}\n}}",
+        total_start.elapsed().as_secs_f64()
+    ));
+    println!("{json}");
 }
 
 /// Runs every experiment in order.

@@ -49,7 +49,10 @@ impl CascadeConfig {
             return Err(QkdError::invalid_parameter("alpha", "must be positive"));
         }
         if self.min_initial_block < 2 {
-            return Err(QkdError::invalid_parameter("min_initial_block", "must be at least 2"));
+            return Err(QkdError::invalid_parameter(
+                "min_initial_block",
+                "must be at least 2",
+            ));
         }
         if self.max_initial_block < self.min_initial_block {
             return Err(QkdError::invalid_parameter(
@@ -63,8 +66,7 @@ impl CascadeConfig {
     /// Initial block size for a given QBER estimate.
     pub fn initial_block_size(&self, qber: f64) -> usize {
         let q = qber.max(1e-4);
-        ((self.alpha / q).ceil() as usize)
-            .clamp(self.min_initial_block, self.max_initial_block)
+        ((self.alpha / q).ceil() as usize).clamp(self.min_initial_block, self.max_initial_block)
     }
 }
 
@@ -135,7 +137,7 @@ impl Pass {
     }
 
     fn num_blocks(&self, n: usize) -> usize {
-        (n + self.block_size - 1) / self.block_size
+        n.div_ceil(self.block_size)
     }
 }
 
@@ -185,7 +187,10 @@ impl CascadeReconciler {
         }
         let n = alice.len();
         if n == 0 {
-            return Err(QkdError::invalid_parameter("key", "cannot reconcile an empty key"));
+            return Err(QkdError::invalid_parameter(
+                "key",
+                "cannot reconcile an empty key",
+            ));
         }
 
         let mut corrected = bob.clone();
@@ -212,7 +217,11 @@ impl CascadeReconciler {
             for (pos, &orig) in perm.iter().enumerate() {
                 inv[orig] = pos;
             }
-            passes.push(Pass { perm, inv, block_size });
+            passes.push(Pass {
+                perm,
+                inv,
+                block_size,
+            });
             let pass = &passes[pass_idx];
 
             // Top-level parity exchange for this pass: one batched round trip.
@@ -224,7 +233,9 @@ impl CascadeReconciler {
             let mut mismatched: Vec<(usize, usize)> = Vec::new();
             for b in 0..num_blocks {
                 let (s, e) = pass.block_range(b, n);
-                if block_parity(alice, &pass.perm[s..e]) != block_parity(&corrected, &pass.perm[s..e]) {
+                if block_parity(alice, &pass.perm[s..e])
+                    != block_parity(&corrected, &pass.perm[s..e])
+                {
                     mismatched.push((pass_idx, b));
                 }
             }
@@ -363,7 +374,10 @@ mod tests {
             .unwrap();
         assert_eq!(out.corrected, alice);
         assert_eq!(out.corrected_errors, 0);
-        assert!(out.leaked_bits > 0, "top-level parities are still disclosed");
+        assert!(
+            out.leaked_bits > 0,
+            "top-level parities are still disclosed"
+        );
         assert!(out.efficiency(4096).is_none());
     }
 
@@ -444,17 +458,25 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = CascadeConfig::default();
-        c.passes = 0;
+        let c = CascadeConfig {
+            passes: 0,
+            ..CascadeConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = CascadeConfig::default();
-        c.alpha = 0.0;
+        let c = CascadeConfig {
+            alpha: 0.0,
+            ..CascadeConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = CascadeConfig::default();
-        c.min_initial_block = 1;
+        let c = CascadeConfig {
+            min_initial_block: 1,
+            ..CascadeConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = CascadeConfig::default();
-        c.max_initial_block = 4;
+        let c = CascadeConfig {
+            max_initial_block: 4,
+            ..CascadeConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -472,9 +494,14 @@ mod tests {
     #[test]
     fn adaptive_block_size_still_correct() {
         let (alice, bob, _) = correlated(16_384, 0.03, 19);
-        let cfg = CascadeConfig { adaptive_block_size: true, ..CascadeConfig::default() };
+        let cfg = CascadeConfig {
+            adaptive_block_size: true,
+            ..CascadeConfig::default()
+        };
         let mut rng = derive_rng(9, "cascade-run");
-        let out = CascadeReconciler::new(cfg).reconcile(&alice, &bob, 0.01, &mut rng).unwrap();
+        let out = CascadeReconciler::new(cfg)
+            .reconcile(&alice, &bob, 0.01, &mut rng)
+            .unwrap();
         assert_eq!(out.corrected, alice);
     }
 }

@@ -43,7 +43,10 @@ impl ChannelModel {
 
     /// A channel with an explicit one-way latency (for RTT sweeps).
     pub fn with_latency(one_way_latency: Duration) -> Self {
-        Self { one_way_latency, ..Self::metro() }
+        Self {
+            one_way_latency,
+            ..Self::metro()
+        }
     }
 
     /// Validates the model.
@@ -53,7 +56,10 @@ impl ChannelModel {
     /// Returns [`QkdError::InvalidParameter`] for non-positive bandwidth.
     pub fn validate(&self) -> Result<()> {
         if self.bandwidth_bps <= 0.0 {
-            return Err(QkdError::invalid_parameter("bandwidth_bps", "must be positive"));
+            return Err(QkdError::invalid_parameter(
+                "bandwidth_bps",
+                "must be positive",
+            ));
         }
         Ok(())
     }
@@ -65,7 +71,12 @@ impl ChannelModel {
 
     /// Time to complete an exchange of `round_trips` sequential round trips
     /// carrying `payload_bits` in `messages` messages in total.
-    pub fn exchange_time(&self, round_trips: usize, messages: usize, payload_bits: usize) -> Duration {
+    pub fn exchange_time(
+        &self,
+        round_trips: usize,
+        messages: usize,
+        payload_bits: usize,
+    ) -> Duration {
         let serialization =
             (payload_bits + messages * self.per_message_overhead_bits) as f64 / self.bandwidth_bps;
         self.rtt() * round_trips as u32 + Duration::from_secs_f64(serialization)
@@ -121,15 +132,26 @@ mod tests {
         let ten = ch.exchange_time(10, 10, 1_000);
         assert!(ten > one * 5);
         let big_payload = ch.exchange_time(1, 1, 1_000_000_000);
-        assert!(big_payload > one, "1 Gbit payload must add ~1 s of serialisation");
+        assert!(
+            big_payload > one,
+            "1 Gbit payload must add ~1 s of serialisation"
+        );
         assert!(big_payload > Duration::from_millis(900));
     }
 
     #[test]
     fn usage_accumulates_and_costs_time() {
         let mut usage = ChannelUsage::default();
-        usage.add(ChannelUsage { round_trips: 3, messages: 6, payload_bits: 10_000 });
-        usage.add(ChannelUsage { round_trips: 1, messages: 1, payload_bits: 2_048 });
+        usage.add(ChannelUsage {
+            round_trips: 3,
+            messages: 6,
+            payload_bits: 10_000,
+        });
+        usage.add(ChannelUsage {
+            round_trips: 1,
+            messages: 1,
+            payload_bits: 2_048,
+        });
         assert_eq!(usage.round_trips, 4);
         assert_eq!(usage.messages, 7);
         assert_eq!(usage.payload_bits, 12_048);

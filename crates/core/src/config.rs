@@ -113,7 +113,10 @@ impl PostProcessingConfig {
     /// is invalid or the block size disagrees with the LDPC reconciler.
     pub fn validate(&self) -> Result<()> {
         if self.block_size < 64 {
-            return Err(QkdError::invalid_parameter("block_size", "must be at least 64 bits"));
+            return Err(QkdError::invalid_parameter(
+                "block_size",
+                "must be at least 64 bits",
+            ));
         }
         if self.ldpc.block_size != self.block_size {
             return Err(QkdError::invalid_parameter(
@@ -143,7 +146,9 @@ mod tests {
 
     #[test]
     fn default_config_is_valid() {
-        PostProcessingConfig::for_block_size(4096).validate().unwrap();
+        PostProcessingConfig::for_block_size(4096)
+            .validate()
+            .unwrap();
         PostProcessingConfig::for_block_size(65_536)
             .with_reconciliation(ReconciliationMethod::Cascade)
             .with_backend(ExecutionBackend::SimGpu)

@@ -58,7 +58,10 @@ impl BlockResult {
 
     /// Time of one stage, if present.
     pub fn stage_time(&self, stage: StageLabel) -> Option<Duration> {
-        self.stage_times.iter().find(|(s, _)| *s == stage).map(|(_, d)| *d)
+        self.stage_times
+            .iter()
+            .find(|(s, _)| *s == stage)
+            .map(|(_, d)| *d)
     }
 }
 
@@ -85,7 +88,10 @@ impl std::fmt::Debug for PostProcessor {
             .field("block_size", &self.config.block_size)
             .field("reconciliation", &self.config.reconciliation)
             .field("backend", &self.config.backend)
-            .field("blocks_processed", &(self.summary.blocks_ok + self.summary.blocks_failed))
+            .field(
+                "blocks_processed",
+                &(self.summary.blocks_ok + self.summary.blocks_failed),
+            )
             .finish()
     }
 }
@@ -155,12 +161,24 @@ impl PostProcessor {
             match self.process_sifted_block(&alice, &bob) {
                 Ok(mut r) => {
                     // Attribute a proportional share of the sifting time.
-                    r.stage_times.insert(0, (StageLabel::Sifting, sift_time / (sifted.len().max(1) / n).max(1) as u32));
+                    r.stage_times.insert(
+                        0,
+                        (
+                            StageLabel::Sifting,
+                            sift_time / (sifted.len().max(1) / n).max(1) as u32,
+                        ),
+                    );
                     results.push(r);
                 }
-                Err(e) if e.is_security_abort() || matches!(e, QkdError::ReconciliationFailed { .. } | QkdError::InsufficientKeyMaterial { .. }) => {
-                    self.summary.blocks_failed += 1;
-                }
+                // Per-block aborts were already counted in `blocks_failed`
+                // by `process_sifted_block`; skip the block and move on.
+                Err(e)
+                    if e.is_security_abort()
+                        || matches!(
+                            e,
+                            QkdError::ReconciliationFailed { .. }
+                                | QkdError::InsufficientKeyMaterial { .. }
+                        ) => {}
                 Err(e) => return Err(e),
             }
         }
@@ -193,39 +211,56 @@ impl PostProcessor {
 
         // --- Parameter estimation ---------------------------------------
         let est_start = Instant::now();
-        let (alice_kept, bob_kept, qber, qber_upper, est_disclosed) = if self.config.trust_external_qber {
-            // Micro-benchmark path: derive the working QBER from ground truth.
-            let qber = alice.error_rate(bob).max(1e-4);
-            (alice.clone(), bob.clone(), qber, (qber + 0.01).min(0.5), 0)
-        } else {
-            let est = estimate_qber(alice, bob, &self.config.sampling, &mut self.rng).map_err(|e| {
-                if matches!(e, QkdError::QberAboveThreshold { .. }) {
-                    self.summary.disclosed_bits += 0;
-                }
-                e
-            })?;
-            channel_usage.add(ChannelUsage {
-                round_trips: 1,
-                messages: 2,
-                payload_bits: est.sample_size * 2,
-            });
-            (
-                est.alice_remaining,
-                est.bob_remaining,
-                est.observed_qber.max(1e-4),
-                est.upper_bound,
-                est.sample_size,
-            )
-        };
+        let (alice_kept, bob_kept, qber, rec_qber, qber_upper, est_disclosed) =
+            if self.config.trust_external_qber {
+                // Micro-benchmark path: derive the working QBER from ground truth.
+                let qber = alice.error_rate(bob).max(1e-4);
+                (
+                    alice.clone(),
+                    bob.clone(),
+                    qber,
+                    qber,
+                    (qber + 0.01).min(0.5),
+                    0,
+                )
+            } else {
+                let est = estimate_qber(alice, bob, &self.config.sampling, &mut self.rng)
+                    .inspect_err(|e| {
+                        // A threshold abort is a failed block; other errors
+                        // (bad configuration, mismatched inputs) are not.
+                        if matches!(e, QkdError::QberAboveThreshold { .. }) {
+                            self.summary.blocks_failed += 1;
+                        }
+                    })?;
+                channel_usage.add(ChannelUsage {
+                    round_trips: 1,
+                    messages: 2,
+                    payload_bits: est.sample_size * 2,
+                });
+                // Rate selection works from a sampling-confidence bound, not the
+                // raw point estimate: an underestimating sample would otherwise
+                // pick too high a rate and leak an extra syndrome on the failed
+                // first attempt.
+                let rec_qber = est.reconciliation_qber().max(1e-4);
+                (
+                    est.alice_remaining,
+                    est.bob_remaining,
+                    est.observed_qber.max(1e-4),
+                    rec_qber,
+                    est.upper_bound,
+                    est.sample_size,
+                )
+            };
         stage_times.push((StageLabel::Estimation, est_start.elapsed()));
 
         // --- Information reconciliation ----------------------------------
         let rec_start = Instant::now();
         let (corrected, rec_leak, corrected_errors, rec_usage) = match self.config.reconciliation {
             ReconciliationMethod::Ldpc => {
-                let out = self.ldpc.reconcile(&alice_kept, &bob_kept, qber).map_err(|e| {
-                    self.map_block_failure(block, e)
-                })?;
+                let out = self
+                    .ldpc
+                    .reconcile(&alice_kept, &bob_kept, rec_qber)
+                    .map_err(|e| self.map_block_failure(block, e))?;
                 let usage = ChannelUsage {
                     round_trips: 1,
                     messages: out.messages,
@@ -236,7 +271,7 @@ impl PostProcessor {
             ReconciliationMethod::Cascade => {
                 let out = self
                     .cascade
-                    .reconcile(&alice_kept, &bob_kept, qber, &mut self.rng)
+                    .reconcile(&alice_kept, &bob_kept, rec_qber, &mut self.rng)
                     .map_err(|e| self.map_block_failure(block, e))?;
                 let usage = ChannelUsage {
                     round_trips: out.round_trips,
@@ -255,8 +290,12 @@ impl PostProcessor {
 
         // --- Error verification -------------------------------------------
         let ver_start = Instant::now();
-        let verification =
-            verify_keys(&alice_kept, &corrected, &self.config.verification, &mut self.rng)?;
+        let verification = verify_keys(
+            &alice_kept,
+            &corrected,
+            &self.config.verification,
+            &mut self.rng,
+        )?;
         channel_usage.add(ChannelUsage {
             round_trips: 1,
             messages: 2,
@@ -264,7 +303,9 @@ impl PostProcessor {
         });
         if !verification.matched {
             self.summary.blocks_failed += 1;
-            return Err(QkdError::VerificationFailed { block: block.as_u64() });
+            return Err(QkdError::VerificationFailed {
+                block: block.as_u64(),
+            });
         }
         stage_times.push((StageLabel::Verification, ver_start.elapsed()));
 
@@ -290,7 +331,11 @@ impl PostProcessor {
                 &mut self.rng,
             )
             .map_err(|e| self.map_block_failure(block, e))?;
-        channel_usage.add(ChannelUsage { round_trips: 1, messages: 1, payload_bits: 256 });
+        channel_usage.add(ChannelUsage {
+            round_trips: 1,
+            messages: 1,
+            payload_bits: 256,
+        });
         let pa_host = pa_start.elapsed();
         stage_times.push((
             StageLabel::PrivacyAmplification,
@@ -305,16 +350,22 @@ impl PostProcessor {
         let mut auth_bits = 0usize;
         for m in 0..outgoing_messages {
             let transcript = format!("block {} message {m}", block.as_u64());
-            let tag = self.authenticator.sign(transcript.as_bytes()).map_err(|e| {
-                self.summary.blocks_failed += 1;
-                e
-            })?;
+            let tag = self
+                .authenticator
+                .sign(transcript.as_bytes())
+                .inspect_err(|_| {
+                    self.summary.blocks_failed += 1;
+                })?;
             auth_bits += tag.bits.len();
         }
         stage_times.push((StageLabel::Authentication, auth_start.elapsed()));
 
         // --- Book-keeping ----------------------------------------------------
-        let secret_key = SecretKey { block, bits: amplified.bits, epsilon: amplified.epsilon };
+        let secret_key = SecretKey {
+            block,
+            bits: amplified.bits,
+            epsilon: amplified.epsilon,
+        };
         self.summary.blocks_ok += 1;
         self.summary.secret_bits_out += secret_key.bits.len() as u64;
         self.summary.disclosed_bits +=
@@ -389,7 +440,11 @@ mod tests {
         let mut src = CorrelatedKeySource::from_preset(WorkloadPreset::Metro, 8192, 1).unwrap();
         let blk = src.next_block();
         let result = proc.process_sifted_block(&blk.alice, &blk.bob).unwrap();
-        assert!(result.secret_key.len() > 2000, "got {} secret bits", result.secret_key.len());
+        assert!(
+            result.secret_key.len() > 2000,
+            "got {} secret bits",
+            result.secret_key.len()
+        );
         assert!(result.secret_key.len() < 8192);
         assert!(result.corrected_errors > 0);
         assert!(result.reconciliation_leak > 0);
@@ -430,6 +485,9 @@ mod tests {
         let err = proc.process_sifted_block(&blk.alice, &blk.bob).unwrap_err();
         assert!(err.is_security_abort());
         assert_eq!(proc.summary().blocks_ok, 0);
+        // The abort is counted exactly once, whether the block came in
+        // directly or through `process_detections`.
+        assert_eq!(proc.summary().blocks_failed, 1);
     }
 
     #[test]
@@ -470,9 +528,12 @@ mod tests {
         config.sampling.sample_fraction = 0.15;
         let mut proc = PostProcessor::new(config, 9).unwrap();
         let results = proc.process_detections(&batch.events).unwrap();
-        assert!(!results.is_empty(), "at least one full block should have been distilled");
+        assert!(
+            !results.is_empty(),
+            "at least one full block should have been distilled"
+        );
         for r in &results {
-            assert!(r.secret_key.len() > 0);
+            assert!(!r.secret_key.is_empty());
             assert!(r.qber < 0.05, "metro QBER should be small, got {}", r.qber);
         }
         assert_eq!(proc.summary().blocks_ok, results.len());
@@ -498,7 +559,10 @@ mod tests {
         // microseconds.
         let cpu_rec = r_cpu.stage_time(StageLabel::Reconciliation).unwrap();
         let gpu_rec = r_gpu.stage_time(StageLabel::Reconciliation).unwrap();
-        assert!(gpu_rec < cpu_rec, "gpu modeled {gpu_rec:?} vs cpu measured {cpu_rec:?}");
+        assert!(
+            gpu_rec < cpu_rec,
+            "gpu modeled {gpu_rec:?} vs cpu measured {cpu_rec:?}"
+        );
     }
 
     #[test]
@@ -519,6 +583,9 @@ mod tests {
                 Err(e) => panic!("unexpected error {e}"),
             }
         }
-        assert!(saw_exhaustion, "a 1 kbit pool cannot authenticate many blocks");
+        assert!(
+            saw_exhaustion,
+            "a 1 kbit pool cannot authenticate many blocks"
+        );
     }
 }

@@ -79,7 +79,11 @@ mod tests {
             disclosed_bits: 250_000,
             auth_bits_consumed: 5_000,
             processing_time: Duration::from_secs(2),
-            channel_usage: ChannelUsage { round_trips: 20, messages: 40, payload_bits: 300_000 },
+            channel_usage: ChannelUsage {
+                round_trips: 20,
+                messages: 40,
+                payload_bits: 300_000,
+            },
         }
     }
 

@@ -34,7 +34,10 @@ impl VerificationConfig {
     /// larger than 256.
     pub fn validate(&self) -> Result<()> {
         if self.tag_bits == 0 || self.tag_bits > 256 {
-            return Err(QkdError::invalid_parameter("tag_bits", "must lie in 1..=256"));
+            return Err(QkdError::invalid_parameter(
+                "tag_bits",
+                "must lie in 1..=256",
+            ));
         }
         Ok(())
     }
@@ -80,7 +83,10 @@ pub fn verify_keys<R: Rng + ?Sized>(
     let hash = ToeplitzHash::random(alice.len(), config.tag_bits, rng)?;
     let tag_a = hash.hash(alice, ToeplitzStrategy::Clmul)?;
     let tag_b = hash.hash(bob, ToeplitzStrategy::Clmul)?;
-    Ok(VerificationOutcome { matched: tag_a == tag_b, disclosed_bits: config.tag_bits })
+    Ok(VerificationOutcome {
+        matched: tag_a == tag_b,
+        disclosed_bits: config.tag_bits,
+    })
 }
 
 #[cfg(test)]
@@ -92,7 +98,8 @@ mod tests {
     fn identical_keys_verify() {
         let mut rng = derive_rng(1, "verify-test");
         let key = BitVec::random(&mut rng, 10_000);
-        let out = verify_keys(&key, &key.clone(), &VerificationConfig::default(), &mut rng).unwrap();
+        let out =
+            verify_keys(&key, &key.clone(), &VerificationConfig::default(), &mut rng).unwrap();
         assert!(out.matched);
         assert_eq!(out.disclosed_bits, 64);
     }
@@ -110,7 +117,10 @@ mod tests {
                 detected += 1;
             }
         }
-        assert!(detected >= 49, "64-bit digests should miss essentially nothing, detected {detected}/50");
+        assert!(
+            detected >= 49,
+            "64-bit digests should miss essentially nothing, detected {detected}/50"
+        );
     }
 
     #[test]
@@ -122,9 +132,27 @@ mod tests {
             verify_keys(&a, &b, &VerificationConfig::default(), &mut rng),
             Err(QkdError::DimensionMismatch { .. })
         ));
-        assert!(verify_keys(&a, &a.clone(), &VerificationConfig { tag_bits: 0 }, &mut rng).is_err());
-        assert!(verify_keys(&a, &a.clone(), &VerificationConfig { tag_bits: 2000 }, &mut rng).is_err());
+        assert!(verify_keys(
+            &a,
+            &a.clone(),
+            &VerificationConfig { tag_bits: 0 },
+            &mut rng
+        )
+        .is_err());
+        assert!(verify_keys(
+            &a,
+            &a.clone(),
+            &VerificationConfig { tag_bits: 2000 },
+            &mut rng
+        )
+        .is_err());
         let short = BitVec::zeros(32);
-        assert!(verify_keys(&short, &short.clone(), &VerificationConfig::default(), &mut rng).is_err());
+        assert!(verify_keys(
+            &short,
+            &short.clone(),
+            &VerificationConfig::default(),
+            &mut rng
+        )
+        .is_err());
     }
 }

@@ -133,7 +133,12 @@ impl CostModel {
 
     /// Predicted latency of one task under this model.
     pub fn predict(&self, task: &KernelTask) -> Duration {
-        self.predict_raw(task.kind(), task.input_bits(), task.output_bits(), task.work_units())
+        self.predict_raw(
+            task.kind(),
+            task.input_bits(),
+            task.output_bits(),
+            task.work_units(),
+        )
     }
 
     /// Predicted latency from raw workload descriptors (used by the scheduler
@@ -172,7 +177,10 @@ mod tests {
     use qkd_types::BitVec;
 
     fn sift_task(bits: usize) -> KernelTask {
-        KernelTask::Sift { bits: BitVec::zeros(bits), keep: BitVec::ones(bits) }
+        KernelTask::Sift {
+            bits: BitVec::zeros(bits),
+            keep: BitVec::ones(bits),
+        }
     }
 
     #[test]
@@ -202,7 +210,10 @@ mod tests {
         let t1 = fpga.predict(&sift_task(1 << 16)).as_secs_f64();
         let t2 = fpga.predict(&sift_task(1 << 17)).as_secs_f64();
         let ratio = t2 / t1;
-        assert!((ratio - 2.0).abs() < 0.3, "streaming device should scale linearly, ratio {ratio}");
+        assert!(
+            (ratio - 2.0).abs() < 0.3,
+            "streaming device should scale linearly, ratio {ratio}"
+        );
     }
 
     #[test]
@@ -228,7 +239,12 @@ mod tests {
         let model = CostModel::sim_fpga();
         let task = sift_task(4096);
         let a = model.predict(&task);
-        let b = model.predict_raw(task.kind(), task.input_bits(), task.output_bits(), task.work_units());
+        let b = model.predict_raw(
+            task.kind(),
+            task.input_bits(),
+            task.output_bits(),
+            task.work_units(),
+        );
         assert_eq!(a, b);
     }
 }

@@ -84,16 +84,24 @@ fn run_functional(task: &KernelTask) -> Result<KernelOutput> {
             Ok(KernelOutput::Bits(out))
         }
         KernelTask::Syndrome { word, matrix, .. } => Ok(KernelOutput::Bits(matrix.syndrome(word))),
-        KernelTask::LdpcDecode { target_syndrome, qber, decoder, llr_overrides } => {
+        KernelTask::LdpcDecode {
+            target_syndrome,
+            qber,
+            decoder,
+            llr_overrides,
+        } => {
             let outcome = decoder.decode(target_syndrome, *qber, llr_overrides)?;
             Ok(KernelOutput::Decode(outcome))
         }
-        KernelTask::ToeplitzHash { input, hash, strategy } => {
-            Ok(KernelOutput::Bits(hash.hash(input, *strategy)?))
-        }
-        KernelTask::PolyMac { message, authenticator } => {
-            Ok(KernelOutput::Tag(authenticator.sign(message)?))
-        }
+        KernelTask::ToeplitzHash {
+            input,
+            hash,
+            strategy,
+        } => Ok(KernelOutput::Bits(hash.hash(input, *strategy)?)),
+        KernelTask::PolyMac {
+            message,
+            authenticator,
+        } => Ok(KernelOutput::Tag(authenticator.sign(message)?)),
     }
 }
 
@@ -112,7 +120,11 @@ pub struct CpuDevice {
 impl CpuDevice {
     /// Creates a single-threaded CPU device.
     pub fn single_core() -> Self {
-        Self { name: "cpu-1".to_string(), threads: 1, cost: CostModel::cpu_core() }
+        Self {
+            name: "cpu-1".to_string(),
+            threads: 1,
+            cost: CostModel::cpu_core(),
+        }
     }
 
     /// Creates a CPU device using `threads` worker threads for batches.
@@ -122,7 +134,11 @@ impl CpuDevice {
     /// Panics if `threads` is zero.
     pub fn multi_core(threads: usize) -> Self {
         assert!(threads > 0, "thread count must be positive");
-        Self { name: format!("cpu-{threads}"), threads, cost: CostModel::cpu_core() }
+        Self {
+            name: format!("cpu-{threads}"),
+            threads,
+            cost: CostModel::cpu_core(),
+        }
     }
 
     /// Number of worker threads used for batches.
@@ -176,12 +192,14 @@ impl Device for CpuDevice {
         }
 
         let start = Instant::now();
-        let chunk = (tasks.len() + self.threads - 1) / self.threads;
+        let chunk = tasks.len().div_ceil(self.threads);
         let mut results: Vec<Option<Result<KernelResult>>> = Vec::new();
         results.resize_with(tasks.len(), || None);
         crossbeam::thread::scope(|scope| {
-            for (chunk_idx, (task_chunk, result_chunk)) in
-                tasks.chunks(chunk).zip(results.chunks_mut(chunk)).enumerate()
+            for (chunk_idx, (task_chunk, result_chunk)) in tasks
+                .chunks(chunk)
+                .zip(results.chunks_mut(chunk))
+                .enumerate()
             {
                 let _ = chunk_idx;
                 scope.spawn(move |_| {
@@ -226,12 +244,18 @@ pub struct SimGpu {
 impl SimGpu {
     /// Creates a simulated GPU with the default cost model.
     pub fn new() -> Self {
-        Self { name: "sim-gpu".to_string(), cost: CostModel::sim_gpu() }
+        Self {
+            name: "sim-gpu".to_string(),
+            cost: CostModel::sim_gpu(),
+        }
     }
 
     /// Creates a simulated GPU with a custom cost model (used by ablations).
     pub fn with_cost_model(cost: CostModel) -> Self {
-        Self { name: "sim-gpu".to_string(), cost }
+        Self {
+            name: "sim-gpu".to_string(),
+            cost,
+        }
     }
 }
 
@@ -277,7 +301,8 @@ impl Device for SimGpu {
         let host_time = start.elapsed();
         let mut modeled = self.cost.launch_overhead.as_secs_f64();
         for t in tasks {
-            let per_task = self.cost.predict(t).as_secs_f64() - self.cost.launch_overhead.as_secs_f64();
+            let per_task =
+                self.cost.predict(t).as_secs_f64() - self.cost.launch_overhead.as_secs_f64();
             modeled += per_task.max(0.0);
         }
         let modeled = Duration::from_secs_f64(modeled);
@@ -304,12 +329,18 @@ pub struct SimFpga {
 impl SimFpga {
     /// Creates a simulated FPGA with the default cost model.
     pub fn new() -> Self {
-        Self { name: "sim-fpga".to_string(), cost: CostModel::sim_fpga() }
+        Self {
+            name: "sim-fpga".to_string(),
+            cost: CostModel::sim_fpga(),
+        }
     }
 
     /// Creates a simulated FPGA with a custom cost model.
     pub fn with_cost_model(cost: CostModel) -> Self {
-        Self { name: "sim-fpga".to_string(), cost }
+        Self {
+            name: "sim-fpga".to_string(),
+            cost,
+        }
     }
 }
 
@@ -378,8 +409,10 @@ mod tests {
         let mut rng = derive_rng(2, "device-test");
         let bits = BitVec::random(&mut rng, 200);
         let keep = BitVec::random_with_density(&mut rng, 200, 0.3);
-        let expected: Vec<bool> =
-            (0..200).filter(|&i| keep.get(i)).map(|i| bits.get(i)).collect();
+        let expected: Vec<bool> = (0..200)
+            .filter(|&i| keep.get(i))
+            .map(|i| bits.get(i))
+            .collect();
         let out = CpuDevice::single_core()
             .execute(&KernelTask::Sift { bits, keep })
             .unwrap();
@@ -399,7 +432,11 @@ mod tests {
             decoder,
             llr_overrides: Vec::new(),
         };
-        for device in [&CpuDevice::single_core() as &dyn Device, &SimGpu::new(), &SimFpga::new()] {
+        for device in [
+            &CpuDevice::single_core() as &dyn Device,
+            &SimGpu::new(),
+            &SimFpga::new(),
+        ] {
             let result = device.execute(&task).unwrap();
             match &result.output {
                 KernelOutput::Decode(d) => {
@@ -417,7 +454,11 @@ mod tests {
         let input = BitVec::random(&mut rng, 4096);
         let hash = Arc::new(ToeplitzHash::random(4096, 1024, &mut rng).unwrap());
         let direct = hash.hash(&input, ToeplitzStrategy::Clmul).unwrap();
-        let task = KernelTask::ToeplitzHash { input, hash, strategy: ToeplitzStrategy::Clmul };
+        let task = KernelTask::ToeplitzHash {
+            input,
+            hash,
+            strategy: ToeplitzStrategy::Clmul,
+        };
         let out = SimGpu::new().execute(&task).unwrap();
         assert_eq!(out.output.as_bits().unwrap(), &direct);
     }
@@ -443,7 +484,10 @@ mod tests {
             .sum();
         let batch = gpu.execute_batch(&tasks).unwrap();
         let batched = batch[0].modeled_time.as_secs_f64();
-        assert!(batched < singles, "batched {batched} vs sum of singles {singles}");
+        assert!(
+            batched < singles,
+            "batched {batched} vs sum of singles {singles}"
+        );
         assert_eq!(batch.len(), 16);
     }
 
@@ -487,7 +531,10 @@ mod tests {
 
     #[test]
     fn malformed_task_is_a_device_error() {
-        let task = KernelTask::Sift { bits: BitVec::zeros(10), keep: BitVec::zeros(9) };
+        let task = KernelTask::Sift {
+            bits: BitVec::zeros(10),
+            keep: BitVec::zeros(9),
+        };
         let err = CpuDevice::single_core().execute(&task).unwrap_err();
         assert!(matches!(err, QkdError::DeviceError { .. }));
     }

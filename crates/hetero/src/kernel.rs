@@ -111,9 +111,11 @@ impl KernelTask {
         match self {
             KernelTask::Sift { bits, keep } => bits.len() + keep.len(),
             KernelTask::Syndrome { word, .. } => word.len(),
-            KernelTask::LdpcDecode { target_syndrome, decoder, .. } => {
-                target_syndrome.len() + decoder.block_len()
-            }
+            KernelTask::LdpcDecode {
+                target_syndrome,
+                decoder,
+                ..
+            } => target_syndrome.len() + decoder.block_len(),
             KernelTask::ToeplitzHash { input, hash, .. } => input.len() + hash.seed().len(),
             KernelTask::PolyMac { message, .. } => message.len() * 8,
         }

@@ -43,7 +43,11 @@ pub struct FnStage<T, F: FnMut(T) -> Result<T> + Send> {
 impl<T, F: FnMut(T) -> Result<T> + Send> FnStage<T, F> {
     /// Creates a stage from a name and a closure.
     pub fn new(name: impl Into<String>, f: F) -> Self {
-        Self { name: name.into(), f, _marker: std::marker::PhantomData }
+        Self {
+            name: name.into(),
+            f,
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -80,7 +84,10 @@ impl<T: Send + 'static> Pipeline<T> {
     /// Panics if `channel_capacity` is zero.
     pub fn new(channel_capacity: usize) -> Self {
         assert!(channel_capacity > 0, "channel capacity must be positive");
-        Self { stages: Vec::new(), channel_capacity }
+        Self {
+            stages: Vec::new(),
+            channel_capacity,
+        }
     }
 
     /// Appends a stage.
@@ -115,14 +122,16 @@ impl<T: Send + 'static> Pipeline<T> {
     /// * [`QkdError::PipelineStalled`] when a stage thread panics.
     pub fn run(self, items: Vec<T>) -> Result<PipelineReport<T>> {
         if self.stages.is_empty() {
-            return Err(QkdError::invalid_parameter("stages", "pipeline needs at least one stage"));
+            return Err(QkdError::invalid_parameter(
+                "stages",
+                "pipeline needs at least one stage",
+            ));
         }
         let num_items = items.len();
         let capacity = self.channel_capacity;
         let start = Instant::now();
 
-        let stage_names: Vec<String> =
-            self.stages.iter().map(|s| s.name().to_string()).collect();
+        let stage_names: Vec<String> = self.stages.iter().map(|s| s.name().to_string()).collect();
 
         // input channel -> stage 0 -> ... -> stage k-1 -> output channel
         let (input_tx, mut prev_rx) = channel::bounded::<T>(capacity);
@@ -130,20 +139,21 @@ impl<T: Send + 'static> Pipeline<T> {
         let mut handles = Vec::new();
         for mut stage in self.stages {
             let (tx, rx) = channel::bounded::<T>(capacity);
-            let handle = std::thread::spawn(move || -> std::result::Result<StageMetrics, QkdError> {
-                let mut metrics = StageMetrics::default();
-                for item in prev_rx.iter() {
-                    let t0 = Instant::now();
-                    let out = stage.process(item)?;
-                    let dt = t0.elapsed();
-                    metrics.record(dt, dt, 0, 0);
-                    if tx.send(out).is_err() {
-                        // Downstream hung up (error case); stop quietly.
-                        break;
+            let handle =
+                std::thread::spawn(move || -> std::result::Result<StageMetrics, QkdError> {
+                    let mut metrics = StageMetrics::default();
+                    for item in prev_rx.iter() {
+                        let t0 = Instant::now();
+                        let out = stage.process(item)?;
+                        let dt = t0.elapsed();
+                        metrics.record(dt, dt, 0, 0);
+                        if tx.send(out).is_err() {
+                            // Downstream hung up (error case); stop quietly.
+                            break;
+                        }
                     }
-                }
-                Ok(metrics)
-            });
+                    Ok(metrics)
+                });
             handles.push(handle);
             prev_rx = rx;
         }
@@ -163,7 +173,9 @@ impl<T: Send + 'static> Pipeline<T> {
         for item in output_rx.iter() {
             out_items.push(item);
         }
-        feeder.join().map_err(|_| QkdError::PipelineStalled { stage: "feeder" })?;
+        feeder
+            .join()
+            .map_err(|_| QkdError::PipelineStalled { stage: "feeder" })?;
 
         let mut report = ThroughputReport {
             makespan: start.elapsed(),
@@ -190,7 +202,10 @@ impl<T: Send + 'static> Pipeline<T> {
         if let Some(e) = first_error {
             return Err(e);
         }
-        Ok(PipelineReport { items: out_items, throughput: report })
+        Ok(PipelineReport {
+            items: out_items,
+            throughput: report,
+        })
     }
 }
 
@@ -237,15 +252,16 @@ mod tests {
 
     #[test]
     fn stage_error_aborts_the_run() {
-        let pipeline = Pipeline::new(2)
-            .add_fn("ok", |x: u64| Ok(x))
-            .add_fn("fail-on-5", |x: u64| {
-                if x == 5 {
-                    Err(QkdError::PipelineStalled { stage: "fail-on-5" })
-                } else {
-                    Ok(x)
-                }
-            });
+        let pipeline =
+            Pipeline::new(2)
+                .add_fn("ok", |x: u64| Ok(x))
+                .add_fn("fail-on-5", |x: u64| {
+                    if x == 5 {
+                        Err(QkdError::PipelineStalled { stage: "fail-on-5" })
+                    } else {
+                        Ok(x)
+                    }
+                });
         let err = pipeline.run((0..10).collect()).unwrap_err();
         assert!(matches!(err, QkdError::PipelineStalled { .. }));
     }

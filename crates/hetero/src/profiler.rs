@@ -75,7 +75,10 @@ pub struct ThroughputReport {
 impl ThroughputReport {
     /// Records metrics under a stage name.
     pub fn record_stage(&mut self, name: &str, metrics: StageMetrics) {
-        self.stages.entry(name.to_string()).or_default().merge(&metrics);
+        self.stages
+            .entry(name.to_string())
+            .or_default()
+            .merge(&metrics);
     }
 
     /// End-to-end throughput in input bits per second of makespan.
@@ -142,8 +145,18 @@ mod tests {
     #[test]
     fn metrics_accumulate_and_compute_rates() {
         let mut m = StageMetrics::default();
-        m.record(Duration::from_millis(10), Duration::from_millis(12), 1_000_000, 500_000);
-        m.record(Duration::from_millis(10), Duration::from_millis(8), 1_000_000, 500_000);
+        m.record(
+            Duration::from_millis(10),
+            Duration::from_millis(12),
+            1_000_000,
+            500_000,
+        );
+        m.record(
+            Duration::from_millis(10),
+            Duration::from_millis(8),
+            1_000_000,
+            500_000,
+        );
         assert_eq!(m.count, 2);
         assert_eq!(m.bits_in, 2_000_000);
         assert!((m.throughput_bps() - 1e8).abs() / 1e8 < 1e-9);
@@ -159,11 +172,26 @@ mod tests {
 
     #[test]
     fn report_identifies_bottleneck_and_utilisation() {
-        let mut report = ThroughputReport { makespan: Duration::from_secs(1), items: 10, input_bits: 1_000_000, ..Default::default() };
+        let mut report = ThroughputReport {
+            makespan: Duration::from_secs(1),
+            items: 10,
+            input_bits: 1_000_000,
+            ..Default::default()
+        };
         let mut fast = StageMetrics::default();
-        fast.record(Duration::from_millis(100), Duration::from_millis(100), 1_000_000, 900_000);
+        fast.record(
+            Duration::from_millis(100),
+            Duration::from_millis(100),
+            1_000_000,
+            900_000,
+        );
         let mut slow = StageMetrics::default();
-        slow.record(Duration::from_millis(800), Duration::from_millis(800), 900_000, 400_000);
+        slow.record(
+            Duration::from_millis(800),
+            Duration::from_millis(800),
+            900_000,
+            400_000,
+        );
         report.record_stage("sifting", fast);
         report.record_stage("reconciliation", slow);
         let (name, _) = report.bottleneck().unwrap();

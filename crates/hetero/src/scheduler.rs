@@ -50,7 +50,10 @@ impl SchedulePolicy {
     /// Builds a static policy from `(kernel name, device index)` pairs.
     pub fn static_mapping(pairs: &[(KernelKind, usize)]) -> Self {
         SchedulePolicy::Static(
-            pairs.iter().map(|(k, d)| (k.name().to_string(), *d)).collect(),
+            pairs
+                .iter()
+                .map(|(k, d)| (k.name().to_string(), *d))
+                .collect(),
         )
     }
 }
@@ -119,7 +122,10 @@ impl Scheduler {
     /// a static policy references a device that does not exist.
     pub fn new(devices: Vec<(String, CostModel)>, policy: SchedulePolicy) -> Result<Self> {
         if devices.is_empty() {
-            return Err(QkdError::invalid_parameter("devices", "at least one device is required"));
+            return Err(QkdError::invalid_parameter(
+                "devices",
+                "at least one device is required",
+            ));
         }
         if let SchedulePolicy::Static(map) = &policy {
             for (kind, &idx) in map {
@@ -141,7 +147,12 @@ impl Scheduler {
 
     /// Predicted cost of `task` on device `d`.
     fn cost(&self, task: &TaskSpec, d: usize) -> Duration {
-        self.devices[d].1.predict_raw(task.kind, task.input_bits, task.output_bits, task.work_units)
+        self.devices[d].1.predict_raw(
+            task.kind,
+            task.input_bits,
+            task.output_bits,
+            task.work_units,
+        )
     }
 
     /// Average predicted cost across devices (used by HEFT ranking).
@@ -166,11 +177,17 @@ impl Scheduler {
         let n = tasks.len();
         for (i, t) in tasks.iter().enumerate() {
             if t.id != i {
-                return Err(QkdError::invalid_parameter("tasks", "task ids must be dense 0..n in order"));
+                return Err(QkdError::invalid_parameter(
+                    "tasks",
+                    "task ids must be dense 0..n in order",
+                ));
             }
             for &d in &t.depends_on {
                 if d >= n {
-                    return Err(QkdError::invalid_parameter("tasks", format!("dependency {d} out of range")));
+                    return Err(QkdError::invalid_parameter(
+                        "tasks",
+                        format!("dependency {d} out of range"),
+                    ));
                 }
             }
         }
@@ -198,7 +215,10 @@ impl Scheduler {
             }
         }
         if topo.len() != n {
-            return Err(QkdError::invalid_parameter("tasks", "dependency graph contains a cycle"));
+            return Err(QkdError::invalid_parameter(
+                "tasks",
+                "dependency graph contains a cycle",
+            ));
         }
 
         // Order in which tasks are placed.
@@ -231,8 +251,10 @@ impl Scheduler {
                 let _ = order;
                 let mut topo_sorted = Vec::with_capacity(n);
                 let mut indeg2 = indegree;
-                let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> =
-                    (0..n).filter(|&i| indeg2[i] == 0).map(std::cmp::Reverse).collect();
+                let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+                    .filter(|&i| indeg2[i] == 0)
+                    .map(std::cmp::Reverse)
+                    .collect();
                 while let Some(std::cmp::Reverse(t)) = heap.pop() {
                     topo_sorted.push(t);
                     for &d in &dependents[t] {
@@ -252,7 +274,12 @@ impl Scheduler {
         let mut device_busy = vec![0.0f64; self.devices.len()];
         let mut finish_time = vec![0.0f64; n];
         let mut placements = vec![
-            Placement { task: 0, device: 0, start: Duration::ZERO, finish: Duration::ZERO };
+            Placement {
+                task: 0,
+                device: 0,
+                start: Duration::ZERO,
+                finish: Duration::ZERO
+            };
             n
         ];
 
@@ -296,7 +323,10 @@ impl Scheduler {
         Ok(SimulatedSchedule {
             placements,
             makespan: Duration::from_secs_f64(makespan),
-            device_busy: device_busy.into_iter().map(Duration::from_secs_f64).collect(),
+            device_busy: device_busy
+                .into_iter()
+                .map(Duration::from_secs_f64)
+                .collect(),
             device_names: self.devices.iter().map(|(n, _)| n.clone()).collect(),
         })
     }
@@ -395,9 +425,14 @@ mod tests {
         // At megabit blocks the bulk of the LDPC decodes should land off the
         // single CPU core (greedy may still spill a few onto the CPU once the
         // accelerators' queues grow — that is load balancing, not a bug).
-        let decodes: Vec<_> = tasks.iter().filter(|t| t.kind == KernelKind::LdpcDecode).collect();
-        let decode_on_cpu =
-            decodes.iter().filter(|t| sim.placements[t.id].device == 0).count();
+        let decodes: Vec<_> = tasks
+            .iter()
+            .filter(|t| t.kind == KernelKind::LdpcDecode)
+            .collect();
+        let decode_on_cpu = decodes
+            .iter()
+            .filter(|t| sim.placements[t.id].device == 0)
+            .count();
         assert!(
             decode_on_cpu * 2 <= decodes.len(),
             "most large LDPC decodes should be offloaded ({decode_on_cpu}/{} on CPU)",
@@ -422,7 +457,10 @@ mod tests {
         let heft = Scheduler::new(devices(), SchedulePolicy::Heft).unwrap();
         let m_static = static_cpu.simulate(&tasks).unwrap().makespan;
         let m_heft = heft.simulate(&tasks).unwrap().makespan;
-        assert!(m_heft <= m_static, "HEFT {m_heft:?} must not lose to CPU-only {m_static:?}");
+        assert!(
+            m_heft <= m_static,
+            "HEFT {m_heft:?} must not lose to CPU-only {m_static:?}"
+        );
     }
 
     #[test]
@@ -454,7 +492,10 @@ mod tests {
         let sim = sched.simulate(&tasks).unwrap();
         for d in 0..3 {
             let u = sim.utilisation(d);
-            assert!((0.0..=1.0 + 1e-9).contains(&u), "utilisation {u} out of range");
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&u),
+                "utilisation {u} out of range"
+            );
         }
         assert!(sim.blocks_per_sec(8) > 0.0);
         assert_eq!(sim.device_names.len(), 3);
@@ -479,8 +520,22 @@ mod tests {
         assert!(sched.simulate(&bad).is_err());
         // Cycle.
         let cyc = vec![
-            TaskSpec { id: 0, kind: KernelKind::Sift, input_bits: 1, output_bits: 1, work_units: 1.0, depends_on: vec![1] },
-            TaskSpec { id: 1, kind: KernelKind::Sift, input_bits: 1, output_bits: 1, work_units: 1.0, depends_on: vec![0] },
+            TaskSpec {
+                id: 0,
+                kind: KernelKind::Sift,
+                input_bits: 1,
+                output_bits: 1,
+                work_units: 1.0,
+                depends_on: vec![1],
+            },
+            TaskSpec {
+                id: 1,
+                kind: KernelKind::Sift,
+                input_bits: 1,
+                output_bits: 1,
+                work_units: 1.0,
+                depends_on: vec![0],
+            },
         ];
         assert!(sched.simulate(&cyc).is_err());
     }

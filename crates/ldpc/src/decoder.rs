@@ -75,14 +75,20 @@ impl DecoderConfig {
     /// Returns [`QkdError::InvalidParameter`] for out-of-domain fields.
     pub fn validate(&self) -> Result<()> {
         if self.max_iterations == 0 {
-            return Err(QkdError::invalid_parameter("max_iterations", "must be at least 1"));
+            return Err(QkdError::invalid_parameter(
+                "max_iterations",
+                "must be at least 1",
+            ));
         }
         if self.llr_clamp <= 0.0 {
             return Err(QkdError::invalid_parameter("llr_clamp", "must be positive"));
         }
         if let DecoderAlgorithm::MinSum { scale_pct } = self.algorithm {
             if scale_pct == 0 || scale_pct > 100 {
-                return Err(QkdError::invalid_parameter("scale_pct", "must lie in 1..=100"));
+                return Err(QkdError::invalid_parameter(
+                    "scale_pct",
+                    "must lie in 1..=100",
+                ));
             }
         }
         Ok(())
@@ -138,7 +144,14 @@ impl SyndromeDecoder {
             }
             check_offsets.push(edge_var.len());
         }
-        Ok(Self { config, edge_var, check_offsets, var_edges, n, m })
+        Ok(Self {
+            config,
+            edge_var,
+            check_offsets,
+            var_edges,
+            n,
+            m,
+        })
     }
 
     /// The decoder configuration.
@@ -181,7 +194,10 @@ impl SyndromeDecoder {
             });
         }
         if !(0.0 < qber && qber < 0.5) {
-            return Err(QkdError::invalid_parameter("qber", "must lie strictly in (0, 0.5)"));
+            return Err(QkdError::invalid_parameter(
+                "qber",
+                "must lie strictly in (0, 0.5)",
+            ));
         }
 
         let clamp = self.config.llr_clamp;
@@ -216,7 +232,8 @@ impl SyndromeDecoder {
                     suffix[i] = suffix[i + 1] * tanhs[i];
                 }
                 for i in 0..deg {
-                    let prod = (prefix[i] * suffix[i + 1] * sign_target).clamp(-0.999_999, 0.999_999);
+                    let prod =
+                        (prefix[i] * suffix[i + 1] * sign_target).clamp(-0.999_999, 0.999_999);
                     values[i] = 2.0 * prod.atanh();
                 }
             }
@@ -269,15 +286,19 @@ impl SyndromeDecoder {
                 c2v[s..e].copy_from_slice(&buf);
             }
             // Variable node update + hard decision.
-            for v in 0..self.n {
-                let total: f64 = channel[v] + self.var_edges[v].iter().map(|&e| c2v[e]).sum::<f64>();
+            for (v, &prior) in channel.iter().enumerate() {
+                let total: f64 = prior + self.var_edges[v].iter().map(|&e| c2v[e]).sum::<f64>();
                 hard.set(v, total < 0.0);
                 for &e in &self.var_edges[v] {
                     v2c[e] = (total - c2v[e]).clamp(-clamp, clamp);
                 }
             }
             if self.syndrome_ok(&hard, target) {
-                return Ok(DecodeOutcome { error_pattern: hard, converged: true, iterations: iter });
+                return Ok(DecodeOutcome {
+                    error_pattern: hard,
+                    converged: true,
+                    iterations: iter,
+                });
             }
         }
         Ok(DecodeOutcome {
@@ -306,16 +327,19 @@ impl SyndromeDecoder {
                 let inputs = buf.clone();
                 self.check_update(&mut buf, sign_target);
                 for (k, edge) in (s..e).enumerate() {
-                    posterior[self.edge_var[edge]] =
-                        (inputs[k] + buf[k]).clamp(-clamp, clamp);
+                    posterior[self.edge_var[edge]] = (inputs[k] + buf[k]).clamp(-clamp, clamp);
                     c2v[edge] = buf[k];
                 }
             }
-            for v in 0..self.n {
-                hard.set(v, posterior[v] < 0.0);
+            for (v, &llr) in posterior.iter().enumerate() {
+                hard.set(v, llr < 0.0);
             }
             if self.syndrome_ok(&hard, target) {
-                return Ok(DecodeOutcome { error_pattern: hard, converged: true, iterations: iter });
+                return Ok(DecodeOutcome {
+                    error_pattern: hard,
+                    converged: true,
+                    iterations: iter,
+                });
             }
         }
         Ok(DecodeOutcome {
@@ -380,7 +404,10 @@ mod tests {
             ..DecoderConfig::default()
         };
         let (ok, _) = decode_roundtrip(cfg, 4096, 0.5, 0.03);
-        assert!(ok, "sum-product flooding must correct 3% errors at rate 1/2");
+        assert!(
+            ok,
+            "sum-product flooding must correct 3% errors at rate 1/2"
+        );
     }
 
     #[test]
@@ -392,7 +419,10 @@ mod tests {
         let layered = SyndromeDecoder::new(&h, DecoderConfig::default()).unwrap();
         let flooding = SyndromeDecoder::new(
             &h,
-            DecoderConfig { schedule: Schedule::Flooding, ..DecoderConfig::default() },
+            DecoderConfig {
+                schedule: Schedule::Flooding,
+                ..DecoderConfig::default()
+            },
         )
         .unwrap();
         let out_l = layered.decode(&syndrome, 0.04, &[]).unwrap();
@@ -416,7 +446,10 @@ mod tests {
         let syndrome = h.syndrome(&truth);
         let dec = SyndromeDecoder::new(
             &h,
-            DecoderConfig { max_iterations: 30, ..DecoderConfig::default() },
+            DecoderConfig {
+                max_iterations: 30,
+                ..DecoderConfig::default()
+            },
         )
         .unwrap();
         let out = dec.decode(&syndrome, 0.15, &[]).unwrap();
@@ -433,7 +466,9 @@ mod tests {
     fn zero_syndrome_and_tiny_qber_decodes_to_zero() {
         let h = setup(1024, 0.5, 10);
         let dec = SyndromeDecoder::new(&h, DecoderConfig::default()).unwrap();
-        let out = dec.decode(&BitVec::zeros(h.num_checks()), 0.001, &[]).unwrap();
+        let out = dec
+            .decode(&BitVec::zeros(h.num_checks()), 0.001, &[])
+            .unwrap();
         assert!(out.converged);
         assert_eq!(out.error_pattern.count_ones(), 0);
         assert_eq!(out.iterations, 1);
@@ -454,7 +489,10 @@ mod tests {
         let out = dec.decode(&syndrome, 0.03, &overrides).unwrap();
         assert!(out.converged);
         for v in 0..100 {
-            assert!(!out.error_pattern.get(v), "shortened variable {v} must stay zero");
+            assert!(
+                !out.error_pattern.get(v),
+                "shortened variable {v} must stay zero"
+            );
         }
         assert_eq!(out.error_pattern, truth);
     }
@@ -467,21 +505,31 @@ mod tests {
             dec.decode(&BitVec::zeros(10), 0.02, &[]),
             Err(QkdError::DimensionMismatch { .. })
         ));
-        assert!(dec.decode(&BitVec::zeros(h.num_checks()), 0.0, &[]).is_err());
-        assert!(dec.decode(&BitVec::zeros(h.num_checks()), 0.5, &[]).is_err());
+        assert!(dec
+            .decode(&BitVec::zeros(h.num_checks()), 0.0, &[])
+            .is_err());
+        assert!(dec
+            .decode(&BitVec::zeros(h.num_checks()), 0.5, &[])
+            .is_err());
     }
 
     #[test]
     fn invalid_configs_rejected() {
         let h = setup(512, 0.5, 14);
-        let bad = DecoderConfig { max_iterations: 0, ..DecoderConfig::default() };
+        let bad = DecoderConfig {
+            max_iterations: 0,
+            ..DecoderConfig::default()
+        };
         assert!(SyndromeDecoder::new(&h, bad).is_err());
         let bad = DecoderConfig {
             algorithm: DecoderAlgorithm::MinSum { scale_pct: 0 },
             ..DecoderConfig::default()
         };
         assert!(SyndromeDecoder::new(&h, bad).is_err());
-        let bad = DecoderConfig { llr_clamp: -1.0, ..DecoderConfig::default() };
+        let bad = DecoderConfig {
+            llr_clamp: -1.0,
+            ..DecoderConfig::default()
+        };
         assert!(SyndromeDecoder::new(&h, bad).is_err());
     }
 

@@ -77,7 +77,11 @@ impl ParityCheckMatrix {
     ///
     /// Panics if `x.len() != num_vars()`.
     pub fn syndrome(&self, x: &BitVec) -> BitVec {
-        assert_eq!(x.len(), self.n, "codeword length must equal the number of variables");
+        assert_eq!(
+            x.len(),
+            self.n,
+            "codeword length must equal the number of variables"
+        );
         let mut s = BitVec::zeros(self.m);
         for (c, vars) in self.check_to_var.iter().enumerate() {
             let mut p = false;
@@ -97,7 +101,11 @@ impl ParityCheckMatrix {
     ///
     /// Panics if dimensions do not match.
     pub fn syndrome_matches(&self, e: &BitVec, target: &BitVec) -> bool {
-        assert_eq!(target.len(), self.m, "target syndrome length must equal the number of checks");
+        assert_eq!(
+            target.len(),
+            self.m,
+            "target syndrome length must equal the number of checks"
+        );
         self.syndrome(e) == *target
     }
 
@@ -151,7 +159,13 @@ impl ParityCheckMatrix {
             }
         }
 
-        Ok(Self { n, m, check_to_var, var_to_check, construction: Construction::Peg })
+        Ok(Self {
+            n,
+            m,
+            check_to_var,
+            var_to_check,
+            construction: Construction::Peg,
+        })
     }
 
     /// Builds a quasi-cyclic matrix from a random protograph.
@@ -164,7 +178,13 @@ impl ParityCheckMatrix {
     ///
     /// Returns [`QkdError::InvalidParameter`] when `circulant` does not divide
     /// both dimensions or the dimensions are degenerate.
-    pub fn quasi_cyclic(n: usize, m: usize, circulant: usize, base_row_weight: usize, seed: u64) -> Result<Self> {
+    pub fn quasi_cyclic(
+        n: usize,
+        m: usize,
+        circulant: usize,
+        base_row_weight: usize,
+        seed: u64,
+    ) -> Result<Self> {
         validate_dims(n, m)?;
         if circulant == 0 || n % circulant != 0 || m % circulant != 0 {
             return Err(QkdError::invalid_parameter(
@@ -252,7 +272,10 @@ impl ParityCheckMatrix {
     /// Returns [`QkdError::InvalidParameter`] for degenerate rates.
     pub fn for_rate(n: usize, rate: f64, seed: u64) -> Result<Self> {
         if !(0.0 < rate && rate < 1.0) {
-            return Err(QkdError::invalid_parameter("rate", "must lie strictly in (0, 1)"));
+            return Err(QkdError::invalid_parameter(
+                "rate",
+                "must lie strictly in (0, 1)",
+            ));
         }
         let m = ((1.0 - rate) * n as f64).round() as usize;
         let m = m.clamp(1, n - 1);
@@ -273,7 +296,10 @@ impl ParityCheckMatrix {
 
 fn validate_dims(n: usize, m: usize) -> Result<()> {
     if n == 0 || m == 0 {
-        return Err(QkdError::invalid_parameter("n/m", "dimensions must be positive"));
+        return Err(QkdError::invalid_parameter(
+            "n/m",
+            "dimensions must be positive",
+        ));
     }
     if m >= n {
         return Err(QkdError::invalid_parameter(
@@ -352,11 +378,21 @@ fn farthest_check<R: Rng + ?Sized>(
     }
 
     let unreachable: Vec<usize> = (0..m).filter(|&c| !reached[c]).collect();
-    let pool = if unreachable.is_empty() { last_layer } else { unreachable };
+    let pool = if unreachable.is_empty() {
+        last_layer
+    } else {
+        unreachable
+    };
     // Lowest degree within the pool, random tie-break.
-    let min_deg = pool.iter().map(|&c| check_to_var[c].len()).min().unwrap_or(0);
-    let candidates: Vec<usize> =
-        pool.into_iter().filter(|&c| check_to_var[c].len() == min_deg).collect();
+    let min_deg = pool
+        .iter()
+        .map(|&c| check_to_var[c].len())
+        .min()
+        .unwrap_or(0);
+    let candidates: Vec<usize> = pool
+        .into_iter()
+        .filter(|&c| check_to_var[c].len() == min_deg)
+        .collect();
     candidates[rng.gen_range(0..candidates.len())]
 }
 
@@ -386,7 +422,11 @@ mod tests {
             let mut nb = h.var_neighbors(v).to_vec();
             nb.sort_unstable();
             nb.dedup();
-            assert_eq!(nb.len(), h.var_neighbors(v).len(), "variable {v} has a repeated edge");
+            assert_eq!(
+                nb.len(),
+                h.var_neighbors(v).len(),
+                "variable {v} has a repeated edge"
+            );
         }
     }
 
@@ -399,7 +439,10 @@ mod tests {
         for c in 0..256 {
             assert_eq!(h.check_neighbors(c).len(), 8);
         }
-        assert!(matches!(h.construction(), Construction::QuasiCyclic { circulant: 64 }));
+        assert!(matches!(
+            h.construction(),
+            Construction::QuasiCyclic { circulant: 64 }
+        ));
     }
 
     #[test]
@@ -441,7 +484,10 @@ mod tests {
         assert_eq!(small.construction(), Construction::Peg);
         assert!((small.rate() - 0.7).abs() < 0.01);
         let large = ParityCheckMatrix::for_rate(32_768, 0.8, 1).unwrap();
-        assert!(matches!(large.construction(), Construction::QuasiCyclic { .. }));
+        assert!(matches!(
+            large.construction(),
+            Construction::QuasiCyclic { .. }
+        ));
         assert!((large.rate() - 0.8).abs() < 0.02);
     }
 

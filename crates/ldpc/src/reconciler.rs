@@ -44,22 +44,41 @@ impl CodeLibrary {
     ///
     /// Returns [`QkdError::InvalidParameter`] when `block_size` is too small
     /// or a rate is degenerate.
-    pub fn new(block_size: usize, rates: &[f64], decoder_config: DecoderConfig, seed: u64) -> Result<Self> {
+    pub fn new(
+        block_size: usize,
+        rates: &[f64],
+        decoder_config: DecoderConfig,
+        seed: u64,
+    ) -> Result<Self> {
         if block_size < 64 {
-            return Err(QkdError::invalid_parameter("block_size", "must be at least 64 bits"));
+            return Err(QkdError::invalid_parameter(
+                "block_size",
+                "must be at least 64 bits",
+            ));
         }
         if rates.is_empty() {
-            return Err(QkdError::invalid_parameter("rates", "at least one design rate is required"));
+            return Err(QkdError::invalid_parameter(
+                "rates",
+                "at least one design rate is required",
+            ));
         }
         let mut entries = Vec::with_capacity(rates.len());
         for (i, &rate) in rates.iter().enumerate() {
-            let matrix = ParityCheckMatrix::for_rate(block_size, rate, seed.wrapping_add(i as u64))?;
+            let matrix =
+                ParityCheckMatrix::for_rate(block_size, rate, seed.wrapping_add(i as u64))?;
             let decoder = SyndromeDecoder::new(&matrix, decoder_config)?;
-            entries.push(LibraryEntry { rate, matrix, decoder });
+            entries.push(LibraryEntry {
+                rate,
+                matrix,
+                decoder,
+            });
         }
         // Sort descending by rate so "highest feasible rate" is a linear scan.
         entries.sort_by(|a, b| b.rate.partial_cmp(&a.rate).expect("rates are finite"));
-        Ok(Self { block_size, entries })
+        Ok(Self {
+            block_size,
+            entries,
+        })
     }
 
     /// Builds the default library (rates 0.5–0.85) for `block_size`.
@@ -131,7 +150,10 @@ impl ReconcilerConfig {
     /// Returns [`QkdError::InvalidParameter`] for degenerate fields.
     pub fn validate(&self) -> Result<()> {
         if self.block_size < 64 {
-            return Err(QkdError::invalid_parameter("block_size", "must be at least 64 bits"));
+            return Err(QkdError::invalid_parameter(
+                "block_size",
+                "must be at least 64 bits",
+            ));
         }
         if self.efficiency_target < 1.0 {
             return Err(QkdError::invalid_parameter(
@@ -140,7 +162,10 @@ impl ReconcilerConfig {
             ));
         }
         if self.max_rate_retries == 0 {
-            return Err(QkdError::invalid_parameter("max_rate_retries", "must be at least 1"));
+            return Err(QkdError::invalid_parameter(
+                "max_rate_retries",
+                "must be at least 1",
+            ));
         }
         self.decoder.validate()
     }
@@ -198,7 +223,12 @@ impl LdpcReconciler {
     /// invalid or code construction fails.
     pub fn new(config: ReconcilerConfig) -> Result<Self> {
         config.validate()?;
-        let library = CodeLibrary::new(config.block_size, &config.rates, config.decoder, config.seed)?;
+        let library = CodeLibrary::new(
+            config.block_size,
+            &config.rates,
+            config.decoder,
+            config.seed,
+        )?;
         Ok(Self { config, library })
     }
 
@@ -228,7 +258,12 @@ impl LdpcReconciler {
     ///   `(0, 0.5)`.
     /// * [`QkdError::ReconciliationFailed`] when no code in the library
     ///   converges within the retry budget.
-    pub fn reconcile(&self, alice: &BitVec, bob: &BitVec, estimated_qber: f64) -> Result<LdpcOutcome> {
+    pub fn reconcile(
+        &self,
+        alice: &BitVec,
+        bob: &BitVec,
+        estimated_qber: f64,
+    ) -> Result<LdpcOutcome> {
         if alice.len() != bob.len() {
             return Err(QkdError::DimensionMismatch {
                 context: "ldpc reconciliation",
@@ -244,7 +279,10 @@ impl LdpcReconciler {
             });
         }
         if !(0.0 < estimated_qber && estimated_qber < 0.5) {
-            return Err(QkdError::invalid_parameter("estimated_qber", "must lie strictly in (0, 0.5)"));
+            return Err(QkdError::invalid_parameter(
+                "estimated_qber",
+                "must lie strictly in (0, 0.5)",
+            ));
         }
 
         let n = self.config.block_size;
@@ -271,7 +309,9 @@ impl LdpcReconciler {
             (alice.clone(), bob.clone(), Vec::new())
         };
 
-        let start = self.library.select(estimated_qber, self.config.efficiency_target);
+        let start = self
+            .library
+            .select(estimated_qber, self.config.efficiency_target);
         let mut leaked = 0usize;
         let mut attempts = 0usize;
         let max_attempts = self.config.max_rate_retries;
@@ -342,7 +382,10 @@ mod tests {
         let low = lib.select(0.01, 1.2);
         let high = lib.select(0.08, 1.2);
         let rates = lib.rates();
-        assert!(rates[low] > rates[high], "low QBER should map to a higher rate");
+        assert!(
+            rates[low] > rates[high],
+            "low QBER should map to a higher rate"
+        );
         assert_eq!(lib.block_size(), 2048);
     }
 

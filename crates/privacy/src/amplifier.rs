@@ -58,7 +58,13 @@ impl PrivacyAmplifier {
         leak_ec: usize,
         leak_verify: usize,
     ) -> Result<SecretLength> {
-        secret_length(reconciled_len, phase_error, leak_ec, leak_verify, &self.params)
+        secret_length(
+            reconciled_len,
+            phase_error,
+            leak_ec,
+            leak_verify,
+            &self.params,
+        )
     }
 
     /// Amplifies a reconciled key: computes the secret length, draws a random
@@ -128,7 +134,10 @@ mod tests {
         let out = pa.amplify(&reconciled, 0.02, 8_000, 64, &mut rng).unwrap();
         assert_eq!(out.bits.len(), out.length.secret_bits);
         assert!(out.bits.len() < reconciled.len());
-        assert!(out.bits.len() > 25_000, "2% QBER with modest leakage should keep >50%");
+        assert!(
+            out.bits.len() > 25_000,
+            "2% QBER with modest leakage should keep >50%"
+        );
         assert_eq!(out.seed_bits, 50_000 + out.bits.len() - 1);
         assert!((out.epsilon - pa.params().total_epsilon()).abs() < 1e-30);
     }
@@ -170,7 +179,9 @@ mod tests {
         let mut rng = derive_rng(4, "pa-test");
         let reconciled = BitVec::random(&mut rng, 1_000);
         let pa = PrivacyAmplifier::default();
-        let err = pa.amplify(&reconciled, 0.05, 900, 64, &mut rng).unwrap_err();
+        let err = pa
+            .amplify(&reconciled, 0.05, 900, 64, &mut rng)
+            .unwrap_err();
         assert!(matches!(err, QkdError::InsufficientKeyMaterial { .. }));
     }
 
@@ -178,16 +189,22 @@ mod tests {
     fn strategies_produce_identical_secret_keys() {
         let mut rng = derive_rng(5, "pa-test");
         let reconciled = BitVec::random(&mut rng, 8_192);
-        let len = PrivacyAmplifier::default().secret_length(8_192, 0.02, 1_500, 64).unwrap();
+        let len = PrivacyAmplifier::default()
+            .secret_length(8_192, 0.02, 1_500, 64)
+            .unwrap();
         let hash = ToeplitzHash::random(8_192, len.secret_bits, &mut rng).unwrap();
-        let outs: Vec<BitVec> = [ToeplitzStrategy::Naive, ToeplitzStrategy::Packed, ToeplitzStrategy::Clmul]
-            .iter()
-            .map(|&s| {
-                PrivacyAmplifier::new(FiniteKeyParams::default(), s)
-                    .amplify_with(&reconciled, &hash)
-                    .unwrap()
-            })
-            .collect();
+        let outs: Vec<BitVec> = [
+            ToeplitzStrategy::Naive,
+            ToeplitzStrategy::Packed,
+            ToeplitzStrategy::Clmul,
+        ]
+        .iter()
+        .map(|&s| {
+            PrivacyAmplifier::new(FiniteKeyParams::default(), s)
+                .amplify_with(&reconciled, &hash)
+                .unwrap()
+        })
+        .collect();
         assert_eq!(outs[0], outs[1]);
         assert_eq!(outs[1], outs[2]);
     }

@@ -31,7 +31,11 @@ pub struct FiniteKeyParams {
 
 impl Default for FiniteKeyParams {
     fn default() -> Self {
-        Self { epsilon_pa: 1e-10, epsilon_cor: 1e-15, epsilon_pe: 1e-10 }
+        Self {
+            epsilon_pa: 1e-10,
+            epsilon_cor: 1e-15,
+            epsilon_pe: 1e-10,
+        }
     }
 }
 
@@ -49,7 +53,10 @@ impl FiniteKeyParams {
             ("epsilon_pe", self.epsilon_pe),
         ] {
             if !(0.0 < eps && eps < 1.0) {
-                return Err(QkdError::invalid_parameter("epsilon", format!("{name} must lie in (0, 1)")));
+                return Err(QkdError::invalid_parameter(
+                    "epsilon",
+                    format!("{name} must lie in (0, 1)"),
+                ));
             }
         }
         Ok(())
@@ -100,10 +107,16 @@ pub fn secret_length(
 ) -> Result<SecretLength> {
     params.validate()?;
     if n == 0 {
-        return Err(QkdError::invalid_parameter("n", "reconciled key must be non-empty"));
+        return Err(QkdError::invalid_parameter(
+            "n",
+            "reconciled key must be non-empty",
+        ));
     }
     if !(0.0..=0.5).contains(&phase_error) {
-        return Err(QkdError::invalid_parameter("phase_error", "must lie in [0, 0.5]"));
+        return Err(QkdError::invalid_parameter(
+            "phase_error",
+            "must lie in [0, 0.5]",
+        ));
     }
     let raw = n as f64 * (1.0 - binary_entropy(phase_error))
         - leak_ec as f64
@@ -130,7 +143,11 @@ mod tests {
 
     #[test]
     fn secret_length_matches_hand_computation() {
-        let params = FiniteKeyParams { epsilon_pa: 1e-10, epsilon_cor: 1e-15, epsilon_pe: 1e-10 };
+        let params = FiniteKeyParams {
+            epsilon_pa: 1e-10,
+            epsilon_cor: 1e-15,
+            epsilon_pe: 1e-10,
+        };
         let out = secret_length(100_000, 0.03, 25_000, 64, &params).unwrap();
         let expected = 100_000.0 * (1.0 - binary_entropy(0.03))
             - 25_000.0
@@ -145,7 +162,10 @@ mod tests {
     #[test]
     fn short_blocks_yield_zero_key() {
         let out = secret_length(500, 0.05, 400, 64, &FiniteKeyParams::default()).unwrap();
-        assert_eq!(out.secret_bits, 0, "finite-size penalties dominate small blocks");
+        assert_eq!(
+            out.secret_bits, 0,
+            "finite-size penalties dominate small blocks"
+        );
         assert!(out.raw_bound < 0.0);
     }
 
@@ -156,7 +176,9 @@ mod tests {
             .iter()
             .map(|&n| {
                 let leak = (1.2 * binary_entropy(0.02) * n as f64) as usize;
-                secret_length(n, 0.02, leak, 64, &params).unwrap().secret_fraction
+                secret_length(n, 0.02, leak, 64, &params)
+                    .unwrap()
+                    .secret_fraction
             })
             .collect();
         assert!(fractions[0] < fractions[1]);
@@ -172,7 +194,9 @@ mod tests {
         let at = |q: f64| {
             let n = 1_000_000;
             let leak = (1.2 * binary_entropy(q) * n as f64) as usize;
-            secret_length(n, q, leak, 64, &params).unwrap().secret_fraction
+            secret_length(n, q, leak, 64, &params)
+                .unwrap()
+                .secret_fraction
         };
         assert!(at(0.01) > at(0.03));
         assert!(at(0.03) > at(0.06));
@@ -181,14 +205,26 @@ mod tests {
     #[test]
     fn asymptotic_fraction_properties() {
         assert!((asymptotic_secret_fraction(0.0, 1.2) - 1.0).abs() < 1e-12);
-        assert_eq!(asymptotic_secret_fraction(0.12, 1.2), 0.0, "beyond the BB84 threshold");
+        assert_eq!(
+            asymptotic_secret_fraction(0.12, 1.2),
+            0.0,
+            "beyond the BB84 threshold"
+        );
         assert!(asymptotic_secret_fraction(0.02, 1.0) > asymptotic_secret_fraction(0.02, 1.5));
     }
 
     #[test]
     fn stricter_epsilons_cost_more_bits() {
-        let loose = FiniteKeyParams { epsilon_pa: 1e-6, epsilon_cor: 1e-6, epsilon_pe: 1e-6 };
-        let tight = FiniteKeyParams { epsilon_pa: 1e-15, epsilon_cor: 1e-15, epsilon_pe: 1e-15 };
+        let loose = FiniteKeyParams {
+            epsilon_pa: 1e-6,
+            epsilon_cor: 1e-6,
+            epsilon_pe: 1e-6,
+        };
+        let tight = FiniteKeyParams {
+            epsilon_pa: 1e-15,
+            epsilon_cor: 1e-15,
+            epsilon_pe: 1e-15,
+        };
         assert!(tight.security_overhead_bits() > loose.security_overhead_bits());
         assert!(tight.total_epsilon() < loose.total_epsilon());
     }
@@ -198,7 +234,10 @@ mod tests {
         let params = FiniteKeyParams::default();
         assert!(secret_length(0, 0.02, 10, 0, &params).is_err());
         assert!(secret_length(100, 0.6, 10, 0, &params).is_err());
-        let bad = FiniteKeyParams { epsilon_pa: 0.0, ..FiniteKeyParams::default() };
+        let bad = FiniteKeyParams {
+            epsilon_pa: 0.0,
+            ..FiniteKeyParams::default()
+        };
         assert!(secret_length(100, 0.02, 10, 0, &bad).is_err());
         assert!(bad.validate().is_err());
     }

@@ -46,7 +46,10 @@ impl ToeplitzHash {
     /// length is zero or the output is longer than the input.
     pub fn new(input_len: usize, output_len: usize, seed: BitVec) -> Result<Self> {
         if input_len == 0 || output_len == 0 {
-            return Err(QkdError::invalid_parameter("input_len/output_len", "must be positive"));
+            return Err(QkdError::invalid_parameter(
+                "input_len/output_len",
+                "must be positive",
+            ));
         }
         if output_len > input_len {
             return Err(QkdError::invalid_parameter(
@@ -62,7 +65,11 @@ impl ToeplitzHash {
                 actual: seed.len(),
             });
         }
-        Ok(Self { input_len, output_len, seed })
+        Ok(Self {
+            input_len,
+            output_len,
+            seed,
+        })
     }
 
     /// Draws a random seed and creates the hash instance.
@@ -70,7 +77,11 @@ impl ToeplitzHash {
     /// # Errors
     ///
     /// See [`ToeplitzHash::new`].
-    pub fn random<R: rand::Rng + ?Sized>(input_len: usize, output_len: usize, rng: &mut R) -> Result<Self> {
+    pub fn random<R: rand::Rng + ?Sized>(
+        input_len: usize,
+        output_len: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
         if input_len == 0 || output_len == 0 || output_len > input_len {
             return Err(QkdError::invalid_parameter(
                 "input_len/output_len",
@@ -158,8 +169,8 @@ impl ToeplitzHash {
             let mut acc = 0u64;
             let shift = row % 64;
             let word_off = row / 64;
-            let words_needed = (n + 63) / 64;
-            for w in 0..words_needed {
+            let words_needed = n.div_ceil(64);
+            for (w, &rev_word) in rev_words.iter().enumerate().take(words_needed) {
                 let lo = seed_words.get(word_off + w).copied().unwrap_or(0) >> shift;
                 let hi = if shift == 0 {
                     0
@@ -171,7 +182,7 @@ impl ToeplitzHash {
                 if w == words_needed - 1 && n % 64 != 0 {
                     window &= (1u64 << (n % 64)) - 1;
                 }
-                acc ^= window & rev_words[w];
+                acc ^= window & rev_word;
             }
             let _ = seed_len;
             if acc.count_ones() % 2 == 1 {
@@ -249,7 +260,9 @@ mod tests {
         let hy = h.hash(&y, ToeplitzStrategy::Clmul).unwrap();
         let hxy = h.hash(&(&x ^ &y), ToeplitzStrategy::Clmul).unwrap();
         assert_eq!(hxy, &hx ^ &hy);
-        let zero = h.hash(&BitVec::zeros(256), ToeplitzStrategy::Naive).unwrap();
+        let zero = h
+            .hash(&BitVec::zeros(256), ToeplitzStrategy::Naive)
+            .unwrap();
         assert_eq!(zero.count_ones(), 0);
     }
 
@@ -258,7 +271,11 @@ mod tests {
         let (h, _) = instance(50, 20, 5);
         for row in 1..20 {
             for col in 1..50 {
-                assert_eq!(h.entry(row, col), h.entry(row - 1, col - 1), "({row},{col})");
+                assert_eq!(
+                    h.entry(row, col),
+                    h.entry(row - 1, col - 1),
+                    "({row},{col})"
+                );
             }
         }
     }
@@ -296,7 +313,9 @@ mod tests {
         let trials = 2000;
         for _ in 0..trials {
             let h = ToeplitzHash::random(64, 8, &mut rng).unwrap();
-            if h.hash(&x, ToeplitzStrategy::Packed).unwrap() == h.hash(&y, ToeplitzStrategy::Packed).unwrap() {
+            if h.hash(&x, ToeplitzStrategy::Packed).unwrap()
+                == h.hash(&y, ToeplitzStrategy::Packed).unwrap()
+            {
                 collisions += 1;
             }
         }

@@ -64,7 +64,10 @@ impl DecoyCounts {
             ("qber_decoy", self.qber_decoy),
         ] {
             if !(0.0..=1.0).contains(&p) {
-                return Err(QkdError::invalid_parameter("decoy counts", format!("{name} must lie in [0, 1]")));
+                return Err(QkdError::invalid_parameter(
+                    "decoy counts",
+                    format!("{name} must lie in [0, 1]"),
+                ));
             }
         }
         Ok(())
@@ -107,7 +110,12 @@ impl DecoyCounts {
         let e1 = (self.qber_decoy * q_nu_e - e0 * y0) / (y1_lower * nu);
         let e1_upper = e1.clamp(0.0, 0.5);
 
-        Ok(DecoyEstimate { y1_lower, q1_lower, e1_upper, y0 })
+        Ok(DecoyEstimate {
+            y1_lower,
+            q1_lower,
+            e1_upper,
+            y0,
+        })
     }
 }
 

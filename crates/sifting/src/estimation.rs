@@ -26,7 +26,12 @@ pub struct SamplingConfig {
 
 impl Default for SamplingConfig {
     fn default() -> Self {
-        Self { sample_fraction: 0.1, min_sample: 256, epsilon: 1e-10, abort_threshold: 0.11 }
+        Self {
+            sample_fraction: 0.1,
+            min_sample: 256,
+            epsilon: 1e-10,
+            abort_threshold: 0.11,
+        }
     }
 }
 
@@ -38,13 +43,19 @@ impl SamplingConfig {
     /// Returns [`QkdError::InvalidParameter`] for out-of-domain fields.
     pub fn validate(&self) -> Result<()> {
         if !(0.0 < self.sample_fraction && self.sample_fraction < 1.0) {
-            return Err(QkdError::invalid_parameter("sample_fraction", "must lie in (0, 1)"));
+            return Err(QkdError::invalid_parameter(
+                "sample_fraction",
+                "must lie in (0, 1)",
+            ));
         }
         if !(0.0 < self.epsilon && self.epsilon < 1.0) {
             return Err(QkdError::invalid_parameter("epsilon", "must lie in (0, 1)"));
         }
         if !(0.0 < self.abort_threshold && self.abort_threshold <= 0.5) {
-            return Err(QkdError::invalid_parameter("abort_threshold", "must lie in (0, 0.5]"));
+            return Err(QkdError::invalid_parameter(
+                "abort_threshold",
+                "must lie in (0, 0.5]",
+            ));
         }
         Ok(())
     }
@@ -79,6 +90,27 @@ impl QberEstimate {
     /// threshold.
     pub fn should_abort(&self, threshold: f64) -> bool {
         self.observed_qber > threshold
+    }
+
+    /// Working estimate for rate-adaptive reconciliation: the point estimate
+    /// plus two standard errors of the sampling distribution (with Laplace
+    /// smoothing so a zero-error sample still carries finite uncertainty).
+    ///
+    /// Choosing the code rate from the raw point estimate makes the first
+    /// decode attempt fail whenever the sample happened to underestimate the
+    /// channel, and every failed attempt leaks a full extra syndrome. Two
+    /// standard errors (~97.7% one-sided confidence) is the standard
+    /// operating point: pessimistic enough that first-attempt failures are
+    /// rare, far less pessimistic than the `epsilon`-level Hoeffding
+    /// [`QberEstimate::upper_bound`] reserved for the security analysis.
+    pub fn reconciliation_qber(&self) -> f64 {
+        let k = self.sample_size.max(1) as f64;
+        let smoothed = (self.sample_errors as f64 + 1.0) / (k + 2.0);
+        let std_error = (smoothed * (1.0 - smoothed) / k).sqrt();
+        // Cap strictly below 0.5: the reconcilers' QBER domain is the open
+        // interval (0, 0.5), so a worst-case block must degrade to a
+        // per-block reconciliation failure, not a parameter error.
+        (self.observed_qber + 2.0 * std_error).min(0.4999)
     }
 }
 
@@ -171,7 +203,11 @@ mod tests {
         let (alice, bob) = correlated_pair(200_000, 0.03, 1);
         let mut rng = derive_rng(2, "est");
         let est = estimate_qber(&alice, &bob, &SamplingConfig::default(), &mut rng).unwrap();
-        assert!((est.observed_qber - 0.03).abs() < 0.01, "observed {}", est.observed_qber);
+        assert!(
+            (est.observed_qber - 0.03).abs() < 0.01,
+            "observed {}",
+            est.observed_qber
+        );
         assert!(est.upper_bound >= est.observed_qber);
         assert_eq!(est.alice_remaining.len(), 200_000 - est.sample_size);
         assert_eq!(est.bob_remaining.len(), est.alice_remaining.len());
@@ -184,7 +220,10 @@ mod tests {
         let est = estimate_qber(&alice, &bob, &SamplingConfig::default(), &mut rng).unwrap();
         // The error rate of the remaining key should still be near 5%.
         let remaining_qber = est.alice_remaining.error_rate(&est.bob_remaining);
-        assert!((remaining_qber - 0.05).abs() < 0.02, "remaining qber {remaining_qber}");
+        assert!(
+            (remaining_qber - 0.05).abs() < 0.02,
+            "remaining qber {remaining_qber}"
+        );
         // Sample + remaining must partition the original key.
         assert_eq!(est.sample_size + est.alice_remaining.len(), alice.len());
     }
@@ -206,7 +245,10 @@ mod tests {
         let est = estimate_qber(&alice, &bob, &SamplingConfig::default(), &mut rng).unwrap();
         assert_eq!(est.observed_qber, 0.0);
         assert_eq!(est.sample_errors, 0);
-        assert!(est.upper_bound > 0.0, "upper bound keeps a finite-size penalty");
+        assert!(
+            est.upper_bound > 0.0,
+            "upper bound keeps a finite-size penalty"
+        );
     }
 
     #[test]
@@ -230,15 +272,50 @@ mod tests {
 
     #[test]
     fn invalid_config_rejected() {
-        let mut cfg = SamplingConfig::default();
-        cfg.sample_fraction = 1.5;
+        let cfg = SamplingConfig {
+            sample_fraction: 1.5,
+            ..SamplingConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = SamplingConfig::default();
-        cfg.epsilon = 0.0;
+        let cfg = SamplingConfig {
+            epsilon: 0.0,
+            ..SamplingConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = SamplingConfig::default();
-        cfg.abort_threshold = 0.6;
+        let cfg = SamplingConfig {
+            abort_threshold: 0.6,
+            ..SamplingConfig::default()
+        };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn reconciliation_qber_sits_between_estimate_and_security_bound() {
+        let (alice, bob) = correlated_pair(100_000, 0.03, 15);
+        let mut rng = derive_rng(16, "est");
+        let est = estimate_qber(&alice, &bob, &SamplingConfig::default(), &mut rng).unwrap();
+        let working = est.reconciliation_qber();
+        assert!(working > est.observed_qber, "must add sampling slack");
+        assert!(
+            working < est.upper_bound,
+            "must stay below the Hoeffding bound"
+        );
+    }
+
+    #[test]
+    fn reconciliation_qber_stays_inside_the_reconcilers_domain() {
+        // Even a worst-case sample must map strictly below 0.5, the open
+        // upper end of the QBER domain accepted by the reconcilers.
+        let est = QberEstimate {
+            observed_qber: 0.5,
+            upper_bound: 0.5,
+            sample_size: 16,
+            sample_errors: 8,
+            alice_remaining: BitVec::zeros(8),
+            bob_remaining: BitVec::zeros(8),
+            disclosed_indices: Vec::new(),
+        };
+        assert!(est.reconciliation_qber() < 0.5);
     }
 
     #[test]
@@ -248,19 +325,28 @@ mod tests {
         let small = estimate_qber(
             &alice,
             &bob,
-            &SamplingConfig { sample_fraction: 0.01, ..SamplingConfig::default() },
+            &SamplingConfig {
+                sample_fraction: 0.01,
+                ..SamplingConfig::default()
+            },
             &mut rng,
         )
         .unwrap();
         let large = estimate_qber(
             &alice,
             &bob,
-            &SamplingConfig { sample_fraction: 0.2, ..SamplingConfig::default() },
+            &SamplingConfig {
+                sample_fraction: 0.2,
+                ..SamplingConfig::default()
+            },
             &mut rng,
         )
         .unwrap();
         let small_gap = small.upper_bound - small.observed_qber;
         let large_gap = large.upper_bound - large.observed_qber;
-        assert!(large_gap < small_gap, "bigger sample should shrink the deviation term");
+        assert!(
+            large_gap < small_gap,
+            "bigger sample should shrink the deviation term"
+        );
     }
 }

@@ -17,7 +17,10 @@ pub struct SiftingConfig {
 
 impl Default for SiftingConfig {
     fn default() -> Self {
-        Self { signal_only: true, discard_double_clicks: true }
+        Self {
+            signal_only: true,
+            discard_double_clicks: true,
+        }
     }
 }
 
@@ -128,11 +131,51 @@ mod tests {
     #[test]
     fn retains_only_matching_signal_events() {
         let events = vec![
-            ev(0, PulseClass::Signal, Basis::Rectilinear, Basis::Rectilinear, true, true, false),
-            ev(1, PulseClass::Signal, Basis::Rectilinear, Basis::Diagonal, true, false, false),
-            ev(2, PulseClass::Decoy, Basis::Diagonal, Basis::Diagonal, false, false, false),
-            ev(3, PulseClass::Signal, Basis::Diagonal, Basis::Diagonal, false, true, false),
-            ev(4, PulseClass::Signal, Basis::Diagonal, Basis::Diagonal, true, true, true),
+            ev(
+                0,
+                PulseClass::Signal,
+                Basis::Rectilinear,
+                Basis::Rectilinear,
+                true,
+                true,
+                false,
+            ),
+            ev(
+                1,
+                PulseClass::Signal,
+                Basis::Rectilinear,
+                Basis::Diagonal,
+                true,
+                false,
+                false,
+            ),
+            ev(
+                2,
+                PulseClass::Decoy,
+                Basis::Diagonal,
+                Basis::Diagonal,
+                false,
+                false,
+                false,
+            ),
+            ev(
+                3,
+                PulseClass::Signal,
+                Basis::Diagonal,
+                Basis::Diagonal,
+                false,
+                true,
+                false,
+            ),
+            ev(
+                4,
+                PulseClass::Signal,
+                Basis::Diagonal,
+                Basis::Diagonal,
+                true,
+                true,
+                true,
+            ),
         ];
         let out = sift(&events, &SiftingConfig::default());
         assert_eq!(out.len(), 2);
@@ -148,10 +191,29 @@ mod tests {
     #[test]
     fn keeping_all_classes_and_double_clicks() {
         let events = vec![
-            ev(0, PulseClass::Decoy, Basis::Rectilinear, Basis::Rectilinear, true, true, false),
-            ev(1, PulseClass::Signal, Basis::Diagonal, Basis::Diagonal, false, false, true),
+            ev(
+                0,
+                PulseClass::Decoy,
+                Basis::Rectilinear,
+                Basis::Rectilinear,
+                true,
+                true,
+                false,
+            ),
+            ev(
+                1,
+                PulseClass::Signal,
+                Basis::Diagonal,
+                Basis::Diagonal,
+                false,
+                false,
+                true,
+            ),
         ];
-        let cfg = SiftingConfig { signal_only: false, discard_double_clicks: false };
+        let cfg = SiftingConfig {
+            signal_only: false,
+            discard_double_clicks: false,
+        };
         let out = sift(&events, &cfg);
         assert_eq!(out.len(), 2);
         assert_eq!(out.discarded_non_signal, 0);
@@ -173,7 +235,11 @@ mod tests {
                 ev(
                     i,
                     PulseClass::Signal,
-                    if i % 2 == 0 { Basis::Rectilinear } else { Basis::Diagonal },
+                    if i % 2 == 0 {
+                        Basis::Rectilinear
+                    } else {
+                        Basis::Diagonal
+                    },
                     Basis::Rectilinear,
                     i % 3 == 0,
                     i % 5 == 0,

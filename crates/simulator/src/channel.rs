@@ -37,16 +37,28 @@ impl ChannelConfig {
     /// misalignment is not a probability below one half.
     pub fn validate(&self) -> Result<()> {
         if self.distance_km < 0.0 {
-            return Err(QkdError::invalid_parameter("distance_km", "must be non-negative"));
+            return Err(QkdError::invalid_parameter(
+                "distance_km",
+                "must be non-negative",
+            ));
         }
         if self.attenuation_db_per_km < 0.0 {
-            return Err(QkdError::invalid_parameter("attenuation_db_per_km", "must be non-negative"));
+            return Err(QkdError::invalid_parameter(
+                "attenuation_db_per_km",
+                "must be non-negative",
+            ));
         }
         if self.insertion_loss_db < 0.0 {
-            return Err(QkdError::invalid_parameter("insertion_loss_db", "must be non-negative"));
+            return Err(QkdError::invalid_parameter(
+                "insertion_loss_db",
+                "must be non-negative",
+            ));
         }
         if !(0.0..0.5).contains(&self.misalignment) {
-            return Err(QkdError::invalid_parameter("misalignment", "must lie in [0, 0.5)"));
+            return Err(QkdError::invalid_parameter(
+                "misalignment",
+                "must lie in [0, 0.5)",
+            ));
         }
         Ok(())
     }
@@ -90,7 +102,10 @@ mod tests {
 
     #[test]
     fn zero_distance_transmittance_is_insertion_loss_only() {
-        let c = ChannelConfig { insertion_loss_db: 0.0, ..ChannelConfig::standard_fibre(0.0) };
+        let c = ChannelConfig {
+            insertion_loss_db: 0.0,
+            ..ChannelConfig::standard_fibre(0.0)
+        };
         assert!((c.transmittance() - 1.0).abs() < 1e-12);
     }
 

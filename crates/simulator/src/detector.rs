@@ -52,16 +52,28 @@ impl DetectorConfig {
     /// its domain or the receiver loss is negative.
     pub fn validate(&self) -> Result<()> {
         if !(0.0 < self.efficiency && self.efficiency <= 1.0) {
-            return Err(QkdError::invalid_parameter("efficiency", "must lie in (0, 1]"));
+            return Err(QkdError::invalid_parameter(
+                "efficiency",
+                "must lie in (0, 1]",
+            ));
         }
         if !(0.0..1.0).contains(&self.dark_count_prob) {
-            return Err(QkdError::invalid_parameter("dark_count_prob", "must lie in [0, 1)"));
+            return Err(QkdError::invalid_parameter(
+                "dark_count_prob",
+                "must lie in [0, 1)",
+            ));
         }
         if self.receiver_loss_db < 0.0 {
-            return Err(QkdError::invalid_parameter("receiver_loss_db", "must be non-negative"));
+            return Err(QkdError::invalid_parameter(
+                "receiver_loss_db",
+                "must be non-negative",
+            ));
         }
         if !(0.0 < self.p_rectilinear && self.p_rectilinear < 1.0) {
-            return Err(QkdError::invalid_parameter("p_rectilinear", "must lie strictly in (0, 1)"));
+            return Err(QkdError::invalid_parameter(
+                "p_rectilinear",
+                "must lie strictly in (0, 1)",
+            ));
         }
         Ok(())
     }
@@ -110,13 +122,20 @@ mod tests {
 
     #[test]
     fn overall_efficiency_combines_loss_and_qe() {
-        let d = DetectorConfig { receiver_loss_db: 3.0103, efficiency: 0.5, ..DetectorConfig::typical_apd() };
+        let d = DetectorConfig {
+            receiver_loss_db: 3.0103,
+            efficiency: 0.5,
+            ..DetectorConfig::typical_apd()
+        };
         assert!((d.overall_efficiency() - 0.25).abs() < 1e-3);
     }
 
     #[test]
     fn dark_count_probability_for_two_detectors() {
-        let d = DetectorConfig { dark_count_prob: 0.1, ..DetectorConfig::typical_apd() };
+        let d = DetectorConfig {
+            dark_count_prob: 0.1,
+            ..DetectorConfig::typical_apd()
+        };
         assert!((d.any_dark_count_prob() - 0.19).abs() < 1e-12);
     }
 

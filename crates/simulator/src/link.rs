@@ -74,7 +74,11 @@ impl LinkConfig {
 
     /// Analytic model matching this configuration.
     pub fn theory(&self) -> DecoyStateTheory {
-        DecoyStateTheory::new(self.source.clone(), self.channel.clone(), self.detector.clone())
+        DecoyStateTheory::new(
+            self.source.clone(),
+            self.channel.clone(),
+            self.detector.clone(),
+        )
     }
 }
 
@@ -161,8 +165,10 @@ impl LinkSimulator {
 
     /// Simulates `pulses` transmitted pulses and returns the detections.
     pub fn run_pulses(&mut self, pulses: u64) -> DetectionBatch {
-        let mut batch = DetectionBatch::default();
-        batch.pulses_sent = pulses;
+        let mut batch = DetectionBatch {
+            pulses_sent: pulses,
+            ..DetectionBatch::default()
+        };
         let eta = self.theory.eta();
         let dark2 = self.config.detector.any_dark_count_prob();
 
@@ -250,9 +256,8 @@ impl LinkSimulator {
         chunk_pulses: u64,
         max_pulses: u64,
     ) -> Result<DetectionBatch> {
-        let expected_per_pulse = self.theory.gain(qkd_types::PulseClass::Signal)
-            * self.config.source.p_signal
-            * 0.8; // conservative sifting factor
+        let expected_per_pulse =
+            self.theory.gain(qkd_types::PulseClass::Signal) * self.config.source.p_signal * 0.8; // conservative sifting factor
         if expected_per_pulse <= 0.0 || (target as f64 / expected_per_pulse) > max_pulses as f64 {
             return Err(QkdError::invalid_parameter(
                 "target",
@@ -288,7 +293,10 @@ mod tests {
         let empirical = batch.ground_truth.class(PulseClass::Signal).gain();
         let expected = theory.gain(PulseClass::Signal);
         let rel = (empirical - expected).abs() / expected;
-        assert!(rel < 0.15, "empirical gain {empirical} vs theory {expected}");
+        assert!(
+            rel < 0.15,
+            "empirical gain {empirical} vs theory {expected}"
+        );
     }
 
     #[test]
@@ -334,7 +342,9 @@ mod tests {
     #[test]
     fn run_until_sifted_rejects_impossible_targets() {
         let mut sim = LinkSimulator::new(LinkConfig::at_distance(200.0), 5);
-        let err = sim.run_until_sifted(1_000_000, 10_000, 100_000).unwrap_err();
+        let err = sim
+            .run_until_sifted(1_000_000, 10_000, 100_000)
+            .unwrap_err();
         assert!(matches!(err, QkdError::InvalidParameter { .. }));
     }
 
@@ -342,9 +352,15 @@ mod tests {
     fn dead_time_reduces_detection_count() {
         let mut cfg = LinkConfig::at_distance(5.0);
         cfg.detector.dead_time_gates = 0;
-        let without = LinkSimulator::new(cfg.clone(), 3).run_pulses(100_000).events.len();
+        let without = LinkSimulator::new(cfg.clone(), 3)
+            .run_pulses(100_000)
+            .events
+            .len();
         cfg.detector.dead_time_gates = 20;
         let with = LinkSimulator::new(cfg, 3).run_pulses(100_000).events.len();
-        assert!(with < without, "dead time should suppress clicks: {with} vs {without}");
+        assert!(
+            with < without,
+            "dead time should suppress clicks: {with} vs {without}"
+        );
     }
 }

@@ -58,7 +58,10 @@ impl SourceConfig {
             return Err(QkdError::invalid_parameter("mu_signal", "must be positive"));
         }
         if self.mu_decoy < 0.0 || self.mu_vacuum < 0.0 {
-            return Err(QkdError::invalid_parameter("mu_decoy/mu_vacuum", "must be non-negative"));
+            return Err(QkdError::invalid_parameter(
+                "mu_decoy/mu_vacuum",
+                "must be non-negative",
+            ));
         }
         if self.mu_decoy >= self.mu_signal {
             return Err(QkdError::invalid_parameter(
@@ -74,13 +77,22 @@ impl SourceConfig {
             ));
         }
         if !(self.p_signal > 0.0 && self.p_decoy >= 0.0 && self.p_vacuum >= 0.0) {
-            return Err(QkdError::invalid_parameter("class probabilities", "must be non-negative"));
+            return Err(QkdError::invalid_parameter(
+                "class probabilities",
+                "must be non-negative",
+            ));
         }
         if !(0.0 < self.p_rectilinear && self.p_rectilinear < 1.0) {
-            return Err(QkdError::invalid_parameter("p_rectilinear", "must lie strictly in (0, 1)"));
+            return Err(QkdError::invalid_parameter(
+                "p_rectilinear",
+                "must lie strictly in (0, 1)",
+            ));
         }
         if self.pulse_rate_hz <= 0.0 {
-            return Err(QkdError::invalid_parameter("pulse_rate_hz", "must be positive"));
+            return Err(QkdError::invalid_parameter(
+                "pulse_rate_hz",
+                "must be positive",
+            ));
         }
         Ok(())
     }
@@ -133,9 +145,18 @@ pub fn emit_pulse<R: Rng + ?Sized>(config: &SourceConfig, rng: &mut R) -> Emitte
     } else {
         PulseClass::Vacuum
     };
-    let basis = if rng.gen_bool(config.p_rectilinear) { Basis::Rectilinear } else { Basis::Diagonal };
+    let basis = if rng.gen_bool(config.p_rectilinear) {
+        Basis::Rectilinear
+    } else {
+        Basis::Diagonal
+    };
     let bit = BitValue::from_bool(rng.gen_bool(0.5));
-    EmittedPulse { class, basis, bit, intensity: config.intensity(class) }
+    EmittedPulse {
+        class,
+        basis,
+        bit,
+        intensity: config.intensity(class),
+    }
 }
 
 #[cfg(test)]
@@ -194,8 +215,14 @@ mod tests {
         }
         let f_signal = signal as f64 / n as f64;
         let f_rect = rect as f64 / n as f64;
-        assert!((f_signal - c.p_signal).abs() < 0.01, "signal fraction {f_signal}");
-        assert!((f_rect - c.p_rectilinear).abs() < 0.01, "rectilinear fraction {f_rect}");
+        assert!(
+            (f_signal - c.p_signal).abs() < 0.01,
+            "signal fraction {f_signal}"
+        );
+        assert!(
+            (f_rect - c.p_rectilinear).abs() < 0.01,
+            "rectilinear fraction {f_rect}"
+        );
     }
 
     #[test]

@@ -108,7 +108,10 @@ impl GroundTruth {
 
     /// Counters for a pulse class (zeroes if the class never appeared).
     pub fn class(&self, class: PulseClass) -> ClassCounters {
-        self.per_class.get(&class.into()).copied().unwrap_or_default()
+        self.per_class
+            .get(&class.into())
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Overall sifted QBER across all pulse classes.
@@ -155,7 +158,11 @@ mod tests {
             pulse_class: class,
             alice_basis: Basis::Rectilinear,
             alice_bit: BitValue::Zero,
-            bob_basis: if matched { Basis::Rectilinear } else { Basis::Diagonal },
+            bob_basis: if matched {
+                Basis::Rectilinear
+            } else {
+                Basis::Diagonal
+            },
             bob_bit: if error { BitValue::One } else { BitValue::Zero },
             dark_count: false,
             double_click: false,

@@ -29,7 +29,11 @@ pub struct DecoyStateTheory {
 impl DecoyStateTheory {
     /// Builds the analytic model from the three component configurations.
     pub fn new(source: SourceConfig, channel: ChannelConfig, detector: DetectorConfig) -> Self {
-        Self { source, channel, detector }
+        Self {
+            source,
+            channel,
+            detector,
+        }
     }
 
     /// End-to-end single-photon transmittance `eta` (channel × receiver ×
@@ -64,7 +68,8 @@ impl DecoyStateTheory {
             return 0.5;
         }
         let photon_click = 1.0 - (-eta * mu).exp();
-        let e = 0.5 * y0 * (-eta * mu).exp() + self.channel.misalignment * photon_click
+        let e = 0.5 * y0 * (-eta * mu).exp()
+            + self.channel.misalignment * photon_click
             + 0.5 * y0 * photon_click;
         // The exact decomposition: a gate can have a dark count, a photon
         // click, or both. Approximating double events as error-1/2 keeps the
@@ -107,7 +112,8 @@ impl DecoyStateTheory {
             + (1.0 - self.source.p_rectilinear) * (1.0 - self.detector.p_rectilinear);
         let q_mu = self.gain(PulseClass::Signal);
         let e_mu = self.qber(PulseClass::Signal);
-        let rate = self.q1() * (1.0 - binary_entropy(self.e1())) - f_ec * q_mu * binary_entropy(e_mu);
+        let rate =
+            self.q1() * (1.0 - binary_entropy(self.e1())) - f_ec * q_mu * binary_entropy(e_mu);
         (self.source.p_signal * sift_factor * rate).max(0.0)
     }
 
@@ -120,7 +126,10 @@ impl DecoyStateTheory {
     pub fn sifted_rate_bps(&self) -> f64 {
         let sift_factor = self.source.p_rectilinear * self.detector.p_rectilinear
             + (1.0 - self.source.p_rectilinear) * (1.0 - self.detector.p_rectilinear);
-        self.source.pulse_rate_hz * self.source.p_signal * self.gain(PulseClass::Signal) * sift_factor
+        self.source.pulse_rate_hz
+            * self.source.p_signal
+            * self.gain(PulseClass::Signal)
+            * sift_factor
     }
 }
 
@@ -150,7 +159,10 @@ mod tests {
         let near = theory_at(10.0).qber(PulseClass::Signal);
         let far = theory_at(150.0).qber(PulseClass::Signal);
         assert!(near < far, "QBER near {near} should be below far {far}");
-        assert!(near > 0.005 && near < 0.03, "near QBER {near} should be ~1%");
+        assert!(
+            near > 0.005 && near < 0.03,
+            "near QBER {near} should be ~1%"
+        );
         // vacuum pulses are dominated by dark counts -> QBER ~ 0.5
         assert!((theory_at(25.0).qber(PulseClass::Vacuum) - 0.5).abs() < 0.05);
     }

@@ -110,12 +110,21 @@ impl CorrelatedKeySource {
     /// `qber` is outside `[0, 0.5)`.
     pub fn new(block_bits: usize, qber: f64, seed: u64) -> Result<Self> {
         if block_bits == 0 {
-            return Err(QkdError::invalid_parameter("block_bits", "must be positive"));
+            return Err(QkdError::invalid_parameter(
+                "block_bits",
+                "must be positive",
+            ));
         }
         if !(0.0..0.5).contains(&qber) {
             return Err(QkdError::invalid_parameter("qber", "must lie in [0, 0.5)"));
         }
-        Ok(Self { block_bits, qber, seed, next_sequence: 0, epoch: 0 })
+        Ok(Self {
+            block_bits,
+            qber,
+            seed,
+            next_sequence: 0,
+            epoch: 0,
+        })
     }
 
     /// Creates a source from a named preset.
@@ -157,7 +166,13 @@ impl CorrelatedKeySource {
                 true_errors += 1;
             }
         }
-        CorrelatedBlock { id, alice, bob, true_errors, target_qber: self.qber }
+        CorrelatedBlock {
+            id,
+            alice,
+            bob,
+            true_errors,
+            target_qber: self.qber,
+        }
     }
 
     /// Generates `count` blocks.
@@ -192,7 +207,11 @@ mod tests {
         let blk = src.next_block();
         assert_eq!(blk.len(), 100_000);
         assert_eq!(blk.alice.hamming_distance(&blk.bob), blk.true_errors);
-        assert!((blk.actual_qber() - 0.03).abs() < 0.005, "qber {}", blk.actual_qber());
+        assert!(
+            (blk.actual_qber() - 0.03).abs() < 0.005,
+            "qber {}",
+            blk.actual_qber()
+        );
     }
 
     #[test]
@@ -227,6 +246,8 @@ mod tests {
         let mut src = CorrelatedKeySource::from_preset(WorkloadPreset::Backbone, 512, 5).unwrap();
         let blocks = src.blocks(10);
         assert_eq!(blocks.len(), 10);
-        assert!(blocks.iter().all(|b| b.target_qber == WorkloadPreset::Backbone.qber()));
+        assert!(blocks
+            .iter()
+            .all(|b| b.target_qber == WorkloadPreset::Backbone.qber()));
     }
 }

@@ -40,22 +40,34 @@ pub struct BitVec {
 impl BitVec {
     /// Creates an empty bit vector.
     pub fn new() -> Self {
-        Self { words: Vec::new(), len: 0 }
+        Self {
+            words: Vec::new(),
+            len: 0,
+        }
     }
 
     /// Creates an empty bit vector with capacity for `bits` bits.
     pub fn with_capacity(bits: usize) -> Self {
-        Self { words: Vec::with_capacity(words_for(bits)), len: 0 }
+        Self {
+            words: Vec::with_capacity(words_for(bits)),
+            len: 0,
+        }
     }
 
     /// Creates a bit vector of `len` zero bits.
     pub fn zeros(len: usize) -> Self {
-        Self { words: vec![0u64; words_for(len)], len }
+        Self {
+            words: vec![0u64; words_for(len)],
+            len,
+        }
     }
 
     /// Creates a bit vector of `len` one bits.
     pub fn ones(len: usize) -> Self {
-        let mut v = Self { words: vec![u64::MAX; words_for(len)], len };
+        let mut v = Self {
+            words: vec![u64::MAX; words_for(len)],
+            len,
+        };
         v.mask_tail();
         v
     }
@@ -77,7 +89,10 @@ impl BitVec {
     ///
     /// Panics if `bytes` holds fewer than `len` bits.
     pub fn from_bytes(bytes: &[u8], len: usize) -> Self {
-        assert!(bytes.len() * 8 >= len, "byte slice too short for requested bit length");
+        assert!(
+            bytes.len() * 8 >= len,
+            "byte slice too short for requested bit length"
+        );
         let mut words = vec![0u64; words_for(len)];
         for (i, &b) in bytes.iter().enumerate() {
             let word = i / 8;
@@ -135,7 +150,11 @@ impl BitVec {
     /// Panics if `index >= len()`.
     #[inline]
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range for length {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range for length {}",
+            self.len
+        );
         (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
     }
 
@@ -146,7 +165,11 @@ impl BitVec {
     /// Panics if `index >= len()`.
     #[inline]
     pub fn set(&mut self, index: usize, value: bool) {
-        assert!(index < self.len, "bit index {index} out of range for length {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range for length {}",
+            self.len
+        );
         let mask = 1u64 << (index % WORD_BITS);
         if value {
             self.words[index / WORD_BITS] |= mask;
@@ -162,7 +185,11 @@ impl BitVec {
     /// Panics if `index >= len()`.
     #[inline]
     pub fn flip(&mut self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range for length {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range for length {}",
+            self.len
+        );
         self.words[index / WORD_BITS] ^= 1u64 << (index % WORD_BITS);
         self.get(index)
     }
@@ -236,7 +263,10 @@ impl BitVec {
     ///
     /// Panics if `end > len()` or `start > end`.
     pub fn parity_range(&self, start: usize, end: usize) -> bool {
-        assert!(start <= end && end <= self.len, "invalid parity range {start}..{end}");
+        assert!(
+            start <= end && end <= self.len,
+            "invalid parity range {start}..{end}"
+        );
         if start == end {
             return false;
         }
@@ -262,7 +292,10 @@ impl BitVec {
     ///
     /// Panics if the lengths differ.
     pub fn hamming_distance(&self, other: &BitVec) -> usize {
-        assert_eq!(self.len, other.len, "hamming distance requires equal lengths");
+        assert_eq!(
+            self.len, other.len,
+            "hamming distance requires equal lengths"
+        );
         self.words
             .iter()
             .zip(&other.words)
@@ -288,7 +321,10 @@ impl BitVec {
     ///
     /// Panics if `end > len()` or `start > end`.
     pub fn slice(&self, start: usize, end: usize) -> BitVec {
-        assert!(start <= end && end <= self.len, "invalid slice range {start}..{end}");
+        assert!(
+            start <= end && end <= self.len,
+            "invalid slice range {start}..{end}"
+        );
         let mut out = BitVec::zeros(end - start);
         for (j, i) in (start..end).enumerate() {
             if self.get(i) {
@@ -364,7 +400,7 @@ impl BitVec {
 
     /// Converts to packed little-endian bytes (bit `i` at byte `i/8`, LSB first).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = vec![0u8; (self.len + 7) / 8];
+        let mut out = vec![0u8; self.len.div_ceil(8)];
         for (i, byte) in out.iter_mut().enumerate() {
             let word = self.words.get(i / 8).copied().unwrap_or(0);
             *byte = (word >> ((i % 8) * 8)) as u8;
@@ -422,7 +458,7 @@ fn mask_range(start: usize, end: usize) -> u64 {
 }
 
 fn words_for(bits: usize) -> usize {
-    (bits + WORD_BITS - 1) / WORD_BITS
+    bits.div_ceil(WORD_BITS)
 }
 
 impl fmt::Debug for BitVec {
@@ -627,7 +663,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let v = BitVec::random(&mut rng, 300);
         for &(s, e) in &[(0, 0), (0, 300), (5, 64), (64, 128), (63, 65), (10, 201)] {
-            assert_eq!(v.parity_range(s, e), v.slice(s, e).parity(), "range {s}..{e}");
+            assert_eq!(
+                v.parity_range(s, e),
+                v.slice(s, e).parity(),
+                "range {s}..{e}"
+            );
         }
     }
 
@@ -681,8 +721,14 @@ mod tests {
         let v = BitVec::random_with_density(&mut rng, 10_000, 0.05);
         let frac = v.count_ones() as f64 / 10_000.0;
         assert!((0.03..0.07).contains(&frac), "frac {frac} not near 0.05");
-        assert_eq!(BitVec::random_with_density(&mut rng, 100, 0.0).count_ones(), 0);
-        assert_eq!(BitVec::random_with_density(&mut rng, 100, 1.0).count_ones(), 100);
+        assert_eq!(
+            BitVec::random_with_density(&mut rng, 100, 0.0).count_ones(),
+            0
+        );
+        assert_eq!(
+            BitVec::random_with_density(&mut rng, 100, 1.0).count_ones(),
+            100
+        );
     }
 
     #[test]

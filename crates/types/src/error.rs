@@ -135,12 +135,18 @@ impl Error for QkdError {}
 impl QkdError {
     /// Convenience constructor for [`QkdError::InvalidParameter`].
     pub fn invalid_parameter(name: &'static str, reason: impl Into<String>) -> Self {
-        QkdError::InvalidParameter { name, reason: reason.into() }
+        QkdError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
     }
 
     /// Convenience constructor for [`QkdError::DeviceError`].
     pub fn device(device: impl Into<String>, reason: impl Into<String>) -> Self {
-        QkdError::DeviceError { device: device.into(), reason: reason.into() }
+        QkdError::DeviceError {
+            device: device.into(),
+            reason: reason.into(),
+        }
     }
 
     /// Returns `true` when the error indicates a security-relevant abort
@@ -161,11 +167,18 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = QkdError::DimensionMismatch { context: "syndrome", expected: 10, actual: 12 };
+        let e = QkdError::DimensionMismatch {
+            context: "syndrome",
+            expected: 10,
+            actual: 12,
+        };
         assert!(e.to_string().contains("syndrome"));
         let e = QkdError::invalid_parameter("qber", "must be below 0.5");
         assert!(e.to_string().contains("qber"));
-        let e = QkdError::QberAboveThreshold { qber: 0.12, threshold: 0.11 };
+        let e = QkdError::QberAboveThreshold {
+            qber: 0.12,
+            threshold: 0.11,
+        };
         assert!(e.to_string().contains("0.12"));
     }
 
@@ -173,7 +186,11 @@ mod tests {
     fn security_abort_classification() {
         assert!(QkdError::VerificationFailed { block: 1 }.is_security_abort());
         assert!(QkdError::AuthenticationFailed { sequence: 0 }.is_security_abort());
-        assert!(QkdError::QberAboveThreshold { qber: 0.2, threshold: 0.11 }.is_security_abort());
+        assert!(QkdError::QberAboveThreshold {
+            qber: 0.2,
+            threshold: 0.11
+        }
+        .is_security_abort());
         assert!(!QkdError::PipelineStalled { stage: "pa" }.is_security_abort());
         assert!(!QkdError::invalid_parameter("x", "y").is_security_abort());
     }

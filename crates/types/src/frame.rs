@@ -13,7 +13,9 @@ use serde::{Deserialize, Serialize};
 use crate::bits::BitVec;
 
 /// An epoch: the unit over which finite-key statistics are accumulated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Epoch(pub u64);
 
 impl Epoch {
@@ -30,7 +32,9 @@ impl fmt::Display for Epoch {
 }
 
 /// Identifies one key block within an epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct BlockId {
     /// Epoch the block belongs to.
     pub epoch: Epoch,
@@ -41,12 +45,18 @@ pub struct BlockId {
 impl BlockId {
     /// Creates a block id from raw epoch and sequence numbers.
     pub fn new(epoch: u64, sequence: u64) -> Self {
-        Self { epoch: Epoch(epoch), sequence }
+        Self {
+            epoch: Epoch(epoch),
+            sequence,
+        }
     }
 
     /// Returns the id of the next block in the same epoch.
     pub fn next(self) -> BlockId {
-        BlockId { epoch: self.epoch, sequence: self.sequence + 1 }
+        BlockId {
+            epoch: self.epoch,
+            sequence: self.sequence + 1,
+        }
     }
 
     /// Packs the id into a single `u64` for compact logging / hashing
@@ -123,7 +133,11 @@ pub struct KeyBlock {
 impl KeyBlock {
     /// Creates a block with the given payload and no completed stages.
     pub fn new(id: BlockId, payload: BitVec) -> Self {
-        Self { id, payload, stage_times: Vec::new() }
+        Self {
+            id,
+            payload,
+            stage_times: Vec::new(),
+        }
     }
 
     /// Records that `stage` completed in `elapsed`.
@@ -138,7 +152,10 @@ impl KeyBlock {
 
     /// Time spent in a particular stage, if recorded.
     pub fn stage_time(&self, stage: StageLabel) -> Option<Duration> {
-        self.stage_times.iter().find(|(s, _)| *s == stage).map(|(_, d)| *d)
+        self.stage_times
+            .iter()
+            .find(|(s, _)| *s == stage)
+            .map(|(_, d)| *d)
     }
 
     /// Payload length in bits.
@@ -176,7 +193,10 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(BlockId::new(1, 2).to_string(), "epoch 1/block 2");
-        assert_eq!(StageLabel::PrivacyAmplification.to_string(), "privacy-amplification");
+        assert_eq!(
+            StageLabel::PrivacyAmplification.to_string(),
+            "privacy-amplification"
+        );
     }
 
     #[test]
@@ -186,7 +206,10 @@ mod tests {
         blk.record_stage(StageLabel::Sifting, Duration::from_millis(2));
         blk.record_stage(StageLabel::Reconciliation, Duration::from_millis(10));
         assert_eq!(blk.total_time(), Duration::from_millis(12));
-        assert_eq!(blk.stage_time(StageLabel::Sifting), Some(Duration::from_millis(2)));
+        assert_eq!(
+            blk.stage_time(StageLabel::Sifting),
+            Some(Duration::from_millis(2))
+        );
         assert_eq!(blk.len(), 16);
     }
 

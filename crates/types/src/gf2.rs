@@ -69,16 +69,49 @@ impl Gf2_128 {
 
     /// Draws a uniformly random element.
     pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
-        Self { lo: rng.gen(), hi: rng.gen() }
+        Self {
+            lo: rng.gen(),
+            hi: rng.gen(),
+        }
     }
 
-    /// Field addition (XOR).
-    pub fn add(self, other: Gf2_128) -> Gf2_128 {
-        Gf2_128 { lo: self.lo ^ other.lo, hi: self.hi ^ other.hi }
+    /// Exponentiation by squaring.
+    pub fn pow(self, mut exp: u64) -> Gf2_128 {
+        let mut base = self;
+        let mut acc = Gf2_128::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc * base;
+            }
+            base = base * base;
+            exp >>= 1;
+        }
+        acc
     }
 
-    /// Field multiplication modulo the GCM polynomial.
-    pub fn mul(self, other: Gf2_128) -> Gf2_128 {
+    /// Returns `true` if this is the zero element.
+    pub fn is_zero(self) -> bool {
+        self.lo == 0 && self.hi == 0
+    }
+}
+
+/// Field addition (XOR).
+impl std::ops::Add for Gf2_128 {
+    type Output = Gf2_128;
+
+    fn add(self, other: Gf2_128) -> Gf2_128 {
+        Gf2_128 {
+            lo: self.lo ^ other.lo,
+            hi: self.hi ^ other.hi,
+        }
+    }
+}
+
+/// Field multiplication modulo the GCM polynomial.
+impl std::ops::Mul for Gf2_128 {
+    type Output = Gf2_128;
+
+    fn mul(self, other: Gf2_128) -> Gf2_128 {
         // Schoolbook product of 128x128 -> 256 bits using four 64x64 clmuls
         // (Karatsuba is unnecessary at this size for clarity).
         let (ll_lo, ll_hi) = clmul64(self.lo, other.lo);
@@ -93,25 +126,6 @@ impl Gf2_128 {
         let d3 = hh_hi;
 
         reduce_gcm(d0, d1, d2, d3)
-    }
-
-    /// Exponentiation by squaring.
-    pub fn pow(self, mut exp: u64) -> Gf2_128 {
-        let mut base = self;
-        let mut acc = Gf2_128::ONE;
-        while exp > 0 {
-            if exp & 1 == 1 {
-                acc = acc.mul(base);
-            }
-            base = base.mul(base);
-            exp >>= 1;
-        }
-        acc
-    }
-
-    /// Returns `true` if this is the zero element.
-    pub fn is_zero(self) -> bool {
-        self.lo == 0 && self.hi == 0
     }
 }
 
@@ -131,7 +145,10 @@ fn reduce_gcm(d0: u64, d1: u64, d2: u64, d3: u64) -> Gf2_128 {
     let (b_lo, b_hi) = clmul64(d3, 0x87);
     hi ^= b_lo;
     let (c_lo, c_hi) = clmul64(b_hi, 0x87);
-    debug_assert_eq!(c_hi, 0, "double fold of a degree-7 overflow cannot overflow again");
+    debug_assert_eq!(
+        c_hi, 0,
+        "double fold of a degree-7 overflow cannot overflow again"
+    );
     lo ^= c_lo;
 
     Gf2_128 { lo, hi }
@@ -152,7 +169,11 @@ pub struct BitMatrix {
 impl BitMatrix {
     /// Creates an all-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, row_data: vec![BitVec::zeros(cols); rows] }
+        Self {
+            rows,
+            cols,
+            row_data: vec![BitVec::zeros(cols); rows],
+        }
     }
 
     /// Creates the identity matrix of size `n`.
@@ -167,7 +188,11 @@ impl BitMatrix {
     /// Creates a uniformly random matrix.
     pub fn random<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Self {
         let row_data = (0..rows).map(|_| BitVec::random(rng, cols)).collect();
-        Self { rows, cols, row_data }
+        Self {
+            rows,
+            cols,
+            row_data,
+        }
     }
 
     /// Number of rows.
@@ -293,10 +318,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..20 {
             let a = Gf2_128::random(&mut rng);
-            assert_eq!(a.mul(Gf2_128::ONE), a);
-            assert_eq!(a.mul(Gf2_128::ZERO), Gf2_128::ZERO);
-            assert_eq!(a.add(a), Gf2_128::ZERO);
-            assert_eq!(a.add(Gf2_128::ZERO), a);
+            assert_eq!(a * Gf2_128::ONE, a);
+            assert_eq!(a * Gf2_128::ZERO, Gf2_128::ZERO);
+            assert_eq!(a + a, Gf2_128::ZERO);
+            assert_eq!(a + Gf2_128::ZERO, a);
         }
     }
 
@@ -307,10 +332,10 @@ mod tests {
             let a = Gf2_128::random(&mut rng);
             let b = Gf2_128::random(&mut rng);
             let c = Gf2_128::random(&mut rng);
-            assert_eq!(a.mul(b), b.mul(a));
-            assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)));
+            assert_eq!(a * b, b * a);
+            assert_eq!((a * b) * c, a * (b * c));
             // distributivity
-            assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+            assert_eq!(a * (b + c), a * b + a * c);
         }
     }
 
@@ -321,7 +346,7 @@ mod tests {
         let mut acc = Gf2_128::ONE;
         for e in 0..10u64 {
             assert_eq!(a.pow(e), acc);
-            acc = acc.mul(a);
+            acc = acc * a;
         }
     }
 
@@ -336,7 +361,7 @@ mod tests {
     fn gf128_x_to_128_reduces_to_pentanomial() {
         // x^64 squared = x^128 ≡ x^7 + x^2 + x + 1 = 0x87.
         let x64 = Gf2_128 { lo: 0, hi: 1 };
-        assert_eq!(x64.mul(x64), Gf2_128 { lo: 0x87, hi: 0 });
+        assert_eq!(x64 * x64, Gf2_128 { lo: 0x87, hi: 0 });
     }
 
     #[test]

@@ -47,7 +47,11 @@ impl RawKey {
     ///
     /// Panics if `bits` and `bases` have different lengths.
     pub fn new(block: BlockId, bits: BitVec, bases: BitVec) -> Self {
-        assert_eq!(bits.len(), bases.len(), "bits and bases must have equal length");
+        assert_eq!(
+            bits.len(),
+            bases.len(),
+            "bits and bases must have equal length"
+        );
         Self { block, bits, bases }
     }
 
@@ -78,7 +82,12 @@ pub struct SiftedKey {
 impl SiftedKey {
     /// Creates a sifted key that has not yet been through QBER estimation.
     pub fn new(block: BlockId, bits: BitVec) -> Self {
-        Self { block, bits, estimated_qber: None, disclosed_bits: 0 }
+        Self {
+            block,
+            bits,
+            estimated_qber: None,
+            disclosed_bits: 0,
+        }
     }
 
     /// Number of sifted bits retained.

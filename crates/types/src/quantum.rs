@@ -167,11 +167,17 @@ mod tests {
         assert!(ev.bases_match());
         assert!(ev.is_error());
 
-        let mismatched = DetectionEvent { bob_basis: Basis::Diagonal, ..ev };
+        let mismatched = DetectionEvent {
+            bob_basis: Basis::Diagonal,
+            ..ev
+        };
         assert!(!mismatched.bases_match());
         assert!(!mismatched.is_error());
 
-        let correct = DetectionEvent { bob_bit: BitValue::One, ..ev };
+        let correct = DetectionEvent {
+            bob_bit: BitValue::One,
+            ..ev
+        };
         assert!(!correct.is_error());
     }
 }

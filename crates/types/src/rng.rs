@@ -67,7 +67,10 @@ fn splitmix64(mut z: u64) -> u64 {
 ///
 /// Panics if `k > n`.
 pub fn sample_indices<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
-    assert!(k <= n, "cannot sample {k} distinct indices from a population of {n}");
+    assert!(
+        k <= n,
+        "cannot sample {k} distinct indices from a population of {n}"
+    );
     // Partial Fisher–Yates over an index array; O(n) memory but O(k) swaps.
     let mut idx: Vec<usize> = (0..n).collect();
     for i in 0..k {

@@ -23,7 +23,10 @@ fn main() -> Result<(), QkdError> {
     ];
 
     println!("LDPC syndrome decoding, rate 1/2, QBER 3%");
-    println!("{:>10} {:>12} {:>14} {:>14}", "block", "device", "modeled (us)", "Mbit/s");
+    println!(
+        "{:>10} {:>12} {:>14} {:>14}",
+        "block", "device", "modeled (us)", "Mbit/s"
+    );
     for &block_bits in &[4096usize, 16_384, 65_536] {
         let matrix = Arc::new(ParityCheckMatrix::for_rate(block_bits, 0.5, 9)?);
         let decoder = Arc::new(SyndromeDecoder::new(&matrix, DecoderConfig::default())?);
@@ -48,12 +51,19 @@ fn main() -> Result<(), QkdError> {
     }
 
     println!("\nToeplitz privacy amplification (compress to 50%)");
-    println!("{:>10} {:>12} {:>14} {:>14}", "block", "device", "modeled (us)", "Mbit/s");
+    println!(
+        "{:>10} {:>12} {:>14} {:>14}",
+        "block", "device", "modeled (us)", "Mbit/s"
+    );
     for &block_bits in &[16_384usize, 65_536, 262_144] {
         let mut rng = derive_rng(78, "backend-example");
         let input = BitVec::random(&mut rng, block_bits);
         let hash = Arc::new(ToeplitzHash::random(block_bits, block_bits / 2, &mut rng)?);
-        let task = KernelTask::ToeplitzHash { input, hash, strategy: ToeplitzStrategy::Clmul };
+        let task = KernelTask::ToeplitzHash {
+            input,
+            hash,
+            strategy: ToeplitzStrategy::Clmul,
+        };
         for device in &devices {
             let result = device.execute(&task)?;
             println!(

@@ -11,7 +11,10 @@ use qkd::simulator::{LinkConfig, LinkSimulator};
 use qkd::types::QkdError;
 
 fn main() -> Result<(), QkdError> {
-    println!("{:>8} {:>14} {:>14} {:>12}", "km", "theory b/pulse", "sifted QBER", "measured SF");
+    println!(
+        "{:>8} {:>14} {:>14} {:>12}",
+        "km", "theory b/pulse", "sifted QBER", "measured SF"
+    );
     for &distance in &[10.0, 25.0, 50.0, 75.0, 100.0, 125.0, 150.0] {
         let link = LinkConfig::at_distance(distance);
         let theory = link.theory();

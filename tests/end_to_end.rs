@@ -14,11 +14,19 @@ fn full_stack_distils_key_from_simulated_link() {
     config.sampling.sample_fraction = 0.15;
     let mut processor = PostProcessor::new(config, 1).unwrap();
     let results = processor.process_detections(&batch.events).unwrap();
-    assert!(results.len() >= 3, "expected at least three full blocks, got {}", results.len());
+    assert!(
+        results.len() >= 3,
+        "expected at least three full blocks, got {}",
+        results.len()
+    );
 
     let summary = processor.summary();
     assert_eq!(summary.blocks_failed, 0);
-    assert!(summary.secret_fraction() > 0.15, "secret fraction {}", summary.secret_fraction());
+    assert!(
+        summary.secret_fraction() > 0.15,
+        "secret fraction {}",
+        summary.secret_fraction()
+    );
     assert!(summary.secret_fraction() < 0.95);
     // The distilled rate should not exceed the asymptotic bound for the
     // link's QBER.
@@ -38,11 +46,16 @@ fn ldpc_and_cascade_both_distil_the_same_workload() {
     let block = src.next_block();
 
     for method in [ReconciliationMethod::Ldpc, ReconciliationMethod::Cascade] {
-        let config =
-            PostProcessingConfig::for_block_size(16_384).with_reconciliation(method);
+        let config = PostProcessingConfig::for_block_size(16_384).with_reconciliation(method);
         let mut processor = PostProcessor::new(config, 3).unwrap();
-        let result = processor.process_sifted_block(&block.alice, &block.bob).unwrap();
-        assert!(result.secret_key.len() > 4_000, "{method:?} produced {}", result.secret_key.len());
+        let result = processor
+            .process_sifted_block(&block.alice, &block.bob)
+            .unwrap();
+        assert!(
+            result.secret_key.len() > 4_000,
+            "{method:?} produced {}",
+            result.secret_key.len()
+        );
         assert_eq!(result.method, method);
         // Every stage must have been timed.
         for stage in [
@@ -52,7 +65,10 @@ fn ldpc_and_cascade_both_distil_the_same_workload() {
             StageLabel::PrivacyAmplification,
             StageLabel::Authentication,
         ] {
-            assert!(result.stage_time(stage).is_some(), "{method:?} missing {stage}");
+            assert!(
+                result.stage_time(stage).is_some(),
+                "{method:?} missing {stage}"
+            );
         }
     }
 }
@@ -62,10 +78,16 @@ fn backends_agree_functionally_but_differ_in_modeled_time() {
     let mut src = CorrelatedKeySource::from_preset(WorkloadPreset::Metro, 8192, 6).unwrap();
     let block = src.next_block();
     let mut lengths = Vec::new();
-    for backend in [ExecutionBackend::CpuSingle, ExecutionBackend::SimGpu, ExecutionBackend::SimFpga] {
+    for backend in [
+        ExecutionBackend::CpuSingle,
+        ExecutionBackend::SimGpu,
+        ExecutionBackend::SimFpga,
+    ] {
         let config = PostProcessingConfig::for_block_size(8192).with_backend(backend);
         let mut processor = PostProcessor::new(config, 5).unwrap();
-        let result = processor.process_sifted_block(&block.alice, &block.bob).unwrap();
+        let result = processor
+            .process_sifted_block(&block.alice, &block.bob)
+            .unwrap();
         lengths.push(result.secret_key.len());
     }
     assert_eq!(lengths[0], lengths[1]);
@@ -75,14 +97,19 @@ fn backends_agree_functionally_but_differ_in_modeled_time() {
 #[test]
 fn stressed_link_still_reconciles_but_yields_less_key() {
     let mut metro = CorrelatedKeySource::from_preset(WorkloadPreset::Metro, 16_384, 9).unwrap();
-    let mut stressed = CorrelatedKeySource::from_preset(WorkloadPreset::LongHaul, 16_384, 9).unwrap();
+    let mut stressed =
+        CorrelatedKeySource::from_preset(WorkloadPreset::LongHaul, 16_384, 9).unwrap();
     let metro_block = metro.next_block();
     let stressed_block = stressed.next_block();
 
-    let mut processor = PostProcessor::new(PostProcessingConfig::for_block_size(16_384), 7).unwrap();
-    let metro_result = processor.process_sifted_block(&metro_block.alice, &metro_block.bob).unwrap();
-    let stressed_result =
-        processor.process_sifted_block(&stressed_block.alice, &stressed_block.bob).unwrap();
+    let mut processor =
+        PostProcessor::new(PostProcessingConfig::for_block_size(16_384), 7).unwrap();
+    let metro_result = processor
+        .process_sifted_block(&metro_block.alice, &metro_block.bob)
+        .unwrap();
+    let stressed_result = processor
+        .process_sifted_block(&stressed_block.alice, &stressed_block.bob)
+        .unwrap();
     assert!(
         stressed_result.secret_key.len() < metro_result.secret_key.len() / 2,
         "4.5% QBER should cost far more key than 1%: {} vs {}",
@@ -99,8 +126,13 @@ fn tampered_channel_aborts_the_block() {
     let mut src = CorrelatedKeySource::new(8192, 0.15, 11).unwrap();
     let block = src.next_block();
     let mut processor = PostProcessor::new(PostProcessingConfig::for_block_size(8192), 13).unwrap();
-    let err = processor.process_sifted_block(&block.alice, &block.bob).unwrap_err();
-    assert!(err.is_security_abort(), "expected a security abort, got {err}");
+    let err = processor
+        .process_sifted_block(&block.alice, &block.bob)
+        .unwrap_err();
+    assert!(
+        err.is_security_abort(),
+        "expected a security abort, got {err}"
+    );
     assert_eq!(processor.summary().blocks_ok, 0);
     assert_eq!(processor.summary().secret_bits_out, 0);
 }

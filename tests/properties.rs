@@ -77,9 +77,9 @@ proptest! {
                           b_lo in any::<u64>(), b_hi in any::<u64>()) {
         let a = Gf2_128 { lo: a_lo, hi: a_hi };
         let b = Gf2_128 { lo: b_lo, hi: b_hi };
-        prop_assert_eq!(a.mul(b), b.mul(a));
-        prop_assert_eq!(a.mul(Gf2_128::ONE), a);
-        prop_assert_eq!(a.add(a), Gf2_128::ZERO);
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!(a * Gf2_128::ONE, a);
+        prop_assert_eq!(a + a, Gf2_128::ZERO);
     }
 
     // ---------------- Binary entropy ----------------

@@ -1,0 +1,299 @@
+//! Offline stand-in for the subset of `criterion` used by this workspace.
+//!
+//! The build environment has no access to a crate registry, so this crate
+//! implements a compact timing harness behind criterion's API: benches are
+//! registered with [`criterion_group!`] / [`criterion_main!`], grouped via
+//! [`Criterion::benchmark_group`], configured with `sample_size` /
+//! `warm_up_time` / `measurement_time`, and driven by [`Bencher::iter`].
+//!
+//! Instead of criterion's statistical machinery, each benchmark is warmed up
+//! for the configured time, then timed over whole-sample batches; min /
+//! mean / max per-iteration times are printed in a `group/function/param`
+//! layout. Swapping this stub for the real `criterion` is a manifest-only
+//! change.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level bench context handed to every `criterion_group!` target.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_warm_up: Duration,
+    default_measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 20,
+            default_warm_up: Duration::from_millis(200),
+            default_measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            warm_up: self.default_warm_up,
+            measurement: self.default_measurement,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name.to_string());
+        group.run_one(name.to_string(), &mut f);
+        group.finish();
+        self
+    }
+}
+
+/// Identifier for one benchmark: a function name plus a parameter rendering.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a `Display`-able parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to record per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples > 0, "sample size must be positive");
+        self.sample_size = samples;
+        self
+    }
+
+    /// Sets how long to run the routine before timing starts.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up = duration;
+        self
+    }
+
+    /// Sets the total time budget for the timed samples.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", id.function, id.parameter);
+        self.run_one(label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark identified by name only.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(id, &mut f);
+        self
+    }
+
+    fn run_one(&mut self, label: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some(report) => println!(
+                "{}/{}: [min {} mean {} max {}] ({} samples x {} iters)",
+                self.name,
+                label,
+                fmt_duration(report.min),
+                fmt_duration(report.mean),
+                fmt_duration(report.max),
+                report.samples,
+                report.iters_per_sample,
+            ),
+            None => println!(
+                "{}/{}: no measurement (Bencher::iter never called)",
+                self.name, label
+            ),
+        }
+    }
+
+    /// Ends the group. (All reporting happens eagerly; this exists for API
+    /// compatibility.)
+    pub fn finish(self) {}
+}
+
+struct Report {
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// Timer handle passed to the benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly over warm-up and measurement
+    /// windows sized by the owning group's configuration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up window elapses, counting iterations
+        // so we can size measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start
+            .elapsed()
+            .checked_div(warm_iters as u32)
+            .unwrap_or_default();
+
+        // Size each sample so all samples together roughly fill the
+        // measurement window, with at least one iteration per sample.
+        let budget_per_sample = self
+            .measurement
+            .checked_div(self.sample_size as u32)
+            .unwrap_or_default();
+        let iters_per_sample = if per_iter.is_zero() {
+            1
+        } else {
+            // Clamp to u32 so the per-iteration division below cannot wrap.
+            (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1))
+                .clamp(1, u128::from(u32::MAX)) as u64
+        };
+
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed() / iters_per_sample as u32;
+            min = min.min(elapsed);
+            max = max.max(elapsed);
+            total += elapsed;
+        }
+        self.report = Some(Report {
+            min,
+            mean: total / self.sample_size as u32,
+            max,
+            samples: self.sample_size,
+            iters_per_sample,
+        });
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a bench group function that runs every listed target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags such as `--bench`; this
+            // minimal harness ignores them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_a_report() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("noop", 1), &7u64, |b, &x| {
+            ran = true;
+            b.iter(|| x * 2);
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -1,0 +1,346 @@
+//! Offline stand-in for the subset of `crossbeam` used by this workspace.
+//!
+//! The build environment has no access to a crate registry, so this crate
+//! implements the two pieces the workspace relies on:
+//!
+//! * [`channel::bounded`] — a blocking MPMC channel with back-pressure,
+//!   disconnect-on-drop semantics and a blocking [`channel::Receiver::iter`];
+//! * [`thread::scope`] — scoped threads whose panics surface as an `Err`
+//!   from the scope, layered over `std::thread::scope`.
+//!
+//! Swapping this stub for the real `crossbeam` is a manifest-only change.
+
+pub mod channel {
+    //! Multi-producer multi-consumer blocking channels.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Error returned by [`Sender::send`] when every receiver is gone; the
+    /// unsent message is handed back.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        capacity: usize,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Creates a bounded channel with room for `capacity` in-flight messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero (rendezvous channels are not needed by
+    /// this workspace and are not implemented).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity > 0, "zero-capacity channels are not supported");
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::with_capacity(capacity)),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                inner: inner.clone(),
+            },
+            Receiver { inner },
+        )
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: usize::MAX,
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                inner: inner.clone(),
+            },
+            Receiver { inner },
+        )
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until there is room, then enqueues `msg`.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SendError`] with the message when every receiver has
+        /// been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut queue = self.inner.queue.lock().expect("channel lock");
+            loop {
+                if self.inner.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(msg));
+                }
+                if queue.len() < self.inner.capacity {
+                    queue.push_back(msg);
+                    self.inner.not_empty.notify_one();
+                    return Ok(());
+                }
+                queue = self.inner.not_full.wait(queue).expect("channel lock");
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.senders.fetch_add(1, Ordering::SeqCst);
+            Self {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Wake receivers blocked on an empty queue so they observe
+                // the disconnect.
+                let _guard = self.inner.queue.lock();
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] when the channel is empty and every sender
+        /// has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.inner.queue.lock().expect("channel lock");
+            loop {
+                if let Some(msg) = queue.pop_front() {
+                    self.inner.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self.inner.not_empty.wait(queue).expect("channel lock");
+            }
+        }
+
+        /// Attempts to receive without blocking; `None` when empty.
+        pub fn try_recv(&self) -> Option<T> {
+            let mut queue = self.inner.queue.lock().expect("channel lock");
+            let msg = queue.pop_front();
+            if msg.is_some() {
+                self.inner.not_full.notify_one();
+            }
+            msg
+        }
+
+        /// A blocking iterator that yields until the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.receivers.fetch_add(1, Ordering::SeqCst);
+            Self {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.inner.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Wake senders blocked on a full queue so they observe the
+                // disconnect.
+                let _guard = self.inner.queue.lock();
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    /// Blocking iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+}
+
+pub mod thread {
+    //! Scoped threads whose panics surface as an `Err` from the scope.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Handle to a thread spawned inside a [`scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result.
+        ///
+        /// # Errors
+        ///
+        /// Returns the panic payload when the thread panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Mirror of `crossbeam::thread::Scope`, passed both to the closure given
+    /// to [`scope`] and to every spawned thread.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so it can
+        /// spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned; all
+    /// spawned threads are joined before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload when the closure or any unjoined spawned
+    /// thread panicked (matching `crossbeam`'s behaviour).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{channel, thread};
+
+    #[test]
+    fn channel_roundtrip_preserves_order() {
+        let (tx, rx) = channel::bounded::<u32>(4);
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = rx.iter().collect();
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        // Queue is full: a third send must block until we drain one.
+        let t = std::thread::spawn(move || tx.send(3).map_err(|_| ()).is_ok());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(t.join().unwrap());
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drops() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn scope_joins_and_borrows() {
+        let mut results = vec![0u64; 4];
+        thread::scope(|scope| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                scope.spawn(move |_| {
+                    *slot = (i as u64 + 1) * 10;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(results, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn scope_reports_child_panics_as_err() {
+        let result = thread::scope(|scope| {
+            scope.spawn(|_| panic!("child panics"));
+        });
+        assert!(result.is_err());
+    }
+}

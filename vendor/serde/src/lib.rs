@@ -1,0 +1,51 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment for this workspace has no access to a crate
+//! registry, so this crate provides the minimal surface the workspace uses:
+//! the [`Serialize`] / [`Deserialize`] marker traits and the derive macros of
+//! the same names (re-exported from the vendored `serde_derive`).
+//!
+//! The traits carry no methods today — workspace code only *derives* them so
+//! configuration and report types stay serialisation-ready for when a real
+//! serialisation backend is wired in. Swapping this stub for the real `serde`
+//! is a manifest-only change.
+
+// Lets the `::serde` paths emitted by the derive macros resolve inside this
+// crate's own tests.
+#[cfg(test)]
+extern crate self as serde;
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Plain {
+        _x: u32,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Variants {
+        _A,
+        _B(u8),
+    }
+
+    fn assert_serialize<T: super::Serialize>() {}
+    fn assert_deserialize<T: super::Deserialize>() {}
+
+    #[test]
+    fn derives_emit_marker_impls() {
+        assert_serialize::<Plain>();
+        assert_deserialize::<Plain>();
+        assert_serialize::<Variants>();
+        assert_deserialize::<Variants>();
+    }
+}

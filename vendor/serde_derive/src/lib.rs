@@ -1,0 +1,58 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment for this workspace has no access to a crate
+//! registry, so the real `serde_derive` (and its `syn`/`quote` dependency
+//! tree) cannot be used. This crate provides `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` macros that emit an implementation of the
+//! corresponding marker trait from the vendored [`serde`] stub.
+//!
+//! The expansion is intentionally minimal: it parses just enough of the item
+//! to find the type name and emits `impl ::serde::Serialize for Name {}`.
+//! Generic types are accepted but get no impl (none of the workspace types
+//! deriving serde traits are generic today).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the [`serde::Serialize`] marker trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+/// Derives the [`serde::Deserialize`] marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
+
+/// Extracts the type name from a `struct`/`enum`/`union` item and emits a
+/// marker impl for it, or nothing when the item shape is not recognised
+/// (for example a generic type).
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let mut tokens = input.into_iter();
+    let mut name: Option<String> = None;
+    while let Some(tree) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tree {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                if let Some(TokenTree::Ident(type_name)) = tokens.next() {
+                    name = Some(type_name.to_string());
+                }
+                break;
+            }
+        }
+    }
+    let Some(name) = name else {
+        return TokenStream::new();
+    };
+    // A `<` right after the name means generics; skip the impl rather than
+    // guess at the parameter bounds.
+    if let Some(TokenTree::Punct(p)) = tokens.next() {
+        if p.as_char() == '<' {
+            return TokenStream::new();
+        }
+    }
+    format!("impl ::serde::{trait_name} for {name} {{}}")
+        .parse()
+        .expect("marker impl is valid Rust")
+}
