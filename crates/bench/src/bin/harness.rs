@@ -14,12 +14,21 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: harness [--smoke|all|table1|table2|table3|fig1..fig7|ablate-decoder] ..."
+            "usage: harness [--smoke [--pipelined]|all|table1|table2|table3|fig1..fig7|ablate-decoder] ..."
         );
         std::process::exit(2);
     }
+    // `--pipelined` switches the smoke benchmark to the sequential-vs-
+    // pipelined engine comparison (its own JSON schema); CI runs both
+    // invocations and archives both blobs.
+    let pipelined = args.iter().any(|a| a == "--pipelined" || a == "pipelined");
+    let smoke = args.iter().any(|a| a == "--smoke" || a == "smoke");
     for arg in &args {
         match arg.as_str() {
+            // Standalone `--pipelined` runs the comparison on its own.
+            "--pipelined" | "pipelined" if !smoke => experiments::smoke_pipelined(),
+            "--pipelined" | "pipelined" => {}
+            "--smoke" | "smoke" if pipelined => experiments::smoke_pipelined(),
             "--smoke" | "smoke" => experiments::smoke(),
             "all" => experiments::run_all(),
             "table1" => experiments::table1(),

@@ -4,7 +4,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use qkd_cascade::{CascadeConfig, CascadeReconciler};
-use qkd_core::{ChannelModel, ExecutionBackend, PostProcessingConfig, PostProcessor};
+use qkd_core::{
+    ChannelModel, ExecutionBackend, PipelineOptions, PostProcessingConfig, PostProcessor,
+};
 use qkd_hetero::{
     scheduler::pipeline_task_graph, CostModel, CpuDevice, Device, KernelKind, KernelTask,
     SchedulePolicy, Scheduler, SimFpga, SimGpu,
@@ -586,6 +588,107 @@ pub fn smoke() {
         let comma = if i + 1 < results.len() { "," } else { "" };
         json.push_str(&format!(
             "    {{\"name\": \"{name}\", \"ms\": {ms:.4}, \"mbit_per_s\": {mbit:.3}}}{comma}\n"
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"total_wall_s\": {:.3}\n}}",
+        total_start.elapsed().as_secs_f64()
+    ));
+    println!("{json}");
+}
+
+/// A deterministic detection stream carrying correlated bits with roughly
+/// `qber` disagreement; sifting retains every bit, so the engine frames
+/// exactly `len / block_size` blocks.
+fn correlated_events(len: usize, qber: f64, seed: u64) -> Vec<qkd_types::DetectionEvent> {
+    let blk = CorrelatedKeySource::new(len, qber, seed)
+        .unwrap()
+        .next_block();
+    qkd_simulator::detection_events(&blk.alice, &blk.bob)
+}
+
+/// Sequential-vs-pipelined engine benchmark: distils the same detection batch
+/// through `process_detections` and `process_detections_pipelined` and prints
+/// one machine-readable JSON document (`qkd-bench-pipelined/v1`).
+///
+/// The workload (many mid-size blocks with real QBER sampling) keeps all five
+/// stages busy, so the pipeline has overlap to exploit. Two speedups are
+/// reported: `speedup_measured` (wall clock on this host — needs free cores
+/// to materialise) and `speedup_stage_bound` (total stage busy time over the
+/// busiest stage, times the shard count: the throughput the run converges to
+/// with enough cores). The run asserts that both paths produced identical
+/// secret keys, so the benchmark doubles as a determinism check.
+pub fn smoke_pipelined() {
+    let total_start = std::time::Instant::now();
+    let block = 16_384usize;
+    let blocks = 12usize;
+    let qber = 0.02f64;
+    let seed = 47u64;
+    let events = correlated_events(blocks * block, qber, 51);
+
+    let mut config = PostProcessingConfig::for_block_size(block);
+    config.sampling.sample_fraction = 0.15;
+
+    let mut seq = PostProcessor::new(config.clone(), seed).unwrap();
+    let (seq_results, seq_time) = timed(|| seq.process_detections(&events).unwrap());
+
+    let options = PipelineOptions::saturating();
+    let mut pipe = PostProcessor::new(config, seed).unwrap();
+    let (batch, pipe_time) = timed(|| {
+        pipe.process_detections_pipelined(&events, &options)
+            .unwrap()
+    });
+
+    assert_eq!(seq_results.len(), batch.results.len());
+    for (s, p) in seq_results.iter().zip(&batch.results) {
+        assert_eq!(
+            s.secret_key.bits, p.secret_key.bits,
+            "pipelined keys must be bit-identical to sequential"
+        );
+    }
+    assert_eq!(
+        seq.summary().accounting(),
+        pipe.summary().accounting(),
+        "pipelined accounting must equal sequential"
+    );
+
+    let report = &batch.throughput;
+    let seq_bps = blocks as f64 / seq_time.as_secs_f64();
+    let pipe_bps = blocks as f64 / pipe_time.as_secs_f64();
+    let stage_bound = report.stage_overlap_bound() * options.shards as f64;
+
+    let mut json = String::from("{\n  \"schema\": \"qkd-bench-pipelined/v1\",\n");
+    json.push_str(&format!(
+        "  \"blocks\": {blocks},\n  \"block_bits\": {block},\n  \"shards\": {},\n  \"channel_capacity\": {},\n",
+        options.shards, options.channel_capacity
+    ));
+    json.push_str(&format!(
+        "  \"sequential\": {{\"ms\": {:.3}, \"blocks_per_s\": {:.2}}},\n",
+        seq_time.as_secs_f64() * 1e3,
+        seq_bps
+    ));
+    json.push_str(&format!(
+        "  \"pipelined\": {{\"ms\": {:.3}, \"blocks_per_s\": {:.2}}},\n",
+        pipe_time.as_secs_f64() * 1e3,
+        pipe_bps
+    ));
+    json.push_str(&format!(
+        "  \"speedup_measured\": {:.3},\n  \"speedup_stage_bound\": {:.3},\n",
+        pipe_bps / seq_bps,
+        stage_bound
+    ));
+    json.push_str(&format!(
+        "  \"secret_bits\": {},\n  \"keys_identical\": true,\n  \"stages\": [\n",
+        pipe.summary().secret_bits_out
+    ));
+    let num_stages = report.stages.len();
+    for (i, (name, m)) in report.stages.iter().enumerate() {
+        let comma = if i + 1 < num_stages { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"busy_ms\": {:.3}, \"blocked_ms\": {:.3}, \"utilisation\": {:.3}}}{comma}\n",
+            m.host_time.as_secs_f64() * 1e3,
+            m.blocked_time.as_secs_f64() * 1e3,
+            report.utilisation(name)
         ));
     }
     json.push_str(&format!(

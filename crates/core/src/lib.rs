@@ -12,7 +12,9 @@
 //! * [`channel`] — classical-channel model (RTT, bandwidth, traffic counters)
 //!   used to convert protocol interactivity into time;
 //! * [`verification`] — post-reconciliation error verification;
-//! * [`engine`] — the block processor and session accounting;
+//! * [`engine`] — the block processor and session accounting, with both a
+//!   sequential batch path and a pipelined one that overlaps the stages
+//!   across blocks on worker threads (bit-identical results);
 //! * [`metrics`] — session summaries and secret-key-rate computation.
 //!
 //! # Example
@@ -39,7 +41,11 @@ pub mod metrics;
 pub mod verification;
 
 pub use channel::{ChannelModel, ChannelUsage};
-pub use config::{ExecutionBackend, PostProcessingConfig, ReconciliationMethod};
-pub use engine::{BlockResult, PostProcessor};
-pub use metrics::SessionSummary;
+pub use config::{ExecutionBackend, PipelineOptions, PostProcessingConfig, ReconciliationMethod};
+pub use engine::{BlockResult, PipelinedBatch, PostProcessor};
+pub use metrics::{SessionAccounting, SessionSummary};
 pub use verification::{verify_keys, VerificationConfig, VerificationOutcome};
+
+// Re-exported so callers of the pipelined path can consume its throughput
+// report without depending on `qkd-hetero` directly.
+pub use qkd_hetero::ThroughputReport;

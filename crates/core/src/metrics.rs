@@ -21,13 +21,84 @@ pub struct SessionSummary {
     pub disclosed_bits: u64,
     /// Authentication key bits consumed.
     pub auth_bits_consumed: u64,
+    /// Sifted bits currently buffered as a partial-block remainder, waiting
+    /// for the next detection batch (a gauge, not a running total).
+    pub carried_bits: u64,
+    /// Sifted bits permanently dropped without entering a block (e.g. a
+    /// remainder explicitly discarded at session end).
+    pub discarded_bits: u64,
     /// Total modeled processing time (sum over stages and blocks).
     pub processing_time: Duration,
     /// Total classical-channel usage.
     pub channel_usage: ChannelUsage,
 }
 
+/// The order-independent subset of a [`SessionSummary`]: every counter that is
+/// fully determined by the input data and the session seed, excluding the
+/// measured wall-clock quantities. Two runs that distilled the same blocks —
+/// sequentially or pipelined — must produce equal accounting snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionAccounting {
+    /// Blocks successfully distilled.
+    pub blocks_ok: usize,
+    /// Blocks aborted.
+    pub blocks_failed: usize,
+    /// Sifted bits consumed.
+    pub sifted_bits_in: u64,
+    /// Secret bits produced.
+    pub secret_bits_out: u64,
+    /// Bits disclosed to the eavesdropper.
+    pub disclosed_bits: u64,
+    /// Authentication key bits consumed.
+    pub auth_bits_consumed: u64,
+    /// Sifted bits buffered as a partial-block remainder.
+    pub carried_bits: u64,
+    /// Sifted bits permanently dropped.
+    pub discarded_bits: u64,
+    /// Classical-channel round trips.
+    pub round_trips: usize,
+    /// Classical-channel messages.
+    pub messages: usize,
+    /// Classical-channel payload bits.
+    pub payload_bits: usize,
+}
+
 impl SessionSummary {
+    /// Adds another summary (or a per-block delta) into this one. Addition is
+    /// commutative, so accumulating per-block deltas in any order — the
+    /// property the pipelined engine path relies on — yields the same totals
+    /// as sequential accumulation. `carried_bits` is a gauge owned by the
+    /// engine's batch framing, not a per-block quantity, and is summed like
+    /// the rest (per-block deltas always carry zero).
+    pub fn merge(&mut self, delta: &SessionSummary) {
+        self.blocks_ok += delta.blocks_ok;
+        self.blocks_failed += delta.blocks_failed;
+        self.sifted_bits_in += delta.sifted_bits_in;
+        self.secret_bits_out += delta.secret_bits_out;
+        self.disclosed_bits += delta.disclosed_bits;
+        self.auth_bits_consumed += delta.auth_bits_consumed;
+        self.carried_bits += delta.carried_bits;
+        self.discarded_bits += delta.discarded_bits;
+        self.processing_time += delta.processing_time;
+        self.channel_usage.add(delta.channel_usage);
+    }
+
+    /// The deterministic, time-free accounting view of this summary.
+    pub fn accounting(&self) -> SessionAccounting {
+        SessionAccounting {
+            blocks_ok: self.blocks_ok,
+            blocks_failed: self.blocks_failed,
+            sifted_bits_in: self.sifted_bits_in,
+            secret_bits_out: self.secret_bits_out,
+            disclosed_bits: self.disclosed_bits,
+            auth_bits_consumed: self.auth_bits_consumed,
+            carried_bits: self.carried_bits,
+            discarded_bits: self.discarded_bits,
+            round_trips: self.channel_usage.round_trips,
+            messages: self.channel_usage.messages,
+            payload_bits: self.channel_usage.payload_bits,
+        }
+    }
     /// Fraction of sifted input that became secret key.
     pub fn secret_fraction(&self) -> f64 {
         if self.sifted_bits_in == 0 {
@@ -78,6 +149,8 @@ mod tests {
             secret_bits_out: 400_000,
             disclosed_bits: 250_000,
             auth_bits_consumed: 5_000,
+            carried_bits: 100,
+            discarded_bits: 0,
             processing_time: Duration::from_secs(2),
             channel_usage: ChannelUsage {
                 round_trips: 20,
@@ -104,6 +177,43 @@ mod tests {
         assert_eq!(s.secret_fraction(), 0.0);
         assert_eq!(s.compute_throughput_bps(), 0.0);
         assert_eq!(s.net_secret_bits(), 0);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_accounting_drops_time() {
+        let a = summary();
+        let mut b = SessionSummary {
+            blocks_ok: 2,
+            blocks_failed: 3,
+            sifted_bits_in: 10,
+            secret_bits_out: 4,
+            disclosed_bits: 2,
+            auth_bits_consumed: 1,
+            carried_bits: 7,
+            discarded_bits: 5,
+            processing_time: Duration::from_millis(10),
+            channel_usage: ChannelUsage {
+                round_trips: 1,
+                messages: 2,
+                payload_bits: 3,
+            },
+        };
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.blocks_ok, 12);
+        assert_eq!(ab.discarded_bits, 5);
+        assert_eq!(ab.carried_bits, 107);
+        assert_eq!(ab.processing_time, Duration::from_millis(2_010));
+
+        // Accounting snapshots ignore time, so two summaries that differ only
+        // in measured durations compare equal.
+        b = summary();
+        b.processing_time = Duration::from_secs(99);
+        assert_eq!(a.accounting(), b.accounting());
+        assert_eq!(a.accounting().payload_bits, 300_000);
     }
 
     #[test]

@@ -70,10 +70,14 @@ pub struct PipelineReport<T> {
     pub throughput: ThroughputReport,
 }
 
+/// Shared measurement function for pipeline bit accounting.
+type BitCounter<T> = std::sync::Arc<dyn Fn(&T) -> usize + Send + Sync>;
+
 /// A multi-threaded stage pipeline.
 pub struct Pipeline<T> {
     stages: Vec<Box<dyn Stage<T>>>,
     channel_capacity: usize,
+    bit_counter: Option<BitCounter<T>>,
 }
 
 impl<T: Send + 'static> Pipeline<T> {
@@ -87,7 +91,23 @@ impl<T: Send + 'static> Pipeline<T> {
         Self {
             stages: Vec::new(),
             channel_capacity,
+            bit_counter: None,
         }
+    }
+
+    /// Installs a function that measures the payload size of an item in bits.
+    ///
+    /// When set, every stage records the bits it consumed and produced, and
+    /// the run's [`ThroughputReport`] carries real `input_bits`/`output_bits`
+    /// totals (the size of items entering the first stage and leaving the
+    /// last). Without it, bit counters stay zero and only item counts and
+    /// times are reported.
+    pub fn with_bit_counter(
+        mut self,
+        counter: impl Fn(&T) -> usize + Send + Sync + 'static,
+    ) -> Self {
+        self.bit_counter = Some(std::sync::Arc::new(counter));
+        self
     }
 
     /// Appends a stage.
@@ -139,18 +159,34 @@ impl<T: Send + 'static> Pipeline<T> {
         let mut handles = Vec::new();
         for mut stage in self.stages {
             let (tx, rx) = channel::bounded::<T>(capacity);
+            let counter = self.bit_counter.clone();
             let handle =
                 std::thread::spawn(move || -> std::result::Result<StageMetrics, QkdError> {
                     let mut metrics = StageMetrics::default();
-                    for item in prev_rx.iter() {
+                    loop {
+                        // Time blocked waiting for the upstream stage is queue
+                        // wait, not work — account it separately so reported
+                        // utilisation reflects actual busy time.
+                        let wait0 = Instant::now();
+                        let item = match prev_rx.recv() {
+                            Ok(item) => item,
+                            Err(_) => break,
+                        };
+                        metrics.record_blocked(wait0.elapsed());
+                        let bits_in = counter.as_ref().map_or(0, |c| c(&item));
                         let t0 = Instant::now();
                         let out = stage.process(item)?;
                         let dt = t0.elapsed();
-                        metrics.record(dt, dt, 0, 0);
+                        let bits_out = counter.as_ref().map_or(0, |c| c(&out));
+                        metrics.record(dt, dt, bits_in, bits_out);
+                        // A full downstream channel blocks the send: that is
+                        // back-pressure wait, also not work.
+                        let send0 = Instant::now();
                         if tx.send(out).is_err() {
                             // Downstream hung up (error case); stop quietly.
                             break;
                         }
+                        metrics.record_blocked(send0.elapsed());
                     }
                     Ok(metrics)
                 });
@@ -184,9 +220,18 @@ impl<T: Send + 'static> Pipeline<T> {
             ..Default::default()
         };
         let mut first_error: Option<QkdError> = None;
-        for (handle, name) in handles.into_iter().zip(stage_names) {
+        let num_stages = handles.len();
+        for (position, (handle, name)) in handles.into_iter().zip(stage_names).enumerate() {
             match handle.join() {
-                Ok(Ok(metrics)) => report.record_stage(&name, metrics),
+                Ok(Ok(metrics)) => {
+                    if position == 0 {
+                        report.input_bits = metrics.bits_in;
+                    }
+                    if position + 1 == num_stages {
+                        report.output_bits = metrics.bits_out;
+                    }
+                    report.record_stage(&name, metrics);
+                }
                 Ok(Err(e)) => {
                     if first_error.is_none() {
                         first_error = Some(e);
@@ -275,6 +320,49 @@ mod tests {
         let report = pipeline.run(Vec::new()).unwrap();
         assert!(report.items.is_empty());
         assert_eq!(report.throughput.items, 0);
+    }
+
+    #[test]
+    fn bit_counter_populates_input_and_output_bits() {
+        // Each item "shrinks" from 100 to 40 payload bits in the stage.
+        let pipeline = Pipeline::new(4)
+            .with_bit_counter(|&x: &u64| if x >= 1000 { 40 } else { 100 })
+            .add_fn("compress", |x: u64| Ok(x + 1000));
+        let report = pipeline.run((0..10).collect()).unwrap().throughput;
+        assert_eq!(report.input_bits, 1000);
+        assert_eq!(report.output_bits, 400);
+        assert_eq!(report.stages["compress"].bits_in, 1000);
+        assert_eq!(report.stages["compress"].bits_out, 400);
+        assert!(report.end_to_end_bps() > 0.0);
+        assert!(report.output_bps() > 0.0);
+    }
+
+    #[test]
+    fn queue_wait_is_recorded_as_blocked_time_not_busy_time() {
+        // A fast stage feeding a slow one spends most of the run blocked on
+        // back-pressure; its busy time must stay near zero while its blocked
+        // time approaches the makespan.
+        let pipeline = Pipeline::new(1)
+            .add_fn("fast", |x: u64| Ok(x))
+            .add_fn("slow", |x: u64| {
+                std::thread::sleep(Duration::from_millis(2));
+                Ok(x)
+            });
+        let report = pipeline.run((0..20).collect()).unwrap().throughput;
+        let fast = &report.stages["fast"];
+        let slow = &report.stages["slow"];
+        assert!(
+            fast.blocked_time > fast.host_time,
+            "fast stage should be dominated by queue wait: blocked {:?} vs busy {:?}",
+            fast.blocked_time,
+            fast.host_time
+        );
+        assert!(
+            slow.host_time >= Duration::from_millis(30),
+            "slow stage busy time must cover its sleeps, got {:?}",
+            slow.host_time
+        );
+        assert!(report.wait_fraction("fast") > report.wait_fraction("slow"));
     }
 
     #[test]

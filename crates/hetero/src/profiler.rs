@@ -18,6 +18,11 @@ pub struct StageMetrics {
     pub bits_in: u64,
     /// Total output bits produced.
     pub bits_out: u64,
+    /// Total time the stage spent blocked on its queues (waiting for an
+    /// upstream item or for downstream back-pressure to clear) rather than
+    /// processing. Kept separate from `host_time` so utilisation reflects
+    /// actual busy time.
+    pub blocked_time: Duration,
 }
 
 impl StageMetrics {
@@ -30,6 +35,11 @@ impl StageMetrics {
         self.bits_out += bits_out as u64;
     }
 
+    /// Records time spent blocked on a queue (recv or back-pressured send).
+    pub fn record_blocked(&mut self, blocked: Duration) {
+        self.blocked_time += blocked;
+    }
+
     /// Merges another metrics record into this one.
     pub fn merge(&mut self, other: &StageMetrics) {
         self.count += other.count;
@@ -37,6 +47,7 @@ impl StageMetrics {
         self.host_time += other.host_time;
         self.bits_in += other.bits_in;
         self.bits_out += other.bits_out;
+        self.blocked_time += other.blocked_time;
     }
 
     /// Modeled throughput in input bits per second.
@@ -70,9 +81,23 @@ pub struct ThroughputReport {
     pub items: usize,
     /// Total input bits ingested at the first stage.
     pub input_bits: u64,
+    /// Total output bits emitted by the last stage.
+    pub output_bits: u64,
 }
 
 impl ThroughputReport {
+    /// Merges another report into this one: stages are summed by name, the
+    /// makespan takes the maximum (reports from concurrent shards overlap in
+    /// time), and item/bit totals add up.
+    pub fn merge(&mut self, other: &ThroughputReport) {
+        for (name, metrics) in &other.stages {
+            self.record_stage(name, *metrics);
+        }
+        self.makespan = self.makespan.max(other.makespan);
+        self.items += other.items;
+        self.input_bits += other.input_bits;
+        self.output_bits += other.output_bits;
+    }
     /// Records metrics under a stage name.
     pub fn record_stage(&mut self, name: &str, metrics: StageMetrics) {
         self.stages
@@ -88,6 +113,60 @@ impl ThroughputReport {
             0.0
         } else {
             self.input_bits as f64 / secs
+        }
+    }
+
+    /// End-to-end throughput in output bits per second of makespan.
+    pub fn output_bps(&self) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.output_bits as f64 / secs
+        }
+    }
+
+    /// Items per second of makespan (block throughput for a block pipeline).
+    pub fn items_per_sec(&self) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.items as f64 / secs
+        }
+    }
+
+    /// Fraction of the makespan a stage spent blocked on its queues.
+    pub fn wait_fraction(&self, stage: &str) -> f64 {
+        let makespan = self.makespan.as_secs_f64();
+        if makespan <= 0.0 {
+            return 0.0;
+        }
+        self.stages
+            .get(stage)
+            .map(|m| m.blocked_time.as_secs_f64() / makespan)
+            .unwrap_or(0.0)
+    }
+
+    /// Ideal pipeline speedup over sequential execution of the same stages:
+    /// total busy time across stages divided by the busiest stage's busy time.
+    /// This is the throughput bound a perfectly overlapped pipeline converges
+    /// to; the measured speedup approaches it as core count allows.
+    pub fn stage_overlap_bound(&self) -> f64 {
+        let total: f64 = self
+            .stages
+            .values()
+            .map(|m| m.host_time.as_secs_f64())
+            .sum();
+        let max = self
+            .stages
+            .values()
+            .map(|m| m.host_time.as_secs_f64())
+            .fold(0.0f64, f64::max);
+        if max <= 0.0 {
+            1.0
+        } else {
+            total / max
         }
     }
 
@@ -116,17 +195,19 @@ impl ThroughputReport {
     pub fn to_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<24} {:>10} {:>14} {:>14} {:>12}\n",
-            "stage", "items", "busy (ms)", "Mbit/s", "util"
+            "{:<24} {:>10} {:>14} {:>14} {:>14} {:>8} {:>8}\n",
+            "stage", "items", "busy (ms)", "wait (ms)", "Mbit/s", "util", "wait"
         ));
         for (name, m) in &self.stages {
             out.push_str(&format!(
-                "{:<24} {:>10} {:>14.2} {:>14.2} {:>12.2}\n",
+                "{:<24} {:>10} {:>14.2} {:>14.2} {:>14.2} {:>8.2} {:>8.2}\n",
                 name,
                 m.count,
                 m.modeled_time.as_secs_f64() * 1e3,
+                m.blocked_time.as_secs_f64() * 1e3,
                 m.throughput_bps() / 1e6,
                 self.utilisation(name),
+                self.wait_fraction(name),
             ));
         }
         out.push_str(&format!(
@@ -201,6 +282,78 @@ mod tests {
         let table = report.to_table();
         assert!(table.contains("reconciliation"));
         assert!(table.contains("end-to-end"));
+    }
+
+    #[test]
+    fn blocked_time_is_tracked_separately_from_busy_time() {
+        let mut m = StageMetrics::default();
+        m.record(Duration::from_millis(4), Duration::from_millis(4), 100, 80);
+        m.record_blocked(Duration::from_millis(6));
+        assert_eq!(m.host_time, Duration::from_millis(4));
+        assert_eq!(m.blocked_time, Duration::from_millis(6));
+        let mut other = StageMetrics::default();
+        other.record_blocked(Duration::from_millis(1));
+        m.merge(&other);
+        assert_eq!(m.blocked_time, Duration::from_millis(7));
+
+        let mut report = ThroughputReport {
+            makespan: Duration::from_millis(10),
+            items: 1,
+            input_bits: 100,
+            output_bits: 80,
+            ..Default::default()
+        };
+        report.record_stage("s", m);
+        assert!((report.utilisation("s") - 0.4).abs() < 1e-9);
+        assert!((report.wait_fraction("s") - 0.7).abs() < 1e-9);
+        assert!((report.output_bps() - 8_000.0).abs() < 1e-6);
+        assert!((report.items_per_sec() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_combines_shard_reports() {
+        let mut a = ThroughputReport {
+            makespan: Duration::from_millis(10),
+            items: 4,
+            input_bits: 400,
+            output_bits: 200,
+            ..Default::default()
+        };
+        let mut sa = StageMetrics::default();
+        sa.record(Duration::from_millis(2), Duration::from_millis(2), 400, 200);
+        a.record_stage("pa", sa);
+
+        let mut b = ThroughputReport {
+            makespan: Duration::from_millis(14),
+            items: 2,
+            input_bits: 200,
+            output_bits: 100,
+            ..Default::default()
+        };
+        let mut sb = StageMetrics::default();
+        sb.record(Duration::from_millis(3), Duration::from_millis(3), 200, 100);
+        b.record_stage("pa", sb);
+
+        a.merge(&b);
+        assert_eq!(a.makespan, Duration::from_millis(14));
+        assert_eq!(a.items, 6);
+        assert_eq!(a.input_bits, 600);
+        assert_eq!(a.output_bits, 300);
+        assert_eq!(a.stages["pa"].count, 2);
+        assert_eq!(a.stages["pa"].bits_in, 600);
+    }
+
+    #[test]
+    fn stage_overlap_bound_reflects_imbalance() {
+        let mut report = ThroughputReport::default();
+        let mut fast = StageMetrics::default();
+        fast.record(Duration::from_millis(2), Duration::from_millis(2), 0, 0);
+        let mut slow = StageMetrics::default();
+        slow.record(Duration::from_millis(8), Duration::from_millis(8), 0, 0);
+        report.record_stage("fast", fast);
+        report.record_stage("slow", slow);
+        assert!((report.stage_overlap_bound() - 1.25).abs() < 1e-9);
+        assert_eq!(ThroughputReport::default().stage_overlap_bound(), 1.0);
     }
 
     #[test]

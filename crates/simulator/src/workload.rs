@@ -10,7 +10,35 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use qkd_types::rng::derive_block_rng;
-use qkd_types::{BitVec, BlockId, QkdError, Result};
+use qkd_types::{Basis, BitValue, BitVec, BlockId, DetectionEvent, PulseClass, QkdError, Result};
+
+/// Expands a correlated bit pair into an all-signal, bases-matched detection
+/// stream, so sifting retains exactly these bits. This bridges the fast
+/// workload generators to the engine's detection-batch entry points — used by
+/// benchmarks and the sequential-vs-pipelined equivalence tests.
+///
+/// # Panics
+///
+/// Panics if the two bit strings differ in length.
+pub fn detection_events(alice: &BitVec, bob: &BitVec) -> Vec<DetectionEvent> {
+    assert_eq!(
+        alice.len(),
+        bob.len(),
+        "correlated halves must have equal length"
+    );
+    (0..alice.len())
+        .map(|i| DetectionEvent {
+            pulse_index: i as u64,
+            pulse_class: PulseClass::Signal,
+            alice_basis: Basis::Rectilinear,
+            alice_bit: BitValue::from_bool(alice.get(i)),
+            bob_basis: Basis::Rectilinear,
+            bob_bit: BitValue::from_bool(bob.get(i)),
+            dark_count: false,
+            double_click: false,
+        })
+        .collect()
+}
 
 /// Named workload presets mirroring the link distances used in the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -184,6 +212,21 @@ impl CorrelatedKeySource {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn detection_events_round_trip_through_sifting_unchanged() {
+        let mut src = CorrelatedKeySource::new(512, 0.05, 3).unwrap();
+        let blk = src.next_block();
+        let events = detection_events(&blk.alice, &blk.bob);
+        assert_eq!(events.len(), 512);
+        for (i, ev) in events.iter().enumerate() {
+            assert!(ev.bases_match());
+            assert_eq!(ev.pulse_class, PulseClass::Signal);
+            assert_eq!(ev.alice_bit.to_bool(), blk.alice.get(i));
+            assert_eq!(ev.bob_bit.to_bool(), blk.bob.get(i));
+            assert!(!ev.dark_count && !ev.double_click);
+        }
+    }
 
     #[test]
     fn presets_are_ordered_by_qber() {

@@ -38,15 +38,27 @@ pub fn derive_rng(master_seed: u64, label: &str) -> StdRng {
     StdRng::seed_from_u64(splitmix64(h))
 }
 
-/// Derives a child RNG for a numbered block within a component.
-pub fn derive_block_rng(master_seed: u64, label: &str, block: u64) -> StdRng {
+/// Derives the seed of a numbered block's RNG within a component.
+///
+/// This is the value-level form of [`derive_block_rng`]: callers that need to
+/// ship a seed across threads (e.g. a stage pipeline distilling many blocks
+/// concurrently) derive the `u64` once and reconstruct the RNG wherever the
+/// block is processed. Sequential and pipelined executions that derive from
+/// the same `(master_seed, label, block)` triple therefore draw identical
+/// random streams, which is what makes their outputs bit-identical.
+pub fn block_seed(master_seed: u64, label: &str, block: u64) -> u64 {
     let mut h = master_seed ^ 0x9E37_79B9_7F4A_7C15;
     for byte in label.bytes() {
         h ^= u64::from(byte);
         h = splitmix64(h);
     }
     h ^= block.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    StdRng::seed_from_u64(splitmix64(h))
+    splitmix64(h)
+}
+
+/// Derives a child RNG for a numbered block within a component.
+pub fn derive_block_rng(master_seed: u64, label: &str, block: u64) -> StdRng {
+    StdRng::seed_from_u64(block_seed(master_seed, label, block))
 }
 
 /// One round of the SplitMix64 mixing function.
@@ -113,6 +125,15 @@ mod tests {
         let mut a = derive_block_rng(1, "ldpc", 0);
         let mut b = derive_block_rng(1, "ldpc", 1);
         assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn block_seed_matches_derive_block_rng() {
+        let mut direct = derive_block_rng(9, "engine", 4);
+        let mut via_seed = StdRng::seed_from_u64(block_seed(9, "engine", 4));
+        assert_eq!(direct.gen::<u64>(), via_seed.gen::<u64>());
+        assert_ne!(block_seed(9, "engine", 4), block_seed(9, "engine", 5));
+        assert_ne!(block_seed(9, "engine", 4), block_seed(10, "engine", 4));
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Integration tests spanning the whole workspace: simulator → sifting →
 //! reconciliation → verification → privacy amplification → authentication.
 
-use qkd::core::{ExecutionBackend, PostProcessingConfig, PostProcessor, ReconciliationMethod};
+use qkd::core::{
+    ExecutionBackend, PipelineOptions, PostProcessingConfig, PostProcessor, ReconciliationMethod,
+};
 use qkd::simulator::{CorrelatedKeySource, LinkConfig, LinkSimulator, WorkloadPreset};
 use qkd::types::frame::StageLabel;
 use qkd::types::QkdError;
@@ -37,6 +39,58 @@ fn full_stack_distils_key_from_simulated_link() {
         "measured fraction {} cannot beat the asymptotic bound {}",
         summary.secret_fraction(),
         asymptotic
+    );
+}
+
+#[test]
+fn pipelined_engine_distils_identical_keys_from_a_simulated_link() {
+    // The same simulated detection batch through the sequential and the
+    // pipelined batch paths of two identically-seeded engines: secret keys
+    // must be bit-identical, and the deterministic accounting must agree —
+    // regardless of shard count or channel depth.
+    let mut sim = LinkSimulator::new(LinkConfig::metro_25km(), 77);
+    let batch = sim.run_until_sifted(25_000, 200_000, 50_000_000).unwrap();
+    let mk = || {
+        let mut config = PostProcessingConfig::for_block_size(8192);
+        config.sampling.sample_fraction = 0.15;
+        PostProcessor::new(config, 4).unwrap()
+    };
+
+    let mut seq = mk();
+    let seq_results = seq.process_detections(&batch.events).unwrap();
+    assert!(!seq_results.is_empty());
+
+    let mut pipe = mk();
+    let options = PipelineOptions::default().with_shards(2);
+    let pipelined = pipe
+        .process_detections_pipelined(&batch.events, &options)
+        .unwrap();
+
+    assert_eq!(seq_results.len(), pipelined.results.len());
+    for (s, p) in seq_results.iter().zip(&pipelined.results) {
+        assert_eq!(s.block, p.block);
+        assert_eq!(
+            s.secret_key.bits, p.secret_key.bits,
+            "block {} keys must be bit-identical",
+            s.block.sequence
+        );
+        assert_eq!(s.qber, p.qber);
+        assert_eq!(s.reconciliation_leak, p.reconciliation_leak);
+        assert_eq!(s.auth_bits_consumed, p.auth_bits_consumed);
+    }
+    assert_eq!(seq.summary().accounting(), pipe.summary().accounting());
+    assert_eq!(seq.pending_remainder_bits(), pipe.pending_remainder_bits());
+
+    // The throughput report accounts for every block and every stage.
+    assert_eq!(pipelined.throughput.items, seq_results.len());
+    assert_eq!(pipelined.throughput.stages.len(), 5);
+    assert_eq!(
+        pipelined.throughput.input_bits,
+        seq.summary().sifted_bits_in
+    );
+    assert_eq!(
+        pipelined.throughput.output_bits,
+        seq.summary().secret_bits_out
     );
 }
 

@@ -2,12 +2,23 @@
 
 use proptest::prelude::*;
 
+use qkd::core::{PipelineOptions, PostProcessingConfig, PostProcessor};
 use qkd::ldpc::{DecoderConfig, ParityCheckMatrix, SyndromeDecoder};
 use qkd::privacy::{ToeplitzHash, ToeplitzStrategy};
+use qkd::simulator::CorrelatedKeySource;
 use qkd::types::gf2::{clmul64, Gf2_128};
 use qkd::types::key::binary_entropy;
 use qkd::types::rng::derive_rng;
-use qkd::types::BitVec;
+use qkd::types::{BitVec, DetectionEvent};
+
+/// All-signal, bases-matched detections carrying correlated bits with roughly
+/// `qber` disagreement; sifting retains exactly these bits.
+fn correlated_events(len: usize, qber: f64, seed: u64) -> Vec<DetectionEvent> {
+    let blk = CorrelatedKeySource::new(len, qber, seed)
+        .unwrap()
+        .next_block();
+    qkd::simulator::detection_events(&blk.alice, &blk.bob)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -116,6 +127,50 @@ proptest! {
         let hy = hash.hash(&y, ToeplitzStrategy::Clmul).unwrap();
         let hxy = hash.hash(&(&x ^ &y), ToeplitzStrategy::Clmul).unwrap();
         prop_assert_eq!(hxy, &hx ^ &hy);
+    }
+}
+
+proptest! {
+    // Few cases: each runs two full engine batches.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The pipelined batch path is observationally identical to the
+    /// sequential one for random channels, seeds and shardings: byte-equal
+    /// final keys and equal (time-free) session accounting.
+    #[test]
+    fn pipelined_engine_equals_sequential_for_random_channels(
+        seed in any::<u64>(),
+        qber in 0.002f64..0.03,
+        extra in 0usize..4096,
+        shards in 1usize..4,
+    ) {
+        let block = 4096usize;
+        let events = correlated_events(2 * block + extra, qber, seed);
+        let mk = || {
+            let mut config = PostProcessingConfig::for_block_size(block);
+            config.sampling.sample_fraction = 0.2;
+            PostProcessor::new(config, seed ^ 0x5EED).unwrap()
+        };
+
+        let mut seq = mk();
+        let seq_results = seq.process_detections(&events).unwrap();
+
+        let mut pipe = mk();
+        let options = PipelineOptions { channel_capacity: 2, shards };
+        let pipelined = pipe.process_detections_pipelined(&events, &options).unwrap();
+
+        prop_assert_eq!(seq_results.len(), pipelined.results.len());
+        for (s, p) in seq_results.iter().zip(&pipelined.results) {
+            prop_assert_eq!(s.block, p.block);
+            prop_assert_eq!(&s.secret_key.bits, &p.secret_key.bits);
+            prop_assert_eq!(s.estimation_disclosed, p.estimation_disclosed);
+            prop_assert_eq!(s.reconciliation_leak, p.reconciliation_leak);
+            prop_assert_eq!(s.verification_leak, p.verification_leak);
+            prop_assert_eq!(s.auth_bits_consumed, p.auth_bits_consumed);
+        }
+        prop_assert_eq!(seq.summary().accounting(), pipe.summary().accounting());
+        prop_assert_eq!(seq.pending_remainder_bits(), pipe.pending_remainder_bits());
+        prop_assert_eq!(seq.auth_key_remaining(), pipe.auth_key_remaining());
     }
 }
 
