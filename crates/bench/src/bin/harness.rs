@@ -1,35 +1,104 @@
 //! Evaluation harness: regenerates every table and figure of the
-//! reconstructed evaluation (see `DESIGN.md` §3 and `EXPERIMENTS.md`).
+//! reconstructed evaluation (see `DESIGN.md` §3 and `EXPERIMENTS.md`) and
+//! hosts the machine-readable smoke benchmarks CI archives.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p qkd-bench --bin harness -- all
 //! cargo run --release -p qkd-bench --bin harness -- table1 fig5 ablate-decoder
+//! cargo run --release -p qkd-bench --bin harness -- --smoke
+//! cargo run --release -p qkd-bench --bin harness -- --smoke --pipelined
+//! cargo run --release -p qkd-bench --bin harness -- --smoke --fleet
 //! ```
 
 use qkd_bench::experiments;
 
+const USAGE: &str = "usage: harness [FLAGS] [EXPERIMENTS...]
+
+Flags (each prints one JSON document to stdout):
+  --smoke        quick kernel smoke benchmark        (qkd-bench-smoke/v1)
+  --pipelined    sequential-vs-pipelined comparison  (qkd-bench-pipelined/v1)
+  --fleet        multi-link fleet over a shared pool (qkd-bench-fleet/v1)
+  --help, -h     print this help and exit
+
+`--pipelined` and `--fleet` run their benchmark whether or not `--smoke` is
+present; `--smoke` alone runs the kernel smoke benchmark.
+
+Experiments (aligned text tables):
+  all            every table and figure below, in order
+  table1         per-stage CPU throughput breakdown
+  table2         LDPC decoder throughput by backend and block size
+  table3         reconciliation efficiency: Cascade vs rate-adaptive LDPC
+  fig1           secret-key rate vs fibre distance
+  fig2           end-to-end modeled throughput vs block size per backend
+  fig3           Toeplitz privacy-amplification throughput
+  fig4           pipeline/scheduler policy comparison
+  fig5           LDPC offload latency crossover
+  fig6           Cascade interactivity cost vs channel RTT
+  fig7           finite-key secret fraction vs block size
+  ablate-decoder decoder algorithm and schedule ablation
+
+Unknown flags or experiment names exit with status 2.";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!(
-            "usage: harness [--smoke [--pipelined]|all|table1|table2|table3|fig1..fig7|ablate-decoder] ..."
-        );
+        eprintln!("{USAGE}");
         std::process::exit(2);
     }
-    // `--pipelined` switches the smoke benchmark to the sequential-vs-
-    // pipelined engine comparison (its own JSON schema); CI runs both
-    // invocations and archives both blobs.
-    let pipelined = args.iter().any(|a| a == "--pipelined" || a == "pipelined");
-    let smoke = args.iter().any(|a| a == "--smoke" || a == "smoke");
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+
+    // Reject anything unrecognised before running a single experiment, so a
+    // typo cannot silently produce a partial (or empty) run.
+    const KNOWN: &[&str] = &[
+        "--smoke",
+        "smoke",
+        "--pipelined",
+        "pipelined",
+        "--fleet",
+        "fleet",
+        "all",
+        "table1",
+        "table2",
+        "table3",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "ablate-decoder",
+    ];
+    for arg in &args {
+        if !KNOWN.contains(&arg.as_str()) {
+            eprintln!("unknown flag or experiment `{arg}`\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+
+    // Both `--smoke` and the bare `smoke` spelling are accepted, as before.
+    let has = |name: &str| args.iter().any(|a| a.trim_start_matches("--") == name);
+    let smoke = has("smoke");
+    let pipelined = has("pipelined");
+    let fleet = has("fleet");
+
+    if pipelined {
+        experiments::smoke_pipelined();
+    }
+    if fleet {
+        experiments::smoke_fleet();
+    }
+    if smoke && !pipelined && !fleet {
+        experiments::smoke();
+    }
+
     for arg in &args {
         match arg.as_str() {
-            // Standalone `--pipelined` runs the comparison on its own.
-            "--pipelined" | "pipelined" if !smoke => experiments::smoke_pipelined(),
-            "--pipelined" | "pipelined" => {}
-            "--smoke" | "smoke" if pipelined => experiments::smoke_pipelined(),
-            "--smoke" | "smoke" => experiments::smoke(),
             "all" => experiments::run_all(),
             "table1" => experiments::table1(),
             "table2" => experiments::table2(),
@@ -42,10 +111,8 @@ fn main() {
             "fig6" => experiments::fig6(),
             "fig7" => experiments::fig7(),
             "ablate-decoder" => experiments::ablate_decoder(),
-            other => {
-                eprintln!("unknown experiment `{other}`");
-                std::process::exit(2);
-            }
+            // Flags were handled above.
+            _ => {}
         }
     }
 }

@@ -698,6 +698,158 @@ pub fn smoke_pipelined() {
     println!("{json}");
 }
 
+/// Runs one fleet configuration to completion: builds the links, submits the
+/// arrival schedule (recording which epochs were admitted), and drains the
+/// pool. Returns the report plus the accepted per-link epoch sizes so callers
+/// can replay each link solo.
+fn run_fleet(
+    workload: &qkd_simulator::FleetWorkload,
+    workers: usize,
+    epochs: usize,
+    mean_blocks: usize,
+) -> (
+    qkd_manager::LinkManager,
+    qkd_manager::FleetReport,
+    Vec<Vec<usize>>,
+) {
+    let config = qkd_manager::FleetConfig {
+        workers,
+        max_backlog: 64, // large enough that this schedule is never rejected
+    };
+    let mut fleet = qkd_manager::LinkManager::new(config).unwrap();
+    let ids: Vec<usize> = workload
+        .specs()
+        .iter()
+        .map(|s| {
+            fleet
+                .add_link(qkd_manager::LinkSpec::from_fleet(s))
+                .unwrap()
+        })
+        .collect();
+    let mut accepted: Vec<Vec<usize>> = vec![Vec::new(); workload.num_links()];
+    for arrival in workload.bursty_arrivals(epochs, mean_blocks) {
+        if arrival.blocks == 0 {
+            continue;
+        }
+        if fleet
+            .submit_epoch(ids[arrival.link], arrival.blocks)
+            .unwrap()
+            .accepted()
+        {
+            accepted[arrival.link].push(arrival.blocks);
+        }
+    }
+    let report = fleet.run().unwrap();
+    (fleet, report, accepted)
+}
+
+/// Fleet benchmark: many links of mixed QBER share one bounded worker pool,
+/// depositing into the key store. Sweeps worker and link counts and prints
+/// one machine-readable JSON document (`qkd-bench-fleet/v1`) with the
+/// aggregate secret-key output rate and per-link fairness of each cell.
+///
+/// The smallest cell doubles as a determinism check: every link is replayed
+/// on a solo engine with the same seed and the delivered keys must be
+/// bit-identical (`keys_identical` in the blob), with the key-store ledger
+/// reconciled exactly against the summed session accounting.
+pub fn smoke_fleet() {
+    let total_start = std::time::Instant::now();
+    let block = 8192usize;
+    let epochs = 3usize;
+    let mean_blocks = 2usize;
+    let seed = 0xF1EE7u64;
+
+    // Determinism + ledger check on the first grid cell.
+    let check_workload = qkd_simulator::FleetWorkload::mixed(4, block, seed).unwrap();
+    let (fleet, _, accepted) = run_fleet(&check_workload, 2, epochs, mean_blocks);
+    for (link, spec) in check_workload.specs().iter().enumerate() {
+        let link_spec = qkd_manager::LinkSpec::from_fleet(spec);
+        let mut solo = link_spec.solo_processor().unwrap();
+        let mut source = link_spec.key_source().unwrap();
+        let mut expected = qkd_types::BitVec::new();
+        for &blocks in &accepted[link] {
+            let mut alice = qkd_types::BitVec::new();
+            let mut bob = qkd_types::BitVec::new();
+            for _ in 0..blocks {
+                let blk = source.next_block();
+                alice.extend_from(&blk.alice);
+                bob.extend_from(&blk.bob);
+            }
+            let events = qkd_simulator::detection_events(&alice, &bob);
+            for result in solo.process_detections(&events).unwrap() {
+                expected.extend_from(&result.secret_key.bits);
+            }
+        }
+        let status = fleet.store().status(link).unwrap();
+        assert_eq!(
+            status.deposited_bits,
+            expected.len() as u64,
+            "fleet and solo runs of link {link} must distil the same bits"
+        );
+        if !expected.is_empty() {
+            let delivered = fleet.store().get_key(link, expected.len()).unwrap();
+            assert_eq!(
+                delivered.bits, expected,
+                "fleet keys of link {link} must be bit-identical to solo"
+            );
+        }
+        assert_eq!(
+            fleet.summary(link).unwrap().accounting(),
+            solo.summary().accounting(),
+            "link {link} session accounting must match solo"
+        );
+    }
+    fleet.reconcile().expect("fleet ledger must reconcile");
+
+    // The sweep: aggregate rate and fairness vs worker and link count.
+    let mut cells = Vec::new();
+    for &links in &[4usize, 8] {
+        let workload = qkd_simulator::FleetWorkload::mixed(links, block, seed).unwrap();
+        for &workers in &[1usize, 2, 4] {
+            let (fleet, report, _) = run_fleet(&workload, workers, epochs, mean_blocks);
+            fleet.reconcile().expect("fleet ledger must reconcile");
+            cells.push((links, workers, report));
+        }
+    }
+
+    let mut json = String::from("{\n  \"schema\": \"qkd-bench-fleet/v1\",\n");
+    json.push_str(&format!(
+        "  \"block_bits\": {block},\n  \"epochs\": {epochs},\n  \"mean_blocks\": {mean_blocks},\n  \"keys_identical\": true,\n  \"grid\": [\n"
+    ));
+    let num_cells = cells.len();
+    for (i, (links, workers, report)) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"links\": {links}, \"workers\": {workers}, \"wall_ms\": {:.3}, \"secret_bits\": {}, \"aggregate_output_bps\": {:.1}, \"fairness_service\": {:.4}, \"fairness_blocks\": {:.4}, \"per_link\": [\n",
+            report.wall_time.as_secs_f64() * 1e3,
+            report.total_secret_bits(),
+            report.aggregate_output_bps(),
+            report.fairness_service(),
+            report.fairness_blocks(),
+        ));
+        for (j, l) in report.links.iter().enumerate() {
+            let comma = if j + 1 < report.links.len() { "," } else { "" };
+            json.push_str(&format!(
+                "      {{\"link\": {}, \"label\": \"{}\", \"qber\": {:.3}, \"blocks_ok\": {}, \"blocks_failed\": {}, \"secret_bits\": {}, \"busy_ms\": {:.3}, \"output_bps\": {:.1}}}{comma}\n",
+                l.link,
+                l.label,
+                l.qber,
+                l.summary.blocks_ok,
+                l.summary.blocks_failed,
+                l.summary.secret_bits_out,
+                l.busy.as_secs_f64() * 1e3,
+                l.output_bps(),
+            ));
+        }
+        let comma = if i + 1 < num_cells { "," } else { "" };
+        json.push_str(&format!("    ]}}{comma}\n"));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"total_wall_s\": {:.3}\n}}",
+        total_start.elapsed().as_secs_f64()
+    ));
+    println!("{json}");
+}
+
 /// Runs every experiment in order.
 pub fn run_all() {
     table1();

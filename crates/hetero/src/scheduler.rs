@@ -118,8 +118,10 @@ impl Scheduler {
     ///
     /// # Errors
     ///
-    /// Returns [`QkdError::InvalidParameter`] when no devices are supplied or
-    /// a static policy references a device that does not exist.
+    /// Returns [`QkdError::InvalidParameter`] when no devices are supplied, a
+    /// static policy references a device that does not exist, or a static
+    /// policy names a kernel that [`KernelKind::from_name`] does not know —
+    /// a typoed label would otherwise be silently ignored at placement time.
     pub fn new(devices: Vec<(String, CostModel)>, policy: SchedulePolicy) -> Result<Self> {
         if devices.is_empty() {
             return Err(QkdError::invalid_parameter(
@@ -129,6 +131,16 @@ impl Scheduler {
         }
         if let SchedulePolicy::Static(map) = &policy {
             for (kind, &idx) in map {
+                if KernelKind::from_name(kind).is_none() {
+                    let valid: Vec<&str> = KernelKind::ALL.iter().map(|k| k.name()).collect();
+                    return Err(QkdError::invalid_parameter(
+                        "policy",
+                        format!(
+                            "unknown kernel name `{kind}` in static mapping (valid: {})",
+                            valid.join(", ")
+                        ),
+                    ));
+                }
                 if idx >= devices.len() {
                     return Err(QkdError::invalid_parameter(
                         "policy",
@@ -506,6 +518,14 @@ mod tests {
         assert!(Scheduler::new(Vec::new(), SchedulePolicy::Heft).is_err());
         let bad_static = SchedulePolicy::static_mapping(&[(KernelKind::Sift, 9)]);
         assert!(Scheduler::new(devices(), bad_static).is_err());
+
+        // A typoed kernel label fails fast at construction rather than being
+        // silently ignored at placement time.
+        let typoed =
+            SchedulePolicy::Static([("ldpc_decode".to_string(), 1usize)].into_iter().collect());
+        let err = Scheduler::new(devices(), typoed).unwrap_err();
+        assert!(err.to_string().contains("unknown kernel name"));
+        assert!(err.to_string().contains("ldpc-decode"), "lists valid names");
 
         let sched = Scheduler::new(devices(), SchedulePolicy::Heft).unwrap();
         // Non-dense ids.

@@ -7,6 +7,8 @@
 //! decoder fails to converge — the practical equivalent of blind
 //! reconciliation, with every disclosed syndrome counted as leakage.
 
+use std::sync::{Arc, Mutex, OnceLock};
+
 use serde::{Deserialize, Serialize};
 
 use qkd_types::key::binary_entropy;
@@ -98,6 +100,71 @@ impl CodeLibrary {
     /// Available design rates, highest first.
     pub fn rates(&self) -> Vec<f64> {
         self.entries.iter().map(|e| e.rate).collect()
+    }
+
+    /// Returns the process-wide shared library for this exact configuration,
+    /// building it on first use.
+    ///
+    /// Code construction is expensive — PEG is quadratic in the block length,
+    /// and a default ladder is eight codes — while the result is a pure
+    /// function of `(block_size, rates, decoder_config, seed)`. Every
+    /// [`crate::LdpcReconciler`] with the same configuration (e.g. a fleet of
+    /// engines at one block size) therefore shares one immutable library
+    /// instead of rebuilding it per engine.
+    ///
+    /// # Errors
+    ///
+    /// See [`CodeLibrary::new`].
+    pub fn shared(
+        block_size: usize,
+        rates: &[f64],
+        decoder_config: DecoderConfig,
+        seed: u64,
+    ) -> Result<Arc<Self>> {
+        struct CacheEntry {
+            block_size: usize,
+            rates: Vec<f64>,
+            decoder: DecoderConfig,
+            seed: u64,
+            library: Arc<CodeLibrary>,
+        }
+        /// The cache is a bounded LRU so a long-lived process that cycles
+        /// through many distinct configurations (per-link seeds, block-size
+        /// sweeps) cannot grow memory without bound; engines holding an `Arc`
+        /// keep their library alive past eviction.
+        const MAX_CACHED: usize = 8;
+        static CACHE: OnceLock<Mutex<Vec<CacheEntry>>> = OnceLock::new();
+        // The lock is held across construction on purpose: concurrent callers
+        // asking for the same library wait for one build instead of racing
+        // through several.
+        let mut cache = CACHE
+            .get_or_init(|| Mutex::new(Vec::new()))
+            .lock()
+            .expect("code library cache poisoned");
+        if let Some(position) = cache.iter().position(|e| {
+            e.block_size == block_size
+                && e.rates == rates
+                && e.decoder == decoder_config
+                && e.seed == seed
+        }) {
+            // Move the hit to the back (most recently used).
+            let entry = cache.remove(position);
+            let library = Arc::clone(&entry.library);
+            cache.push(entry);
+            return Ok(library);
+        }
+        let library = Arc::new(Self::new(block_size, rates, decoder_config, seed)?);
+        if cache.len() >= MAX_CACHED {
+            cache.remove(0);
+        }
+        cache.push(CacheEntry {
+            block_size,
+            rates: rates.to_vec(),
+            decoder: decoder_config,
+            seed,
+            library: Arc::clone(&library),
+        });
+        Ok(library)
     }
 
     /// Index of the highest-rate code whose redundancy is at least
@@ -208,14 +275,20 @@ impl LdpcOutcome {
 }
 
 /// Rate-adaptive LDPC reconciler for fixed-size blocks.
+///
+/// The code library is shared process-wide between reconcilers with equal
+/// configurations (see [`CodeLibrary::shared`]): constructing a second engine
+/// at the same block size is cheap, which is what makes multi-link fleets
+/// affordable.
 #[derive(Debug, Clone)]
 pub struct LdpcReconciler {
     config: ReconcilerConfig,
-    library: CodeLibrary,
+    library: Arc<CodeLibrary>,
 }
 
 impl LdpcReconciler {
-    /// Builds a reconciler (and its code library) from a configuration.
+    /// Builds a reconciler from a configuration, sharing the code library
+    /// with any other reconciler of the same configuration.
     ///
     /// # Errors
     ///
@@ -223,7 +296,7 @@ impl LdpcReconciler {
     /// invalid or code construction fails.
     pub fn new(config: ReconcilerConfig) -> Result<Self> {
         config.validate()?;
-        let library = CodeLibrary::new(
+        let library = CodeLibrary::shared(
             config.block_size,
             &config.rates,
             config.decoder,
@@ -239,7 +312,7 @@ impl LdpcReconciler {
 
     /// The code library in use.
     pub fn library(&self) -> &CodeLibrary {
-        &self.library
+        self.library.as_ref()
     }
 
     /// Block size expected by [`LdpcReconciler::reconcile`].
@@ -361,6 +434,22 @@ mod tests {
     use super::*;
     use qkd_types::rng::derive_rng;
     use rand::Rng;
+
+    #[test]
+    fn equal_configs_share_one_code_library() {
+        let a = LdpcReconciler::new(ReconcilerConfig::for_block_size(1024)).unwrap();
+        let b = LdpcReconciler::new(ReconcilerConfig::for_block_size(1024)).unwrap();
+        assert!(
+            Arc::ptr_eq(&a.library, &b.library),
+            "identical configs must reuse the cached library"
+        );
+        // A different seed is a different library (never silently shared).
+        let mut other = ReconcilerConfig::for_block_size(1024);
+        other.seed ^= 1;
+        let c = LdpcReconciler::new(other).unwrap();
+        assert!(!Arc::ptr_eq(&a.library, &c.library));
+        assert_eq!(a.library.rates(), c.library.rates());
+    }
 
     fn correlated(n: usize, qber: f64, seed: u64) -> (BitVec, BitVec, usize) {
         let mut rng = derive_rng(seed, "ldpc-recon-test");

@@ -1,0 +1,704 @@
+//! The [`LinkManager`]: many post-processing sessions sharing one bounded
+//! worker pool.
+//!
+//! Each managed link owns a full [`PostProcessor`] plus the
+//! [`CorrelatedKeySource`] that models its sifted-bit stream. Raw key arrives
+//! in *epochs* ([`LinkManager::submit_epoch`]); each accepted epoch becomes
+//! one batch on the link's queue, subject to a per-link backlog cap
+//! (admission control). [`LinkManager::run`] drains every queued batch over a
+//! shared pool of worker threads with FIFO round-robin service: a link gives
+//! the pool back after every batch and rejoins the tail of the ready queue,
+//! so no link can starve the others regardless of how bursty its arrivals
+//! are.
+//!
+//! **Determinism invariant.** A link's batches are processed in submission
+//! order by exactly one worker at a time, and every engine draws only from
+//! per-block RNG streams derived from the link seed — so a link distilled
+//! inside a fleet produces *bit-identical* keys to the same spec replayed on
+//! a solo [`PostProcessor`] ([`crate::LinkSpec::solo_processor`]), no matter
+//! how many workers or neighbour links the fleet has.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use qkd_core::{BlockResult, PostProcessor, SessionSummary};
+use qkd_hetero::{StageMetrics, ThroughputReport};
+use qkd_simulator::{detection_events, CorrelatedKeySource};
+use qkd_types::frame::StageLabel;
+use qkd_types::{BitVec, DetectionEvent, QkdError, Result};
+
+use crate::report::{FleetLedger, FleetReport, LinkLedger, LinkReport};
+use crate::spec::{Admission, FleetConfig, LinkSpec};
+use crate::store::KeyStore;
+
+/// Mutable per-link state; locked by at most one worker at a time (a link is
+/// never in the ready queue twice).
+struct LinkCell {
+    processor: PostProcessor,
+    source: CorrelatedKeySource,
+    pending: VecDeque<Vec<DetectionEvent>>,
+    throughput: ThroughputReport,
+    busy: Duration,
+    batches_processed: u64,
+    batches_rejected: u64,
+    batches_abandoned: u64,
+    failed: Option<QkdError>,
+}
+
+/// One managed link: its immutable spec plus the lock-guarded runtime state.
+struct LinkRuntime {
+    spec: LinkSpec,
+    cell: Mutex<LinkCell>,
+}
+
+/// The shared drain queue: links ready for service plus the count of batches
+/// still outstanding, so idle workers know when to exit.
+struct DrainQueue {
+    state: StdMutex<DrainState>,
+    cv: Condvar,
+}
+
+struct DrainState {
+    ready: VecDeque<usize>,
+    outstanding: usize,
+}
+
+impl DrainQueue {
+    fn new() -> Self {
+        Self {
+            state: StdMutex::new(DrainState {
+                ready: VecDeque::new(),
+                outstanding: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a link is ready for service; returns `None` once every
+    /// outstanding batch has completed.
+    fn next(&self) -> Option<usize> {
+        let mut st = self.state.lock().expect("drain queue poisoned");
+        loop {
+            if let Some(link) = st.ready.pop_front() {
+                return Some(link);
+            }
+            if st.outstanding == 0 {
+                return None;
+            }
+            st = self.cv.wait(st).expect("drain queue poisoned");
+        }
+    }
+
+    /// Marks `completed` batches done for `link`; re-queues the link at the
+    /// tail when it still has work (FIFO round-robin fairness).
+    fn complete(&self, link: usize, completed: usize, requeue: bool) {
+        let mut st = self.state.lock().expect("drain queue poisoned");
+        st.outstanding -= completed;
+        if requeue {
+            st.ready.push_back(link);
+        }
+        if st.outstanding == 0 {
+            self.cv.notify_all();
+        } else if requeue {
+            self.cv.notify_one();
+        }
+    }
+}
+
+/// Folds one distilled block into a link's stage-level throughput report.
+/// Every stage handles the full block on the way in; privacy amplification
+/// compresses it to the secret length, which authentication then carries out.
+fn record_block(report: &mut ThroughputReport, result: &BlockResult, block_bits: usize) {
+    let secret = result.secret_key.bits.len();
+    for (label, time) in &result.stage_times {
+        let (bits_in, bits_out) = match label {
+            StageLabel::PrivacyAmplification => (block_bits, secret),
+            StageLabel::Authentication => (secret, secret),
+            _ => (block_bits, block_bits),
+        };
+        let mut metrics = StageMetrics::default();
+        metrics.record(*time, *time, bits_in, bits_out);
+        report.record_stage(label.name(), metrics);
+    }
+    report.items += 1;
+    report.input_bits += block_bits as u64;
+    report.output_bits += secret as u64;
+}
+
+/// A fleet of QKD links multiplexed over one bounded worker pool, depositing
+/// distilled key into a shared [`KeyStore`] (see the module docs).
+pub struct LinkManager {
+    config: FleetConfig,
+    links: Vec<LinkRuntime>,
+    store: KeyStore,
+    last_wall: Duration,
+}
+
+impl std::fmt::Debug for LinkManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LinkManager")
+            .field("links", &self.links.len())
+            .field("workers", &self.config.workers)
+            .field("max_backlog", &self.config.max_backlog)
+            .finish()
+    }
+}
+
+impl LinkManager {
+    /// Creates an empty fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] when the config is invalid.
+    pub fn new(config: FleetConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            links: Vec::new(),
+            store: KeyStore::default(),
+            last_wall: Duration::ZERO,
+        })
+    }
+
+    /// Adds a link to the fleet, returning its id (dense, starting at 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] when the spec is invalid (the
+    /// engine construction surfaces LDPC code failures here too).
+    pub fn add_link(&mut self, spec: LinkSpec) -> Result<usize> {
+        spec.validate()?;
+        let processor = spec.solo_processor()?;
+        let source = spec.key_source()?;
+        let link = self.links.len();
+        self.store.register(link);
+        self.links.push(LinkRuntime {
+            spec,
+            cell: Mutex::new(LinkCell {
+                processor,
+                source,
+                pending: VecDeque::new(),
+                throughput: ThroughputReport::default(),
+                busy: Duration::ZERO,
+                batches_processed: 0,
+                batches_rejected: 0,
+                batches_abandoned: 0,
+                failed: None,
+            }),
+        });
+        Ok(link)
+    }
+
+    /// Number of links in the fleet.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The shared key store consumers drain via
+    /// [`KeyStore::status`] / [`KeyStore::get_key`].
+    pub fn store(&self) -> &KeyStore {
+        &self.store
+    }
+
+    fn runtime(&self, link: usize) -> Result<&LinkRuntime> {
+        self.links
+            .get(link)
+            .ok_or_else(|| QkdError::invalid_parameter("link", format!("unknown link {link}")))
+    }
+
+    /// The spec a link was added with.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] for an unknown link.
+    pub fn spec(&self, link: usize) -> Result<&LinkSpec> {
+        Ok(&self.runtime(link)?.spec)
+    }
+
+    /// Snapshot of a link's session summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] for an unknown link.
+    pub fn summary(&self, link: usize) -> Result<SessionSummary> {
+        Ok(*self.runtime(link)?.cell.lock().processor.summary())
+    }
+
+    /// Batches currently queued on a link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] for an unknown link.
+    pub fn backlog(&self, link: usize) -> Result<usize> {
+        Ok(self.runtime(link)?.cell.lock().pending.len())
+    }
+
+    /// The fatal error that stopped a link, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] for an unknown link.
+    pub fn link_failure(&self, link: usize) -> Result<Option<QkdError>> {
+        Ok(self.runtime(link)?.cell.lock().failed.clone())
+    }
+
+    /// Submits one epoch of `blocks` full sifted blocks to a link, drawing
+    /// the bits from the link's own key source.
+    ///
+    /// Admission control runs *before* any bits are generated: a rejected
+    /// epoch does not advance the link's key stream, so a later accepted
+    /// submission sees exactly the bits this one would have. Zero-block
+    /// epochs (idle links) are accepted as no-ops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] for an unknown link. Backlog
+    /// overflow and dead links are reported through [`Admission`], not as
+    /// errors.
+    pub fn submit_epoch(&mut self, link: usize, blocks: usize) -> Result<Admission> {
+        let max_backlog = self.config.max_backlog;
+        let runtime = self.runtime(link)?;
+        let mut cell = runtime.cell.lock();
+        // An idle epoch is a no-op everywhere — even on a failed link there
+        // is no batch to reject (or to count as rejected).
+        if blocks == 0 {
+            return Ok(Admission::Accepted {
+                backlog: cell.pending.len(),
+            });
+        }
+        if cell.failed.is_some() {
+            cell.batches_rejected += 1;
+            return Ok(Admission::RejectedFailed);
+        }
+        if cell.pending.len() >= max_backlog {
+            cell.batches_rejected += 1;
+            return Ok(Admission::RejectedBacklog {
+                backlog: cell.pending.len(),
+                limit: max_backlog,
+            });
+        }
+        let mut alice = BitVec::new();
+        let mut bob = BitVec::new();
+        for _ in 0..blocks {
+            let blk = cell.source.next_block();
+            alice.extend_from(&blk.alice);
+            bob.extend_from(&blk.bob);
+        }
+        let events = detection_events(&alice, &bob);
+        cell.pending.push_back(events);
+        Ok(Admission::Accepted {
+            backlog: cell.pending.len(),
+        })
+    }
+
+    /// Submits a pre-built detection batch to a link (for callers feeding
+    /// events from a real link simulator instead of the correlated source).
+    /// Same admission rules as [`LinkManager::submit_epoch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] for an unknown link.
+    pub fn submit_events(&mut self, link: usize, events: Vec<DetectionEvent>) -> Result<Admission> {
+        let max_backlog = self.config.max_backlog;
+        let runtime = self.runtime(link)?;
+        let mut cell = runtime.cell.lock();
+        if cell.failed.is_some() {
+            cell.batches_rejected += 1;
+            return Ok(Admission::RejectedFailed);
+        }
+        if cell.pending.len() >= max_backlog {
+            cell.batches_rejected += 1;
+            return Ok(Admission::RejectedBacklog {
+                backlog: cell.pending.len(),
+                limit: max_backlog,
+            });
+        }
+        cell.pending.push_back(events);
+        Ok(Admission::Accepted {
+            backlog: cell.pending.len(),
+        })
+    }
+
+    /// Drains every queued batch over the shared worker pool and returns the
+    /// cumulative fleet report.
+    ///
+    /// Links are serviced FIFO round-robin: each worker takes one batch from
+    /// the link at the head of the ready queue, and the link rejoins the tail
+    /// if it has more. A link whose batch fails fatally (e.g. authentication
+    /// key exhaustion) is stopped: its remaining backlog is abandoned and it
+    /// rejects further submissions, while every other link keeps running.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::PipelineStalled`] when a worker thread panics.
+    /// Per-link failures are recorded in the report, not returned.
+    pub fn run(&mut self) -> Result<FleetReport> {
+        let queue = DrainQueue::new();
+        {
+            let mut st = queue.state.lock().expect("drain queue poisoned");
+            for (link, runtime) in self.links.iter().enumerate() {
+                let cell = runtime.cell.lock();
+                if !cell.pending.is_empty() && cell.failed.is_none() {
+                    st.ready.push_back(link);
+                    st.outstanding += cell.pending.len();
+                }
+            }
+        }
+        let wall_start = Instant::now();
+        let outstanding = queue
+            .state
+            .lock()
+            .expect("drain queue poisoned")
+            .outstanding;
+        if outstanding > 0 {
+            let this: &LinkManager = self;
+            let queue = &queue;
+            crossbeam::thread::scope(|s| {
+                for _ in 0..this.config.workers {
+                    s.spawn(move |_| this.worker(queue));
+                }
+            })
+            .map_err(|_| QkdError::PipelineStalled {
+                stage: "fleet-worker",
+            })?;
+        }
+        self.last_wall = wall_start.elapsed();
+        Ok(self.report())
+    }
+
+    /// One worker of the shared pool: repeatedly claims the link at the head
+    /// of the ready queue and processes exactly one of its batches.
+    fn worker(&self, queue: &DrainQueue) {
+        while let Some(link) = queue.next() {
+            let (completed, requeue) = {
+                let mut cell = self.links[link].cell.lock();
+                let events = cell
+                    .pending
+                    .pop_front()
+                    .expect("a ready link has a queued batch");
+                let batch_start = Instant::now();
+                let outcome = cell.processor.process_detections(&events);
+                cell.busy += batch_start.elapsed();
+                cell.batches_processed += 1;
+                let mut completed = 1usize;
+                match outcome {
+                    Ok(results) => {
+                        let block_bits = self.links[link].spec.block_bits;
+                        for result in &results {
+                            self.store.deposit(link, &result.secret_key);
+                            record_block(&mut cell.throughput, result, block_bits);
+                        }
+                    }
+                    Err(e) => {
+                        // Fatal for the link, not the fleet: drop its backlog
+                        // and stop servicing it.
+                        let dropped = cell.pending.len();
+                        cell.pending.clear();
+                        cell.batches_abandoned += dropped as u64;
+                        cell.failed = Some(e);
+                        completed += dropped;
+                    }
+                }
+                let requeue = cell.failed.is_none() && !cell.pending.is_empty();
+                (completed, requeue)
+            };
+            queue.complete(link, completed, requeue);
+        }
+    }
+
+    /// Builds the cumulative fleet report from the current link states.
+    /// [`LinkManager::run`] returns this; calling it between runs gives a
+    /// consistent snapshot (with the previous run's wall time).
+    pub fn report(&self) -> FleetReport {
+        let mut links = Vec::with_capacity(self.links.len());
+        let mut summary = SessionSummary::default();
+        let mut throughput = ThroughputReport::default();
+        for (link, runtime) in self.links.iter().enumerate() {
+            let cell = runtime.cell.lock();
+            let mut link_throughput = cell.throughput.clone();
+            link_throughput.makespan = cell.busy;
+            let link_summary = *cell.processor.summary();
+            summary.merge(&link_summary);
+            throughput.merge(&link_throughput);
+            links.push(LinkReport {
+                link,
+                label: runtime.spec.label.clone(),
+                qber: runtime.spec.qber,
+                block_bits: runtime.spec.block_bits,
+                summary: link_summary,
+                throughput: link_throughput,
+                batches_processed: cell.batches_processed,
+                batches_rejected: cell.batches_rejected,
+                batches_abandoned: cell.batches_abandoned,
+                busy: cell.busy,
+                failure: cell.failed.as_ref().map(|e| e.to_string()),
+            });
+        }
+        // Shared-pool wall time, not the max of per-link busy times.
+        throughput.makespan = self.last_wall;
+        FleetReport {
+            links,
+            summary,
+            throughput,
+            wall_time: self.last_wall,
+            workers: self.config.workers,
+        }
+    }
+
+    /// Reconciles the key store against every link's session ledger: each
+    /// healthy link's deposits must equal its engine's `secret_bits_out`
+    /// exactly, a failed link may only fall short (the engine discards the
+    /// results of a fatally-aborted batch after charging them), and within
+    /// the store `deposited = delivered + available` must hold per link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] describing the first imbalance
+    /// found.
+    pub fn reconcile(&self) -> Result<FleetLedger> {
+        let mut rows = Vec::with_capacity(self.links.len());
+        for (link, runtime) in self.links.iter().enumerate() {
+            let cell = runtime.cell.lock();
+            let status = self.store.status(link)?;
+            if !status.balances() {
+                return Err(QkdError::invalid_parameter(
+                    "key_store",
+                    format!(
+                        "link {link} store out of balance: {} deposited != {} delivered + {} available",
+                        status.deposited_bits, status.delivered_bits, status.available_bits
+                    ),
+                ));
+            }
+            let secret_bits_out = cell.processor.summary().secret_bits_out;
+            let healthy = cell.failed.is_none();
+            if healthy && status.deposited_bits != secret_bits_out {
+                return Err(QkdError::invalid_parameter(
+                    "key_store",
+                    format!(
+                        "link {link} deposited {} bits but its session distilled {}",
+                        status.deposited_bits, secret_bits_out
+                    ),
+                ));
+            }
+            if !healthy && status.deposited_bits > secret_bits_out {
+                return Err(QkdError::invalid_parameter(
+                    "key_store",
+                    format!(
+                        "failed link {link} deposited {} bits, more than its session's {}",
+                        status.deposited_bits, secret_bits_out
+                    ),
+                ));
+            }
+            rows.push(LinkLedger {
+                link,
+                secret_bits_out,
+                deposited_bits: status.deposited_bits,
+                delivered_bits: status.delivered_bits,
+                available_bits: status.available_bits,
+            });
+        }
+        Ok(FleetLedger { links: rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkd_simulator::WorkloadPreset;
+
+    fn manager(workers: usize, max_backlog: usize) -> LinkManager {
+        LinkManager::new(FleetConfig {
+            workers,
+            max_backlog,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn fleet_link_matches_solo_engine_bit_for_bit() {
+        let mut mgr = manager(2, 8);
+        let spec_a = LinkSpec::from_preset(WorkloadPreset::Metro, 4096, 41);
+        let spec_b = LinkSpec::from_preset(WorkloadPreset::Backbone, 4096, 42);
+        let a = mgr.add_link(spec_a.clone()).unwrap();
+        let b = mgr.add_link(spec_b.clone()).unwrap();
+        let epochs = [(a, 2usize), (b, 1), (a, 1), (b, 2)];
+        for &(link, blocks) in &epochs {
+            assert!(mgr.submit_epoch(link, blocks).unwrap().accepted());
+        }
+        let report = mgr.run().unwrap();
+        assert_eq!(report.links.len(), 2);
+        assert!(report.summary.blocks_ok > 0);
+
+        // Replay each link solo with the same spec and epoch sizes.
+        for (link, spec, sizes) in [(a, &spec_a, vec![2, 1]), (b, &spec_b, vec![1, 2])] {
+            let mut solo = spec.solo_processor().unwrap();
+            let mut source = spec.key_source().unwrap();
+            let mut expected = BitVec::new();
+            for blocks in sizes {
+                let mut alice = BitVec::new();
+                let mut bob = BitVec::new();
+                for _ in 0..blocks {
+                    let blk = source.next_block();
+                    alice.extend_from(&blk.alice);
+                    bob.extend_from(&blk.bob);
+                }
+                for r in solo
+                    .process_detections(&detection_events(&alice, &bob))
+                    .unwrap()
+                {
+                    expected.extend_from(&r.secret_key.bits);
+                }
+            }
+            let status = mgr.store().status(link).unwrap();
+            assert_eq!(status.deposited_bits, expected.len() as u64);
+            let delivered = mgr.store().get_key(link, expected.len()).unwrap();
+            assert_eq!(
+                delivered.bits, expected,
+                "fleet and solo keys must be bit-identical"
+            );
+            assert_eq!(
+                mgr.summary(link).unwrap().accounting(),
+                solo.summary().accounting()
+            );
+        }
+        mgr.reconcile().unwrap();
+    }
+
+    #[test]
+    fn backlog_admission_control_rejects_and_preserves_the_stream() {
+        let mut mgr = manager(1, 1);
+        let link = mgr
+            .add_link(LinkSpec::from_preset(WorkloadPreset::Metro, 4096, 7))
+            .unwrap();
+        assert!(mgr.submit_epoch(link, 1).unwrap().accepted());
+        match mgr.submit_epoch(link, 1).unwrap() {
+            Admission::RejectedBacklog { backlog, limit } => {
+                assert_eq!((backlog, limit), (1, 1));
+            }
+            other => panic!("expected backlog rejection, got {other:?}"),
+        }
+        assert_eq!(mgr.backlog(link).unwrap(), 1);
+        mgr.run().unwrap();
+        assert_eq!(mgr.backlog(link).unwrap(), 0);
+        // The rejected epoch never touched the source: the next accepted
+        // epoch sees the second block of the stream, same as a solo run.
+        assert!(mgr.submit_epoch(link, 1).unwrap().accepted());
+        mgr.run().unwrap();
+        let report = mgr.report();
+        assert_eq!(report.links[0].batches_rejected, 1);
+        assert_eq!(report.links[0].batches_processed, 2);
+        assert_eq!(report.links[0].summary.blocks_ok, 2);
+
+        let spec = LinkSpec::from_preset(WorkloadPreset::Metro, 4096, 7);
+        let mut solo = spec.solo_processor().unwrap();
+        let mut source = spec.key_source().unwrap();
+        let mut expected = BitVec::new();
+        for _ in 0..2 {
+            let blk = source.next_block();
+            for r in solo
+                .process_detections(&detection_events(&blk.alice, &blk.bob))
+                .unwrap()
+            {
+                expected.extend_from(&r.secret_key.bits);
+            }
+        }
+        let got = mgr.store().get_key(link, expected.len()).unwrap();
+        assert_eq!(got.bits, expected);
+    }
+
+    #[test]
+    fn a_failed_link_stops_without_taking_the_fleet_down() {
+        let mut mgr = manager(2, 8);
+        // Tiny auth pool: exhausts after roughly one block.
+        let mut bad = LinkSpec::from_preset(WorkloadPreset::Metro, 4096, 21);
+        bad.auth_pool_bits = 1536;
+        let bad_id = mgr.add_link(bad).unwrap();
+        let good_id = mgr
+            .add_link(LinkSpec::from_preset(WorkloadPreset::Metro, 4096, 22))
+            .unwrap();
+        for _ in 0..3 {
+            mgr.submit_epoch(bad_id, 2).unwrap();
+            mgr.submit_epoch(good_id, 2).unwrap();
+        }
+        let report = mgr.run().unwrap();
+        let bad_report = &report.links[bad_id];
+        assert!(bad_report.failure.is_some(), "tiny pool must exhaust");
+        assert!(mgr.link_failure(bad_id).unwrap().is_some());
+        let good_report = &report.links[good_id];
+        assert!(good_report.failure.is_none());
+        assert_eq!(good_report.summary.blocks_ok, 6);
+        // The dead link rejects new work; the healthy one keeps going.
+        assert_eq!(
+            mgr.submit_epoch(bad_id, 1).unwrap(),
+            Admission::RejectedFailed
+        );
+        // ... but an idle epoch is a no-op even on the dead link, and does
+        // not inflate the rejection count.
+        let rejected_before = mgr.report().links[bad_id].batches_rejected;
+        assert!(mgr.submit_epoch(bad_id, 0).unwrap().accepted());
+        assert_eq!(mgr.report().links[bad_id].batches_rejected, rejected_before);
+        assert!(mgr.submit_epoch(good_id, 1).unwrap().accepted());
+        mgr.run().unwrap();
+        mgr.reconcile().unwrap();
+    }
+
+    #[test]
+    fn report_aggregates_summaries_and_stage_throughput() {
+        let mut mgr = manager(3, 8);
+        for seed in 0..3u64 {
+            let link = mgr
+                .add_link(LinkSpec::from_preset(
+                    WorkloadPreset::Metro,
+                    4096,
+                    60 + seed,
+                ))
+                .unwrap();
+            mgr.submit_epoch(link, 2).unwrap();
+        }
+        let report = mgr.run().unwrap();
+        assert_eq!(
+            report.summary.blocks_ok,
+            report
+                .links
+                .iter()
+                .map(|l| l.summary.blocks_ok)
+                .sum::<usize>()
+        );
+        assert_eq!(report.summary.blocks_ok, 6);
+        // Stage throughput covers all five distillation stages plus sifting.
+        assert!(report.throughput.stages.len() >= 5);
+        assert_eq!(report.throughput.items, 6);
+        assert!(report.throughput.output_bits > 0);
+        assert!(report.wall_time > Duration::ZERO);
+        assert!(report.aggregate_output_bps() > 0.0);
+        // Equal work on identical links: fairness indices near 1.
+        assert!((report.fairness_blocks() - 1.0).abs() < 1e-9);
+        assert!(report.fairness_service() > 0.5);
+        let table = report.to_table();
+        assert!(table.contains("fleet: 3 links"));
+    }
+
+    #[test]
+    fn unknown_links_are_rejected_everywhere() {
+        let mut mgr = manager(1, 1);
+        assert!(mgr.submit_epoch(0, 1).is_err());
+        assert!(mgr.submit_events(0, Vec::new()).is_err());
+        assert!(mgr.spec(0).is_err());
+        assert!(mgr.summary(0).is_err());
+        assert!(mgr.backlog(0).is_err());
+        assert!(mgr.link_failure(0).is_err());
+        assert_eq!(mgr.num_links(), 0);
+        // An empty fleet runs to an empty report.
+        let report = mgr.run().unwrap();
+        assert!(report.links.is_empty());
+        assert_eq!(report.total_secret_bits(), 0);
+    }
+}

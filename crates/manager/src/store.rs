@@ -1,0 +1,319 @@
+//! The consumable key store: where distilled secret key accumulates per link
+//! and applications draw it down.
+//!
+//! The API follows the shape of ETSI GS QKD 014: a consumer asks for the
+//! [`KeyStatus`] of a link and then calls [`KeyStore::get_key`] for an exact
+//! number of bits, receiving key material tagged with a [`KeyId`]. Delivery is
+//! strictly draining — every deposited bit is delivered at most once, in
+//! deposit order — and the ledger (`deposited = delivered + available`) holds
+//! at every point, so the store can be reconciled bit-for-bit against the
+//! per-link [`qkd_core::SessionSummary`] ledgers.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use qkd_types::{BitVec, QkdError, Result, SecretKey};
+
+/// Identity of one delivered key: the link it was drawn from plus a per-link
+/// serial that increments with every successful [`KeyStore::get_key`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KeyId {
+    /// Link the key material was distilled on.
+    pub link: usize,
+    /// Delivery serial within the link (0 for the first key delivered).
+    pub serial: u64,
+}
+
+impl std::fmt::Display for KeyId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "link{}/key{}", self.link, self.serial)
+    }
+}
+
+/// A key handed to a consumer: exactly the requested number of bits, drained
+/// from the link's store in deposit order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeliveredKey {
+    /// Identity of this delivery.
+    pub id: KeyId,
+    /// The secret bits.
+    pub bits: BitVec,
+    /// Union-bound composable security parameter of the link's session at
+    /// delivery time (sum of the epsilons of every block deposited so far).
+    pub epsilon: f64,
+}
+
+impl DeliveredKey {
+    /// Number of delivered bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Returns `true` when the key is empty (never produced by `get_key`,
+    /// which rejects zero-bit requests).
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+}
+
+/// Point-in-time accounting of one link's store.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KeyStatus {
+    /// Link this status describes.
+    pub link: usize,
+    /// Bits currently stored and not yet delivered.
+    pub available_bits: u64,
+    /// Total bits ever deposited by the distillation engine.
+    pub deposited_bits: u64,
+    /// Total bits ever delivered to consumers.
+    pub delivered_bits: u64,
+    /// Number of keys delivered (the next delivery's serial).
+    pub keys_delivered: u64,
+    /// Number of secret-key blocks deposited.
+    pub blocks_deposited: u64,
+    /// Union-bound epsilon over every deposited block.
+    pub epsilon: f64,
+}
+
+impl KeyStatus {
+    /// The store ledger invariant: every deposited bit is either still
+    /// available or was delivered exactly once.
+    pub fn balances(&self) -> bool {
+        self.deposited_bits == self.available_bits + self.delivered_bits
+    }
+}
+
+/// Per-link storage: a flat bit buffer drained from the front.
+#[derive(Debug, Default)]
+struct LinkStore {
+    buf: BitVec,
+    cursor: usize,
+    deposited_bits: u64,
+    delivered_bits: u64,
+    keys_delivered: u64,
+    blocks_deposited: u64,
+    epsilon: f64,
+}
+
+impl LinkStore {
+    fn available(&self) -> usize {
+        self.buf.len() - self.cursor
+    }
+
+    /// Drops the delivered prefix once it dominates the buffer, so long-lived
+    /// links do not hold on to every bit they ever produced.
+    fn compact(&mut self) {
+        if self.cursor > 0 && self.cursor * 2 >= self.buf.len() {
+            self.buf = self.buf.slice(self.cursor, self.buf.len());
+            self.cursor = 0;
+        }
+    }
+}
+
+/// Thread-safe multi-link key store (see the module docs for the contract).
+///
+/// Stores are created and filled by the
+/// [`LinkManager`](crate::manager::LinkManager); consumers only read
+/// ([`KeyStore::status`]) and drain ([`KeyStore::get_key`]).
+#[derive(Debug, Default)]
+pub struct KeyStore {
+    inner: Mutex<BTreeMap<usize, LinkStore>>,
+}
+
+impl KeyStore {
+    /// Creates an empty link slot so `status` works before the first deposit.
+    pub(crate) fn register(&self, link: usize) {
+        self.inner.lock().entry(link).or_default();
+    }
+
+    /// Appends a distilled block's secret bits to a link's store.
+    pub(crate) fn deposit(&self, link: usize, key: &SecretKey) {
+        let mut inner = self.inner.lock();
+        let store = inner.entry(link).or_default();
+        store.buf.extend_from(&key.bits);
+        store.deposited_bits += key.bits.len() as u64;
+        store.blocks_deposited += 1;
+        store.epsilon += key.epsilon;
+    }
+
+    /// Links currently registered, in id order.
+    pub fn links(&self) -> Vec<usize> {
+        self.inner.lock().keys().copied().collect()
+    }
+
+    /// Accounting snapshot of one link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] for an unknown link.
+    pub fn status(&self, link: usize) -> Result<KeyStatus> {
+        let inner = self.inner.lock();
+        let store = inner
+            .get(&link)
+            .ok_or_else(|| QkdError::invalid_parameter("link", format!("unknown link {link}")))?;
+        Ok(KeyStatus {
+            link,
+            available_bits: store.available() as u64,
+            deposited_bits: store.deposited_bits,
+            delivered_bits: store.delivered_bits,
+            keys_delivered: store.keys_delivered,
+            blocks_deposited: store.blocks_deposited,
+            epsilon: store.epsilon,
+        })
+    }
+
+    /// Drains exactly `n_bits` from a link's store, in deposit order.
+    ///
+    /// No bit is ever delivered twice: the store advances past delivered
+    /// material atomically with the delivery.
+    ///
+    /// # Errors
+    ///
+    /// * [`QkdError::InvalidParameter`] for an unknown link or a zero-bit
+    ///   request.
+    /// * [`QkdError::KeyStoreShortfall`] when fewer than `n_bits` are
+    ///   available; the shortfall is reported and *nothing* is delivered (no
+    ///   partial keys).
+    pub fn get_key(&self, link: usize, n_bits: usize) -> Result<DeliveredKey> {
+        if n_bits == 0 {
+            return Err(QkdError::invalid_parameter(
+                "n_bits",
+                "key requests must ask for at least one bit",
+            ));
+        }
+        let mut inner = self.inner.lock();
+        let store = inner
+            .get_mut(&link)
+            .ok_or_else(|| QkdError::invalid_parameter("link", format!("unknown link {link}")))?;
+        if store.available() < n_bits {
+            return Err(QkdError::KeyStoreShortfall {
+                link: link as u64,
+                requested: n_bits as u64,
+                available: store.available() as u64,
+            });
+        }
+        let bits = store.buf.slice(store.cursor, store.cursor + n_bits);
+        store.cursor += n_bits;
+        store.delivered_bits += n_bits as u64;
+        let serial = store.keys_delivered;
+        store.keys_delivered += 1;
+        store.compact();
+        Ok(DeliveredKey {
+            id: KeyId { link, serial },
+            bits,
+            epsilon: store.epsilon,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkd_types::rng::derive_rng;
+    use qkd_types::BlockId;
+
+    fn secret(len: usize, seed: u64) -> SecretKey {
+        let mut rng = derive_rng(seed, "store-test");
+        SecretKey {
+            block: BlockId::new(0, seed),
+            bits: BitVec::random(&mut rng, len),
+            epsilon: 1e-10,
+        }
+    }
+
+    #[test]
+    fn drains_in_deposit_order_without_double_delivery() {
+        let store = KeyStore::default();
+        let k1 = secret(100, 1);
+        let k2 = secret(60, 2);
+        store.deposit(0, &k1);
+        store.deposit(0, &k2);
+
+        let mut expected = k1.bits.clone();
+        expected.extend_from(&k2.bits);
+
+        let d1 = store.get_key(0, 70).unwrap();
+        let d2 = store.get_key(0, 90).unwrap();
+        assert_eq!(d1.id, KeyId { link: 0, serial: 0 });
+        assert_eq!(d2.id, KeyId { link: 0, serial: 1 });
+        assert_eq!(d1.bits, expected.slice(0, 70));
+        assert_eq!(d2.bits, expected.slice(70, 160));
+        assert_eq!(d1.id.to_string(), "link0/key0");
+
+        let status = store.status(0).unwrap();
+        assert_eq!(status.deposited_bits, 160);
+        assert_eq!(status.delivered_bits, 160);
+        assert_eq!(status.available_bits, 0);
+        assert_eq!(status.keys_delivered, 2);
+        assert_eq!(status.blocks_deposited, 2);
+        assert!(status.balances());
+        assert!((status.epsilon - 2e-10).abs() < 1e-22);
+    }
+
+    #[test]
+    fn shortfall_reports_availability_and_delivers_nothing() {
+        let store = KeyStore::default();
+        store.deposit(3, &secret(40, 3));
+        match store.get_key(3, 50) {
+            Err(QkdError::KeyStoreShortfall {
+                link,
+                requested,
+                available,
+            }) => {
+                assert_eq!((link, requested, available), (3, 50, 40));
+            }
+            other => panic!("expected shortfall, got {other:?}"),
+        }
+        // Nothing was consumed by the failed request.
+        let status = store.status(3).unwrap();
+        assert_eq!(status.available_bits, 40);
+        assert_eq!(status.delivered_bits, 0);
+        assert_eq!(status.keys_delivered, 0);
+    }
+
+    #[test]
+    fn unknown_links_and_zero_requests_rejected() {
+        let store = KeyStore::default();
+        assert!(store.status(9).is_err());
+        assert!(store.get_key(9, 8).is_err());
+        store.register(9);
+        assert_eq!(store.status(9).unwrap().deposited_bits, 0);
+        assert!(matches!(
+            store.get_key(9, 0),
+            Err(QkdError::InvalidParameter { .. })
+        ));
+        assert_eq!(store.links(), vec![9]);
+    }
+
+    #[test]
+    fn compaction_preserves_the_remaining_stream() {
+        let store = KeyStore::default();
+        let k = secret(1000, 5);
+        store.deposit(1, &k);
+        // Drain most of the buffer in small keys to trigger compaction.
+        let mut delivered = BitVec::new();
+        for _ in 0..9 {
+            delivered.extend_from(&store.get_key(1, 100).unwrap().bits);
+        }
+        store.deposit(1, &secret(24, 6));
+        delivered.extend_from(&store.get_key(1, 124).unwrap().bits);
+        let mut expected = k.bits.clone();
+        expected.extend_from(&secret(24, 6).bits);
+        assert_eq!(delivered, expected);
+        let status = store.status(1).unwrap();
+        assert!(status.balances());
+        assert_eq!(status.available_bits, 0);
+    }
+
+    #[test]
+    fn links_are_isolated() {
+        let store = KeyStore::default();
+        store.deposit(0, &secret(64, 7));
+        store.deposit(1, &secret(32, 8));
+        assert_eq!(store.status(0).unwrap().available_bits, 64);
+        assert_eq!(store.status(1).unwrap().available_bits, 32);
+        store.get_key(0, 64).unwrap();
+        assert_eq!(store.status(1).unwrap().available_bits, 32);
+    }
+}

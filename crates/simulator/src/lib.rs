@@ -47,4 +47,7 @@ pub use link::{DetectionBatch, LinkConfig, LinkSimulator};
 pub use source::SourceConfig;
 pub use stats::GroundTruth;
 pub use theory::DecoyStateTheory;
-pub use workload::{detection_events, CorrelatedBlock, CorrelatedKeySource, WorkloadPreset};
+pub use workload::{
+    detection_events, CorrelatedBlock, CorrelatedKeySource, EpochArrival, FleetLinkSpec,
+    FleetWorkload, WorkloadPreset,
+};

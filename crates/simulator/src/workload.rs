@@ -209,6 +209,161 @@ impl CorrelatedKeySource {
     }
 }
 
+/// One link of a [`FleetWorkload`]: a named channel quality plus the block
+/// size and the seed every generator for this link derives from. The seed is
+/// the whole identity of the link's key stream — a solo
+/// [`CorrelatedKeySource`] built from the same spec reproduces the exact bits
+/// a fleet run feeds this link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetLinkSpec {
+    /// Index of the link within the fleet.
+    pub link: usize,
+    /// Channel-quality preset of the link.
+    pub preset: WorkloadPreset,
+    /// Sifted-key block size in bits.
+    pub block_bits: usize,
+    /// Master seed of the link (key material and engine randomness).
+    pub seed: u64,
+}
+
+impl FleetLinkSpec {
+    /// A correlated key source reproducing this link's sifted-bit stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] when `block_bits` is zero.
+    pub fn key_source(&self) -> Result<CorrelatedKeySource> {
+        CorrelatedKeySource::new(self.block_bits, self.preset.qber(), self.seed)
+    }
+}
+
+/// One epoch's worth of raw-key arrival on one link: `blocks` full sifted
+/// blocks became available for post-processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochArrival {
+    /// Epoch index (arrival order is epoch-major, link-minor).
+    pub epoch: usize,
+    /// Link the raw key arrived on.
+    pub link: usize,
+    /// Number of full blocks that arrived (zero models an idle epoch).
+    pub blocks: usize,
+}
+
+/// A multi-link workload: a fleet of QKD links with mixed channel qualities
+/// plus a deterministic, bursty epoch-arrival process.
+///
+/// This is the traffic model behind the fleet key-manager service: several
+/// links of different QBER deposit raw key in epochs, with per-epoch volumes
+/// that swing between idle and burst so schedulers and admission control have
+/// something to push against. Everything is derived from one seed, so a fleet
+/// run and a per-link solo replay see identical bits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetWorkload {
+    specs: Vec<FleetLinkSpec>,
+    seed: u64,
+}
+
+impl FleetWorkload {
+    /// A fleet of `links` links cycling through every [`WorkloadPreset`] in
+    /// increasing-QBER order (metro, backbone, long-haul, stressed, metro, …),
+    /// all at the same block size. Per-link seeds are derived from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] when `links` or `block_bits` is
+    /// zero.
+    pub fn mixed(links: usize, block_bits: usize, seed: u64) -> Result<Self> {
+        if links == 0 {
+            return Err(QkdError::invalid_parameter(
+                "links",
+                "a fleet needs at least one link",
+            ));
+        }
+        if block_bits == 0 {
+            return Err(QkdError::invalid_parameter(
+                "block_bits",
+                "must be positive",
+            ));
+        }
+        let specs = (0..links)
+            .map(|link| FleetLinkSpec {
+                link,
+                preset: WorkloadPreset::ALL[link % WorkloadPreset::ALL.len()],
+                block_bits,
+                seed: derive_block_rng(seed, "fleet-link", link as u64).gen(),
+            })
+            .collect();
+        Ok(Self { specs, seed })
+    }
+
+    /// A fleet where every link uses the same preset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] when `links` or `block_bits` is
+    /// zero.
+    pub fn uniform(
+        preset: WorkloadPreset,
+        links: usize,
+        block_bits: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        let mut workload = Self::mixed(links, block_bits, seed)?;
+        for spec in &mut workload.specs {
+            spec.preset = preset;
+        }
+        Ok(workload)
+    }
+
+    /// The per-link specs, indexed by link id.
+    pub fn specs(&self) -> &[FleetLinkSpec] {
+        &self.specs
+    }
+
+    /// Number of links in the fleet.
+    pub fn num_links(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// A deterministic bursty arrival schedule: for each of `epochs` epochs
+    /// and each link, the link is idle (~20% of epochs), delivers a regular
+    /// batch of `1..=mean_blocks` blocks (~65%), or bursts with
+    /// `mean_blocks+1..=3*mean_blocks` blocks (~15%). Arrivals are ordered
+    /// epoch-major then link-minor — the order a fleet manager should submit
+    /// them in.
+    ///
+    /// The schedule depends only on the workload seed and the shape
+    /// parameters, so repeated calls (and solo replays) agree.
+    pub fn bursty_arrivals(&self, epochs: usize, mean_blocks: usize) -> Vec<EpochArrival> {
+        let mean = mean_blocks.max(1);
+        let mut rng = crate::workload::derive_arrival_rng(self.seed);
+        let mut arrivals = Vec::with_capacity(epochs * self.specs.len());
+        for epoch in 0..epochs {
+            for link in 0..self.specs.len() {
+                let draw: f64 = rng.gen_range(0.0..1.0);
+                let blocks = if draw < 0.20 {
+                    0
+                } else if draw < 0.85 {
+                    rng.gen_range(1..=mean)
+                } else {
+                    rng.gen_range(mean + 1..=3 * mean)
+                };
+                arrivals.push(EpochArrival {
+                    epoch,
+                    link,
+                    blocks,
+                });
+            }
+        }
+        arrivals
+    }
+}
+
+/// RNG stream of the fleet arrival process (separate from any key stream).
+fn derive_arrival_rng(seed: u64) -> rand::rngs::StdRng {
+    qkd_types::rng::derive_rng(seed, "fleet-arrivals")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +437,60 @@ mod tests {
         src.next_epoch();
         let blk = src.next_block();
         assert_eq!(blk.id, BlockId::new(1, 0));
+    }
+
+    #[test]
+    fn fleet_workload_cycles_presets_and_derives_distinct_seeds() {
+        let fleet = FleetWorkload::mixed(6, 2048, 7).unwrap();
+        assert_eq!(fleet.num_links(), 6);
+        assert_eq!(fleet.specs()[0].preset, WorkloadPreset::Metro);
+        assert_eq!(fleet.specs()[3].preset, WorkloadPreset::Stressed);
+        assert_eq!(fleet.specs()[4].preset, WorkloadPreset::Metro);
+        let seeds: std::collections::HashSet<u64> = fleet.specs().iter().map(|s| s.seed).collect();
+        assert_eq!(seeds.len(), 6, "per-link seeds must be distinct");
+        for (i, spec) in fleet.specs().iter().enumerate() {
+            assert_eq!(spec.link, i);
+            assert_eq!(spec.block_bits, 2048);
+        }
+        let uniform = FleetWorkload::uniform(WorkloadPreset::Backbone, 3, 2048, 7).unwrap();
+        assert!(uniform
+            .specs()
+            .iter()
+            .all(|s| s.preset == WorkloadPreset::Backbone));
+        assert!(FleetWorkload::mixed(0, 2048, 7).is_err());
+        assert!(FleetWorkload::mixed(2, 0, 7).is_err());
+    }
+
+    #[test]
+    fn fleet_link_spec_reproduces_the_key_stream() {
+        let fleet = FleetWorkload::mixed(2, 1024, 11).unwrap();
+        let spec = fleet.specs()[1];
+        let a = spec.key_source().unwrap().next_block();
+        let b = spec.key_source().unwrap().next_block();
+        assert_eq!(a, b);
+        assert_eq!(a.target_qber, spec.preset.qber());
+    }
+
+    #[test]
+    fn bursty_arrivals_are_deterministic_ordered_and_bursty() {
+        let fleet = FleetWorkload::mixed(4, 1024, 13).unwrap();
+        let a = fleet.bursty_arrivals(50, 2);
+        let b = fleet.bursty_arrivals(50, 2);
+        assert_eq!(a, b, "arrival schedule must be reproducible");
+        assert_eq!(a.len(), 200);
+        // Epoch-major, link-minor ordering.
+        for (i, arr) in a.iter().enumerate() {
+            assert_eq!(arr.epoch, i / 4);
+            assert_eq!(arr.link, i % 4);
+            assert!(arr.blocks <= 6, "burst cap is 3x the mean");
+        }
+        // Over 200 draws all three regimes should appear.
+        assert!(a.iter().any(|x| x.blocks == 0), "some epochs are idle");
+        assert!(
+            a.iter().any(|x| x.blocks > 2),
+            "some epochs burst past the mean"
+        );
+        assert!(a.iter().any(|x| (1..=2).contains(&x.blocks)));
     }
 
     #[test]

@@ -84,6 +84,16 @@ pub enum QkdError {
         /// Description of the channel failure.
         reason: String,
     },
+    /// A key-store delivery request asked for more secret bits than the link
+    /// has accumulated (the shortfall is reported, nothing is delivered).
+    KeyStoreShortfall {
+        /// Link whose store was queried.
+        link: u64,
+        /// Bits requested by the consumer.
+        requested: u64,
+        /// Bits currently available for delivery.
+        available: u64,
+    },
 }
 
 impl fmt::Display for QkdError {
@@ -126,6 +136,10 @@ impl fmt::Display for QkdError {
             }
             QkdError::PipelineStalled { stage } => write!(f, "pipeline stage `{stage}` stalled"),
             QkdError::ChannelError { reason } => write!(f, "classical channel error: {reason}"),
+            QkdError::KeyStoreShortfall { link, requested, available } => write!(
+                f,
+                "key store shortfall on link {link}: {requested} bits requested, {available} available"
+            ),
         }
     }
 }
@@ -180,6 +194,14 @@ mod tests {
             threshold: 0.11,
         };
         assert!(e.to_string().contains("0.12"));
+        let e = QkdError::KeyStoreShortfall {
+            link: 3,
+            requested: 256,
+            available: 100,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("link 3") && msg.contains("256") && msg.contains("100"));
+        assert!(!e.is_security_abort());
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! * [`privacy`] — Toeplitz privacy amplification and finite-key analysis;
 //! * [`auth`] — Wegman–Carter authentication and key-consumption ledger;
 //! * [`hetero`] — heterogeneous devices, cost models, schedulers, pipelines;
-//! * [`core`] — the end-to-end post-processing engine.
+//! * [`core`] — the end-to-end post-processing engine;
+//! * [`manager`] — the fleet key-manager service: many links over a shared
+//!   worker pool, with a key-store delivery API.
 //!
 //! # Quickstart
 //!
@@ -33,6 +35,7 @@ pub use qkd_cascade as cascade;
 pub use qkd_core as core;
 pub use qkd_hetero as hetero;
 pub use qkd_ldpc as ldpc;
+pub use qkd_manager as manager;
 pub use qkd_privacy as privacy;
 pub use qkd_sifting as sifting;
 pub use qkd_simulator as simulator;

@@ -4,9 +4,12 @@
 use qkd::core::{
     ExecutionBackend, PipelineOptions, PostProcessingConfig, PostProcessor, ReconciliationMethod,
 };
-use qkd::simulator::{CorrelatedKeySource, LinkConfig, LinkSimulator, WorkloadPreset};
+use qkd::manager::{Admission, FleetConfig, LinkManager, LinkSpec};
+use qkd::simulator::{
+    detection_events, CorrelatedKeySource, FleetWorkload, LinkConfig, LinkSimulator, WorkloadPreset,
+};
 use qkd::types::frame::StageLabel;
-use qkd::types::QkdError;
+use qkd::types::{BitVec, QkdError};
 
 #[test]
 fn full_stack_distils_key_from_simulated_link() {
@@ -217,6 +220,123 @@ fn scheduler_and_engine_tell_a_consistent_offload_story() {
         m_het.as_secs_f64() < m_cpu.as_secs_f64() / 2.0,
         "heterogeneous schedule {m_het:?} should be far faster than CPU-only {m_cpu:?}"
     );
+}
+
+#[test]
+fn fleet_serves_mixed_links_with_bit_identical_keys_and_a_balanced_ledger() {
+    // Four links of mixed QBER share a three-worker pool with a small
+    // backlog cap, fed by a bursty arrival schedule. Every link must distil
+    // bit-identical keys to a solo engine with the same seed, and the key
+    // store must reconcile exactly against the summed session ledgers.
+    let workload = FleetWorkload::mixed(4, 4096, 91).unwrap();
+    let mut fleet = LinkManager::new(FleetConfig {
+        workers: 3,
+        max_backlog: 2,
+    })
+    .unwrap();
+    let ids: Vec<usize> = workload
+        .specs()
+        .iter()
+        .map(|spec| fleet.add_link(LinkSpec::from_fleet(spec)).unwrap())
+        .collect();
+
+    // Submit everything up front so the small backlog cap actually rejects
+    // some bursts; record which epochs were admitted per link.
+    let mut accepted: Vec<Vec<usize>> = vec![Vec::new(); workload.num_links()];
+    let mut rejections = 0usize;
+    for arrival in workload.bursty_arrivals(6, 2) {
+        if arrival.blocks == 0 {
+            continue;
+        }
+        match fleet
+            .submit_epoch(ids[arrival.link], arrival.blocks)
+            .unwrap()
+        {
+            Admission::Accepted { .. } => accepted[arrival.link].push(arrival.blocks),
+            Admission::RejectedBacklog { limit, .. } => {
+                assert_eq!(limit, 2);
+                rejections += 1;
+            }
+            Admission::RejectedFailed => panic!("no link should be dead during submission"),
+        }
+    }
+    assert!(
+        rejections > 0,
+        "six epochs of bursts against a backlog of 2 must trip admission control"
+    );
+
+    let report = fleet.run().unwrap();
+    assert_eq!(report.links.len(), 4);
+    assert!(report.total_secret_bits() > 0);
+    assert!(report.aggregate_output_bps() > 0.0);
+    assert!((0.0..=1.0 + 1e-9).contains(&report.fairness_service()));
+    assert!((0.0..=1.0 + 1e-9).contains(&report.fairness_blocks()));
+    // The fleet summary is the merge of the per-link summaries.
+    assert_eq!(
+        report.summary.blocks_ok,
+        report
+            .links
+            .iter()
+            .map(|l| l.summary.blocks_ok)
+            .sum::<usize>()
+    );
+
+    for (link, spec) in workload.specs().iter().enumerate() {
+        // Replay the accepted epochs on a solo engine with the same seed.
+        let link_spec = LinkSpec::from_fleet(spec);
+        let mut solo = link_spec.solo_processor().unwrap();
+        let mut source = link_spec.key_source().unwrap();
+        let mut expected = BitVec::new();
+        for &blocks in &accepted[link] {
+            let mut alice = BitVec::new();
+            let mut bob = BitVec::new();
+            for _ in 0..blocks {
+                let blk = source.next_block();
+                alice.extend_from(&blk.alice);
+                bob.extend_from(&blk.bob);
+            }
+            for result in solo
+                .process_detections(&detection_events(&alice, &bob))
+                .unwrap()
+            {
+                expected.extend_from(&result.secret_key.bits);
+            }
+        }
+        assert_eq!(
+            fleet.summary(ids[link]).unwrap().accounting(),
+            solo.summary().accounting(),
+            "link {link} fleet accounting must equal solo"
+        );
+        let status = fleet.store().status(ids[link]).unwrap();
+        assert!(status.balances());
+        assert_eq!(status.deposited_bits, expected.len() as u64);
+
+        // Drain the store in several keys: concatenated deliveries must be
+        // the exact solo bit stream, with no bit delivered twice.
+        let mut delivered = BitVec::new();
+        let mut serial = 0u64;
+        while fleet.store().status(ids[link]).unwrap().available_bits > 0 {
+            let remaining = fleet.store().status(ids[link]).unwrap().available_bits as usize;
+            let chunk = remaining.min(777);
+            let key = fleet.store().get_key(ids[link], chunk).unwrap();
+            assert_eq!(key.id.serial, serial);
+            serial += 1;
+            delivered.extend_from(&key.bits);
+        }
+        assert_eq!(
+            delivered, expected,
+            "link {link} fleet keys must be bit-identical to solo"
+        );
+        // The drained store reports an exact shortfall.
+        match fleet.store().get_key(ids[link], 8) {
+            Err(QkdError::KeyStoreShortfall { available, .. }) => assert_eq!(available, 0),
+            other => panic!("expected shortfall on drained link {link}, got {other:?}"),
+        }
+    }
+    let ledger = fleet.reconcile().unwrap();
+    assert_eq!(ledger.total_deposited(), report.total_secret_bits());
+    assert_eq!(ledger.total_available(), 0);
+    assert_eq!(ledger.total_delivered(), report.total_secret_bits());
 }
 
 #[test]

@@ -1,11 +1,17 @@
 //! Property-based tests on the core data structures and invariants.
 
+use std::time::Duration;
+
 use proptest::prelude::*;
 
-use qkd::core::{PipelineOptions, PostProcessingConfig, PostProcessor};
+use qkd::core::{
+    ChannelUsage, PipelineOptions, PostProcessingConfig, PostProcessor, SessionSummary,
+};
+use qkd::hetero::{StageMetrics, ThroughputReport};
 use qkd::ldpc::{DecoderConfig, ParityCheckMatrix, SyndromeDecoder};
+use qkd::manager::{FleetConfig, LinkManager, LinkSpec};
 use qkd::privacy::{ToeplitzHash, ToeplitzStrategy};
-use qkd::simulator::CorrelatedKeySource;
+use qkd::simulator::{CorrelatedKeySource, FleetWorkload};
 use qkd::types::gf2::{clmul64, Gf2_128};
 use qkd::types::key::binary_entropy;
 use qkd::types::rng::derive_rng;
@@ -130,6 +136,139 @@ proptest! {
     }
 }
 
+/// A bounded random session summary (bounded so merge sums cannot overflow).
+fn random_summary(rng: &mut impl rand::Rng) -> SessionSummary {
+    SessionSummary {
+        blocks_ok: rng.gen_range(0usize..1000),
+        blocks_failed: rng.gen_range(0usize..1000),
+        sifted_bits_in: rng.gen_range(0u64..1 << 40),
+        secret_bits_out: rng.gen_range(0u64..1 << 40),
+        disclosed_bits: rng.gen_range(0u64..1 << 40),
+        auth_bits_consumed: rng.gen_range(0u64..1 << 30),
+        carried_bits: rng.gen_range(0u64..1 << 20),
+        discarded_bits: rng.gen_range(0u64..1 << 20),
+        processing_time: Duration::from_micros(rng.gen_range(0u64..10_000_000)),
+        channel_usage: ChannelUsage {
+            round_trips: rng.gen_range(0usize..10_000),
+            messages: rng.gen_range(0usize..10_000),
+            payload_bits: rng.gen_range(0usize..1 << 30),
+        },
+    }
+}
+
+/// A random throughput report over a random subset of stage names (so merges
+/// exercise disjoint, overlapping and equal stage sets).
+fn random_throughput(rng: &mut impl rand::Rng) -> ThroughputReport {
+    let stage_names = ["sifting", "estimation", "reconciliation", "pa", "auth"];
+    let mut report = ThroughputReport {
+        makespan: Duration::from_micros(rng.gen_range(0u64..10_000_000)),
+        items: rng.gen_range(0usize..10_000),
+        input_bits: rng.gen_range(0u64..1 << 40),
+        output_bits: rng.gen_range(0u64..1 << 40),
+        ..Default::default()
+    };
+    for _ in 0..rng.gen_range(0usize..6) {
+        let micros = rng.gen_range(1u64..1000);
+        let mut m = StageMetrics::default();
+        m.record(
+            Duration::from_micros(micros),
+            Duration::from_micros(micros),
+            rng.gen_range(0usize..1 << 30),
+            rng.gen_range(0usize..1 << 30),
+        );
+        report.record_stage(stage_names[rng.gen_range(0usize..stage_names.len())], m);
+    }
+    report
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------- Fleet aggregation algebra ----------------
+
+    /// `SessionSummary::merge` is commutative and associative — the property
+    /// that makes fleet-level aggregation independent of link order and of
+    /// how workers interleave per-link deltas.
+    #[test]
+    fn session_summary_merge_is_commutative_and_associative(seed in any::<u64>()) {
+        let mut rng = derive_rng(seed, "prop-summary-merge");
+        let a = random_summary(&mut rng);
+        let b = random_summary(&mut rng);
+        let c = random_summary(&mut rng);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+
+        let mut ab_c = ab; // (a+b)+c
+        ab_c.merge(&c);
+        let mut bc = b; // a+(b+c)
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc);
+
+        // Identity.
+        let mut a_id = a;
+        a_id.merge(&SessionSummary::default());
+        prop_assert_eq!(a_id, a);
+    }
+
+    /// `ThroughputReport::merge` handles disjoint stage sets (union), sums
+    /// overlapping stages, and is commutative and associative — fleet reports
+    /// merge per-link reports whose stage sets need not agree.
+    #[test]
+    fn throughput_report_merge_handles_disjoint_stage_sets(seed in any::<u64>()) {
+        let mut rng = derive_rng(seed, "prop-throughput-merge");
+        let a = random_throughput(&mut rng);
+        let b = random_throughput(&mut rng);
+        let c = random_throughput(&mut rng);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        // The merged stage set is the union, and every stage not shared is
+        // carried over untouched (disjoint parts must survive verbatim).
+        let union: std::collections::BTreeSet<&String> =
+            a.stages.keys().chain(b.stages.keys()).collect();
+        prop_assert_eq!(ab.stages.len(), union.len());
+        for (name, metrics) in &a.stages {
+            if !b.stages.contains_key(name) {
+                prop_assert_eq!(&ab.stages[name], metrics);
+            }
+        }
+        for (name, metrics) in &b.stages {
+            if !a.stages.contains_key(name) {
+                prop_assert_eq!(&ab.stages[name], metrics);
+            } else {
+                // Overlapping stages sum their counts and bits.
+                prop_assert_eq!(
+                    ab.stages[name].count,
+                    a.stages[name].count + metrics.count
+                );
+                prop_assert_eq!(
+                    ab.stages[name].bits_in,
+                    a.stages[name].bits_in + metrics.bits_in
+                );
+            }
+        }
+        // Makespans overlap in time, so the merge takes the maximum.
+        prop_assert_eq!(ab.makespan, a.makespan.max(b.makespan));
+        prop_assert_eq!(ab.items, a.items + b.items);
+    }
+}
+
 proptest! {
     // Few cases: each runs two full engine batches.
     #![proptest_config(ProptestConfig::with_cases(6))]
@@ -171,6 +310,68 @@ proptest! {
         prop_assert_eq!(seq.summary().accounting(), pipe.summary().accounting());
         prop_assert_eq!(seq.pending_remainder_bits(), pipe.pending_remainder_bits());
         prop_assert_eq!(seq.auth_key_remaining(), pipe.auth_key_remaining());
+    }
+
+    /// Determinism across tenancy: every link of a fleet — any worker count,
+    /// any link count, any arrival schedule — delivers keys through the store
+    /// that are bit-identical to a solo engine run of the same spec, with
+    /// equal session accounting.
+    #[test]
+    fn fleet_links_equal_solo_runs_for_random_fleets(
+        seed in any::<u64>(),
+        links in 1usize..4,
+        workers in 1usize..5,
+        epochs in 1usize..3,
+    ) {
+        let block = 4096usize;
+        let workload = FleetWorkload::mixed(links, block, seed).unwrap();
+        let mut fleet = LinkManager::new(FleetConfig { workers, max_backlog: 16 }).unwrap();
+        let ids: Vec<usize> = workload
+            .specs()
+            .iter()
+            .map(|spec| fleet.add_link(LinkSpec::from_fleet(spec)).unwrap())
+            .collect();
+        let mut accepted: Vec<Vec<usize>> = vec![Vec::new(); links];
+        for arrival in workload.bursty_arrivals(epochs, 2) {
+            if arrival.blocks == 0 {
+                continue;
+            }
+            if fleet.submit_epoch(ids[arrival.link], arrival.blocks).unwrap().accepted() {
+                accepted[arrival.link].push(arrival.blocks);
+            }
+        }
+        fleet.run().unwrap();
+
+        for (link, spec) in workload.specs().iter().enumerate() {
+            let link_spec = LinkSpec::from_fleet(spec);
+            let mut solo = link_spec.solo_processor().unwrap();
+            let mut source = link_spec.key_source().unwrap();
+            let mut expected = BitVec::new();
+            for &blocks in &accepted[link] {
+                let mut alice = BitVec::new();
+                let mut bob = BitVec::new();
+                for _ in 0..blocks {
+                    let blk = source.next_block();
+                    alice.extend_from(&blk.alice);
+                    bob.extend_from(&blk.bob);
+                }
+                let events = qkd::simulator::detection_events(&alice, &bob);
+                for result in solo.process_detections(&events).unwrap() {
+                    expected.extend_from(&result.secret_key.bits);
+                }
+            }
+            prop_assert_eq!(
+                fleet.summary(ids[link]).unwrap().accounting(),
+                solo.summary().accounting()
+            );
+            let status = fleet.store().status(ids[link]).unwrap();
+            prop_assert_eq!(status.deposited_bits, expected.len() as u64);
+            if !expected.is_empty() {
+                let key = fleet.store().get_key(ids[link], expected.len()).unwrap();
+                prop_assert_eq!(key.bits, expected);
+            }
+        }
+        fleet.reconcile().unwrap();
     }
 }
 
