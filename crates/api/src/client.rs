@@ -1,0 +1,174 @@
+//! A blocking client for the key-delivery API, speaking the same wire
+//! format over a real TCP connection — used by the examples, the e2e tests
+//! and the `--api` bench harness, so everything that exercises the server
+//! goes through an actual socket.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use qkd_manager::KeyId;
+use qkd_types::{QkdError, Result};
+
+use crate::json::Json;
+use crate::wire::{error_from_json, key_from_json, WireKey};
+
+/// Typed view of the fields a consumer acts on from a `status` response
+/// (the raw document is also kept for forward compatibility).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeerStatus {
+    /// Fleet link serving the pair.
+    pub link: usize,
+    /// Default key size offered by the server, in bits.
+    pub key_size: usize,
+    /// Whole keys of `key_size` bits available right now.
+    pub stored_key_count: u64,
+    /// Exact bits available right now.
+    pub available_bits: u64,
+    /// Reserved keys parked for pickup by ID.
+    pub reserved_keys: u64,
+    /// The raw response document.
+    pub raw: Json,
+}
+
+/// A blocking API client bound to one SAE identity (its bearer token).
+#[derive(Debug, Clone)]
+pub struct ApiClient {
+    addr: SocketAddr,
+    token: String,
+}
+
+impl ApiClient {
+    /// A client for the server at `addr`, authenticating with `token`.
+    pub fn new(addr: SocketAddr, token: impl Into<String>) -> Self {
+        Self {
+            addr,
+            token: token.into(),
+        }
+    }
+
+    /// `GET /api/v1/keys/{peer}/status`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's [`QkdError`] (reconstructed from the error
+    /// envelope) or [`QkdError::ChannelError`] for transport failures.
+    pub fn status(&self, peer: &str) -> Result<PeerStatus> {
+        let doc = self.request("GET", &format!("/api/v1/keys/{peer}/status"), None)?;
+        let num = |name: &str| {
+            doc.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| QkdError::ChannelError {
+                    reason: format!("status response is missing `{name}`"),
+                })
+        };
+        Ok(PeerStatus {
+            link: num("link")? as usize,
+            key_size: num("key_size")? as usize,
+            stored_key_count: num("stored_key_count")?,
+            available_bits: num("available_bits")?,
+            reserved_keys: num("reserved_keys")?,
+            raw: doc,
+        })
+    }
+
+    /// `POST /api/v1/keys/{slave}/enc_keys` — reserve `number` keys of
+    /// `size` bits each (master side).
+    ///
+    /// # Errors
+    ///
+    /// See [`ApiClient::status`].
+    pub fn enc_keys(&self, slave: &str, number: usize, size: usize) -> Result<Vec<WireKey>> {
+        let body = Json::Obj(vec![
+            ("number".into(), Json::num(number as u64)),
+            ("size".into(), Json::num(size as u64)),
+        ]);
+        let doc = self.request(
+            "POST",
+            &format!("/api/v1/keys/{slave}/enc_keys"),
+            Some(&body),
+        )?;
+        parse_keys(&doc)
+    }
+
+    /// `POST /api/v1/keys/{master}/dec_keys` — retrieve the peer copies of
+    /// `ids` (slave side).
+    ///
+    /// # Errors
+    ///
+    /// See [`ApiClient::status`].
+    pub fn dec_keys(&self, master: &str, ids: &[KeyId]) -> Result<Vec<WireKey>> {
+        let body = Json::Obj(vec![(
+            "key_IDs".into(),
+            Json::Arr(
+                ids.iter()
+                    .map(|id| Json::Obj(vec![("key_ID".into(), Json::str(id.to_string()))]))
+                    .collect(),
+            ),
+        )]);
+        let doc = self.request(
+            "POST",
+            &format!("/api/v1/keys/{master}/dec_keys"),
+            Some(&body),
+        )?;
+        parse_keys(&doc)
+    }
+
+    /// One request/response exchange over a fresh connection.
+    fn request(&self, method: &str, path: &str, body: Option<&Json>) -> Result<Json> {
+        let transport = |what: String| QkdError::ChannelError { reason: what };
+        let mut stream = TcpStream::connect(self.addr)
+            .map_err(|e| transport(format!("connect {}: {e}", self.addr)))?;
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+        let _ = stream.set_nodelay(true);
+
+        let payload = body.map(Json::encode).unwrap_or_default();
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\nauthorization: Bearer {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            self.addr,
+            self.token,
+            payload.len(),
+        );
+        stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(payload.as_bytes()))
+            .map_err(|e| transport(format!("send: {e}")))?;
+
+        let mut raw = Vec::new();
+        stream
+            .read_to_end(&mut raw)
+            .map_err(|e| transport(format!("receive: {e}")))?;
+        let text =
+            std::str::from_utf8(&raw).map_err(|_| transport("response is not UTF-8".into()))?;
+        let (head, body_text) = text
+            .split_once("\r\n\r\n")
+            .ok_or_else(|| transport("response has no header terminator".into()))?;
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| transport(format!("malformed status line: {head}")))?;
+        let doc = if body_text.is_empty() {
+            Json::Null
+        } else {
+            Json::parse(body_text)?
+        };
+        if (200..300).contains(&status) {
+            Ok(doc)
+        } else {
+            Err(error_from_json(status, &doc))
+        }
+    }
+}
+
+fn parse_keys(doc: &Json) -> Result<Vec<WireKey>> {
+    doc.get("keys")
+        .and_then(Json::as_array)
+        .ok_or_else(|| QkdError::ChannelError {
+            reason: "response is missing the `keys` array".into(),
+        })?
+        .iter()
+        .map(key_from_json)
+        .collect()
+}

@@ -1,0 +1,451 @@
+//! A minimal blocking HTTP/1.1 server over `std::net::TcpListener`.
+//!
+//! Just enough protocol for the key-delivery API: one request per
+//! connection (`Connection: close`), bounded header and body sizes, a
+//! bounded worker pool fed by an accept thread, and graceful shutdown
+//! ([`HttpServer::shutdown`] wakes the accept loop with a loopback connect
+//! and joins every thread). No TLS, no keep-alive, no chunked encoding —
+//! the transport is deliberately small enough to audit.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use qkd_types::{QkdError, Result};
+
+use crate::json::Json;
+
+/// Maximum accepted request-head (request line + headers) size.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum accepted request-body size.
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// Per-connection socket timeout: a stalled peer cannot pin a worker.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path (query strings are not used by this API).
+    pub path: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Body bytes (JSON for every API response).
+    pub body: Vec<u8>,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: &Json) -> Self {
+        Self {
+            status,
+            body: body.encode().into_bytes(),
+            content_type: "application/json",
+        }
+    }
+
+    /// The standard reason phrase for the codes this server emits.
+    fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+}
+
+/// The request handler run on worker threads.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// A running HTTP server: an accept thread feeding a bounded pool of worker
+/// threads over a bounded channel (back-pressure: past `2 × workers` queued
+/// connections, the accept thread blocks and the listener's kernel backlog
+/// absorbs the burst).
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl HttpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `handler` on `workers` threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::ChannelError`] when the bind fails and
+    /// [`QkdError::InvalidParameter`] for a zero worker count.
+    pub fn serve(addr: &str, workers: usize, handler: Handler) -> Result<Self> {
+        if workers == 0 {
+            return Err(QkdError::invalid_parameter(
+                "workers",
+                "the server needs at least one worker thread",
+            ));
+        }
+        let listener = TcpListener::bind(addr).map_err(|e| QkdError::ChannelError {
+            reason: format!("bind {addr}: {e}"),
+        })?;
+        let local = listener.local_addr().map_err(|e| QkdError::ChannelError {
+            reason: format!("local_addr: {e}"),
+        })?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = crossbeam::channel::bounded::<TcpStream>(workers * 2);
+
+        let accept_stop = Arc::clone(&stop);
+        let accept = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    // Persistent accept failures (e.g. fd exhaustion) would
+                    // otherwise spin this loop at 100% CPU; back off briefly.
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+            // `tx` drops here; workers drain the queue and exit.
+        });
+
+        let worker_handles = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                let handler = Arc::clone(&handler);
+                std::thread::spawn(move || {
+                    while let Ok(stream) = rx.recv() {
+                        handle_connection(stream, &handler);
+                    }
+                })
+            })
+            .collect();
+
+        Ok(Self {
+            addr: local,
+            stop,
+            accept: Some(accept),
+            workers: worker_handles,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains in-flight requests and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop: a loopback connection makes `incoming()`
+        // yield so the thread observes the stop flag. A wildcard bind
+        // address (0.0.0.0 / ::) is not connectable on every platform, so
+        // aim at loopback on the bound port instead.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Serves one connection: parse, dispatch, respond, close.
+fn handle_connection(mut stream: TcpStream, handler: &Handler) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let response = match read_request(&mut stream) {
+        Ok(request) => handler(&request),
+        Err(status) => Response::json(
+            status,
+            &Json::Obj(vec![
+                ("code".into(), Json::str("invalid")),
+                ("message".into(), Json::str("malformed HTTP request")),
+            ]),
+        ),
+    };
+    let _ = write_response(&mut stream, &response);
+}
+
+/// Reads and parses one request; the error is the HTTP status to answer.
+fn read_request(stream: &mut TcpStream) -> std::result::Result<Request, u16> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(found) = find_head_end(&buf) {
+            if found > MAX_HEAD_BYTES {
+                return Err(413);
+            }
+            break found;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(413);
+        }
+        let n = stream.read(&mut chunk).map_err(|_| 400u16)?;
+        if n == 0 {
+            return Err(400);
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| 400u16)?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or(400u16)?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().ok_or(400u16)?.to_ascii_uppercase();
+    let path = parts.next().ok_or(400u16)?.to_string();
+    if !parts.next().is_some_and(|v| v.starts_with("HTTP/1.")) {
+        return Err(400);
+    }
+
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or(400u16)?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value.parse().map_err(|_| 400u16)?;
+        }
+        headers.push((name, value));
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(413);
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|_| 400u16)?;
+        if n == 0 {
+            return Err(400);
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        response.status,
+        Response::reason(response.status),
+        response.content_type,
+        response.body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> HttpServer {
+        let handler: Handler = Arc::new(|req: &Request| {
+            let body = Json::Obj(vec![
+                ("method".into(), Json::str(req.method.clone())),
+                ("path".into(), Json::str(req.path.clone())),
+                ("body_len".into(), Json::num(req.body.len() as u64)),
+                (
+                    "auth".into(),
+                    req.header("Authorization").map_or(Json::Null, Json::str),
+                ),
+            ]);
+            Response::json(200, &body)
+        });
+        HttpServer::serve("127.0.0.1:0", 2, handler).unwrap()
+    }
+
+    fn raw_request(addr: SocketAddr, request: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        let status = text
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = text
+            .split("\r\n\r\n")
+            .nth(1)
+            .unwrap_or_default()
+            .to_string();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_requests_from_multiple_sequential_connections() {
+        let server = echo_server();
+        let addr = server.local_addr();
+        for i in 0..4 {
+            let payload = "x".repeat(i * 10);
+            let (status, body) = raw_request(
+                addr,
+                &format!(
+                    "POST /echo/{i} HTTP/1.1\r\nHost: x\r\nAuthorization: Bearer t\r\ncontent-length: {}\r\n\r\n{payload}",
+                    payload.len()
+                ),
+            );
+            assert_eq!(status, 200);
+            let doc = Json::parse(&body).unwrap();
+            assert_eq!(doc.get("method").unwrap().as_str(), Some("POST"));
+            assert_eq!(
+                doc.get("path").unwrap().as_str(),
+                Some(format!("/echo/{i}").as_str())
+            );
+            assert_eq!(doc.get("body_len").unwrap().as_u64(), Some((i * 10) as u64));
+            assert_eq!(doc.get("auth").unwrap().as_str(), Some("Bearer t"));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_are_all_served() {
+        let server = echo_server();
+        let addr = server.local_addr();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    raw_request(
+                        addr,
+                        &format!("GET /client/{i} HTTP/1.1\r\nHost: x\r\n\r\n"),
+                    )
+                })
+            })
+            .collect();
+        for (i, handle) in handles.into_iter().enumerate() {
+            let (status, body) = handle.join().unwrap();
+            assert_eq!(status, 200);
+            assert!(body.contains(&format!("/client/{i}")));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_and_oversized_requests_get_4xx_answers() {
+        let server = echo_server();
+        let addr = server.local_addr();
+        let (status, _) = raw_request(addr, "NONSENSE\r\n\r\n");
+        assert_eq!(status, 400);
+        let (status, _) = raw_request(addr, "POST / HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n");
+        assert_eq!(status, 413);
+        let (status, _) = raw_request(
+            addr,
+            &format!(
+                "GET / HTTP/1.1\r\nx: {}\r\n\r\n",
+                "y".repeat(MAX_HEAD_BYTES)
+            ),
+        );
+        assert_eq!(status, 413);
+        // The server still works after abuse.
+        let (status, _) = raw_request(addr, "GET /ok HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly_and_stops_serving() {
+        let server = echo_server();
+        let addr = server.local_addr();
+        let (status, _) = raw_request(addr, "GET / HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        server.shutdown();
+        // After shutdown the port no longer accepts (or resets immediately).
+        let alive = TcpStream::connect(addr)
+            .map(|mut s| {
+                let _ = s.write_all(b"GET / HTTP/1.1\r\n\r\n");
+                let mut buf = String::new();
+                s.read_to_string(&mut buf)
+                    .map(|_| !buf.is_empty())
+                    .unwrap_or(false)
+            })
+            .unwrap_or(false);
+        assert!(!alive, "a shut-down server must not answer");
+    }
+
+    #[test]
+    fn rejects_zero_workers() {
+        let handler: Handler = Arc::new(|_: &Request| Response::json(200, &Json::Null));
+        assert!(HttpServer::serve("127.0.0.1:0", 0, handler).is_err());
+    }
+}

@@ -1,0 +1,414 @@
+//! A minimal JSON document model with a hand-rolled encoder and decoder.
+//!
+//! The vendored `serde` stand-in has no JSON backend and the build
+//! environment has no registry access, so the delivery API carries its own
+//! wire format: a [`Json`] tree, [`Json::parse`] (recursive descent with a
+//! depth limit) and [`Json::encode`]. Object member order is preserved, so
+//! encoded documents are deterministic.
+
+use qkd_types::{QkdError, Result};
+
+/// Maximum nesting depth accepted by the parser (the delivery API's
+/// documents are at most three levels deep).
+const MAX_DEPTH: usize = 32;
+
+/// One JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (kept as `f64`; integers survive below 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in member order.
+    Obj(Vec<(String, Json)>),
+}
+
+fn parse_error(at: usize, what: impl std::fmt::Display) -> QkdError {
+    QkdError::ChannelError {
+        reason: format!("json parse error at byte {at}: {what}"),
+    }
+}
+
+impl Json {
+    /// A string value (convenience constructor).
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An integer value.
+    pub fn num(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// Member lookup on an object (`None` for non-objects and absent keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if x.fract() == 0.0 && (0.0..9.007_199_254_740_992e15).contains(x) => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Encodes the value as compact JSON text.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if x.fract() == 0.0 && x.abs() < 9.007_199_254_740_992e15 {
+                    out.push_str(&format!("{}", *x as i64));
+                } else {
+                    out.push_str(&format!("{x}"));
+                }
+            }
+            Json::Str(s) => encode_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.encode_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    encode_string(key, out);
+                    out.push(':');
+                    value.encode_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses one JSON document (trailing whitespace allowed, nothing else).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::ChannelError`] describing the first syntax error.
+    pub fn parse(text: &str) -> Result<Json> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(parse_error(pos, "trailing characters after the document"));
+        }
+        Ok(value)
+    }
+}
+
+fn encode_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, literal: &str, value: Json) -> Result<Json> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(parse_error(*pos, format!("expected `{literal}`")))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json> {
+    if depth > MAX_DEPTH {
+        return Err(parse_error(*pos, "nesting too deep"));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(parse_error(*pos, "unexpected end of input")),
+        Some(b'n') => expect(bytes, pos, "null", Json::Null),
+        Some(b't') => expect(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(parse_error(*pos, "expected `,` or `]`")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(parse_error(*pos, "expected `:`"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(parse_error(*pos, "expected `,` or `}`")),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(parse_error(*pos, "expected a string"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(parse_error(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let code = parse_hex4(bytes, *pos + 1)?;
+                        // Decode a surrogate pair when one follows; a lone
+                        // surrogate is replaced rather than rejected.
+                        if (0xD800..0xDC00).contains(&code)
+                            && bytes.get(*pos + 5) == Some(&b'\\')
+                            && bytes.get(*pos + 6) == Some(&b'u')
+                        {
+                            let low = parse_hex4(bytes, *pos + 7)?;
+                            if (0xDC00..0xE000).contains(&low) {
+                                let c = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                out.push(char::from_u32(c).unwrap_or('\u{FFFD}'));
+                                // `u` + 4 hex + `\u` + 4 hex.
+                                *pos += 11;
+                                continue;
+                            }
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 5;
+                        continue;
+                    }
+                    _ => return Err(parse_error(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x20 => {
+                return Err(parse_error(*pos, "raw control character in string"))
+            }
+            Some(_) => {
+                // Copy one UTF-8 character (input is a &str, so boundaries
+                // are valid).
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && (bytes[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*pos]).expect("input was a &str"));
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32> {
+    let hex = bytes
+        .get(at..at + 4)
+        .and_then(|h| std::str::from_utf8(h).ok())
+        .ok_or_else(|| parse_error(at, "truncated \\u escape"))?;
+    u32::from_str_radix(hex, 16).map_err(|_| parse_error(at, "invalid \\u escape"))
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number characters");
+    text.parse::<f64>()
+        .ok()
+        .filter(|x| x.is_finite())
+        .map(Json::Num)
+        .ok_or_else(|| parse_error(start, "invalid number"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_the_document_shapes_the_api_uses() {
+        let doc = Json::Obj(vec![
+            ("number".into(), Json::num(3)),
+            ("size".into(), Json::num(256)),
+            (
+                "keys".into(),
+                Json::Arr(vec![Json::Obj(vec![
+                    ("key_ID".into(), Json::str("link0/key7")),
+                    ("key".into(), Json::str("q2V5cw==")),
+                    ("empty".into(), Json::Null),
+                    ("ok".into(), Json::Bool(true)),
+                ])]),
+            ),
+            ("rate".into(), Json::Num(0.25)),
+        ]);
+        let text = doc.encode();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+        assert_eq!(doc.get("number").unwrap().as_u64(), Some(3));
+        assert_eq!(doc.get("rate").unwrap().as_f64(), Some(0.25));
+        assert_eq!(doc.get("keys").unwrap().as_array().unwrap().len(), 1);
+        assert!(doc.get("missing").is_none());
+    }
+
+    #[test]
+    fn parses_whitespace_escapes_and_unicode() {
+        let doc = Json::parse(
+            " { \"a\" : [ 1 , -2.5e1 , \"x\\n\\t\\\"\\\\\\u00e9\\ud83d\\ude00\" ] , \"b\" : { } } ",
+        )
+        .unwrap();
+        let arr = doc.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(-25.0));
+        assert_eq!(arr[2].as_str(), Some("x\n\t\"\\é😀"));
+        assert_eq!(doc.get("b").unwrap(), &Json::Obj(vec![]));
+        // Encoding escapes what must be escaped and survives a reparse.
+        let reencoded = doc.encode();
+        assert_eq!(Json::parse(&reencoded).unwrap(), doc);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "nul",
+            "01a",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "{\"a\":1} trailing",
+            "1e999",
+            "\"\\u12\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "`{bad}` must not parse");
+        }
+        // Nesting past the depth limit is rejected, not a stack overflow.
+        let deep = format!("{}1{}", "[".repeat(200), "]".repeat(200));
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn integer_precision_is_preserved_below_2_pow_53() {
+        let n = (1u64 << 53) - 1;
+        let doc = Json::num(n);
+        assert_eq!(Json::parse(&doc.encode()).unwrap().as_u64(), Some(n));
+        // Negative and fractional numbers are not u64s.
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Num(1.5).as_u64(), None);
+    }
+}

@@ -1,0 +1,55 @@
+//! ETSI GS QKD 014-shaped key-delivery API: a networked front-end for the
+//! fleet key store.
+//!
+//! The fleet manager (`qkd-manager`) distils secret key into an in-process
+//! [`qkd_manager::KeyStore`]; this crate puts that store on the network the
+//! way industrial QKD deployments expose it (Kiktenko et al.,
+//! *Post-processing procedure for industrial QKD systems*): a small REST
+//! service shaped after ETSI GS QKD 014, with authenticated SAE consumers,
+//! per-pair entitlements and a master/slave delivery flow in which no key
+//! bit ever crosses the boundary twice.
+//!
+//! Since the vendored dependency set has neither an HTTP nor a JSON crate,
+//! the transport is self-contained:
+//!
+//! * [`json`] — a hand-rolled JSON tree, parser and encoder;
+//! * [`http`] — a minimal blocking HTTP/1.1 server over
+//!   `std::net::TcpListener` (bounded worker pool, graceful shutdown);
+//! * [`sae`] — SAE identities, bearer-token authentication, pair → link
+//!   entitlements and per-SAE budgets ([`SaeRegistry`]);
+//! * [`server`] — the three 014 endpoints (`status`, `enc_keys`,
+//!   `dec_keys`) in front of an `Arc<KeyStore>` ([`ApiServer`]);
+//! * [`client`] — a blocking [`ApiClient`] speaking the same wire format
+//!   over real sockets;
+//! * [`wire`] — base64 key containers and the error envelope that
+//!   round-trips [`qkd_types::QkdError`] values across the HTTP boundary.
+//!
+//! # Delivery flow
+//!
+//! The master SAE calls `enc_keys`, which *reserves* key material: the bits
+//! are drained from the store exactly once (`KeyStore::reserve_keys`) and
+//! returned together with their `key_ID`s, while a copy of each key is
+//! parked for the peer under the slave's identity. The slave SAE then calls
+//! `dec_keys` with those `key_ID`s and receives bit-identical material
+//! (`KeyStore::get_key_by_id`), each ID redeemable exactly once and only by
+//! the SAE it was reserved for — another pair sharing the link, or the
+//! master itself, gets the same answer as for a non-existent ID. The
+//! store's ledger (`deposited = delivered + available`) and
+//! `LinkManager::reconcile` are unaffected by pickups — the parked copy is
+//! the other half of one delivery, not a second one.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod sae;
+pub mod server;
+pub mod wire;
+
+pub use client::{ApiClient, PeerStatus};
+pub use json::Json;
+pub use sae::{RateCap, SaeProfile, SaeRegistry};
+pub use server::{ApiConfig, ApiServer};
+pub use wire::WireKey;

@@ -1,0 +1,419 @@
+//! SAE (Secure Application Entity) identities, entitlements and rate caps.
+//!
+//! Following the ETSI GS QKD 014 trust model, every consumer of the
+//! delivery API is a named SAE that authenticates with a bearer token, and
+//! key material moves only along *entitled pairs*: a (master, slave) SAE
+//! pair is bound to exactly one fleet link, and neither side can address a
+//! link it is not paired on. Per-SAE budgets bound how many requests an SAE
+//! may make and how much fresh key it may draw — the explicit
+//! consumer/processor boundary argued for by Lorünser et al. (*On the
+//! Security of Offloading Post-Processing for QKD*).
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+use qkd_types::{QkdError, Result};
+
+/// Per-SAE consumption budgets. `u64::MAX` (the default) means unbounded.
+///
+/// Budgets are charged at admission: a request consumes one request unit
+/// plus the key bits it *asks* for, delivered or not — so a consumer cannot
+/// probe the store for free past its cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateCap {
+    /// Total requests the SAE may make over the registry's lifetime.
+    pub max_requests: u64,
+    /// Total key bits the SAE may request via `enc_keys`.
+    pub max_key_bits: u64,
+}
+
+impl Default for RateCap {
+    fn default() -> Self {
+        Self {
+            max_requests: u64::MAX,
+            max_key_bits: u64::MAX,
+        }
+    }
+}
+
+impl RateCap {
+    /// A cap on requests only.
+    pub fn requests(max_requests: u64) -> Self {
+        Self {
+            max_requests,
+            ..Self::default()
+        }
+    }
+
+    /// A cap on requested key bits only.
+    pub fn key_bits(max_key_bits: u64) -> Self {
+        Self {
+            max_key_bits,
+            ..Self::default()
+        }
+    }
+}
+
+/// One registered SAE: its identity, bearer token and budgets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SaeProfile {
+    /// The SAE's identity (the `{SAE_ID}` path segments of the API).
+    pub id: String,
+    /// Bearer token presented in the `Authorization` header.
+    pub token: String,
+    /// Consumption budgets.
+    pub cap: RateCap,
+}
+
+impl SaeProfile {
+    /// A profile with unbounded budgets.
+    pub fn new(id: impl Into<String>, token: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            token: token.into(),
+            cap: RateCap::default(),
+        }
+    }
+
+    /// Replaces the budgets.
+    pub fn with_cap(mut self, cap: RateCap) -> Self {
+        self.cap = cap;
+        self
+    }
+}
+
+#[derive(Debug)]
+struct SaeState {
+    profile: SaeProfile,
+    requests_used: u64,
+    key_bits_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    saes: BTreeMap<String, SaeState>,
+    /// Bearer token → SAE id.
+    tokens: BTreeMap<String, String>,
+    /// Entitled (caller, peer) pairs → fleet link; both orientations are
+    /// stored, since master and slave each address the pair from their side.
+    pairs: BTreeMap<(String, String), usize>,
+}
+
+/// Thread-safe registry of SAEs, entitlements and budget counters; shared
+/// between the server's worker threads.
+#[derive(Debug, Default)]
+pub struct SaeRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl SaeRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an SAE.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] for an empty id or token, a
+    /// duplicate id, or a token already bound to another SAE.
+    pub fn register(&self, profile: SaeProfile) -> Result<()> {
+        if profile.id.is_empty() || profile.token.is_empty() {
+            return Err(QkdError::invalid_parameter(
+                "sae",
+                "SAE id and token must be non-empty",
+            ));
+        }
+        let mut inner = self.inner.lock();
+        if inner.saes.contains_key(&profile.id) {
+            return Err(QkdError::invalid_parameter(
+                "sae",
+                format!("SAE `{}` is already registered", profile.id),
+            ));
+        }
+        if inner.tokens.contains_key(&profile.token) {
+            return Err(QkdError::invalid_parameter(
+                "sae",
+                "token is already bound to another SAE",
+            ));
+        }
+        inner
+            .tokens
+            .insert(profile.token.clone(), profile.id.clone());
+        inner.saes.insert(
+            profile.id.clone(),
+            SaeState {
+                profile,
+                requests_used: 0,
+                key_bits_used: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Entitles the SAE pair `(a, b)` to drain fleet link `link` — in both
+    /// orientations, since either side may act as master.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] when either SAE is unknown,
+    /// `a == b`, or the pair is already entitled to a different link.
+    pub fn entitle(&self, a: &str, b: &str, link: usize) -> Result<()> {
+        if a == b {
+            return Err(QkdError::invalid_parameter(
+                "sae",
+                "an SAE cannot be paired with itself",
+            ));
+        }
+        let mut inner = self.inner.lock();
+        for sae in [a, b] {
+            if !inner.saes.contains_key(sae) {
+                return Err(QkdError::invalid_parameter(
+                    "sae",
+                    format!("SAE `{sae}` is not registered"),
+                ));
+            }
+        }
+        let key = (a.to_string(), b.to_string());
+        if let Some(&existing) = inner.pairs.get(&key) {
+            if existing != link {
+                return Err(QkdError::invalid_parameter(
+                    "sae",
+                    format!("pair ({a}, {b}) is already entitled to link {existing}"),
+                ));
+            }
+        }
+        inner.pairs.insert(key, link);
+        inner.pairs.insert((b.to_string(), a.to_string()), link);
+        Ok(())
+    }
+
+    /// Resolves a bearer token to the SAE it authenticates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::Unauthorized`] for a missing or unknown token
+    /// (without echoing the credential).
+    pub fn authenticate(&self, token: Option<&str>) -> Result<String> {
+        let token = token.ok_or_else(|| QkdError::Unauthorized {
+            reason: "missing bearer token".into(),
+        })?;
+        self.inner
+            .lock()
+            .tokens
+            .get(token)
+            .cloned()
+            .ok_or_else(|| QkdError::Unauthorized {
+                reason: "unknown bearer token".into(),
+            })
+    }
+
+    /// The fleet link serving the `(caller, peer)` SAE pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::Unauthorized`] when the pair is not entitled —
+    /// including when `peer` does not exist, so probing for SAE names and
+    /// probing for entitlements are indistinguishable.
+    pub fn link_for(&self, caller: &str, peer: &str) -> Result<usize> {
+        self.inner
+            .lock()
+            .pairs
+            .get(&(caller.to_string(), peer.to_string()))
+            .copied()
+            .ok_or_else(|| QkdError::Unauthorized {
+                reason: format!("SAE `{caller}` has no entitlement with `{peer}`"),
+            })
+    }
+
+    /// Charges one request plus `key_bits` requested bits against the SAE's
+    /// budgets, atomically: either both fit and both are committed, or
+    /// nothing is.
+    ///
+    /// # Errors
+    ///
+    /// * [`QkdError::InvalidParameter`] for an unknown SAE.
+    /// * [`QkdError::RateLimited`] when either budget would be exceeded.
+    pub fn admit(&self, sae: &str, key_bits: u64) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let state = inner.saes.get_mut(sae).ok_or_else(|| {
+            QkdError::invalid_parameter("sae", format!("SAE `{sae}` is not registered"))
+        })?;
+        let cap = state.profile.cap;
+        if state.requests_used >= cap.max_requests {
+            return Err(QkdError::RateLimited {
+                sae: sae.to_string(),
+                reason: format!("request budget of {} spent", cap.max_requests),
+            });
+        }
+        if key_bits > cap.max_key_bits.saturating_sub(state.key_bits_used) {
+            return Err(QkdError::RateLimited {
+                sae: sae.to_string(),
+                reason: format!(
+                    "key-bit budget exceeded: {} of {} used, {key_bits} more requested",
+                    state.key_bits_used, cap.max_key_bits
+                ),
+            });
+        }
+        state.requests_used += 1;
+        state.key_bits_used += key_bits;
+        Ok(())
+    }
+
+    /// The `(requests_used, key_bits_used)` counters of an SAE.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] for an unknown SAE.
+    pub fn usage(&self, sae: &str) -> Result<(u64, u64)> {
+        let inner = self.inner.lock();
+        let state = inner.saes.get(sae).ok_or_else(|| {
+            QkdError::invalid_parameter("sae", format!("SAE `{sae}` is not registered"))
+        })?;
+        Ok((state.requests_used, state.key_bits_used))
+    }
+
+    /// Registered SAE ids, in order.
+    pub fn saes(&self) -> Vec<String> {
+        self.inner.lock().saes.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn registry() -> SaeRegistry {
+        let reg = SaeRegistry::new();
+        reg.register(SaeProfile::new("alice-app", "tok-a")).unwrap();
+        reg.register(SaeProfile::new("bob-app", "tok-b")).unwrap();
+        reg.register(SaeProfile::new("carol-app", "tok-c")).unwrap();
+        reg.entitle("alice-app", "bob-app", 0).unwrap();
+        reg
+    }
+
+    #[test]
+    fn authenticates_tokens_without_echoing_them() {
+        let reg = registry();
+        assert_eq!(reg.authenticate(Some("tok-a")).unwrap(), "alice-app");
+        let err = reg.authenticate(Some("tok-wrong")).unwrap_err();
+        assert!(matches!(err, QkdError::Unauthorized { .. }));
+        assert!(!err.to_string().contains("tok-wrong"));
+        assert!(matches!(
+            reg.authenticate(None),
+            Err(QkdError::Unauthorized { .. })
+        ));
+    }
+
+    #[test]
+    fn entitlements_bind_pairs_to_links_in_both_orientations() {
+        let reg = registry();
+        assert_eq!(reg.link_for("alice-app", "bob-app").unwrap(), 0);
+        assert_eq!(reg.link_for("bob-app", "alice-app").unwrap(), 0);
+        // Unentitled pair, unknown peer and self-pair are all refused.
+        assert!(matches!(
+            reg.link_for("carol-app", "alice-app"),
+            Err(QkdError::Unauthorized { .. })
+        ));
+        assert!(matches!(
+            reg.link_for("alice-app", "nobody"),
+            Err(QkdError::Unauthorized { .. })
+        ));
+        assert!(reg.entitle("alice-app", "alice-app", 1).is_err());
+        assert!(reg.entitle("alice-app", "nobody", 1).is_err());
+        // Re-entitling the same pair to the same link is idempotent; to a
+        // different link is an error.
+        reg.entitle("bob-app", "alice-app", 0).unwrap();
+        assert!(reg.entitle("alice-app", "bob-app", 2).is_err());
+    }
+
+    #[test]
+    fn duplicate_ids_and_tokens_are_rejected() {
+        let reg = registry();
+        assert!(reg.register(SaeProfile::new("alice-app", "tok-x")).is_err());
+        assert!(reg.register(SaeProfile::new("dave-app", "tok-a")).is_err());
+        assert!(reg.register(SaeProfile::new("", "tok-y")).is_err());
+        assert!(reg.register(SaeProfile::new("eve-app", "")).is_err());
+        assert_eq!(reg.saes().len(), 3);
+    }
+
+    #[test]
+    fn budgets_are_charged_atomically_at_admission() {
+        let reg = SaeRegistry::new();
+        reg.register(SaeProfile::new("capped", "tok").with_cap(RateCap {
+            max_requests: 3,
+            max_key_bits: 1000,
+        }))
+        .unwrap();
+        reg.admit("capped", 600).unwrap();
+        // Key-bit budget would overflow: nothing is charged, so a smaller
+        // request still fits afterwards.
+        assert!(matches!(
+            reg.admit("capped", 600),
+            Err(QkdError::RateLimited { .. })
+        ));
+        assert_eq!(reg.usage("capped").unwrap(), (1, 600));
+        reg.admit("capped", 400).unwrap();
+        reg.admit("capped", 0).unwrap();
+        // Request budget spent.
+        assert!(matches!(
+            reg.admit("capped", 0),
+            Err(QkdError::RateLimited { .. })
+        ));
+        assert_eq!(reg.usage("capped").unwrap(), (3, 1000));
+        assert!(reg.admit("unknown", 0).is_err());
+        assert!(reg.usage("unknown").is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Entitlement soundness: for any set of registered SAEs and any set
+        /// of entitled pairs, `link_for` answers exactly the entitled
+        /// orientations and refuses everything else — SAE entitlements can
+        /// never cross.
+        #[test]
+        fn link_for_answers_exactly_the_entitled_pairs(
+            n_saes in 2usize..6,
+            pairs in collection::vec((0usize..6, 0usize..6, 0usize..4), 0..8),
+        ) {
+            let reg = SaeRegistry::new();
+            let ids: Vec<String> = (0..n_saes).map(|i| format!("sae-{i}")).collect();
+            for (i, id) in ids.iter().enumerate() {
+                reg.register(SaeProfile::new(id.clone(), format!("tok-{i}"))).unwrap();
+            }
+            let mut entitled: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+            for (a, b, link) in pairs {
+                if a >= n_saes || b >= n_saes || a == b {
+                    continue;
+                }
+                match reg.entitle(&ids[a], &ids[b], link) {
+                    Ok(()) => {
+                        entitled.insert((a, b), link);
+                        entitled.insert((b, a), link);
+                    }
+                    Err(_) => {
+                        // Refused: the pair was already bound to another link.
+                        prop_assert!(entitled.contains_key(&(a, b)));
+                    }
+                }
+            }
+            for a in 0..n_saes {
+                for b in 0..n_saes {
+                    match entitled.get(&(a, b)) {
+                        Some(&link) => {
+                            prop_assert_eq!(reg.link_for(&ids[a], &ids[b]).unwrap(), link);
+                        }
+                        None => prop_assert!(matches!(
+                            reg.link_for(&ids[a], &ids[b]),
+                            Err(QkdError::Unauthorized { .. })
+                        )),
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! The ETSI GS QKD 014-shaped key-delivery server.
+//!
+//! Three endpoints, rooted at `/api/v1/keys`:
+//!
+//! | Method | Path                          | Purpose |
+//! |--------|-------------------------------|---------|
+//! | GET    | `/api/v1/keys/{slave}/status`   | store status for the caller/`{slave}` pair |
+//! | POST   | `/api/v1/keys/{slave}/enc_keys` | master: reserve keys, receive bits + `key_ID`s |
+//! | POST   | `/api/v1/keys/{master}/dec_keys`| slave: retrieve the same bits by `key_ID` |
+//!
+//! Every request authenticates with `Authorization: Bearer <token>` against
+//! the [`SaeRegistry`]; the pair (caller, addressed SAE) resolves to one
+//! fleet link, and a missing entitlement is refused with a 401 envelope.
+//! `enc_keys` drains the store once (the delivery); `dec_keys` retrieves the
+//! parked peer copy exactly once — so no key bit ever crosses the boundary
+//! twice.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use qkd_manager::{KeyId, KeyStore};
+use qkd_types::{QkdError, Result};
+
+use crate::http::{Handler, HttpServer, Request, Response};
+use crate::json::Json;
+use crate::sae::SaeRegistry;
+use crate::wire::{error_to_json, key_to_json};
+
+/// Tuning knobs of the delivery server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads serving requests.
+    pub workers: usize,
+    /// Key size in bits when an `enc_keys` request names none.
+    pub default_key_size: usize,
+    /// Largest accepted key size in bits.
+    pub max_key_size: usize,
+    /// Most keys one `enc_keys`/`dec_keys` request may move.
+    pub max_keys_per_request: usize,
+}
+
+impl Default for ApiConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            default_key_size: 256,
+            max_key_size: 4096,
+            max_keys_per_request: 128,
+        }
+    }
+}
+
+impl ApiConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] when a knob is zero or the
+    /// default key size exceeds the maximum.
+    pub fn validate(&self) -> Result<()> {
+        for (name, value) in [
+            ("workers", self.workers),
+            ("default_key_size", self.default_key_size),
+            ("max_key_size", self.max_key_size),
+            ("max_keys_per_request", self.max_keys_per_request),
+        ] {
+            if value == 0 {
+                return Err(QkdError::invalid_parameter(name, "must be at least one"));
+            }
+        }
+        if self.default_key_size > self.max_key_size {
+            return Err(QkdError::invalid_parameter(
+                "default_key_size",
+                "cannot exceed max_key_size",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A running key-delivery server in front of one fleet [`KeyStore`].
+#[derive(Debug)]
+pub struct ApiServer {
+    http: HttpServer,
+}
+
+impl ApiServer {
+    /// Starts serving `store` under the identities and entitlements of
+    /// `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] for an invalid config and
+    /// [`QkdError::ChannelError`] when the bind fails.
+    pub fn start(
+        store: Arc<KeyStore>,
+        registry: Arc<SaeRegistry>,
+        config: ApiConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        let addr = config.addr.clone();
+        let workers = config.workers;
+        let handler: Handler =
+            Arc::new(
+                move |request: &Request| match route(request, &store, &registry, &config) {
+                    Ok(body) => Response::json(200, &body),
+                    Err(RouteError::Api(e)) => {
+                        let (status, body) = error_to_json(&e);
+                        Response::json(status, &body)
+                    }
+                    Err(RouteError::Http {
+                        status,
+                        code,
+                        message,
+                    }) => Response::json(
+                        status,
+                        &Json::Obj(vec![
+                            ("code".into(), Json::str(code)),
+                            ("message".into(), Json::str(message)),
+                        ]),
+                    ),
+                },
+            );
+        Ok(Self {
+            http: HttpServer::serve(&addr, workers, handler)?,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.http.local_addr()
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight requests, join.
+    pub fn shutdown(self) {
+        self.http.shutdown();
+    }
+}
+
+/// Why a request could not be dispatched: an API-level [`QkdError`] (which
+/// carries its own status mapping) or a pure HTTP routing miss (404/405),
+/// which has no `QkdError` representation.
+enum RouteError {
+    Api(QkdError),
+    Http {
+        status: u16,
+        code: &'static str,
+        message: String,
+    },
+}
+
+impl From<QkdError> for RouteError {
+    fn from(e: QkdError) -> Self {
+        RouteError::Api(e)
+    }
+}
+
+/// Parses `/api/v1/keys/{sae}/{endpoint}` and dispatches.
+fn route(
+    request: &Request,
+    store: &KeyStore,
+    registry: &SaeRegistry,
+    config: &ApiConfig,
+) -> std::result::Result<Json, RouteError> {
+    let token = request
+        .header("authorization")
+        .and_then(|v| v.strip_prefix("Bearer "));
+    let caller = registry.authenticate(token)?;
+
+    let segments: Vec<&str> = request.path.trim_matches('/').split('/').collect();
+    let (peer, endpoint) = match segments.as_slice() {
+        ["api", "v1", "keys", peer, endpoint @ ("status" | "enc_keys" | "dec_keys")] => {
+            (peer.to_string(), *endpoint)
+        }
+        _ => {
+            return Err(RouteError::Http {
+                status: 404,
+                code: "not_found",
+                message: format!("no such route: {}", request.path),
+            })
+        }
+    };
+
+    let body = if request.body.is_empty() {
+        Json::Null
+    } else {
+        Json::parse(
+            std::str::from_utf8(&request.body).map_err(|_| QkdError::ChannelError {
+                reason: "request body is not UTF-8".into(),
+            })?,
+        )?
+    };
+
+    let result = match (request.method.as_str(), endpoint) {
+        ("GET", "status") => status(store, registry, config, &caller, &peer),
+        ("POST", "enc_keys") => enc_keys(store, registry, config, &caller, &peer, &body),
+        ("POST", "dec_keys") => dec_keys(store, registry, config, &caller, &peer, &body),
+        _ => {
+            return Err(RouteError::Http {
+                status: 405,
+                code: "method_not_allowed",
+                message: format!("{} is not valid for {endpoint}", request.method),
+            })
+        }
+    };
+    result.map_err(RouteError::Api)
+}
+
+/// `GET /api/v1/keys/{slave}/status`
+fn status(
+    store: &KeyStore,
+    registry: &SaeRegistry,
+    config: &ApiConfig,
+    caller: &str,
+    peer: &str,
+) -> Result<Json> {
+    let link = registry.link_for(caller, peer)?;
+    registry.admit(caller, 0)?;
+    let status = store.status(link)?;
+    Ok(Json::Obj(vec![
+        ("source_KME_ID".into(), Json::str("kme-fleet")),
+        ("target_KME_ID".into(), Json::str("kme-fleet")),
+        ("master_SAE_ID".into(), Json::str(caller)),
+        ("slave_SAE_ID".into(), Json::str(peer)),
+        ("link".into(), Json::num(link as u64)),
+        ("key_size".into(), Json::num(config.default_key_size as u64)),
+        (
+            "stored_key_count".into(),
+            Json::num(status.available_bits / config.default_key_size as u64),
+        ),
+        (
+            "max_key_per_request".into(),
+            Json::num(config.max_keys_per_request as u64),
+        ),
+        ("max_key_size".into(), Json::num(config.max_key_size as u64)),
+        ("min_key_size".into(), Json::num(1)),
+        ("available_bits".into(), Json::num(status.available_bits)),
+        ("delivered_bits".into(), Json::num(status.delivered_bits)),
+        ("reserved_keys".into(), Json::num(status.reserved_keys)),
+    ]))
+}
+
+/// `POST /api/v1/keys/{slave}/enc_keys`
+fn enc_keys(
+    store: &KeyStore,
+    registry: &SaeRegistry,
+    config: &ApiConfig,
+    caller: &str,
+    slave: &str,
+    body: &Json,
+) -> Result<Json> {
+    let number = match body.get("number") {
+        None => 1,
+        Some(v) => v.as_u64().ok_or_else(|| {
+            QkdError::invalid_parameter("number", "must be a non-negative integer")
+        })? as usize,
+    };
+    let size = match body.get("size") {
+        None => config.default_key_size,
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| QkdError::invalid_parameter("size", "must be a non-negative integer"))?
+            as usize,
+    };
+    if number == 0 || number > config.max_keys_per_request {
+        return Err(QkdError::invalid_parameter(
+            "number",
+            format!("must lie in 1..={}", config.max_keys_per_request),
+        ));
+    }
+    if size == 0 || size > config.max_key_size {
+        return Err(QkdError::invalid_parameter(
+            "size",
+            format!("must lie in 1..={} bits", config.max_key_size),
+        ));
+    }
+    let link = registry.link_for(caller, slave)?;
+    registry.admit(caller, (number * size) as u64)?;
+    // The reservation is claimed by the slave's identity: even another SAE
+    // pair entitled to the same link (or the master itself) cannot redeem
+    // it via `dec_keys`.
+    let keys = store.reserve_keys(link, number, size, Some(slave))?;
+    Ok(Json::Obj(vec![(
+        "keys".into(),
+        Json::Arr(keys.iter().map(key_to_json).collect()),
+    )]))
+}
+
+/// `POST /api/v1/keys/{master}/dec_keys`
+fn dec_keys(
+    store: &KeyStore,
+    registry: &SaeRegistry,
+    config: &ApiConfig,
+    caller: &str,
+    master: &str,
+    body: &Json,
+) -> Result<Json> {
+    let containers = body
+        .get("key_IDs")
+        .and_then(Json::as_array)
+        .ok_or_else(|| QkdError::invalid_parameter("key_IDs", "must be an array"))?;
+    if containers.is_empty() || containers.len() > config.max_keys_per_request {
+        return Err(QkdError::invalid_parameter(
+            "key_IDs",
+            format!("must name 1..={} keys", config.max_keys_per_request),
+        ));
+    }
+    let link = registry.link_for(caller, master)?;
+    let mut ids = Vec::with_capacity(containers.len());
+    for container in containers {
+        let id: KeyId = container
+            .get("key_ID")
+            .and_then(Json::as_str)
+            .ok_or_else(|| {
+                QkdError::invalid_parameter("key_IDs", "each entry needs a string `key_ID`")
+            })?
+            .parse()?;
+        // A key ID addressing another link is an entitlement violation, not
+        // a lookup miss: the caller may not even probe foreign links.
+        if id.link != link {
+            return Err(QkdError::Unauthorized {
+                reason: format!("key {id} does not belong to the ({caller}, {master}) pair"),
+            });
+        }
+        ids.push(id);
+    }
+    registry.admit(caller, 0)?;
+    // Pickups redeem under the caller's own identity: only the SAE the
+    // reservation was made for can collect it (a mismatch reads exactly
+    // like an unknown ID).
+    let keys = store.get_keys_by_id(&ids, Some(caller))?;
+    Ok(Json::Obj(vec![(
+        "keys".into(),
+        Json::Arr(keys.iter().map(key_to_json).collect()),
+    )]))
+}

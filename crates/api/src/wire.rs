@@ -1,0 +1,309 @@
+//! Wire representations shared by the server and the client: base64 key
+//! material, key containers, and the error envelope that round-trips
+//! [`QkdError`] values across the HTTP boundary.
+
+use qkd_manager::{DeliveredKey, KeyId};
+use qkd_types::{BitVec, QkdError, Result};
+
+use crate::json::Json;
+
+const B64_ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Byte → six-bit value, 255 for bytes outside the alphabet (the decoder's
+/// O(1) counterpart of [`B64_ALPHABET`]).
+const B64_REVERSE: [u8; 256] = {
+    let mut table = [255u8; 256];
+    let mut i = 0;
+    while i < 64 {
+        table[B64_ALPHABET[i] as usize] = i as u8;
+        i += 1;
+    }
+    table
+};
+
+/// Standard (padded) base64 of `bytes`.
+pub fn base64_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b = [
+            chunk[0],
+            *chunk.get(1).unwrap_or(&0),
+            *chunk.get(2).unwrap_or(&0),
+        ];
+        let n = u32::from_be_bytes([0, b[0], b[1], b[2]]);
+        let chars = [
+            B64_ALPHABET[(n >> 18) as usize & 63],
+            B64_ALPHABET[(n >> 12) as usize & 63],
+            B64_ALPHABET[(n >> 6) as usize & 63],
+            B64_ALPHABET[n as usize & 63],
+        ];
+        let keep = chunk.len() + 1;
+        for (i, &c) in chars.iter().enumerate() {
+            out.push(if i < keep { c as char } else { '=' });
+        }
+    }
+    out
+}
+
+/// Decodes standard (padded) base64.
+///
+/// # Errors
+///
+/// Returns [`QkdError::ChannelError`] for characters outside the alphabet,
+/// misplaced padding, or a length that is not a multiple of four.
+pub fn base64_decode(text: &str) -> Result<Vec<u8>> {
+    let bad = |what: &str| QkdError::ChannelError {
+        reason: format!("base64: {what}"),
+    };
+    let bytes = text.as_bytes();
+    if bytes.len() % 4 != 0 {
+        return Err(bad("length must be a multiple of four"));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, chunk) in bytes.chunks(4).enumerate() {
+        let last = (i + 1) * 4 == bytes.len();
+        let pad = chunk.iter().rev().take_while(|&&c| c == b'=').count();
+        if pad > 2 || (pad > 0 && !last) {
+            return Err(bad("misplaced padding"));
+        }
+        let mut n = 0u32;
+        for &c in &chunk[..4 - pad] {
+            let v = B64_REVERSE[c as usize];
+            if v == 255 {
+                return Err(bad("character outside the alphabet"));
+            }
+            n = (n << 6) | v as u32;
+        }
+        n <<= 6 * pad as u32;
+        let b = n.to_be_bytes();
+        out.extend_from_slice(&b[1..4 - pad]);
+    }
+    Ok(out)
+}
+
+/// One key as it crosses the wire: its ID and its bits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireKey {
+    /// The key's identity (the `key_ID` field).
+    pub id: KeyId,
+    /// The secret bits.
+    pub bits: BitVec,
+}
+
+/// Encodes a delivered key as the ETSI key container
+/// `{"key_ID": ..., "key": <base64>, "size": <bits>}`.
+pub fn key_to_json(key: &DeliveredKey) -> Json {
+    Json::Obj(vec![
+        ("key_ID".into(), Json::str(key.id.to_string())),
+        ("key".into(), Json::str(base64_encode(&key.bits.to_bytes()))),
+        ("size".into(), Json::num(key.bits.len() as u64)),
+    ])
+}
+
+/// Decodes one key container.
+///
+/// # Errors
+///
+/// Returns [`QkdError::ChannelError`] for a malformed container.
+pub fn key_from_json(doc: &Json) -> Result<WireKey> {
+    let field = |name: &str| {
+        doc.get(name).ok_or_else(|| QkdError::ChannelError {
+            reason: format!("key container is missing `{name}`"),
+        })
+    };
+    let id: KeyId = field("key_ID")?
+        .as_str()
+        .ok_or_else(|| QkdError::ChannelError {
+            reason: "`key_ID` must be a string".into(),
+        })?
+        .parse()?;
+    let size = field("size")?
+        .as_u64()
+        .ok_or_else(|| QkdError::ChannelError {
+            reason: "`size` must be a non-negative integer".into(),
+        })? as usize;
+    let bytes = base64_decode(
+        field("key")?
+            .as_str()
+            .ok_or_else(|| QkdError::ChannelError {
+                reason: "`key` must be a string".into(),
+            })?,
+    )?;
+    if bytes.len() != size.div_ceil(8) {
+        return Err(QkdError::ChannelError {
+            reason: format!(
+                "key material is {} bytes but `size` says {size} bits",
+                bytes.len()
+            ),
+        });
+    }
+    Ok(WireKey {
+        id,
+        bits: BitVec::from_bytes(&bytes, size),
+    })
+}
+
+/// Maps an error to its HTTP status and JSON envelope
+/// (`{"code": ..., "message": ..., <variant fields>}`).
+pub fn error_to_json(e: &QkdError) -> (u16, Json) {
+    let mut members = Vec::new();
+    let (status, code) = match e {
+        QkdError::Unauthorized { reason } => {
+            members.push(("reason".into(), Json::str(reason.clone())));
+            (401, "unauthorized")
+        }
+        QkdError::RateLimited { sae, reason } => {
+            members.push(("sae".into(), Json::str(sae.clone())));
+            members.push(("reason".into(), Json::str(reason.clone())));
+            (429, "rate_limited")
+        }
+        QkdError::KeyStoreShortfall {
+            link,
+            requested,
+            available,
+        } => {
+            members.push(("link".into(), Json::num(*link)));
+            members.push(("requested".into(), Json::num(*requested)));
+            members.push(("available".into(), Json::num(*available)));
+            (400, "shortfall")
+        }
+        QkdError::UnknownKeyId { link, serial } => {
+            members.push(("link".into(), Json::num(*link)));
+            members.push(("serial".into(), Json::num(*serial)));
+            (400, "unknown_key")
+        }
+        QkdError::InvalidParameter { .. } | QkdError::ChannelError { .. } => (400, "invalid"),
+        _ => (500, "internal"),
+    };
+    members.insert(0, ("code".into(), Json::str(code)));
+    members.insert(1, ("message".into(), Json::str(e.to_string())));
+    (status, Json::Obj(members))
+}
+
+/// Reconstructs the error a non-2xx response carries, so API clients see
+/// the same [`QkdError`] variants in-process callers do.
+pub fn error_from_json(status: u16, body: &Json) -> QkdError {
+    let message = body
+        .get("message")
+        .and_then(Json::as_str)
+        .unwrap_or("no error message")
+        .to_string();
+    // The variant's inner reason travels verbatim in `reason`, so the
+    // reconstructed error's display form does not nest the envelope's
+    // display-form `message`.
+    let reason = body
+        .get("reason")
+        .and_then(Json::as_str)
+        .map_or_else(|| message.clone(), str::to_string);
+    let num = |name: &str| body.get(name).and_then(Json::as_u64);
+    match body.get("code").and_then(Json::as_str) {
+        Some("unauthorized") => QkdError::Unauthorized { reason },
+        Some("rate_limited") => QkdError::RateLimited {
+            sae: body
+                .get("sae")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            reason,
+        },
+        Some("shortfall") => QkdError::KeyStoreShortfall {
+            link: num("link").unwrap_or_default(),
+            requested: num("requested").unwrap_or_default(),
+            available: num("available").unwrap_or_default(),
+        },
+        Some("unknown_key") => QkdError::UnknownKeyId {
+            link: num("link").unwrap_or_default(),
+            serial: num("serial").unwrap_or_default(),
+        },
+        Some("invalid") => QkdError::invalid_parameter("api", message),
+        _ => QkdError::ChannelError {
+            reason: format!("HTTP {status}: {message}"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkd_types::rng::derive_rng;
+
+    #[test]
+    fn base64_matches_known_vectors() {
+        for (raw, encoded) in [
+            (&b""[..], ""),
+            (b"f", "Zg=="),
+            (b"fo", "Zm8="),
+            (b"foo", "Zm9v"),
+            (b"foob", "Zm9vYg=="),
+            (b"fooba", "Zm9vYmE="),
+            (b"foobar", "Zm9vYmFy"),
+        ] {
+            assert_eq!(base64_encode(raw), encoded);
+            assert_eq!(base64_decode(encoded).unwrap(), raw);
+        }
+        for bad in ["A", "====", "Zg=x", "Zg==Zg==x", "Z!=="] {
+            assert!(base64_decode(bad).is_err(), "`{bad}` must not decode");
+        }
+    }
+
+    #[test]
+    fn key_containers_roundtrip_bit_exactly() {
+        let mut rng = derive_rng(3, "wire-test");
+        for len in [1usize, 7, 8, 9, 256, 1000] {
+            let key = DeliveredKey {
+                id: KeyId { link: 2, serial: 9 },
+                bits: BitVec::random(&mut rng, len),
+                epsilon: 1e-10,
+            };
+            let doc = key_to_json(&key);
+            let back = key_from_json(&doc).unwrap();
+            assert_eq!(back.id, key.id);
+            assert_eq!(back.bits, key.bits, "length {len}");
+        }
+        // Mismatched size and missing fields are rejected.
+        let doc = Json::Obj(vec![
+            ("key_ID".into(), Json::str("link0/key0")),
+            ("key".into(), Json::str("AAAA")),
+            ("size".into(), Json::num(5)),
+        ]);
+        assert!(key_from_json(&doc).is_err());
+        assert!(key_from_json(&Json::Obj(vec![])).is_err());
+    }
+
+    #[test]
+    fn error_envelopes_roundtrip_the_api_variants() {
+        let cases = [
+            (
+                401,
+                QkdError::Unauthorized {
+                    reason: "no entitlement".into(),
+                },
+            ),
+            (
+                429,
+                QkdError::RateLimited {
+                    sae: "app-1".into(),
+                    reason: "budget spent".into(),
+                },
+            ),
+            (
+                400,
+                QkdError::KeyStoreShortfall {
+                    link: 3,
+                    requested: 512,
+                    available: 100,
+                },
+            ),
+            (400, QkdError::UnknownKeyId { link: 1, serial: 4 }),
+        ];
+        for (want_status, e) in cases {
+            let (status, body) = error_to_json(&e);
+            assert_eq!(status, want_status, "{e}");
+            assert_eq!(error_from_json(status, &body), e, "must roundtrip exactly");
+        }
+        // Unknown codes degrade to a channel error with the status.
+        let back = error_from_json(502, &Json::Obj(vec![]));
+        assert!(matches!(back, QkdError::ChannelError { .. }));
+        assert!(back.to_string().contains("502"));
+    }
+}

@@ -1,0 +1,229 @@
+//! Integration tests: the delivery API in front of a real fleet, driven by
+//! [`qkd_api::ApiClient`] over actual TCP sockets.
+
+use std::sync::Arc;
+
+use qkd_api::{ApiClient, ApiConfig, ApiServer, RateCap, SaeProfile, SaeRegistry};
+use qkd_manager::{FleetConfig, KeyId, LinkManager, LinkSpec};
+use qkd_simulator::WorkloadPreset;
+use qkd_types::QkdError;
+
+/// A two-link fleet with distilled key in the store, plus the SAE world
+/// around it: (alice, bob) ↔ link 0, (carol, dave) ↔ link 1, and `mallory`
+/// registered but entitled to nothing.
+fn fleet_and_registry() -> (LinkManager, Arc<SaeRegistry>) {
+    let mut fleet =
+        LinkManager::new(FleetConfig::default().with_workers(2).with_max_backlog(8)).unwrap();
+    for seed in [11u64, 12] {
+        let link = fleet
+            .add_link(LinkSpec::from_preset(WorkloadPreset::Metro, 4096, seed))
+            .unwrap();
+        fleet.submit_epoch(link, 2).unwrap();
+    }
+    fleet.run().unwrap();
+
+    let registry = Arc::new(SaeRegistry::new());
+    for (id, token) in [
+        ("alice-app", "tok-alice"),
+        ("bob-app", "tok-bob"),
+        ("carol-app", "tok-carol"),
+        ("dave-app", "tok-dave"),
+        ("mallory-app", "tok-mallory"),
+    ] {
+        registry.register(SaeProfile::new(id, token)).unwrap();
+    }
+    registry.entitle("alice-app", "bob-app", 0).unwrap();
+    registry.entitle("carol-app", "dave-app", 1).unwrap();
+    (fleet, registry)
+}
+
+#[test]
+fn master_and_slave_drain_bit_identical_keys_over_tcp() {
+    let (fleet, registry) = fleet_and_registry();
+    let server = ApiServer::start(
+        fleet.store_handle(),
+        Arc::clone(&registry),
+        ApiConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let alice = ApiClient::new(addr, "tok-alice");
+    let bob = ApiClient::new(addr, "tok-bob");
+
+    let before = alice.status("bob-app").unwrap();
+    assert_eq!(before.link, 0);
+    assert_eq!(before.key_size, 256);
+    assert!(before.stored_key_count >= 3, "{before:?}");
+    assert_eq!(
+        before.available_bits,
+        fleet.store().status(0).unwrap().available_bits
+    );
+
+    // Master reserves three keys; slave retrieves them by ID.
+    let reserved = alice.enc_keys("bob-app", 3, 256).unwrap();
+    assert_eq!(reserved.len(), 3);
+    let ids: Vec<KeyId> = reserved.iter().map(|k| k.id).collect();
+    let picked = bob.dec_keys("alice-app", &ids).unwrap();
+    assert_eq!(picked.len(), 3);
+    for (master_key, slave_key) in reserved.iter().zip(&picked) {
+        assert_eq!(master_key.id, slave_key.id);
+        assert_eq!(master_key.bits.len(), 256);
+        assert_eq!(
+            master_key.bits, slave_key.bits,
+            "master and slave copies must be bit-identical"
+        );
+    }
+
+    // Each ID was redeemable exactly once.
+    assert!(matches!(
+        bob.dec_keys("alice-app", &ids),
+        Err(QkdError::UnknownKeyId { .. })
+    ));
+    let after = alice.status("bob-app").unwrap();
+    assert_eq!(after.available_bits, before.available_bits - 3 * 256);
+    assert_eq!(after.reserved_keys, 0);
+
+    // The HTTP boundary did not disturb the fleet's ledger.
+    fleet.reconcile().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn entitlements_and_authentication_are_enforced_at_the_boundary() {
+    let (fleet, registry) = fleet_and_registry();
+    let server = ApiServer::start(
+        fleet.store_handle(),
+        Arc::clone(&registry),
+        ApiConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // An unknown bearer token is refused without reaching any endpoint.
+    let stranger = ApiClient::new(addr, "tok-unknown");
+    assert!(matches!(
+        stranger.status("bob-app"),
+        Err(QkdError::Unauthorized { .. })
+    ));
+
+    // A registered but unentitled SAE is refused with the 401 envelope.
+    let mallory = ApiClient::new(addr, "tok-mallory");
+    for result in [
+        mallory.status("bob-app").map(|_| ()),
+        mallory.enc_keys("bob-app", 1, 128).map(|_| ()),
+        mallory
+            .dec_keys("alice-app", &[KeyId { link: 0, serial: 0 }])
+            .map(|_| ()),
+    ] {
+        assert!(matches!(result, Err(QkdError::Unauthorized { .. })));
+    }
+
+    // A slave cannot redeem IDs that belong to another pair's link: carol
+    // reserves on link 1, bob (entitled on link 0 only) cannot pick up.
+    let carol = ApiClient::new(addr, "tok-carol");
+    let bob = ApiClient::new(addr, "tok-bob");
+    let foreign = carol.enc_keys("dave-app", 1, 128).unwrap();
+    let err = bob.dec_keys("alice-app", &[foreign[0].id]).unwrap_err();
+    assert!(matches!(err, QkdError::Unauthorized { .. }), "{err}");
+    // The reservation is still there for the rightful peer.
+    let dave = ApiClient::new(addr, "tok-dave");
+    let picked = dave.dec_keys("carol-app", &[foreign[0].id]).unwrap();
+    assert_eq!(picked[0].bits, foreign[0].bits);
+
+    // Routing misses answer with proper HTTP statuses (not 400): an unknown
+    // route is 404, a wrong method on a real endpoint is 405.
+    let raw = |request: &str| {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        text.split(' ').nth(1).unwrap().parse::<u16>().unwrap()
+    };
+    let auth = "authorization: Bearer tok-bob";
+    assert_eq!(
+        raw(&format!("GET /api/v1/nope HTTP/1.1\r\n{auth}\r\n\r\n")),
+        404
+    );
+    assert_eq!(
+        raw(&format!(
+            "GET /api/v1/keys/alice-app/enc_keys HTTP/1.1\r\n{auth}\r\n\r\n"
+        )),
+        405
+    );
+
+    fleet.reconcile().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn shortfalls_rate_caps_and_bad_requests_map_to_typed_errors() {
+    let (fleet, registry) = fleet_and_registry();
+    registry
+        .register(SaeProfile::new("capped-app", "tok-capped").with_cap(RateCap::requests(3)))
+        .unwrap();
+    registry.entitle("capped-app", "bob-app", 0).unwrap();
+    let server = ApiServer::start(
+        fleet.store_handle(),
+        Arc::clone(&registry),
+        ApiConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // A key size past the server's cap is a parameter error.
+    let alice = ApiClient::new(addr, "tok-alice");
+    let available = alice.status("bob-app").unwrap().available_bits;
+    match alice.enc_keys("bob-app", 1, ApiConfig::default().max_key_size + 1) {
+        Err(QkdError::InvalidParameter { .. }) => {}
+        other => panic!("expected a parameter error, got {other:?}"),
+    }
+    let number = (available / 256) as usize + 1;
+    match alice.enc_keys("bob-app", number, 256) {
+        Err(QkdError::KeyStoreShortfall {
+            link: 0,
+            requested,
+            available: got,
+        }) => {
+            assert_eq!(requested, number as u64 * 256);
+            assert_eq!(got, available);
+        }
+        other => panic!("expected a shortfall, got {other:?}"),
+    }
+    assert_eq!(alice.status("bob-app").unwrap().available_bits, available);
+
+    // Two pairs share link 0 here ((alice, bob) and (capped, bob)): a
+    // reservation made for bob by alice must not be redeemable by capped —
+    // the pickup claim is the recipient's identity, not just the link — and
+    // not even by the master that made it. The refusal reads exactly like
+    // an unknown ID, so foreign SAEs cannot probe reservations either.
+    let reserved = alice.enc_keys("bob-app", 1, 64).unwrap();
+    let ids = [reserved[0].id];
+    let capped = ApiClient::new(addr, "tok-capped");
+    assert!(matches!(
+        capped.dec_keys("bob-app", &ids),
+        Err(QkdError::UnknownKeyId { .. })
+    ));
+    assert!(matches!(
+        alice.dec_keys("bob-app", &ids),
+        Err(QkdError::UnknownKeyId { .. })
+    ));
+    let bob = ApiClient::new(addr, "tok-bob");
+    assert_eq!(
+        bob.dec_keys("alice-app", &ids).unwrap()[0].bits,
+        reserved[0].bits,
+        "the rightful recipient still collects, bit-exactly"
+    );
+
+    // The capped SAE spends its two remaining requests, then is limited.
+    capped.status("bob-app").unwrap();
+    capped.enc_keys("bob-app", 1, 64).unwrap();
+    match capped.status("bob-app") {
+        Err(QkdError::RateLimited { sae, .. }) => assert_eq!(sae, "capped-app"),
+        other => panic!("expected rate limiting, got {other:?}"),
+    }
+
+    fleet.reconcile().unwrap();
+    server.shutdown();
+}

@@ -10,6 +10,7 @@
 //! cargo run --release -p qkd-bench --bin harness -- --smoke
 //! cargo run --release -p qkd-bench --bin harness -- --smoke --pipelined
 //! cargo run --release -p qkd-bench --bin harness -- --smoke --fleet
+//! cargo run --release -p qkd-bench --bin harness -- --smoke --api
 //! ```
 
 use qkd_bench::experiments;
@@ -20,10 +21,11 @@ Flags (each prints one JSON document to stdout):
   --smoke        quick kernel smoke benchmark        (qkd-bench-smoke/v1)
   --pipelined    sequential-vs-pipelined comparison  (qkd-bench-pipelined/v1)
   --fleet        multi-link fleet over a shared pool (qkd-bench-fleet/v1)
+  --api          ETSI 014 key delivery over localhost TCP (qkd-bench-api/v1)
   --help, -h     print this help and exit
 
-`--pipelined` and `--fleet` run their benchmark whether or not `--smoke` is
-present; `--smoke` alone runs the kernel smoke benchmark.
+`--pipelined`, `--fleet` and `--api` run their benchmark whether or not
+`--smoke` is present; `--smoke` alone runs the kernel smoke benchmark.
 
 Experiments (aligned text tables):
   all            every table and figure below, in order
@@ -61,6 +63,8 @@ fn main() {
         "pipelined",
         "--fleet",
         "fleet",
+        "--api",
+        "api",
         "all",
         "table1",
         "table2",
@@ -86,6 +90,7 @@ fn main() {
     let smoke = has("smoke");
     let pipelined = has("pipelined");
     let fleet = has("fleet");
+    let api = has("api");
 
     if pipelined {
         experiments::smoke_pipelined();
@@ -93,7 +98,10 @@ fn main() {
     if fleet {
         experiments::smoke_fleet();
     }
-    if smoke && !pipelined && !fleet {
+    if api {
+        experiments::smoke_api();
+    }
+    if smoke && !pipelined && !fleet && !api {
         experiments::smoke();
     }
 

@@ -712,10 +712,10 @@ fn run_fleet(
     qkd_manager::FleetReport,
     Vec<Vec<usize>>,
 ) {
-    let config = qkd_manager::FleetConfig {
-        workers,
-        max_backlog: 64, // large enough that this schedule is never rejected
-    };
+    // A backlog large enough that this schedule is never rejected.
+    let config = qkd_manager::FleetConfig::default()
+        .with_workers(workers)
+        .with_max_backlog(64);
     let mut fleet = qkd_manager::LinkManager::new(config).unwrap();
     let ids: Vec<usize> = workload
         .specs()
@@ -842,6 +842,157 @@ pub fn smoke_fleet() {
         }
         let comma = if i + 1 < num_cells { "," } else { "" };
         json.push_str(&format!("    ]}}{comma}\n"));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"total_wall_s\": {:.3}\n}}",
+        total_start.elapsed().as_secs_f64()
+    ));
+    println!("{json}");
+}
+
+/// ETSI 014 delivery-API benchmark: a fleet distils key into the store, the
+/// `qkd-api` server fronts it on localhost TCP, and concurrent SAE pairs
+/// drain their links through `enc_keys`/`dec_keys` via real [`qkd_api::ApiClient`]
+/// sockets. Prints one machine-readable JSON document (`qkd-bench-api/v1`)
+/// with request throughput and key-drain rate per concurrency level.
+///
+/// Every cell doubles as an end-to-end check: each pair's master- and
+/// slave-side key bits are asserted bit-identical, and the store ledger must
+/// reconcile against the session summaries after the drain.
+pub fn smoke_api() {
+    use qkd_api::{ApiClient, ApiConfig, ApiServer, SaeProfile, SaeRegistry};
+    use std::sync::Arc;
+
+    let total_start = std::time::Instant::now();
+    let block = 4096usize;
+    let epochs = 3usize;
+    let blocks_per_epoch = 2usize;
+    let key_size = 128usize;
+    let keys_per_request = 4usize;
+
+    let mut cells = Vec::new();
+    for &pairs in &[1usize, 2, 4] {
+        // One metro link per SAE pair, distilled up front so the cell
+        // measures delivery, not distillation.
+        let mut fleet = qkd_manager::LinkManager::new(
+            qkd_manager::FleetConfig::default()
+                .with_workers(2)
+                .with_max_backlog(64),
+        )
+        .unwrap();
+        let registry = Arc::new(SaeRegistry::new());
+        for pair in 0..pairs {
+            let link = fleet
+                .add_link(qkd_manager::LinkSpec::from_preset(
+                    qkd_simulator::WorkloadPreset::Metro,
+                    block,
+                    0xAB1_0000 + pair as u64,
+                ))
+                .unwrap();
+            for _ in 0..epochs {
+                fleet.submit_epoch(link, blocks_per_epoch).unwrap();
+            }
+            registry
+                .register(SaeProfile::new(
+                    format!("master-{pair}"),
+                    format!("tok-master-{pair}"),
+                ))
+                .unwrap();
+            registry
+                .register(SaeProfile::new(
+                    format!("slave-{pair}"),
+                    format!("tok-slave-{pair}"),
+                ))
+                .unwrap();
+            registry
+                .entitle(&format!("master-{pair}"), &format!("slave-{pair}"), link)
+                .unwrap();
+        }
+        fleet.run().unwrap();
+        let deposited: u64 = (0..pairs)
+            .map(|link| fleet.store().status(link).unwrap().available_bits)
+            .sum();
+
+        let server = ApiServer::start(
+            fleet.store_handle(),
+            Arc::clone(&registry),
+            ApiConfig::default(),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        let drain_start = std::time::Instant::now();
+        let workers: Vec<_> = (0..pairs)
+            .map(|pair| {
+                std::thread::spawn(move || {
+                    let master = ApiClient::new(addr, format!("tok-master-{pair}"));
+                    let slave = ApiClient::new(addr, format!("tok-slave-{pair}"));
+                    let master_id = format!("master-{pair}");
+                    let slave_id = format!("slave-{pair}");
+                    let mut requests = 0u64;
+                    let mut bits = 0u64;
+                    // Drain in four-key batches, then single keys, until the
+                    // link's store reports a shortfall.
+                    for number in [keys_per_request, 1] {
+                        loop {
+                            match master.enc_keys(&slave_id, number, key_size) {
+                                Ok(reserved) => {
+                                    requests += 1;
+                                    let ids: Vec<qkd_manager::KeyId> =
+                                        reserved.iter().map(|k| k.id).collect();
+                                    let picked = slave.dec_keys(&master_id, &ids).unwrap();
+                                    requests += 1;
+                                    for (m, s) in reserved.iter().zip(&picked) {
+                                        assert_eq!(
+                                            m.bits, s.bits,
+                                            "master and slave keys must be bit-identical"
+                                        );
+                                        bits += m.bits.len() as u64;
+                                    }
+                                }
+                                Err(qkd_types::QkdError::KeyStoreShortfall { .. }) => break,
+                                Err(e) => panic!("unexpected API error: {e}"),
+                            }
+                        }
+                    }
+                    (requests, bits)
+                })
+            })
+            .collect();
+        let mut requests = 0u64;
+        let mut drained_bits = 0u64;
+        for worker in workers {
+            let (r, b) = worker.join().expect("drain worker panicked");
+            requests += r;
+            drained_bits += b;
+        }
+        let wall = drain_start.elapsed();
+        server.shutdown();
+        fleet
+            .reconcile()
+            .expect("ledger must reconcile after drain");
+        assert!(
+            deposited - drained_bits < (pairs * key_size) as u64,
+            "the drain must leave less than one key per link"
+        );
+        cells.push((pairs, requests, drained_bits, wall));
+    }
+
+    let mut json = String::from("{\n  \"schema\": \"qkd-bench-api/v1\",\n");
+    json.push_str(&format!(
+        "  \"block_bits\": {block},\n  \"key_size\": {key_size},\n  \"keys_per_request\": {keys_per_request},\n  \"keys_identical\": true,\n  \"grid\": [\n"
+    ));
+    let num_cells = cells.len();
+    for (i, (pairs, requests, bits, wall)) in cells.iter().enumerate() {
+        let secs = wall.as_secs_f64();
+        let comma = if i + 1 < num_cells { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"concurrent_saes\": {}, \"links\": {pairs}, \"requests\": {requests}, \"drained_bits\": {bits}, \"wall_ms\": {:.3}, \"requests_per_s\": {:.1}, \"drain_bps\": {:.1}}}{comma}\n",
+            pairs * 2,
+            secs * 1e3,
+            *requests as f64 / secs,
+            *bits as f64 / secs,
+        ));
     }
     json.push_str(&format!(
         "  ],\n  \"total_wall_s\": {:.3}\n}}",

@@ -20,9 +20,18 @@ use crate::matrix::ParityCheckMatrix;
 
 /// Default set of mother-code design rates.
 ///
-/// The low-rate tail (0.40/0.45) exists for stressed links near the abort
-/// threshold, where `1 − R` must exceed ~1.35·h(8%) ≈ 0.54.
-pub const DEFAULT_RATES: [f64; 8] = [0.4, 0.45, 0.5, 0.6, 0.7, 0.75, 0.8, 0.85];
+/// The low-rate tail (0.30/0.40/0.45) exists for stressed links near the
+/// abort threshold: at 8% QBER `1 − R` must exceed ~1.35·h(8%) ≈ 0.54, and
+/// the 0.30 code keeps decoding feasible up to ~11% — estimates past the
+/// sampling bound no longer exhaust the ladder. (It cannot make an 8 kbit
+/// stressed block *distillable*: even Shannon-limit reconciliation leaves
+/// only ~280 bits there before the finite-key deviation term, so such blocks
+/// still fail at privacy amplification, not at decoding.)
+///
+/// Rates are listed in construction order, not sorted: each code's PEG seed
+/// is derived from its position in this array, so new rates are appended to
+/// keep every existing code — and thus every distilled key — bit-stable.
+pub const DEFAULT_RATES: [f64; 9] = [0.4, 0.45, 0.5, 0.6, 0.7, 0.75, 0.8, 0.85, 0.3];
 
 /// A library of mother codes (one per design rate) for a fixed block size,
 /// with decoders pre-built for each.
@@ -83,7 +92,7 @@ impl CodeLibrary {
         })
     }
 
-    /// Builds the default library (rates 0.5–0.85) for `block_size`.
+    /// Builds the default library (rates 0.3–0.85) for `block_size`.
     ///
     /// # Errors
     ///
@@ -526,6 +535,34 @@ mod tests {
             Err(QkdError::ReconciliationFailed { .. }) => {}
             Err(other) => panic!("unexpected error {other}"),
         }
+    }
+
+    #[test]
+    fn low_rate_tail_reconciles_where_the_old_ladder_bottomed_out() {
+        // 12% QBER at 4 kbit sits past the rate-0.40 code's BP threshold —
+        // the pre-extension ladder (which bottomed out at 0.40) exhausted its
+        // retries on such blocks. The appended 0.30 mother code converges.
+        let (alice, bob, _) = correlated(4096, 0.12, 41);
+        let mut old_tail = ReconcilerConfig::for_block_size(4096);
+        old_tail.rates = vec![0.4];
+        let old = LdpcReconciler::new(old_tail).unwrap();
+        assert!(matches!(
+            old.reconcile(&alice, &bob, 0.12),
+            Err(QkdError::ReconciliationFailed { .. })
+        ));
+
+        let new = LdpcReconciler::new(ReconcilerConfig::for_block_size(4096)).unwrap();
+        let out = new.reconcile(&alice, &bob, 0.12).unwrap();
+        assert_eq!(out.corrected, alice);
+        assert!(out.rate_used <= 0.3 + 1e-12, "got rate {}", out.rate_used);
+
+        // The selector reaches the new tail directly for stressed-link
+        // estimates (~9.5% after the sampling bound), without burning a
+        // doomed higher-rate attempt first.
+        let lib = new.library();
+        let rates = lib.rates();
+        assert!((rates[rates.len() - 1] - 0.3).abs() < 1e-12);
+        assert!((rates[lib.select(0.0955, 1.35)] - 0.3).abs() < 1e-12);
     }
 
     #[test]

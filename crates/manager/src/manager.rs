@@ -19,6 +19,7 @@
 //! how many workers or neighbour links the fleet has.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::sync::{Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
@@ -31,7 +32,7 @@ use qkd_types::frame::StageLabel;
 use qkd_types::{BitVec, DetectionEvent, QkdError, Result};
 
 use crate::report::{FleetLedger, FleetReport, LinkLedger, LinkReport};
-use crate::spec::{Admission, FleetConfig, LinkSpec};
+use crate::spec::{Admission, AdmissionPolicy, FleetConfig, LinkSpec};
 use crate::store::KeyStore;
 
 /// Mutable per-link state; locked by at most one worker at a time (a link is
@@ -45,7 +46,60 @@ struct LinkCell {
     batches_processed: u64,
     batches_rejected: u64,
     batches_abandoned: u64,
+    batches_dropped: u64,
     failed: Option<QkdError>,
+}
+
+impl LinkCell {
+    /// Applies admission control for one incoming batch: `Err` carries the
+    /// rejection to hand back to the caller, `Ok(dropped)` admits the batch
+    /// after shedding `dropped` queued batches (only ever non-zero under
+    /// [`AdmissionPolicy::DropOldest`]).
+    fn admit(
+        &mut self,
+        max_backlog: usize,
+        policy: AdmissionPolicy,
+    ) -> std::result::Result<u64, Admission> {
+        if self.failed.is_some() {
+            self.batches_rejected += 1;
+            return Err(Admission::RejectedFailed);
+        }
+        if self.pending.len() < max_backlog {
+            return Ok(0);
+        }
+        match policy {
+            AdmissionPolicy::Reject => {
+                self.batches_rejected += 1;
+                Err(Admission::RejectedBacklog {
+                    backlog: self.pending.len(),
+                    limit: max_backlog,
+                })
+            }
+            AdmissionPolicy::DropOldest => {
+                let mut dropped = 0u64;
+                while self.pending.len() >= max_backlog {
+                    self.pending.pop_front();
+                    dropped += 1;
+                }
+                self.batches_dropped += dropped;
+                Ok(dropped)
+            }
+        }
+    }
+
+    /// The admission outcome for a batch admitted after `dropped` sheds.
+    fn admitted(&self, dropped: u64) -> Admission {
+        if dropped > 0 {
+            Admission::AcceptedAfterDrop {
+                backlog: self.pending.len(),
+                dropped,
+            }
+        } else {
+            Admission::Accepted {
+                backlog: self.pending.len(),
+            }
+        }
+    }
 }
 
 /// One managed link: its immutable spec plus the lock-guarded runtime state.
@@ -133,7 +187,7 @@ fn record_block(report: &mut ThroughputReport, result: &BlockResult, block_bits:
 pub struct LinkManager {
     config: FleetConfig,
     links: Vec<LinkRuntime>,
-    store: KeyStore,
+    store: Arc<KeyStore>,
     last_wall: Duration,
 }
 
@@ -158,7 +212,7 @@ impl LinkManager {
         Ok(Self {
             config,
             links: Vec::new(),
-            store: KeyStore::default(),
+            store: Arc::new(KeyStore::default()),
             last_wall: Duration::ZERO,
         })
     }
@@ -186,6 +240,7 @@ impl LinkManager {
                 batches_processed: 0,
                 batches_rejected: 0,
                 batches_abandoned: 0,
+                batches_dropped: 0,
                 failed: None,
             }),
         });
@@ -206,6 +261,13 @@ impl LinkManager {
     /// [`KeyStore::status`] / [`KeyStore::get_key`].
     pub fn store(&self) -> &KeyStore {
         &self.store
+    }
+
+    /// An owning handle to the key store, for consumers that outlive the
+    /// borrow — e.g. a networked delivery front-end serving requests from
+    /// its own threads while the fleet keeps depositing.
+    pub fn store_handle(&self) -> Arc<KeyStore> {
+        Arc::clone(&self.store)
     }
 
     fn runtime(&self, link: usize) -> Result<&LinkRuntime> {
@@ -264,7 +326,7 @@ impl LinkManager {
     /// overflow and dead links are reported through [`Admission`], not as
     /// errors.
     pub fn submit_epoch(&mut self, link: usize, blocks: usize) -> Result<Admission> {
-        let max_backlog = self.config.max_backlog;
+        let (max_backlog, policy) = (self.config.max_backlog, self.config.admission);
         let runtime = self.runtime(link)?;
         let mut cell = runtime.cell.lock();
         // An idle epoch is a no-op everywhere — even on a failed link there
@@ -274,17 +336,10 @@ impl LinkManager {
                 backlog: cell.pending.len(),
             });
         }
-        if cell.failed.is_some() {
-            cell.batches_rejected += 1;
-            return Ok(Admission::RejectedFailed);
-        }
-        if cell.pending.len() >= max_backlog {
-            cell.batches_rejected += 1;
-            return Ok(Admission::RejectedBacklog {
-                backlog: cell.pending.len(),
-                limit: max_backlog,
-            });
-        }
+        let dropped = match cell.admit(max_backlog, policy) {
+            Ok(dropped) => dropped,
+            Err(admission) => return Ok(admission),
+        };
         let mut alice = BitVec::new();
         let mut bob = BitVec::new();
         for _ in 0..blocks {
@@ -294,9 +349,7 @@ impl LinkManager {
         }
         let events = detection_events(&alice, &bob);
         cell.pending.push_back(events);
-        Ok(Admission::Accepted {
-            backlog: cell.pending.len(),
-        })
+        Ok(cell.admitted(dropped))
     }
 
     /// Submits a pre-built detection batch to a link (for callers feeding
@@ -307,24 +360,15 @@ impl LinkManager {
     ///
     /// Returns [`QkdError::InvalidParameter`] for an unknown link.
     pub fn submit_events(&mut self, link: usize, events: Vec<DetectionEvent>) -> Result<Admission> {
-        let max_backlog = self.config.max_backlog;
+        let (max_backlog, policy) = (self.config.max_backlog, self.config.admission);
         let runtime = self.runtime(link)?;
         let mut cell = runtime.cell.lock();
-        if cell.failed.is_some() {
-            cell.batches_rejected += 1;
-            return Ok(Admission::RejectedFailed);
-        }
-        if cell.pending.len() >= max_backlog {
-            cell.batches_rejected += 1;
-            return Ok(Admission::RejectedBacklog {
-                backlog: cell.pending.len(),
-                limit: max_backlog,
-            });
-        }
+        let dropped = match cell.admit(max_backlog, policy) {
+            Ok(dropped) => dropped,
+            Err(admission) => return Ok(admission),
+        };
         cell.pending.push_back(events);
-        Ok(Admission::Accepted {
-            backlog: cell.pending.len(),
-        })
+        Ok(cell.admitted(dropped))
     }
 
     /// Drains every queued batch over the shared worker pool and returns the
@@ -438,6 +482,7 @@ impl LinkManager {
                 batches_processed: cell.batches_processed,
                 batches_rejected: cell.batches_rejected,
                 batches_abandoned: cell.batches_abandoned,
+                batches_dropped: cell.batches_dropped,
                 busy: cell.busy,
                 failure: cell.failed.as_ref().map(|e| e.to_string()),
             });
@@ -518,6 +563,7 @@ mod tests {
         LinkManager::new(FleetConfig {
             workers,
             max_backlog,
+            admission: AdmissionPolicy::Reject,
         })
         .unwrap()
     }
@@ -612,6 +658,56 @@ mod tests {
         }
         let got = mgr.store().get_key(link, expected.len()).unwrap();
         assert_eq!(got.bits, expected);
+    }
+
+    #[test]
+    fn drop_oldest_policy_sheds_stale_batches_and_keeps_the_freshest() {
+        let mut mgr = LinkManager::new(FleetConfig {
+            workers: 1,
+            max_backlog: 1,
+            admission: AdmissionPolicy::DropOldest,
+        })
+        .unwrap();
+        let spec = LinkSpec::from_preset(WorkloadPreset::Metro, 4096, 31);
+        let link = mgr.add_link(spec.clone()).unwrap();
+
+        assert_eq!(
+            mgr.submit_epoch(link, 1).unwrap(),
+            Admission::Accepted { backlog: 1 }
+        );
+        for _ in 0..2 {
+            assert_eq!(
+                mgr.submit_epoch(link, 1).unwrap(),
+                Admission::AcceptedAfterDrop {
+                    backlog: 1,
+                    dropped: 1
+                }
+            );
+        }
+        assert_eq!(mgr.backlog(link).unwrap(), 1);
+        let report = mgr.run().unwrap();
+        assert_eq!(report.links[0].batches_dropped, 2);
+        assert_eq!(report.links[0].batches_rejected, 0);
+        assert_eq!(report.links[0].batches_processed, 1);
+        assert_eq!(report.links[0].summary.blocks_ok, 1);
+
+        // The surviving batch is the *freshest* epoch: the third block of the
+        // link's stream (the first two were generated, then shed).
+        let mut solo = spec.solo_processor().unwrap();
+        let mut source = spec.key_source().unwrap();
+        source.next_block();
+        source.next_block();
+        let blk = source.next_block();
+        let mut expected = BitVec::new();
+        for r in solo
+            .process_detections(&detection_events(&blk.alice, &blk.bob))
+            .unwrap()
+        {
+            expected.extend_from(&r.secret_key.bits);
+        }
+        let got = mgr.store().get_key(link, expected.len()).unwrap();
+        assert_eq!(got.bits, expected, "the freshest epoch must survive");
+        mgr.reconcile().unwrap();
     }
 
     #[test]

@@ -48,6 +48,9 @@ pub struct LinkReport {
     pub batches_rejected: u64,
     /// Batches dropped from the queue after a fatal link failure.
     pub batches_abandoned: u64,
+    /// Queued batches shed by [`crate::spec::AdmissionPolicy::DropOldest`]
+    /// to admit fresher arrivals.
+    pub batches_dropped: u64,
     /// Total worker time spent on this link.
     pub busy: Duration,
     /// Fatal failure that stopped the link, if any (display form).

@@ -94,15 +94,33 @@ impl LinkSpec {
     }
 }
 
-/// Fleet-level tuning: how many workers share the pool and how deep each
-/// link's batch backlog may grow before admission control rejects arrivals.
+/// What admission control does with an arrival when a link's backlog is
+/// already at the cap.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// Reject the new batch wholesale (the arrival never touches the link's
+    /// key stream, so a later submission sees the same bits).
+    #[default]
+    Reject,
+    /// Shed the *oldest* queued batch to make room and accept the new one —
+    /// freshest-key-first service for consumers that prefer recency over
+    /// completeness. The shed batch's raw key is lost (its bits were already
+    /// drawn from the stream); drops are counted per link in
+    /// [`crate::report::LinkReport::batches_dropped`].
+    DropOldest,
+}
+
+/// Fleet-level tuning: how many workers share the pool, how deep each link's
+/// batch backlog may grow, and what to do with arrivals past the cap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FleetConfig {
     /// Worker threads in the shared pool (the whole fleet's compute budget).
     pub workers: usize,
-    /// Maximum batches a single link may have queued; further submissions are
-    /// rejected until the pool drains the backlog.
+    /// Maximum batches a single link may have queued; submissions beyond the
+    /// cap are handled per [`FleetConfig::admission`].
     pub max_backlog: usize,
+    /// Backlog-overflow policy.
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for FleetConfig {
@@ -111,6 +129,7 @@ impl Default for FleetConfig {
         Self {
             workers: (cores / 2).clamp(1, 8),
             max_backlog: 8,
+            admission: AdmissionPolicy::Reject,
         }
     }
 }
@@ -125,6 +144,12 @@ impl FleetConfig {
     /// Sets the per-link backlog cap, keeping everything else.
     pub fn with_max_backlog(mut self, max_backlog: usize) -> Self {
         self.max_backlog = max_backlog;
+        self
+    }
+
+    /// Sets the backlog-overflow policy, keeping everything else.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
         self
     }
 
@@ -158,6 +183,14 @@ pub enum Admission {
         /// Batches queued on the link after this submission.
         backlog: usize,
     },
+    /// The batch was queued under [`AdmissionPolicy::DropOldest`] after
+    /// shedding `dropped` queued batches to make room.
+    AcceptedAfterDrop {
+        /// Batches queued on the link after this submission.
+        backlog: usize,
+        /// Queued batches shed to admit this one.
+        dropped: u64,
+    },
     /// The link's backlog is full; the batch was dropped without touching the
     /// link's key stream (a later identical submission sees the same bits).
     RejectedBacklog {
@@ -173,7 +206,10 @@ pub enum Admission {
 impl Admission {
     /// Returns `true` when the batch was queued.
     pub fn accepted(&self) -> bool {
-        matches!(self, Admission::Accepted { .. })
+        matches!(
+            self,
+            Admission::Accepted { .. } | Admission::AcceptedAfterDrop { .. }
+        )
     }
 }
 
@@ -211,11 +247,24 @@ mod tests {
     #[test]
     fn admission_classification() {
         assert!(Admission::Accepted { backlog: 1 }.accepted());
+        assert!(Admission::AcceptedAfterDrop {
+            backlog: 1,
+            dropped: 1
+        }
+        .accepted());
         assert!(!Admission::RejectedBacklog {
             backlog: 8,
             limit: 8
         }
         .accepted());
         assert!(!Admission::RejectedFailed.accepted());
+    }
+
+    #[test]
+    fn admission_policy_defaults_to_reject() {
+        assert_eq!(FleetConfig::default().admission, AdmissionPolicy::Reject);
+        let config = FleetConfig::default().with_admission(AdmissionPolicy::DropOldest);
+        assert_eq!(config.admission, AdmissionPolicy::DropOldest);
+        config.validate().unwrap();
     }
 }

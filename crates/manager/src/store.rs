@@ -8,6 +8,13 @@
 //! deposit order — and the ledger (`deposited = delivered + available`) holds
 //! at every point, so the store can be reconciled bit-for-bit against the
 //! per-link [`qkd_core::SessionSummary`] ledgers.
+//!
+//! The 014 master/slave flow is served by reservations: the master side
+//! calls [`KeyStore::reserve_keys`], which drains bits exactly like
+//! `get_key` *and* parks a copy of each key under its [`KeyId`]; the slave
+//! side retrieves that copy exactly once via [`KeyStore::get_key_by_id`].
+//! The parked copy is the other half of one delivery, not a second one, so
+//! the ledger is unaffected by pickups.
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -28,6 +35,26 @@ pub struct KeyId {
 impl std::fmt::Display for KeyId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "link{}/key{}", self.link, self.serial)
+    }
+}
+
+impl std::str::FromStr for KeyId {
+    type Err = QkdError;
+
+    /// Parses the wire form produced by [`KeyId`]'s `Display` impl
+    /// (`link<N>/key<M>`), the `key_ID` strings of the delivery API.
+    fn from_str(s: &str) -> Result<Self> {
+        let parse = || -> Option<KeyId> {
+            let rest = s.strip_prefix("link")?;
+            let (link, serial) = rest.split_once("/key")?;
+            Some(KeyId {
+                link: link.parse().ok()?,
+                serial: serial.parse().ok()?,
+            })
+        };
+        parse().ok_or_else(|| {
+            QkdError::invalid_parameter("key_ID", format!("`{s}` is not of the form linkN/keyM"))
+        })
     }
 }
 
@@ -70,6 +97,8 @@ pub struct KeyStatus {
     pub delivered_bits: u64,
     /// Number of keys delivered (the next delivery's serial).
     pub keys_delivered: u64,
+    /// Reserved keys parked for the peer SAE and not yet picked up by ID.
+    pub reserved_keys: u64,
     /// Number of secret-key blocks deposited.
     pub blocks_deposited: u64,
     /// Union-bound epsilon over every deposited block.
@@ -84,7 +113,21 @@ impl KeyStatus {
     }
 }
 
-/// Per-link storage: a flat bit buffer drained from the front.
+/// One parked reservation: the peer's copy of an already-delivered key,
+/// plus the claim the pickup must present.
+#[derive(Debug)]
+struct Reservation {
+    bits: BitVec,
+    epsilon: f64,
+    /// Opaque claimant tag fixed at reservation time (the delivery API uses
+    /// the intended recipient's SAE id). A pickup presenting a different
+    /// claim is answered exactly like a non-existent ID, so a foreign
+    /// consumer can neither redeem nor probe for the reservation.
+    claim: Option<String>,
+}
+
+/// Per-link storage: a flat bit buffer drained from the front, plus the
+/// reserved keys parked for pickup-by-ID by the peer SAE.
 #[derive(Debug, Default)]
 struct LinkStore {
     buf: BitVec,
@@ -94,6 +137,10 @@ struct LinkStore {
     keys_delivered: u64,
     blocks_deposited: u64,
     epsilon: f64,
+    /// Reserved deliveries awaiting the peer SAE, keyed by serial. Each entry
+    /// is the peer's copy of bits already accounted as delivered — retrieval
+    /// removes it, so the same key ID can never be picked up twice.
+    parked: BTreeMap<u64, Reservation>,
 }
 
 impl LinkStore {
@@ -107,6 +154,22 @@ impl LinkStore {
         if self.cursor > 0 && self.cursor * 2 >= self.buf.len() {
             self.buf = self.buf.slice(self.cursor, self.buf.len());
             self.cursor = 0;
+        }
+    }
+
+    /// Drains `n_bits` from the front (caller has checked availability),
+    /// advancing the delivery ledger and serial atomically with the read.
+    fn drain(&mut self, link: usize, n_bits: usize) -> DeliveredKey {
+        let bits = self.buf.slice(self.cursor, self.cursor + n_bits);
+        self.cursor += n_bits;
+        self.delivered_bits += n_bits as u64;
+        let serial = self.keys_delivered;
+        self.keys_delivered += 1;
+        self.compact();
+        DeliveredKey {
+            id: KeyId { link, serial },
+            bits,
+            epsilon: self.epsilon,
         }
     }
 }
@@ -158,6 +221,7 @@ impl KeyStore {
             deposited_bits: store.deposited_bits,
             delivered_bits: store.delivered_bits,
             keys_delivered: store.keys_delivered,
+            reserved_keys: store.parked.len() as u64,
             blocks_deposited: store.blocks_deposited,
             epsilon: store.epsilon,
         })
@@ -193,17 +257,157 @@ impl KeyStore {
                 available: store.available() as u64,
             });
         }
-        let bits = store.buf.slice(store.cursor, store.cursor + n_bits);
-        store.cursor += n_bits;
-        store.delivered_bits += n_bits as u64;
-        let serial = store.keys_delivered;
-        store.keys_delivered += 1;
-        store.compact();
-        Ok(DeliveredKey {
-            id: KeyId { link, serial },
-            bits,
-            epsilon: store.epsilon,
-        })
+        Ok(store.drain(link, n_bits))
+    }
+
+    /// Reserves `count` keys of `size_bits` each for a master/slave SAE pair:
+    /// the bits are drained exactly like [`KeyStore::get_key`] (delivered to
+    /// the master, counted once in the ledger), and a copy of each key is
+    /// parked under its [`KeyId`] for one retrieval via
+    /// [`KeyStore::get_key_by_id`] — by a pickup presenting the same `claim`
+    /// (an opaque tag; the delivery API passes the intended recipient's SAE
+    /// id, so no other consumer can redeem or probe the reservation even
+    /// when several pairs share the link). All-or-nothing: a shortfall
+    /// reserves nothing.
+    ///
+    /// # Errors
+    ///
+    /// * [`QkdError::InvalidParameter`] for an unknown link or a zero count
+    ///   or size.
+    /// * [`QkdError::KeyStoreShortfall`] when fewer than `count * size_bits`
+    ///   bits are available.
+    pub fn reserve_keys(
+        &self,
+        link: usize,
+        count: usize,
+        size_bits: usize,
+        claim: Option<&str>,
+    ) -> Result<Vec<DeliveredKey>> {
+        if count == 0 || size_bits == 0 {
+            return Err(QkdError::invalid_parameter(
+                "reserve",
+                "key count and size must both be at least one",
+            ));
+        }
+        let total = count * size_bits;
+        let mut inner = self.inner.lock();
+        let store = inner
+            .get_mut(&link)
+            .ok_or_else(|| QkdError::invalid_parameter("link", format!("unknown link {link}")))?;
+        if store.available() < total {
+            return Err(QkdError::KeyStoreShortfall {
+                link: link as u64,
+                requested: total as u64,
+                available: store.available() as u64,
+            });
+        }
+        let mut keys = Vec::with_capacity(count);
+        for _ in 0..count {
+            let key = store.drain(link, size_bits);
+            store.parked.insert(
+                key.id.serial,
+                Reservation {
+                    bits: key.bits.clone(),
+                    epsilon: key.epsilon,
+                    claim: claim.map(str::to_string),
+                },
+            );
+            keys.push(key);
+        }
+        Ok(keys)
+    }
+
+    /// Retrieves the peer's copy of a reserved key, exactly once: the parked
+    /// entry is removed with the retrieval, so a repeated pickup (or a forged
+    /// serial) fails. `claim` must equal the tag the reservation was made
+    /// with; a mismatch is answered exactly like a non-existent ID, so a
+    /// foreign consumer cannot even probe for the reservation.
+    ///
+    /// # Errors
+    ///
+    /// * [`QkdError::InvalidParameter`] for an unknown link.
+    /// * [`QkdError::UnknownKeyId`] when no reservation is parked under `id`
+    ///   for this claim.
+    pub fn get_key_by_id(&self, id: KeyId, claim: Option<&str>) -> Result<DeliveredKey> {
+        let mut inner = self.inner.lock();
+        let store = inner.get_mut(&id.link).ok_or_else(|| {
+            QkdError::invalid_parameter("link", format!("unknown link {}", id.link))
+        })?;
+        match store.parked.get(&id.serial) {
+            Some(reservation) if reservation.claim.as_deref() == claim => {
+                let reservation = store.parked.remove(&id.serial).expect("present above");
+                Ok(DeliveredKey {
+                    id,
+                    bits: reservation.bits,
+                    epsilon: reservation.epsilon,
+                })
+            }
+            _ => Err(QkdError::UnknownKeyId {
+                link: id.link as u64,
+                serial: id.serial,
+            }),
+        }
+    }
+
+    /// Retrieves several reserved keys atomically: either every ID is parked
+    /// under this `claim` and all are removed together, or nothing is
+    /// consumed (the delivery API must not burn a batch's earlier pickups on
+    /// a bad trailing ID).
+    ///
+    /// # Errors
+    ///
+    /// * [`QkdError::InvalidParameter`] for an empty batch or an unknown link.
+    /// * [`QkdError::UnknownKeyId`] naming the first ID that is not parked
+    ///   for this claim; every parked key of the batch stays retrievable.
+    pub fn get_keys_by_id(&self, ids: &[KeyId], claim: Option<&str>) -> Result<Vec<DeliveredKey>> {
+        if ids.is_empty() {
+            return Err(QkdError::invalid_parameter(
+                "key_IDs",
+                "a pickup must name at least one key ID",
+            ));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for id in ids {
+            // A duplicate in one batch is a double pickup of the second
+            // occurrence; rejecting it up front keeps the batch atomic.
+            if !seen.insert((id.link, id.serial)) {
+                return Err(QkdError::invalid_parameter(
+                    "key_IDs",
+                    format!("key ID {id} appears twice in one pickup"),
+                ));
+            }
+        }
+        let mut inner = self.inner.lock();
+        for id in ids {
+            let store = inner.get(&id.link).ok_or_else(|| {
+                QkdError::invalid_parameter("link", format!("unknown link {}", id.link))
+            })?;
+            let matches = store
+                .parked
+                .get(&id.serial)
+                .is_some_and(|r| r.claim.as_deref() == claim);
+            if !matches {
+                return Err(QkdError::UnknownKeyId {
+                    link: id.link as u64,
+                    serial: id.serial,
+                });
+            }
+        }
+        Ok(ids
+            .iter()
+            .map(|&id| {
+                let store = inner.get_mut(&id.link).expect("presence checked above");
+                let reservation = store
+                    .parked
+                    .remove(&id.serial)
+                    .expect("presence checked above");
+                DeliveredKey {
+                    id,
+                    bits: reservation.bits,
+                    epsilon: reservation.epsilon,
+                }
+            })
+            .collect())
     }
 }
 
@@ -307,6 +511,154 @@ mod tests {
     }
 
     #[test]
+    fn key_id_parses_its_display_form() {
+        let id = KeyId {
+            link: 4,
+            serial: 17,
+        };
+        assert_eq!(id.to_string().parse::<KeyId>().unwrap(), id);
+        for bad in ["", "link4", "key7", "link/key", "linkx/key1", "link1/keyy"] {
+            assert!(bad.parse::<KeyId>().is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn reservation_parks_a_copy_for_exactly_one_pickup() {
+        let store = KeyStore::default();
+        let k = secret(512, 9);
+        store.deposit(0, &k);
+
+        let reserved = store.reserve_keys(0, 2, 100, None).unwrap();
+        assert_eq!(reserved.len(), 2);
+        assert_eq!(reserved[0].id, KeyId { link: 0, serial: 0 });
+        assert_eq!(reserved[1].id, KeyId { link: 0, serial: 1 });
+        assert_eq!(reserved[0].bits, k.bits.slice(0, 100));
+        assert_eq!(reserved[1].bits, k.bits.slice(100, 200));
+
+        let status = store.status(0).unwrap();
+        assert_eq!(status.delivered_bits, 200);
+        assert_eq!(status.available_bits, 312);
+        assert_eq!(status.reserved_keys, 2);
+        assert!(status.balances());
+
+        // The peer retrieves the same bits by ID, in any order, exactly once.
+        let picked = store.get_key_by_id(reserved[1].id, None).unwrap();
+        assert_eq!(picked.bits, reserved[1].bits);
+        assert_eq!(picked.epsilon, reserved[1].epsilon);
+        assert_eq!(store.status(0).unwrap().reserved_keys, 1);
+        assert!(matches!(
+            store.get_key_by_id(reserved[1].id, None),
+            Err(QkdError::UnknownKeyId { link: 0, serial: 1 })
+        ));
+        let picked = store.get_key_by_id(reserved[0].id, None).unwrap();
+        assert_eq!(picked.bits, reserved[0].bits);
+        assert_eq!(store.status(0).unwrap().reserved_keys, 0);
+
+        // Reservations interleave with plain draining on the same serial
+        // sequence — the next direct drain continues where the reserve ended.
+        let direct = store.get_key(0, 50).unwrap();
+        assert_eq!(direct.id.serial, 2);
+        assert_eq!(direct.bits, k.bits.slice(200, 250));
+    }
+
+    #[test]
+    fn batched_pickup_is_all_or_nothing() {
+        let store = KeyStore::default();
+        store.deposit(0, &secret(400, 13));
+        let reserved = store.reserve_keys(0, 3, 100, Some("peer-sae")).unwrap();
+        let ids: Vec<KeyId> = reserved.iter().map(|k| k.id).collect();
+
+        // A batch naming one unknown ID consumes nothing.
+        let mut with_bogus = ids.clone();
+        with_bogus.push(KeyId {
+            link: 0,
+            serial: 99,
+        });
+        assert!(matches!(
+            store.get_keys_by_id(&with_bogus, Some("peer-sae")),
+            Err(QkdError::UnknownKeyId { serial: 99, .. })
+        ));
+        assert_eq!(store.status(0).unwrap().reserved_keys, 3);
+
+        // A batch with a duplicate ID is rejected up front.
+        assert!(store
+            .get_keys_by_id(&[ids[0], ids[0]], Some("peer-sae"))
+            .is_err());
+        assert!(store.get_keys_by_id(&[], Some("peer-sae")).is_err());
+        assert_eq!(store.status(0).unwrap().reserved_keys, 3);
+
+        let picked = store.get_keys_by_id(&ids, Some("peer-sae")).unwrap();
+        for (p, r) in picked.iter().zip(&reserved) {
+            assert_eq!(p.bits, r.bits);
+        }
+        assert_eq!(store.status(0).unwrap().reserved_keys, 0);
+        assert!(matches!(
+            store.get_keys_by_id(&ids, Some("peer-sae")),
+            Err(QkdError::UnknownKeyId { .. })
+        ));
+    }
+
+    #[test]
+    fn pickups_require_the_reservation_claim() {
+        let store = KeyStore::default();
+        store.deposit(0, &secret(300, 17));
+        let for_bob = store.reserve_keys(0, 1, 100, Some("bob")).unwrap();
+        let untagged = store.reserve_keys(0, 1, 100, None).unwrap();
+
+        // A foreign claim (or no claim) is answered like a missing ID, and
+        // consumes nothing.
+        for claim in [Some("mallory"), None] {
+            assert!(matches!(
+                store.get_key_by_id(for_bob[0].id, claim),
+                Err(QkdError::UnknownKeyId { .. })
+            ));
+        }
+        assert!(matches!(
+            store.get_keys_by_id(&[for_bob[0].id, untagged[0].id], Some("bob")),
+            Err(QkdError::UnknownKeyId { .. })
+        ));
+        assert_eq!(store.status(0).unwrap().reserved_keys, 2);
+
+        // The rightful claims redeem bit-exactly.
+        assert_eq!(
+            store
+                .get_key_by_id(for_bob[0].id, Some("bob"))
+                .unwrap()
+                .bits,
+            for_bob[0].bits
+        );
+        assert_eq!(
+            store.get_key_by_id(untagged[0].id, None).unwrap().bits,
+            untagged[0].bits
+        );
+        assert_eq!(store.status(0).unwrap().reserved_keys, 0);
+    }
+
+    #[test]
+    fn reservation_shortfall_and_bad_parameters_reserve_nothing() {
+        let store = KeyStore::default();
+        store.deposit(2, &secret(100, 11));
+        assert!(matches!(
+            store.reserve_keys(2, 3, 40, None),
+            Err(QkdError::KeyStoreShortfall {
+                link: 2,
+                requested: 120,
+                available: 100,
+            })
+        ));
+        assert!(store.reserve_keys(2, 0, 40, None).is_err());
+        assert!(store.reserve_keys(2, 1, 0, None).is_err());
+        assert!(store.reserve_keys(9, 1, 8, None).is_err());
+        assert!(store
+            .get_key_by_id(KeyId { link: 9, serial: 0 }, None)
+            .is_err());
+        let status = store.status(2).unwrap();
+        assert_eq!(status.available_bits, 100);
+        assert_eq!(status.reserved_keys, 0);
+        assert_eq!(status.keys_delivered, 0);
+    }
+
+    #[test]
     fn links_are_isolated() {
         let store = KeyStore::default();
         store.deposit(0, &secret(64, 7));
@@ -315,5 +667,99 @@ mod tests {
         assert_eq!(store.status(1).unwrap().available_bits, 32);
         store.get_key(0, 64).unwrap();
         assert_eq!(store.status(1).unwrap().available_bits, 32);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Interleaved reservations (`enc_keys`), by-ID pickups
+            /// (`dec_keys`) and direct drains across several links: every
+            /// delivered bit window is the next unread window of that link's
+            /// deposit stream (never a bit twice, never out of order), every
+            /// pickup is bit-identical to its reservation and possible
+            /// exactly once, and the ledger balances after every operation.
+            #[test]
+            fn interleaved_reserve_and_pickup_never_deliver_a_bit_twice(
+                seed in any::<u64>(),
+                ops in collection::vec((0u8..4, 0usize..3, 1usize..80), 1..60),
+            ) {
+                const LINKS: usize = 3;
+                let store = KeyStore::default();
+                let mut streams = Vec::new();
+                let mut cursors = [0usize; LINKS];
+                for link in 0..LINKS {
+                    let key = secret(2000, seed.wrapping_add(link as u64));
+                    store.deposit(link, &key);
+                    streams.push(key.bits);
+                }
+                // Reservations not yet picked up: (id, expected bits).
+                let mut parked: Vec<(KeyId, BitVec)> = Vec::new();
+                for (op, link, size) in ops {
+                    match op {
+                        // Direct drain (in-process consumer).
+                        0 => match store.get_key(link, size) {
+                            Ok(key) => {
+                                let want =
+                                    streams[link].slice(cursors[link], cursors[link] + size);
+                                prop_assert_eq!(&key.bits, &want);
+                                cursors[link] += size;
+                            }
+                            Err(QkdError::KeyStoreShortfall { available, .. }) => {
+                                prop_assert!((available as usize) < size);
+                            }
+                            Err(e) => panic!("unexpected get_key error: {e}"),
+                        },
+                        // Master-side reservation of two keys.
+                        1 => match store.reserve_keys(link, 2, size, None) {
+                            Ok(keys) => {
+                                for key in keys {
+                                    let want = streams[link]
+                                        .slice(cursors[link], cursors[link] + size);
+                                    prop_assert_eq!(&key.bits, &want);
+                                    cursors[link] += size;
+                                    parked.push((key.id, key.bits));
+                                }
+                            }
+                            Err(QkdError::KeyStoreShortfall { available, .. }) => {
+                                prop_assert!((available as usize) < 2 * size);
+                            }
+                            Err(e) => panic!("unexpected reserve error: {e}"),
+                        },
+                        // Slave-side pickup of the oldest outstanding key.
+                        2 if !parked.is_empty() => {
+                            let (id, want) = parked.remove(0);
+                            let key = store.get_key_by_id(id, None).unwrap();
+                            prop_assert_eq!(&key.bits, &want);
+                            // A second pickup of the same ID must fail.
+                            prop_assert!(matches!(
+                                store.get_key_by_id(id, None),
+                                Err(QkdError::UnknownKeyId { .. })
+                            ));
+                        }
+                        // Pickup of a never-reserved serial fails.
+                        _ => {
+                            let id = KeyId { link, serial: u64::MAX };
+                            prop_assert!(matches!(
+                                store.get_key_by_id(id, None),
+                                Err(QkdError::UnknownKeyId { .. })
+                            ));
+                        }
+                    }
+                    for (l, &cursor) in cursors.iter().enumerate() {
+                        let status = store.status(l).unwrap();
+                        prop_assert!(status.balances());
+                        prop_assert_eq!(status.delivered_bits as usize, cursor);
+                    }
+                }
+                // Whatever is still parked remains retrievable, bit-exact.
+                for (id, want) in parked {
+                    prop_assert_eq!(store.get_key_by_id(id, None).unwrap().bits, want);
+                }
+            }
+        }
     }
 }

@@ -94,6 +94,28 @@ pub enum QkdError {
         /// Bits currently available for delivery.
         available: u64,
     },
+    /// A consumer could not be authenticated or is not entitled to the
+    /// resource it addressed (the 401-shaped refusal of the delivery API).
+    Unauthorized {
+        /// Human-readable refusal reason (never echoes credentials).
+        reason: String,
+    },
+    /// A consumer exceeded its configured request or key-bit budget (the
+    /// 429-shaped refusal of the delivery API).
+    RateLimited {
+        /// The SAE that hit its cap.
+        sae: String,
+        /// Which budget was exhausted.
+        reason: String,
+    },
+    /// A key-by-ID pickup addressed a key that was never reserved, was
+    /// already retrieved, or belongs to another SAE pair.
+    UnknownKeyId {
+        /// Link component of the rejected key ID.
+        link: u64,
+        /// Serial component of the rejected key ID.
+        serial: u64,
+    },
 }
 
 impl fmt::Display for QkdError {
@@ -140,6 +162,13 @@ impl fmt::Display for QkdError {
                 f,
                 "key store shortfall on link {link}: {requested} bits requested, {available} available"
             ),
+            QkdError::Unauthorized { reason } => write!(f, "unauthorized: {reason}"),
+            QkdError::RateLimited { sae, reason } => {
+                write!(f, "rate limit exceeded for SAE `{sae}`: {reason}")
+            }
+            QkdError::UnknownKeyId { link, serial } => {
+                write!(f, "unknown key ID link{link}/key{serial}")
+            }
         }
     }
 }
@@ -202,6 +231,18 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("link 3") && msg.contains("256") && msg.contains("100"));
         assert!(!e.is_security_abort());
+        let e = QkdError::Unauthorized {
+            reason: "no entitlement for link 2".into(),
+        };
+        assert!(e.to_string().contains("unauthorized"));
+        assert!(!e.is_security_abort());
+        let e = QkdError::RateLimited {
+            sae: "sae-app-1".into(),
+            reason: "request budget spent".into(),
+        };
+        assert!(e.to_string().contains("sae-app-1"));
+        let e = QkdError::UnknownKeyId { link: 1, serial: 7 };
+        assert!(e.to_string().contains("link1/key7"));
     }
 
     #[test]

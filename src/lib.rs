@@ -13,7 +13,9 @@
 //! * [`hetero`] — heterogeneous devices, cost models, schedulers, pipelines;
 //! * [`core`] — the end-to-end post-processing engine;
 //! * [`manager`] — the fleet key-manager service: many links over a shared
-//!   worker pool, with a key-store delivery API.
+//!   worker pool, with a key-store delivery API;
+//! * [`api`] — the ETSI GS QKD 014-shaped networked key-delivery front-end
+//!   (HTTP server, SAE registry, client).
 //!
 //! # Quickstart
 //!
@@ -30,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub use qkd_api as api;
 pub use qkd_auth as auth;
 pub use qkd_cascade as cascade;
 pub use qkd_core as core;

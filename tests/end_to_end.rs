@@ -229,11 +229,8 @@ fn fleet_serves_mixed_links_with_bit_identical_keys_and_a_balanced_ledger() {
     // bit-identical keys to a solo engine with the same seed, and the key
     // store must reconcile exactly against the summed session ledgers.
     let workload = FleetWorkload::mixed(4, 4096, 91).unwrap();
-    let mut fleet = LinkManager::new(FleetConfig {
-        workers: 3,
-        max_backlog: 2,
-    })
-    .unwrap();
+    let mut fleet =
+        LinkManager::new(FleetConfig::default().with_workers(3).with_max_backlog(2)).unwrap();
     let ids: Vec<usize> = workload
         .specs()
         .iter()
@@ -256,6 +253,9 @@ fn fleet_serves_mixed_links_with_bit_identical_keys_and_a_balanced_ledger() {
             Admission::RejectedBacklog { limit, .. } => {
                 assert_eq!(limit, 2);
                 rejections += 1;
+            }
+            Admission::AcceptedAfterDrop { .. } => {
+                panic!("the default admission policy never sheds batches")
             }
             Admission::RejectedFailed => panic!("no link should be dead during submission"),
         }
@@ -337,6 +337,90 @@ fn fleet_serves_mixed_links_with_bit_identical_keys_and_a_balanced_ledger() {
     assert_eq!(ledger.total_deposited(), report.total_secret_bits());
     assert_eq!(ledger.total_available(), 0);
     assert_eq!(ledger.total_delivered(), report.total_secret_bits());
+}
+
+#[test]
+fn two_saes_drain_a_fleet_epoch_over_real_tcp_sockets() {
+    use qkd::api::{ApiClient, ApiConfig, ApiServer, SaeProfile, SaeRegistry};
+    use qkd::manager::KeyId;
+    use std::sync::Arc;
+
+    // A fleet distils an epoch into the store…
+    let mut fleet = LinkManager::new(FleetConfig::default().with_workers(2)).unwrap();
+    let link = fleet
+        .add_link(LinkSpec::from_preset(WorkloadPreset::Metro, 8192, 2026))
+        .unwrap();
+    fleet.submit_epoch(link, 3).unwrap();
+    fleet.run().unwrap();
+    let deposited = fleet.store().status(link).unwrap().available_bits;
+    assert!(deposited > 1024, "the epoch must have distilled key");
+
+    // …and the delivery API puts it on the network for two SAEs.
+    let registry = Arc::new(SaeRegistry::new());
+    registry
+        .register(SaeProfile::new("master-sae", "tok-master"))
+        .unwrap();
+    registry
+        .register(SaeProfile::new("slave-sae", "tok-slave"))
+        .unwrap();
+    registry
+        .register(SaeProfile::new("intruder-sae", "tok-intruder"))
+        .unwrap();
+    registry.entitle("master-sae", "slave-sae", link).unwrap();
+    let server = ApiServer::start(
+        fleet.store_handle(),
+        Arc::clone(&registry),
+        ApiConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Master reserves over TCP until the epoch is drained below one key.
+    let master = ApiClient::new(addr, "tok-master");
+    let slave = ApiClient::new(addr, "tok-slave");
+    let key_size = 256usize;
+    let mut master_bits = BitVec::new();
+    let mut slave_bits = BitVec::new();
+    while master.status("slave-sae").unwrap().available_bits >= key_size as u64 {
+        let reserved = master.enc_keys("slave-sae", 1, key_size).unwrap();
+        let ids: Vec<KeyId> = reserved.iter().map(|k| k.id).collect();
+        for key in &reserved {
+            master_bits.extend_from(&key.bits);
+        }
+        for key in slave.dec_keys("master-sae", &ids).unwrap() {
+            slave_bits.extend_from(&key.bits);
+        }
+    }
+    assert!(master_bits.len() as u64 > deposited - key_size as u64);
+    assert_eq!(
+        master_bits, slave_bits,
+        "master- and slave-side key material must be bit-identical"
+    );
+    // The drained material is the store's deposit stream, in order: an
+    // in-process drain of the remainder confirms the cursor position.
+    let status = fleet.store().status(link).unwrap();
+    assert!(status.balances());
+    assert_eq!(
+        status.delivered_bits,
+        master_bits.len() as u64,
+        "every delivered bit went through the API exactly once"
+    );
+
+    // An unentitled SAE is refused with the 401-shaped error.
+    let intruder = ApiClient::new(addr, "tok-intruder");
+    match intruder.enc_keys("slave-sae", 1, key_size) {
+        Err(QkdError::Unauthorized { .. }) => {}
+        other => panic!("expected a 401-shaped refusal, got {other:?}"),
+    }
+
+    // The ledger still reconciles bit-for-bit against the session summary.
+    let ledger = fleet.reconcile().unwrap();
+    assert_eq!(ledger.total_delivered(), master_bits.len() as u64);
+    assert_eq!(
+        ledger.total_deposited(),
+        fleet.summary(link).unwrap().secret_bits_out
+    );
+    server.shutdown();
 }
 
 #[test]

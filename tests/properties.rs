@@ -325,7 +325,9 @@ proptest! {
     ) {
         let block = 4096usize;
         let workload = FleetWorkload::mixed(links, block, seed).unwrap();
-        let mut fleet = LinkManager::new(FleetConfig { workers, max_backlog: 16 }).unwrap();
+        let mut fleet =
+            LinkManager::new(FleetConfig::default().with_workers(workers).with_max_backlog(16))
+                .unwrap();
         let ids: Vec<usize> = workload
             .specs()
             .iter()

@@ -153,6 +153,22 @@ impl Strategy for std::ops::RangeInclusive<f64> {
     }
 }
 
+macro_rules! impl_strategy_for_tuples {
+    ($(($($s:ident),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_strategy_for_tuples!((A, B), (A, B, C), (A, B, C, D));
+
 pub mod collection {
     //! Collection strategies.
 
