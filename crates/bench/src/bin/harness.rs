@@ -11,6 +11,7 @@
 //! cargo run --release -p qkd-bench --bin harness -- --smoke --pipelined
 //! cargo run --release -p qkd-bench --bin harness -- --smoke --fleet
 //! cargo run --release -p qkd-bench --bin harness -- --smoke --api
+//! cargo run --release -p qkd-bench --bin harness -- --smoke --decoder
 //! ```
 
 use qkd_bench::experiments;
@@ -22,10 +23,11 @@ Flags (each prints one JSON document to stdout):
   --pipelined    sequential-vs-pipelined comparison  (qkd-bench-pipelined/v1)
   --fleet        multi-link fleet over a shared pool (qkd-bench-fleet/v1)
   --api          ETSI 014 key delivery over localhost TCP (qkd-bench-api/v1)
+  --decoder      LDPC decoder hot path vs seed reference (qkd-bench-decoder/v1)
   --help, -h     print this help and exit
 
-`--pipelined`, `--fleet` and `--api` run their benchmark whether or not
-`--smoke` is present; `--smoke` alone runs the kernel smoke benchmark.
+`--pipelined`, `--fleet`, `--api` and `--decoder` run their benchmark whether
+or not `--smoke` is present; `--smoke` alone runs the kernel smoke benchmark.
 
 Experiments (aligned text tables):
   all            every table and figure below, in order
@@ -65,6 +67,8 @@ fn main() {
         "fleet",
         "--api",
         "api",
+        "--decoder",
+        "decoder",
         "all",
         "table1",
         "table2",
@@ -91,6 +95,7 @@ fn main() {
     let pipelined = has("pipelined");
     let fleet = has("fleet");
     let api = has("api");
+    let decoder = has("decoder");
 
     if pipelined {
         experiments::smoke_pipelined();
@@ -101,7 +106,10 @@ fn main() {
     if api {
         experiments::smoke_api();
     }
-    if smoke && !pipelined && !fleet && !api {
+    if decoder {
+        experiments::smoke_decoder();
+    }
+    if smoke && !pipelined && !fleet && !api && !decoder {
         experiments::smoke();
     }
 

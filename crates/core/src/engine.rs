@@ -22,7 +22,7 @@ use serde::{Deserialize, Serialize};
 use qkd_auth::{AuthConfig, Authenticator, KeyPool};
 use qkd_cascade::CascadeReconciler;
 use qkd_hetero::{CostModel, KernelKind, Pipeline, ThroughputReport};
-use qkd_ldpc::LdpcReconciler;
+use qkd_ldpc::{LdpcReconciler, ReconcilerScratch};
 use qkd_privacy::PrivacyAmplifier;
 use qkd_sifting::{estimate_qber, sift, SiftingConfig};
 use qkd_types::frame::StageLabel;
@@ -294,8 +294,11 @@ impl StageContext {
             .push((StageLabel::Estimation, est_start.elapsed()));
     }
 
-    /// Stage 2 — information reconciliation (LDPC or Cascade).
-    fn reconcile(&self, item: &mut BlockInFlight) {
+    /// Stage 2 — information reconciliation (LDPC or Cascade). The caller
+    /// provides the long-lived LDPC scratch: the sequential path passes the
+    /// engine's, each pipelined shard's reconciliation worker owns one, and
+    /// fleet workers carry one across the links they service.
+    fn reconcile(&self, item: &mut BlockInFlight, scratch: &mut ReconcilerScratch) {
         if item.done() {
             return;
         }
@@ -303,7 +306,7 @@ impl StageContext {
         let outcome = match self.config.reconciliation {
             ReconciliationMethod::Ldpc => self
                 .ldpc
-                .reconcile(&item.alice, &item.bob, item.rec_qber)
+                .reconcile_with_scratch(&item.alice, &item.bob, item.rec_qber, scratch)
                 .map(|out| {
                     let usage = ChannelUsage {
                         round_trips: 1,
@@ -494,9 +497,14 @@ fn run_shard(
             est.estimate(&mut item);
             Ok(item)
         })
-        .add_fn("reconciliation", move |mut item: BlockInFlight| {
-            rec.reconcile(&mut item);
-            Ok(item)
+        .add_fn("reconciliation", {
+            // The shard's reconciliation worker owns one scratch for its
+            // whole lifetime: every block it decodes reuses the same arena.
+            let mut scratch = ReconcilerScratch::new();
+            move |mut item: BlockInFlight| {
+                rec.reconcile(&mut item, &mut scratch);
+                Ok(item)
+            }
         })
         .add_fn("verification", move |mut item: BlockInFlight| {
             ver.verify(&mut item);
@@ -546,6 +554,9 @@ pub struct PostProcessor {
     next_block: u64,
     summary: SessionSummary,
     carry: Option<(BitVec, BitVec)>,
+    /// Long-lived reconciliation scratch for the sequential path; reused
+    /// across every block and rate-ladder attempt of the session.
+    scratch: ReconcilerScratch,
 }
 
 impl std::fmt::Debug for PostProcessor {
@@ -587,6 +598,7 @@ impl PostProcessor {
             next_block: 0,
             summary: SessionSummary::default(),
             carry: None,
+            scratch: ReconcilerScratch::new(),
         })
     }
 
@@ -698,10 +710,30 @@ impl PostProcessor {
     /// Propagates only configuration-level failures; per-block aborts are
     /// counted, not returned.
     pub fn process_detections(&mut self, events: &[DetectionEvent]) -> Result<Vec<BlockResult>> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = self.process_detections_with_scratch(events, &mut scratch);
+        self.scratch = scratch;
+        result
+    }
+
+    /// Processes a batch like [`PostProcessor::process_detections`], drawing
+    /// reconciliation working memory from a caller-owned scratch. Callers
+    /// that drive many engines from one thread — e.g. fleet workers serving
+    /// links round-robin — hold a single scratch across all of them instead
+    /// of warming one per engine.
+    ///
+    /// # Errors
+    ///
+    /// See [`PostProcessor::process_detections`].
+    pub fn process_detections_with_scratch(
+        &mut self,
+        events: &[DetectionEvent],
+        scratch: &mut ReconcilerScratch,
+    ) -> Result<Vec<BlockResult>> {
         let batch = self.frame_blocks(events);
         let mut results = Vec::new();
         for (alice, bob) in batch.blocks {
-            match self.process_owned_block(alice, bob) {
+            match self.process_owned_block_with(alice, bob, scratch) {
                 Ok(mut r) => {
                     // Attribute a proportional share of the sifting time.
                     r.stage_times
@@ -866,12 +898,26 @@ impl PostProcessor {
     }
 
     /// The sequential distillation path over owned, equal-length halves (the
-    /// batch loop hands its framed blocks straight in without re-cloning).
+    /// batch loop hands its framed blocks straight in without re-cloning),
+    /// reusing the engine's own reconciliation scratch.
     fn process_owned_block(&mut self, alice: BitVec, bob: BitVec) -> Result<BlockResult> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = self.process_owned_block_with(alice, bob, &mut scratch);
+        self.scratch = scratch;
+        result
+    }
+
+    /// Sequential distillation with caller-provided reconciliation scratch.
+    fn process_owned_block_with(
+        &mut self,
+        alice: BitVec,
+        bob: BitVec,
+        scratch: &mut ReconcilerScratch,
+    ) -> Result<BlockResult> {
         let ctx = self.stage_context();
         let mut item = self.new_block_item(alice, bob);
         ctx.estimate(&mut item);
-        ctx.reconcile(&mut item);
+        ctx.reconcile(&mut item, scratch);
         ctx.verify(&mut item);
         ctx.amplify(&mut item);
         ctx.authenticate(&mut item);

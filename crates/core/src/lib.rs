@@ -49,3 +49,8 @@ pub use verification::{verify_keys, VerificationConfig, VerificationOutcome};
 // Re-exported so callers of the pipelined path can consume its throughput
 // report without depending on `qkd-hetero` directly.
 pub use qkd_hetero::ThroughputReport;
+
+// Re-exported so callers that drive engines from their own worker threads
+// (e.g. the fleet manager) can hold a long-lived reconciliation scratch
+// without depending on `qkd-ldpc` directly.
+pub use qkd_ldpc::ReconcilerScratch;

@@ -8,6 +8,25 @@
 //! Two message-passing algorithms (sum-product and normalised min-sum) and
 //! two schedules (flooding and layered) are provided; the combinations are the
 //! ablation axes of the evaluation (Table 2, `ablate-decoder`).
+//!
+//! # Hot-path layout
+//!
+//! The decoder is the fleet's hot loop, so the message-passing state lives in
+//! flat check-major arrays (structure-of-arrays, contiguous per-check edge
+//! slices) and every buffer the iteration loops touch comes from a
+//! caller-owned [`DecoderScratch`] that is reused across iterations, blocks
+//! and rate-ladder attempts — after the first decode at a given size, a
+//! decode performs **zero heap allocations** inside the iteration loops.
+//! Convergence is checked word-packed: the syndrome of the packed
+//! hard-decision words is rebuilt by walking only the *set* bits through the
+//! variable-major column map, instead of a bit-by-bit sweep of every edge.
+//!
+//! [`SyndromeDecoder::decode_reference`] retains the seed implementation's
+//! *cost profile* — per-check `Vec` construction and cloning, bit-by-bit
+//! syndrome checks through [`BitVec::get`], message buffers rebuilt on every
+//! call — on the current flat adjacency. It is the equivalence oracle for
+//! the optimized path (outcomes are bit-identical by construction) and the
+//! baseline the `--decoder` harness benchmark measures speedups against.
 
 use serde::{Deserialize, Serialize};
 
@@ -106,19 +125,242 @@ pub struct DecodeOutcome {
     pub iterations: usize,
 }
 
+/// Scratch buffers for the sum-product check update (tanh values and their
+/// prefix/suffix products), sized to the largest check degree seen so far.
+#[derive(Debug, Clone, Default)]
+pub struct SumProductScratch {
+    tanh: Vec<f64>,
+    prefix: Vec<f64>,
+    suffix: Vec<f64>,
+}
+
+impl SumProductScratch {
+    fn ensure(&mut self, degree: usize) {
+        if self.tanh.len() < degree {
+            self.tanh.resize(degree, 0.0);
+        }
+        if self.prefix.len() < degree + 1 {
+            self.prefix.resize(degree + 1, 0.0);
+            self.suffix.resize(degree + 1, 0.0);
+        }
+    }
+}
+
+/// The check-node update kernel, with the algorithm parameters resolved once
+/// per decoder instead of per check (the normalisation factor used to be
+/// re-derived from `scale_pct` on every check of every iteration).
+///
+/// `values` holds the incoming variable-to-check messages of one check and is
+/// overwritten in place with the outgoing check-to-variable messages;
+/// `sign_target` is `-1.0` when the target syndrome bit is set.
+#[derive(Debug, Clone, Copy)]
+pub enum CheckKernel {
+    /// Exact tanh-rule update.
+    SumProduct,
+    /// Normalised min-sum update with a pre-resolved scale factor.
+    MinSum {
+        /// Normalisation factor (e.g. 0.75).
+        scale: f64,
+    },
+}
+
+impl CheckKernel {
+    /// Resolves the kernel for an algorithm.
+    pub fn new(algorithm: DecoderAlgorithm) -> Self {
+        match algorithm {
+            DecoderAlgorithm::SumProduct => CheckKernel::SumProduct,
+            DecoderAlgorithm::MinSum { scale_pct } => CheckKernel::MinSum {
+                scale: f64::from(scale_pct) / 100.0,
+            },
+        }
+    }
+
+    /// Applies the check update in place, drawing any temporary storage from
+    /// `sp` (used by the sum-product rule only).
+    pub fn apply(&self, values: &mut [f64], sign_target: f64, sp: &mut SumProductScratch) {
+        match *self {
+            CheckKernel::SumProduct => {
+                let deg = values.len();
+                sp.ensure(deg);
+                // Product of tanh(v/2) excluding self, via prefix/suffix
+                // products.
+                for (t, &v) in sp.tanh.iter_mut().zip(values.iter()) {
+                    *t = (v / 2.0).tanh();
+                }
+                sp.prefix[0] = 1.0;
+                for i in 0..deg {
+                    sp.prefix[i + 1] = sp.prefix[i] * sp.tanh[i];
+                }
+                sp.suffix[deg] = 1.0;
+                for i in (0..deg).rev() {
+                    sp.suffix[i] = sp.suffix[i + 1] * sp.tanh[i];
+                }
+                for (i, v) in values.iter_mut().enumerate() {
+                    let prod = (sp.prefix[i] * sp.suffix[i + 1] * sign_target)
+                        .clamp(-0.999_999, 0.999_999);
+                    *v = 2.0 * prod.atanh();
+                }
+            }
+            CheckKernel::MinSum { scale } => {
+                // Two smallest magnitudes and the overall sign product.
+                let mut min1 = f64::INFINITY;
+                let mut min2 = f64::INFINITY;
+                let mut min1_idx = 0usize;
+                let mut sign_prod = sign_target;
+                for (i, &v) in values.iter().enumerate() {
+                    let a = v.abs();
+                    if a < min1 {
+                        min2 = min1;
+                        min1 = a;
+                        min1_idx = i;
+                    } else if a < min2 {
+                        min2 = a;
+                    }
+                    if v < 0.0 {
+                        sign_prod = -sign_prod;
+                    }
+                }
+                // Sign product and scale fold into one factor outside the
+                // per-edge loop; both signs are exactly ±1, so the result is
+                // bit-identical to multiplying them edge by edge.
+                let signed_scale = sign_prod * scale;
+                for (i, v) in values.iter_mut().enumerate() {
+                    let self_sign = if *v < 0.0 { -1.0 } else { 1.0 };
+                    let mag = if i == min1_idx { min2 } else { min1 };
+                    *v = self_sign * signed_scale * if mag.is_finite() { mag } else { 0.0 };
+                }
+            }
+        }
+    }
+
+    /// Reference variant that allocates its temporary storage per call,
+    /// preserving the cost profile of the original per-check implementation
+    /// (used by [`SyndromeDecoder::decode_reference`]).
+    fn apply_alloc(&self, values: &mut [f64], sign_target: f64) {
+        let mut sp = SumProductScratch::default();
+        self.apply(values, sign_target, &mut sp);
+    }
+}
+
+/// Branchless select: `if cond { a } else { b }` computed with a bit mask,
+/// keeping the decoder's value-dependent choices out of the branch predictor
+/// (the min-scan's data-dependent branches are the single largest cost of
+/// the scalar hot loop).
+#[inline(always)]
+fn sel(cond: bool, a: f64, b: f64) -> f64 {
+    let mask = (cond as u64).wrapping_neg();
+    f64::from_bits((a.to_bits() & mask) | (b.to_bits() & !mask))
+}
+
+/// Branchless select for indices.
+#[inline(always)]
+fn sel_idx(cond: bool, a: usize, b: usize) -> usize {
+    let mask = (cond as usize).wrapping_neg();
+    (a & mask) | (b & !mask)
+}
+
+/// Branchless sign flip: `-x` when `cond`, else `x` (exact — toggles the
+/// sign bit, which is how multiplying by ±1.0 behaves).
+#[inline(always)]
+fn flip_if(x: f64, cond: bool) -> f64 {
+    f64::from_bits(x.to_bits() ^ ((cond as u64) << 63))
+}
+
+/// Branchless `clamp(-limit, limit)`. Equal to `f64::clamp` for every
+/// non-NaN input (the decoder's LLRs are always finite).
+#[inline(always)]
+fn clamp_sym(x: f64, limit: f64) -> f64 {
+    x.max(-limit).min(limit)
+}
+
+/// Caller-owned arena for every buffer the decode iteration loops touch:
+/// per-edge message arrays, per-variable priors and posteriors, a per-check
+/// input buffer sized to the maximum check degree, and word-packed hard
+/// decisions.
+///
+/// A scratch starts empty and grows to the largest decoder it has served; it
+/// can be reused freely across decoders, blocks, rate-ladder attempts and
+/// mixed block sizes. Reuse is what makes the decode loops allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct DecoderScratch {
+    /// Per-edge variable-to-check messages (flooding schedule).
+    v2c: Vec<f64>,
+    /// Per-edge check-to-variable messages.
+    c2v: Vec<f64>,
+    /// Per-variable channel priors.
+    channel: Vec<f64>,
+    /// Per-variable posterior LLRs (layered schedule).
+    posterior: Vec<f64>,
+    /// Per-check extrinsic inputs (sized to the maximum check degree).
+    inputs: Vec<f64>,
+    /// Word-packed hard decisions.
+    hard: Vec<u64>,
+    /// Word-packed syndrome of the current hard decisions.
+    syn: Vec<u64>,
+    /// Sum-product temporaries.
+    sp: SumProductScratch,
+}
+
+impl DecoderScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows every buffer to fit `decoder` (never shrinks, so one scratch
+    /// serves a whole rate ladder or a mix of block sizes).
+    fn ensure(&mut self, decoder: &SyndromeDecoder) {
+        let edges = decoder.edge_var.len();
+        let n = decoder.n;
+        if self.v2c.len() < edges {
+            self.v2c.resize(edges, 0.0);
+            self.c2v.resize(edges, 0.0);
+        }
+        if self.channel.len() < n {
+            self.channel.resize(n, 0.0);
+            self.posterior.resize(n, 0.0);
+        }
+        if self.inputs.len() < decoder.max_check_degree {
+            self.inputs.resize(decoder.max_check_degree, 0.0);
+        }
+        let words = n.div_ceil(64);
+        if self.hard.len() < words {
+            self.hard.resize(words, 0);
+        }
+        let syn_words = decoder.m.div_ceil(64);
+        if self.syn.len() < syn_words {
+            self.syn.resize(syn_words, 0);
+        }
+        self.sp.ensure(decoder.max_check_degree);
+    }
+}
+
 /// A belief-propagation syndrome decoder bound to one parity-check matrix.
 ///
-/// The decoder owns per-edge message buffers sized for its matrix, so a single
-/// instance can decode many blocks without reallocating.
+/// The Tanner graph is stored flat (check-major edge list plus a CSR
+/// variable-to-edge map) so both orientations of the message-passing sweep
+/// run over contiguous memory. The decoder itself is immutable and shareable;
+/// all mutable decode state lives in a [`DecoderScratch`].
 #[derive(Debug, Clone)]
 pub struct SyndromeDecoder {
     config: DecoderConfig,
-    /// Flattened (check-major) variable indices.
-    edge_var: Vec<usize>,
-    /// Start offset of each check's edges in `edge_var`.
-    check_offsets: Vec<usize>,
-    /// For each variable, the edge ids incident to it.
-    var_edges: Vec<Vec<usize>>,
+    kernel: CheckKernel,
+    /// Flattened (check-major) variable indices, one entry per edge.
+    edge_var: Vec<u32>,
+    /// Start offset of each check's edges in `edge_var` (length `m + 1`).
+    check_offsets: Vec<u32>,
+    /// Flattened (variable-major) edge ids.
+    var_edge: Vec<u32>,
+    /// Flattened (variable-major) check ids, parallel to `var_edge`.
+    var_check: Vec<u32>,
+    /// Start offset of each variable's edges in `var_edge` (length `n + 1`).
+    var_offsets: Vec<u32>,
+    /// Lane-per-check schedule for the AVX2 min-sum layered sweep: quads of
+    /// consecutive variable-disjoint equal-degree checks, interleaved with
+    /// scalar singles. Empty when the host lacks AVX2 (scalar sweep runs).
+    #[cfg(target_arch = "x86_64")]
+    quad_sched: Vec<u32>,
+    max_check_degree: usize,
     n: usize,
     m: usize,
 }
@@ -133,22 +375,69 @@ impl SyndromeDecoder {
         config.validate()?;
         let m = matrix.num_checks();
         let n = matrix.num_vars();
-        let mut edge_var = Vec::with_capacity(matrix.num_edges());
+        let num_edges = matrix.num_edges();
+
+        // Check-major edge list.
+        let mut edge_var = Vec::with_capacity(num_edges);
         let mut check_offsets = Vec::with_capacity(m + 1);
-        let mut var_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
-        check_offsets.push(0);
+        let mut var_degree = vec![0u32; n];
+        let mut max_check_degree = 0usize;
+        check_offsets.push(0u32);
         for c in 0..m {
-            for &v in matrix.check_neighbors(c) {
-                var_edges[v].push(edge_var.len());
-                edge_var.push(v);
+            let neighbors = matrix.check_neighbors(c);
+            max_check_degree = max_check_degree.max(neighbors.len());
+            for &v in neighbors {
+                var_degree[v] += 1;
+                edge_var.push(v as u32);
             }
-            check_offsets.push(edge_var.len());
+            check_offsets.push(edge_var.len() as u32);
         }
+
+        // CSR variable-to-edge map, filled in edge order so per-variable
+        // message sums run in the same order as the check-major sweep.
+        let mut var_offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            var_offsets[v + 1] = var_offsets[v] + var_degree[v];
+        }
+        let mut cursor: Vec<u32> = var_offsets[..n].to_vec();
+        let mut var_edge = vec![0u32; num_edges];
+        let mut var_check = vec![0u32; num_edges];
+        for c in 0..m {
+            let (s, e) = (check_offsets[c] as usize, check_offsets[c + 1] as usize);
+            for (edge, &v) in edge_var[s..e].iter().enumerate() {
+                let v = v as usize;
+                var_edge[cursor[v] as usize] = (s + edge) as u32;
+                var_check[cursor[v] as usize] = c as u32;
+                cursor[v] += 1;
+            }
+        }
+
+        // Only the min-sum layered sweep consumes the quad schedule; other
+        // configurations skip the scan and the memory.
+        #[cfg(target_arch = "x86_64")]
+        let quad_sched = if matches!(config.algorithm, DecoderAlgorithm::MinSum { .. })
+            && config.schedule == Schedule::Layered
+            && std::arch::is_x86_feature_detected!("avx2")
+        {
+            // `var_degree` has served its purpose; reuse it as the stamp
+            // buffer for the disjointness scan.
+            var_degree.fill(0);
+            crate::simd::build_schedule(m, &check_offsets, &edge_var, &mut var_degree)
+        } else {
+            Vec::new()
+        };
+
         Ok(Self {
+            kernel: CheckKernel::new(config.algorithm),
             config,
             edge_var,
             check_offsets,
-            var_edges,
+            var_edge,
+            var_check,
+            var_offsets,
+            #[cfg(target_arch = "x86_64")]
+            quad_sched,
+            max_check_degree,
             n,
             m,
         })
@@ -169,23 +458,7 @@ impl SyndromeDecoder {
         self.m
     }
 
-    /// Decodes an error pattern `e` with `H e = target_syndrome` under an
-    /// i.i.d. flip prior `qber`, with optional per-variable LLR overrides.
-    ///
-    /// `llr_overrides` assigns a fixed prior LLR to selected variables:
-    /// shortened (known-zero) positions use a large positive LLR, punctured
-    /// (unknown) positions use zero.
-    ///
-    /// # Errors
-    ///
-    /// * [`QkdError::DimensionMismatch`] when the syndrome length is wrong.
-    /// * [`QkdError::InvalidParameter`] when `qber` is outside `(0, 0.5)`.
-    pub fn decode(
-        &self,
-        target_syndrome: &BitVec,
-        qber: f64,
-        llr_overrides: &[(usize, f64)],
-    ) -> Result<DecodeOutcome> {
+    fn validate_inputs(&self, target_syndrome: &BitVec, qber: f64) -> Result<()> {
         if target_syndrome.len() != self.m {
             return Err(QkdError::DimensionMismatch {
                 context: "syndrome decoding",
@@ -199,162 +472,547 @@ impl SyndromeDecoder {
                 "must lie strictly in (0, 0.5)",
             ));
         }
+        Ok(())
+    }
 
+    fn prior_llr(&self, qber: f64) -> f64 {
+        ((1.0 - qber) / qber).ln().min(self.config.llr_clamp)
+    }
+
+    /// Decodes an error pattern `e` with `H e = target_syndrome` under an
+    /// i.i.d. flip prior `qber`, with optional per-variable LLR overrides.
+    ///
+    /// `llr_overrides` assigns a fixed prior LLR to selected variables:
+    /// shortened (known-zero) positions use a large positive LLR, punctured
+    /// (unknown) positions use zero.
+    ///
+    /// This is the convenience form that allocates a fresh [`DecoderScratch`]
+    /// per call; hot paths should hold a scratch and use
+    /// [`SyndromeDecoder::decode_with_scratch`].
+    ///
+    /// # Errors
+    ///
+    /// * [`QkdError::DimensionMismatch`] when the syndrome length is wrong.
+    /// * [`QkdError::InvalidParameter`] when `qber` is outside `(0, 0.5)`.
+    pub fn decode(
+        &self,
+        target_syndrome: &BitVec,
+        qber: f64,
+        llr_overrides: &[(usize, f64)],
+    ) -> Result<DecodeOutcome> {
+        let mut scratch = DecoderScratch::new();
+        self.decode_with_scratch(target_syndrome, qber, llr_overrides, &mut scratch)
+    }
+
+    /// Decodes like [`SyndromeDecoder::decode`], drawing every working buffer
+    /// from `scratch`. With a warm scratch the iteration loops perform no
+    /// heap allocation at all; the scratch may be shared across decoders,
+    /// blocks, rate-ladder attempts and block sizes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SyndromeDecoder::decode`].
+    pub fn decode_with_scratch(
+        &self,
+        target_syndrome: &BitVec,
+        qber: f64,
+        llr_overrides: &[(usize, f64)],
+        scratch: &mut DecoderScratch,
+    ) -> Result<DecodeOutcome> {
+        self.validate_inputs(target_syndrome, qber)?;
+        scratch.ensure(self);
         let clamp = self.config.llr_clamp;
-        let prior = ((1.0 - qber) / qber).ln().min(clamp);
+        let prior = self.prior_llr(qber);
+        // Flooding consults the priors on every variable update, so they get
+        // their own buffer; layered only seeds the posteriors with them.
+        let priors = match self.config.schedule {
+            Schedule::Flooding => &mut scratch.channel[..self.n],
+            Schedule::Layered => &mut scratch.posterior[..self.n],
+        };
+        priors.fill(prior);
+        for &(v, llr) in llr_overrides {
+            if v < self.n {
+                priors[v] = llr.clamp(-clamp, clamp);
+            }
+        }
+        Ok(match self.config.schedule {
+            Schedule::Flooding => self.decode_flooding_scratch(target_syndrome, scratch),
+            Schedule::Layered => self.decode_layered_scratch(target_syndrome, scratch),
+        })
+    }
+
+    /// The retained reference decoder: it preserves the seed
+    /// implementation's allocation profile — per-call message buffers,
+    /// per-check `Vec` construction and cloning, bit-by-bit syndrome checks
+    /// — while sharing the flat adjacency and check kernel with the
+    /// optimized path. Bit-identical in outcome to
+    /// [`SyndromeDecoder::decode_with_scratch`]; kept as the equivalence
+    /// oracle for tests and as the baseline the `--decoder` benchmark
+    /// measures the optimized path against.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SyndromeDecoder::decode`].
+    pub fn decode_reference(
+        &self,
+        target_syndrome: &BitVec,
+        qber: f64,
+        llr_overrides: &[(usize, f64)],
+    ) -> Result<DecodeOutcome> {
+        self.validate_inputs(target_syndrome, qber)?;
+        let clamp = self.config.llr_clamp;
+        let prior = self.prior_llr(qber);
         let mut channel = vec![prior; self.n];
         for &(v, llr) in llr_overrides {
             if v < self.n {
                 channel[v] = llr.clamp(-clamp, clamp);
             }
         }
+        Ok(match self.config.schedule {
+            Schedule::Flooding => self.decode_flooding_reference(target_syndrome, &channel),
+            Schedule::Layered => self.decode_layered_reference(target_syndrome, &channel),
+        })
+    }
 
-        match self.config.schedule {
-            Schedule::Flooding => self.decode_flooding(target_syndrome, &channel),
-            Schedule::Layered => self.decode_layered(target_syndrome, &channel),
+    #[inline]
+    fn check_range(&self, c: usize) -> (usize, usize) {
+        (
+            self.check_offsets[c] as usize,
+            self.check_offsets[c + 1] as usize,
+        )
+    }
+
+    #[inline]
+    fn var_range(&self, v: usize) -> (usize, usize) {
+        (
+            self.var_offsets[v] as usize,
+            self.var_offsets[v + 1] as usize,
+        )
+    }
+
+    /// Sign of the target syndrome bit `c`, read from the packed words.
+    #[inline]
+    fn target_sign(target_words: &[u64], c: usize) -> f64 {
+        if (target_words[c >> 6] >> (c & 63)) & 1 == 1 {
+            -1.0
+        } else {
+            1.0
         }
     }
 
-    fn check_update(&self, values: &mut [f64], sign_target: f64) {
-        // `values` holds the incoming variable-to-check messages for one check
-        // and is overwritten with the outgoing check-to-variable messages.
-        match self.config.algorithm {
-            DecoderAlgorithm::SumProduct => {
-                let deg = values.len();
-                // Product of tanh(v/2) excluding self, via prefix/suffix products.
-                let tanhs: Vec<f64> = values.iter().map(|&v| (v / 2.0).tanh()).collect();
-                let mut prefix = vec![1.0; deg + 1];
-                for i in 0..deg {
-                    prefix[i + 1] = prefix[i] * tanhs[i];
-                }
-                let mut suffix = vec![1.0; deg + 1];
-                for i in (0..deg).rev() {
-                    suffix[i] = suffix[i + 1] * tanhs[i];
-                }
-                for i in 0..deg {
-                    let prod =
-                        (prefix[i] * suffix[i + 1] * sign_target).clamp(-0.999_999, 0.999_999);
-                    values[i] = 2.0 * prod.atanh();
-                }
+    /// Copies the packed hard decisions into an owned error pattern.
+    fn pattern_from_words(&self, hard: &[u64]) -> BitVec {
+        let mut pattern = BitVec::zeros(self.n);
+        pattern.as_words_mut().copy_from_slice(hard);
+        pattern
+    }
+
+    /// Fused min-sum check sweep for the flooding schedule: one pass over a
+    /// check's incoming messages accumulates the two smallest magnitudes and
+    /// the sign product, a second writes the outgoing messages — no staging
+    /// copy, branchless value-dependent selects, bit-identical arithmetic to
+    /// [`CheckKernel::apply`].
+    fn min_sum_flooding_sweep(
+        &self,
+        scale: f64,
+        v2c: &[f64],
+        c2v: &mut [f64],
+        target_words: &[u64],
+    ) {
+        for c in 0..self.m {
+            let (s, e) = self.check_range(c);
+            let inputs = &v2c[s..e];
+            let mut min1 = f64::INFINITY;
+            let mut min2 = f64::INFINITY;
+            let mut min1_idx = 0usize;
+            let mut neg = false;
+            for (k, &v) in inputs.iter().enumerate() {
+                let a = v.abs();
+                let is_new_min = a < min1;
+                let runner_up = sel(is_new_min, min1, a);
+                min2 = sel(runner_up < min2, runner_up, min2);
+                min1 = sel(is_new_min, a, min1);
+                min1_idx = sel_idx(is_new_min, k, min1_idx);
+                neg ^= v < 0.0;
             }
-            DecoderAlgorithm::MinSum { scale_pct } => {
-                let scale = f64::from(scale_pct) / 100.0;
-                let deg = values.len();
-                // Two smallest magnitudes and the overall sign product.
-                let mut min1 = f64::INFINITY;
-                let mut min2 = f64::INFINITY;
-                let mut min1_idx = 0usize;
-                let mut sign_prod = sign_target;
-                for (i, &v) in values.iter().enumerate() {
-                    let a = v.abs();
-                    if a < min1 {
-                        min2 = min1;
-                        min1 = a;
-                        min1_idx = i;
-                    } else if a < min2 {
-                        min2 = a;
-                    }
-                    if v < 0.0 {
-                        sign_prod = -sign_prod;
-                    }
-                }
-                for (i, v) in values.iter_mut().enumerate() {
-                    let self_sign = if *v < 0.0 { -1.0 } else { 1.0 };
-                    let mag = if i == min1_idx { min2 } else { min1 };
-                    *v = sign_prod * self_sign * scale * if mag.is_finite() { mag } else { 0.0 };
-                }
-                let _ = deg;
+            let sign_target = Self::target_sign(target_words, c);
+            let signed_scale = flip_if(sign_target * scale, neg);
+            // ±∞ survives only on degenerate degree-0/1 checks; the kernel
+            // substitutes zero there, and so must the pre-scaled magnitudes.
+            let mag1 = signed_scale * if min1.is_finite() { min1 } else { 0.0 };
+            let mag2 = signed_scale * if min2.is_finite() { min2 } else { 0.0 };
+            for (k, (&v, out)) in inputs.iter().zip(c2v[s..e].iter_mut()).enumerate() {
+                let mag = sel(k == min1_idx, mag2, mag1);
+                *out = flip_if(mag, v < 0.0);
             }
         }
     }
 
-    fn decode_flooding(&self, target: &BitVec, channel: &[f64]) -> Result<DecodeOutcome> {
+    fn decode_flooding_scratch(
+        &self,
+        target: &BitVec,
+        scratch: &mut DecoderScratch,
+    ) -> DecodeOutcome {
+        let clamp = self.config.llr_clamp;
+        let num_edges = self.edge_var.len();
+        let words = self.n.div_ceil(64);
+        let DecoderScratch {
+            v2c,
+            c2v,
+            channel,
+            hard,
+            syn,
+            sp,
+            ..
+        } = scratch;
+        let v2c = &mut v2c[..num_edges];
+        let c2v = &mut c2v[..num_edges];
+        let channel = &channel[..self.n];
+        let hard = &mut hard[..words];
+        let target_words = target.as_words();
+
+        // Variable-to-check messages start at the channel prior.
+        for (msg, &v) in v2c.iter_mut().zip(&self.edge_var) {
+            *msg = channel[v as usize];
+        }
+
+        for iter in 1..=self.config.max_iterations {
+            // Check node update, in place on the contiguous edge slice. The
+            // min-sum default runs the fused sweep; sum-product stages
+            // through the kernel.
+            if let CheckKernel::MinSum { scale } = self.kernel {
+                self.min_sum_flooding_sweep(scale, v2c, c2v, target_words);
+            } else {
+                for c in 0..self.m {
+                    let (s, e) = self.check_range(c);
+                    let out = &mut c2v[s..e];
+                    out.copy_from_slice(&v2c[s..e]);
+                    self.kernel
+                        .apply(out, Self::target_sign(target_words, c), sp);
+                }
+            }
+            // Variable node update + packed hard decision.
+            hard.fill(0);
+            for (v, &prior) in channel.iter().enumerate() {
+                let (s, e) = self.var_range(v);
+                let mut total = prior;
+                for &edge in &self.var_edge[s..e] {
+                    total += c2v[edge as usize];
+                }
+                hard[v >> 6] |= u64::from(total < 0.0) << (v & 63);
+                for &edge in &self.var_edge[s..e] {
+                    let edge = edge as usize;
+                    v2c[edge] = clamp_sym(total - c2v[edge], clamp);
+                }
+            }
+            if self.syndrome_ok_packed(hard, target_words, syn) {
+                return DecodeOutcome {
+                    error_pattern: self.pattern_from_words(hard),
+                    converged: true,
+                    iterations: iter,
+                };
+            }
+        }
+        DecodeOutcome {
+            error_pattern: self.pattern_from_words(hard),
+            converged: false,
+            iterations: self.config.max_iterations,
+        }
+    }
+
+    /// Fused min-sum check sweep for the layered schedule: the extrinsic
+    /// inputs, the two-minimum/sign scan, the outgoing messages and the
+    /// posterior updates run in two passes per check instead of staging
+    /// through the generic kernel. Value-dependent choices are branchless
+    /// mask selects (the min-scan's data-dependent branches would otherwise
+    /// dominate the sweep); arithmetic is bit-identical to the reference.
+    fn min_sum_layered_sweep(
+        &self,
+        scale: f64,
+        clamp: f64,
+        c2v: &mut [f64],
+        posterior: &mut [f64],
+        inputs: &mut [f64],
+        target_words: &[u64],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if !self.quad_sched.is_empty() {
+            for &entry in &self.quad_sched {
+                if entry & crate::simd::QUAD != 0 {
+                    let c = (entry & !crate::simd::QUAD) as usize;
+                    let (s, e) = self.check_range(c);
+                    // SAFETY: the schedule was built for this exact graph
+                    // (quads are in-bounds, equal-degree, variable-disjoint)
+                    // and only when AVX2 was detected at construction.
+                    unsafe {
+                        crate::simd::min_sum_layered_quad(
+                            c,
+                            e - s,
+                            &self.check_offsets,
+                            &self.edge_var,
+                            target_words,
+                            scale,
+                            clamp,
+                            c2v,
+                            posterior,
+                        );
+                    }
+                } else {
+                    self.min_sum_layered_check(
+                        entry as usize,
+                        scale,
+                        clamp,
+                        c2v,
+                        posterior,
+                        inputs,
+                        target_words,
+                    );
+                }
+            }
+            return;
+        }
+        for c in 0..self.m {
+            self.min_sum_layered_check(c, scale, clamp, c2v, posterior, inputs, target_words);
+        }
+    }
+
+    /// Scalar min-sum layered update of one check (the fused two-pass form
+    /// shared by the non-quad entries of the AVX2 schedule and by hosts
+    /// without AVX2).
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn min_sum_layered_check(
+        &self,
+        c: usize,
+        scale: f64,
+        clamp: f64,
+        c2v: &mut [f64],
+        posterior: &mut [f64],
+        inputs: &mut [f64],
+        target_words: &[u64],
+    ) {
+        {
+            let (s, e) = self.check_range(c);
+            let deg = e - s;
+            let vars = &self.edge_var[s..e];
+            let msgs = &mut c2v[s..e];
+            let ins = &mut inputs[..deg];
+            let mut min1 = f64::INFINITY;
+            let mut min2 = f64::INFINITY;
+            let mut min1_idx = 0usize;
+            let mut neg = false;
+            for (k, ((&v, msg), x)) in vars.iter().zip(msgs.iter()).zip(ins.iter_mut()).enumerate()
+            {
+                let val = clamp_sym(posterior[v as usize] - *msg, clamp);
+                *x = val;
+                let a = val.abs();
+                let is_new_min = a < min1;
+                let runner_up = sel(is_new_min, min1, a);
+                min2 = sel(runner_up < min2, runner_up, min2);
+                min1 = sel(is_new_min, a, min1);
+                min1_idx = sel_idx(is_new_min, k, min1_idx);
+                neg ^= val < 0.0;
+            }
+            let sign_target = Self::target_sign(target_words, c);
+            let signed_scale = flip_if(sign_target * scale, neg);
+            let mag1 = signed_scale * if min1.is_finite() { min1 } else { 0.0 };
+            let mag2 = signed_scale * if min2.is_finite() { min2 } else { 0.0 };
+            for (k, ((&v, msg), &x)) in vars.iter().zip(msgs.iter_mut()).zip(ins.iter()).enumerate()
+            {
+                let mag = sel(k == min1_idx, mag2, mag1);
+                let out = flip_if(mag, x < 0.0);
+                *msg = out;
+                posterior[v as usize] = clamp_sym(x + out, clamp);
+            }
+        }
+    }
+
+    fn decode_layered_scratch(
+        &self,
+        target: &BitVec,
+        scratch: &mut DecoderScratch,
+    ) -> DecodeOutcome {
+        let clamp = self.config.llr_clamp;
+        let num_edges = self.edge_var.len();
+        let words = self.n.div_ceil(64);
+        let DecoderScratch {
+            c2v,
+            posterior,
+            inputs,
+            hard,
+            syn,
+            sp,
+            ..
+        } = scratch;
+        let c2v = &mut c2v[..num_edges];
+        // The caller seeded `posterior` with the channel priors.
+        let posterior = &mut posterior[..self.n];
+        let hard = &mut hard[..words];
+        let target_words = target.as_words();
+
+        c2v.fill(0.0);
+
+        for iter in 1..=self.config.max_iterations {
+            if let CheckKernel::MinSum { scale } = self.kernel {
+                self.min_sum_layered_sweep(scale, clamp, c2v, posterior, inputs, target_words);
+            } else {
+                for c in 0..self.m {
+                    let (s, e) = self.check_range(c);
+                    let deg = e - s;
+                    let ins = &mut inputs[..deg];
+                    let out = &mut c2v[s..e];
+                    // Extrinsic inputs: posterior minus this check's previous
+                    // message, staged both into the input copy and in place.
+                    for (k, o) in out.iter_mut().enumerate() {
+                        let v = self.edge_var[s + k] as usize;
+                        let x = (posterior[v] - *o).clamp(-clamp, clamp);
+                        ins[k] = x;
+                        *o = x;
+                    }
+                    self.kernel
+                        .apply(out, Self::target_sign(target_words, c), sp);
+                    for (k, o) in out.iter().enumerate() {
+                        let v = self.edge_var[s + k] as usize;
+                        posterior[v] = (ins[k] + *o).clamp(-clamp, clamp);
+                    }
+                }
+            }
+            hard.fill(0);
+            for (v, &llr) in posterior.iter().enumerate() {
+                hard[v >> 6] |= u64::from(llr < 0.0) << (v & 63);
+            }
+            if self.syndrome_ok_packed(hard, target_words, syn) {
+                return DecodeOutcome {
+                    error_pattern: self.pattern_from_words(hard),
+                    converged: true,
+                    iterations: iter,
+                };
+            }
+        }
+        DecodeOutcome {
+            error_pattern: self.pattern_from_words(hard),
+            converged: false,
+            iterations: self.config.max_iterations,
+        }
+    }
+
+    fn decode_flooding_reference(&self, target: &BitVec, channel: &[f64]) -> DecodeOutcome {
         let num_edges = self.edge_var.len();
         let clamp = self.config.llr_clamp;
         // Variable-to-check messages, initialised with the channel prior.
-        let mut v2c: Vec<f64> = self.edge_var.iter().map(|&v| channel[v]).collect();
+        let mut v2c: Vec<f64> = self.edge_var.iter().map(|&v| channel[v as usize]).collect();
         let mut c2v = vec![0.0f64; num_edges];
         let mut hard = BitVec::zeros(self.n);
 
         for iter in 1..=self.config.max_iterations {
-            // Check node update.
             for c in 0..self.m {
-                let (s, e) = (self.check_offsets[c], self.check_offsets[c + 1]);
+                let (s, e) = self.check_range(c);
                 let sign_target = if target.get(c) { -1.0 } else { 1.0 };
                 let mut buf: Vec<f64> = v2c[s..e].to_vec();
-                self.check_update(&mut buf, sign_target);
+                self.kernel.apply_alloc(&mut buf, sign_target);
                 c2v[s..e].copy_from_slice(&buf);
             }
-            // Variable node update + hard decision.
             for (v, &prior) in channel.iter().enumerate() {
-                let total: f64 = prior + self.var_edges[v].iter().map(|&e| c2v[e]).sum::<f64>();
+                let (s, e) = self.var_range(v);
+                let mut total = prior;
+                for &edge in &self.var_edge[s..e] {
+                    total += c2v[edge as usize];
+                }
                 hard.set(v, total < 0.0);
-                for &e in &self.var_edges[v] {
-                    v2c[e] = (total - c2v[e]).clamp(-clamp, clamp);
+                for &edge in &self.var_edge[s..e] {
+                    let edge = edge as usize;
+                    v2c[edge] = (total - c2v[edge]).clamp(-clamp, clamp);
                 }
             }
-            if self.syndrome_ok(&hard, target) {
-                return Ok(DecodeOutcome {
+            if self.syndrome_ok_reference(&hard, target) {
+                return DecodeOutcome {
                     error_pattern: hard,
                     converged: true,
                     iterations: iter,
-                });
+                };
             }
         }
-        Ok(DecodeOutcome {
+        DecodeOutcome {
             error_pattern: hard,
             converged: false,
             iterations: self.config.max_iterations,
-        })
+        }
     }
 
-    fn decode_layered(&self, target: &BitVec, channel: &[f64]) -> Result<DecodeOutcome> {
+    fn decode_layered_reference(&self, target: &BitVec, channel: &[f64]) -> DecodeOutcome {
         let num_edges = self.edge_var.len();
         let clamp = self.config.llr_clamp;
-        // Posterior LLR per variable; per-edge check-to-variable messages.
         let mut posterior: Vec<f64> = channel.to_vec();
         let mut c2v = vec![0.0f64; num_edges];
         let mut hard = BitVec::zeros(self.n);
 
         for iter in 1..=self.config.max_iterations {
             for c in 0..self.m {
-                let (s, e) = (self.check_offsets[c], self.check_offsets[c + 1]);
+                let (s, e) = self.check_range(c);
                 let sign_target = if target.get(c) { -1.0 } else { 1.0 };
-                // Extrinsic inputs: posterior minus this check's previous message.
+                // Extrinsic inputs: posterior minus this check's previous
+                // message.
                 let mut buf: Vec<f64> = (s..e)
-                    .map(|edge| (posterior[self.edge_var[edge]] - c2v[edge]).clamp(-clamp, clamp))
+                    .map(|edge| {
+                        (posterior[self.edge_var[edge] as usize] - c2v[edge]).clamp(-clamp, clamp)
+                    })
                     .collect();
                 let inputs = buf.clone();
-                self.check_update(&mut buf, sign_target);
+                self.kernel.apply_alloc(&mut buf, sign_target);
                 for (k, edge) in (s..e).enumerate() {
-                    posterior[self.edge_var[edge]] = (inputs[k] + buf[k]).clamp(-clamp, clamp);
+                    posterior[self.edge_var[edge] as usize] =
+                        (inputs[k] + buf[k]).clamp(-clamp, clamp);
                     c2v[edge] = buf[k];
                 }
             }
             for (v, &llr) in posterior.iter().enumerate() {
                 hard.set(v, llr < 0.0);
             }
-            if self.syndrome_ok(&hard, target) {
-                return Ok(DecodeOutcome {
+            if self.syndrome_ok_reference(&hard, target) {
+                return DecodeOutcome {
                     error_pattern: hard,
                     converged: true,
                     iterations: iter,
-                });
+                };
             }
         }
-        Ok(DecodeOutcome {
+        DecodeOutcome {
             error_pattern: hard,
             converged: false,
             iterations: self.config.max_iterations,
-        })
+        }
     }
 
-    fn syndrome_ok(&self, e: &BitVec, target: &BitVec) -> bool {
+    /// Word-packed convergence check: computes the syndrome of the packed
+    /// hard decisions by walking only the *set* bits (each flips its
+    /// adjacent checks via the variable-major column map), then compares
+    /// whole words against the target. Near convergence the hard-decision
+    /// weight is a few percent of the block, so this touches a small
+    /// fraction of the edges a full check-major parity sweep would.
+    fn syndrome_ok_packed(&self, hard: &[u64], target_words: &[u64], syn: &mut [u64]) -> bool {
+        let syn = &mut syn[..self.m.div_ceil(64)];
+        syn.fill(0);
+        for (wi, &word) in hard.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let v = (wi << 6) + w.trailing_zeros() as usize;
+                w &= w - 1;
+                let (s, e) = self.var_range(v);
+                for &c in &self.var_check[s..e] {
+                    syn[(c >> 6) as usize] ^= 1u64 << (c & 63);
+                }
+            }
+        }
+        syn == target_words
+    }
+
+    /// Bit-by-bit convergence check retained for the reference path.
+    fn syndrome_ok_reference(&self, e: &BitVec, target: &BitVec) -> bool {
         for c in 0..self.m {
-            let (s, end) = (self.check_offsets[c], self.check_offsets[c + 1]);
+            let (s, end) = self.check_range(c);
             let mut p = false;
             for edge in s..end {
-                p ^= e.get(self.edge_var[edge]);
+                p ^= e.get(self.edge_var[edge] as usize);
             }
             if p != target.get(c) {
                 return false;
@@ -511,6 +1169,10 @@ mod tests {
         assert!(dec
             .decode(&BitVec::zeros(h.num_checks()), 0.5, &[])
             .is_err());
+        assert!(matches!(
+            dec.decode_reference(&BitVec::zeros(10), 0.02, &[]),
+            Err(QkdError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
@@ -543,5 +1205,81 @@ mod tests {
         let out = dec.decode(&syndrome, 0.02, &[]).unwrap();
         assert!(out.converged);
         assert_eq!(out.error_pattern, truth);
+    }
+
+    /// Every algorithm × schedule combination must produce bit-identical
+    /// outcomes between the scratch and reference paths, including with
+    /// overrides and at non-converging operating points.
+    #[test]
+    fn scratch_path_is_bit_identical_to_reference() {
+        let configs = [
+            (DecoderAlgorithm::NORMALIZED_MIN_SUM, Schedule::Layered),
+            (DecoderAlgorithm::NORMALIZED_MIN_SUM, Schedule::Flooding),
+            (DecoderAlgorithm::SumProduct, Schedule::Layered),
+            (DecoderAlgorithm::SumProduct, Schedule::Flooding),
+        ];
+        let h = setup(2048, 0.5, 33);
+        let mut rng = derive_rng(34, "decoder-equiv");
+        let mut scratch = DecoderScratch::new();
+        for (algorithm, schedule) in configs {
+            let config = DecoderConfig {
+                algorithm,
+                schedule,
+                max_iterations: 25,
+                ..DecoderConfig::default()
+            };
+            let dec = SyndromeDecoder::new(&h, config).unwrap();
+            for &(qber, true_qber) in &[(0.02, 0.02), (0.02, 0.12)] {
+                let truth = random_error(&mut rng, h.num_vars(), true_qber);
+                let syndrome = h.syndrome(&truth);
+                let overrides: Vec<(usize, f64)> = (0..40).map(|v| (v, 25.0)).collect();
+                let reference = dec.decode_reference(&syndrome, qber, &overrides).unwrap();
+                let optimized = dec
+                    .decode_with_scratch(&syndrome, qber, &overrides, &mut scratch)
+                    .unwrap();
+                assert_eq!(
+                    reference, optimized,
+                    "outcomes diverged for {algorithm:?}/{schedule:?} at qber {true_qber}"
+                );
+            }
+        }
+    }
+
+    /// One scratch serves decoders of different sizes in any order.
+    #[test]
+    fn scratch_reuse_across_block_sizes_is_safe() {
+        let mut rng = derive_rng(35, "decoder-mixed");
+        let mut scratch = DecoderScratch::new();
+        for &(n, seed) in &[(1024usize, 1u64), (256, 2), (2048, 3), (512, 4)] {
+            let h = setup(n, 0.5, seed);
+            let truth = random_error(&mut rng, h.num_vars(), 0.02);
+            let syndrome = h.syndrome(&truth);
+            let dec = SyndromeDecoder::new(&h, DecoderConfig::default()).unwrap();
+            let reference = dec.decode_reference(&syndrome, 0.02, &[]).unwrap();
+            let optimized = dec
+                .decode_with_scratch(&syndrome, 0.02, &[], &mut scratch)
+                .unwrap();
+            assert_eq!(
+                reference, optimized,
+                "size {n} diverged with reused scratch"
+            );
+        }
+    }
+
+    #[test]
+    fn check_kernel_matches_algorithm_parameters() {
+        match CheckKernel::new(DecoderAlgorithm::MinSum { scale_pct: 50 }) {
+            CheckKernel::MinSum { scale } => assert!((scale - 0.5).abs() < 1e-12),
+            other => panic!("unexpected kernel {other:?}"),
+        }
+        // The kernel is self-inverse on signs: a single negative input keeps
+        // its magnitude pairing and flips every other output's sign.
+        let kernel = CheckKernel::new(DecoderAlgorithm::NORMALIZED_MIN_SUM);
+        let mut values = [1.0, -2.0, 3.0];
+        let mut sp = SumProductScratch::default();
+        kernel.apply(&mut values, 1.0, &mut sp);
+        assert!((values[0] - -1.5).abs() < 1e-12, "got {values:?}");
+        assert!((values[1] - 0.75).abs() < 1e-12, "got {values:?}");
+        assert!((values[2] - -0.75).abs() < 1e-12, "got {values:?}");
     }
 }

@@ -41,7 +41,14 @@
 pub mod decoder;
 pub mod matrix;
 pub mod reconciler;
+#[cfg(target_arch = "x86_64")]
+mod simd;
 
-pub use decoder::{DecodeOutcome, DecoderAlgorithm, DecoderConfig, Schedule, SyndromeDecoder};
+pub use decoder::{
+    CheckKernel, DecodeOutcome, DecoderAlgorithm, DecoderConfig, DecoderScratch, Schedule,
+    SumProductScratch, SyndromeDecoder,
+};
 pub use matrix::{Construction, ParityCheckMatrix};
-pub use reconciler::{CodeLibrary, LdpcOutcome, LdpcReconciler, ReconcilerConfig};
+pub use reconciler::{
+    CodeLibrary, LdpcOutcome, LdpcReconciler, ReconcilerConfig, ReconcilerScratch,
+};

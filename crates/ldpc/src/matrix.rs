@@ -26,6 +26,11 @@ pub enum Construction {
 /// indices of every check row (`check_to_var`) and the check indices of every
 /// variable column (`var_to_check`). Decoders index messages by *edge id*,
 /// which is the position of the entry in the flattened check-major edge list.
+///
+/// Syndrome computation is word-packed: construction precomputes, per check,
+/// the 64-bit words its variables fall into and a parity mask per word, so
+/// [`ParityCheckMatrix::syndrome`] reads whole words of the codeword instead
+/// of walking it bit by bit.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ParityCheckMatrix {
     n: usize,
@@ -33,6 +38,13 @@ pub struct ParityCheckMatrix {
     check_to_var: Vec<Vec<usize>>,
     var_to_check: Vec<Vec<usize>>,
     construction: Construction,
+    /// Word-packed parity masks: check `c` covers entries
+    /// `mask_offsets[c]..mask_offsets[c + 1]` of (`mask_word`, `mask_bits`).
+    /// A deterministic function of `check_to_var`, rebuilt by every
+    /// constructor.
+    mask_word: Vec<u32>,
+    mask_bits: Vec<u64>,
+    mask_offsets: Vec<u32>,
 }
 
 impl ParityCheckMatrix {
@@ -71,12 +83,55 @@ impl ParityCheckMatrix {
         self.construction
     }
 
-    /// Computes the syndrome `H x`.
+    /// Computes the syndrome `H x` with the word-packed parity masks.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != num_vars()`.
     pub fn syndrome(&self, x: &BitVec) -> BitVec {
+        let mut s = BitVec::zeros(self.m);
+        self.syndrome_into(x, &mut s);
+        s
+    }
+
+    /// Computes the syndrome `H x` into `out`, resizing it to the syndrome
+    /// length. Reusing one output buffer across calls (e.g. across the
+    /// attempts of a rate ladder) keeps syndrome computation allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars()`.
+    pub fn syndrome_into(&self, x: &BitVec, out: &mut BitVec) {
+        assert_eq!(
+            x.len(),
+            self.n,
+            "codeword length must equal the number of variables"
+        );
+        out.reset_zeros(self.m);
+        let words = x.as_words();
+        let out_words = out.as_words_mut();
+        for c in 0..self.m {
+            let (s, e) = (
+                self.mask_offsets[c] as usize,
+                self.mask_offsets[c + 1] as usize,
+            );
+            // popcount(a) + popcount(b) ≡ popcount(a ^ b) (mod 2), so the
+            // masked words fold with XOR before a single popcount.
+            let mut acc = 0u64;
+            for k in s..e {
+                acc ^= words[self.mask_word[k] as usize] & self.mask_bits[k];
+            }
+            out_words[c >> 6] |= u64::from(acc.count_ones() & 1) << (c & 63);
+        }
+    }
+
+    /// Bit-by-bit syndrome computation, retained as the reference the packed
+    /// implementation is property-tested against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars()`.
+    pub fn syndrome_reference(&self, x: &BitVec) -> BitVec {
         assert_eq!(
             x.len(),
             self.n,
@@ -159,13 +214,13 @@ impl ParityCheckMatrix {
             }
         }
 
-        Ok(Self {
+        Ok(Self::from_adjacency(
             n,
             m,
             check_to_var,
             var_to_check,
-            construction: Construction::Peg,
-        })
+            Construction::Peg,
+        ))
     }
 
     /// Builds a quasi-cyclic matrix from a random protograph.
@@ -254,13 +309,58 @@ impl ParityCheckMatrix {
             }
         }
 
-        Ok(Self {
+        Ok(Self::from_adjacency(
             n,
             m,
             check_to_var,
             var_to_check,
-            construction: Construction::QuasiCyclic { circulant },
-        })
+            Construction::QuasiCyclic { circulant },
+        ))
+    }
+
+    /// Finishes a construction: stores the adjacency and precomputes the
+    /// word-packed parity masks. Duplicate entries in a row (none in the
+    /// standard constructions) cancel in GF(2), so masks are XOR-merged.
+    fn from_adjacency(
+        n: usize,
+        m: usize,
+        check_to_var: Vec<Vec<usize>>,
+        var_to_check: Vec<Vec<usize>>,
+        construction: Construction,
+    ) -> Self {
+        let num_edges: usize = check_to_var.iter().map(Vec::len).sum();
+        let mut mask_word = Vec::with_capacity(num_edges);
+        let mut mask_bits = Vec::with_capacity(num_edges);
+        let mut mask_offsets = Vec::with_capacity(m + 1);
+        mask_offsets.push(0u32);
+        let mut entries: Vec<(u32, u64)> = Vec::new();
+        for vars in &check_to_var {
+            entries.clear();
+            for &v in vars {
+                entries.push(((v >> 6) as u32, 1u64 << (v & 63)));
+            }
+            entries.sort_unstable_by_key(|&(word, _)| word);
+            let row_start = mask_word.len();
+            for &(word, bit) in &entries {
+                if mask_word.len() > row_start && *mask_word.last().expect("non-empty") == word {
+                    *mask_bits.last_mut().expect("words and bits move together") ^= bit;
+                } else {
+                    mask_word.push(word);
+                    mask_bits.push(bit);
+                }
+            }
+            mask_offsets.push(mask_word.len() as u32);
+        }
+        Self {
+            n,
+            m,
+            check_to_var,
+            var_to_check,
+            construction,
+            mask_word,
+            mask_bits,
+            mask_offsets,
+        }
     }
 
     /// Builds a matrix for the requested design rate using the construction
@@ -476,6 +576,35 @@ mod tests {
         let mut y = x.clone();
         y.flip(0);
         assert!(!h.syndrome_matches(&y, &s));
+    }
+
+    #[test]
+    fn packed_syndrome_matches_the_bitwise_reference() {
+        let mut rng = derive_rng(17, "matrix-test");
+        for h in [
+            ParityCheckMatrix::peg(300, 130, 3, 5).unwrap(),
+            ParityCheckMatrix::quasi_cyclic(1024, 256, 64, 8, 6).unwrap(),
+        ] {
+            for _ in 0..8 {
+                let x = BitVec::random(&mut rng, h.num_vars());
+                assert_eq!(h.syndrome(&x), h.syndrome_reference(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn syndrome_into_reuses_the_buffer() {
+        let mut rng = derive_rng(18, "matrix-test");
+        let small = ParityCheckMatrix::peg(128, 64, 3, 9).unwrap();
+        let large = ParityCheckMatrix::peg(512, 256, 3, 9).unwrap();
+        let mut out = BitVec::new();
+        let x = BitVec::random(&mut rng, 512);
+        large.syndrome_into(&x, &mut out);
+        assert_eq!(out, large.syndrome_reference(&x));
+        // Shrinking reuse must not leak stale bits from the larger syndrome.
+        let y = BitVec::random(&mut rng, 128);
+        small.syndrome_into(&y, &mut out);
+        assert_eq!(out, small.syndrome_reference(&y));
     }
 
     #[test]

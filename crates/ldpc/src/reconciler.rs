@@ -15,7 +15,7 @@ use qkd_types::key::binary_entropy;
 use qkd_types::rng::derive_block_rng;
 use qkd_types::{BitVec, QkdError, Result};
 
-use crate::decoder::{DecoderConfig, SyndromeDecoder};
+use crate::decoder::{DecoderConfig, DecoderScratch, SyndromeDecoder};
 use crate::matrix::ParityCheckMatrix;
 
 /// Default set of mother-code design rates.
@@ -177,10 +177,27 @@ impl CodeLibrary {
     }
 
     /// Index of the highest-rate code whose redundancy is at least
-    /// `efficiency * h(qber)` per payload bit, or the lowest-rate code if none
-    /// qualifies.
+    /// `efficiency * h(qber)` per codeword bit, or the lowest-rate code if
+    /// none qualifies. Equivalent to
+    /// [`CodeLibrary::select_for_payload`] with a full-length payload.
     pub fn select(&self, qber: f64, efficiency: f64) -> usize {
-        let needed = efficiency * binary_entropy(qber.max(1e-4));
+        self.select_for_payload(self.block_size, qber, efficiency)
+    }
+
+    /// Shortening-aware rate selection: the index of the highest-rate code
+    /// whose syndrome discloses at least `efficiency * h(qber)` bits per
+    /// *payload* bit, or the lowest-rate code if none qualifies.
+    ///
+    /// A shortened block fills `n - payload_bits` positions with agreed
+    /// filler, so the `m = (1 - R) · n` syndrome bits only have to cover
+    /// `payload_bits` unknowns: the requirement is
+    /// `(1 - R) ≥ efficiency · h(q) · payload / n`. Charging the leak over
+    /// the code length instead (the old behaviour) overcharged shortened
+    /// payloads by `n / payload` (~18% for a typical final partial block) and
+    /// pushed them one rung too far down the ladder.
+    pub fn select_for_payload(&self, payload_bits: usize, qber: f64, efficiency: f64) -> usize {
+        let payload = payload_bits.clamp(1, self.block_size) as f64;
+        let needed = efficiency * binary_entropy(qber.max(1e-4)) * payload / self.block_size as f64;
         self.entries
             .iter()
             .position(|e| (1.0 - e.rate) >= needed)
@@ -283,16 +300,62 @@ impl LdpcOutcome {
     }
 }
 
+/// Reusable working memory for [`LdpcReconciler::reconcile_with_scratch`]:
+/// the decoder arena plus the codeword, syndrome and override buffers the
+/// protocol itself needs.
+///
+/// One scratch serves every attempt of a rate ladder, every block of a
+/// session, and reconcilers of different block sizes (buffers only ever
+/// grow). Holding one scratch per worker thread removes all per-block setup
+/// allocation from the reconciliation hot path.
+#[derive(Debug, Clone, Default)]
+pub struct ReconcilerScratch {
+    decoder: DecoderScratch,
+    overrides: Vec<(usize, f64)>,
+    alice_word: BitVec,
+    bob_word: BitVec,
+    corrected_word: BitVec,
+    syndrome_a: BitVec,
+    syndrome_check: BitVec,
+    target: BitVec,
+}
+
+impl ReconcilerScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Rate-adaptive LDPC reconciler for fixed-size blocks.
 ///
 /// The code library is shared process-wide between reconcilers with equal
 /// configurations (see [`CodeLibrary::shared`]): constructing a second engine
 /// at the same block size is cheap, which is what makes multi-link fleets
 /// affordable.
-#[derive(Debug, Clone)]
+///
+/// Hot paths should pass their own long-lived [`ReconcilerScratch`] to
+/// [`LdpcReconciler::reconcile_with_scratch`]; the plain
+/// [`LdpcReconciler::reconcile`] keeps one scratch per reconciler for
+/// convenience callers.
+#[derive(Debug)]
 pub struct LdpcReconciler {
     config: ReconcilerConfig,
     library: Arc<CodeLibrary>,
+    /// Per-reconciler scratch for [`LdpcReconciler::reconcile`]. Guarded so
+    /// `reconcile` stays callable through a shared reference; a contended
+    /// call falls back to a fresh scratch instead of serialising decoders.
+    scratch: Mutex<ReconcilerScratch>,
+}
+
+impl Clone for LdpcReconciler {
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config.clone(),
+            library: Arc::clone(&self.library),
+            scratch: Mutex::new(ReconcilerScratch::new()),
+        }
+    }
 }
 
 impl LdpcReconciler {
@@ -311,7 +374,11 @@ impl LdpcReconciler {
             config.decoder,
             config.seed,
         )?;
-        Ok(Self { config, library })
+        Ok(Self {
+            config,
+            library,
+            scratch: Mutex::new(ReconcilerScratch::new()),
+        })
     }
 
     /// The configuration in use.
@@ -330,7 +397,44 @@ impl LdpcReconciler {
     }
 
     /// Reconciles `bob` against `alice` (both exactly `block_size` bits, or
-    /// shorter — shorter blocks are handled by shortening the code).
+    /// shorter — shorter blocks are handled by shortening the code), reusing
+    /// the reconciler's own scratch.
+    ///
+    /// # Errors
+    ///
+    /// See [`LdpcReconciler::reconcile_with_scratch`].
+    pub fn reconcile(
+        &self,
+        alice: &BitVec,
+        bob: &BitVec,
+        estimated_qber: f64,
+    ) -> Result<LdpcOutcome> {
+        match self.scratch.try_lock() {
+            Ok(mut scratch) => {
+                self.reconcile_with_scratch(alice, bob, estimated_qber, &mut scratch)
+            }
+            // A panic while the scratch was held only interrupted plain
+            // buffer reuse — the buffers are still valid to reuse, so
+            // recover them instead of silently allocating forever after.
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => {
+                let mut scratch = poisoned.into_inner();
+                self.reconcile_with_scratch(alice, bob, estimated_qber, &mut scratch)
+            }
+            // Another thread is reconciling through this same instance; a
+            // fresh scratch costs one block's setup, not a serialised decode.
+            Err(std::sync::TryLockError::WouldBlock) => self.reconcile_with_scratch(
+                alice,
+                bob,
+                estimated_qber,
+                &mut ReconcilerScratch::new(),
+            ),
+        }
+    }
+
+    /// Reconciles like [`LdpcReconciler::reconcile`], drawing every working
+    /// buffer — decoder arena, padded codewords, syndromes, LLR overrides —
+    /// from a caller-owned scratch that is reused across the attempts of the
+    /// rate ladder (and, across calls, over blocks and block sizes).
     ///
     /// # Errors
     ///
@@ -340,11 +444,12 @@ impl LdpcReconciler {
     ///   `(0, 0.5)`.
     /// * [`QkdError::ReconciliationFailed`] when no code in the library
     ///   converges within the retry budget.
-    pub fn reconcile(
+    pub fn reconcile_with_scratch(
         &self,
         alice: &BitVec,
         bob: &BitVec,
         estimated_qber: f64,
+        scratch: &mut ReconcilerScratch,
     ) -> Result<LdpcOutcome> {
         if alice.len() != bob.len() {
             return Err(QkdError::DimensionMismatch {
@@ -371,29 +476,42 @@ impl LdpcReconciler {
         let payload = alice.len();
         let shortened = n - payload;
 
+        let ReconcilerScratch {
+            decoder: decoder_scratch,
+            overrides,
+            alice_word,
+            bob_word,
+            corrected_word,
+            syndrome_a,
+            syndrome_check,
+            target,
+        } = scratch;
+
         // Both parties pad their key to the codeword length with agreed
         // pseudo-random filler derived from the shared seed and block length
         // (filler positions are the tail; values are public knowledge).
-        let (alice_word, bob_word, overrides) = if shortened > 0 {
+        overrides.clear();
+        alice_word.truncate(0);
+        alice_word.extend_from(alice);
+        bob_word.truncate(0);
+        bob_word.extend_from(bob);
+        if shortened > 0 {
             let mut rng = derive_block_rng(self.config.seed, "ldpc-shortening", payload as u64);
             let filler = BitVec::random(&mut rng, shortened);
-            let mut aw = alice.clone();
-            aw.extend_from(&filler);
-            let mut bw = bob.clone();
-            bw.extend_from(&filler);
+            alice_word.extend_from(&filler);
+            bob_word.extend_from(&filler);
             // Shortened positions get a strong known-value prior. The prior
             // sign encodes the known filler bit: positive LLR means "no error",
             // and since both parties share the filler there is never an error
             // at a shortened position.
-            let overrides: Vec<(usize, f64)> = (payload..n).map(|v| (v, 30.0)).collect();
-            (aw, bw, overrides)
-        } else {
-            (alice.clone(), bob.clone(), Vec::new())
-        };
+            overrides.extend((payload..n).map(|v| (v, 30.0)));
+        }
 
-        let start = self
-            .library
-            .select(estimated_qber, self.config.efficiency_target);
+        // Shortening-aware selection: charge the syndrome leak against the
+        // payload actually being reconciled, not the padded codeword.
+        let start =
+            self.library
+                .select_for_payload(payload, estimated_qber, self.config.efficiency_target);
         let mut leaked = 0usize;
         let mut attempts = 0usize;
         let max_attempts = self.config.max_rate_retries;
@@ -403,18 +521,25 @@ impl LdpcReconciler {
                 break;
             }
             attempts += 1;
-            let syndrome_a = entry.matrix.syndrome(&alice_word);
-            let syndrome_b = entry.matrix.syndrome(&bob_word);
+            entry.matrix.syndrome_into(alice_word, syndrome_a);
+            entry.matrix.syndrome_into(bob_word, target);
+            target.xor_assign(syndrome_a);
             leaked += entry.matrix.num_checks();
-            let target = &syndrome_a ^ &syndrome_b;
-            let decode = entry.decoder.decode(&target, estimated_qber, &overrides)?;
+            let decode = entry.decoder.decode_with_scratch(
+                target,
+                estimated_qber,
+                overrides,
+                decoder_scratch,
+            )?;
             if !decode.converged {
                 continue;
             }
-            let mut corrected_word = bob_word.clone();
+            corrected_word.truncate(0);
+            corrected_word.extend_from(bob_word);
             corrected_word.xor_assign(&decode.error_pattern);
             // Sanity: syndrome now matches Alice's.
-            if entry.matrix.syndrome(&corrected_word) != syndrome_a {
+            entry.matrix.syndrome_into(corrected_word, syndrome_check);
+            if syndrome_check != syndrome_a {
                 continue;
             }
             let corrected = corrected_word.slice(0, payload);
@@ -517,6 +642,54 @@ mod tests {
         let out = reconciler.reconcile(&alice, &bob, 0.02).unwrap();
         assert_eq!(out.corrected, alice);
         assert_eq!(out.corrected.len(), 3000);
+    }
+
+    #[test]
+    fn shortened_payloads_select_a_higher_first_attempt_rate() {
+        let lib = CodeLibrary::standard(4096, 1).unwrap();
+        let rates = lib.rates();
+        // At 5% QBER a full 4096-bit block needs 1 − R ≥ 1.35·h(5%) ≈ 0.387
+        // (rate 0.6), but a 3000-bit shortened payload only leaks per payload
+        // bit: 0.387 · 3000/4096 ≈ 0.284 clears the rate-0.7 code.
+        let full = lib.select(0.05, 1.35);
+        let short = lib.select_for_payload(3000, 0.05, 1.35);
+        assert!(
+            rates[short] > rates[full],
+            "shortened payload must pick a higher rate: {} vs {}",
+            rates[short],
+            rates[full]
+        );
+        assert!((rates[full] - 0.6).abs() < 1e-12);
+        assert!((rates[short] - 0.7).abs() < 1e-12);
+        // Full-length selection is unchanged by the payload-aware form.
+        assert_eq!(full, lib.select_for_payload(4096, 0.05, 1.35));
+        // A shortened block reconciles end-to-end at the higher rate and
+        // leaks less than the full-block selection would have.
+        let reconciler = LdpcReconciler::new(ReconcilerConfig::for_block_size(4096)).unwrap();
+        let (alice, bob, _) = correlated(3000, 0.05, 77);
+        let out = reconciler.reconcile(&alice, &bob, 0.05).unwrap();
+        assert_eq!(out.corrected, alice);
+        assert!(
+            out.rate_used >= rates[short] - 1e-12,
+            "first attempt should start at the payload-aware rate, used {}",
+            out.rate_used
+        );
+    }
+
+    #[test]
+    fn caller_scratch_and_internal_scratch_agree() {
+        let reconciler = LdpcReconciler::new(ReconcilerConfig::for_block_size(2048)).unwrap();
+        let mut scratch = ReconcilerScratch::new();
+        // Mixed payload sizes through one scratch, compared against the
+        // internal-scratch entry point.
+        for &(len, qber, seed) in &[(2048usize, 0.03, 51u64), (1500, 0.02, 52), (2048, 0.05, 53)] {
+            let (alice, bob, _) = correlated(len, qber, seed);
+            let with_scratch = reconciler
+                .reconcile_with_scratch(&alice, &bob, qber, &mut scratch)
+                .unwrap();
+            let plain = reconciler.reconcile(&alice, &bob, qber).unwrap();
+            assert_eq!(with_scratch, plain, "len {len} qber {qber}");
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use qkd_core::{BlockResult, PostProcessor, SessionSummary};
+use qkd_core::{BlockResult, PostProcessor, ReconcilerScratch, SessionSummary};
 use qkd_hetero::{StageMetrics, ThroughputReport};
 use qkd_simulator::{detection_events, CorrelatedKeySource};
 use qkd_types::frame::StageLabel;
@@ -419,8 +419,12 @@ impl LinkManager {
     }
 
     /// One worker of the shared pool: repeatedly claims the link at the head
-    /// of the ready queue and processes exactly one of its batches.
+    /// of the ready queue and processes exactly one of its batches. Each
+    /// worker owns one long-lived LDPC reconciliation scratch that it carries
+    /// across every link it services — per-block decode setup is paid once
+    /// per worker, not once per block (or per link).
     fn worker(&self, queue: &DrainQueue) {
+        let mut scratch = ReconcilerScratch::new();
         while let Some(link) = queue.next() {
             let (completed, requeue) = {
                 let mut cell = self.links[link].cell.lock();
@@ -429,7 +433,9 @@ impl LinkManager {
                     .pop_front()
                     .expect("a ready link has a queued batch");
                 let batch_start = Instant::now();
-                let outcome = cell.processor.process_detections(&events);
+                let outcome = cell
+                    .processor
+                    .process_detections_with_scratch(&events, &mut scratch);
                 cell.busy += batch_start.elapsed();
                 cell.batches_processed += 1;
                 let mut completed = 1usize;

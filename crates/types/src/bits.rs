@@ -227,6 +227,17 @@ impl BitVec {
         }
     }
 
+    /// Resets the vector to `len` zero bits, keeping the allocation.
+    ///
+    /// Equivalent to `*self = BitVec::zeros(len)` without giving up the
+    /// buffer — the reuse primitive for hot paths that recompute into the
+    /// same vector (e.g. syndromes across a rate ladder).
+    pub fn reset_zeros(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(words_for(len), 0);
+        self.len = len;
+    }
+
     /// Appends all bits of `other`.
     pub fn extend_from(&mut self, other: &BitVec) {
         // Fast path when self ends on a word boundary: memcpy the words.
@@ -317,6 +328,9 @@ impl BitVec {
 
     /// Returns a sub-vector covering bits `[start, end)`.
     ///
+    /// Works word-at-a-time: an aligned start is a plain word copy, an
+    /// unaligned one a shift-merge of adjacent words.
+    ///
     /// # Panics
     ///
     /// Panics if `end > len()` or `start > end`.
@@ -325,12 +339,26 @@ impl BitVec {
             start <= end && end <= self.len,
             "invalid slice range {start}..{end}"
         );
-        let mut out = BitVec::zeros(end - start);
-        for (j, i) in (start..end).enumerate() {
-            if self.get(i) {
-                out.set(j, true);
+        let len = end - start;
+        let mut out = BitVec::zeros(len);
+        if len == 0 {
+            return out;
+        }
+        let (sw, sb) = (start / WORD_BITS, start % WORD_BITS);
+        let out_words = out.words.len();
+        if sb == 0 {
+            out.words.copy_from_slice(&self.words[sw..sw + out_words]);
+        } else {
+            for (i, word) in out.words.iter_mut().enumerate() {
+                let lo = self.words[sw + i] >> sb;
+                let hi = self
+                    .words
+                    .get(sw + i + 1)
+                    .map_or(0, |w| w << (WORD_BITS - sb));
+                *word = lo | hi;
             }
         }
+        out.mask_tail();
         out
     }
 
@@ -676,6 +704,39 @@ mod tests {
         let v = BitVec::from_bools(&[true, false, true, true, false, true]);
         assert_eq!(v.slice(1, 4).to_bools(), vec![false, true, true]);
         assert_eq!(v.gather(&[0, 5, 1]).to_bools(), vec![true, true, false]);
+    }
+
+    #[test]
+    fn word_wise_slice_matches_bit_by_bit() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let v = BitVec::random(&mut rng, 517);
+        for &(s, e) in &[
+            (0usize, 0usize),
+            (0, 517),
+            (64, 256),
+            (63, 65),
+            (1, 517),
+            (130, 131),
+            (65, 449),
+            (500, 517),
+        ] {
+            let fast = v.slice(s, e);
+            let slow: BitVec = (s..e).map(|i| v.get(i)).collect();
+            assert_eq!(fast, slow, "slice {s}..{e}");
+        }
+    }
+
+    #[test]
+    fn reset_zeros_keeps_capacity_and_clears_bits() {
+        let mut v = BitVec::ones(200);
+        v.reset_zeros(70);
+        assert_eq!(v.len(), 70);
+        assert_eq!(v.count_ones(), 0);
+        v.set(69, true);
+        assert_eq!(v.count_ones(), 1);
+        v.reset_zeros(300);
+        assert_eq!(v.len(), 300);
+        assert_eq!(v.count_ones(), 0);
     }
 
     #[test]

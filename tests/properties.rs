@@ -3,12 +3,16 @@
 use std::time::Duration;
 
 use proptest::prelude::*;
+use rand::Rng as _;
 
 use qkd::core::{
     ChannelUsage, PipelineOptions, PostProcessingConfig, PostProcessor, SessionSummary,
 };
 use qkd::hetero::{StageMetrics, ThroughputReport};
-use qkd::ldpc::{DecoderConfig, ParityCheckMatrix, SyndromeDecoder};
+use qkd::ldpc::{
+    DecoderAlgorithm, DecoderConfig, DecoderScratch, LdpcReconciler, ParityCheckMatrix,
+    ReconcilerConfig, ReconcilerScratch, Schedule, SyndromeDecoder,
+};
 use qkd::manager::{FleetConfig, LinkManager, LinkSpec};
 use qkd::privacy::{ToeplitzHash, ToeplitzStrategy};
 use qkd::simulator::{CorrelatedKeySource, FleetWorkload};
@@ -377,9 +381,114 @@ proptest! {
     }
 }
 
+/// Parity-check matrices for the decoder-equivalence properties, built once
+/// (PEG construction is the expensive part, the properties are not).
+fn equivalence_matrices() -> &'static [ParityCheckMatrix] {
+    use std::sync::OnceLock;
+    static MATRICES: OnceLock<Vec<ParityCheckMatrix>> = OnceLock::new();
+    MATRICES.get_or_init(|| {
+        [256usize, 512, 1024, 2048]
+            .iter()
+            .map(|&n| ParityCheckMatrix::for_rate(n, 0.5, 700 + n as u64).unwrap())
+            .collect()
+    })
+}
+
 proptest! {
-    // Fewer cases for the expensive LDPC property.
+    // Fewer cases for the expensive LDPC properties.
     #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The allocation-free scratch decoder must return bit-identical
+    /// outcomes (error pattern, convergence flag, iteration count) to the
+    /// retained reference implementation across the whole algorithm ×
+    /// schedule grid — with one scratch reused through every combination.
+    #[test]
+    fn scratch_decoder_matches_reference_across_the_grid(seed in any::<u64>(),
+                                                         qber in 0.005f64..0.08) {
+        let matrices = equivalence_matrices();
+        let h = &matrices[(seed % matrices.len() as u64) as usize];
+        let mut rng = derive_rng(seed, "prop-decoder-equiv");
+        let truth = BitVec::random_with_density(&mut rng, h.num_vars(), qber);
+        let syndrome = h.syndrome(&truth);
+        // A few shortened-style pinned positions exercise the override path.
+        let overrides: Vec<(usize, f64)> = (0..16).map(|v| (v, 25.0)).collect();
+        let mut scratch = DecoderScratch::new();
+        for algorithm in [DecoderAlgorithm::NORMALIZED_MIN_SUM, DecoderAlgorithm::SumProduct] {
+            for schedule in [Schedule::Layered, Schedule::Flooding] {
+                let config = DecoderConfig {
+                    algorithm,
+                    schedule,
+                    max_iterations: 20,
+                    ..DecoderConfig::default()
+                };
+                let dec = SyndromeDecoder::new(h, config).unwrap();
+                let reference = dec.decode_reference(&syndrome, qber, &overrides).unwrap();
+                let optimized = dec
+                    .decode_with_scratch(&syndrome, qber, &overrides, &mut scratch)
+                    .unwrap();
+                prop_assert_eq!(reference, optimized,
+                    "diverged for {:?}/{:?} at n={}", algorithm, schedule, h.num_vars());
+            }
+        }
+    }
+
+    /// One scratch serves decoders of mixed block sizes in random order, and
+    /// one reconciler scratch serves mixed payload lengths — both matching
+    /// their reference/internal-scratch counterparts exactly.
+    #[test]
+    fn one_scratch_serves_mixed_block_sizes(seed in any::<u64>(), qber in 0.005f64..0.04) {
+        let matrices = equivalence_matrices();
+        let mut rng = derive_rng(seed, "prop-decoder-mixed");
+        let mut scratch = DecoderScratch::new();
+        for step in 0..4u64 {
+            let h = &matrices[((seed.rotate_left(step as u32 * 8)) % matrices.len() as u64) as usize];
+            let truth = BitVec::random_with_density(&mut rng, h.num_vars(), qber);
+            let syndrome = h.syndrome(&truth);
+            let dec = SyndromeDecoder::new(h, DecoderConfig::default()).unwrap();
+            let reference = dec.decode_reference(&syndrome, qber, &[]).unwrap();
+            let optimized = dec
+                .decode_with_scratch(&syndrome, qber, &[], &mut scratch)
+                .unwrap();
+            prop_assert_eq!(reference, optimized, "n={} diverged", h.num_vars());
+        }
+
+        // Reconciler-level reuse across full and shortened payloads.
+        let reconciler = LdpcReconciler::new(ReconcilerConfig::for_block_size(1024)).unwrap();
+        let mut rec_scratch = ReconcilerScratch::new();
+        for &payload in &[1024usize, 700, 1024, 900] {
+            let alice = BitVec::random(&mut rng, payload);
+            let mut bob = alice.clone();
+            for i in 0..payload {
+                if rng.gen_bool(qber) {
+                    bob.flip(i);
+                }
+            }
+            let with_scratch =
+                reconciler.reconcile_with_scratch(&alice, &bob, qber, &mut rec_scratch);
+            let plain = reconciler.reconcile(&alice, &bob, qber);
+            match (with_scratch, plain) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(false, "paths diverged: {:?} vs {:?}", a, b),
+            }
+        }
+    }
+
+    /// The word-packed syndrome map must agree with the bit-by-bit reference
+    /// on both PEG and quasi-cyclic constructions.
+    #[test]
+    fn packed_syndrome_matches_bitwise_reference(seed in any::<u64>()) {
+        let mut rng = derive_rng(seed, "prop-syndrome-packed");
+        let peg = &equivalence_matrices()[(seed % 4) as usize];
+        let qc = ParityCheckMatrix::quasi_cyclic(512, 128, 64, 8, seed % 1000).unwrap();
+        for h in [peg, &qc] {
+            let x = BitVec::random(&mut rng, h.num_vars());
+            prop_assert_eq!(h.syndrome(&x), h.syndrome_reference(&x));
+            let mut reused = BitVec::ones(13);
+            h.syndrome_into(&x, &mut reused);
+            prop_assert_eq!(reused, h.syndrome_reference(&x));
+        }
+    }
 
     #[test]
     fn ldpc_syndrome_is_linear_and_decoding_corrects_sparse_errors(seed in any::<u64>()) {
