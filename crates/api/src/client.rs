@@ -2,10 +2,20 @@
 //! format over a real TCP connection — used by the examples, the e2e tests
 //! and the `--api` bench harness, so everything that exercises the server
 //! goes through an actual socket.
+//!
+//! By default the client keeps its connection alive across calls
+//! (HTTP/1.1 semantics, matching the server's connection tracker) and
+//! transparently reconnects once when a kept-alive connection turns out to
+//! be stale — harvested by the server's idle sweep, or dropped across a
+//! restart. [`ApiClient::without_keep_alive`] opts back into the old
+//! connection-per-request behavior (the bench harness uses it as the
+//! comparison baseline).
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
+
+use parking_lot::Mutex;
 
 use qkd_manager::KeyId;
 use qkd_types::{QkdError, Result};
@@ -27,15 +37,42 @@ pub struct PeerStatus {
     pub available_bits: u64,
     /// Reserved keys parked for pickup by ID.
     pub reserved_keys: u64,
+    /// Reservations the server's TTL sweeper has reclaimed so far.
+    pub reservations_expired: u64,
     /// The raw response document.
     pub raw: Json,
 }
 
 /// A blocking API client bound to one SAE identity (its bearer token).
-#[derive(Debug, Clone)]
 pub struct ApiClient {
     addr: SocketAddr,
     token: String,
+    keep_alive: bool,
+    /// The kept-alive connection between calls; `None` until the first
+    /// request (or always, without keep-alive).
+    conn: Mutex<Option<TcpStream>>,
+}
+
+impl std::fmt::Debug for ApiClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ApiClient")
+            .field("addr", &self.addr)
+            .field("keep_alive", &self.keep_alive)
+            .finish()
+    }
+}
+
+impl Clone for ApiClient {
+    /// Clones the identity, not the socket: each clone dials its own
+    /// connection, so clones can be moved across threads independently.
+    fn clone(&self) -> Self {
+        Self {
+            addr: self.addr,
+            token: self.token.clone(),
+            keep_alive: self.keep_alive,
+            conn: Mutex::new(None),
+        }
+    }
 }
 
 impl ApiClient {
@@ -44,7 +81,16 @@ impl ApiClient {
         Self {
             addr,
             token: token.into(),
+            keep_alive: true,
+            conn: Mutex::new(None),
         }
+    }
+
+    /// Switches to one fresh connection per request (`Connection: close`).
+    pub fn without_keep_alive(mut self) -> Self {
+        self.keep_alive = false;
+        self.conn = Mutex::new(None);
+        self
     }
 
     /// `GET /api/v1/keys/{peer}/status`.
@@ -68,6 +114,7 @@ impl ApiClient {
             stored_key_count: num("stored_key_count")?,
             available_bits: num("available_bits")?,
             reserved_keys: num("reserved_keys")?,
+            reservations_expired: num("reservations_expired")?,
             raw: doc,
         })
     }
@@ -114,52 +161,129 @@ impl ApiClient {
         parse_keys(&doc)
     }
 
-    /// One request/response exchange over a fresh connection.
+    /// One request/response exchange, reusing the kept-alive connection
+    /// when there is one.
+    ///
+    /// A reused connection that fails before yielding a response is
+    /// assumed stale (idle-harvested or closed under us) and the exchange
+    /// is retried exactly once on a fresh connection; failures on a fresh
+    /// connection surface immediately.
     fn request(&self, method: &str, path: &str, body: Option<&Json>) -> Result<Json> {
-        let transport = |what: String| QkdError::ChannelError { reason: what };
-        let mut stream = TcpStream::connect(self.addr)
-            .map_err(|e| transport(format!("connect {}: {e}", self.addr)))?;
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-        let _ = stream.set_nodelay(true);
-
         let payload = body.map(Json::encode).unwrap_or_default();
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: {}\r\nauthorization: Bearer {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\nauthorization: Bearer {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
             self.addr,
             self.token,
             payload.len(),
+            if self.keep_alive { "keep-alive" } else { "close" },
         );
-        stream
-            .write_all(head.as_bytes())
-            .and_then(|()| stream.write_all(payload.as_bytes()))
-            .map_err(|e| transport(format!("send: {e}")))?;
 
-        let mut raw = Vec::new();
-        stream
-            .read_to_end(&mut raw)
-            .map_err(|e| transport(format!("receive: {e}")))?;
-        let text =
-            std::str::from_utf8(&raw).map_err(|_| transport("response is not UTF-8".into()))?;
-        let (head, body_text) = text
-            .split_once("\r\n\r\n")
-            .ok_or_else(|| transport("response has no header terminator".into()))?;
-        let status: u16 = head
-            .split(' ')
-            .nth(1)
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| transport(format!("malformed status line: {head}")))?;
-        let doc = if body_text.is_empty() {
-            Json::Null
+        // Take the parked connection out in its own statement: holding the
+        // lock across `conclude` (which re-locks to park) would deadlock.
+        let parked = self.conn.lock().take();
+        if let Some(mut stream) = parked {
+            if let Ok(exchange) = exchange(&mut stream, &head, &payload) {
+                return self.conclude(stream, exchange);
+            }
+        }
+        let mut stream = self.connect()?;
+        let exchange = exchange(&mut stream, &head, &payload)?;
+        self.conclude(stream, exchange)
+    }
+
+    fn connect(&self) -> Result<TcpStream> {
+        let stream = TcpStream::connect(self.addr).map_err(|e| QkdError::ChannelError {
+            reason: format!("connect {}: {e}", self.addr),
+        })?;
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+        let _ = stream.set_nodelay(true);
+        Ok(stream)
+    }
+
+    /// Parks the connection for the next call (when kept alive and the
+    /// server did not announce a close) and maps the status to the result.
+    fn conclude(&self, stream: TcpStream, exchange: Exchange) -> Result<Json> {
+        if self.keep_alive && !exchange.server_close {
+            *self.conn.lock() = Some(stream);
+        }
+        if (200..300).contains(&exchange.status) {
+            Ok(exchange.doc)
         } else {
-            Json::parse(body_text)?
-        };
-        if (200..300).contains(&status) {
-            Ok(doc)
-        } else {
-            Err(error_from_json(status, &doc))
+            Err(error_from_json(exchange.status, &exchange.doc))
         }
     }
+}
+
+struct Exchange {
+    status: u16,
+    doc: Json,
+    server_close: bool,
+}
+
+/// Writes one request and reads exactly one response (headers plus
+/// `content-length` body — a kept-alive connection has no EOF to read to).
+fn exchange(stream: &mut TcpStream, head: &str, payload: &str) -> Result<Exchange> {
+    let transport = |what: String| QkdError::ChannelError { reason: what };
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(payload.as_bytes()))
+        .map_err(|e| transport(format!("send: {e}")))?;
+
+    let mut raw = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| transport(format!("receive: {e}")))?;
+        if n == 0 {
+            return Err(transport("connection closed before a response head".into()));
+        }
+        raw.extend_from_slice(&chunk[..n]);
+    };
+    let head_text = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| transport("response head is not UTF-8".into()))?;
+    let status: u16 = head_text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| transport(format!("malformed status line: {head_text}")))?;
+    let header = |name: &str| {
+        head_text.lines().skip(1).find_map(|line| {
+            let (k, v) = line.split_once(':')?;
+            k.trim().eq_ignore_ascii_case(name).then(|| v.trim())
+        })
+    };
+    let content_length: usize = header("content-length")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| transport("response has no content-length".into()))?;
+    let server_close = header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"));
+
+    let body_start = head_end + 4;
+    while raw.len() < body_start + content_length {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| transport(format!("receive: {e}")))?;
+        if n == 0 {
+            return Err(transport("connection closed mid-body".into()));
+        }
+        raw.extend_from_slice(&chunk[..n]);
+    }
+    let body_text = std::str::from_utf8(&raw[body_start..body_start + content_length])
+        .map_err(|_| transport("response is not UTF-8".into()))?;
+    let doc = if body_text.is_empty() {
+        Json::Null
+    } else {
+        Json::parse(body_text)?
+    };
+    Ok(Exchange {
+        status,
+        doc,
+        server_close,
+    })
 }
 
 fn parse_keys(doc: &Json) -> Result<Vec<WireKey>> {

@@ -1,28 +1,46 @@
-//! A minimal blocking HTTP/1.1 server over `std::net::TcpListener`.
+//! An event-driven HTTP/1.1 server over `std::net::TcpListener`.
 //!
-//! Just enough protocol for the key-delivery API: one request per
-//! connection (`Connection: close`), bounded header and body sizes, a
-//! bounded worker pool fed by an accept thread, and graceful shutdown
-//! ([`HttpServer::shutdown`] wakes the accept loop with a loopback connect
-//! and joins every thread). No TLS, no keep-alive, no chunked encoding —
-//! the transport is deliberately small enough to audit.
+//! Just enough protocol for the key-delivery API, but built to hold
+//! thousands of mostly-idle SAE connections at once: an accept thread
+//! deals non-blocking sockets round-robin to a small set of *shard*
+//! threads, and each shard owns a connection table it scans — reading
+//! whatever bytes are ready, serving every complete pipelined request in a
+//! connection's buffer, and harvesting connections that have sat idle past
+//! the configured timeout. Connections are kept alive across requests
+//! (HTTP/1.1 semantics; `Connection: close` is honored), request heads and
+//! bodies are size-bounded, and shutdown ([`HttpServer::shutdown`]) wakes
+//! the accept loop with a loopback connect and joins every thread. No TLS,
+//! no chunked encoding — the transport is deliberately small enough to
+//! audit.
+//!
+//! The trade-off versus an OS readiness queue (`epoll`/`kqueue`, which the
+//! dependency-free build cannot reach): shards poll their tables with a
+//! short adaptive sleep when nothing is ready, costing a bounded trickle
+//! of wakeups while idle in exchange for zero per-connection threads and
+//! no platform bindings.
 
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use qkd_types::{QkdError, Result};
 
 use crate::json::Json;
+use crate::router::Router;
 
 /// Maximum accepted request-head (request line + headers) size.
 const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Maximum accepted request-body size.
 const MAX_BODY_BYTES: usize = 1024 * 1024;
-/// Per-connection socket timeout: a stalled peer cannot pin a worker.
-const IO_TIMEOUT: Duration = Duration::from_secs(10);
+/// Budget for flushing one response to a peer that stops reading.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+/// Shortest sleep of a shard whose scan made no progress; backs off
+/// geometrically to [`MAX_POLL_SLEEP`] while the table stays quiet.
+const MIN_POLL_SLEEP: Duration = Duration::from_micros(200);
+/// Longest sleep between idle scans (also bounds shutdown latency).
+const MAX_POLL_SLEEP: Duration = Duration::from_millis(5);
 
 /// One parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -45,6 +63,12 @@ impl Request {
             .iter()
             .find(|(k, _)| *k == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the request asked to drop the connection after the response.
+    fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
     }
 }
 
@@ -80,47 +104,91 @@ impl Response {
             413 => "Payload Too Large",
             429 => "Too Many Requests",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Unknown",
         }
     }
 }
 
-/// The request handler run on worker threads.
-pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+/// Transport tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpConfig {
+    /// Shard threads; each owns an independent connection table, so this
+    /// bounds both service parallelism and per-scan table length.
+    pub shards: usize,
+    /// Connections with no traffic for this long are harvested (closed and
+    /// dropped from the table), reclaiming their descriptor and memory.
+    pub idle_timeout: Duration,
+}
 
-/// A running HTTP server: an accept thread feeding a bounded pool of worker
-/// threads over a bounded channel (back-pressure: past `2 × workers` queued
-/// connections, the accept thread blocks and the listener's kernel backlog
-/// absorbs the burst).
+impl Default for HttpConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Live transport counters, shared by every shard. Monotonic over the
+/// server's lifetime; reads are `Relaxed` (they are telemetry, not
+/// synchronization).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    accepted: AtomicU64,
+    served: AtomicU64,
+    harvested: AtomicU64,
+}
+
+impl ServerStats {
+    /// Connections accepted since start.
+    pub fn connections_accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Requests served (including error responses) since start.
+    pub fn requests_served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Connections closed by the idle harvester since start.
+    pub fn connections_harvested(&self) -> u64 {
+        self.harvested.load(Ordering::Relaxed)
+    }
+}
+
+/// A running HTTP server: one accept thread dealing connections to
+/// [`HttpConfig::shards`] shard threads, each scanning its own table.
 pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
     accept: Option<std::thread::JoinHandle<()>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    shards: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for HttpServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HttpServer")
             .field("addr", &self.addr)
-            .field("workers", &self.workers.len())
+            .field("shards", &self.shards.len())
             .finish()
     }
 }
 
 impl HttpServer {
-    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
-    /// `handler` on `workers` threads.
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// dispatching requests to `router`.
     ///
     /// # Errors
     ///
     /// Returns [`QkdError::ChannelError`] when the bind fails and
-    /// [`QkdError::InvalidParameter`] for a zero worker count.
-    pub fn serve(addr: &str, workers: usize, handler: Handler) -> Result<Self> {
-        if workers == 0 {
+    /// [`QkdError::InvalidParameter`] for a zero shard count.
+    pub fn serve(addr: &str, config: &HttpConfig, router: Arc<Router>) -> Result<Self> {
+        if config.shards == 0 {
             return Err(QkdError::invalid_parameter(
-                "workers",
-                "the server needs at least one worker thread",
+                "shards",
+                "the server needs at least one shard thread",
             ));
         }
         let listener = TcpListener::bind(addr).map_err(|e| QkdError::ChannelError {
@@ -130,17 +198,38 @@ impl HttpServer {
             reason: format!("local_addr: {e}"),
         })?;
         let stop = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = crossbeam::channel::bounded::<TcpStream>(workers * 2);
+        let stats = Arc::new(ServerStats::default());
+
+        let mut txs = Vec::with_capacity(config.shards);
+        let mut shards = Vec::with_capacity(config.shards);
+        for _ in 0..config.shards {
+            let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+            txs.push(tx);
+            let router = Arc::clone(&router);
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            let idle_timeout = config.idle_timeout;
+            shards.push(std::thread::spawn(move || {
+                run_shard(&rx, &router, &stats, &stop, idle_timeout);
+            }));
+        }
 
         let accept_stop = Arc::clone(&stop);
+        let accept_stats = Arc::clone(&stats);
         let accept = std::thread::spawn(move || {
+            let mut next = 0usize;
             for conn in listener.incoming() {
                 if accept_stop.load(Ordering::SeqCst) {
                     break;
                 }
                 match conn {
                     Ok(stream) => {
-                        if tx.send(stream).is_err() {
+                        accept_stats.accepted.fetch_add(1, Ordering::Relaxed);
+                        // Deal round-robin; a send only fails when the
+                        // server is tearing down, so stop accepting then.
+                        let shard = next % txs.len();
+                        next = next.wrapping_add(1);
+                        if txs[shard].send(stream).is_err() {
                             break;
                         }
                     }
@@ -149,26 +238,15 @@ impl HttpServer {
                     Err(_) => std::thread::sleep(Duration::from_millis(10)),
                 }
             }
-            // `tx` drops here; workers drain the queue and exit.
+            // `txs` drop here; shards also watch the stop flag.
         });
-
-        let worker_handles = (0..workers)
-            .map(|_| {
-                let rx = rx.clone();
-                let handler = Arc::clone(&handler);
-                std::thread::spawn(move || {
-                    while let Ok(stream) = rx.recv() {
-                        handle_connection(stream, &handler);
-                    }
-                })
-            })
-            .collect();
 
         Ok(Self {
             addr: local,
             stop,
+            stats,
             accept: Some(accept),
-            workers: worker_handles,
+            shards,
         })
     }
 
@@ -177,8 +255,20 @@ impl HttpServer {
         self.addr
     }
 
-    /// Stops accepting, drains in-flight requests and joins every thread.
+    /// The live transport counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Stops accepting, drops every tracked connection and joins every
+    /// thread.
     pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// In-place variant of [`HttpServer::shutdown`] for owners that cannot
+    /// move the server out (e.g. types with their own `Drop`).
+    pub(crate) fn stop(&mut self) {
         self.stop_and_join();
     }
 
@@ -199,8 +289,8 @@ impl HttpServer {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        for shard in self.shards.drain(..) {
+            let _ = shard.join();
         }
     }
 }
@@ -213,52 +303,199 @@ impl Drop for HttpServer {
     }
 }
 
-/// Serves one connection: parse, dispatch, respond, close.
-fn handle_connection(mut stream: TcpStream, handler: &Handler) {
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let _ = stream.set_nodelay(true);
-    let response = match read_request(&mut stream) {
-        Ok(request) => handler(&request),
-        Err(status) => Response::json(
-            status,
-            &Json::Obj(vec![
-                ("code".into(), Json::str("invalid")),
-                ("message".into(), Json::str("malformed HTTP request")),
-            ]),
-        ),
-    };
-    let _ = write_response(&mut stream, &response);
+/// Per-connection state tracked by a shard: the socket, the receive
+/// buffer, the parse offset separating served from pending bytes, and the
+/// last-activity clock the idle harvester reads.
+struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    parsed: usize,
+    last_activity: Instant,
 }
 
-/// Reads and parses one request; the error is the HTTP status to answer.
-fn read_request(stream: &mut TcpStream) -> std::result::Result<Request, u16> {
-    let mut buf = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 4096];
-    let head_end = loop {
-        if let Some(found) = find_head_end(&buf) {
-            if found > MAX_HEAD_BYTES {
-                return Err(413);
+enum Scan {
+    /// Bytes moved (or a request was served); keep the connection.
+    Progress,
+    /// Nothing ready; keep the connection.
+    Idle,
+    /// Peer closed, errored, asked to close, or overflowed a bound.
+    Close,
+    /// Idle past the timeout: close and count as harvested.
+    Harvest,
+}
+
+/// One shard: drains its intake channel into a connection table and scans
+/// the table until the server stops.
+fn run_shard(
+    rx: &crossbeam::channel::Receiver<TcpStream>,
+    router: &Router,
+    stats: &ServerStats,
+    stop: &AtomicBool,
+    idle_timeout: Duration,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut chunk = vec![0u8; 16 * 1024];
+    let mut sleep = MIN_POLL_SLEEP;
+    loop {
+        let mut progress = false;
+        while let Some(stream) = rx.try_recv() {
+            if stream.set_nonblocking(true).is_err() {
+                continue;
             }
-            break found;
+            let _ = stream.set_nodelay(true);
+            conns.push(Conn {
+                stream,
+                buf: Vec::new(),
+                parsed: 0,
+                last_activity: Instant::now(),
+            });
+            progress = true;
         }
-        if buf.len() > MAX_HEAD_BYTES {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let now = Instant::now();
+        let mut i = 0;
+        while i < conns.len() {
+            match scan_conn(&mut conns[i], &mut chunk, router, stats, now, idle_timeout) {
+                Scan::Progress => {
+                    progress = true;
+                    i += 1;
+                }
+                Scan::Idle => i += 1,
+                Scan::Close => {
+                    conns.swap_remove(i);
+                    progress = true;
+                }
+                Scan::Harvest => {
+                    stats.harvested.fetch_add(1, Ordering::Relaxed);
+                    conns.swap_remove(i);
+                    progress = true;
+                }
+            }
+        }
+        if progress {
+            sleep = MIN_POLL_SLEEP;
+        } else {
+            std::thread::sleep(sleep);
+            sleep = (sleep * 2).min(MAX_POLL_SLEEP);
+        }
+    }
+    // Tracked connections drop (and close) here.
+}
+
+/// Services one connection for one scan: read what is ready, serve every
+/// complete pipelined request, compact the buffer.
+fn scan_conn(
+    conn: &mut Conn,
+    chunk: &mut [u8],
+    router: &Router,
+    stats: &ServerStats,
+    now: Instant,
+    idle_timeout: Duration,
+) -> Scan {
+    let mut read_any = false;
+    loop {
+        // Stop pulling once a full oversized head/body is already buffered;
+        // the parse below answers 413 without letting the peer grow the
+        // buffer without bound.
+        if conn.buf.len() - conn.parsed > MAX_HEAD_BYTES + MAX_BODY_BYTES {
+            break;
+        }
+        match conn.stream.read(chunk) {
+            Ok(0) => return Scan::Close,
+            Ok(n) => {
+                conn.buf.extend_from_slice(&chunk[..n]);
+                read_any = true;
+                if n < chunk.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Scan::Close,
+        }
+    }
+    if !read_any {
+        if now.duration_since(conn.last_activity) >= idle_timeout {
+            return Scan::Harvest;
+        }
+        return Scan::Idle;
+    }
+    conn.last_activity = now;
+
+    // Serve every complete request already in the buffer (pipelining).
+    let outcome = loop {
+        match parse_request(&conn.buf[conn.parsed..]) {
+            Ok(Some((request, consumed))) => {
+                conn.parsed += consumed;
+                stats.served.fetch_add(1, Ordering::Relaxed);
+                let close = request.wants_close();
+                let response = dispatch(router, &request);
+                if write_response(&mut conn.stream, &response, close).is_err() || close {
+                    break Scan::Close;
+                }
+            }
+            Ok(None) => break Scan::Progress,
+            Err(status) => {
+                stats.served.fetch_add(1, Ordering::Relaxed);
+                let response = Response::json(
+                    status,
+                    &Json::Obj(vec![
+                        ("code".into(), Json::str("invalid")),
+                        ("message".into(), Json::str("malformed HTTP request")),
+                    ]),
+                );
+                let _ = write_response(&mut conn.stream, &response, true);
+                break Scan::Close;
+            }
+        }
+    };
+    if conn.parsed > 0 {
+        conn.buf.drain(..conn.parsed);
+        conn.parsed = 0;
+    }
+    outcome
+}
+
+/// Runs the router, converting a handler panic into a 500 envelope so one
+/// poisoned request cannot take a shard (and its whole table) down.
+fn dispatch(router: &Router, request: &Request) -> Response {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| router.dispatch(request)))
+        .unwrap_or_else(|_| {
+            Response::json(
+                500,
+                &Json::Obj(vec![
+                    ("code".into(), Json::str("internal")),
+                    ("message".into(), Json::str("handler panicked")),
+                ]),
+            )
+        })
+}
+
+/// Tries to parse one request from the front of `data`.
+///
+/// `Ok(Some((request, consumed)))` on a complete request, `Ok(None)` when
+/// more bytes are needed, `Err(status)` when the front of the buffer can
+/// never become a valid request (the status is the HTTP answer).
+fn parse_request(data: &[u8]) -> std::result::Result<Option<(Request, usize)>, u16> {
+    let Some(head_end) = find_head_end(data) else {
+        if data.len() > MAX_HEAD_BYTES {
             return Err(413);
         }
-        let n = stream.read(&mut chunk).map_err(|_| 400u16)?;
-        if n == 0 {
-            return Err(400);
-        }
-        buf.extend_from_slice(&chunk[..n]);
+        return Ok(None);
     };
+    if head_end > MAX_HEAD_BYTES {
+        return Err(413);
+    }
 
-    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| 400u16)?;
+    let head = std::str::from_utf8(&data[..head_end]).map_err(|_| 400u16)?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().ok_or(400u16)?;
     let mut parts = request_line.split(' ');
     let method = parts.next().ok_or(400u16)?.to_ascii_uppercase();
     let path = parts.next().ok_or(400u16)?.to_string();
-    if !parts.next().is_some_and(|v| v.starts_with("HTTP/1.")) {
+    if method.is_empty() || !parts.next().is_some_and(|v| v.starts_with("HTTP/1.")) {
         return Err(400);
     }
 
@@ -280,50 +517,72 @@ fn read_request(stream: &mut TcpStream) -> std::result::Result<Request, u16> {
         return Err(413);
     }
 
-    let mut body = buf[head_end + 4..].to_vec();
-    while body.len() < content_length {
-        let n = stream.read(&mut chunk).map_err(|_| 400u16)?;
-        if n == 0 {
-            return Err(400);
-        }
-        body.extend_from_slice(&chunk[..n]);
+    let body_start = head_end + 4;
+    let total = body_start + content_length;
+    if data.len() < total {
+        return Ok(None);
     }
-    body.truncate(content_length);
-
-    Ok(Request {
-        method,
-        path,
-        headers,
-        body,
-    })
+    Ok(Some((
+        Request {
+            method,
+            path,
+            headers,
+            body: data[body_start..total].to_vec(),
+        },
+        total,
+    )))
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+/// Serializes and writes one response on a non-blocking socket, retrying
+/// short writes until [`WRITE_TIMEOUT`]. A peer that stops reading stalls
+/// only its own shard's scan for at most that budget, then loses the
+/// connection.
+fn write_response(stream: &mut TcpStream, response: &Response, close: bool) -> std::io::Result<()> {
+    let mut bytes = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
         response.status,
         Response::reason(response.status),
         response.content_type,
         response.body.len(),
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(&response.body)?;
-    stream.flush()
+        if close { "close" } else { "keep-alive" },
+    )
+    .into_bytes();
+    bytes.extend_from_slice(&response.body);
+
+    let deadline = Instant::now() + WRITE_TIMEOUT;
+    let mut data = &bytes[..];
+    while !data.is_empty() {
+        match stream.write(data) {
+            Ok(0) => return Err(ErrorKind::WriteZero.into()),
+            Ok(n) => data = &data[n..],
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(ErrorKind::TimedOut.into());
+                }
+                std::thread::sleep(Duration::from_micros(250));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::router::{Method, PathParams};
 
-    fn echo_server() -> HttpServer {
-        let handler: Handler = Arc::new(|req: &Request| {
+    fn echo_router() -> Arc<Router> {
+        let echo = |req: &Request, params: &PathParams| {
             let body = Json::Obj(vec![
                 ("method".into(), Json::str(req.method.clone())),
                 ("path".into(), Json::str(req.path.clone())),
+                ("tag".into(), Json::str(params.get("tag").unwrap_or(""))),
                 ("body_len".into(), Json::num(req.body.len() as u64)),
                 (
                     "auth".into(),
@@ -331,38 +590,69 @@ mod tests {
                 ),
             ]);
             Response::json(200, &body)
-        });
-        HttpServer::serve("127.0.0.1:0", 2, handler).unwrap()
+        };
+        Arc::new(
+            Router::new()
+                .route(Method::Get, "/echo/{tag}", echo)
+                .unwrap()
+                .route(Method::Post, "/echo/{tag}", echo)
+                .unwrap(),
+        )
     }
 
+    fn serve(config: &HttpConfig) -> HttpServer {
+        HttpServer::serve("127.0.0.1:0", config, echo_router()).unwrap()
+    }
+
+    /// Reads exactly one response (headers + content-length body) from
+    /// `stream`, carrying excess bytes (the next pipelined response) over
+    /// in `buf` — so the helper works on kept-alive connections.
+    fn read_one_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> (u16, String) {
+        let mut chunk = [0u8; 4096];
+        let (head_end, status, content_length) = loop {
+            if let Some(end) = find_head_end(buf) {
+                let head = std::str::from_utf8(&buf[..end]).unwrap();
+                let status: u16 = head.split(' ').nth(1).unwrap().parse().unwrap();
+                let content_length: usize = head
+                    .lines()
+                    .find_map(|l| l.strip_prefix("content-length: "))
+                    .unwrap()
+                    .parse()
+                    .unwrap();
+                break (end, status, content_length);
+            }
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "peer closed before a full response head");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        while buf.len() < head_end + 4 + content_length {
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "peer closed before a full response body");
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        let body = buf[head_end + 4..head_end + 4 + content_length].to_vec();
+        buf.drain(..head_end + 4 + content_length);
+        (status, String::from_utf8(body).unwrap())
+    }
+
+    /// One request over a fresh connection, asking the server to close.
     fn raw_request(addr: SocketAddr, request: &str) -> (u16, String) {
         let mut stream = TcpStream::connect(addr).unwrap();
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
         stream.write_all(request.as_bytes()).unwrap();
-        let mut text = String::new();
-        stream.read_to_string(&mut text).unwrap();
-        let status = text
-            .split(' ')
-            .nth(1)
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(0);
-        let body = text
-            .split("\r\n\r\n")
-            .nth(1)
-            .unwrap_or_default()
-            .to_string();
-        (status, body)
+        read_one_response(&mut stream, &mut Vec::new())
     }
 
     #[test]
     fn serves_requests_from_multiple_sequential_connections() {
-        let server = echo_server();
+        let server = serve(&HttpConfig::default());
         let addr = server.local_addr();
         for i in 0..4 {
             let payload = "x".repeat(i * 10);
             let (status, body) = raw_request(
                 addr,
                 &format!(
-                    "POST /echo/{i} HTTP/1.1\r\nHost: x\r\nAuthorization: Bearer t\r\ncontent-length: {}\r\n\r\n{payload}",
+                    "POST /echo/{i} HTTP/1.1\r\nHost: x\r\nAuthorization: Bearer t\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{payload}",
                     payload.len()
                 ),
             );
@@ -370,25 +660,61 @@ mod tests {
             let doc = Json::parse(&body).unwrap();
             assert_eq!(doc.get("method").unwrap().as_str(), Some("POST"));
             assert_eq!(
-                doc.get("path").unwrap().as_str(),
-                Some(format!("/echo/{i}").as_str())
+                doc.get("tag").unwrap().as_str(),
+                Some(i.to_string().as_str())
             );
             assert_eq!(doc.get("body_len").unwrap().as_u64(), Some((i * 10) as u64));
             assert_eq!(doc.get("auth").unwrap().as_str(), Some("Bearer t"));
         }
+        assert_eq!(server.stats().connections_accepted(), 4);
+        assert_eq!(server.stats().requests_served(), 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn one_connection_serves_many_requests_and_pipelines() {
+        let server = serve(&HttpConfig::default());
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let mut carry = Vec::new();
+        // Sequential keep-alive round trips on the same socket.
+        for i in 0..5 {
+            stream
+                .write_all(format!("GET /echo/seq{i} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+                .unwrap();
+            let (status, body) = read_one_response(&mut stream, &mut carry);
+            assert_eq!(status, 200);
+            assert!(body.contains(&format!("seq{i}")));
+        }
+        // A burst of pipelined requests written back-to-back: responses
+        // come back complete and in order.
+        let burst: String = (0..8)
+            .map(|i| format!("GET /echo/pipe{i} HTTP/1.1\r\nHost: x\r\n\r\n"))
+            .collect();
+        stream.write_all(burst.as_bytes()).unwrap();
+        for i in 0..8 {
+            let (status, body) = read_one_response(&mut stream, &mut carry);
+            assert_eq!(status, 200);
+            assert!(body.contains(&format!("pipe{i}")), "response {i}: {body}");
+        }
+        // All thirteen requests rode one accepted connection.
+        assert_eq!(server.stats().connections_accepted(), 1);
+        assert_eq!(server.stats().requests_served(), 13);
         server.shutdown();
     }
 
     #[test]
     fn concurrent_clients_are_all_served() {
-        let server = echo_server();
+        let server = serve(&HttpConfig::default());
         let addr = server.local_addr();
         let handles: Vec<_> = (0..8)
             .map(|i| {
                 std::thread::spawn(move || {
                     raw_request(
                         addr,
-                        &format!("GET /client/{i} HTTP/1.1\r\nHost: x\r\n\r\n"),
+                        &format!(
+                            "GET /echo/client{i} HTTP/1.1\r\nHost: x\r\nconnection: close\r\n\r\n"
+                        ),
                     )
                 })
             })
@@ -396,44 +722,71 @@ mod tests {
         for (i, handle) in handles.into_iter().enumerate() {
             let (status, body) = handle.join().unwrap();
             assert_eq!(status, 200);
-            assert!(body.contains(&format!("/client/{i}")));
+            assert!(body.contains(&format!("client{i}")));
         }
         server.shutdown();
     }
 
     #[test]
+    fn idle_connections_are_harvested_and_the_server_stays_healthy() {
+        let server = serve(&HttpConfig {
+            shards: 2,
+            idle_timeout: Duration::from_millis(50),
+        });
+        let addr = server.local_addr();
+        // A connection that sends nothing is closed by the harvester…
+        let mut stale = TcpStream::connect(addr).unwrap();
+        let _ = stale.set_read_timeout(Some(Duration::from_secs(5)));
+        let mut buf = [0u8; 16];
+        let harvested = matches!(stale.read(&mut buf), Ok(0) | Err(_));
+        assert!(harvested, "the stale connection must be closed");
+        assert!(server.stats().connections_harvested() >= 1);
+        // …and the server keeps serving fresh traffic afterwards.
+        let (status, _) = raw_request(
+            addr,
+            "GET /echo/after HTTP/1.1\r\nHost: x\r\nconnection: close\r\n\r\n",
+        );
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
     fn malformed_and_oversized_requests_get_4xx_answers() {
-        let server = echo_server();
+        let server = serve(&HttpConfig::default());
         let addr = server.local_addr();
         let (status, _) = raw_request(addr, "NONSENSE\r\n\r\n");
         assert_eq!(status, 400);
-        let (status, _) = raw_request(addr, "POST / HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n");
+        let (status, _) = raw_request(
+            addr,
+            "POST /echo/x HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n",
+        );
         assert_eq!(status, 413);
         let (status, _) = raw_request(
             addr,
             &format!(
-                "GET / HTTP/1.1\r\nx: {}\r\n\r\n",
+                "GET /echo/x HTTP/1.1\r\nx: {}\r\n\r\n",
                 "y".repeat(MAX_HEAD_BYTES)
             ),
         );
         assert_eq!(status, 413);
         // The server still works after abuse.
-        let (status, _) = raw_request(addr, "GET /ok HTTP/1.1\r\n\r\n");
+        let (status, _) = raw_request(addr, "GET /echo/ok HTTP/1.1\r\nconnection: close\r\n\r\n");
         assert_eq!(status, 200);
         server.shutdown();
     }
 
     #[test]
     fn shutdown_joins_cleanly_and_stops_serving() {
-        let server = echo_server();
+        let server = serve(&HttpConfig::default());
         let addr = server.local_addr();
-        let (status, _) = raw_request(addr, "GET / HTTP/1.1\r\n\r\n");
+        let (status, _) = raw_request(addr, "GET /echo/x HTTP/1.1\r\nconnection: close\r\n\r\n");
         assert_eq!(status, 200);
         server.shutdown();
         // After shutdown the port no longer accepts (or resets immediately).
         let alive = TcpStream::connect(addr)
             .map(|mut s| {
-                let _ = s.write_all(b"GET / HTTP/1.1\r\n\r\n");
+                let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+                let _ = s.write_all(b"GET /echo/x HTTP/1.1\r\nconnection: close\r\n\r\n");
                 let mut buf = String::new();
                 s.read_to_string(&mut buf)
                     .map(|_| !buf.is_empty())
@@ -444,8 +797,11 @@ mod tests {
     }
 
     #[test]
-    fn rejects_zero_workers() {
-        let handler: Handler = Arc::new(|_: &Request| Response::json(200, &Json::Null));
-        assert!(HttpServer::serve("127.0.0.1:0", 0, handler).is_err());
+    fn rejects_zero_shards() {
+        let config = HttpConfig {
+            shards: 0,
+            ..HttpConfig::default()
+        };
+        assert!(HttpServer::serve("127.0.0.1:0", &config, echo_router()).is_err());
     }
 }

@@ -13,14 +13,19 @@
 //! the transport is self-contained:
 //!
 //! * [`json`] — a hand-rolled JSON tree, parser and encoder;
-//! * [`http`] — a minimal blocking HTTP/1.1 server over
-//!   `std::net::TcpListener` (bounded worker pool, graceful shutdown);
+//! * [`http`] — an event-driven HTTP/1.1 server over
+//!   `std::net::TcpListener`: sharded connection tables, keep-alive with
+//!   request pipelining, idle-connection harvesting, graceful shutdown;
+//! * [`router`] — typed routing: [`router::Method`], path patterns with
+//!   `{param}` captures, the [`router::Handler`] trait and the
+//!   [`Router`] dispatch table (404 vs 405 telling);
 //! * [`sae`] — SAE identities, bearer-token authentication, pair → link
 //!   entitlements and per-SAE budgets ([`SaeRegistry`]);
 //! * [`server`] — the three 014 endpoints (`status`, `enc_keys`,
-//!   `dec_keys`) in front of an `Arc<KeyStore>` ([`ApiServer`]);
+//!   `dec_keys`) registered on a [`Router`] in front of an
+//!   `Arc<KeyStore>` ([`ApiServer`]), plus the reservation-TTL sweeper;
 //! * [`client`] — a blocking [`ApiClient`] speaking the same wire format
-//!   over real sockets;
+//!   over real sockets, reusing one kept-alive connection across calls;
 //! * [`wire`] — base64 key containers and the error envelope that
 //!   round-trips [`qkd_types::QkdError`] values across the HTTP boundary.
 //!
@@ -37,6 +42,12 @@
 //! store's ledger (`deposited = delivered + available`) and
 //! `LinkManager::reconcile` are unaffected by pickups — the parked copy is
 //! the other half of one delivery, not a second one.
+//!
+//! Reservations park at most [`ApiConfig::reservation_ttl`] long: a
+//! background sweeper periodically calls
+//! `KeyStore::expire_reservations`, returning uncollected bits to the
+//! available pool (the ledger still balances; the expired IDs answer like
+//! never-reserved ones).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -44,12 +55,15 @@
 pub mod client;
 pub mod http;
 pub mod json;
+pub mod router;
 pub mod sae;
 pub mod server;
 pub mod wire;
 
 pub use client::{ApiClient, PeerStatus};
+pub use http::{HttpConfig, HttpServer, ServerStats};
 pub use json::Json;
+pub use router::{Method, PathParams, Route, Router};
 pub use sae::{RateCap, SaeProfile, SaeRegistry};
 pub use server::{ApiConfig, ApiServer};
 pub use wire::WireKey;

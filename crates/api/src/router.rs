@@ -1,0 +1,359 @@
+//! Typed request routing: methods, path patterns with `{param}` captures,
+//! a [`Handler`] trait, and the [`Router`] dispatch table.
+//!
+//! The transport ([`crate::http`]) hands every parsed request to one
+//! [`Router`], which matches it against the registered
+//! (method, pattern) pairs, extracts path parameters, and runs the typed
+//! handler — or answers 404 (no pattern matched) / 405 (pattern matched,
+//! method did not) with the same JSON error envelope the rest of the API
+//! speaks. Patterns are compiled once at registration, so the per-request
+//! cost is a segment walk.
+
+use std::fmt;
+
+use qkd_types::{QkdError, Result};
+
+use crate::http::{Request, Response};
+use crate::json::Json;
+
+/// The HTTP methods the delivery API routes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// `GET` — read-only endpoints (`status`).
+    Get,
+    /// `POST` — state-changing endpoints (`enc_keys`, `dec_keys`).
+    Post,
+}
+
+impl Method {
+    /// Parses a request-line method token (case-insensitive).
+    pub fn parse(token: &str) -> Option<Self> {
+        if token.eq_ignore_ascii_case("GET") {
+            Some(Method::Get)
+        } else if token.eq_ignore_ascii_case("POST") {
+            Some(Method::Post)
+        } else {
+            None
+        }
+    }
+
+    /// The canonical request-line spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Path parameters captured by a matched [`Route`], in pattern order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PathParams {
+    params: Vec<(&'static str, String)>,
+}
+
+impl PathParams {
+    /// The captured value of `{name}`, if the pattern has such a segment.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One compiled path pattern: literal segments interleaved with `{param}`
+/// captures, e.g. `/api/v1/keys/{slave}/status`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    pattern: &'static str,
+    segments: Vec<Segment>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Segment {
+    Literal(&'static str),
+    Param(&'static str),
+}
+
+impl Route {
+    /// Compiles `pattern`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] for an empty pattern, an
+    /// empty segment or capture name, or a `{`/`}` that does not wrap a
+    /// whole segment — route patterns are developer input, so this fails
+    /// registration loudly instead of mis-matching at request time.
+    pub fn new(pattern: &'static str) -> Result<Self> {
+        let bad = |reason: String| QkdError::InvalidParameter {
+            name: "route",
+            reason,
+        };
+        let trimmed = pattern.trim_matches('/');
+        if trimmed.is_empty() {
+            return Err(bad(format!("pattern `{pattern}` has no segments")));
+        }
+        let mut segments = Vec::new();
+        for segment in trimmed.split('/') {
+            if segment.is_empty() {
+                return Err(bad(format!("pattern `{pattern}` has an empty segment")));
+            }
+            if let Some(name) = segment.strip_prefix('{') {
+                let name = name
+                    .strip_suffix('}')
+                    .filter(|n| !n.is_empty() && !n.contains(['{', '}']))
+                    .ok_or_else(|| {
+                        bad(format!(
+                            "pattern `{pattern}`: malformed capture `{segment}`"
+                        ))
+                    })?;
+                segments.push(Segment::Param(name));
+            } else if segment.contains(['{', '}']) {
+                return Err(bad(format!(
+                    "pattern `{pattern}`: `{{` and `}}` must wrap a whole segment"
+                )));
+            } else {
+                segments.push(Segment::Literal(segment));
+            }
+        }
+        Ok(Self { pattern, segments })
+    }
+
+    /// The source pattern this route was compiled from.
+    pub fn pattern(&self) -> &'static str {
+        self.pattern
+    }
+
+    /// Matches `path` against the pattern, extracting captures.
+    pub fn match_path(&self, path: &str) -> Option<PathParams> {
+        let mut params = PathParams::default();
+        let mut segments = self.segments.iter();
+        for part in path.trim_matches('/').split('/') {
+            match segments.next()? {
+                Segment::Literal(lit) => {
+                    if *lit != part {
+                        return None;
+                    }
+                }
+                Segment::Param(name) => {
+                    if part.is_empty() {
+                        return None;
+                    }
+                    params.params.push((name, part.to_string()));
+                }
+            }
+        }
+        segments.next().is_none().then_some(params)
+    }
+}
+
+/// A typed request handler: the request plus the path parameters its route
+/// captured. Implemented for free by any matching closure.
+pub trait Handler: Send + Sync {
+    /// Produces the response for one dispatched request.
+    fn handle(&self, request: &Request, params: &PathParams) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request, &PathParams) -> Response + Send + Sync,
+{
+    fn handle(&self, request: &Request, params: &PathParams) -> Response {
+        self(request, params)
+    }
+}
+
+struct Entry {
+    method: Method,
+    route: Route,
+    handler: Box<dyn Handler>,
+}
+
+/// The dispatch table: an ordered list of (method, pattern) → handler
+/// registrations. Shared read-only across every server shard.
+#[derive(Default)]
+pub struct Router {
+    entries: Vec<Entry>,
+}
+
+impl fmt::Debug for Router {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Router")
+            .field("routes", &self.routes())
+            .finish()
+    }
+}
+
+impl Router {
+    /// An empty router (dispatches everything to 404).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `handler` for `method` on `pattern` (builder-style).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] for a malformed pattern or a
+    /// duplicate (method, pattern) registration.
+    pub fn route(
+        mut self,
+        method: Method,
+        pattern: &'static str,
+        handler: impl Handler + 'static,
+    ) -> Result<Self> {
+        let route = Route::new(pattern)?;
+        if self
+            .entries
+            .iter()
+            .any(|e| e.method == method && e.route.pattern() == pattern)
+        {
+            return Err(QkdError::InvalidParameter {
+                name: "route",
+                reason: format!("{method} {pattern} is already registered"),
+            });
+        }
+        self.entries.push(Entry {
+            method,
+            route,
+            handler: Box::new(handler),
+        });
+        Ok(self)
+    }
+
+    /// The registered (method, pattern) pairs, in registration order.
+    pub fn routes(&self) -> Vec<(Method, &'static str)> {
+        self.entries
+            .iter()
+            .map(|e| (e.method, e.route.pattern()))
+            .collect()
+    }
+
+    /// Dispatches one request: first route whose pattern matches the path
+    /// *and* whose method matches wins. A path that matches some pattern
+    /// under a different (or unparseable) method is answered 405; a path
+    /// no pattern matches is answered 404 — both with the API's JSON error
+    /// envelope.
+    pub fn dispatch(&self, request: &Request) -> Response {
+        let method = Method::parse(&request.method);
+        let mut path_matched = false;
+        for entry in &self.entries {
+            if let Some(params) = entry.route.match_path(&request.path) {
+                if method == Some(entry.method) {
+                    return entry.handler.handle(request, &params);
+                }
+                path_matched = true;
+            }
+        }
+        let (status, code, message) = if path_matched {
+            (
+                405,
+                "method_not_allowed",
+                format!("{} is not valid for {}", request.method, request.path),
+            )
+        } else {
+            (404, "not_found", format!("no such route: {}", request.path))
+        };
+        Response::json(
+            status,
+            &Json::Obj(vec![
+                ("code".into(), Json::str(code)),
+                ("message".into(), Json::str(message)),
+            ]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(method: &str, path: &str) -> Request {
+        Request {
+            method: method.into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn patterns_match_and_extract_params() {
+        let route = Route::new("/api/v1/keys/{slave}/status").unwrap();
+        let params = route
+            .match_path("/api/v1/keys/billing-backend/status")
+            .unwrap();
+        assert_eq!(params.get("slave"), Some("billing-backend"));
+        assert_eq!(params.get("missing"), None);
+        // Trailing slash tolerance, but no partial or over-long matches.
+        assert!(route.match_path("/api/v1/keys/x/status/").is_some());
+        assert!(route.match_path("/api/v1/keys/x").is_none());
+        assert!(route.match_path("/api/v1/keys/x/status/extra").is_none());
+        assert!(route.match_path("/api/v2/keys/x/status").is_none());
+        // An empty capture segment (double slash) does not match.
+        assert!(route.match_path("/api/v1/keys//status").is_none());
+    }
+
+    #[test]
+    fn malformed_patterns_are_rejected_at_registration() {
+        for bad in ["", "//", "/a/{", "/a/{}/b", "/a/x{y}/b", "/a/{b}c"] {
+            assert!(Route::new(bad).is_err(), "`{bad}` must not compile");
+        }
+        let ok = Router::new()
+            .route(Method::Get, "/a/{b}", |_: &Request, _: &PathParams| {
+                Response::json(200, &Json::Null)
+            })
+            .unwrap();
+        // Same method + pattern again is a duplicate.
+        assert!(ok
+            .route(Method::Get, "/a/{b}", |_: &Request, _: &PathParams| {
+                Response::json(200, &Json::Null)
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn dispatch_distinguishes_404_from_405() {
+        let router = Router::new()
+            .route(Method::Get, "/thing/{id}", |_: &Request, p: &PathParams| {
+                Response::json(
+                    200,
+                    &Json::Obj(vec![(
+                        "id".into(),
+                        Json::str(p.get("id").unwrap_or_default()),
+                    )]),
+                )
+            })
+            .unwrap()
+            .route(
+                Method::Post,
+                "/thing/{id}",
+                |_: &Request, _: &PathParams| Response::json(200, &Json::str("posted")),
+            )
+            .unwrap();
+        assert_eq!(router.routes().len(), 2);
+
+        let ok = router.dispatch(&request("GET", "/thing/42"));
+        assert_eq!(ok.status, 200);
+        assert!(String::from_utf8(ok.body).unwrap().contains("42"));
+        // Same path, unregistered method → 405; unparseable method → 405.
+        for method in ["DELETE", "NONSENSE"] {
+            let resp = router.dispatch(&request(method, "/thing/42"));
+            assert_eq!(resp.status, 405, "{method}");
+            assert!(String::from_utf8(resp.body)
+                .unwrap()
+                .contains("method_not_allowed"));
+        }
+        // Unknown path → 404, whatever the method.
+        let resp = router.dispatch(&request("GET", "/nowhere"));
+        assert_eq!(resp.status, 404);
+        assert!(String::from_utf8(resp.body).unwrap().contains("not_found"));
+    }
+}

@@ -10,6 +10,8 @@
 //! Security of Offloading Post-Processing for QKD*).
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
@@ -105,12 +107,25 @@ struct RegistryInner {
 #[derive(Debug, Default)]
 pub struct SaeRegistry {
     inner: Mutex<RegistryInner>,
+    /// Advisory back-off carried by 429 refusals, in milliseconds. The
+    /// default of 0 is honest for [`RateCap`] budgets, which never refill;
+    /// deployments that reset budgets out of band publish their cadence
+    /// via [`SaeRegistry::set_retry_after_hint`].
+    retry_after_hint_ms: AtomicU64,
 }
 
 impl SaeRegistry {
     /// An empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Sets the back-off hint rate-limited consumers receive (the
+    /// `retry_after_ms` member of 429 envelopes). Zero — the default —
+    /// tells consumers the budget never refills.
+    pub fn set_retry_after_hint(&self, hint: Duration) {
+        self.retry_after_hint_ms
+            .store(hint.as_millis() as u64, Ordering::Relaxed);
     }
 
     /// Registers an SAE.
@@ -242,10 +257,12 @@ impl SaeRegistry {
             QkdError::invalid_parameter("sae", format!("SAE `{sae}` is not registered"))
         })?;
         let cap = state.profile.cap;
+        let retry_after_ms = self.retry_after_hint_ms.load(Ordering::Relaxed);
         if state.requests_used >= cap.max_requests {
             return Err(QkdError::RateLimited {
                 sae: sae.to_string(),
                 reason: format!("request budget of {} spent", cap.max_requests),
+                retry_after_ms,
             });
         }
         if key_bits > cap.max_key_bits.saturating_sub(state.key_bits_used) {
@@ -255,6 +272,7 @@ impl SaeRegistry {
                     "key-bit budget exceeded: {} of {} used, {key_bits} more requested",
                     state.key_bits_used, cap.max_key_bits
                 ),
+                retry_after_ms,
             });
         }
         state.requests_used += 1;
@@ -366,6 +384,23 @@ mod tests {
         assert_eq!(reg.usage("capped").unwrap(), (3, 1000));
         assert!(reg.admit("unknown", 0).is_err());
         assert!(reg.usage("unknown").is_err());
+    }
+
+    #[test]
+    fn rate_limit_refusals_carry_the_configured_back_off_hint() {
+        let reg = SaeRegistry::new();
+        reg.register(SaeProfile::new("capped", "tok").with_cap(RateCap::requests(0)))
+            .unwrap();
+        // Default hint: 0, "the budget never refills".
+        match reg.admit("capped", 0) {
+            Err(QkdError::RateLimited { retry_after_ms, .. }) => assert_eq!(retry_after_ms, 0),
+            other => panic!("expected a rate limit, got {other:?}"),
+        }
+        reg.set_retry_after_hint(Duration::from_millis(750));
+        match reg.admit("capped", 0) {
+            Err(QkdError::RateLimited { retry_after_ms, .. }) => assert_eq!(retry_after_ms, 750),
+            other => panic!("expected a rate limit, got {other:?}"),
+        }
     }
 
     proptest! {

@@ -1,12 +1,12 @@
 //! The ETSI GS QKD 014-shaped key-delivery server.
 //!
-//! Three endpoints, rooted at `/api/v1/keys`:
+//! Three endpoints, registered against the typed [`Router`]:
 //!
-//! | Method | Path                          | Purpose |
-//! |--------|-------------------------------|---------|
-//! | GET    | `/api/v1/keys/{slave}/status`   | store status for the caller/`{slave}` pair |
-//! | POST   | `/api/v1/keys/{slave}/enc_keys` | master: reserve keys, receive bits + `key_ID`s |
-//! | POST   | `/api/v1/keys/{master}/dec_keys`| slave: retrieve the same bits by `key_ID` |
+//! | Method | Pattern                          | Purpose |
+//! |--------|----------------------------------|---------|
+//! | GET    | `/api/v1/keys/{slave}/status`    | store status for the caller/`{slave}` pair |
+//! | POST   | `/api/v1/keys/{slave}/enc_keys`  | master: reserve keys, receive bits + `key_ID`s |
+//! | POST   | `/api/v1/keys/{master}/dec_keys` | slave: retrieve the same bits by `key_ID` |
 //!
 //! Every request authenticates with `Authorization: Bearer <token>` against
 //! the [`SaeRegistry`]; the pair (caller, addressed SAE) resolves to one
@@ -14,15 +14,25 @@
 //! `enc_keys` drains the store once (the delivery); `dec_keys` retrieves the
 //! parked peer copy exactly once — so no key bit ever crosses the boundary
 //! twice.
+//!
+//! Reservations made through `enc_keys` carry the configured TTL
+//! ([`ApiConfig::reservation_ttl`]); a background sweeper thread calls
+//! [`KeyStore::expire_reservations`] every [`ApiConfig::sweep_interval`],
+//! so keys a slow or dead slave never collects return to the available
+//! pool (the ledger and `reconcile()` stay balanced bit-for-bit, and the
+//! expired IDs answer like never-reserved ones).
 
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use qkd_manager::{KeyId, KeyStore};
 use qkd_types::{QkdError, Result};
 
-use crate::http::{Handler, HttpServer, Request, Response};
+use crate::http::{HttpConfig, HttpServer, Request, Response, ServerStats};
 use crate::json::Json;
+use crate::router::{Method, PathParams, Router};
 use crate::sae::SaeRegistry;
 use crate::wire::{error_to_json, key_to_json};
 
@@ -31,24 +41,36 @@ use crate::wire::{error_to_json, key_to_json};
 pub struct ApiConfig {
     /// Bind address (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
-    /// Worker threads serving requests.
-    pub workers: usize,
+    /// Shard threads, each tracking its own slice of the connections.
+    pub shards: usize,
     /// Key size in bits when an `enc_keys` request names none.
     pub default_key_size: usize,
     /// Largest accepted key size in bits.
     pub max_key_size: usize,
     /// Most keys one `enc_keys`/`dec_keys` request may move.
     pub max_keys_per_request: usize,
+    /// How long a reservation waits for its `dec_keys` pickup before the
+    /// sweeper reclaims it into the available pool. `None` parks forever
+    /// (the pre-TTL behavior).
+    pub reservation_ttl: Option<Duration>,
+    /// Cadence of the reservation sweeper (only spawned when
+    /// `reservation_ttl` is set).
+    pub sweep_interval: Duration,
+    /// Connections idle for this long are harvested by their shard.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ApiConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:0".into(),
-            workers: 4,
+            shards: 4,
             default_key_size: 256,
             max_key_size: 4096,
             max_keys_per_request: 128,
+            reservation_ttl: Some(Duration::from_secs(60)),
+            sweep_interval: Duration::from_secs(1),
+            idle_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -62,7 +84,7 @@ impl ApiConfig {
     /// default key size exceeds the maximum.
     pub fn validate(&self) -> Result<()> {
         for (name, value) in [
-            ("workers", self.workers),
+            ("shards", self.shards),
             ("default_key_size", self.default_key_size),
             ("max_key_size", self.max_key_size),
             ("max_keys_per_request", self.max_keys_per_request),
@@ -77,6 +99,20 @@ impl ApiConfig {
                 "cannot exceed max_key_size",
             ));
         }
+        for (name, value) in [
+            ("sweep_interval", self.sweep_interval),
+            ("idle_timeout", self.idle_timeout),
+        ] {
+            if value.is_zero() {
+                return Err(QkdError::invalid_parameter(name, "must be non-zero"));
+            }
+        }
+        if self.reservation_ttl.is_some_and(|t| t.is_zero()) {
+            return Err(QkdError::invalid_parameter(
+                "reservation_ttl",
+                "must be non-zero (use None to park forever)",
+            ));
+        }
         Ok(())
     }
 }
@@ -85,6 +121,8 @@ impl ApiConfig {
 #[derive(Debug)]
 pub struct ApiServer {
     http: HttpServer,
+    sweeper_stop: Arc<AtomicBool>,
+    sweeper: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ApiServer {
@@ -101,31 +139,42 @@ impl ApiServer {
         config: ApiConfig,
     ) -> Result<Self> {
         config.validate()?;
-        let addr = config.addr.clone();
-        let workers = config.workers;
-        let handler: Handler =
-            Arc::new(
-                move |request: &Request| match route(request, &store, &registry, &config) {
-                    Ok(body) => Response::json(200, &body),
-                    Err(RouteError::Api(e)) => {
-                        let (status, body) = error_to_json(&e);
-                        Response::json(status, &body)
+        let http_config = HttpConfig {
+            shards: config.shards,
+            idle_timeout: config.idle_timeout,
+        };
+        let router = Arc::new(build_router(
+            Arc::clone(&store),
+            Arc::clone(&registry),
+            config.clone(),
+        )?);
+        let http = HttpServer::serve(&config.addr, &http_config, router)?;
+
+        let sweeper_stop = Arc::new(AtomicBool::new(false));
+        let sweeper = config.reservation_ttl.is_some().then(|| {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&sweeper_stop);
+            let interval = config.sweep_interval;
+            // Sleep in short slices so shutdown never waits out a long
+            // sweep interval.
+            let slice = interval.min(Duration::from_millis(20));
+            std::thread::spawn(move || {
+                let mut next_sweep = Instant::now() + interval;
+                while !stop.load(Ordering::SeqCst) {
+                    let now = Instant::now();
+                    if now >= next_sweep {
+                        store.expire_reservations(now);
+                        next_sweep = now + interval;
                     }
-                    Err(RouteError::Http {
-                        status,
-                        code,
-                        message,
-                    }) => Response::json(
-                        status,
-                        &Json::Obj(vec![
-                            ("code".into(), Json::str(code)),
-                            ("message".into(), Json::str(message)),
-                        ]),
-                    ),
-                },
-            );
+                    std::thread::sleep(slice);
+                }
+            })
+        });
+
         Ok(Self {
-            http: HttpServer::serve(&addr, workers, handler)?,
+            http,
+            sweeper_stop,
+            sweeper,
         })
     }
 
@@ -134,79 +183,118 @@ impl ApiServer {
         self.http.local_addr()
     }
 
-    /// Graceful shutdown: stop accepting, drain in-flight requests, join.
-    pub fn shutdown(self) {
-        self.http.shutdown();
+    /// The transport's live counters (connections accepted/harvested,
+    /// requests served).
+    pub fn stats(&self) -> &ServerStats {
+        self.http.stats()
+    }
+
+    /// Graceful shutdown: stop the sweeper and the transport, dropping
+    /// every tracked connection, and join all threads.
+    pub fn shutdown(mut self) {
+        self.stop_sweeper();
+        self.http.stop();
+    }
+
+    fn stop_sweeper(&mut self) {
+        self.sweeper_stop.store(true, Ordering::SeqCst);
+        if let Some(sweeper) = self.sweeper.take() {
+            let _ = sweeper.join();
+        }
     }
 }
 
-/// Why a request could not be dispatched: an API-level [`QkdError`] (which
-/// carries its own status mapping) or a pure HTTP routing miss (404/405),
-/// which has no `QkdError` representation.
-enum RouteError {
-    Api(QkdError),
-    Http {
-        status: u16,
-        code: &'static str,
-        message: String,
-    },
-}
-
-impl From<QkdError> for RouteError {
-    fn from(e: QkdError) -> Self {
-        RouteError::Api(e)
+impl Drop for ApiServer {
+    fn drop(&mut self) {
+        // `HttpServer` joins its own threads on drop; the sweeper needs
+        // the same courtesy when `shutdown` was never called.
+        self.stop_sweeper();
     }
 }
 
-/// Parses `/api/v1/keys/{sae}/{endpoint}` and dispatches.
-fn route(
+/// Registers the three 014 endpoints. Each handler owns clones of the
+/// shared state, authenticates the caller, parses the body, and maps the
+/// endpoint result through the wire error envelope.
+fn build_router(
+    store: Arc<KeyStore>,
+    registry: Arc<SaeRegistry>,
+    config: ApiConfig,
+) -> Result<Router> {
+    let status_handler = {
+        let (store, registry, config) = (Arc::clone(&store), Arc::clone(&registry), config.clone());
+        move |request: &Request, params: &PathParams| {
+            respond(request, params, "slave", &registry, |caller, peer, _| {
+                status(&store, &registry, &config, caller, peer)
+            })
+        }
+    };
+    let enc_handler = {
+        let (store, registry, config) = (Arc::clone(&store), Arc::clone(&registry), config.clone());
+        move |request: &Request, params: &PathParams| {
+            respond(
+                request,
+                params,
+                "slave",
+                &registry,
+                |caller, slave, body| enc_keys(&store, &registry, &config, caller, slave, body),
+            )
+        }
+    };
+    let dec_handler = {
+        move |request: &Request, params: &PathParams| {
+            respond(
+                request,
+                params,
+                "master",
+                &registry,
+                |caller, master, body| dec_keys(&store, &registry, &config, caller, master, body),
+            )
+        }
+    };
+    Router::new()
+        .route(Method::Get, "/api/v1/keys/{slave}/status", status_handler)?
+        .route(Method::Post, "/api/v1/keys/{slave}/enc_keys", enc_handler)?
+        .route(Method::Post, "/api/v1/keys/{master}/dec_keys", dec_handler)
+}
+
+/// The shared request scaffolding: authenticate the bearer token, pull the
+/// peer SAE out of the matched path, parse the JSON body, run the endpoint
+/// and wrap its result (200 or the typed error envelope).
+fn respond(
     request: &Request,
-    store: &KeyStore,
+    params: &PathParams,
+    peer_param: &str,
     registry: &SaeRegistry,
-    config: &ApiConfig,
-) -> std::result::Result<Json, RouteError> {
-    let token = request
-        .header("authorization")
-        .and_then(|v| v.strip_prefix("Bearer "));
-    let caller = registry.authenticate(token)?;
-
-    let segments: Vec<&str> = request.path.trim_matches('/').split('/').collect();
-    let (peer, endpoint) = match segments.as_slice() {
-        ["api", "v1", "keys", peer, endpoint @ ("status" | "enc_keys" | "dec_keys")] => {
-            (peer.to_string(), *endpoint)
+    endpoint: impl FnOnce(&str, &str, &Json) -> Result<Json>,
+) -> Response {
+    let outcome = (|| {
+        let token = request
+            .header("authorization")
+            .and_then(|v| v.strip_prefix("Bearer "));
+        let caller = registry.authenticate(token)?;
+        let peer = params
+            .get(peer_param)
+            .ok_or_else(|| QkdError::ChannelError {
+                reason: format!("route pattern is missing `{{{peer_param}}}`"),
+            })?;
+        let body = if request.body.is_empty() {
+            Json::Null
+        } else {
+            Json::parse(std::str::from_utf8(&request.body).map_err(|_| {
+                QkdError::ChannelError {
+                    reason: "request body is not UTF-8".into(),
+                }
+            })?)?
+        };
+        endpoint(&caller, peer, &body)
+    })();
+    match outcome {
+        Ok(body) => Response::json(200, &body),
+        Err(e) => {
+            let (status, body) = error_to_json(&e);
+            Response::json(status, &body)
         }
-        _ => {
-            return Err(RouteError::Http {
-                status: 404,
-                code: "not_found",
-                message: format!("no such route: {}", request.path),
-            })
-        }
-    };
-
-    let body = if request.body.is_empty() {
-        Json::Null
-    } else {
-        Json::parse(
-            std::str::from_utf8(&request.body).map_err(|_| QkdError::ChannelError {
-                reason: "request body is not UTF-8".into(),
-            })?,
-        )?
-    };
-
-    let result = match (request.method.as_str(), endpoint) {
-        ("GET", "status") => status(store, registry, config, &caller, &peer),
-        ("POST", "enc_keys") => enc_keys(store, registry, config, &caller, &peer, &body),
-        ("POST", "dec_keys") => dec_keys(store, registry, config, &caller, &peer, &body),
-        _ => {
-            return Err(RouteError::Http {
-                status: 405,
-                code: "method_not_allowed",
-                message: format!("{} is not valid for {endpoint}", request.method),
-            })
-        }
-    };
-    result.map_err(RouteError::Api)
+    }
 }
 
 /// `GET /api/v1/keys/{slave}/status`
@@ -240,6 +328,10 @@ fn status(
         ("available_bits".into(), Json::num(status.available_bits)),
         ("delivered_bits".into(), Json::num(status.delivered_bits)),
         ("reserved_keys".into(), Json::num(status.reserved_keys)),
+        (
+            "reservations_expired".into(),
+            Json::num(status.reservations_expired),
+        ),
     ]))
 }
 
@@ -281,8 +373,8 @@ fn enc_keys(
     registry.admit(caller, (number * size) as u64)?;
     // The reservation is claimed by the slave's identity: even another SAE
     // pair entitled to the same link (or the master itself) cannot redeem
-    // it via `dec_keys`.
-    let keys = store.reserve_keys(link, number, size, Some(slave))?;
+    // it via `dec_keys`. It parks at most `reservation_ttl` long.
+    let keys = store.reserve_keys(link, number, size, Some(slave), config.reservation_ttl)?;
     Ok(Json::Obj(vec![(
         "keys".into(),
         Json::Arr(keys.iter().map(key_to_json).collect()),

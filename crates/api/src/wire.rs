@@ -152,11 +152,19 @@ pub fn error_to_json(e: &QkdError) -> (u16, Json) {
             members.push(("reason".into(), Json::str(reason.clone())));
             (401, "unauthorized")
         }
-        QkdError::RateLimited { sae, reason } => {
+        QkdError::RateLimited {
+            sae,
+            reason,
+            retry_after_ms,
+        } => {
             members.push(("sae".into(), Json::str(sae.clone())));
             members.push(("reason".into(), Json::str(reason.clone())));
+            members.push(("retry_after_ms".into(), Json::num(*retry_after_ms)));
             (429, "rate_limited")
         }
+        // A shortfall is the store being temporarily unable to serve the
+        // demand, not a malformed request: 503, echoing the requested and
+        // available bit counts so consumers can right-size the retry.
         QkdError::KeyStoreShortfall {
             link,
             requested,
@@ -165,7 +173,7 @@ pub fn error_to_json(e: &QkdError) -> (u16, Json) {
             members.push(("link".into(), Json::num(*link)));
             members.push(("requested".into(), Json::num(*requested)));
             members.push(("available".into(), Json::num(*available)));
-            (400, "shortfall")
+            (503, "shortfall")
         }
         QkdError::UnknownKeyId { link, serial } => {
             members.push(("link".into(), Json::num(*link)));
@@ -205,6 +213,7 @@ pub fn error_from_json(status: u16, body: &Json) -> QkdError {
                 .unwrap_or_default()
                 .to_string(),
             reason,
+            retry_after_ms: num("retry_after_ms").unwrap_or_default(),
         },
         Some("shortfall") => QkdError::KeyStoreShortfall {
             link: num("link").unwrap_or_default(),
@@ -284,10 +293,11 @@ mod tests {
                 QkdError::RateLimited {
                     sae: "app-1".into(),
                     reason: "budget spent".into(),
+                    retry_after_ms: 250,
                 },
             ),
             (
-                400,
+                503,
                 QkdError::KeyStoreShortfall {
                     link: 3,
                     requested: 512,
@@ -301,6 +311,21 @@ mod tests {
             assert_eq!(status, want_status, "{e}");
             assert_eq!(error_from_json(status, &body), e, "must roundtrip exactly");
         }
+        // The machine-readable members ride as numbers, not display text.
+        let (_, body) = error_to_json(&QkdError::RateLimited {
+            sae: "app-1".into(),
+            reason: "budget spent".into(),
+            retry_after_ms: 250,
+        });
+        assert_eq!(body.get("retry_after_ms").and_then(Json::as_u64), Some(250));
+        let (status, body) = error_to_json(&QkdError::KeyStoreShortfall {
+            link: 3,
+            requested: 512,
+            available: 100,
+        });
+        assert_eq!(status, 503);
+        assert_eq!(body.get("requested").and_then(Json::as_u64), Some(512));
+        assert_eq!(body.get("available").and_then(Json::as_u64), Some(100));
         // Unknown codes degrade to a channel error with the status.
         let back = error_from_json(502, &Json::Obj(vec![]));
         assert!(matches!(back, QkdError::ChannelError { .. }));

@@ -141,7 +141,9 @@ fn entitlements_and_authentication_are_enforced_at_the_boundary() {
         stream.read_to_string(&mut text).unwrap();
         text.split(' ').nth(1).unwrap().parse::<u16>().unwrap()
     };
-    let auth = "authorization: Bearer tok-bob";
+    // (`connection: close` so reading to EOF terminates promptly on the
+    // keep-alive server.)
+    let auth = "authorization: Bearer tok-bob\r\nconnection: close";
     assert_eq!(
         raw(&format!("GET /api/v1/nope HTTP/1.1\r\n{auth}\r\n\r\n")),
         404
@@ -224,6 +226,184 @@ fn shortfalls_rate_caps_and_bad_requests_map_to_typed_errors() {
         other => panic!("expected rate limiting, got {other:?}"),
     }
 
+    fleet.reconcile().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_connections_serve_many_pipelined_round_trips() {
+    let (fleet, registry) = fleet_and_registry();
+    let server = ApiServer::start(
+        fleet.store_handle(),
+        Arc::clone(&registry),
+        ApiConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Two kept-alive clients drive ten full enc/dec rounds each over the
+    // same pair of TCP connections.
+    let alice = ApiClient::new(addr, "tok-alice");
+    let bob = ApiClient::new(addr, "tok-bob");
+    for round in 0..10 {
+        let reserved = alice.enc_keys("bob-app", 2, 64).unwrap();
+        let ids: Vec<KeyId> = reserved.iter().map(|k| k.id).collect();
+        let picked = bob.dec_keys("alice-app", &ids).unwrap();
+        for (m, s) in reserved.iter().zip(&picked) {
+            assert_eq!(
+                m.bits, s.bits,
+                "round {round}: copies must be bit-identical"
+            );
+        }
+    }
+    assert_eq!(
+        server.stats().connections_accepted(),
+        2,
+        "every round trip must reuse the two kept-alive connections"
+    );
+    assert_eq!(server.stats().requests_served(), 20);
+
+    // Raw pipelining: several requests written back-to-back on one socket
+    // come back as complete responses, in order.
+    {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        let burst: String = (0..4)
+            .map(|_| {
+                "GET /api/v1/keys/bob-app/status HTTP/1.1\r\n\
+                 authorization: Bearer tok-alice\r\n\r\n"
+                    .to_string()
+            })
+            .collect();
+        stream.write_all(burst.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let mut served = 0;
+        while served < 4 {
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "server closed mid-pipeline");
+            buf.extend_from_slice(&chunk[..n]);
+            served = String::from_utf8_lossy(&buf)
+                .matches("\"available_bits\"")
+                .count();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.matches("HTTP/1.1 200 OK").count(), 4);
+    }
+    assert_eq!(server.stats().connections_accepted(), 3);
+
+    fleet.reconcile().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn idle_connections_are_harvested_while_the_server_keeps_serving() {
+    let (fleet, registry) = fleet_and_registry();
+    let server = ApiServer::start(
+        fleet.store_handle(),
+        Arc::clone(&registry),
+        ApiConfig {
+            idle_timeout: std::time::Duration::from_millis(80),
+            ..ApiConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // A client that goes quiet after one request loses its connection…
+    use std::io::Read;
+    let mut stale = std::net::TcpStream::connect(addr).unwrap();
+    stale
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .unwrap();
+    let mut buf = [0u8; 512];
+    let closed = loop {
+        match stale.read(&mut buf) {
+            Ok(0) | Err(_) => break true,
+            Ok(_) => {}
+        }
+    };
+    assert!(closed, "the idle connection must be harvested");
+    assert!(server.stats().connections_harvested() >= 1);
+
+    // …while fresh traffic — including a kept-alive client that
+    // transparently reconnects — keeps working.
+    let alice = ApiClient::new(addr, "tok-alice");
+    let before = alice.status("bob-app").unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    // The client's parked connection has been harvested by now; the next
+    // call must retry on a fresh one rather than failing.
+    let after = alice.status("bob-app").unwrap();
+    assert_eq!(before.available_bits, after.available_bits);
+
+    fleet.reconcile().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn uncollected_reservations_expire_back_into_the_pool() {
+    let (fleet, registry) = fleet_and_registry();
+    let server = ApiServer::start(
+        fleet.store_handle(),
+        Arc::clone(&registry),
+        ApiConfig {
+            reservation_ttl: Some(std::time::Duration::from_millis(100)),
+            sweep_interval: std::time::Duration::from_millis(20),
+            ..ApiConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let alice = ApiClient::new(addr, "tok-alice");
+    let bob = ApiClient::new(addr, "tok-bob");
+    let before = alice.status("bob-app").unwrap();
+
+    // Alice reserves, bob never shows up.
+    let reserved = alice.enc_keys("bob-app", 2, 128).unwrap();
+    let ids: Vec<KeyId> = reserved.iter().map(|k| k.id).collect();
+    assert_eq!(alice.status("bob-app").unwrap().reserved_keys, 2);
+
+    // Wait out the TTL plus a few sweep intervals.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        if alice.status("bob-app").unwrap().reservations_expired == 2 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "sweeper did not reclaim the reservations in time"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // The bits are available again, the parked keys are gone, and a late
+    // pickup reads exactly like an unknown ID.
+    let after = alice.status("bob-app").unwrap();
+    assert_eq!(after.available_bits, before.available_bits);
+    assert_eq!(after.reserved_keys, 0);
+    assert!(matches!(
+        bob.dec_keys("alice-app", &ids),
+        Err(QkdError::UnknownKeyId { .. })
+    ));
+
+    // The reclaimed bits flow through a fresh reservation that *is*
+    // collected in time — bit-for-bit delivery still works.
+    let retry = alice.enc_keys("bob-app", 2, 128).unwrap();
+    let retry_ids: Vec<KeyId> = retry.iter().map(|k| k.id).collect();
+    assert!(
+        retry_ids.iter().all(|id| !ids.contains(id)),
+        "expired serials must never be reused"
+    );
+    let picked = bob.dec_keys("alice-app", &retry_ids).unwrap();
+    for (m, s) in retry.iter().zip(&picked) {
+        assert_eq!(m.bits, s.bits);
+    }
+
+    // The ledger balances bit-for-bit after expiry and redelivery.
     fleet.reconcile().unwrap();
     server.shutdown();
 }

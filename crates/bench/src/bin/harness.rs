@@ -22,7 +22,8 @@ Flags (each prints one JSON document to stdout):
   --smoke        quick kernel smoke benchmark        (qkd-bench-smoke/v1)
   --pipelined    sequential-vs-pipelined comparison  (qkd-bench-pipelined/v1)
   --fleet        multi-link fleet over a shared pool (qkd-bench-fleet/v1)
-  --api          ETSI 014 key delivery over localhost TCP (qkd-bench-api/v1)
+  --api          ETSI 014 delivery: keep-alive vs per-request connection
+                 sweep, 64-4096 concurrent SAEs   (qkd-bench-api/v2)
   --decoder      LDPC decoder hot path vs seed reference (qkd-bench-decoder/v1)
   --help, -h     print this help and exit
 

@@ -1010,15 +1010,19 @@ pub fn smoke_fleet() {
     println!("{json}");
 }
 
-/// ETSI 014 delivery-API benchmark: a fleet distils key into the store, the
-/// `qkd-api` server fronts it on localhost TCP, and concurrent SAE pairs
-/// drain their links through `enc_keys`/`dec_keys` via real [`qkd_api::ApiClient`]
-/// sockets. Prints one machine-readable JSON document (`qkd-bench-api/v1`)
-/// with request throughput and key-drain rate per concurrency level.
+/// ETSI 014 delivery-API benchmark (`qkd-bench-api/v2`): a fleet distils
+/// key into the store, the `qkd-api` server fronts it on localhost TCP, and
+/// a sweep of 64 → 4096 concurrent SAEs (capped at 256 when `CI` is set)
+/// hammers it through real [`qkd_api::ApiClient`] sockets — once with
+/// kept-alive connections (the server's connection tracker holds every SAE's
+/// socket open) and once with one fresh connection per request as the
+/// baseline. Prints one machine-readable JSON document with request
+/// throughput and p99 latency per level and mode.
 ///
-/// Every cell doubles as an end-to-end check: each pair's master- and
-/// slave-side key bits are asserted bit-identical, and the store ledger must
-/// reconcile against the session summaries after the drain.
+/// The sweep is preceded by a correctness drain: one SAE pair empties its
+/// link through `enc_keys`/`dec_keys` over kept-alive connections, every
+/// key is asserted bit-identical on both sides, and the store ledger must
+/// reconcile afterwards.
 pub fn smoke_api() {
     use qkd_api::{ApiClient, ApiConfig, ApiServer, SaeProfile, SaeRegistry};
     use std::sync::Arc;
@@ -1029,130 +1033,193 @@ pub fn smoke_api() {
     let blocks_per_epoch = 2usize;
     let key_size = 128usize;
     let keys_per_request = 4usize;
+    // Level 4096 needs thousands of concurrent sockets and minutes of wall
+    // clock on a shared runner; CI sweeps the shape, not the ceiling.
+    let max_level = if std::env::var_os("CI").is_some() {
+        256
+    } else {
+        4096
+    };
+    let levels: Vec<usize> = [64usize, 256, 1024, 4096]
+        .into_iter()
+        .filter(|&l| l <= max_level)
+        .collect();
+    let top = *levels.last().unwrap();
 
-    let mut cells = Vec::new();
-    for &pairs in &[1usize, 2, 4] {
-        // One metro link per SAE pair, distilled up front so the cell
-        // measures delivery, not distillation.
-        let mut fleet = qkd_manager::LinkManager::new(
-            qkd_manager::FleetConfig::default()
-                .with_workers(2)
-                .with_max_backlog(64),
-        )
-        .unwrap();
-        let registry = Arc::new(SaeRegistry::new());
-        for pair in 0..pairs {
-            let link = fleet
-                .add_link(qkd_manager::LinkSpec::from_preset(
-                    qkd_simulator::WorkloadPreset::Metro,
-                    block,
-                    0xAB1_0000 + pair as u64,
-                ))
-                .unwrap();
-            for _ in 0..epochs {
-                fleet.submit_epoch(link, blocks_per_epoch).unwrap();
-            }
-            registry
-                .register(SaeProfile::new(
-                    format!("master-{pair}"),
-                    format!("tok-master-{pair}"),
-                ))
-                .unwrap();
-            registry
-                .register(SaeProfile::new(
-                    format!("slave-{pair}"),
-                    format!("tok-slave-{pair}"),
-                ))
-                .unwrap();
-            registry
-                .entitle(&format!("master-{pair}"), &format!("slave-{pair}"), link)
-                .unwrap();
+    // Two metro links: link 0 feeds the correctness drain, link 1 backs the
+    // status sweep (status reads the store but never drains it, so one link
+    // serves any number of SAEs).
+    let mut fleet = qkd_manager::LinkManager::new(
+        qkd_manager::FleetConfig::default()
+            .with_workers(2)
+            .with_max_backlog(64),
+    )
+    .unwrap();
+    let registry = Arc::new(SaeRegistry::new());
+    for link in 0..2usize {
+        let id = fleet
+            .add_link(qkd_manager::LinkSpec::from_preset(
+                qkd_simulator::WorkloadPreset::Metro,
+                block,
+                0xAB1_0000 + link as u64,
+            ))
+            .unwrap();
+        for _ in 0..epochs {
+            fleet.submit_epoch(id, blocks_per_epoch).unwrap();
         }
-        fleet.run().unwrap();
-        let deposited: u64 = (0..pairs)
-            .map(|link| fleet.store().status(link).unwrap().available_bits)
-            .sum();
+    }
+    fleet.run().unwrap();
+    let deposited = fleet.store().status(0).unwrap().available_bits;
 
-        let server = ApiServer::start(
-            fleet.store_handle(),
-            Arc::clone(&registry),
-            ApiConfig::default(),
-        )
+    // The drain pair on link 0, and `top` master SAEs all entitled to one
+    // shared "sink" slave on link 1 for the status sweep.
+    registry
+        .register(SaeProfile::new("drain-master", "tok-drain-master"))
         .unwrap();
-        let addr = server.local_addr();
-
-        let drain_start = std::time::Instant::now();
-        let workers: Vec<_> = (0..pairs)
-            .map(|pair| {
-                std::thread::spawn(move || {
-                    let master = ApiClient::new(addr, format!("tok-master-{pair}"));
-                    let slave = ApiClient::new(addr, format!("tok-slave-{pair}"));
-                    let master_id = format!("master-{pair}");
-                    let slave_id = format!("slave-{pair}");
-                    let mut requests = 0u64;
-                    let mut bits = 0u64;
-                    // Drain in four-key batches, then single keys, until the
-                    // link's store reports a shortfall.
-                    for number in [keys_per_request, 1] {
-                        loop {
-                            match master.enc_keys(&slave_id, number, key_size) {
-                                Ok(reserved) => {
-                                    requests += 1;
-                                    let ids: Vec<qkd_manager::KeyId> =
-                                        reserved.iter().map(|k| k.id).collect();
-                                    let picked = slave.dec_keys(&master_id, &ids).unwrap();
-                                    requests += 1;
-                                    for (m, s) in reserved.iter().zip(&picked) {
-                                        assert_eq!(
-                                            m.bits, s.bits,
-                                            "master and slave keys must be bit-identical"
-                                        );
-                                        bits += m.bits.len() as u64;
-                                    }
-                                }
-                                Err(qkd_types::QkdError::KeyStoreShortfall { .. }) => break,
-                                Err(e) => panic!("unexpected API error: {e}"),
-                            }
-                        }
-                    }
-                    (requests, bits)
-                })
-            })
-            .collect();
-        let mut requests = 0u64;
-        let mut drained_bits = 0u64;
-        for worker in workers {
-            let (r, b) = worker.join().expect("drain worker panicked");
-            requests += r;
-            drained_bits += b;
-        }
-        let wall = drain_start.elapsed();
-        server.shutdown();
-        fleet
-            .reconcile()
-            .expect("ledger must reconcile after drain");
-        assert!(
-            deposited - drained_bits < (pairs * key_size) as u64,
-            "the drain must leave less than one key per link"
-        );
-        cells.push((pairs, requests, drained_bits, wall));
+    registry
+        .register(SaeProfile::new("drain-slave", "tok-drain-slave"))
+        .unwrap();
+    registry.entitle("drain-master", "drain-slave", 0).unwrap();
+    registry
+        .register(SaeProfile::new("sink", "tok-sink"))
+        .unwrap();
+    for sae in 0..top {
+        registry
+            .register(SaeProfile::new(format!("sae-{sae}"), format!("tok-{sae}")))
+            .unwrap();
+        registry.entitle(&format!("sae-{sae}"), "sink", 1).unwrap();
     }
 
-    let mut json = String::from("{\n  \"schema\": \"qkd-bench-api/v1\",\n");
+    let server = ApiServer::start(
+        fleet.store_handle(),
+        Arc::clone(&registry),
+        ApiConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // --- Correctness drain: bit-identical keys over kept-alive sockets. ---
+    let drain_start = std::time::Instant::now();
+    let master = ApiClient::new(addr, "tok-drain-master");
+    let slave = ApiClient::new(addr, "tok-drain-slave");
+    let mut drain_requests = 0u64;
+    let mut drained_bits = 0u64;
+    for number in [keys_per_request, 1] {
+        loop {
+            match master.enc_keys("drain-slave", number, key_size) {
+                Ok(reserved) => {
+                    drain_requests += 1;
+                    let ids: Vec<qkd_manager::KeyId> = reserved.iter().map(|k| k.id).collect();
+                    let picked = slave.dec_keys("drain-master", &ids).unwrap();
+                    drain_requests += 1;
+                    for (m, s) in reserved.iter().zip(&picked) {
+                        assert_eq!(
+                            m.bits, s.bits,
+                            "master and slave keys must be bit-identical"
+                        );
+                        drained_bits += m.bits.len() as u64;
+                    }
+                }
+                Err(qkd_types::QkdError::KeyStoreShortfall { .. }) => break,
+                Err(e) => panic!("unexpected API error: {e}"),
+            }
+        }
+    }
+    let drain_wall = drain_start.elapsed();
+    drop(master);
+    drop(slave);
+    assert!(
+        deposited - drained_bits < key_size as u64,
+        "the drain must leave less than one key on the link"
+    );
+    fleet
+        .reconcile()
+        .expect("ledger must reconcile after drain");
+
+    // --- Concurrency sweep: L kept-alive SAE connections vs. one fresh
+    // connection per request, same status workload. ---
+    let mut cells = Vec::new();
+    for &level in &levels {
+        let mut modes = Vec::new();
+        for keep_alive in [true, false] {
+            // One driver thread per SAE — `level` concurrent SAEs means
+            // `level` clients genuinely in flight, not `level` sockets
+            // multiplexed through a handful of threads. Small stacks keep
+            // thousands of drivers cheap; each blocks on its own socket.
+            let drivers = level;
+            let total_requests = (level * 4).min(8192) / drivers * drivers;
+            let per_thread = total_requests / drivers;
+            let sweep_start = std::time::Instant::now();
+            let handles: Vec<_> = (0..drivers)
+                .map(|sae| {
+                    std::thread::Builder::new()
+                        .stack_size(256 * 1024)
+                        .spawn(move || {
+                            let client = ApiClient::new(addr, format!("tok-{sae}"));
+                            let client = if keep_alive {
+                                client
+                            } else {
+                                client.without_keep_alive()
+                            };
+                            let mut latencies = Vec::with_capacity(per_thread);
+                            for _ in 0..per_thread {
+                                let t = std::time::Instant::now();
+                                let status = client.status("sink").unwrap();
+                                latencies.push(t.elapsed());
+                                assert_eq!(status.link, 1, "status must answer for link 1");
+                            }
+                            latencies
+                        })
+                        .expect("spawn sweep driver")
+                })
+                .collect();
+            let mut latencies: Vec<std::time::Duration> = handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("sweep driver panicked"))
+                .collect();
+            let wall = sweep_start.elapsed();
+            latencies.sort_unstable();
+            let p99 = latencies[(latencies.len() * 99).div_ceil(100) - 1];
+            modes.push((keep_alive, total_requests, wall, p99));
+        }
+        cells.push((level, modes));
+    }
+    let stats = server.stats();
+    let (accepted, served) = (stats.connections_accepted(), stats.requests_served());
+    server.shutdown();
+
+    let mut json = String::from("{\n  \"schema\": \"qkd-bench-api/v2\",\n");
     json.push_str(&format!(
-        "  \"block_bits\": {block},\n  \"key_size\": {key_size},\n  \"keys_per_request\": {keys_per_request},\n  \"keys_identical\": true,\n  \"grid\": [\n"
+        "  \"block_bits\": {block},\n  \"key_size\": {key_size},\n  \"keys_identical\": true,\n"
+    ));
+    let drain_secs = drain_wall.as_secs_f64();
+    json.push_str(&format!(
+        "  \"drain\": {{\"requests\": {drain_requests}, \"drained_bits\": {drained_bits}, \"wall_ms\": {:.3}, \"requests_per_s\": {:.1}}},\n",
+        drain_secs * 1e3,
+        drain_requests as f64 / drain_secs,
+    ));
+    json.push_str(&format!(
+        "  \"connections_accepted\": {accepted},\n  \"requests_served\": {served},\n  \"sweep\": [\n"
     ));
     let num_cells = cells.len();
-    for (i, (pairs, requests, bits, wall)) in cells.iter().enumerate() {
-        let secs = wall.as_secs_f64();
+    for (i, (level, modes)) in cells.iter().enumerate() {
+        json.push_str(&format!("    {{\"concurrent_saes\": {level}"));
+        for (keep_alive, requests, wall, p99) in modes {
+            let name = if *keep_alive {
+                "keep_alive"
+            } else {
+                "per_request"
+            };
+            let secs = wall.as_secs_f64();
+            json.push_str(&format!(
+                ", \"{name}\": {{\"requests\": {requests}, \"wall_ms\": {:.3}, \"requests_per_s\": {:.1}, \"p99_ms\": {:.3}}}",
+                secs * 1e3,
+                *requests as f64 / secs,
+                p99.as_secs_f64() * 1e3,
+            ));
+        }
         let comma = if i + 1 < num_cells { "," } else { "" };
-        json.push_str(&format!(
-            "    {{\"concurrent_saes\": {}, \"links\": {pairs}, \"requests\": {requests}, \"drained_bits\": {bits}, \"wall_ms\": {:.3}, \"requests_per_s\": {:.1}, \"drain_bps\": {:.1}}}{comma}\n",
-            pairs * 2,
-            secs * 1e3,
-            *requests as f64 / secs,
-            *bits as f64 / secs,
-        ));
+        json.push_str(&format!("}}{comma}\n"));
     }
     json.push_str(&format!(
         "  ],\n  \"total_wall_s\": {:.3}\n}}",

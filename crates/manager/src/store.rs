@@ -15,10 +15,21 @@
 //! side retrieves that copy exactly once via [`KeyStore::get_key_by_id`].
 //! The parked copy is the other half of one delivery, not a second one, so
 //! the ledger is unaffected by pickups.
+//!
+//! Reservations may carry a **TTL**: a reservation the slave has not
+//! collected by its deadline is reclaimed by
+//! [`KeyStore::expire_reservations`] (the delivery tier runs it from a
+//! periodic sweeper). Reclaiming un-delivers the parked bits — they re-enter
+//! the available pool at the tail of the link's stream and the delivery
+//! ledger is rolled back by the same amount, so
+//! `deposited = delivered + available` keeps balancing bit-for-bit. An
+//! expired ID is gone: a late pickup is answered exactly like a
+//! never-reserved one.
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
 use qkd_types::{BitVec, QkdError, Result, SecretKey};
 
@@ -99,6 +110,10 @@ pub struct KeyStatus {
     pub keys_delivered: u64,
     /// Reserved keys parked for the peer SAE and not yet picked up by ID.
     pub reserved_keys: u64,
+    /// Cumulative count of reservations whose TTL expired before pickup and
+    /// whose bits were reclaimed into the available pool — the leakage a
+    /// slow or dead slave SAE would otherwise cause, made visible.
+    pub reservations_expired: u64,
     /// Number of secret-key blocks deposited.
     pub blocks_deposited: u64,
     /// Union-bound epsilon over every deposited block.
@@ -124,6 +139,9 @@ struct Reservation {
     /// claim is answered exactly like a non-existent ID, so a foreign
     /// consumer can neither redeem nor probe for the reservation.
     claim: Option<String>,
+    /// Deadline after which the sweeper may reclaim the reservation; `None`
+    /// parks the key forever (the pre-TTL behaviour).
+    expires_at: Option<Instant>,
 }
 
 /// Per-link storage: a flat bit buffer drained from the front, plus the
@@ -136,6 +154,7 @@ struct LinkStore {
     delivered_bits: u64,
     keys_delivered: u64,
     blocks_deposited: u64,
+    reservations_expired: u64,
     epsilon: f64,
     /// Reserved deliveries awaiting the peer SAE, keyed by serial. Each entry
     /// is the peer's copy of bits already accounted as delivered — retrieval
@@ -222,6 +241,7 @@ impl KeyStore {
             delivered_bits: store.delivered_bits,
             keys_delivered: store.keys_delivered,
             reserved_keys: store.parked.len() as u64,
+            reservations_expired: store.reservations_expired,
             blocks_deposited: store.blocks_deposited,
             epsilon: store.epsilon,
         })
@@ -270,6 +290,12 @@ impl KeyStore {
     /// when several pairs share the link). All-or-nothing: a shortfall
     /// reserves nothing.
     ///
+    /// `ttl` bounds how long the parked copies wait for pickup: a
+    /// reservation older than its TTL is reclaimed by the next
+    /// [`KeyStore::expire_reservations`] sweep (the bits return to the
+    /// available pool, the delivery ledger is rolled back, and the ID stops
+    /// being redeemable). `None` parks forever.
+    ///
     /// # Errors
     ///
     /// * [`QkdError::InvalidParameter`] for an unknown link or a zero count
@@ -282,6 +308,7 @@ impl KeyStore {
         count: usize,
         size_bits: usize,
         claim: Option<&str>,
+        ttl: Option<Duration>,
     ) -> Result<Vec<DeliveredKey>> {
         if count == 0 || size_bits == 0 {
             return Err(QkdError::invalid_parameter(
@@ -301,6 +328,7 @@ impl KeyStore {
                 available: store.available() as u64,
             });
         }
+        let expires_at = ttl.map(|t| Instant::now() + t);
         let mut keys = Vec::with_capacity(count);
         for _ in 0..count {
             let key = store.drain(link, size_bits);
@@ -310,11 +338,47 @@ impl KeyStore {
                     bits: key.bits.clone(),
                     epsilon: key.epsilon,
                     claim: claim.map(str::to_string),
+                    expires_at,
                 },
             );
             keys.push(key);
         }
         Ok(keys)
+    }
+
+    /// Reclaims every reservation whose TTL deadline lies at or before
+    /// `now`, across all links, and returns how many were reclaimed. The
+    /// delivery tier's sweeper calls this periodically with
+    /// `Instant::now()`; tests may pass a future instant to force expiry
+    /// deterministically.
+    ///
+    /// Reclaiming un-delivers the parked copy: the bits re-enter the
+    /// available pool at the tail of the link's stream, `delivered_bits` is
+    /// rolled back by the same amount (so the ledger and
+    /// [`LinkManager::reconcile`](crate::manager::LinkManager::reconcile)
+    /// keep balancing bit-for-bit), the per-link
+    /// [`KeyStatus::reservations_expired`] counter advances, and the ID is
+    /// answered like a never-reserved one from then on. Untimed
+    /// reservations (`ttl == None`) are never touched.
+    pub fn expire_reservations(&self, now: Instant) -> u64 {
+        let mut inner = self.inner.lock();
+        let mut reclaimed = 0u64;
+        for store in inner.values_mut() {
+            let expired: Vec<u64> = store
+                .parked
+                .iter()
+                .filter(|(_, r)| r.expires_at.is_some_and(|at| at <= now))
+                .map(|(&serial, _)| serial)
+                .collect();
+            for serial in expired {
+                let reservation = store.parked.remove(&serial).expect("collected above");
+                store.buf.extend_from(&reservation.bits);
+                store.delivered_bits -= reservation.bits.len() as u64;
+                store.reservations_expired += 1;
+                reclaimed += 1;
+            }
+        }
+        reclaimed
     }
 
     /// Retrieves the peer's copy of a reserved key, exactly once: the parked
@@ -528,7 +592,7 @@ mod tests {
         let k = secret(512, 9);
         store.deposit(0, &k);
 
-        let reserved = store.reserve_keys(0, 2, 100, None).unwrap();
+        let reserved = store.reserve_keys(0, 2, 100, None, None).unwrap();
         assert_eq!(reserved.len(), 2);
         assert_eq!(reserved[0].id, KeyId { link: 0, serial: 0 });
         assert_eq!(reserved[1].id, KeyId { link: 0, serial: 1 });
@@ -565,7 +629,9 @@ mod tests {
     fn batched_pickup_is_all_or_nothing() {
         let store = KeyStore::default();
         store.deposit(0, &secret(400, 13));
-        let reserved = store.reserve_keys(0, 3, 100, Some("peer-sae")).unwrap();
+        let reserved = store
+            .reserve_keys(0, 3, 100, Some("peer-sae"), None)
+            .unwrap();
         let ids: Vec<KeyId> = reserved.iter().map(|k| k.id).collect();
 
         // A batch naming one unknown ID consumes nothing.
@@ -602,8 +668,8 @@ mod tests {
     fn pickups_require_the_reservation_claim() {
         let store = KeyStore::default();
         store.deposit(0, &secret(300, 17));
-        let for_bob = store.reserve_keys(0, 1, 100, Some("bob")).unwrap();
-        let untagged = store.reserve_keys(0, 1, 100, None).unwrap();
+        let for_bob = store.reserve_keys(0, 1, 100, Some("bob"), None).unwrap();
+        let untagged = store.reserve_keys(0, 1, 100, None, None).unwrap();
 
         // A foreign claim (or no claim) is answered like a missing ID, and
         // consumes nothing.
@@ -639,16 +705,16 @@ mod tests {
         let store = KeyStore::default();
         store.deposit(2, &secret(100, 11));
         assert!(matches!(
-            store.reserve_keys(2, 3, 40, None),
+            store.reserve_keys(2, 3, 40, None, None),
             Err(QkdError::KeyStoreShortfall {
                 link: 2,
                 requested: 120,
                 available: 100,
             })
         ));
-        assert!(store.reserve_keys(2, 0, 40, None).is_err());
-        assert!(store.reserve_keys(2, 1, 0, None).is_err());
-        assert!(store.reserve_keys(9, 1, 8, None).is_err());
+        assert!(store.reserve_keys(2, 0, 40, None, None).is_err());
+        assert!(store.reserve_keys(2, 1, 0, None, None).is_err());
+        assert!(store.reserve_keys(9, 1, 8, None, None).is_err());
         assert!(store
             .get_key_by_id(KeyId { link: 9, serial: 0 }, None)
             .is_err());
@@ -656,6 +722,74 @@ mod tests {
         assert_eq!(status.available_bits, 100);
         assert_eq!(status.reserved_keys, 0);
         assert_eq!(status.keys_delivered, 0);
+    }
+
+    #[test]
+    fn expired_reservations_return_to_the_pool_and_the_ledger_balances() {
+        let store = KeyStore::default();
+        let k = secret(600, 21);
+        store.deposit(0, &k);
+
+        // Two timed reservations, one untimed, one already redeemed.
+        let timed = store
+            .reserve_keys(0, 2, 100, Some("slow-sae"), Some(Duration::from_secs(3600)))
+            .unwrap();
+        let forever = store.reserve_keys(0, 1, 100, None, None).unwrap();
+        let redeemed = store
+            .reserve_keys(0, 1, 100, Some("fast-sae"), Some(Duration::from_secs(3600)))
+            .unwrap();
+        assert_eq!(
+            store
+                .get_key_by_id(redeemed[0].id, Some("fast-sae"))
+                .unwrap()
+                .bits,
+            redeemed[0].bits
+        );
+        let before = store.status(0).unwrap();
+        assert_eq!(before.available_bits, 200);
+        assert_eq!(before.delivered_bits, 400);
+        assert_eq!(before.reserved_keys, 3);
+        assert_eq!(before.reservations_expired, 0);
+
+        // Nothing is due yet: a sweep at "now" reclaims nothing.
+        assert_eq!(store.expire_reservations(Instant::now()), 0);
+        assert_eq!(store.status(0).unwrap(), before);
+
+        // A sweep past the deadline reclaims exactly the two timed parked
+        // reservations — the redeemed one is gone, the untimed one stays.
+        let reclaimed = store.expire_reservations(Instant::now() + Duration::from_secs(7200));
+        assert_eq!(reclaimed, 2);
+        let after = store.status(0).unwrap();
+        assert_eq!(after.available_bits, 400, "bits are available again");
+        assert_eq!(after.delivered_bits, 200, "delivery ledger rolled back");
+        assert_eq!(after.reserved_keys, 1);
+        assert_eq!(after.reservations_expired, 2);
+        assert!(after.balances(), "deposited = delivered + available");
+
+        // Expired IDs are answered like never-reserved ones…
+        for key in &timed {
+            assert!(matches!(
+                store.get_key_by_id(key.id, Some("slow-sae")),
+                Err(QkdError::UnknownKeyId { .. })
+            ));
+        }
+        // …the untimed reservation still redeems…
+        assert_eq!(
+            store.get_key_by_id(forever[0].id, None).unwrap().bits,
+            forever[0].bits
+        );
+        // …and the reclaimed bits are re-delivered after the remaining pool,
+        // in reservation order (tail of the stream).
+        let rest = store.get_key(0, 200).unwrap();
+        assert_eq!(rest.bits, k.bits.slice(400, 600));
+        let re1 = store.get_key(0, 100).unwrap();
+        let re2 = store.get_key(0, 100).unwrap();
+        assert_eq!(re1.bits, timed[0].bits);
+        assert_eq!(re2.bits, timed[1].bits);
+        let end = store.status(0).unwrap();
+        assert!(end.balances());
+        assert_eq!(end.available_bits, 0);
+        assert_eq!(end.reservations_expired, 2);
     }
 
     #[test]
@@ -676,69 +810,116 @@ mod tests {
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(64))]
 
-            /// Interleaved reservations (`enc_keys`), by-ID pickups
-            /// (`dec_keys`) and direct drains across several links: every
-            /// delivered bit window is the next unread window of that link's
-            /// deposit stream (never a bit twice, never out of order), every
-            /// pickup is bit-identical to its reservation and possible
-            /// exactly once, and the ledger balances after every operation.
+            /// Interleaved reservations (`enc_keys`, timed and untimed),
+            /// by-ID pickups (`dec_keys`), direct drains and TTL sweeps
+            /// across several links, checked against a FIFO pool model:
+            /// every delivered window is the front of that link's pool,
+            /// expired reservations re-enter at the tail (in link/serial
+            /// order, matching `expire_reservations`), every pickup is
+            /// bit-identical to its reservation and possible exactly once,
+            /// an expired ID is never redeemable, and the ledger balances
+            /// after every operation.
             #[test]
-            fn interleaved_reserve_and_pickup_never_deliver_a_bit_twice(
+            fn interleaved_reserve_expire_and_redeem_never_double_deliver(
                 seed in any::<u64>(),
-                ops in collection::vec((0u8..4, 0usize..3, 1usize..80), 1..60),
+                ops in collection::vec((0u8..6, 0usize..3, 1usize..80), 1..80),
             ) {
+                use std::collections::{BTreeMap, VecDeque};
+
                 const LINKS: usize = 3;
+                const TTL: Duration = Duration::from_secs(3600);
                 let store = KeyStore::default();
-                let mut streams = Vec::new();
-                let mut cursors = [0usize; LINKS];
+                // Model: per-link FIFO pool of undelivered bits, plus the
+                // cumulative delivered / expired counters the status report
+                // must agree with.
+                let mut pools: Vec<VecDeque<bool>> = Vec::new();
+                let mut delivered = [0u64; LINKS];
+                let mut expired_count = [0u64; LINKS];
                 for link in 0..LINKS {
                     let key = secret(2000, seed.wrapping_add(link as u64));
                     store.deposit(link, &key);
-                    streams.push(key.bits);
+                    pools.push(key.bits.to_bools().into());
                 }
-                // Reservations not yet picked up: (id, expected bits).
-                let mut parked: Vec<(KeyId, BitVec)> = Vec::new();
+                // Parked reservations keyed exactly like the store's own
+                // maps so expiry reclaim order matches: (bits, timed).
+                let mut parked: BTreeMap<(usize, u64), (Vec<bool>, bool)> = BTreeMap::new();
+                let mut dead_ids: Vec<KeyId> = Vec::new();
+                let take = |pool: &mut VecDeque<bool>, n: usize| -> Vec<bool> {
+                    pool.drain(..n).collect()
+                };
                 for (op, link, size) in ops {
                     match op {
                         // Direct drain (in-process consumer).
                         0 => match store.get_key(link, size) {
                             Ok(key) => {
-                                let want =
-                                    streams[link].slice(cursors[link], cursors[link] + size);
-                                prop_assert_eq!(&key.bits, &want);
-                                cursors[link] += size;
+                                prop_assert!(pools[link].len() >= size);
+                                let want = take(&mut pools[link], size);
+                                prop_assert_eq!(key.bits.to_bools(), want);
+                                delivered[link] += size as u64;
                             }
                             Err(QkdError::KeyStoreShortfall { available, .. }) => {
-                                prop_assert!((available as usize) < size);
+                                prop_assert_eq!(available as usize, pools[link].len());
+                                prop_assert!(pools[link].len() < size);
                             }
                             Err(e) => panic!("unexpected get_key error: {e}"),
                         },
-                        // Master-side reservation of two keys.
-                        1 => match store.reserve_keys(link, 2, size, None) {
-                            Ok(keys) => {
-                                for key in keys {
-                                    let want = streams[link]
-                                        .slice(cursors[link], cursors[link] + size);
-                                    prop_assert_eq!(&key.bits, &want);
-                                    cursors[link] += size;
-                                    parked.push((key.id, key.bits));
+                        // Master-side reservation: op 1 parks two keys with
+                        // no deadline, op 2 parks one key on the clock.
+                        1 | 2 => {
+                            let (count, ttl) =
+                                if op == 1 { (2, None) } else { (1, Some(TTL)) };
+                            match store.reserve_keys(link, count, size, None, ttl) {
+                                Ok(keys) => {
+                                    for key in keys {
+                                        prop_assert!(pools[link].len() >= size);
+                                        let want = take(&mut pools[link], size);
+                                        prop_assert_eq!(&key.bits.to_bools(), &want);
+                                        delivered[link] += size as u64;
+                                        parked.insert(
+                                            (link, key.id.serial),
+                                            (want, ttl.is_some()),
+                                        );
+                                    }
                                 }
+                                Err(QkdError::KeyStoreShortfall { available, .. }) => {
+                                    prop_assert_eq!(available as usize, pools[link].len());
+                                    prop_assert!(pools[link].len() < count * size);
+                                }
+                                Err(e) => panic!("unexpected reserve error: {e}"),
                             }
-                            Err(QkdError::KeyStoreShortfall { available, .. }) => {
-                                prop_assert!((available as usize) < 2 * size);
-                            }
-                            Err(e) => panic!("unexpected reserve error: {e}"),
-                        },
+                        }
                         // Slave-side pickup of the oldest outstanding key.
-                        2 if !parked.is_empty() => {
-                            let (id, want) = parked.remove(0);
+                        3 if !parked.is_empty() => {
+                            let (&(l, serial), _) = parked.iter().next().unwrap();
+                            let (want, _) = parked.remove(&(l, serial)).unwrap();
+                            let id = KeyId { link: l, serial };
                             let key = store.get_key_by_id(id, None).unwrap();
-                            prop_assert_eq!(&key.bits, &want);
+                            prop_assert_eq!(key.bits.to_bools(), want);
                             // A second pickup of the same ID must fail.
                             prop_assert!(matches!(
                                 store.get_key_by_id(id, None),
                                 Err(QkdError::UnknownKeyId { .. })
                             ));
+                        }
+                        // Sweep: every timed reservation is past its
+                        // deadline; its bits re-enter the pool tail in
+                        // (link, serial) order and the ID dies.
+                        4 => {
+                            let now = Instant::now() + TTL + TTL;
+                            let due: Vec<(usize, u64)> = parked
+                                .iter()
+                                .filter(|(_, (_, timed))| *timed)
+                                .map(|(&k, _)| k)
+                                .collect();
+                            let reclaimed = store.expire_reservations(now);
+                            prop_assert_eq!(reclaimed as usize, due.len());
+                            for (l, serial) in due {
+                                let (bits, _) = parked.remove(&(l, serial)).unwrap();
+                                delivered[l] -= bits.len() as u64;
+                                pools[l].extend(bits);
+                                expired_count[l] += 1;
+                                dead_ids.push(KeyId { link: l, serial });
+                            }
                         }
                         // Pickup of a never-reserved serial fails.
                         _ => {
@@ -749,15 +930,28 @@ mod tests {
                             ));
                         }
                     }
-                    for (l, &cursor) in cursors.iter().enumerate() {
+                    // Expired IDs stay dead forever.
+                    for &id in &dead_ids {
+                        prop_assert!(matches!(
+                            store.get_key_by_id(id, None),
+                            Err(QkdError::UnknownKeyId { .. })
+                        ));
+                    }
+                    for l in 0..LINKS {
                         let status = store.status(l).unwrap();
                         prop_assert!(status.balances());
-                        prop_assert_eq!(status.delivered_bits as usize, cursor);
+                        prop_assert_eq!(status.available_bits as usize, pools[l].len());
+                        prop_assert_eq!(status.delivered_bits, delivered[l]);
+                        prop_assert_eq!(status.reservations_expired, expired_count[l]);
                     }
                 }
                 // Whatever is still parked remains retrievable, bit-exact.
-                for (id, want) in parked {
-                    prop_assert_eq!(store.get_key_by_id(id, None).unwrap().bits, want);
+                for ((l, serial), (want, _)) in parked {
+                    let id = KeyId { link: l, serial };
+                    prop_assert_eq!(
+                        store.get_key_by_id(id, None).unwrap().bits.to_bools(),
+                        want
+                    );
                 }
             }
         }

@@ -107,6 +107,9 @@ pub enum QkdError {
         sae: String,
         /// Which budget was exhausted.
         reason: String,
+        /// Machine-readable back-off hint: how long the consumer should wait
+        /// before retrying, in milliseconds (0 when the budget never refills).
+        retry_after_ms: u64,
     },
     /// A key-by-ID pickup addressed a key that was never reserved, was
     /// already retrieved, or belongs to another SAE pair.
@@ -163,8 +166,16 @@ impl fmt::Display for QkdError {
                 "key store shortfall on link {link}: {requested} bits requested, {available} available"
             ),
             QkdError::Unauthorized { reason } => write!(f, "unauthorized: {reason}"),
-            QkdError::RateLimited { sae, reason } => {
-                write!(f, "rate limit exceeded for SAE `{sae}`: {reason}")
+            QkdError::RateLimited {
+                sae,
+                reason,
+                retry_after_ms,
+            } => {
+                write!(f, "rate limit exceeded for SAE `{sae}`: {reason}")?;
+                if *retry_after_ms > 0 {
+                    write!(f, " (retry after {retry_after_ms} ms)")?;
+                }
+                Ok(())
             }
             QkdError::UnknownKeyId { link, serial } => {
                 write!(f, "unknown key ID link{link}/key{serial}")
@@ -239,8 +250,10 @@ mod tests {
         let e = QkdError::RateLimited {
             sae: "sae-app-1".into(),
             reason: "request budget spent".into(),
+            retry_after_ms: 250,
         };
         assert!(e.to_string().contains("sae-app-1"));
+        assert!(e.to_string().contains("250 ms"));
         let e = QkdError::UnknownKeyId { link: 1, serial: 7 };
         assert!(e.to_string().contains("link1/key7"));
     }

@@ -1,7 +1,10 @@
 //! ETSI GS QKD 014 key-delivery walkthrough: a fleet distils key into the
 //! store, the `qkd-api` server puts it on localhost TCP, and two SAE
 //! applications drain it — the master via `enc_keys`, the slave by
-//! `key_ID` via `dec_keys` — while an unentitled SAE is turned away.
+//! `key_ID` via `dec_keys` — while an unentitled SAE is turned away and an
+//! uncollected reservation expires back into the pool. Every client keeps
+//! its connection alive across calls, so each SAE's whole conversation
+//! rides one TCP socket.
 //!
 //! ```sh
 //! cargo run --release --example etsi_api
@@ -54,13 +57,14 @@ fn main() {
         .entitle("scada-app", "scada-backend", backbone)
         .unwrap();
 
-    // 3. Serve the store over HTTP and drain it from two SAEs.
-    let server = ApiServer::start(
-        fleet.store_handle(),
-        Arc::clone(&registry),
-        ApiConfig::default(),
-    )
-    .unwrap();
+    // 3. Serve the store over HTTP and drain it from two SAEs. The short
+    //    reservation TTL makes step 5's expiry visible within the example.
+    let config = ApiConfig {
+        reservation_ttl: Some(std::time::Duration::from_millis(300)),
+        sweep_interval: std::time::Duration::from_millis(50),
+        ..ApiConfig::default()
+    };
+    let server = ApiServer::start(fleet.store_handle(), Arc::clone(&registry), config).unwrap();
     let addr = server.local_addr();
     println!("\ndelivery API listening on http://{addr}/api/v1/keys/…\n");
 
@@ -106,7 +110,35 @@ fn main() {
         Ok(_) => unreachable!("an unentitled SAE cannot draw key"),
     }
 
-    // 5. The ledger still balances bit-for-bit.
+    // 5. A reservation nobody collects: the TTL sweeper returns the bits
+    //    to the pool and the expired key_ID answers like a bogus one.
+    let master = ApiClient::new(addr, "tok-billing");
+    let slave = ApiClient::new(addr, "tok-billing-backend");
+    let before = master.status("billing-backend").unwrap();
+    let forgotten = master.enc_keys("billing-backend", 1, 256).unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let after = loop {
+        let status = master.status("billing-backend").unwrap();
+        if status.reservations_expired > before.reservations_expired {
+            break status;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "the sweeper must expire the reservation"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    };
+    println!(
+        "\nuncollected reservation {} expired: {} bits back in the pool ({} expired so far)",
+        forgotten[0].id, after.available_bits, after.reservations_expired
+    );
+    let ids: Vec<KeyId> = forgotten.iter().map(|k| k.id).collect();
+    match slave.dec_keys("billing-app", &ids) {
+        Err(e) => println!("late pickup refused: {e}"),
+        Ok(_) => unreachable!("an expired reservation is not redeemable"),
+    }
+
+    // 6. The ledger still balances bit-for-bit.
     server.shutdown();
     let ledger = fleet.reconcile().unwrap();
     println!(
