@@ -95,7 +95,12 @@ pub struct WireKey {
 pub fn key_to_json(key: &DeliveredKey) -> Json {
     Json::Obj(vec![
         ("key_ID".into(), Json::str(key.id.to_string())),
-        ("key".into(), Json::str(base64_encode(&key.bits.to_bytes()))),
+        // The one sanctioned export of key material: an authenticated,
+        // entitlement-checked delivery. `expose()` keeps it greppable.
+        (
+            "key".into(),
+            Json::str(base64_encode(&key.bits.expose().to_bytes())),
+        ),
         ("size".into(), Json::num(key.bits.len() as u64)),
     ])
 }
@@ -261,7 +266,7 @@ mod tests {
         for len in [1usize, 7, 8, 9, 256, 1000] {
             let key = DeliveredKey {
                 id: KeyId { link: 2, serial: 9 },
-                bits: BitVec::random(&mut rng, len),
+                bits: BitVec::random(&mut rng, len).into(),
                 epsilon: 1e-10,
             };
             let doc = key_to_json(&key);

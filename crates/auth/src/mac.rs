@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use qkd_types::gf2::Gf2_128;
-use qkd_types::{BitVec, Result};
+use qkd_types::{BitVec, Result, SecretBuf};
 
 #[cfg(test)]
 use qkd_types::QkdError;
@@ -65,15 +65,28 @@ pub struct Tag {
 /// The polynomial hash key is drawn once at construction; every signed message
 /// additionally consumes `tag_bits` one-time-pad bits from the pool, which is
 /// the recurring cost the evaluation's key-budget accounting tracks.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Authenticator {
     config: AuthConfig,
     pool: KeyPool,
     hash_key: Gf2_128,
     sequence: std::sync::Arc<parking_lot::Mutex<u64>>,
     /// One-time pads issued by `sign`, kept so the single-instance
-    /// `verify` path can check tags without consuming fresh key.
-    issued_pads: std::sync::Arc<parking_lot::Mutex<std::collections::HashMap<u64, BitVec>>>,
+    /// `verify` path can check tags without consuming fresh key. Pads are
+    /// key material: they ride in [`SecretBuf`]s so evicted or dropped
+    /// entries zeroize their storage.
+    issued_pads: std::sync::Arc<parking_lot::Mutex<std::collections::HashMap<u64, SecretBuf>>>,
+}
+
+impl std::fmt::Debug for Authenticator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the hash key or the issued pads — only accounting.
+        f.debug_struct("Authenticator")
+            .field("config", &self.config)
+            .field("remaining_messages", &self.remaining_messages())
+            .field("issued_pads", &self.issued_pads.lock().len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Authenticator {
@@ -150,7 +163,7 @@ impl Authenticator {
         let otp = self.pool.draw(self.config.family.otp_bits())?;
         let mut bits = self.digest_bits(message, sequence);
         bits.xor_assign(&otp);
-        self.issued_pads.lock().insert(sequence, otp);
+        self.issued_pads.lock().insert(sequence, otp.into());
         *seq_guard = sequence + 1;
         Ok(Tag { sequence, bits })
     }

@@ -218,7 +218,7 @@ impl BlockInFlight {
                     block: self.block,
                     secret_key: SecretKey {
                         block: self.block,
-                        bits: self.secret_bits,
+                        bits: self.secret_bits.into(),
                         epsilon: self.secret_epsilon,
                     },
                     qber: self.qber,

@@ -30,6 +30,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use qkd_types::secret::{zeroize_f64s, zeroize_words};
 use qkd_types::{BitVec, QkdError, Result};
 
 use crate::matrix::ParityCheckMatrix;
@@ -143,6 +144,12 @@ impl SumProductScratch {
             self.prefix.resize(degree + 1, 0.0);
             self.suffix.resize(degree + 1, 0.0);
         }
+    }
+
+    fn zeroize(&mut self) {
+        zeroize_f64s(&mut self.tanh);
+        zeroize_f64s(&mut self.prefix);
+        zeroize_f64s(&mut self.suffix);
     }
 }
 
@@ -332,6 +339,21 @@ impl DecoderScratch {
             self.syn.resize(syn_words, 0);
         }
         self.sp.ensure(decoder.max_check_degree);
+    }
+
+    /// Volatile-overwrites every buffer. Decode state is derived from raw key
+    /// material (priors, posteriors, hard decisions), so a scratch that is
+    /// about to be dropped or parked should not leave it readable in freed
+    /// heap memory.
+    pub fn zeroize(&mut self) {
+        zeroize_f64s(&mut self.v2c);
+        zeroize_f64s(&mut self.c2v);
+        zeroize_f64s(&mut self.channel);
+        zeroize_f64s(&mut self.posterior);
+        zeroize_f64s(&mut self.inputs);
+        zeroize_words(&mut self.hard);
+        zeroize_words(&mut self.syn);
+        self.sp.zeroize();
     }
 }
 

@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use qkd_types::key::binary_entropy;
 use qkd_types::rng::derive_block_rng;
+use qkd_types::secret::zeroize_words;
 use qkd_types::{BitVec, QkdError, Result};
 
 use crate::decoder::{DecoderConfig, DecoderScratch, SyndromeDecoder};
@@ -308,7 +309,7 @@ impl LdpcOutcome {
 /// session, and reconcilers of different block sizes (buffers only ever
 /// grow). Holding one scratch per worker thread removes all per-block setup
 /// allocation from the reconciliation hot path.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct ReconcilerScratch {
     decoder: DecoderScratch,
     overrides: Vec<(usize, f64)>,
@@ -324,6 +325,44 @@ impl ReconcilerScratch {
     /// Creates an empty scratch; buffers are sized on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    fn zeroize(&mut self) {
+        self.decoder.zeroize();
+        for (index, llr) in self.overrides.iter_mut() {
+            *index = 0;
+            *llr = 0.0;
+        }
+        for bits in [
+            &mut self.alice_word,
+            &mut self.bob_word,
+            &mut self.corrected_word,
+            &mut self.syndrome_a,
+            &mut self.syndrome_check,
+            &mut self.target,
+        ] {
+            zeroize_words(bits.as_words_mut());
+        }
+    }
+}
+
+impl std::fmt::Debug for ReconcilerScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The scratch is full of key-derived state (words, syndromes, LLRs);
+        // print only capacities.
+        f.debug_struct("ReconcilerScratch")
+            .field("word_bits", &self.alice_word.len())
+            .field("syndrome_bits", &self.syndrome_a.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for ReconcilerScratch {
+    /// Reconciliation scratch holds raw key words and key-derived soft
+    /// information between blocks; scrub it before the allocator reuses the
+    /// memory.
+    fn drop(&mut self) {
+        self.zeroize();
     }
 }
 

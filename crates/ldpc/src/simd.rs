@@ -13,9 +13,13 @@
 //!
 //! Safety: the only unsafe operations are AVX2 intrinsics on indices the
 //! decoder constructed and bounds-validated itself (every `edge_var` entry is
-//! `< n`, every edge offset `< num_edges`).
+//! `< n`, every edge offset `< num_edges`). `unsafe_op_in_unsafe_fn` is
+//! denied so each memory-touching operation carries its own `// SAFETY:`
+//! justification — register-only intrinsics are safe here because the
+//! enclosing function enables the `avx2` target feature.
 
 #![allow(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::arch::x86_64::*;
 
@@ -123,10 +127,19 @@ pub(crate) unsafe fn min_sum_layered_quad(
     {
         let edge_k = _mm_add_epi32(starts, _mm_set1_epi32(k as i32));
         // Variable indices of edge k in each lane's check.
-        let vars = _mm_i32gather_epi32(edge_var.as_ptr().cast::<i32>(), edge_k, 4);
+        // SAFETY: each lane of `edge_k` is `check_offsets[c+q] + k` with
+        // `k < deg`, so all four 4-byte gather offsets land inside
+        // `edge_var` (the caller guarantees the quad's edge ranges are
+        // in-bounds); `u32` entries are read as `i32` of identical width.
+        let vars = unsafe { _mm_i32gather_epi32(edge_var.as_ptr().cast::<i32>(), edge_k, 4) };
         *vidx_k = vars;
-        let p = _mm256_i32gather_pd(posterior.as_ptr(), vars, 8);
-        let msg = _mm256_i32gather_pd(c2v.as_ptr(), edge_k, 8);
+        // SAFETY: every `edge_var` entry is a variable index `< n ==
+        // posterior.len()` (validated at graph construction), so the four
+        // 8-byte lanes gather initialized `f64`s inside `posterior`.
+        let p = unsafe { _mm256_i32gather_pd(posterior.as_ptr(), vars, 8) };
+        // SAFETY: `edge_k` lanes are edge indices `< num_edges <=
+        // c2v.len()` (same in-bounds argument as the `edge_var` gather).
+        let msg = unsafe { _mm256_i32gather_pd(c2v.as_ptr(), edge_k, 8) };
         let val = _mm256_min_pd(_mm256_max_pd(_mm256_sub_pd(p, msg), clamp_lo), clamp_hi);
         *val_k = val;
         let a = _mm256_andnot_pd(sign_mask, val);
@@ -159,7 +172,10 @@ pub(crate) unsafe fn min_sum_layered_quad(
 
     // Pass 2 — outgoing messages and posterior updates.
     let mut starts_arr = [0i32; 4];
-    _mm_storeu_si128(starts_arr.as_mut_ptr().cast::<__m128i>(), starts);
+    // SAFETY: `starts_arr` is a stack array of exactly four `i32`s (16
+    // bytes), matching the 128-bit store; `storeu` has no alignment
+    // requirement.
+    unsafe { _mm_storeu_si128(starts_arr.as_mut_ptr().cast::<__m128i>(), starts) };
     for (k, (&val, &vars)) in vals[..deg].iter().zip(vidx[..deg].iter()).enumerate() {
         let is_min = _mm256_cmpeq_epi64(min1_idx, _mm256_set1_epi64x(k as i64));
         let mag = _mm256_blendv_pd(mag1, mag2, _mm256_castsi256_pd(is_min));
@@ -173,12 +189,25 @@ pub(crate) unsafe fn min_sum_layered_quad(
         let mut out_arr = [0.0f64; 4];
         let mut post_arr = [0.0f64; 4];
         let mut var_arr = [0i32; 4];
-        _mm256_storeu_pd(out_arr.as_mut_ptr(), out);
-        _mm256_storeu_pd(post_arr.as_mut_ptr(), post);
-        _mm_storeu_si128(var_arr.as_mut_ptr().cast::<__m128i>(), vars);
+        // SAFETY: the destinations are stack arrays whose sizes match the
+        // stored vectors exactly — 4 × f64 (32 bytes) for the 256-bit
+        // stores, 4 × i32 (16 bytes) for the 128-bit store — and the
+        // unaligned-store intrinsics have no alignment requirement.
+        unsafe {
+            _mm256_storeu_pd(out_arr.as_mut_ptr(), out);
+            _mm256_storeu_pd(post_arr.as_mut_ptr(), post);
+            _mm_storeu_si128(var_arr.as_mut_ptr().cast::<__m128i>(), vars);
+        }
         for q in 0..4 {
-            *c2v.get_unchecked_mut(starts_arr[q] as usize + k) = out_arr[q];
-            *posterior.get_unchecked_mut(var_arr[q] as usize) = post_arr[q];
+            // SAFETY: `starts_arr[q] + k` is an edge index of check `c+q`
+            // with `k < deg`, in-bounds for `c2v`; `var_arr[q]` came from
+            // `edge_var`, whose entries are `< n == posterior.len()`. The
+            // quad is pairwise variable-disjoint, so the four lanes write
+            // four distinct posterior slots.
+            unsafe {
+                *c2v.get_unchecked_mut(starts_arr[q] as usize + k) = out_arr[q];
+                *posterior.get_unchecked_mut(var_arr[q] as usize) = post_arr[q];
+            }
         }
     }
 }

@@ -1,0 +1,209 @@
+//! The allowlist baseline: acknowledged findings that do not fail the gate.
+//!
+//! The format is a tiny TOML subset — `[[allow]]` tables with quoted-string
+//! keys only — parsed by hand so the analyzer stays dependency-free:
+//!
+//! ```toml
+//! # Acknowledged advisory findings.
+//! [[allow]]
+//! rule = "slice-index"
+//! file = "crates/ldpc/src/decoder.rs"
+//! reason = "decode loops index scratch sized by ensure()"
+//! ```
+//!
+//! `rule` is required. `file` (exact workspace-relative path) and `pattern`
+//! (substring of the offending source line) are optional narrowing keys; an
+//! entry with neither acknowledges the rule for the whole workspace, an
+//! entry with both must match both. `reason` is documentation only.
+//! `--bless` regenerates the file from the current findings.
+
+use crate::Finding;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Rule name the entry acknowledges (required).
+    pub rule: String,
+    /// Exact workspace-relative file path; empty matches any file.
+    pub file: String,
+    /// Substring of the offending source line; empty matches any line.
+    pub pattern: String,
+    /// Why the finding is acceptable (documentation only).
+    pub reason: String,
+}
+
+impl Allow {
+    /// True when this entry acknowledges `f`.
+    pub fn matches(&self, f: &Finding) -> bool {
+        self.rule == f.rule.name()
+            && (self.file.is_empty() || f.file == self.file)
+            && (self.pattern.is_empty() || f.excerpt.contains(&self.pattern))
+    }
+}
+
+/// A parsed baseline.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    /// The allow entries in file order.
+    pub allows: Vec<Allow>,
+}
+
+impl Baseline {
+    /// True when any entry acknowledges `f`.
+    pub fn allows(&self, f: &Finding) -> bool {
+        self.allows.iter().any(|a| a.matches(f))
+    }
+
+    /// Parses the baseline text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut allows = Vec::new();
+        let mut current: Option<Allow> = None;
+        for (no, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(a) = current.take() {
+                    allows.push(a);
+                }
+                current = Some(Allow::default());
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "baseline line {}: expected `key = \"value\"`",
+                    no + 1
+                ));
+            };
+            let value = value.trim();
+            if !(value.starts_with('"') && value.ends_with('"') && value.len() >= 2) {
+                return Err(format!("baseline line {}: value must be quoted", no + 1));
+            }
+            let value = value[1..value.len() - 1].replace("\\\"", "\"");
+            let Some(entry) = current.as_mut() else {
+                return Err(format!(
+                    "baseline line {}: key outside an [[allow]] table",
+                    no + 1
+                ));
+            };
+            match key.trim() {
+                "rule" => entry.rule = value,
+                "file" => entry.file = value,
+                "pattern" => entry.pattern = value,
+                "reason" => entry.reason = value,
+                other => return Err(format!("baseline line {}: unknown key `{other}`", no + 1)),
+            }
+        }
+        if let Some(a) = current.take() {
+            allows.push(a);
+        }
+        if let Some(missing) = allows.iter().find(|a| a.rule.is_empty()) {
+            let _ = missing;
+            return Err("baseline: every [[allow]] entry needs a `rule`".into());
+        }
+        Ok(Self { allows })
+    }
+
+    /// Renders the baseline back to TOML (the `--bless` output).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# qkd-lint allowlist baseline. Regenerate with:\n#   cargo run -p qkd-lint -- --workspace --deny all --bless\n# Entries acknowledge findings; keep this reviewed and minimal.\n",
+        );
+        for a in &self.allows {
+            out.push_str("\n[[allow]]\n");
+            out.push_str(&format!("rule = \"{}\"\n", escape(&a.rule)));
+            if !a.file.is_empty() {
+                out.push_str(&format!("file = \"{}\"\n", escape(&a.file)));
+            }
+            if !a.pattern.is_empty() {
+                out.push_str(&format!("pattern = \"{}\"\n", escape(&a.pattern)));
+            }
+            if !a.reason.is_empty() {
+                out.push_str(&format!("reason = \"{}\"\n", escape(&a.reason)));
+            }
+        }
+        out
+    }
+
+    /// Builds a blessed baseline from findings: one entry per (rule, file),
+    /// so the file stays reviewable instead of listing every site.
+    pub fn bless(findings: &[Finding]) -> Self {
+        let mut allows: Vec<Allow> = Vec::new();
+        for f in findings {
+            let entry = Allow {
+                rule: f.rule.name().to_string(),
+                file: f.file.clone(),
+                pattern: String::new(),
+                reason: String::new(),
+            };
+            if !allows.contains(&entry) {
+                allows.push(entry);
+            }
+        }
+        Self { allows }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rule;
+
+    fn finding(rule: Rule, file: &str, excerpt: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line: 1,
+            message: String::new(),
+            excerpt: excerpt.into(),
+        }
+    }
+
+    #[test]
+    fn parse_match_and_render_roundtrip() {
+        let text = r#"
+# comment
+[[allow]]
+rule = "slice-index"
+file = "crates/ldpc/src/decoder.rs"
+reason = "bounds ensured by ensure()"
+
+[[allow]]
+rule = "panic-freedom"
+pattern = "expect(\"poisoned\")"
+"#;
+        let b = Baseline::parse(text).expect("parse");
+        assert_eq!(b.allows.len(), 2);
+        assert!(b.allows(&finding(
+            Rule::SliceIndex,
+            "crates/ldpc/src/decoder.rs",
+            "x[i] = 0;"
+        )));
+        assert!(!b.allows(&finding(Rule::SliceIndex, "crates/other.rs", "x[i]")));
+        assert!(b.allows(&finding(
+            Rule::PanicFreedom,
+            "anywhere.rs",
+            "lock().expect(\"poisoned\")"
+        )));
+        let rendered = b.render();
+        let b2 = Baseline::parse(&rendered).expect("reparse");
+        assert_eq!(b2.allows, b.allows);
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(Baseline::parse("rule = \"x\"").is_err());
+        assert!(Baseline::parse("[[allow]]\nrule = unquoted").is_err());
+        assert!(Baseline::parse("[[allow]]\nnope = \"x\"").is_err());
+        assert!(Baseline::parse("[[allow]]\nfile = \"only-file\"").is_err());
+    }
+}

@@ -1,0 +1,411 @@
+//! A minimal Rust lexer: just enough fidelity that the rule passes never
+//! mistake the inside of a string, comment or char literal for code.
+//!
+//! The token stream keeps identifiers, literals and single-character
+//! punctuation with 1-based line numbers; comments are captured on a side
+//! channel (the safety-coverage rule reads them, the other rules ignore
+//! them). Raw strings (`r#"..."#`), byte strings, nested block comments,
+//! raw identifiers (`r#match`) and the char-literal/lifetime ambiguity are
+//! all handled.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `fn`, `unwrap`, ...).
+    Ident,
+    /// Lifetime (`'a`) — kept distinct so `'a` never looks like a char.
+    Lifetime,
+    /// String/char/number literal. The text of string literals is *not*
+    /// retained (secrets could ride in fixtures); a placeholder is stored.
+    Literal,
+    /// One character of punctuation.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Source text (placeholder `"\"str\""` for string literals).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when this token is the given punctuation character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == ch.len_utf8()
+            && self.text.starts_with(ch)
+    }
+
+    /// True when this token is the given identifier/keyword.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+}
+
+/// A comment, line or block, with the line span it covers.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// First line of the comment (1-based).
+    pub line: u32,
+    /// Last line of the comment (1-based; equals `line` for `//` comments).
+    pub end_line: u32,
+    /// Comment text without the delimiters.
+    pub text: String,
+    /// True for doc comments (`///`, `//!`, `/** */`).
+    pub doc: bool,
+}
+
+/// The output of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source`. Unterminated constructs are tolerated (the lexer is a
+/// lint front end, not a compiler): they simply run to end of input.
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+
+    // Advances past `chars[j]`, tracking newlines.
+    macro_rules! bump {
+        ($j:expr) => {
+            if chars[$j] == '\n' {
+                line += 1;
+            }
+        };
+    }
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n {
+            if chars[i + 1] == '/' {
+                let start_line = line;
+                let mut j = i + 2;
+                let doc = j < n && (chars[j] == '/' || chars[j] == '!');
+                let mut text = String::new();
+                while j < n && chars[j] != '\n' {
+                    text.push(chars[j]);
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    end_line: start_line,
+                    text,
+                    doc,
+                });
+                i = j;
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                let start_line = line;
+                let doc = i + 2 < n && (chars[i + 2] == '*' || chars[i + 2] == '!');
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                let mut text = String::new();
+                while j < n && depth > 0 {
+                    if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                        depth += 1;
+                        text.push_str("/*");
+                        j += 2;
+                        continue;
+                    }
+                    if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                        depth -= 1;
+                        if depth > 0 {
+                            text.push_str("*/");
+                        }
+                        j += 2;
+                        continue;
+                    }
+                    bump!(j);
+                    text.push(chars[j]);
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    end_line: line,
+                    text,
+                    doc,
+                });
+                i = j;
+                continue;
+            }
+        }
+        // Identifiers, keywords, and the r"/b"/br" string prefixes.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            let start_line = line;
+            let mut j = i;
+            while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            let word: String = chars[start..j].iter().collect();
+            let raw_capable = matches!(word.as_str(), "r" | "b" | "br" | "rb");
+            if raw_capable && j < n && (chars[j] == '"' || chars[j] == '#') {
+                // Raw identifier `r#ident` vs raw string `r#"..."#`.
+                if chars[j] == '#' {
+                    let mut hashes = 0usize;
+                    let mut k = j;
+                    while k < n && chars[k] == '#' {
+                        hashes += 1;
+                        k += 1;
+                    }
+                    if k < n && chars[k] != '"' {
+                        if word == "r" && hashes == 1 {
+                            // Raw identifier: lex the ident after `r#`.
+                            let mut m = k;
+                            while m < n && (chars[m].is_alphanumeric() || chars[m] == '_') {
+                                m += 1;
+                            }
+                            out.tokens.push(Token {
+                                kind: TokenKind::Ident,
+                                text: chars[k..m].iter().collect(),
+                                line: start_line,
+                            });
+                            i = m;
+                            continue;
+                        }
+                        // `b#` etc. — not a string; fall through as ident.
+                    } else if k < n {
+                        // Raw string: scan to `"` followed by `hashes` hashes.
+                        let mut m = k + 1;
+                        'raw: while m < n {
+                            if chars[m] == '"' {
+                                let mut h = 0usize;
+                                while m + 1 + h < n && h < hashes && chars[m + 1 + h] == '#' {
+                                    h += 1;
+                                }
+                                if h == hashes {
+                                    m += 1 + hashes;
+                                    break 'raw;
+                                }
+                            }
+                            bump!(m);
+                            m += 1;
+                        }
+                        out.tokens.push(Token {
+                            kind: TokenKind::Literal,
+                            text: "\"str\"".into(),
+                            line: start_line,
+                        });
+                        i = m;
+                        continue;
+                    }
+                } else {
+                    // b"..." (and r"..." with zero hashes): ordinary quoted scan.
+                    let mut m = j + 1;
+                    let raw = word.contains('r');
+                    while m < n && chars[m] != '"' {
+                        if !raw && chars[m] == '\\' {
+                            m += 1; // skip the escaped character
+                            if m < n {
+                                bump!(m);
+                            }
+                        } else {
+                            bump!(m);
+                        }
+                        m += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: "\"str\"".into(),
+                        line: start_line,
+                    });
+                    i = (m + 1).min(n);
+                    continue;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: word,
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Numbers: digits plus any alphanumeric suffix (0xff, 1_000u64, 1e9).
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i;
+            while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                text: chars[start..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Strings.
+        if c == '"' {
+            let start_line = line;
+            let mut j = i + 1;
+            while j < n && chars[j] != '"' {
+                if chars[j] == '\\' {
+                    j += 1;
+                    if j < n {
+                        bump!(j);
+                    }
+                } else {
+                    bump!(j);
+                }
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                text: "\"str\"".into(),
+                line: start_line,
+            });
+            i = (j + 1).min(n);
+            continue;
+        }
+        // `'`: lifetime, loop label, or char literal.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            let is_lifetime = match (next, after) {
+                // 'a followed by another ident char or anything that is not a
+                // closing quote is a lifetime/label ('a, 'static, 'outer:).
+                (Some(x), Some('\'')) if x.is_alphanumeric() || x == '_' => false,
+                (Some(x), _) if x.is_alphabetic() || x == '_' => true,
+                _ => false,
+            };
+            if is_lifetime {
+                let mut j = i + 1;
+                while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: chars[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            // Char literal: escape-aware scan for the closing quote.
+            let mut j = i + 1;
+            if j < n && chars[j] == '\\' {
+                j += 1;
+                if j < n && chars[j] == 'u' {
+                    while j < n && chars[j] != '}' {
+                        j += 1;
+                    }
+                }
+                j += 1;
+            } else if j < n {
+                j += 1;
+            }
+            // `j` should now sit on the closing quote.
+            if j < n && chars[j] == '\'' {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                text: "'c'".into(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Everything else: one character of punctuation.
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(lexed: &Lexed) -> Vec<&str> {
+        lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code_like_text() {
+        let src = r##"
+            // unwrap in a comment
+            let a = "unsafe { x.unwrap() }";
+            let b = r#"panic!("no")"#;
+            /* nested /* unsafe */ still comment */
+            let c = b"bytes \" with quote";
+        "##;
+        let lexed = lex(src);
+        assert!(!idents(&lexed).contains(&"unwrap"));
+        assert!(!idents(&lexed).contains(&"unsafe"));
+        assert!(!idents(&lexed).contains(&"panic"));
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("unwrap in a comment"));
+        assert!(lexed.comments[1].text.contains("nested /* unsafe */"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'x'; let nl = '\\n'; x }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+        // The char literals after the lifetimes must not swallow code.
+        assert!(idents(&lexed).contains(&"nl"));
+    }
+
+    #[test]
+    fn raw_identifiers_and_line_numbers() {
+        let src = "let r#match = 1;\nlet y = 2;";
+        let lexed = lex(src);
+        assert!(idents(&lexed).contains(&"match"));
+        let y = lexed.tokens.iter().find(|t| t.is_ident("y")).expect("y");
+        assert_eq!(y.line, 2);
+    }
+
+    #[test]
+    fn multiline_raw_string_keeps_line_count() {
+        let src = "let s = r#\"line\nline\nline\"#;\nlet after = 1;";
+        let lexed = lex(src);
+        let after = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("after"))
+            .expect("after");
+        assert_eq!(after.line, 4);
+    }
+}

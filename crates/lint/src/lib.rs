@@ -1,0 +1,243 @@
+//! `qkd-lint`: a self-contained static analyzer for this workspace.
+//!
+//! Four deny-level rule families guard the invariants the QKD post-processing
+//! fleet depends on, plus one advisory rule:
+//!
+//! | rule | default | checks |
+//! |------|---------|--------|
+//! | `safety-coverage` | deny | every `unsafe` has a `// SAFETY:` comment |
+//! | `panic-freedom`   | deny | no `unwrap`/`expect`/`panic!` in hot paths |
+//! | `secret-hygiene`  | deny | secret types redact Debug and zeroize |
+//! | `lock-order`      | deny | no cycles in the lock-acquisition graph |
+//! | `slice-index`     | warn | indexing in hot paths (advisory) |
+//!
+//! The analyzer is hand-rolled end to end (lexer, item parser, rules,
+//! baseline) with zero dependencies, so it builds wherever the workspace
+//! builds and can gate CI without a network.
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod parse;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// The rule families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `unsafe` without a `// SAFETY:` comment.
+    SafetyCoverage,
+    /// Panicking constructs in hot-path modules.
+    PanicFreedom,
+    /// Secret types with leaking Debug/Serialize or no zeroization.
+    SecretHygiene,
+    /// Cycles in the lock-acquisition graph.
+    LockOrder,
+    /// Advisory: slice indexing in hot-path modules.
+    SliceIndex,
+}
+
+/// Effective severity of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the gate.
+    Deny,
+    /// Reported, does not fail the gate.
+    Warn,
+}
+
+impl Rule {
+    /// Stable rule name used on the CLI, in diagnostics and in baselines.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::SafetyCoverage => "safety-coverage",
+            Rule::PanicFreedom => "panic-freedom",
+            Rule::SecretHygiene => "secret-hygiene",
+            Rule::LockOrder => "lock-order",
+            Rule::SliceIndex => "slice-index",
+        }
+    }
+
+    /// Parses a rule name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "safety-coverage" => Rule::SafetyCoverage,
+            "panic-freedom" => Rule::PanicFreedom,
+            "secret-hygiene" => Rule::SecretHygiene,
+            "lock-order" => Rule::LockOrder,
+            "slice-index" => Rule::SliceIndex,
+            _ => return None,
+        })
+    }
+
+    /// Every rule, in reporting order.
+    pub const ALL: [Rule; 5] = [
+        Rule::SafetyCoverage,
+        Rule::PanicFreedom,
+        Rule::SecretHygiene,
+        Rule::LockOrder,
+        Rule::SliceIndex,
+    ];
+
+    /// Severity before `--deny` promotions.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Rule::SliceIndex => Severity::Warn,
+            _ => Severity::Deny,
+        }
+    }
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable message.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl Finding {
+    /// `file:line: [rule] message` rendering.
+    pub fn render(&self, severity: Severity) -> String {
+        let sev = match severity {
+            Severity::Deny => "error",
+            Severity::Warn => "warning",
+        };
+        let mut s = format!(
+            "{sev}[{}] {}:{}: {}",
+            self.rule.name(),
+            self.file,
+            self.line,
+            self.message
+        );
+        if !self.excerpt.is_empty() {
+            s.push_str(&format!("\n    | {}", self.excerpt));
+        }
+        s
+    }
+}
+
+/// Directories never walked: build output, vendored stand-ins (third-party
+/// idiom, not ours to lint), VCS metadata, and the analyzer's own rule
+/// fixtures (which exist to contain violations).
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "node_modules"];
+const SKIP_PATHS: &[&str] = &["crates/lint/tests/fixtures"];
+
+/// Recursively collects workspace `.rs` files under `root`, sorted, with
+/// build output, `vendor/` and lint fixtures excluded.
+pub fn collect_rs_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            if path.is_dir() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if SKIP_DIRS.contains(&name.as_ref())
+                    || name.starts_with('.')
+                    || SKIP_PATHS.iter().any(|s| rel == *s)
+                {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Lexes, models and analyzes the given files. `root` anchors the
+/// workspace-relative paths in diagnostics.
+pub fn analyze_files(root: &Path, files: &[PathBuf]) -> Vec<Finding> {
+    let mut models = Vec::with_capacity(files.len());
+    for path in files {
+        let Ok(source) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        models.push(parse::model_file(&rel, &source));
+    }
+    rules::run_all(&models)
+}
+
+/// Walks the workspace under `root` and analyzes every `.rs` file.
+pub fn analyze_workspace(root: &Path) -> Vec<Finding> {
+    let files = collect_rs_files(root);
+    analyze_files(root, &files)
+}
+
+/// Renders findings as a JSON report (hand-rolled; no dependencies).
+pub fn findings_to_json(findings: &[(Finding, Severity)]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut denied = 0usize;
+    let mut items = Vec::with_capacity(findings.len());
+    for (f, sev) in findings {
+        *counts.entry(f.rule.name()).or_default() += 1;
+        if *sev == Severity::Deny {
+            denied += 1;
+        }
+        items.push(format!(
+            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\",\"excerpt\":\"{}\"}}",
+            f.rule.name(),
+            match sev {
+                Severity::Deny => "deny",
+                Severity::Warn => "warn",
+            },
+            esc(&f.file),
+            f.line,
+            esc(&f.message),
+            esc(&f.excerpt)
+        ));
+    }
+    let counts_json = counts
+        .iter()
+        .map(|(k, v)| format!("\"{k}\":{v}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"findings\":[{}],\"counts\":{{{}}},\"denied\":{}}}",
+        items.join(","),
+        counts_json,
+        denied
+    )
+}

@@ -1,0 +1,200 @@
+//! The `qkd-lint` CLI.
+//!
+//! ```text
+//! qkd-lint --workspace [--baseline lint-baseline.toml] [--deny rule,... | --deny all]
+//!          [--json] [--bless] [paths...]
+//! ```
+//!
+//! Exit code 0 when no un-acknowledged deny-level finding remains, 1 when
+//! the gate fails, 2 on usage or I/O errors.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use qkd_lint::baseline::Baseline;
+use qkd_lint::{analyze_files, collect_rs_files, findings_to_json, Rule, Severity};
+
+struct Options {
+    workspace: bool,
+    baseline_path: Option<PathBuf>,
+    deny: Vec<Rule>,
+    deny_all: bool,
+    json: bool,
+    bless: bool,
+    paths: Vec<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: qkd-lint --workspace [--baseline FILE] [--deny all|rule,...] [--json] [--bless] [paths...]\n\
+     rules: safety-coverage panic-freedom secret-hygiene lock-order slice-index"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        workspace: false,
+        baseline_path: None,
+        deny: Vec::new(),
+        deny_all: false,
+        json: false,
+        bless: false,
+        paths: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => opts.workspace = true,
+            "--json" => opts.json = true,
+            "--bless" => opts.bless = true,
+            "--baseline" => {
+                let path = it.next().ok_or("--baseline needs a path")?;
+                opts.baseline_path = Some(PathBuf::from(path));
+            }
+            "--deny" => {
+                let list = it.next().ok_or("--deny needs `all` or a rule list")?;
+                if list == "all" {
+                    opts.deny_all = true;
+                } else {
+                    for name in list.split(',') {
+                        let rule = Rule::from_name(name.trim())
+                            .ok_or_else(|| format!("unknown rule `{name}`"))?;
+                        opts.deny.push(rule);
+                    }
+                }
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n{}", usage()))
+            }
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    if !opts.workspace && opts.paths.is_empty() {
+        return Err(format!("nothing to analyze\n{}", usage()));
+    }
+    Ok(opts)
+}
+
+/// Walks up from the current directory to the workspace root (the directory
+/// whose `Cargo.toml` declares `[workspace]`).
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let root = find_workspace_root();
+    let mut files: Vec<PathBuf> = Vec::new();
+    if opts.workspace {
+        files.extend(collect_rs_files(&root));
+    }
+    for p in &opts.paths {
+        if p.is_dir() {
+            files.extend(collect_rs_files(p));
+        } else {
+            files.push(p.clone());
+        }
+    }
+    files.dedup();
+
+    let findings = analyze_files(&root, &files);
+
+    // Effective severity: defaults, promoted by --deny.
+    let severity = |rule: Rule| -> Severity {
+        if opts.deny_all || opts.deny.contains(&rule) {
+            Severity::Deny
+        } else {
+            rule.default_severity()
+        }
+    };
+
+    // Baseline: explicit path, or `lint-baseline.toml` at the root when
+    // present. `--bless` rewrites it from the current findings instead.
+    let baseline_path = opts
+        .baseline_path
+        .clone()
+        .unwrap_or_else(|| root.join("lint-baseline.toml"));
+    if opts.bless {
+        let denied: Vec<_> = findings
+            .iter()
+            .filter(|f| severity(f.rule) == Severity::Deny)
+            .cloned()
+            .collect();
+        let blessed = Baseline::bless(&denied);
+        if let Err(e) = std::fs::write(&baseline_path, blessed.render()) {
+            eprintln!("qkd-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "qkd-lint: blessed {} finding(s) into {}",
+            denied.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let baseline = match load_baseline(&baseline_path, opts.baseline_path.is_some()) {
+        Ok(b) => b,
+        Err(msg) => {
+            eprintln!("qkd-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let surviving: Vec<_> = findings
+        .iter()
+        .filter(|f| !baseline.allows(f))
+        .map(|f| (f.clone(), severity(f.rule)))
+        .collect();
+    let denied = surviving
+        .iter()
+        .filter(|(_, s)| *s == Severity::Deny)
+        .count();
+
+    if opts.json {
+        println!("{}", findings_to_json(&surviving));
+    } else {
+        for (f, sev) in &surviving {
+            println!("{}", f.render(*sev));
+        }
+        let acknowledged = findings.len() - surviving.len();
+        println!(
+            "qkd-lint: {} file(s), {} finding(s) ({} denied, {} acknowledged by baseline)",
+            files.len(),
+            surviving.len(),
+            denied,
+            acknowledged
+        );
+    }
+
+    if denied > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn load_baseline(path: &Path, explicit: bool) -> Result<Baseline, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Baseline::parse(&text),
+        Err(_) if !explicit => Ok(Baseline::default()),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}

@@ -1,0 +1,651 @@
+//! A lightweight item/scope model built on top of the token stream.
+//!
+//! This is not a grammar-complete parser: it tracks brace scopes, attributes
+//! and a handful of item kinds (`fn`, `struct`, `impl Drop`) with enough
+//! precision for the rules to (a) exempt `#[cfg(test)]` / `#[test]` code,
+//! (b) associate `// SAFETY:` comments with the `unsafe` they cover, and
+//! (c) know which struct fields carry raw key material.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::lexer::{Comment, Lexed, Token, TokenKind};
+
+/// One field of a struct.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Field name (`"0"`, `"1"`, ... for tuple structs).
+    pub name: String,
+    /// The type, as the joined text of its tokens.
+    pub ty: String,
+    /// Line the field starts on.
+    pub line: u32,
+}
+
+/// A struct definition.
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    /// Struct name.
+    pub name: String,
+    /// Line of the `struct` keyword.
+    pub line: u32,
+    /// Idents inside `#[derive(...)]` attributes on this struct.
+    pub derives: Vec<String>,
+    /// Fields (named or tuple).
+    pub fields: Vec<Field>,
+    /// True when a `// SECRET` comment sits directly above the definition.
+    pub secret_annotated: bool,
+    /// True when the definition lives in test-exempt code.
+    pub in_test: bool,
+}
+
+/// A function definition (free function or method).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token indices of the body: `(open_brace, close_brace)`, inclusive.
+    pub body: (usize, usize),
+    /// True when the function lives in test-exempt code.
+    pub in_test: bool,
+}
+
+/// Everything the rules need to know about one file.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// The comment side channel.
+    pub comments: Vec<Comment>,
+    /// Per-token flag: token sits inside `#[cfg(test)]` / `#[test]` code.
+    pub token_in_test: Vec<bool>,
+    /// Lines that contain at least one code token.
+    pub code_lines: HashSet<u32>,
+    /// Lines fully accounted for by attributes (`#[...]` spans).
+    pub attr_lines: HashSet<u32>,
+    /// Struct definitions.
+    pub structs: Vec<StructItem>,
+    /// Function definitions.
+    pub fns: Vec<FnItem>,
+    /// Type names with an `impl Drop for X` in this file.
+    pub drop_impls: Vec<String>,
+    /// Source lines (1-based access via [`FileModel::line_text`]).
+    pub lines: Vec<String>,
+}
+
+impl FileModel {
+    /// Text of 1-based line `line`, trimmed; empty when out of range.
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines
+            .get(line as usize - 1)
+            .map(|s| s.trim())
+            .unwrap_or("")
+    }
+
+    /// The comment (if any) covering 1-based line `line`.
+    pub fn comment_on(&self, line: u32) -> Option<&Comment> {
+        self.comments
+            .iter()
+            .find(|c| c.line <= line && line <= c.end_line)
+    }
+
+    /// Walks upward from `line - 1` through comment-only and attribute-only
+    /// lines, returning true when a comment containing `needle` (or, for doc
+    /// comments, `doc_needle`) is found before hitting code or a blank line.
+    pub fn covered_by_comment_above(&self, line: u32, needles: &[&str]) -> bool {
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            if let Some(c) = self.comment_on(l) {
+                if needles.iter().any(|n| c.text.contains(n)) {
+                    return true;
+                }
+                // Keep scanning above a non-matching comment block.
+                l = c.line;
+                continue;
+            }
+            if self.attr_lines.contains(&l) {
+                continue;
+            }
+            // Code or blank line: the comment block (if any) has ended.
+            return false;
+        }
+        false
+    }
+}
+
+/// True when attribute text marks test-only code: `test`, `cfg(test)`,
+/// `cfg(all(test, ...))`, `tokio::test`, ...
+fn is_test_attr(attr: &str) -> bool {
+    let t = attr.trim();
+    t == "test"
+        || t.ends_with("::test")
+        || (t.starts_with("cfg") && t.contains("test") && !t.contains("not"))
+}
+
+/// Builds the [`FileModel`] for one lexed file.
+pub fn build(path: &str, source: &str, lexed: Lexed) -> FileModel {
+    let Lexed { tokens, comments } = lexed;
+    let mut code_lines = HashSet::new();
+    for t in &tokens {
+        code_lines.insert(t.line);
+    }
+
+    let mut attr_lines = HashSet::new();
+    let mut token_in_test = vec![false; tokens.len()];
+    let mut structs = Vec::new();
+    let mut fns = Vec::new();
+    let mut drop_impls = Vec::new();
+
+    // Pass 1: attributes, test scopes, items.
+    //
+    // `depth` is the brace depth. `test_scopes` holds the depths at which a
+    // test-exempt scope was opened; any token at or below the innermost one
+    // is exempt. `armed_test_attr` is set between a `#[test]`-like attribute
+    // and the `{` that opens the item it annotates (a `;` first disarms it,
+    // e.g. `#[cfg(test)] use ...;`).
+    let mut depth = 0usize;
+    let mut test_scope_depths: Vec<usize> = Vec::new();
+    let mut armed_test_attr = false;
+    let mut pending_attrs: Vec<String> = Vec::new();
+    let mut i = 0usize;
+    let n = tokens.len();
+
+    while i < n {
+        let in_test = !test_scope_depths.is_empty();
+        token_in_test[i] = in_test;
+
+        // Attribute: `#` `[` ... `]` or `#` `!` `[` ... `]`.
+        if tokens[i].is_punct('#') {
+            let mut j = i + 1;
+            if j < n && tokens[j].is_punct('!') {
+                j += 1;
+            }
+            if j < n && tokens[j].is_punct('[') {
+                let mut bracket = 0usize;
+                let start = i;
+                while j < n {
+                    token_in_test[j] = in_test;
+                    if tokens[j].is_punct('[') {
+                        bracket += 1;
+                    } else if tokens[j].is_punct(']') {
+                        bracket -= 1;
+                        if bracket == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                let end = j.min(n - 1);
+                for t in &tokens[start..=end] {
+                    attr_lines.insert(t.line);
+                }
+                let attr_text: String = tokens[start..=end]
+                    .iter()
+                    .map(|t| t.text.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                let inner = attr_text
+                    .trim_start_matches(['#', ' ', '!'])
+                    .trim_start_matches('[')
+                    .trim_end_matches(']')
+                    .trim()
+                    .to_string();
+                if is_test_attr(&inner) {
+                    armed_test_attr = true;
+                }
+                pending_attrs.push(inner);
+                i = end + 1;
+                continue;
+            }
+        }
+
+        let tok = &tokens[i];
+        if tok.is_punct('{') {
+            depth += 1;
+            if armed_test_attr {
+                test_scope_depths.push(depth);
+                armed_test_attr = false;
+            }
+            i += 1;
+            continue;
+        }
+        if tok.is_punct('}') {
+            if test_scope_depths.last() == Some(&depth) {
+                test_scope_depths.pop();
+            }
+            depth = depth.saturating_sub(1);
+            i += 1;
+            continue;
+        }
+        if tok.is_punct(';') {
+            armed_test_attr = false;
+            pending_attrs.clear();
+            i += 1;
+            continue;
+        }
+
+        if tok.is_ident("struct") {
+            let derives = take_derives(&pending_attrs);
+            pending_attrs.clear();
+            if let Some(item) = parse_struct(&tokens, i, derives, in_test) {
+                structs.push(item);
+            }
+            i += 1;
+            continue;
+        }
+
+        if tok.is_ident("fn") {
+            pending_attrs.clear();
+            if let Some((item, body_open)) = parse_fn(&tokens, i, in_test) {
+                // Do not skip the body: nested fns, scopes and test
+                // attributes inside still need the pass. Only record it.
+                let _ = body_open;
+                fns.push(item);
+            }
+            i += 1;
+            continue;
+        }
+
+        if tok.is_ident("impl") {
+            pending_attrs.clear();
+            // `impl Drop for X` / `impl Drop for X<...>`.
+            if i + 1 < n && tokens[i + 1].is_ident("Drop") {
+                let mut j = i + 2;
+                if j < n && tokens[j].is_ident("for") {
+                    j += 1;
+                    if j < n && tokens[j].kind == TokenKind::Ident {
+                        drop_impls.push(tokens[j].text.clone());
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+
+        if tok.kind == TokenKind::Ident
+            && !matches!(tok.text.as_str(), "pub" | "crate" | "in" | "super")
+            && !pending_attrs.is_empty()
+        {
+            // An item other than struct/fn consumed the pending attributes.
+            // (Keep `pub`/path qualifiers transparent so `#[test] pub fn`
+            // still arms.)
+            if !matches!(
+                tok.text.as_str(),
+                "fn" | "struct"
+                    | "mod"
+                    | "enum"
+                    | "union"
+                    | "trait"
+                    | "impl"
+                    | "unsafe"
+                    | "async"
+                    | "const"
+                    | "static"
+                    | "extern"
+                    | "type"
+                    | "use"
+            ) {
+                pending_attrs.clear();
+            }
+        }
+
+        i += 1;
+    }
+
+    // Pass 2: `// SECRET` annotations on structs.
+    let lines: Vec<String> = source.lines().map(str::to_string).collect();
+    let mut model = FileModel {
+        path: path.to_string(),
+        tokens,
+        comments,
+        token_in_test,
+        code_lines,
+        attr_lines,
+        structs,
+        fns,
+        drop_impls,
+        lines,
+    };
+    let struct_lines: Vec<u32> = model.structs.iter().map(|s| s.line).collect();
+    for (idx, line) in struct_lines.into_iter().enumerate() {
+        if model.covered_by_comment_above(line, &["SECRET"]) {
+            model.structs[idx].secret_annotated = true;
+        }
+    }
+    model
+}
+
+/// Extracts derive idents from pending attribute texts.
+fn take_derives(attrs: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    for a in attrs {
+        let t = a.trim();
+        if let Some(rest) = t.strip_prefix("derive") {
+            for part in rest
+                .trim_start_matches([' ', '('])
+                .trim_end_matches([' ', ')'])
+                .split(',')
+            {
+                // `serde : : Serialize` (tokens re-joined with spaces) → `Serialize`.
+                if let Some(name) = part.rsplit(':').next() {
+                    let name = name.trim();
+                    if !name.is_empty() {
+                        out.push(name.to_string());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parses a struct starting at the `struct` keyword token.
+fn parse_struct(
+    tokens: &[Token],
+    at: usize,
+    derives: Vec<String>,
+    in_test: bool,
+) -> Option<StructItem> {
+    let n = tokens.len();
+    let name_tok = tokens.get(at + 1)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    let mut item = StructItem {
+        name: name_tok.text.clone(),
+        line: tokens[at].line,
+        derives,
+        fields: Vec::new(),
+        secret_annotated: false,
+        in_test,
+    };
+    // Skip generics, bounds and where clauses up to the body delimiter.
+    let mut j = at + 2;
+    let mut angle = 0i32;
+    while j < n {
+        let t = &tokens[j];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if angle == 0 && (t.is_punct('{') || t.is_punct('(') || t.is_punct(';')) {
+            break;
+        }
+        j += 1;
+    }
+    if j >= n || tokens[j].is_punct(';') {
+        return Some(item); // unit struct
+    }
+    let (open, close) = (
+        tokens[j].text.clone(),
+        if tokens[j].is_punct('{') { '}' } else { ')' },
+    );
+    let body_start = j + 1;
+    // Find the matching close.
+    let mut depth = 1i32;
+    let mut k = body_start;
+    while k < n && depth > 0 {
+        let t = &tokens[k];
+        if t.text == open {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+        }
+        k += 1;
+    }
+    let body_end = k.saturating_sub(1); // index of the closing delimiter
+    item.fields = parse_fields(&tokens[body_start..body_end], open == "{");
+    Some(item)
+}
+
+/// Splits struct-body tokens into fields at top-level commas and extracts
+/// `name: Type` (or positional types for tuple structs).
+fn parse_fields(body: &[Token], named: bool) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut nest = 0i32;
+    let mut current: Vec<&Token> = Vec::new();
+    let mut flush = |current: &mut Vec<&Token>, index: usize| {
+        if current.is_empty() {
+            return;
+        }
+        // Strip leading attributes and visibility.
+        let mut toks: &[&Token] = current;
+        loop {
+            if toks.first().is_some_and(|t| t.is_punct('#')) {
+                // Skip `#[...]`.
+                let mut d = 0i32;
+                let mut m = 1;
+                while m < toks.len() {
+                    if toks[m].is_punct('[') {
+                        d += 1;
+                    } else if toks[m].is_punct(']') {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    m += 1;
+                }
+                toks = &toks[(m + 1).min(toks.len())..];
+                continue;
+            }
+            if toks.first().is_some_and(|t| t.is_ident("pub")) {
+                toks = &toks[1..];
+                if toks.first().is_some_and(|t| t.is_punct('(')) {
+                    let mut m = 0;
+                    while m < toks.len() && !toks[m].is_punct(')') {
+                        m += 1;
+                    }
+                    toks = &toks[(m + 1).min(toks.len())..];
+                }
+                continue;
+            }
+            break;
+        }
+        if toks.is_empty() {
+            current.clear();
+            return;
+        }
+        let (name, ty_toks, line) = if named {
+            let name = toks[0].text.clone();
+            let line = toks[0].line;
+            let ty = toks
+                .iter()
+                .skip_while(|t| !t.is_punct(':'))
+                .skip(1)
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+            (name, ty, line)
+        } else {
+            let line = toks[0].line;
+            let ty = toks
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+            (index.to_string(), ty, line)
+        };
+        fields.push(Field {
+            name,
+            ty: ty_toks,
+            line,
+        });
+        current.clear();
+    };
+    let mut index = 0usize;
+    for t in body {
+        if nest == 0 && t.is_punct(',') {
+            flush(&mut current, index);
+            index += 1;
+            continue;
+        }
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') || t.is_punct('{') {
+            nest += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') || t.is_punct('}') {
+            nest -= 1;
+        }
+        current.push(t);
+    }
+    flush(&mut current, index);
+    fields
+}
+
+/// Parses a fn starting at the `fn` keyword; returns the item and the token
+/// index of the body's `{` (None for body-less trait fns).
+fn parse_fn(tokens: &[Token], at: usize, in_test: bool) -> Option<(FnItem, usize)> {
+    let n = tokens.len();
+    let name_tok = tokens.get(at + 1)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    // Find the body `{` at paren/bracket depth 0, unless a `;` ends the
+    // signature first (trait method without a default body).
+    let mut j = at + 2;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut body_open = None;
+    while j < n {
+        let t = &tokens[j];
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct('[') {
+            bracket += 1;
+        } else if t.is_punct(']') {
+            bracket -= 1;
+        } else if paren == 0 && bracket == 0 {
+            if t.is_punct(';') {
+                return None;
+            }
+            if t.is_punct('{') {
+                body_open = Some(j);
+                break;
+            }
+        }
+        j += 1;
+    }
+    let open = body_open?;
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < n {
+        if tokens[k].is_punct('{') {
+            depth += 1;
+        } else if tokens[k].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        k += 1;
+    }
+    Some((
+        FnItem {
+            name: name_tok.text.clone(),
+            line: tokens[at].line,
+            body: (open, k.min(n - 1)),
+            in_test,
+        },
+        open,
+    ))
+}
+
+/// Lexes and models one file in a single call.
+pub fn model_file(path: &str, source: &str) -> FileModel {
+    build(path, source, crate::lexer::lex(source))
+}
+
+/// Convenience: name → struct for cross-file rules.
+pub fn struct_index(models: &[FileModel]) -> HashMap<&str, (&FileModel, &StructItem)> {
+    let mut map = HashMap::new();
+    for m in models {
+        for s in &m.structs {
+            if !s.in_test {
+                map.entry(s.name.as_str()).or_insert((m, s));
+            }
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_scopes_are_tracked() {
+        let src = r#"
+            fn hot() { let x = 1; }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { val.unwrap(); }
+            }
+            #[test]
+            fn standalone() { other.unwrap(); }
+            fn hot2() { let y = 2; }
+        "#;
+        let m = model_file("x.rs", src);
+        let unwraps: Vec<bool> = m
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(i, _)| m.token_in_test[i])
+            .collect();
+        assert_eq!(unwraps, vec![true, true]);
+        let hot2 = m.fns.iter().find(|f| f.name == "hot2").expect("hot2");
+        assert!(!hot2.in_test);
+    }
+
+    #[test]
+    fn structs_fields_and_derives() {
+        let src = r#"
+            #[derive(Debug, Clone, serde::Serialize)]
+            pub struct Carrier {
+                pub id: u64,
+                bits: BitVec,
+                map: HashMap<u64, SecretBuf>,
+            }
+            // SECRET: holds pad material.
+            struct Annotated(Vec<u8>, BitVec);
+            impl Drop for Annotated { fn drop(&mut self) {} }
+        "#;
+        let m = model_file("x.rs", src);
+        let carrier = m.structs.iter().find(|s| s.name == "Carrier").expect("c");
+        assert_eq!(carrier.derives, vec!["Debug", "Clone", "Serialize"]);
+        assert_eq!(carrier.fields.len(), 3);
+        assert_eq!(carrier.fields[1].name, "bits");
+        assert!(carrier.fields[1].ty.contains("BitVec"));
+        assert!(carrier.fields[2].ty.contains("SecretBuf"));
+        assert!(!carrier.secret_annotated);
+        let annotated = m.structs.iter().find(|s| s.name == "Annotated").expect("a");
+        assert!(annotated.secret_annotated);
+        assert_eq!(annotated.fields.len(), 2);
+        assert_eq!(m.drop_impls, vec!["Annotated"]);
+    }
+
+    #[test]
+    fn safety_comment_walks_past_attributes() {
+        let src = r#"
+            /// Quad kernel.
+            ///
+            /// # Safety
+            /// Caller must check AVX2.
+            #[target_feature(enable = "avx2")]
+            pub unsafe fn kernel() {}
+        "#;
+        let m = model_file("x.rs", src);
+        let unsafe_line = m
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("unsafe"))
+            .map(|t| t.line)
+            .expect("unsafe");
+        assert!(m.covered_by_comment_above(unsafe_line, &["SAFETY:", "# Safety"]));
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: panic sites and indexing on a hot-path module (true positives).
+
+pub fn handle(input: Option<&str>, table: &[u8], i: usize) -> u8 {
+    let name = input.unwrap();
+    if name.is_empty() {
+        panic!("empty name");
+    }
+    let parsed: usize = name.parse().expect("digits");
+    let _ = parsed;
+    table[i]
+}
+
+pub fn todo_branch(flag: bool) {
+    if flag {
+        todo!();
+    }
+}

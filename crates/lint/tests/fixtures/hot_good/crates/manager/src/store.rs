@@ -1,0 +1,24 @@
+//! Fixture: a hot-path module that stays typed (no findings expected).
+//! Unwraps confined to `#[cfg(test)]` code are exempt, as is full-range
+//! slicing.
+
+pub fn handle(input: Option<&str>) -> Result<usize, String> {
+    let name = input.ok_or_else(|| "missing name".to_string())?;
+    name.parse().map_err(|_| "not a number".to_string())
+}
+
+pub fn full_range(buf: &mut [u8]) -> &mut [u8] {
+    &mut buf[..]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles() {
+        assert_eq!(handle(Some("7")).unwrap(), 7);
+        let table = [1u8, 2, 3];
+        assert_eq!(table[1], 2);
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture: consistent lock order everywhere (no findings expected).
+
+pub fn deposit(state: &Mutex<u64>, ledger: &RwLock<u64>) {
+    let s = state.lock();
+    let l = ledger.write();
+    *l += *s;
+}
+
+pub fn audit(state: &Mutex<u64>, ledger: &RwLock<u64>) {
+    let s = state.lock();
+    let l = ledger.read();
+    let _ = (*s, *l);
+}
+
+pub fn refresh(state: &Mutex<u64>) {
+    // Sequential scoped acquisitions of one lock are not an ordering edge.
+    {
+        let s = state.lock();
+        let _ = *s;
+    }
+    {
+        let s = state.lock();
+        let _ = *s;
+    }
+}

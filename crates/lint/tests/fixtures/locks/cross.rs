@@ -1,0 +1,25 @@
+//! Fixture: a cross-function lock-order cycle (one finding expected).
+//! `enqueue` holds `queue` and calls `flush_stats`, which takes `stats`;
+//! `report` holds `stats` and calls `drain_queue`, which takes `queue`.
+
+pub fn enqueue(&self) {
+    let q = self.queue.lock();
+    q.push(1);
+    flush_stats(self);
+}
+
+pub fn flush_stats(&self) {
+    let s = self.stats.lock();
+    s.flush();
+}
+
+pub fn report(&self) {
+    let s = self.stats.lock();
+    drain_queue(self);
+    s.done();
+}
+
+pub fn drain_queue(&self) {
+    let q = self.queue.lock();
+    q.clear();
+}

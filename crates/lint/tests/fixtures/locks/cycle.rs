@@ -1,0 +1,13 @@
+//! Fixture: a seeded intra-file lock-order cycle (one finding expected).
+
+pub fn deposit(state: &Mutex<u64>, ledger: &Mutex<u64>) {
+    let s = state.lock();
+    let l = ledger.lock();
+    *l += *s;
+}
+
+pub fn audit(state: &Mutex<u64>, ledger: &Mutex<u64>) {
+    let l = ledger.lock();
+    let s = state.lock();
+    *l -= *s;
+}

@@ -1,0 +1,13 @@
+//! Fixture: uncovered unsafe sites (three true positives).
+
+pub fn uncovered_block(ptr: *mut u64) {
+    unsafe { *ptr = 0 };
+}
+
+pub unsafe fn uncovered_fn(ptr: *const u8) -> u8 {
+    unsafe { *ptr }
+}
+
+struct Wrapper(*mut u8);
+
+unsafe impl Send for Wrapper {}

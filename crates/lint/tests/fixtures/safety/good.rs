@@ -1,0 +1,26 @@
+//! Fixture: every unsafe site is covered (no findings expected).
+
+pub fn covered_block(ptr: *mut u64) {
+    // SAFETY: the caller hands us a valid, exclusive pointer.
+    unsafe { *ptr = 0 };
+}
+
+/// Reads one byte.
+///
+/// # Safety
+///
+/// `ptr` must be valid for reads of one byte.
+#[inline]
+pub unsafe fn covered_fn(ptr: *const u8) -> u8 {
+    // SAFETY: validity is the caller's documented obligation.
+    unsafe { *ptr }
+}
+
+struct Wrapper(*mut u8);
+
+// SAFETY: the wrapped pointer is only dereferenced behind a lock.
+unsafe impl Send for Wrapper {}
+
+pub fn trailing_comment(ptr: *mut u64) {
+    unsafe { *ptr = 1 }; // SAFETY: same-line justification also counts.
+}

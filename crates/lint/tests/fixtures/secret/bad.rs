@@ -1,0 +1,15 @@
+//! Fixture: secret-hygiene violations (three true positives on two types).
+
+// SECRET: pads are one-time-pad key material.
+#[derive(Debug, Clone)]
+pub struct PadCache {
+    pads: Vec<BitVec>,
+}
+
+/// Registered by name: `Reservation` is in the secret registry, holds a raw
+/// carrier and has no Drop.
+#[derive(Serialize)]
+pub struct Reservation {
+    bits: BitVec,
+    claim: Option<String>,
+}

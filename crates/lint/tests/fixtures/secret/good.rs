@@ -1,0 +1,35 @@
+//! Fixture: hygienic secret types (no findings expected).
+
+// SECRET: wraps one-time-pad key material.
+#[derive(Clone, PartialEq)]
+pub struct PadCache {
+    pads: Vec<BitVec>,
+}
+
+impl std::fmt::Debug for PadCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PadCache").field("pads", &self.pads.len()).finish()
+    }
+}
+
+impl Drop for PadCache {
+    fn drop(&mut self) {
+        for pad in &mut self.pads {
+            pad.zeroize();
+        }
+    }
+}
+
+/// Registered by name, but every carrier field is a self-zeroizing
+/// `SecretBuf`, so no Drop impl is required.
+#[derive(Clone)]
+pub struct Reservation {
+    bits: SecretBuf,
+    claim: Option<String>,
+}
+
+/// Not registered, not annotated: plain data may derive what it likes.
+#[derive(Debug, Clone, Serialize)]
+pub struct Telemetry {
+    qber: f64,
+}

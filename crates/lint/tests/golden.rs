@@ -1,0 +1,156 @@
+//! Golden-file tests: every rule must fire on its positive fixture and stay
+//! quiet on its negative fixture, and the real workspace must be clean for
+//! the deny-level rule families.
+
+use std::path::{Path, PathBuf};
+
+use qkd_lint::{analyze_files, analyze_workspace, Rule};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Analyzes the given fixture files (paths relative to `tests/fixtures`),
+/// returning `(rule, line)` pairs.
+fn run(fixtures: &[&str]) -> Vec<(Rule, u32)> {
+    let root = fixture_root();
+    let files: Vec<PathBuf> = fixtures.iter().map(|f| root.join(f)).collect();
+    for f in &files {
+        assert!(f.exists(), "missing fixture {}", f.display());
+    }
+    analyze_files(&root, &files)
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+#[test]
+fn safety_coverage_flags_uncovered_unsafe() {
+    let findings = run(&["safety/bad.rs"]);
+    let lines: Vec<u32> = findings
+        .iter()
+        .filter(|(r, _)| *r == Rule::SafetyCoverage)
+        .map(|(_, l)| *l)
+        .collect();
+    // The block, the unsafe fn, the inner unsafe block, and the unsafe impl.
+    assert_eq!(lines, vec![4, 7, 8, 13]);
+}
+
+#[test]
+fn safety_coverage_accepts_covered_unsafe() {
+    let findings = run(&["safety/good.rs"]);
+    assert!(
+        findings.iter().all(|(r, _)| *r != Rule::SafetyCoverage),
+        "false positives: {findings:?}"
+    );
+}
+
+#[test]
+fn panic_freedom_flags_hot_path_panics() {
+    let findings = run(&["hot_bad/crates/api/src/http.rs"]);
+    let panics: Vec<u32> = findings
+        .iter()
+        .filter(|(r, _)| *r == Rule::PanicFreedom)
+        .map(|(_, l)| *l)
+        .collect();
+    // unwrap, panic!, expect, todo!.
+    assert_eq!(panics, vec![4, 6, 8, 15]);
+    // The indexing advisory fires too, as its own rule.
+    assert!(findings
+        .iter()
+        .any(|(r, l)| *r == Rule::SliceIndex && *l == 10));
+}
+
+#[test]
+fn panic_freedom_exempts_typed_code_and_tests() {
+    let findings = run(&["hot_good/crates/manager/src/store.rs"]);
+    assert!(
+        findings.is_empty(),
+        "hot-path module with typed errors must be clean: {findings:?}"
+    );
+}
+
+#[test]
+fn secret_hygiene_flags_leaky_types() {
+    let findings = run(&["secret/bad.rs"]);
+    let secrets: Vec<u32> = findings
+        .iter()
+        .filter(|(r, _)| *r == Rule::SecretHygiene)
+        .map(|(_, l)| *l)
+        .collect();
+    // PadCache: Debug derive + raw carrier without Drop (two findings on the
+    // struct line); Reservation: Serialize derive + raw carrier without Drop.
+    assert_eq!(secrets, vec![5, 5, 12, 12]);
+}
+
+#[test]
+fn secret_hygiene_accepts_redacting_zeroizing_types() {
+    let findings = run(&["secret/good.rs"]);
+    assert!(
+        findings.iter().all(|(r, _)| *r != Rule::SecretHygiene),
+        "false positives: {findings:?}"
+    );
+}
+
+#[test]
+fn lock_order_flags_seeded_intra_file_cycle() {
+    let findings = run(&["locks/cycle.rs"]);
+    let cycles: Vec<_> = findings
+        .iter()
+        .filter(|(r, _)| *r == Rule::LockOrder)
+        .collect();
+    assert_eq!(cycles.len(), 1, "exactly one cycle: {findings:?}");
+}
+
+#[test]
+fn lock_order_flags_cross_function_cycle() {
+    let findings = run(&["locks/cross.rs"]);
+    let cycles: Vec<_> = findings
+        .iter()
+        .filter(|(r, _)| *r == Rule::LockOrder)
+        .collect();
+    assert_eq!(cycles.len(), 1, "exactly one cycle: {findings:?}");
+}
+
+#[test]
+fn lock_order_accepts_consistent_order() {
+    let findings = run(&["locks/clean.rs"]);
+    assert!(
+        findings.iter().all(|(r, _)| *r != Rule::LockOrder),
+        "false positives: {findings:?}"
+    );
+}
+
+/// The real workspace is the ultimate no-false-positive fixture: the four
+/// deny-level families must be finding-free without any baseline help.
+#[test]
+fn workspace_is_clean_for_deny_level_rules() {
+    // crates/lint/ -> workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    assert!(root.join("Cargo.toml").exists());
+    let findings = analyze_workspace(root);
+    let denied: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule != Rule::SliceIndex)
+        .collect();
+    assert!(
+        denied.is_empty(),
+        "deny-level findings on the workspace: {denied:#?}"
+    );
+    // The advisory indexing findings exist and every one is acknowledged.
+    let baseline_text = std::fs::read_to_string(root.join("lint-baseline.toml")).expect("baseline");
+    let baseline = qkd_lint::baseline::Baseline::parse(&baseline_text).expect("parse baseline");
+    for f in &findings {
+        assert!(baseline.allows(f), "unacknowledged finding: {f:?}");
+    }
+    // And the baseline holds no entry for the deny-level families.
+    for a in &baseline.allows {
+        assert_eq!(
+            a.rule, "slice-index",
+            "deny-level rules must stay baseline-free"
+        );
+    }
+}

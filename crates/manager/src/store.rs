@@ -31,7 +31,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use qkd_types::{BitVec, QkdError, Result, SecretKey};
+use qkd_types::{QkdError, Result, SecretBuf, SecretKey};
 
 /// Identity of one delivered key: the link it was drawn from plus a per-link
 /// serial that increments with every successful [`KeyStore::get_key`] call.
@@ -71,15 +71,29 @@ impl std::str::FromStr for KeyId {
 
 /// A key handed to a consumer: exactly the requested number of bits, drained
 /// from the link's store in deposit order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The bits ride in a [`SecretBuf`]: dropped keys zeroize their storage, and
+/// the `Debug` form prints length + fingerprint, never the material. The
+/// wire encoding reads the bits explicitly via [`SecretBuf::expose`].
+#[derive(Clone, PartialEq)]
 pub struct DeliveredKey {
     /// Identity of this delivery.
     pub id: KeyId,
-    /// The secret bits.
-    pub bits: BitVec,
+    /// The secret bits (zeroized on drop).
+    pub bits: SecretBuf,
     /// Union-bound composable security parameter of the link's session at
     /// delivery time (sum of the epsilons of every block deposited so far).
     pub epsilon: f64,
+}
+
+impl std::fmt::Debug for DeliveredKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeliveredKey")
+            .field("id", &self.id)
+            .field("bits", &self.bits)
+            .field("epsilon", &self.epsilon)
+            .finish()
+    }
 }
 
 impl DeliveredKey {
@@ -130,9 +144,8 @@ impl KeyStatus {
 
 /// One parked reservation: the peer's copy of an already-delivered key,
 /// plus the claim the pickup must present.
-#[derive(Debug)]
 struct Reservation {
-    bits: BitVec,
+    bits: SecretBuf,
     epsilon: f64,
     /// Opaque claimant tag fixed at reservation time (the delivery API uses
     /// the intended recipient's SAE id). A pickup presenting a different
@@ -144,11 +157,21 @@ struct Reservation {
     expires_at: Option<Instant>,
 }
 
+impl std::fmt::Debug for Reservation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reservation")
+            .field("bits", &self.bits)
+            .field("claim", &self.claim)
+            .field("expires_at", &self.expires_at)
+            .finish()
+    }
+}
+
 /// Per-link storage: a flat bit buffer drained from the front, plus the
 /// reserved keys parked for pickup-by-ID by the peer SAE.
-#[derive(Debug, Default)]
+#[derive(Default)]
 struct LinkStore {
-    buf: BitVec,
+    buf: SecretBuf,
     cursor: usize,
     deposited_bits: u64,
     delivered_bits: u64,
@@ -162,6 +185,20 @@ struct LinkStore {
     parked: BTreeMap<u64, Reservation>,
 }
 
+impl std::fmt::Debug for LinkStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The pool is key material: print its accounting, never its bits.
+        f.debug_struct("LinkStore")
+            .field("buf", &self.buf)
+            .field("cursor", &self.cursor)
+            .field("deposited_bits", &self.deposited_bits)
+            .field("delivered_bits", &self.delivered_bits)
+            .field("keys_delivered", &self.keys_delivered)
+            .field("reserved_keys", &self.parked.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl LinkStore {
     fn available(&self) -> usize {
         self.buf.len() - self.cursor
@@ -171,7 +208,9 @@ impl LinkStore {
     /// links do not hold on to every bit they ever produced.
     fn compact(&mut self) {
         if self.cursor > 0 && self.cursor * 2 >= self.buf.len() {
-            self.buf = self.buf.slice(self.cursor, self.buf.len());
+            // The old buffer (delivered prefix included) is zeroized by the
+            // outgoing `SecretBuf`'s drop.
+            self.buf = self.buf.slice(self.cursor, self.buf.len()).into();
             self.cursor = 0;
         }
     }
@@ -179,7 +218,7 @@ impl LinkStore {
     /// Drains `n_bits` from the front (caller has checked availability),
     /// advancing the delivery ledger and serial atomically with the read.
     fn drain(&mut self, link: usize, n_bits: usize) -> DeliveredKey {
-        let bits = self.buf.slice(self.cursor, self.cursor + n_bits);
+        let bits = self.buf.slice(self.cursor, self.cursor + n_bits).into();
         self.cursor += n_bits;
         self.delivered_bits += n_bits as u64;
         let serial = self.keys_delivered;
@@ -213,7 +252,7 @@ impl KeyStore {
     pub(crate) fn deposit(&self, link: usize, key: &SecretKey) {
         let mut inner = self.inner.lock();
         let store = inner.entry(link).or_default();
-        store.buf.extend_from(&key.bits);
+        store.buf.expose_mut().extend_from(&key.bits);
         store.deposited_bits += key.bits.len() as u64;
         store.blocks_deposited += 1;
         store.epsilon += key.epsilon;
@@ -371,11 +410,12 @@ impl KeyStore {
                 .map(|(&serial, _)| serial)
                 .collect();
             for serial in expired {
-                let reservation = store.parked.remove(&serial).expect("collected above");
-                store.buf.extend_from(&reservation.bits);
-                store.delivered_bits -= reservation.bits.len() as u64;
-                store.reservations_expired += 1;
-                reclaimed += 1;
+                if let Some(reservation) = store.parked.remove(&serial) {
+                    store.buf.expose_mut().extend_from(&reservation.bits);
+                    store.delivered_bits -= reservation.bits.len() as u64;
+                    store.reservations_expired += 1;
+                    reclaimed += 1;
+                }
             }
         }
         reclaimed
@@ -397,9 +437,11 @@ impl KeyStore {
         let store = inner.get_mut(&id.link).ok_or_else(|| {
             QkdError::invalid_parameter("link", format!("unknown link {}", id.link))
         })?;
-        match store.parked.get(&id.serial) {
-            Some(reservation) if reservation.claim.as_deref() == claim => {
-                let reservation = store.parked.remove(&id.serial).expect("present above");
+        match store.parked.entry(id.serial) {
+            std::collections::btree_map::Entry::Occupied(entry)
+                if entry.get().claim.as_deref() == claim =>
+            {
+                let reservation = entry.remove();
                 Ok(DeliveredKey {
                     id,
                     bits: reservation.bits,
@@ -457,21 +499,25 @@ impl KeyStore {
                 });
             }
         }
-        Ok(ids
-            .iter()
-            .map(|&id| {
-                let store = inner.get_mut(&id.link).expect("presence checked above");
-                let reservation = store
-                    .parked
-                    .remove(&id.serial)
-                    .expect("presence checked above");
-                DeliveredKey {
-                    id,
-                    bits: reservation.bits,
-                    epsilon: reservation.epsilon,
-                }
-            })
-            .collect())
+        // Presence (and claim) of every ID was checked above under the same
+        // lock, so the lookups cannot miss — but the path stays typed
+        // rather than panicking on an impossible state.
+        let mut keys = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let reservation = inner
+                .get_mut(&id.link)
+                .and_then(|store| store.parked.remove(&id.serial))
+                .ok_or(QkdError::UnknownKeyId {
+                    link: id.link as u64,
+                    serial: id.serial,
+                })?;
+            keys.push(DeliveredKey {
+                id,
+                bits: reservation.bits,
+                epsilon: reservation.epsilon,
+            });
+        }
+        Ok(keys)
     }
 }
 
@@ -479,13 +525,13 @@ impl KeyStore {
 mod tests {
     use super::*;
     use qkd_types::rng::derive_rng;
-    use qkd_types::BlockId;
+    use qkd_types::{BitVec, BlockId};
 
     fn secret(len: usize, seed: u64) -> SecretKey {
         let mut rng = derive_rng(seed, "store-test");
         SecretKey {
             block: BlockId::new(0, seed),
-            bits: BitVec::random(&mut rng, len),
+            bits: BitVec::random(&mut rng, len).into(),
             epsilon: 1e-10,
         }
     }
@@ -498,7 +544,7 @@ mod tests {
         store.deposit(0, &k1);
         store.deposit(0, &k2);
 
-        let mut expected = k1.bits.clone();
+        let mut expected = k1.bits.expose().clone();
         expected.extend_from(&k2.bits);
 
         let d1 = store.get_key(0, 70).unwrap();
@@ -566,7 +612,7 @@ mod tests {
         }
         store.deposit(1, &secret(24, 6));
         delivered.extend_from(&store.get_key(1, 124).unwrap().bits);
-        let mut expected = k.bits.clone();
+        let mut expected = k.bits.expose().clone();
         expected.extend_from(&secret(24, 6).bits);
         assert_eq!(delivered, expected);
         let status = store.status(1).unwrap();

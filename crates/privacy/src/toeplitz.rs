@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use qkd_types::gf2::clmul64;
-use qkd_types::{BitVec, QkdError, Result};
+use qkd_types::{BitVec, QkdError, Result, SecretBuf};
 
 /// Evaluation strategy for the Toeplitz hash.
 ///
@@ -28,12 +28,26 @@ pub enum ToeplitzStrategy {
 }
 
 /// A Toeplitz hash instance: output length plus seed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The seed is disclosed to the peer during privacy amplification, but it is
+/// still keyed material while a session runs — it rides in a [`SecretBuf`]
+/// (zeroized on drop) and the `Debug` form redacts it.
+#[derive(Clone, PartialEq)]
 pub struct ToeplitzHash {
     input_len: usize,
     output_len: usize,
-    /// Seed bits, length `input_len + output_len - 1`.
-    seed: BitVec,
+    /// Seed bits, length `input_len + output_len - 1` (zeroized on drop).
+    seed: SecretBuf,
+}
+
+impl std::fmt::Debug for ToeplitzHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ToeplitzHash")
+            .field("input_len", &self.input_len)
+            .field("output_len", &self.output_len)
+            .field("seed", &self.seed)
+            .finish()
+    }
 }
 
 impl ToeplitzHash {
@@ -68,7 +82,7 @@ impl ToeplitzHash {
         Ok(Self {
             input_len,
             output_len,
-            seed,
+            seed: seed.into(),
         })
     }
 
@@ -104,7 +118,7 @@ impl ToeplitzHash {
 
     /// The seed defining the Toeplitz matrix.
     pub fn seed(&self) -> &BitVec {
-        &self.seed
+        self.seed.expose()
     }
 
     /// Matrix entry `T[row][col]` (mostly useful for tests).

@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::bits::BitVec;
 use crate::frame::BlockId;
+use crate::secret::SecretBuf;
 
 /// The stage of the pipeline a key container belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -156,15 +157,29 @@ impl ReconciledKey {
 }
 
 /// Final secret key output by privacy amplification.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The bits live in a [`SecretBuf`]: they are zeroized when the key is
+/// dropped, and the `Debug` form prints a length + fingerprint, never the
+/// material itself. There is deliberately no `Serialize` impl.
+#[derive(Clone, PartialEq)]
 pub struct SecretKey {
     /// Block this key was distilled from.
     pub block: BlockId,
-    /// The secret bits.
-    pub bits: BitVec,
+    /// The secret bits (zeroized on drop).
+    pub bits: SecretBuf,
     /// Security parameter: the trace-distance bound on this key's deviation
     /// from an ideal key (composable epsilon).
     pub epsilon: f64,
+}
+
+impl std::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecretKey")
+            .field("block", &self.block)
+            .field("bits", &self.bits)
+            .field("epsilon", &self.epsilon)
+            .finish()
+    }
 }
 
 impl SecretKey {

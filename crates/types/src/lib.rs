@@ -29,12 +29,14 @@ pub mod gf2;
 pub mod key;
 pub mod quantum;
 pub mod rng;
+pub mod secret;
 
 pub use bits::BitVec;
 pub use error::QkdError;
 pub use frame::{BlockId, Epoch, KeyBlock};
 pub use key::{KeyStage, RawKey, ReconciledKey, SecretKey, SiftedKey};
 pub use quantum::{Basis, BitValue, DetectionEvent, PulseClass};
+pub use secret::SecretBuf;
 
 /// Result alias used across the workspace.
 pub type Result<T> = std::result::Result<T, QkdError>;

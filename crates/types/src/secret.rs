@@ -1,0 +1,201 @@
+//! Zeroize-on-drop containers for key material.
+//!
+//! Every buffer that ever holds distilled (or distillable) secret bits —
+//! delivered keys, parked reservation copies, the store's available pool,
+//! one-time MAC pads, Toeplitz seeds, reconciler scratch — should live in a
+//! [`SecretBuf`] rather than a bare [`BitVec`], so the bits are erased from
+//! memory the moment the owner lets go of them. The erase is a volatile
+//! write per word followed by a compiler fence: the optimizer may not elide
+//! the stores as dead writes, which a plain `fill(0)` before a free would
+//! invite.
+//!
+//! [`SecretBuf`] also refuses to print its contents: its `Debug` form is the
+//! length plus a short FNV-1a fingerprint (enough to tell two keys apart in
+//! a log, never enough to reconstruct one). There is deliberately no
+//! `Serialize` impl — the one place key bits legitimately cross a boundary
+//! (the delivery API's wire encoding) reads them explicitly through
+//! [`SecretBuf::expose`].
+//!
+//! The workspace lint (`cargo run -p qkd-lint`) enforces the discipline:
+//! types in its secret registry must either hold their key material in
+//! `SecretBuf` (or another registry type) or carry their own zeroizing
+//! `Drop`, and must not `derive` `Debug`/`Serialize`.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::atomic::{compiler_fence, Ordering};
+
+use crate::bits::BitVec;
+
+/// Overwrites every word with zero through volatile stores, then fences so
+/// the compiler cannot sink or elide the writes. The erase primitive behind
+/// [`SecretBuf`] and the `Drop` impls of scratch arenas.
+pub fn zeroize_words(words: &mut [u64]) {
+    for w in words.iter_mut() {
+        // SAFETY: `w` comes from an exclusive iterator over a valid,
+        // properly aligned `&mut [u64]`, so the pointer is valid for a
+        // volatile write of one initialized `u64`.
+        unsafe { std::ptr::write_volatile(w, 0) };
+    }
+    compiler_fence(Ordering::SeqCst);
+}
+
+/// Volatile-zero for `f64` scratch (LLR posteriors and messages encode the
+/// key too; see `DecoderScratch`).
+pub fn zeroize_f64s(values: &mut [f64]) {
+    for v in values.iter_mut() {
+        // SAFETY: `v` comes from an exclusive iterator over a valid,
+        // properly aligned `&mut [f64]`, so the pointer is valid for a
+        // volatile write of one initialized `f64`.
+        unsafe { std::ptr::write_volatile(v, 0.0) };
+    }
+    compiler_fence(Ordering::SeqCst);
+}
+
+/// A [`BitVec`] of secret bits that zeroizes its storage on drop.
+///
+/// Dereferences to `BitVec` for read access, so every inspection helper
+/// (`len`, `get`, `parity`, `to_bytes`, …) works unchanged; mutation and
+/// serialization require going through [`SecretBuf::expose_mut`] /
+/// [`SecretBuf::expose`] so writes and exports of key material stay
+/// greppable.
+#[derive(Default, Clone, PartialEq, Eq)]
+pub struct SecretBuf {
+    bits: BitVec,
+}
+
+impl SecretBuf {
+    /// An empty secret buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps `bits`, taking ownership of the backing storage.
+    pub fn from_bits(bits: BitVec) -> Self {
+        Self { bits }
+    }
+
+    /// Read access to the wrapped bits (equivalent to the `Deref` view, but
+    /// explicit at call sites that export key material).
+    pub fn expose(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// Mutable access for owners that fill or drain the buffer in place.
+    pub fn expose_mut(&mut self) -> &mut BitVec {
+        &mut self.bits
+    }
+
+    /// Moves the bits out, leaving an empty (nothing-to-zeroize) buffer.
+    /// The caller takes over the erase obligation.
+    pub fn take_bits(&mut self) -> BitVec {
+        std::mem::take(&mut self.bits)
+    }
+
+    /// A short non-cryptographic fingerprint (FNV-1a over the words) for
+    /// telling keys apart in logs without revealing them.
+    pub fn fingerprint(&self) -> u32 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &w in self.bits.as_words() {
+            h = (h ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h = (h ^ (self.bits.len() as u64)).wrapping_mul(0x0000_0100_0000_01b3);
+        (h ^ (h >> 32)) as u32
+    }
+}
+
+impl Drop for SecretBuf {
+    fn drop(&mut self) {
+        zeroize_words(self.bits.as_words_mut());
+    }
+}
+
+impl Deref for SecretBuf {
+    type Target = BitVec;
+
+    fn deref(&self) -> &BitVec {
+        &self.bits
+    }
+}
+
+impl From<BitVec> for SecretBuf {
+    fn from(bits: BitVec) -> Self {
+        Self::from_bits(bits)
+    }
+}
+
+impl PartialEq<BitVec> for SecretBuf {
+    fn eq(&self, other: &BitVec) -> bool {
+        self.bits == *other
+    }
+}
+
+impl PartialEq<SecretBuf> for BitVec {
+    fn eq(&self, other: &SecretBuf) -> bool {
+        *self == other.bits
+    }
+}
+
+impl fmt::Debug for SecretBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SecretBuf[{} bits; fp={:08x}]",
+            self.bits.len(),
+            self.fingerprint()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::derive_rng;
+
+    #[test]
+    fn derefs_and_compares_like_the_wrapped_bits() {
+        let mut rng = derive_rng(11, "secret-test");
+        let raw = BitVec::random(&mut rng, 257);
+        let secret = SecretBuf::from_bits(raw.clone());
+        assert_eq!(secret.len(), 257);
+        assert_eq!(secret, raw);
+        assert_eq!(raw, secret);
+        assert_eq!(secret.expose(), &raw);
+        assert_eq!(secret.clone(), secret);
+        assert_eq!(secret.to_bytes(), raw.to_bytes());
+    }
+
+    #[test]
+    fn debug_redacts_the_bits() {
+        let secret = SecretBuf::from_bits(BitVec::ones(64));
+        let shown = format!("{secret:?}");
+        assert!(shown.contains("64 bits"), "{shown}");
+        assert!(!shown.contains("1111"), "must not print bits: {shown}");
+        // Different keys give different fingerprints (overwhelmingly).
+        let other = SecretBuf::from_bits(BitVec::zeros(64));
+        assert_ne!(secret.fingerprint(), other.fingerprint());
+        // The fingerprint distinguishes lengths even for all-zero words.
+        assert_ne!(
+            SecretBuf::from_bits(BitVec::zeros(64)).fingerprint(),
+            SecretBuf::from_bits(BitVec::zeros(128)).fingerprint()
+        );
+    }
+
+    #[test]
+    fn zeroize_erases_every_word() {
+        let mut owned = SecretBuf::from_bits(BitVec::ones(192));
+        zeroize_words(owned.expose_mut().as_words_mut());
+        assert_eq!(owned.count_ones(), 0);
+        let mut llrs = [1.5f64, -2.25, 7.0];
+        zeroize_f64s(&mut llrs);
+        assert_eq!(llrs, [0.0; 3]);
+    }
+
+    #[test]
+    fn take_bits_transfers_ownership() {
+        let mut secret = SecretBuf::from_bits(BitVec::ones(32));
+        let bits = secret.take_bits();
+        assert_eq!(bits.count_ones(), 32);
+        assert!(secret.is_empty());
+    }
+}
