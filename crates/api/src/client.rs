@@ -161,6 +161,47 @@ impl ApiClient {
         parse_keys(&doc)
     }
 
+    /// `GET /api/v1/metrics` — the server's telemetry snapshot in
+    /// Prometheus text exposition format (unauthenticated).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::ChannelError`] for transport failures.
+    pub fn metrics(&self) -> Result<String> {
+        let (status, text) = self.request_raw("GET", "/api/v1/metrics", None)?;
+        if status == 200 {
+            Ok(text)
+        } else {
+            let doc = Json::parse(&text).unwrap_or(Json::Null);
+            Err(error_from_json(status, &doc))
+        }
+    }
+
+    /// `GET /api/v1/metrics.json` — the same snapshot as a JSON document
+    /// (per-series quantiles plus the recent event log).
+    ///
+    /// # Errors
+    ///
+    /// See [`ApiClient::metrics`].
+    pub fn metrics_json(&self) -> Result<Json> {
+        self.request("GET", "/api/v1/metrics.json", None)
+    }
+
+    /// One JSON request/response exchange (see [`ApiClient::request_raw`]).
+    fn request(&self, method: &str, path: &str, body: Option<&Json>) -> Result<Json> {
+        let (status, text) = self.request_raw(method, path, body)?;
+        let doc = if text.is_empty() {
+            Json::Null
+        } else {
+            Json::parse(&text)?
+        };
+        if (200..300).contains(&status) {
+            Ok(doc)
+        } else {
+            Err(error_from_json(status, &doc))
+        }
+    }
+
     /// One request/response exchange, reusing the kept-alive connection
     /// when there is one.
     ///
@@ -168,7 +209,7 @@ impl ApiClient {
     /// assumed stale (idle-harvested or closed under us) and the exchange
     /// is retried exactly once on a fresh connection; failures on a fresh
     /// connection surface immediately.
-    fn request(&self, method: &str, path: &str, body: Option<&Json>) -> Result<Json> {
+    fn request_raw(&self, method: &str, path: &str, body: Option<&Json>) -> Result<(u16, String)> {
         let payload = body.map(Json::encode).unwrap_or_default();
         let head = format!(
             "{method} {path} HTTP/1.1\r\nhost: {}\r\nauthorization: Bearer {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
@@ -183,12 +224,12 @@ impl ApiClient {
         let parked = self.conn.lock().take();
         if let Some(mut stream) = parked {
             if let Ok(exchange) = exchange(&mut stream, &head, &payload) {
-                return self.conclude(stream, exchange);
+                return Ok(self.conclude(stream, exchange));
             }
         }
         let mut stream = self.connect()?;
         let exchange = exchange(&mut stream, &head, &payload)?;
-        self.conclude(stream, exchange)
+        Ok(self.conclude(stream, exchange))
     }
 
     fn connect(&self) -> Result<TcpStream> {
@@ -202,22 +243,18 @@ impl ApiClient {
     }
 
     /// Parks the connection for the next call (when kept alive and the
-    /// server did not announce a close) and maps the status to the result.
-    fn conclude(&self, stream: TcpStream, exchange: Exchange) -> Result<Json> {
+    /// server did not announce a close) and hands back the raw exchange.
+    fn conclude(&self, stream: TcpStream, exchange: Exchange) -> (u16, String) {
         if self.keep_alive && !exchange.server_close {
             *self.conn.lock() = Some(stream);
         }
-        if (200..300).contains(&exchange.status) {
-            Ok(exchange.doc)
-        } else {
-            Err(error_from_json(exchange.status, &exchange.doc))
-        }
+        (exchange.status, exchange.body)
     }
 }
 
 struct Exchange {
     status: u16,
-    doc: Json,
+    body: String,
     server_close: bool,
 }
 
@@ -274,14 +311,9 @@ fn exchange(stream: &mut TcpStream, head: &str, payload: &str) -> Result<Exchang
     }
     let body_text = std::str::from_utf8(&raw[body_start..body_start + content_length])
         .map_err(|_| transport("response is not UTF-8".into()))?;
-    let doc = if body_text.is_empty() {
-        Json::Null
-    } else {
-        Json::parse(body_text)?
-    };
     Ok(Exchange {
         status,
-        doc,
+        body: body_text.to_string(),
         server_close,
     })
 }

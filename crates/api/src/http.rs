@@ -21,7 +21,7 @@
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -131,29 +131,52 @@ impl Default for HttpConfig {
 }
 
 /// Live transport counters, shared by every shard. Monotonic over the
-/// server's lifetime; reads are `Relaxed` (they are telemetry, not
-/// synchronization).
-#[derive(Debug, Default)]
+/// server's lifetime; the values live on the global `qkd-obs` registry
+/// (labelled `server="s<N>"` per server instance, so concurrent servers in
+/// one process keep exact independent series) and this struct is just the
+/// typed accessor over those handles.
+#[derive(Debug)]
 pub struct ServerStats {
-    accepted: AtomicU64,
-    served: AtomicU64,
-    harvested: AtomicU64,
+    accepted: qkd_obs::Counter,
+    served: qkd_obs::Counter,
+    harvested: qkd_obs::Counter,
+    /// Live keep-alive connection-table size, summed over every shard.
+    connections: qkd_obs::Gauge,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        let server = qkd_obs::next_instance("s");
+        let labels = [("server", server.as_str())];
+        let obs = qkd_obs::registry();
+        Self {
+            accepted: obs.counter("qkd_http_connections_accepted_total", &labels),
+            served: obs.counter("qkd_http_requests_served_total", &labels),
+            harvested: obs.counter("qkd_http_connections_harvested_total", &labels),
+            connections: obs.gauge("qkd_http_connection_table_size", &labels),
+        }
+    }
 }
 
 impl ServerStats {
     /// Connections accepted since start.
     pub fn connections_accepted(&self) -> u64 {
-        self.accepted.load(Ordering::Relaxed)
+        self.accepted.value()
     }
 
     /// Requests served (including error responses) since start.
     pub fn requests_served(&self) -> u64 {
-        self.served.load(Ordering::Relaxed)
+        self.served.value()
     }
 
     /// Connections closed by the idle harvester since start.
     pub fn connections_harvested(&self) -> u64 {
-        self.harvested.load(Ordering::Relaxed)
+        self.harvested.value()
+    }
+
+    /// Connections currently tracked across every shard's table.
+    pub fn connections_tracked(&self) -> f64 {
+        self.connections.value()
     }
 }
 
@@ -224,7 +247,7 @@ impl HttpServer {
                 }
                 match conn {
                     Ok(stream) => {
-                        accept_stats.accepted.fetch_add(1, Ordering::Relaxed);
+                        accept_stats.accepted.inc();
                         // Deal round-robin; a send only fails when the
                         // server is tearing down, so stop accepting then.
                         let shard = next % txs.len();
@@ -349,6 +372,7 @@ fn run_shard(
                 parsed: 0,
                 last_activity: Instant::now(),
             });
+            stats.connections.add(1.0);
             progress = true;
         }
         if stop.load(Ordering::SeqCst) {
@@ -365,11 +389,13 @@ fn run_shard(
                 Scan::Idle => i += 1,
                 Scan::Close => {
                     conns.swap_remove(i);
+                    stats.connections.add(-1.0);
                     progress = true;
                 }
                 Scan::Harvest => {
-                    stats.harvested.fetch_add(1, Ordering::Relaxed);
+                    stats.harvested.inc();
                     conns.swap_remove(i);
+                    stats.connections.add(-1.0);
                     progress = true;
                 }
             }
@@ -382,6 +408,7 @@ fn run_shard(
         }
     }
     // Tracked connections drop (and close) here.
+    stats.connections.add(-(conns.len() as f64));
 }
 
 /// Services one connection for one scan: read what is ready, serve every
@@ -429,7 +456,7 @@ fn scan_conn(
         match parse_request(&conn.buf[conn.parsed..]) {
             Ok(Some((request, consumed))) => {
                 conn.parsed += consumed;
-                stats.served.fetch_add(1, Ordering::Relaxed);
+                stats.served.inc();
                 let close = request.wants_close();
                 let response = dispatch(router, &request);
                 if write_response(&mut conn.stream, &response, close).is_err() || close {
@@ -438,7 +465,7 @@ fn scan_conn(
             }
             Ok(None) => break Scan::Progress,
             Err(status) => {
-                stats.served.fetch_add(1, Ordering::Relaxed);
+                stats.served.inc();
                 let response = Response::json(
                     status,
                     &Json::Obj(vec![

@@ -170,17 +170,55 @@ where
     }
 }
 
+/// Registry handles for one route's telemetry, resolved once at
+/// registration so dispatch never touches the registry's shard locks.
+struct RouteObs {
+    requests: qkd_obs::Counter,
+    latency: qkd_obs::Histogram,
+}
+
+impl RouteObs {
+    fn new(route: &'static str) -> Self {
+        let labels = [("route", route)];
+        let obs = qkd_obs::registry();
+        RouteObs {
+            requests: obs.counter("qkd_http_requests_total", &labels),
+            latency: obs.histogram("qkd_http_request_seconds", &labels),
+        }
+    }
+}
+
 struct Entry {
     method: Method,
     route: Route,
     handler: Box<dyn Handler>,
+    obs: RouteObs,
 }
 
 /// The dispatch table: an ordered list of (method, pattern) → handler
 /// registrations. Shared read-only across every server shard.
-#[derive(Default)]
 pub struct Router {
     entries: Vec<Entry>,
+    /// Telemetry for requests no pattern matched (the 404/405 envelopes).
+    unmatched: RouteObs,
+    denied_401: qkd_obs::Counter,
+    throttled_429: qkd_obs::Counter,
+    unavailable_503: qkd_obs::Counter,
+}
+
+impl Default for Router {
+    fn default() -> Self {
+        let status_counter = |status: &str| {
+            qkd_obs::registry().counter("qkd_http_responses_total", &[("status", status)])
+        };
+        Self {
+            entries: Vec::new(),
+            unmatched: RouteObs::new("unmatched"),
+            denied_401: status_counter("401"),
+            throttled_429: status_counter("429"),
+            unavailable_503: status_counter("503"),
+        }
+    }
 }
 
 impl fmt::Debug for Router {
@@ -224,6 +262,7 @@ impl Router {
             method,
             route,
             handler: Box::new(handler),
+            obs: RouteObs::new(pattern),
         });
         Ok(self)
     }
@@ -242,12 +281,15 @@ impl Router {
     /// no pattern matches is answered 404 — both with the API's JSON error
     /// envelope.
     pub fn dispatch(&self, request: &Request) -> Response {
+        let start = std::time::Instant::now();
         let method = Method::parse(&request.method);
         let mut path_matched = false;
         for entry in &self.entries {
             if let Some(params) = entry.route.match_path(&request.path) {
                 if method == Some(entry.method) {
-                    return entry.handler.handle(request, &params);
+                    let response = entry.handler.handle(request, &params);
+                    self.observe(&entry.obs, response.status, start);
+                    return response;
                 }
                 path_matched = true;
             }
@@ -261,13 +303,28 @@ impl Router {
         } else {
             (404, "not_found", format!("no such route: {}", request.path))
         };
-        Response::json(
+        let response = Response::json(
             status,
             &Json::Obj(vec![
                 ("code".into(), Json::str(code)),
                 ("message".into(), Json::str(message)),
             ]),
-        )
+        );
+        self.observe(&self.unmatched, status, start);
+        response
+    }
+
+    /// Records one dispatched request against its route's count/latency
+    /// series plus the refusal-class status counters.
+    fn observe(&self, obs: &RouteObs, status: u16, start: std::time::Instant) {
+        obs.requests.inc();
+        obs.latency.observe_duration(start.elapsed());
+        match status {
+            401 => self.denied_401.inc(),
+            429 => self.throttled_429.inc(),
+            503 => self.unavailable_503.inc(),
+            _ => {}
+        }
     }
 }
 

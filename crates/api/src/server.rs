@@ -7,6 +7,8 @@
 //! | GET    | `/api/v1/keys/{slave}/status`    | store status for the caller/`{slave}` pair |
 //! | POST   | `/api/v1/keys/{slave}/enc_keys`  | master: reserve keys, receive bits + `key_ID`s |
 //! | POST   | `/api/v1/keys/{master}/dec_keys` | slave: retrieve the same bits by `key_ID` |
+//! | GET    | `/api/v1/metrics`                | process telemetry, Prometheus text format |
+//! | GET    | `/api/v1/metrics.json`           | the same snapshot as JSON (quantiles + events) |
 //!
 //! Every request authenticates with `Authorization: Bearer <token>` against
 //! the [`SaeRegistry`]; the pair (caller, addressed SAE) resolves to one
@@ -251,10 +253,25 @@ fn build_router(
             )
         }
     };
+    // The exposition endpoints are unauthenticated by design: they carry
+    // process telemetry only (counts, timings, fingerprints — never key
+    // material; the `qkd-lint` metric-hygiene rule enforces the latter).
+    let metrics_handler = |_: &Request, _: &PathParams| Response {
+        status: 200,
+        body: qkd_obs::registry().render_prometheus().into_bytes(),
+        content_type: "text/plain; version=0.0.4",
+    };
+    let metrics_json_handler = |_: &Request, _: &PathParams| Response {
+        status: 200,
+        body: qkd_obs::registry().render_json().into_bytes(),
+        content_type: "application/json",
+    };
     Router::new()
         .route(Method::Get, "/api/v1/keys/{slave}/status", status_handler)?
         .route(Method::Post, "/api/v1/keys/{slave}/enc_keys", enc_handler)?
-        .route(Method::Post, "/api/v1/keys/{master}/dec_keys", dec_handler)
+        .route(Method::Post, "/api/v1/keys/{master}/dec_keys", dec_handler)?
+        .route(Method::Get, "/api/v1/metrics", metrics_handler)?
+        .route(Method::Get, "/api/v1/metrics.json", metrics_json_handler)
 }
 
 /// The shared request scaffolding: authenticate the bearer token, pull the

@@ -407,3 +407,82 @@ fn uncollected_reservations_expire_back_into_the_pool() {
     fleet.reconcile().unwrap();
     server.shutdown();
 }
+
+#[test]
+fn metrics_endpoint_covers_every_layer_of_a_two_sae_session() {
+    let (fleet, registry) = fleet_and_registry();
+    let server = ApiServer::start(
+        fleet.store_handle(),
+        Arc::clone(&registry),
+        ApiConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // One full master/slave exchange so the HTTP families have traffic.
+    let alice = ApiClient::new(addr, "tok-alice");
+    let bob = ApiClient::new(addr, "tok-bob");
+    alice.status("bob-app").unwrap();
+    let reserved = alice.enc_keys("bob-app", 2, 128).unwrap();
+    let ids: Vec<KeyId> = reserved.iter().map(|k| k.id).collect();
+    bob.dec_keys("alice-app", &ids).unwrap();
+    // …and one refusal so the 401 counter is live.
+    assert!(ApiClient::new(addr, "tok-unknown")
+        .status("bob-app")
+        .is_err());
+
+    let text = alice.metrics().unwrap();
+    // Distilling the fleet above ran the engine, the LDPC decoder and the
+    // manager in this very process; the exchange exercised the HTTP tier.
+    // The exposition must cover all four layers.
+    for family in [
+        // engine
+        "qkd_engine_stage_seconds",
+        "qkd_engine_blocks_total",
+        "qkd_engine_qber",
+        // LDPC decoder
+        "qkd_ldpc_decode_iterations",
+        "qkd_ldpc_kernel_dispatch_total",
+        "qkd_ldpc_ladder_attempts",
+        "qkd_ldpc_syndrome_leaked_bits_total",
+        // manager + store
+        "qkd_fleet_batches_total",
+        "qkd_store_deposits_total",
+        "qkd_store_reservations_total",
+        // HTTP tier
+        "qkd_http_requests_total",
+        "qkd_http_request_seconds_bucket",
+        "qkd_http_connections_accepted_total",
+        "qkd_http_responses_total",
+    ] {
+        assert!(text.contains(family), "/metrics must cover {family}");
+    }
+    // Histograms expose the full Prometheus shape, routes are labelled by
+    // their registered pattern, and the refusal landed on the 401 counter.
+    assert!(text.contains("# TYPE qkd_http_request_seconds histogram"));
+    assert!(text.contains(r#"route="/api/v1/keys/{slave}/enc_keys""#));
+    assert!(text.contains(r#"le="+Inf""#));
+    assert!(text.contains(r#"qkd_http_responses_total{status="401"}"#));
+
+    // The JSON variant carries the same families plus quantiles.
+    let snapshot = alice.metrics_json().unwrap();
+    let encoded = snapshot.encode();
+    assert!(snapshot.get("counters").is_some());
+    assert!(snapshot.get("gauges").is_some());
+    assert!(snapshot.get("histograms").is_some());
+    assert!(encoded.contains("\"p99\""));
+
+    // `ServerStats` reads the same registry series the exposition renders:
+    // the keep-alive connections above are tracked on the gauge, and the
+    // served-request counter in the scrape text is the accessor's value.
+    assert!(server.stats().connections_tracked() >= 1.0);
+    assert!(server.stats().requests_served() >= 5);
+
+    // Park the scrape artifacts for CI to upload.
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::write(dir.join("metrics-snapshot.prom"), &text).unwrap();
+    std::fs::write(dir.join("metrics-snapshot.json"), &encoded).unwrap();
+
+    fleet.reconcile().unwrap();
+    server.shutdown();
+}

@@ -12,6 +12,7 @@
 //! cargo run --release -p qkd-bench --bin harness -- --smoke --fleet
 //! cargo run --release -p qkd-bench --bin harness -- --smoke --api
 //! cargo run --release -p qkd-bench --bin harness -- --smoke --decoder
+//! cargo run --release -p qkd-bench --bin harness -- --smoke --obs-overhead
 //! ```
 
 use qkd_bench::experiments;
@@ -25,10 +26,12 @@ Flags (each prints one JSON document to stdout):
   --api          ETSI 014 delivery: keep-alive vs per-request connection
                  sweep, 64-4096 concurrent SAEs   (qkd-bench-api/v2)
   --decoder      LDPC decoder hot path vs seed reference (qkd-bench-decoder/v1)
+  --obs-overhead telemetry on/off decode-throughput gate  (qkd-bench-obs/v1)
   --help, -h     print this help and exit
 
-`--pipelined`, `--fleet`, `--api` and `--decoder` run their benchmark whether
-or not `--smoke` is present; `--smoke` alone runs the kernel smoke benchmark.
+`--pipelined`, `--fleet`, `--api`, `--decoder` and `--obs-overhead` run their
+benchmark whether or not `--smoke` is present; `--smoke` alone runs the kernel
+smoke benchmark.
 
 Experiments (aligned text tables):
   all            every table and figure below, in order
@@ -70,6 +73,8 @@ fn main() {
         "api",
         "--decoder",
         "decoder",
+        "--obs-overhead",
+        "obs-overhead",
         "all",
         "table1",
         "table2",
@@ -97,6 +102,7 @@ fn main() {
     let fleet = has("fleet");
     let api = has("api");
     let decoder = has("decoder");
+    let obs_overhead = has("obs-overhead");
 
     if pipelined {
         experiments::smoke_pipelined();
@@ -110,7 +116,10 @@ fn main() {
     if decoder {
         experiments::smoke_decoder();
     }
-    if smoke && !pipelined && !fleet && !api && !decoder {
+    if obs_overhead {
+        experiments::smoke_obs_overhead();
+    }
+    if smoke && !pipelined && !fleet && !api && !decoder && !obs_overhead {
         experiments::smoke();
     }
 

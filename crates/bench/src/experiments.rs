@@ -757,6 +757,78 @@ pub fn smoke_decoder() {
     println!("{json}");
 }
 
+/// Telemetry-overhead gate: measures the decoder hot path (the most
+/// instrumented inner loop in the workspace) with the `qkd-obs` registry
+/// globally disabled versus enabled, and asserts the enabled run keeps at
+/// least 99% of the disabled throughput. Prints one machine-readable JSON
+/// document (`qkd-bench-obs/v1`).
+///
+/// Trials are interleaved (off, on, off, on, …) so slow drift in machine
+/// load hits both sides equally; each side keeps its best-of-minimum. The
+/// harness runs in its own process, so flipping the process-global enable
+/// flag cannot race any other telemetry consumer.
+pub fn smoke_obs_overhead() {
+    let total_start = std::time::Instant::now();
+    let qber = 0.02f64;
+    let block = 8192usize;
+    let matrix = ParityCheckMatrix::for_rate(block, 0.5, 91).unwrap();
+    let mut rng = derive_rng(93, "smoke-obs-overhead");
+    let truth = BitVec::random_with_density(&mut rng, matrix.num_vars(), qber);
+    let syndrome = matrix.syndrome(&truth);
+    let decoder = SyndromeDecoder::new(&matrix, DecoderConfig::default()).unwrap();
+    let mut scratch = DecoderScratch::new();
+
+    // Warm up caches and verify the workload converges before timing it.
+    let outcome = decoder
+        .decode_with_scratch(&syndrome, qber, &[], &mut scratch)
+        .unwrap();
+    assert!(outcome.converged, "benchmark decode must converge");
+
+    let mut disabled = Duration::MAX;
+    let mut enabled = Duration::MAX;
+    for _ in 0..7 {
+        qkd_obs::set_enabled(false);
+        disabled = disabled.min(best_of(
+            || {
+                let _ = decoder
+                    .decode_with_scratch(&syndrome, qber, &[], &mut scratch)
+                    .unwrap();
+            },
+            4,
+            3,
+        ));
+        qkd_obs::set_enabled(true);
+        enabled = enabled.min(best_of(
+            || {
+                let _ = decoder
+                    .decode_with_scratch(&syndrome, qber, &[], &mut scratch)
+                    .unwrap();
+            },
+            4,
+            3,
+        ));
+    }
+    qkd_obs::set_enabled(true);
+
+    let n_bits = matrix.num_vars() as f64;
+    let off_mbps = mbps(n_bits, disabled);
+    let on_mbps = mbps(n_bits, enabled);
+    let overhead = 1.0 - on_mbps / off_mbps;
+    println!(
+        "{{\n  \"schema\": \"qkd-bench-obs/v1\",\n  \"block\": {block},\n  \"qber\": {qber},\n  \"iterations\": {},\n  \"disabled_ms\": {:.4},\n  \"enabled_ms\": {:.4},\n  \"disabled_mbit_per_s\": {:.2},\n  \"enabled_mbit_per_s\": {:.2},\n  \"overhead_fraction\": {overhead:.4},\n  \"total_wall_s\": {:.3}\n}}",
+        outcome.iterations,
+        disabled.as_secs_f64() * 1e3,
+        enabled.as_secs_f64() * 1e3,
+        off_mbps,
+        on_mbps,
+        total_start.elapsed().as_secs_f64(),
+    );
+    assert!(
+        on_mbps >= off_mbps * 0.99,
+        "telemetry overhead exceeds 1%: {off_mbps:.2} Mbit/s disabled vs {on_mbps:.2} Mbit/s enabled"
+    );
+}
+
 /// A deterministic detection stream carrying correlated bits with roughly
 /// `qber` disagreement; sifting retains every bit, so the engine frames
 /// exactly `len / block_size` blocks.

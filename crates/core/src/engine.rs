@@ -37,6 +37,42 @@ use crate::config::{
 use crate::metrics::SessionSummary;
 use crate::verification::verify_keys;
 
+/// Registry handles for the engine-level families. The engine has no link
+/// identity (links live in `qkd-manager`), so these are process-global and
+/// resolved once; per-link attribution happens at the manager/store layer.
+struct EngineObs {
+    stage_estimation: qkd_obs::Histogram,
+    stage_reconciliation: qkd_obs::Histogram,
+    stage_verification: qkd_obs::Histogram,
+    stage_amplification: qkd_obs::Histogram,
+    stage_authentication: qkd_obs::Histogram,
+    blocks_ok: qkd_obs::Counter,
+    blocks_failed: qkd_obs::Counter,
+    qber_observed: qkd_obs::Gauge,
+    qber_reconciliation: qkd_obs::Gauge,
+    phase_error: qkd_obs::Gauge,
+}
+
+fn engine_obs() -> &'static EngineObs {
+    static OBS: std::sync::OnceLock<EngineObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let obs = qkd_obs::registry();
+        let stage = |name| obs.histogram("qkd_engine_stage_seconds", &[("stage", name)]);
+        EngineObs {
+            stage_estimation: stage("estimation"),
+            stage_reconciliation: stage("reconciliation"),
+            stage_verification: stage("verification"),
+            stage_amplification: stage("privacy_amplification"),
+            stage_authentication: stage("authentication"),
+            blocks_ok: obs.counter("qkd_engine_blocks_total", &[("outcome", "ok")]),
+            blocks_failed: obs.counter("qkd_engine_blocks_total", &[("outcome", "failed")]),
+            qber_observed: obs.gauge("qkd_engine_qber", &[("kind", "observed")]),
+            qber_reconciliation: obs.gauge("qkd_engine_qber", &[("kind", "reconciliation")]),
+            phase_error: obs.gauge("qkd_engine_qber", &[("kind", "phase_error_bound")]),
+        }
+    })
+}
+
 /// Everything the engine reports about one distilled block.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BlockResult {
@@ -185,6 +221,7 @@ impl BlockInFlight {
     fn fail(&mut self, e: QkdError, counted: bool) {
         if counted {
             self.delta.blocks_failed += 1;
+            engine_obs().blocks_failed.inc();
         }
         self.fatal = is_batch_fatal(&e);
         self.failure = Some(e);
@@ -290,8 +327,12 @@ impl StageContext {
                 }
             }
         }
-        item.stage_times
-            .push((StageLabel::Estimation, est_start.elapsed()));
+        let est_host = est_start.elapsed();
+        item.stage_times.push((StageLabel::Estimation, est_host));
+        let obs = engine_obs();
+        obs.stage_estimation.observe_duration(est_host);
+        obs.qber_observed.set(item.qber);
+        obs.qber_reconciliation.set(item.rec_qber);
     }
 
     /// Stage 2 — information reconciliation (LDPC or Cascade). The caller
@@ -334,6 +375,7 @@ impl StageContext {
                 item.corrected_errors = errors;
                 item.channel_usage.add(usage);
                 let rec_host = rec_start.elapsed();
+                engine_obs().stage_reconciliation.observe_duration(rec_host);
                 item.stage_times.push((
                     StageLabel::Reconciliation,
                     self.modeled_time(KernelKind::LdpcDecode, item.alice.len(), rec_host),
@@ -371,8 +413,9 @@ impl StageContext {
                     return;
                 }
                 item.verification_leak = verification.disclosed_bits;
-                item.stage_times
-                    .push((StageLabel::Verification, ver_start.elapsed()));
+                let ver_host = ver_start.elapsed();
+                engine_obs().stage_verification.observe_duration(ver_host);
+                item.stage_times.push((StageLabel::Verification, ver_host));
             }
             Err(e) => item.fail(e, false),
         }
@@ -409,6 +452,9 @@ impl StageContext {
                 item.secret_bits = amplified.bits;
                 item.secret_epsilon = amplified.epsilon;
                 let pa_host = pa_start.elapsed();
+                let obs = engine_obs();
+                obs.stage_amplification.observe_duration(pa_host);
+                obs.phase_error.set(item.phase_error);
                 item.stage_times.push((
                     StageLabel::PrivacyAmplification,
                     self.modeled_time(KernelKind::ToeplitzHash, item.alice.len(), pa_host),
@@ -440,9 +486,14 @@ impl StageContext {
             }
         }
         item.auth_bits = auth_bits;
+        let auth_host = auth_start.elapsed();
+        engine_obs()
+            .stage_authentication
+            .observe_duration(auth_host);
         item.stage_times
-            .push((StageLabel::Authentication, auth_start.elapsed()));
+            .push((StageLabel::Authentication, auth_host));
 
+        engine_obs().blocks_ok.inc();
         item.delta.blocks_ok += 1;
         item.delta.secret_bits_out += item.secret_bits.len() as u64;
         item.delta.disclosed_bits +=

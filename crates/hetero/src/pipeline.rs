@@ -160,9 +160,20 @@ impl<T: Send + 'static> Pipeline<T> {
         for mut stage in self.stages {
             let (tx, rx) = channel::bounded::<T>(capacity);
             let counter = self.bit_counter.clone();
+            let stage_label = stage.name().to_string();
             let handle =
                 std::thread::spawn(move || -> std::result::Result<StageMetrics, QkdError> {
                     let mut metrics = StageMetrics::default();
+                    // Every measured duration below feeds both the report's
+                    // StageMetrics and these registry histograms, so
+                    // `ThroughputReport::wait_fraction` and the `/metrics`
+                    // busy/blocked sums derive from identical timings and can
+                    // never disagree.
+                    let obs = qkd_obs::registry();
+                    let stage_labels = [("stage", stage_label.as_str())];
+                    let busy_hist = obs.histogram("qkd_pipeline_stage_busy_seconds", &stage_labels);
+                    let blocked_hist =
+                        obs.histogram("qkd_pipeline_stage_blocked_seconds", &stage_labels);
                     loop {
                         // Time blocked waiting for the upstream stage is queue
                         // wait, not work — account it separately so reported
@@ -172,13 +183,16 @@ impl<T: Send + 'static> Pipeline<T> {
                             Ok(item) => item,
                             Err(_) => break,
                         };
-                        metrics.record_blocked(wait0.elapsed());
+                        let recv_wait = wait0.elapsed();
+                        metrics.record_blocked(recv_wait);
+                        blocked_hist.observe_duration(recv_wait);
                         let bits_in = counter.as_ref().map_or(0, |c| c(&item));
                         let t0 = Instant::now();
                         let out = stage.process(item)?;
                         let dt = t0.elapsed();
                         let bits_out = counter.as_ref().map_or(0, |c| c(&out));
                         metrics.record(dt, dt, bits_in, bits_out);
+                        busy_hist.observe_duration(dt);
                         // A full downstream channel blocks the send: that is
                         // back-pressure wait, also not work.
                         let send0 = Instant::now();
@@ -186,7 +200,9 @@ impl<T: Send + 'static> Pipeline<T> {
                             // Downstream hung up (error case); stop quietly.
                             break;
                         }
-                        metrics.record_blocked(send0.elapsed());
+                        let send_wait = send0.elapsed();
+                        metrics.record_blocked(send_wait);
+                        blocked_hist.observe_duration(send_wait);
                     }
                     Ok(metrics)
                 });
@@ -213,8 +229,12 @@ impl<T: Send + 'static> Pipeline<T> {
             .join()
             .map_err(|_| QkdError::PipelineStalled { stage: "feeder" })?;
 
+        let makespan = start.elapsed();
+        qkd_obs::registry()
+            .histogram("qkd_pipeline_makespan_seconds", &[])
+            .observe_duration(makespan);
         let mut report = ThroughputReport {
-            makespan: start.elapsed(),
+            makespan,
             items: out_items.len(),
             input_bits: 0,
             ..Default::default()
@@ -363,6 +383,56 @@ mod tests {
             slow.host_time
         );
         assert!(report.wait_fraction("fast") > report.wait_fraction("slow"));
+    }
+
+    #[test]
+    fn registry_and_report_share_the_same_stage_timings() {
+        // Unique stage names keep this test's registry families isolated from
+        // other tests sharing the process-global registry.
+        let busy_name = "pipeline-agreement-busy";
+        let blocked_name = "pipeline-agreement-blocked";
+        let pipeline = Pipeline::new(1)
+            .add_fn(busy_name, |x: u64| {
+                std::thread::sleep(Duration::from_millis(2));
+                Ok(x)
+            })
+            .add_fn(blocked_name, |x: u64| Ok(x));
+        let report = pipeline.run((0..10).collect()).unwrap().throughput;
+
+        let obs = qkd_obs::registry();
+        for name in [busy_name, blocked_name] {
+            let stage = &report.stages[name];
+            let busy = obs.histogram("qkd_pipeline_stage_busy_seconds", &[("stage", name)]);
+            let blocked = obs.histogram("qkd_pipeline_stage_blocked_seconds", &[("stage", name)]);
+            // Both sinks were fed the identical Duration values, so the sums
+            // agree to float-conversion precision and the busy histogram saw
+            // exactly one observation per item.
+            assert_eq!(busy.count(), stage.count as u64);
+            assert!(
+                (busy.sum() - stage.host_time.as_secs_f64()).abs() < 1e-9,
+                "stage {name}: registry busy {} vs report busy {}",
+                busy.sum(),
+                stage.host_time.as_secs_f64()
+            );
+            assert!(
+                (blocked.sum() - stage.blocked_time.as_secs_f64()).abs() < 1e-9,
+                "stage {name}: registry blocked {} vs report blocked {}",
+                blocked.sum(),
+                stage.blocked_time.as_secs_f64()
+            );
+        }
+        // wait_fraction's numerator is therefore the registry's own number:
+        // blocked-time-from-registry / makespan reproduces the report value.
+        let fast_wait = report.wait_fraction(blocked_name);
+        let blocked_hist = obs.histogram(
+            "qkd_pipeline_stage_blocked_seconds",
+            &[("stage", blocked_name)],
+        );
+        let registry_wait = blocked_hist.sum() / report.makespan.as_secs_f64();
+        assert!(
+            (fast_wait - registry_wait).abs() < 1e-6,
+            "wait_fraction {fast_wait} vs registry-derived {registry_wait}"
+        );
     }
 
     #[test]

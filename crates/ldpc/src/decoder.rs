@@ -385,6 +385,11 @@ pub struct SyndromeDecoder {
     max_check_degree: usize,
     n: usize,
     m: usize,
+    /// Iterations-to-converge histogram (`qkd_ldpc_decode_iterations`).
+    obs_iterations: qkd_obs::Histogram,
+    /// Decode calls by dispatched kernel
+    /// (`qkd_ldpc_kernel_dispatch_total{kernel="avx2"|"scalar"}`).
+    obs_kernel: qkd_obs::Counter,
 }
 
 impl SyndromeDecoder {
@@ -449,6 +454,18 @@ impl SyndromeDecoder {
             Vec::new()
         };
 
+        // The kernel dispatch is fixed at construction, so the counter label
+        // is too: one series per kernel tells operators whether the fleet is
+        // actually running the vectorised sweep.
+        #[cfg(target_arch = "x86_64")]
+        let kernel_label = if quad_sched.is_empty() {
+            "scalar"
+        } else {
+            "avx2"
+        };
+        #[cfg(not(target_arch = "x86_64"))]
+        let kernel_label = "scalar";
+        let obs = qkd_obs::registry();
         Ok(Self {
             kernel: CheckKernel::new(config.algorithm),
             config,
@@ -462,6 +479,15 @@ impl SyndromeDecoder {
             max_check_degree,
             n,
             m,
+            obs_iterations: obs.histogram_with(
+                "qkd_ldpc_decode_iterations",
+                &[],
+                &qkd_obs::COUNT_BUCKETS,
+            ),
+            obs_kernel: obs.counter(
+                "qkd_ldpc_kernel_dispatch_total",
+                &[("kernel", kernel_label)],
+            ),
         })
     }
 
@@ -557,10 +583,13 @@ impl SyndromeDecoder {
                 priors[v] = llr.clamp(-clamp, clamp);
             }
         }
-        Ok(match self.config.schedule {
+        let outcome = match self.config.schedule {
             Schedule::Flooding => self.decode_flooding_scratch(target_syndrome, scratch),
             Schedule::Layered => self.decode_layered_scratch(target_syndrome, scratch),
-        })
+        };
+        self.obs_kernel.inc();
+        self.obs_iterations.observe(outcome.iterations as f64);
+        Ok(outcome)
     }
 
     /// The retained reference decoder: it preserves the seed

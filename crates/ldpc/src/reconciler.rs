@@ -385,6 +385,13 @@ pub struct LdpcReconciler {
     /// `reconcile` stays callable through a shared reference; a contended
     /// call falls back to a fresh scratch instead of serialising decoders.
     scratch: Mutex<ReconcilerScratch>,
+    /// Rate-ladder attempts per reconciled block (`qkd_ldpc_ladder_attempts`).
+    obs_attempts: qkd_obs::Histogram,
+    /// Syndrome bits disclosed (`qkd_ldpc_syndrome_leaked_bits_total`).
+    obs_leaked: qkd_obs::Counter,
+    /// Blocks no code in the ladder converged on
+    /// (`qkd_ldpc_reconcile_failures_total`).
+    obs_failures: qkd_obs::Counter,
 }
 
 impl Clone for LdpcReconciler {
@@ -393,6 +400,9 @@ impl Clone for LdpcReconciler {
             config: self.config.clone(),
             library: Arc::clone(&self.library),
             scratch: Mutex::new(ReconcilerScratch::new()),
+            obs_attempts: self.obs_attempts.clone(),
+            obs_leaked: self.obs_leaked.clone(),
+            obs_failures: self.obs_failures.clone(),
         }
     }
 }
@@ -413,10 +423,18 @@ impl LdpcReconciler {
             config.decoder,
             config.seed,
         )?;
+        let obs = qkd_obs::registry();
         Ok(Self {
             config,
             library,
             scratch: Mutex::new(ReconcilerScratch::new()),
+            obs_attempts: obs.histogram_with(
+                "qkd_ldpc_ladder_attempts",
+                &[],
+                &qkd_obs::COUNT_BUCKETS,
+            ),
+            obs_leaked: obs.counter("qkd_ldpc_syndrome_leaked_bits_total", &[]),
+            obs_failures: obs.counter("qkd_ldpc_reconcile_failures_total", &[]),
         })
     }
 
@@ -583,6 +601,8 @@ impl LdpcReconciler {
             }
             let corrected = corrected_word.slice(0, payload);
             let corrected_errors = corrected.hamming_distance(bob);
+            self.obs_attempts.observe(attempts as f64);
+            self.obs_leaked.add(leaked as u64);
             return Ok(LdpcOutcome {
                 corrected,
                 leaked_bits: leaked,
@@ -594,6 +614,11 @@ impl LdpcReconciler {
             });
         }
 
+        // Failed ladders still disclosed their syndromes; account the leak
+        // and the attempts before reporting the failure.
+        self.obs_attempts.observe(attempts as f64);
+        self.obs_leaked.add(leaked as u64);
+        self.obs_failures.inc();
         Err(QkdError::ReconciliationFailed {
             block: 0,
             iterations: attempts,

@@ -1,6 +1,6 @@
 //! `qkd-lint`: a self-contained static analyzer for this workspace.
 //!
-//! Four deny-level rule families guard the invariants the QKD post-processing
+//! Five deny-level rule families guard the invariants the QKD post-processing
 //! fleet depends on, plus one advisory rule:
 //!
 //! | rule | default | checks |
@@ -9,6 +9,7 @@
 //! | `panic-freedom`   | deny | no `unwrap`/`expect`/`panic!` in hot paths |
 //! | `secret-hygiene`  | deny | secret types redact Debug and zeroize |
 //! | `lock-order`      | deny | no cycles in the lock-acquisition graph |
+//! | `metric-hygiene`  | deny | no exposed key material in telemetry sinks |
 //! | `slice-index`     | warn | indexing in hot paths (advisory) |
 //!
 //! The analyzer is hand-rolled end to end (lexer, item parser, rules,
@@ -36,6 +37,8 @@ pub enum Rule {
     SecretHygiene,
     /// Cycles in the lock-acquisition graph.
     LockOrder,
+    /// Exposed key material flowing into a telemetry sink.
+    MetricHygiene,
     /// Advisory: slice indexing in hot-path modules.
     SliceIndex,
 }
@@ -57,6 +60,7 @@ impl Rule {
             Rule::PanicFreedom => "panic-freedom",
             Rule::SecretHygiene => "secret-hygiene",
             Rule::LockOrder => "lock-order",
+            Rule::MetricHygiene => "metric-hygiene",
             Rule::SliceIndex => "slice-index",
         }
     }
@@ -68,17 +72,19 @@ impl Rule {
             "panic-freedom" => Rule::PanicFreedom,
             "secret-hygiene" => Rule::SecretHygiene,
             "lock-order" => Rule::LockOrder,
+            "metric-hygiene" => Rule::MetricHygiene,
             "slice-index" => Rule::SliceIndex,
             _ => return None,
         })
     }
 
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::SafetyCoverage,
         Rule::PanicFreedom,
         Rule::SecretHygiene,
         Rule::LockOrder,
+        Rule::MetricHygiene,
         Rule::SliceIndex,
     ];
 

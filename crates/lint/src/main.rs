@@ -26,7 +26,7 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: qkd-lint --workspace [--baseline FILE] [--deny all|rule,...] [--json] [--bless] [paths...]\n\
-     rules: safety-coverage panic-freedom secret-hygiene lock-order slice-index"
+     rules: safety-coverage panic-freedom secret-hygiene lock-order metric-hygiene slice-index"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {

@@ -1,9 +1,10 @@
 //! The rule passes.
 //!
-//! Four deny-level rule families (`safety-coverage`, `panic-freedom`,
-//! `secret-hygiene`, `lock-order`) plus one advisory rule (`slice-index`).
-//! Per-file rules run over a [`FileModel`]; the secret-hygiene and
-//! lock-order rules are global passes over every model at once.
+//! Five deny-level rule families (`safety-coverage`, `panic-freedom`,
+//! `secret-hygiene`, `lock-order`, `metric-hygiene`) plus one advisory rule
+//! (`slice-index`). Per-file rules run over a [`FileModel`]; the
+//! secret-hygiene and lock-order rules are global passes over every model
+//! at once.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
@@ -11,7 +12,8 @@ use crate::parse::{FileModel, StructItem};
 use crate::{Finding, Rule};
 
 /// Hot-path modules under the panic-freedom gate: the request path of the
-/// delivery API and the decode/store loops. Everything else may use
+/// delivery API, the decode/store loops, and the telemetry record path
+/// (which every one of those loops now calls into). Everything else may use
 /// `unwrap`/`expect` where a panic is a programming error.
 pub const HOT_PATH_FILES: &[&str] = &[
     "crates/api/src/http.rs",
@@ -20,6 +22,8 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/ldpc/src/decoder.rs",
     "crates/ldpc/src/simd.rs",
     "crates/manager/src/store.rs",
+    "crates/obs/src/registry.rs",
+    "crates/obs/src/histogram.rs",
 ];
 
 /// Types whose values are (or directly wrap) secret key material. Structs
@@ -202,6 +206,63 @@ pub fn slice_index(model: &FileModel, out: &mut Vec<Finding>) {
                 "slice indexing on the hot path can panic; prefer `get`/iterators or acknowledge in the baseline".to_string(),
             ));
         }
+    }
+}
+
+/// Method calls that expose raw key material out of its zeroizing wrapper.
+const SECRET_EXPOSERS: &[&str] = &["expose", "expose_mut", "take_bits"];
+
+/// Calls and macros whose arguments end up in telemetry output: metric
+/// labels, span fields and the ring-buffer event log.
+const OBS_SINK_CALLS: &[&str] = &["record_event", "counter", "gauge", "histogram"];
+const OBS_SINK_MACROS: &[&str] = &["event", "span"];
+
+/// metric-hygiene: a line that exposes raw key material
+/// (`.expose()` / `.expose_mut()` / `.take_bits()`) must not also feed a
+/// telemetry sink (`event!` / `span!` / `record_event(` / `counter(` /
+/// `gauge(` / `histogram(`). Telemetry is exported unauthenticated over
+/// `/metrics`, so only redacted forms (lengths, `SecretBuf` fingerprints)
+/// may reach it. Line granularity keeps the rule cheap and predictable;
+/// laundering through a local binding is out of scope for a lexical pass.
+pub fn metric_hygiene(model: &FileModel, out: &mut Vec<Finding>) {
+    let toks = &model.tokens;
+    let mut exposed_lines: HashSet<u32> = HashSet::new();
+    let mut sink_lines: HashSet<u32> = HashSet::new();
+    for i in 0..toks.len() {
+        if model.token_in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != crate::lexer::TokenKind::Ident {
+            continue;
+        }
+        if SECRET_EXPOSERS.contains(&t.text.as_str())
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            exposed_lines.insert(t.line);
+        }
+        if OBS_SINK_CALLS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            sink_lines.insert(t.line);
+        }
+        if OBS_SINK_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            sink_lines.insert(t.line);
+        }
+    }
+    let mut lines: Vec<u32> = exposed_lines.intersection(&sink_lines).copied().collect();
+    lines.sort_unstable();
+    for line in lines {
+        out.push(finding(
+            Rule::MetricHygiene,
+            model,
+            line,
+            "exposed key material on a telemetry-sink line; record a length or `SecretBuf` fingerprint instead".to_string(),
+        ));
     }
 }
 
@@ -508,6 +569,7 @@ pub fn run_all(models: &[FileModel]) -> Vec<Finding> {
         safety_coverage(m, &mut out);
         panic_freedom(m, &mut out);
         slice_index(m, &mut out);
+        metric_hygiene(m, &mut out);
     }
     secret_hygiene(models, &mut out);
     lock_order(models, &mut out);

@@ -1,0 +1,9 @@
+//! Positive metric-hygiene fixture: raw key material reaching telemetry.
+
+fn leaky(buf: &SecretBuf, registry: &Registry) {
+    qkd_obs::event!(Warn, "store", "deposited bits {:?}", buf.expose());
+    let c = registry.counter("qkd_key_bits", &[("bits", hex(buf.expose()))]);
+    record_event("pickup", buf.expose_mut());
+    let _span = qkd_obs::span!("amplify", key = buf.take_bits());
+    drop(c);
+}

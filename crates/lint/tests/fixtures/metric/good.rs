@@ -1,0 +1,20 @@
+//! Negative metric-hygiene fixture: telemetry carries only redacted forms,
+//! and exposure away from any sink is untouched.
+
+fn clean(buf: &SecretBuf, registry: &Registry) {
+    qkd_obs::event!(Info, "store", "deposited key {}", buf.fingerprint());
+    registry
+        .counter("qkd_store_deposits_total", &[("link", "0")])
+        .inc();
+    let bits = buf.expose();
+    let parity = bits.iter().fold(0u8, |a, b| a ^ b);
+    registry.gauge("qkd_store_available_bits", &[]).set(parity as f64);
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code may inspect raw bits, even next to a sink.
+    fn assert_roundtrip(buf: &SecretBuf) {
+        qkd_obs::event!(Debug, "test", "bits {:?}", buf.expose());
+    }
+}

@@ -121,7 +121,29 @@ fn lock_order_accepts_consistent_order() {
     );
 }
 
-/// The real workspace is the ultimate no-false-positive fixture: the four
+#[test]
+fn metric_hygiene_flags_exposed_bits_at_sinks() {
+    let findings = run(&["metric/bad.rs"]);
+    let lines: Vec<u32> = findings
+        .iter()
+        .filter(|(r, _)| *r == Rule::MetricHygiene)
+        .map(|(_, l)| *l)
+        .collect();
+    // event! + expose, counter( + expose, record_event( + expose_mut,
+    // span! + take_bits.
+    assert_eq!(lines, vec![4, 5, 6, 7]);
+}
+
+#[test]
+fn metric_hygiene_accepts_fingerprints_and_test_code() {
+    let findings = run(&["metric/good.rs"]);
+    assert!(
+        findings.iter().all(|(r, _)| *r != Rule::MetricHygiene),
+        "false positives: {findings:?}"
+    );
+}
+
+/// The real workspace is the ultimate no-false-positive fixture: the five
 /// deny-level families must be finding-free without any baseline help.
 #[test]
 fn workspace_is_clean_for_deny_level_rules() {

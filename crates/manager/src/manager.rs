@@ -35,6 +35,39 @@ use crate::report::{FleetLedger, FleetReport, LinkLedger, LinkReport};
 use crate::spec::{Admission, AdmissionPolicy, FleetConfig, LinkSpec};
 use crate::store::KeyStore;
 
+/// Registry handles for one link's fleet-level telemetry, labelled
+/// `{fleet="fleet<N>", link="<id>"}` so concurrent fleets in one process
+/// (tests, multi-tenant servers) stay distinguishable on the shared registry.
+struct LinkObs {
+    processed: qkd_obs::Counter,
+    rejected: qkd_obs::Counter,
+    abandoned: qkd_obs::Counter,
+    dropped: qkd_obs::Counter,
+    backlog: qkd_obs::Gauge,
+    quarantines: qkd_obs::Counter,
+}
+
+impl LinkObs {
+    fn new(fleet: &str, link: usize) -> Self {
+        let link_label = link.to_string();
+        let labels: [(&'static str, &str); 2] = [("fleet", fleet), ("link", link_label.as_str())];
+        let obs = qkd_obs::registry();
+        let batches = |outcome: &str| {
+            let mut with_outcome = labels.to_vec();
+            with_outcome.push(("outcome", outcome));
+            obs.counter("qkd_fleet_batches_total", &with_outcome)
+        };
+        LinkObs {
+            processed: batches("processed"),
+            rejected: batches("rejected"),
+            abandoned: batches("abandoned"),
+            dropped: batches("dropped"),
+            backlog: obs.gauge("qkd_fleet_backlog_batches", &labels),
+            quarantines: obs.counter("qkd_fleet_link_quarantines_total", &labels),
+        }
+    }
+}
+
 /// Mutable per-link state; locked by at most one worker at a time (a link is
 /// never in the ready queue twice).
 struct LinkCell {
@@ -48,6 +81,7 @@ struct LinkCell {
     batches_abandoned: u64,
     batches_dropped: u64,
     failed: Option<QkdError>,
+    obs: LinkObs,
 }
 
 impl LinkCell {
@@ -62,6 +96,7 @@ impl LinkCell {
     ) -> std::result::Result<u64, Admission> {
         if self.failed.is_some() {
             self.batches_rejected += 1;
+            self.obs.rejected.inc();
             return Err(Admission::RejectedFailed);
         }
         if self.pending.len() < max_backlog {
@@ -70,6 +105,7 @@ impl LinkCell {
         match policy {
             AdmissionPolicy::Reject => {
                 self.batches_rejected += 1;
+                self.obs.rejected.inc();
                 Err(Admission::RejectedBacklog {
                     backlog: self.pending.len(),
                     limit: max_backlog,
@@ -82,6 +118,7 @@ impl LinkCell {
                     dropped += 1;
                 }
                 self.batches_dropped += dropped;
+                self.obs.dropped.add(dropped);
                 Ok(dropped)
             }
         }
@@ -189,6 +226,9 @@ pub struct LinkManager {
     links: Vec<LinkRuntime>,
     store: Arc<KeyStore>,
     last_wall: Duration,
+    /// Telemetry instance label (`fleet0`, `fleet1`, …) distinguishing this
+    /// fleet's metric series from other fleets in the same process.
+    fleet: String,
 }
 
 impl std::fmt::Debug for LinkManager {
@@ -214,6 +254,7 @@ impl LinkManager {
             links: Vec::new(),
             store: Arc::new(KeyStore::default()),
             last_wall: Duration::ZERO,
+            fleet: qkd_obs::next_instance("fleet"),
         })
     }
 
@@ -242,6 +283,7 @@ impl LinkManager {
                 batches_abandoned: 0,
                 batches_dropped: 0,
                 failed: None,
+                obs: LinkObs::new(&self.fleet, link),
             }),
         });
         Ok(link)
@@ -349,6 +391,7 @@ impl LinkManager {
         }
         let events = detection_events(&alice, &bob);
         cell.pending.push_back(events);
+        cell.obs.backlog.set(cell.pending.len() as f64);
         Ok(cell.admitted(dropped))
     }
 
@@ -368,6 +411,7 @@ impl LinkManager {
             Err(admission) => return Ok(admission),
         };
         cell.pending.push_back(events);
+        cell.obs.backlog.set(cell.pending.len() as f64);
         Ok(cell.admitted(dropped))
     }
 
@@ -438,6 +482,7 @@ impl LinkManager {
                     .process_detections_with_scratch(&events, &mut scratch);
                 cell.busy += batch_start.elapsed();
                 cell.batches_processed += 1;
+                cell.obs.processed.inc();
                 let mut completed = 1usize;
                 match outcome {
                     Ok(results) => {
@@ -453,10 +498,14 @@ impl LinkManager {
                         let dropped = cell.pending.len();
                         cell.pending.clear();
                         cell.batches_abandoned += dropped as u64;
+                        cell.obs.abandoned.add(dropped as u64);
+                        cell.obs.quarantines.inc();
+                        qkd_obs::event!(Warn, "manager", "link {link} quarantined: {e}");
                         cell.failed = Some(e);
                         completed += dropped;
                     }
                 }
+                cell.obs.backlog.set(cell.pending.len() as f64);
                 let requeue = cell.failed.is_none() && !cell.pending.is_empty();
                 (completed, requeue)
             };

@@ -33,6 +33,38 @@ use std::time::{Duration, Instant};
 
 use qkd_types::{QkdError, Result, SecretBuf, SecretKey};
 
+/// Registry handles for the store-level families. Shared by every store in
+/// the process (stores have no identity of their own); per-link attribution
+/// rides on the fleet-level families in `manager.rs`. All recording happens
+/// *after* the store's `inner` guard is released — handle methods are pure
+/// atomics, but keeping the mutex scope free of foreign calls keeps the
+/// lock-order lint graph trivially acyclic.
+struct StoreObs {
+    deposits: qkd_obs::Counter,
+    deposited_bits: qkd_obs::Counter,
+    keys_delivered: qkd_obs::Counter,
+    reservations: qkd_obs::Counter,
+    pickups: qkd_obs::Counter,
+    expiries: qkd_obs::Counter,
+    available_bits: qkd_obs::Gauge,
+}
+
+fn store_obs() -> &'static StoreObs {
+    static OBS: std::sync::OnceLock<StoreObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let obs = qkd_obs::registry();
+        StoreObs {
+            deposits: obs.counter("qkd_store_deposits_total", &[]),
+            deposited_bits: obs.counter("qkd_store_deposited_bits_total", &[]),
+            keys_delivered: obs.counter("qkd_store_keys_delivered_total", &[]),
+            reservations: obs.counter("qkd_store_reservations_total", &[]),
+            pickups: obs.counter("qkd_store_reservation_pickups_total", &[]),
+            expiries: obs.counter("qkd_store_reservations_expired_total", &[]),
+            available_bits: obs.gauge("qkd_store_available_bits", &[]),
+        }
+    })
+}
+
 /// Identity of one delivered key: the link it was drawn from plus a per-link
 /// serial that increments with every successful [`KeyStore::get_key`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -250,12 +282,18 @@ impl KeyStore {
 
     /// Appends a distilled block's secret bits to a link's store.
     pub(crate) fn deposit(&self, link: usize, key: &SecretKey) {
-        let mut inner = self.inner.lock();
-        let store = inner.entry(link).or_default();
-        store.buf.expose_mut().extend_from(&key.bits);
-        store.deposited_bits += key.bits.len() as u64;
-        store.blocks_deposited += 1;
-        store.epsilon += key.epsilon;
+        {
+            let mut inner = self.inner.lock();
+            let store = inner.entry(link).or_default();
+            store.buf.expose_mut().extend_from(&key.bits);
+            store.deposited_bits += key.bits.len() as u64;
+            store.blocks_deposited += 1;
+            store.epsilon += key.epsilon;
+        }
+        let obs = store_obs();
+        obs.deposits.inc();
+        obs.deposited_bits.add(key.bits.len() as u64);
+        obs.available_bits.add(key.bits.len() as f64);
     }
 
     /// Links currently registered, in id order.
@@ -305,18 +343,24 @@ impl KeyStore {
                 "key requests must ask for at least one bit",
             ));
         }
-        let mut inner = self.inner.lock();
-        let store = inner
-            .get_mut(&link)
-            .ok_or_else(|| QkdError::invalid_parameter("link", format!("unknown link {link}")))?;
-        if store.available() < n_bits {
-            return Err(QkdError::KeyStoreShortfall {
-                link: link as u64,
-                requested: n_bits as u64,
-                available: store.available() as u64,
-            });
-        }
-        Ok(store.drain(link, n_bits))
+        let key = {
+            let mut inner = self.inner.lock();
+            let store = inner.get_mut(&link).ok_or_else(|| {
+                QkdError::invalid_parameter("link", format!("unknown link {link}"))
+            })?;
+            if store.available() < n_bits {
+                return Err(QkdError::KeyStoreShortfall {
+                    link: link as u64,
+                    requested: n_bits as u64,
+                    available: store.available() as u64,
+                });
+            }
+            store.drain(link, n_bits)
+        };
+        let obs = store_obs();
+        obs.keys_delivered.inc();
+        obs.available_bits.add(-(n_bits as f64));
+        Ok(key)
     }
 
     /// Reserves `count` keys of `size_bits` each for a master/slave SAE pair:
@@ -356,32 +400,39 @@ impl KeyStore {
             ));
         }
         let total = count * size_bits;
-        let mut inner = self.inner.lock();
-        let store = inner
-            .get_mut(&link)
-            .ok_or_else(|| QkdError::invalid_parameter("link", format!("unknown link {link}")))?;
-        if store.available() < total {
-            return Err(QkdError::KeyStoreShortfall {
-                link: link as u64,
-                requested: total as u64,
-                available: store.available() as u64,
-            });
-        }
-        let expires_at = ttl.map(|t| Instant::now() + t);
-        let mut keys = Vec::with_capacity(count);
-        for _ in 0..count {
-            let key = store.drain(link, size_bits);
-            store.parked.insert(
-                key.id.serial,
-                Reservation {
-                    bits: key.bits.clone(),
-                    epsilon: key.epsilon,
-                    claim: claim.map(str::to_string),
-                    expires_at,
-                },
-            );
-            keys.push(key);
-        }
+        let keys = {
+            let mut inner = self.inner.lock();
+            let store = inner.get_mut(&link).ok_or_else(|| {
+                QkdError::invalid_parameter("link", format!("unknown link {link}"))
+            })?;
+            if store.available() < total {
+                return Err(QkdError::KeyStoreShortfall {
+                    link: link as u64,
+                    requested: total as u64,
+                    available: store.available() as u64,
+                });
+            }
+            let expires_at = ttl.map(|t| Instant::now() + t);
+            let mut keys = Vec::with_capacity(count);
+            for _ in 0..count {
+                let key = store.drain(link, size_bits);
+                store.parked.insert(
+                    key.id.serial,
+                    Reservation {
+                        bits: key.bits.clone(),
+                        epsilon: key.epsilon,
+                        claim: claim.map(str::to_string),
+                        expires_at,
+                    },
+                );
+                keys.push(key);
+            }
+            keys
+        };
+        let obs = store_obs();
+        obs.keys_delivered.add(count as u64);
+        obs.reservations.add(count as u64);
+        obs.available_bits.add(-(total as f64));
         Ok(keys)
     }
 
@@ -400,23 +451,32 @@ impl KeyStore {
     /// answered like a never-reserved one from then on. Untimed
     /// reservations (`ttl == None`) are never touched.
     pub fn expire_reservations(&self, now: Instant) -> u64 {
-        let mut inner = self.inner.lock();
         let mut reclaimed = 0u64;
-        for store in inner.values_mut() {
-            let expired: Vec<u64> = store
-                .parked
-                .iter()
-                .filter(|(_, r)| r.expires_at.is_some_and(|at| at <= now))
-                .map(|(&serial, _)| serial)
-                .collect();
-            for serial in expired {
-                if let Some(reservation) = store.parked.remove(&serial) {
-                    store.buf.expose_mut().extend_from(&reservation.bits);
-                    store.delivered_bits -= reservation.bits.len() as u64;
-                    store.reservations_expired += 1;
-                    reclaimed += 1;
+        let mut reclaimed_bits = 0u64;
+        {
+            let mut inner = self.inner.lock();
+            for store in inner.values_mut() {
+                let expired: Vec<u64> = store
+                    .parked
+                    .iter()
+                    .filter(|(_, r)| r.expires_at.is_some_and(|at| at <= now))
+                    .map(|(&serial, _)| serial)
+                    .collect();
+                for serial in expired {
+                    if let Some(reservation) = store.parked.remove(&serial) {
+                        store.buf.expose_mut().extend_from(&reservation.bits);
+                        store.delivered_bits -= reservation.bits.len() as u64;
+                        store.reservations_expired += 1;
+                        reclaimed += 1;
+                        reclaimed_bits += reservation.bits.len() as u64;
+                    }
                 }
             }
+        }
+        if reclaimed > 0 {
+            let obs = store_obs();
+            obs.expiries.add(reclaimed);
+            obs.available_bits.add(reclaimed_bits as f64);
         }
         reclaimed
     }
@@ -433,26 +493,32 @@ impl KeyStore {
     /// * [`QkdError::UnknownKeyId`] when no reservation is parked under `id`
     ///   for this claim.
     pub fn get_key_by_id(&self, id: KeyId, claim: Option<&str>) -> Result<DeliveredKey> {
-        let mut inner = self.inner.lock();
-        let store = inner.get_mut(&id.link).ok_or_else(|| {
-            QkdError::invalid_parameter("link", format!("unknown link {}", id.link))
-        })?;
-        match store.parked.entry(id.serial) {
-            std::collections::btree_map::Entry::Occupied(entry)
-                if entry.get().claim.as_deref() == claim =>
-            {
-                let reservation = entry.remove();
-                Ok(DeliveredKey {
-                    id,
-                    bits: reservation.bits,
-                    epsilon: reservation.epsilon,
-                })
+        let key = {
+            let mut inner = self.inner.lock();
+            let store = inner.get_mut(&id.link).ok_or_else(|| {
+                QkdError::invalid_parameter("link", format!("unknown link {}", id.link))
+            })?;
+            match store.parked.entry(id.serial) {
+                std::collections::btree_map::Entry::Occupied(entry)
+                    if entry.get().claim.as_deref() == claim =>
+                {
+                    let reservation = entry.remove();
+                    DeliveredKey {
+                        id,
+                        bits: reservation.bits,
+                        epsilon: reservation.epsilon,
+                    }
+                }
+                _ => {
+                    return Err(QkdError::UnknownKeyId {
+                        link: id.link as u64,
+                        serial: id.serial,
+                    })
+                }
             }
-            _ => Err(QkdError::UnknownKeyId {
-                link: id.link as u64,
-                serial: id.serial,
-            }),
-        }
+        };
+        store_obs().pickups.inc();
+        Ok(key)
     }
 
     /// Retrieves several reserved keys atomically: either every ID is parked
@@ -517,6 +583,8 @@ impl KeyStore {
                 epsilon: reservation.epsilon,
             });
         }
+        drop(inner);
+        store_obs().pickups.add(keys.len() as u64);
         Ok(keys)
     }
 }

@@ -1,0 +1,131 @@
+//! The in-memory ring-buffer event log.
+//!
+//! A bounded `VecDeque` behind a mutex: recording pushes one record and
+//! evicts the oldest past capacity. Events complement the numeric metrics
+//! with discrete occurrences (quarantines, admission rejects, reservation
+//! expiries) and surface in the JSON snapshot. Messages must never contain
+//! key material — `SecretBuf::fingerprint()` is the only key-derived value
+//! allowed (enforced lexically by `qkd-lint`'s `metric-hygiene` rule).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Event severity, ordered from least to most severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Fine-grained diagnostics.
+    Debug,
+    /// Normal operational milestones.
+    Info,
+    /// Degraded but recoverable conditions.
+    Warn,
+    /// Failures requiring attention.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase name used in exposition.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Debug => "debug",
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One logged event.
+#[derive(Clone, Debug)]
+pub struct EventRecord {
+    /// Monotonic sequence number (never reused, survives eviction).
+    pub seq: u64,
+    /// Microseconds since the log was created.
+    pub micros: u64,
+    /// Severity level.
+    pub severity: Severity,
+    /// Subsystem that emitted the event (`"engine"`, `"manager"`, …).
+    pub target: &'static str,
+    /// Human-readable message; never contains key material.
+    pub message: String,
+}
+
+/// Bounded event log. Oldest events are evicted once `capacity` is reached.
+pub struct EventLog {
+    ring: Mutex<VecDeque<EventRecord>>,
+    capacity: usize,
+    seq: AtomicU64,
+    start: Instant,
+}
+
+impl EventLog {
+    /// An empty log holding at most `capacity` events.
+    pub fn new(capacity: usize) -> EventLog {
+        EventLog {
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(64))),
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            start: Instant::now(),
+        }
+    }
+
+    /// Appends one event, evicting the oldest if the ring is full.
+    pub fn record(&self, severity: Severity, target: &'static str, message: String) {
+        let record = EventRecord {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            micros: self.start.elapsed().as_micros() as u64,
+            severity,
+            target,
+            message,
+        };
+        let mut ring = match self.ring.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// Copies the current contents, oldest first.
+    pub fn snapshot(&self) -> Vec<EventRecord> {
+        let ring = match self.ring.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        ring.iter().cloned().collect()
+    }
+
+    /// Number of events recorded over the log's lifetime (including evicted).
+    pub fn total_recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_beyond_capacity() {
+        let log = EventLog::new(3);
+        for i in 0..5 {
+            log.record(Severity::Info, "test", format!("event {i}"));
+        }
+        let events = log.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events.first().map(|e| e.seq), Some(2));
+        assert_eq!(events.last().map(|e| e.seq), Some(4));
+        assert_eq!(log.total_recorded(), 5);
+    }
+
+    #[test]
+    fn severities_order_by_importance() {
+        assert!(Severity::Debug < Severity::Info);
+        assert!(Severity::Warn < Severity::Error);
+        assert_eq!(Severity::Warn.as_str(), "warn");
+    }
+}

@@ -1,0 +1,348 @@
+//! Snapshot types and the two exposition encoders.
+//!
+//! [`Snapshot`] is a point-in-time, lock-free-to-read copy of the registry:
+//! counters, gauges, histograms (with precomputed p50/p90/p99) and the event
+//! log. [`Snapshot::to_prometheus`] renders the text exposition format
+//! (`text/plain; version=0.0.4`); [`Snapshot::to_json`] renders a JSON
+//! document carrying the same series plus the events, hand-rolled because
+//! this crate is dependency-free by design.
+
+use std::fmt::Write as _;
+
+use crate::events::EventRecord;
+use crate::histogram::HistogramSnapshot;
+use crate::registry::{MetricKey, MetricSlot};
+
+/// One counter or gauge sample.
+#[derive(Clone, Debug)]
+pub struct Sample<T> {
+    /// Family name.
+    pub name: &'static str,
+    /// Sorted label pairs.
+    pub labels: Vec<(&'static str, String)>,
+    /// The sampled value.
+    pub value: T,
+}
+
+/// One histogram series with derived quantiles.
+#[derive(Clone, Debug)]
+pub struct HistogramSample {
+    /// Family name.
+    pub name: &'static str,
+    /// Sorted label pairs.
+    pub labels: Vec<(&'static str, String)>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Estimated 50th percentile.
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+    /// Cumulative `(le, count)` buckets, ending with `(+Inf, count)`.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+/// A point-in-time copy of the whole registry.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// All counters, sorted by name then labels.
+    pub counters: Vec<Sample<u64>>,
+    /// All gauges, sorted by name then labels.
+    pub gauges: Vec<Sample<f64>>,
+    /// All histograms, sorted by name then labels.
+    pub histograms: Vec<HistogramSample>,
+    /// The event log, oldest first.
+    pub events: Vec<EventRecord>,
+}
+
+/// Builds a [`Snapshot`] from sorted `(key, slot)` pairs plus the event log.
+/// Called by `MetricsRegistry::snapshot`.
+pub(crate) fn snapshot_from(
+    keyed: Vec<(MetricKey, MetricSlot)>,
+    events: Vec<EventRecord>,
+) -> Snapshot {
+    let mut snap = Snapshot {
+        events,
+        ..Snapshot::default()
+    };
+    for (key, slot) in keyed {
+        match slot {
+            MetricSlot::Counter(c) => snap.counters.push(Sample {
+                name: key.name,
+                labels: key.labels,
+                value: c.value(),
+            }),
+            MetricSlot::Gauge(g) => snap.gauges.push(Sample {
+                name: key.name,
+                labels: key.labels,
+                value: g.value(),
+            }),
+            MetricSlot::Histogram(h) => {
+                let hs: HistogramSnapshot = h.snapshot();
+                snap.histograms.push(HistogramSample {
+                    name: key.name,
+                    labels: key.labels,
+                    count: hs.count,
+                    sum: hs.sum,
+                    p50: hs.quantile(0.50),
+                    p90: hs.quantile(0.90),
+                    p99: hs.quantile(0.99),
+                    buckets: hs.cumulative(),
+                });
+            }
+        }
+    }
+    snap
+}
+
+/// Escapes a Prometheus label value (`\` → `\\`, `"` → `\"`, newline → `\n`).
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `{k="v",…}`, or the empty string for an unlabeled series.
+fn render_labels(labels: &[(&'static str, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Formats an `f64` the way Prometheus expects (`+Inf` for infinity).
+fn render_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+impl Snapshot {
+    /// Renders the snapshot in the Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_type_line = "";
+        let mut type_line = |out: &mut String, name: &'static str, kind: &str| {
+            if last_type_line != name {
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                last_type_line = name;
+            }
+        };
+        for s in &self.counters {
+            type_line(&mut out, s.name, "counter");
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                s.name,
+                render_labels(&s.labels, None),
+                s.value
+            );
+        }
+        for s in &self.gauges {
+            type_line(&mut out, s.name, "gauge");
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                s.name,
+                render_labels(&s.labels, None),
+                render_f64(s.value)
+            );
+        }
+        for h in &self.histograms {
+            type_line(&mut out, h.name, "histogram");
+            for (le, count) in &h.buckets {
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {count}",
+                    h.name,
+                    render_labels(&h.labels, Some(("le", &render_f64(*le)))),
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{}_sum{} {}",
+                h.name,
+                render_labels(&h.labels, None),
+                render_f64(h.sum)
+            );
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                h.name,
+                render_labels(&h.labels, None),
+                h.count
+            );
+        }
+        out
+    }
+
+    /// Renders the snapshot (metrics plus events) as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":[");
+        push_joined(&mut out, &self.counters, |out, s| {
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"labels\":{},\"value\":{}}}",
+                s.name,
+                json_labels(&s.labels),
+                s.value
+            );
+        });
+        out.push_str("],\"gauges\":[");
+        push_joined(&mut out, &self.gauges, |out, s| {
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"labels\":{},\"value\":{}}}",
+                s.name,
+                json_labels(&s.labels),
+                json_f64(s.value)
+            );
+        });
+        out.push_str("],\"histograms\":[");
+        push_joined(&mut out, &self.histograms, |out, h| {
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"labels\":{},\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                h.name,
+                json_labels(&h.labels),
+                h.count,
+                json_f64(h.sum),
+                json_f64(h.p50),
+                json_f64(h.p90),
+                json_f64(h.p99)
+            );
+        });
+        out.push_str("],\"events\":[");
+        push_joined(&mut out, &self.events, |out, e| {
+            let _ = write!(
+                out,
+                "{{\"seq\":{},\"micros\":{},\"severity\":\"{}\",\"target\":\"{}\",\"message\":\"{}\"}}",
+                e.seq,
+                e.micros,
+                e.severity.as_str(),
+                json_escape(e.target),
+                json_escape(&e.message)
+            );
+        });
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_joined<T>(out: &mut String, items: &[T], mut render: impl FnMut(&mut String, &T)) {
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render(out, item);
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_labels(labels: &[(&'static str, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+    }
+    out.push('}');
+    out
+}
+
+/// JSON has no Inf/NaN literals; clamp them to null.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::MetricsRegistry;
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter("expo_requests_total", &[("route", "/api/v1/keys")])
+            .add(3);
+        reg.gauge("expo_backlog_depth", &[("link", "0")]).set(2.0);
+        let h = reg.histogram_with("expo_latency_seconds", &[], &crate::SECONDS_BUCKETS);
+        h.observe(0.001);
+        h.observe(0.002);
+        reg.events()
+            .record(crate::Severity::Info, "test", "hello \"world\"".into());
+        reg
+    }
+
+    #[test]
+    fn prometheus_rendering_has_types_labels_and_histogram_series() {
+        let text = sample_registry().render_prometheus();
+        assert!(text.contains("# TYPE expo_requests_total counter"));
+        assert!(text.contains("expo_requests_total{route=\"/api/v1/keys\"} 3"));
+        assert!(text.contains("# TYPE expo_backlog_depth gauge"));
+        assert!(text.contains("expo_backlog_depth{link=\"0\"} 2"));
+        assert!(text.contains("# TYPE expo_latency_seconds histogram"));
+        assert!(text.contains("expo_latency_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("expo_latency_seconds_count 2"));
+    }
+
+    #[test]
+    fn json_rendering_is_structurally_sound_and_escaped() {
+        let json = sample_registry().render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"name\":\"expo_requests_total\""));
+        assert!(json.contains("\"labels\":{\"route\":\"/api/v1/keys\"}"));
+        assert!(json.contains("\"p50\":"));
+        assert!(json.contains("hello \\\"world\\\""));
+    }
+
+    #[test]
+    fn label_values_are_escaped_in_prometheus_text() {
+        let reg = MetricsRegistry::new();
+        reg.counter("expo_escape_total", &[("path", "a\"b\\c")])
+            .inc();
+        let text = reg.render_prometheus();
+        assert!(text.contains("expo_escape_total{path=\"a\\\"b\\\\c\"} 1"));
+    }
+}

@@ -138,7 +138,25 @@ fn main() {
         Ok(_) => unreachable!("an expired reservation is not redeemable"),
     }
 
-    // 6. The ledger still balances bit-for-bit.
+    // 6. Scrape the telemetry the whole walkthrough just generated: the
+    //    `/metrics` endpoint is unauthenticated, so any Prometheus scraper
+    //    (or this client) can read it. Engine stages, decoder iterations,
+    //    store ledger movements and per-route HTTP latency all come from
+    //    the same process-global registry.
+    let snapshot = master.metrics().unwrap();
+    println!("\n/metrics snapshot (selected families):");
+    for line in snapshot.lines().filter(|l| {
+        !l.starts_with('#')
+            && (l.starts_with("qkd_http_requests_total")
+                || l.starts_with("qkd_store_deposits_total")
+                || l.starts_with("qkd_store_reservations_expired_total")
+                || l.starts_with("qkd_engine_blocks_total")
+                || l.starts_with("qkd_http_responses_total"))
+    }) {
+        println!("  {line}");
+    }
+
+    // 7. The ledger still balances bit-for-bit.
     server.shutdown();
     let ledger = fleet.reconcile().unwrap();
     println!(
