@@ -11,10 +11,13 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use qkd_journal::{Journal, Record};
+use qkd_manager::RecoveredBudget;
 use qkd_types::{QkdError, Result};
 
 /// Per-SAE consumption budgets. `u64::MAX` (the default) means unbounded.
@@ -112,6 +115,11 @@ pub struct SaeRegistry {
     /// deployments that reset budgets out of band publish their cadence
     /// via [`SaeRegistry::set_retry_after_hint`].
     retry_after_hint_ms: AtomicU64,
+    /// Durability tier, when attached: every budget charge is journaled as
+    /// a [`Record::Budget`] (absolute counters, last record wins) before
+    /// the request is admitted, so a restarted server cannot hand a
+    /// consumer a fresh budget.
+    journal: OnceLock<Arc<Journal>>,
 }
 
 impl SaeRegistry {
@@ -243,40 +251,122 @@ impl SaeRegistry {
             })
     }
 
+    /// Attaches the store's journal: from now on every budget charge is
+    /// staged as a [`Record::Budget`] *under the registry lock* (so log
+    /// order is charge order) and group-committed before [`Self::admit`]
+    /// returns. Attach at most once; later calls are ignored.
+    pub fn attach_journal(&self, journal: Arc<Journal>) {
+        let _ = self.journal.set(journal);
+    }
+
+    /// Seeds the usage counters from budgets recovered by journal replay
+    /// (`KeyStore::open_durable` / `LinkManager::recovered_budgets`). Call
+    /// after registering the SAE profiles and before serving traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] when a recovered budget names
+    /// an SAE that is not registered — spent budget must not silently reset
+    /// because a profile went missing across the restart.
+    pub fn restore(&self, budgets: &[RecoveredBudget]) -> Result<()> {
+        let mut inner = self.inner.lock();
+        for budget in budgets {
+            let state = inner.saes.get_mut(&budget.sae).ok_or_else(|| {
+                QkdError::invalid_parameter(
+                    "sae",
+                    format!(
+                        "recovered budget for `{}`, which is not registered",
+                        budget.sae
+                    ),
+                )
+            })?;
+            state.requests_used = budget.requests_used;
+            state.key_bits_used = budget.key_bits_used;
+        }
+        Ok(())
+    }
+
+    /// One [`Record::Budget`] per registered SAE, with the current absolute
+    /// counters — the `extra` records a compaction must append after its
+    /// snapshot, since [`Record::Snapshot`] resets link state but carries
+    /// no budgets.
+    pub fn budget_records(&self) -> Vec<Record> {
+        let inner = self.inner.lock();
+        inner
+            .saes
+            .values()
+            .map(|state| Record::Budget {
+                sae: state.profile.id.clone(),
+                requests_used: state.requests_used,
+                key_bits_used: state.key_bits_used,
+            })
+            .collect()
+    }
+
     /// Charges one request plus `key_bits` requested bits against the SAE's
     /// budgets, atomically: either both fit and both are committed, or
     /// nothing is.
+    ///
+    /// When a journal is attached, the charge is durable before this
+    /// returns `Ok`; a journal failure rolls the charge back and refuses
+    /// the request.
     ///
     /// # Errors
     ///
     /// * [`QkdError::InvalidParameter`] for an unknown SAE.
     /// * [`QkdError::RateLimited`] when either budget would be exceeded.
+    /// * [`QkdError::JournalError`] when the attached journal cannot make
+    ///   the charge durable.
     pub fn admit(&self, sae: &str, key_bits: u64) -> Result<()> {
-        let mut inner = self.inner.lock();
-        let state = inner.saes.get_mut(sae).ok_or_else(|| {
-            QkdError::invalid_parameter("sae", format!("SAE `{sae}` is not registered"))
-        })?;
-        let cap = state.profile.cap;
-        let retry_after_ms = self.retry_after_hint_ms.load(Ordering::Relaxed);
-        if state.requests_used >= cap.max_requests {
-            return Err(QkdError::RateLimited {
-                sae: sae.to_string(),
-                reason: format!("request budget of {} spent", cap.max_requests),
-                retry_after_ms,
-            });
+        let ticket = {
+            let mut inner = self.inner.lock();
+            let state = inner.saes.get_mut(sae).ok_or_else(|| {
+                QkdError::invalid_parameter("sae", format!("SAE `{sae}` is not registered"))
+            })?;
+            let cap = state.profile.cap;
+            let retry_after_ms = self.retry_after_hint_ms.load(Ordering::Relaxed);
+            if state.requests_used >= cap.max_requests {
+                return Err(QkdError::RateLimited {
+                    sae: sae.to_string(),
+                    reason: format!("request budget of {} spent", cap.max_requests),
+                    retry_after_ms,
+                });
+            }
+            if key_bits > cap.max_key_bits.saturating_sub(state.key_bits_used) {
+                return Err(QkdError::RateLimited {
+                    sae: sae.to_string(),
+                    reason: format!(
+                        "key-bit budget exceeded: {} of {} used, {key_bits} more requested",
+                        state.key_bits_used, cap.max_key_bits
+                    ),
+                    retry_after_ms,
+                });
+            }
+            state.requests_used += 1;
+            state.key_bits_used += key_bits;
+            match self.journal.get() {
+                None => None,
+                Some(journal) => {
+                    let record = Record::Budget {
+                        sae: sae.to_string(),
+                        requests_used: state.requests_used,
+                        key_bits_used: state.key_bits_used,
+                    };
+                    match journal.submit(&record) {
+                        Ok(ticket) => Some(ticket),
+                        Err(e) => {
+                            // Un-charge: the request was never admitted.
+                            state.requests_used -= 1;
+                            state.key_bits_used -= key_bits;
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+        };
+        if let (Some(journal), Some(ticket)) = (self.journal.get(), ticket) {
+            journal.commit(ticket)?;
         }
-        if key_bits > cap.max_key_bits.saturating_sub(state.key_bits_used) {
-            return Err(QkdError::RateLimited {
-                sae: sae.to_string(),
-                reason: format!(
-                    "key-bit budget exceeded: {} of {} used, {key_bits} more requested",
-                    state.key_bits_used, cap.max_key_bits
-                ),
-                retry_after_ms,
-            });
-        }
-        state.requests_used += 1;
-        state.key_bits_used += key_bits;
         Ok(())
     }
 

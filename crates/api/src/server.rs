@@ -165,7 +165,10 @@ impl ApiServer {
                 while !stop.load(Ordering::SeqCst) {
                     let now = Instant::now();
                     if now >= next_sweep {
-                        store.expire_reservations(now);
+                        // A failed sweep (journal refusing the Expire
+                        // record) reclaims nothing; the next tick retries
+                        // against the same deadlines.
+                        let _ = store.expire_reservations(now);
                         next_sweep = now + interval;
                     }
                     std::thread::sleep(slice);

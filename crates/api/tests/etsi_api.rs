@@ -408,6 +408,112 @@ fn uncollected_reservations_expire_back_into_the_pool() {
     server.shutdown();
 }
 
+/// The durability tier end-to-end: a journaled fleet serves a master's
+/// `enc_keys` over TCP, the whole server-side world is torn down
+/// mid-session (reservation parked, never collected), and a second
+/// incarnation recovered from the journal lets the slave redeem the
+/// pre-crash reservation — bit-identical, exactly once, with budgets and
+/// serial continuity intact.
+#[test]
+fn server_restart_recovers_reservations_budgets_and_serials_over_tcp() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("restart-e2e");
+    let _ = std::fs::remove_dir_all(&dir);
+    let fleet_config = || FleetConfig::default().with_workers(2).with_max_backlog(8);
+    let saes = |registry: &SaeRegistry| {
+        for (id, token) in [("alice-app", "tok-alice"), ("bob-app", "tok-bob")] {
+            registry.register(SaeProfile::new(id, token)).unwrap();
+        }
+        registry.entitle("alice-app", "bob-app", 0).unwrap();
+    };
+
+    // Incarnation one: distil key, reserve two keys over TCP, then tear
+    // everything down with the reservation still parked.
+    let (ids, master_copies, usage, available) = {
+        let mut fleet = LinkManager::open_durable(fleet_config(), &dir).unwrap();
+        let link = fleet
+            .add_link(LinkSpec::from_preset(WorkloadPreset::Metro, 4096, 11))
+            .unwrap();
+        fleet.submit_epoch(link, 2).unwrap();
+        fleet.run().unwrap();
+
+        let registry = Arc::new(SaeRegistry::new());
+        saes(&registry);
+        registry.attach_journal(fleet.store().journal().unwrap());
+
+        let server = ApiServer::start(
+            fleet.store_handle(),
+            Arc::clone(&registry),
+            ApiConfig::default(),
+        )
+        .unwrap();
+        let alice = ApiClient::new(server.local_addr(), "tok-alice");
+        let reserved = alice.enc_keys("bob-app", 2, 128).unwrap();
+        let status = alice.status("bob-app").unwrap();
+        server.shutdown();
+        (
+            reserved.iter().map(|k| k.id).collect::<Vec<KeyId>>(),
+            reserved,
+            registry.usage("alice-app").unwrap(),
+            status.available_bits,
+        )
+    };
+
+    // Incarnation two: replay the journal, re-register the SAE world,
+    // restore its budgets, and serve again.
+    let fleet = LinkManager::open_durable(fleet_config(), &dir).unwrap();
+    let registry = Arc::new(SaeRegistry::new());
+    saes(&registry);
+    registry.restore(fleet.recovered_budgets()).unwrap();
+    registry.attach_journal(fleet.store().journal().unwrap());
+    assert_eq!(
+        registry.usage("alice-app").unwrap(),
+        usage,
+        "spent budget must survive the restart"
+    );
+
+    let server = ApiServer::start(
+        fleet.store_handle(),
+        Arc::clone(&registry),
+        ApiConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let alice = ApiClient::new(addr, "tok-alice");
+    let bob = ApiClient::new(addr, "tok-bob");
+    assert_eq!(
+        alice.status("bob-app").unwrap().available_bits,
+        available,
+        "the recovered pool must match the pre-crash pool"
+    );
+
+    // The slave redeems the pre-crash reservation — bit-identical to the
+    // copies the master took before the restart, and exactly once.
+    let picked = bob.dec_keys("alice-app", &ids).unwrap();
+    for (master_key, slave_key) in master_copies.iter().zip(&picked) {
+        assert_eq!(master_key.id, slave_key.id);
+        assert_eq!(
+            master_key.bits, slave_key.bits,
+            "recovered copy must be bit-identical to the pre-crash delivery"
+        );
+    }
+    assert!(matches!(
+        bob.dec_keys("alice-app", &ids),
+        Err(QkdError::UnknownKeyId { .. })
+    ));
+
+    // Serial continuity: fresh reservations never collide with pre-crash
+    // IDs, and the recovered ledger still balances.
+    let fresh = alice.enc_keys("bob-app", 1, 64).unwrap();
+    assert!(
+        ids.iter().all(|id| *id != fresh[0].id),
+        "serials must never be reused across a restart"
+    );
+    let status = fleet.store().status(0).unwrap();
+    assert!(status.balances(), "{status:?}");
+    fleet.reconcile().unwrap();
+    server.shutdown();
+}
+
 #[test]
 fn metrics_endpoint_covers_every_layer_of_a_two_sae_session() {
     let (fleet, registry) = fleet_and_registry();

@@ -11,6 +11,7 @@
 //! cargo run --release -p qkd-bench --bin harness -- --smoke --pipelined
 //! cargo run --release -p qkd-bench --bin harness -- --smoke --fleet
 //! cargo run --release -p qkd-bench --bin harness -- --smoke --api
+//! cargo run --release -p qkd-bench --bin harness -- --smoke --journal
 //! cargo run --release -p qkd-bench --bin harness -- --smoke --decoder
 //! cargo run --release -p qkd-bench --bin harness -- --smoke --obs-overhead
 //! ```
@@ -25,12 +26,14 @@ Flags (each prints one JSON document to stdout):
   --fleet        multi-link fleet over a shared pool (qkd-bench-fleet/v1)
   --api          ETSI 014 delivery: keep-alive vs per-request connection
                  sweep, 64-4096 concurrent SAEs   (qkd-bench-api/v2)
+  --journal      journaled vs in-memory store: deposit/redeem
+                 throughput and recovery check    (qkd-bench-journal/v1)
   --decoder      LDPC decoder hot path vs seed reference (qkd-bench-decoder/v1)
   --obs-overhead telemetry on/off decode-throughput gate  (qkd-bench-obs/v1)
   --help, -h     print this help and exit
 
-`--pipelined`, `--fleet`, `--api`, `--decoder` and `--obs-overhead` run their
-benchmark whether or not `--smoke` is present; `--smoke` alone runs the kernel
+`--pipelined`, `--fleet`, `--api`, `--journal`, `--decoder` and
+`--obs-overhead` run their benchmark whether or not `--smoke` is present; `--smoke` alone runs the kernel
 smoke benchmark.
 
 Experiments (aligned text tables):
@@ -71,6 +74,8 @@ fn main() {
         "fleet",
         "--api",
         "api",
+        "--journal",
+        "journal",
         "--decoder",
         "decoder",
         "--obs-overhead",
@@ -101,6 +106,7 @@ fn main() {
     let pipelined = has("pipelined");
     let fleet = has("fleet");
     let api = has("api");
+    let journal = has("journal");
     let decoder = has("decoder");
     let obs_overhead = has("obs-overhead");
 
@@ -113,13 +119,16 @@ fn main() {
     if api {
         experiments::smoke_api();
     }
+    if journal {
+        experiments::smoke_journal();
+    }
     if decoder {
         experiments::smoke_decoder();
     }
     if obs_overhead {
         experiments::smoke_obs_overhead();
     }
-    if smoke && !pipelined && !fleet && !api && !decoder && !obs_overhead {
+    if smoke && !pipelined && !fleet && !api && !journal && !decoder && !obs_overhead {
         experiments::smoke();
     }
 

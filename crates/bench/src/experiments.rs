@@ -1082,6 +1082,159 @@ pub fn smoke_fleet() {
     println!("{json}");
 }
 
+/// Durability-overhead benchmark (`qkd-bench-journal/v1`): the same
+/// distillation + delivery workload runs against an in-memory store, a
+/// journaled store with group-commit batched fsync, and a journaled store
+/// fsyncing every commit. Reported per mode: distillation wall time (the
+/// deposit path rides inside it) and reserve/redeem delivery throughput.
+///
+/// The journaled runs double as recovery checks: after draining, the
+/// batched run compacts its log, both are dropped and reopened from disk,
+/// and the recovered ledger must match the pre-shutdown status exactly.
+/// The run asserts the batched-fsync delivery path keeps within
+/// `MAX_OVERHEAD_FACTOR` of the in-memory op rate — the bound is generous
+/// (CI filesystems fsync slowly) but fails the configuration that fsyncs
+/// every frame on a spinning-rust-grade device, i.e. it guards the group
+/// commit actually batching.
+pub fn smoke_journal() {
+    use qkd_journal::{FsyncPolicy, JournalConfig};
+    use qkd_manager::{FleetConfig, LinkManager, LinkSpec};
+
+    const MAX_OVERHEAD_FACTOR: f64 = 250.0;
+
+    let total_start = std::time::Instant::now();
+    let block = 4096usize;
+    let epochs = 6usize;
+    let key_bits = 128usize;
+
+    let fleet_config = || FleetConfig::default().with_workers(2).with_max_backlog(64);
+    let distill = |fleet: &mut LinkManager| -> (usize, Duration) {
+        let start = std::time::Instant::now();
+        let link = fleet
+            .add_link(LinkSpec::from_preset(
+                qkd_simulator::WorkloadPreset::Metro,
+                block,
+                77,
+            ))
+            .unwrap();
+        for _ in 0..epochs {
+            fleet.submit_epoch(link, 2).unwrap();
+        }
+        fleet.run().unwrap();
+        (link, start.elapsed())
+    };
+    // One reserve + one redeem per round: two journaled mutations, the
+    // `enc_keys`/`dec_keys` hot path of the delivery tier.
+    let deliver = |fleet: &LinkManager, link: usize| -> (u64, Duration) {
+        let store = fleet.store();
+        let rounds = store.status(link).unwrap().available_bits / key_bits as u64;
+        let start = std::time::Instant::now();
+        for _ in 0..rounds {
+            let reserved = store
+                .reserve_keys(link, 1, key_bits, Some("peer-sae"), None)
+                .unwrap();
+            store
+                .get_key_by_id(reserved[0].id, Some("peer-sae"))
+                .unwrap();
+        }
+        (rounds, start.elapsed())
+    };
+
+    struct Mode {
+        name: &'static str,
+        distill_wall: Duration,
+        delivery_wall: Duration,
+        rounds: u64,
+        replay_verified: bool,
+    }
+    let ops_per_s = |m: &Mode| 2.0 * m.rounds as f64 / m.delivery_wall.as_secs_f64().max(1e-9);
+
+    let mut modes = Vec::new();
+    let base = std::env::temp_dir().join(format!("qkd-bench-journal-{}", std::process::id()));
+    for (name, fsync) in [
+        ("memory", None),
+        (
+            "journal-batched",
+            Some(FsyncPolicy::Batch { max_frames: 64 }),
+        ),
+        ("journal-fsync-always", Some(FsyncPolicy::Always)),
+    ] {
+        let dir = base.join(name);
+        let journal_config = |fsync| JournalConfig {
+            fsync,
+            ..JournalConfig::default()
+        };
+        let mut fleet = match fsync {
+            None => LinkManager::new(fleet_config()).unwrap(),
+            Some(fsync) => {
+                let _ = std::fs::remove_dir_all(&dir);
+                LinkManager::open_durable_with(fleet_config(), &dir, journal_config(fsync)).unwrap()
+            }
+        };
+        let (link, distill_wall) = distill(&mut fleet);
+        let (rounds, delivery_wall) = deliver(&fleet, link);
+        assert!(rounds >= 32, "workload too small to time delivery");
+        fleet.reconcile().expect("ledger must reconcile");
+
+        // Recovery check: compact (batched mode only, to exercise both the
+        // snapshot and the long-replay path), drop, reopen, compare.
+        let replay_verified = match fsync {
+            None => false,
+            Some(fsync) => {
+                if matches!(fsync, FsyncPolicy::Batch { .. }) {
+                    fleet.store().compact_journal(&[]).unwrap();
+                }
+                let before = fleet.store().status(link).unwrap();
+                drop(fleet);
+                let reopened =
+                    LinkManager::open_durable_with(fleet_config(), &dir, journal_config(fsync))
+                        .unwrap();
+                let after = reopened.store().status(link).unwrap();
+                assert_eq!(before, after, "{name}: recovered ledger must match");
+                true
+            }
+        };
+        modes.push(Mode {
+            name,
+            distill_wall,
+            delivery_wall,
+            rounds,
+            replay_verified,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&base);
+
+    let memory_ops = ops_per_s(&modes[0]);
+    let batched_ops = ops_per_s(&modes[1]);
+    let overhead_factor = memory_ops / batched_ops;
+
+    let mut json = String::from("{\n  \"schema\": \"qkd-bench-journal/v1\",\n");
+    json.push_str(&format!(
+        "  \"block_bits\": {block},\n  \"epochs\": {epochs},\n  \"key_bits\": {key_bits},\n  \"modes\": [\n"
+    ));
+    for (i, mode) in modes.iter().enumerate() {
+        let comma = if i + 1 < modes.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"distill_ms\": {:.3}, \"delivery_ms\": {:.3}, \"rounds\": {}, \"delivery_ops_per_s\": {:.1}, \"replay_verified\": {}}}{comma}\n",
+            mode.name,
+            mode.distill_wall.as_secs_f64() * 1e3,
+            mode.delivery_wall.as_secs_f64() * 1e3,
+            mode.rounds,
+            ops_per_s(mode),
+            mode.replay_verified,
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"batched_overhead_factor\": {overhead_factor:.2},\n  \"max_overhead_factor\": {MAX_OVERHEAD_FACTOR},\n  \"total_wall_s\": {:.3}\n}}",
+        total_start.elapsed().as_secs_f64()
+    ));
+    println!("{json}");
+    assert!(
+        overhead_factor <= MAX_OVERHEAD_FACTOR,
+        "group-commit journaling too slow: {batched_ops:.1} ops/s journaled vs {memory_ops:.1} ops/s in-memory (factor {overhead_factor:.1})"
+    );
+}
+
 /// ETSI 014 delivery-API benchmark (`qkd-bench-api/v2`): a fleet distils
 /// key into the store, the `qkd-api` server fronts it on localhost TCP, and
 /// a sweep of 64 → 4096 concurrent SAEs (capped at 256 when `CI` is set)

@@ -1,0 +1,103 @@
+//! The store's monotonic clock.
+//!
+//! Reservation TTLs used to be checked against caller-supplied
+//! [`Instant`]s, which cannot be journaled (an `Instant` is meaningless in
+//! another process) and cannot survive a restart. [`StoreClock`] gives the
+//! store one monotonic **millisecond** timeline that both sides of a crash
+//! agree on: deadlines are stored as absolute clock milliseconds, every
+//! journal record is stamped with the clock value at submission, and
+//! recovery calls [`StoreClock::advance_to`] with the largest stamp seen in
+//! the log. A reservation that had TTL budget left when the process died
+//! therefore keeps (at least) that budget after replay — the clock can run
+//! slow across a restart, never fast, so recovery can only *delay* an
+//! expiry, never double-fire one.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Monotonic millisecond clock shared by a key store and its journal.
+///
+/// The clock reads `base_ms + (now - origin)`: `origin` is the process-local
+/// [`Instant`] the clock was created at, and `base_ms` is bumped by
+/// [`StoreClock::advance_to`] during recovery so the timeline continues from
+/// where the journaled history left off.
+#[derive(Debug)]
+pub struct StoreClock {
+    origin: Instant,
+    base_ms: AtomicU64,
+}
+
+impl Default for StoreClock {
+    fn default() -> Self {
+        StoreClock::new()
+    }
+}
+
+impl StoreClock {
+    /// A fresh clock reading 0 ms at the moment of creation.
+    pub fn new() -> Self {
+        StoreClock {
+            origin: Instant::now(),
+            base_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// Current clock value in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.at(Instant::now())
+    }
+
+    /// Maps an [`Instant`] (possibly in the future — the expiry sweeper's
+    /// tests pass one to force deadlines) onto the clock's timeline.
+    pub fn at(&self, instant: Instant) -> u64 {
+        let elapsed = instant.saturating_duration_since(self.origin).as_millis();
+        let elapsed_ms = u64::try_from(elapsed).unwrap_or(u64::MAX);
+        self.base_ms
+            .load(Ordering::Relaxed)
+            .saturating_add(elapsed_ms)
+    }
+
+    /// Fast-forwards the clock so `now_ms() >= ms` from here on. Called once
+    /// during recovery with the largest stamp found in the journal; a no-op
+    /// when the clock already reads past `ms`.
+    pub fn advance_to(&self, ms: u64) {
+        let now = self.now_ms();
+        if ms > now {
+            self.base_ms.fetch_add(ms - now, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn reads_are_monotonic_and_start_near_zero() {
+        let clock = StoreClock::new();
+        let a = clock.now_ms();
+        let b = clock.now_ms();
+        assert!(a <= b);
+        assert!(a < 60_000, "fresh clock should read near zero, got {a}");
+    }
+
+    #[test]
+    fn future_instants_map_forward() {
+        let clock = StoreClock::new();
+        let soon = Instant::now() + Duration::from_millis(500);
+        assert!(clock.at(soon) >= clock.now_ms().saturating_add(400));
+    }
+
+    #[test]
+    fn advance_to_fast_forwards_but_never_rewinds() {
+        let clock = StoreClock::new();
+        clock.advance_to(10_000);
+        assert!(clock.now_ms() >= 10_000);
+        let before = clock.now_ms();
+        clock.advance_to(5); // already past — must be a no-op
+        assert!(clock.now_ms() >= before);
+        clock.advance_to(20_000);
+        assert!(clock.now_ms() >= 20_000);
+    }
+}

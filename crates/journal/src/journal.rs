@@ -1,0 +1,732 @@
+//! The append-only write-ahead log: staging, group-commit fsync, segment
+//! rotation, and snapshot compaction.
+//!
+//! # Write path
+//!
+//! [`Journal::submit`] encodes a record into a frame and stages it in an
+//! in-memory buffer under a cheap mutex — cheap enough that the key store
+//! calls it while holding its own lock, which is what guarantees journal
+//! order equals mutation order. [`Journal::commit`] then makes the staged
+//! frame durable *outside* the store's lock: the first committer through
+//! the writer mutex becomes the **leader**, steals the entire staged
+//! buffer, writes it with one `write` call and (policy permitting) one
+//! `fsync`; every other committer piles up on the writer mutex and, on
+//! waking, finds its frame already durable. Under load the fsync cost is
+//! thus shared by the whole pile-up — classic group commit.
+//!
+//! # Durability contract
+//!
+//! A mutation is acknowledged only after `commit` returns, so the log is
+//! always *ahead* of what any caller believes happened. A torn final frame
+//! therefore corresponds to a mutation nobody was told about, which is why
+//! replay may simply drop it. [`FsyncPolicy`] trades the strength of the
+//! guarantee ([`FsyncPolicy::Always`]: every commit survives power loss)
+//! against throughput ([`FsyncPolicy::Batch`]: bounded data loss on power
+//! failure, none on process crash; [`FsyncPolicy::Never`]: bench baseline).
+//!
+//! # Segments and compaction
+//!
+//! The log is a directory of `wal-NNNNNNNN.qkdj` segment files. Opening a
+//! journal never appends to an old segment: the previous tail segment is
+//! repaired in place (torn tail truncated at the last valid frame) and a
+//! fresh segment is started, so "torn frame" can only ever occur in the
+//! final segment. [`Journal::compact`] writes the caller's snapshot
+//! records to a brand-new segment, fsyncs it, and only then deletes every
+//! older segment — a crash anywhere in between leaves either the old
+//! segments (snapshot ignored on the next open? no: replayed *after* them,
+//! resetting state to the same result) or just the snapshot; both replay
+//! to the identical store.
+//!
+//! Failure is sticky: after any I/O error the journal poisons itself and
+//! every later call returns [`QkdError::JournalError`], so a store can no
+//! longer acknowledge mutations its log did not capture.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use qkd_types::secret::zeroize_bytes;
+use qkd_types::{QkdError, Result};
+
+use crate::frame::{self, Tail};
+use crate::obs::journal_obs;
+use crate::record::Record;
+
+/// File-name extension of journal segments.
+pub const SEGMENT_EXTENSION: &str = "qkdj";
+
+/// When to push journal writes through to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` on every commit batch: a returned `commit` survives power
+    /// loss. The default.
+    Always,
+    /// `fsync` once at least this many frames have been written since the
+    /// last sync. Survives process crashes unconditionally (the OS holds
+    /// the pages); bounds loss on power failure to one batch.
+    Batch {
+        /// Frames written between syncs.
+        max_frames: u32,
+    },
+    /// Never `fsync` (rotation and compaction still do). Survives process
+    /// crashes; the in-memory baseline for benchmarking.
+    Never,
+}
+
+/// Tuning knobs for a [`Journal`].
+#[derive(Debug, Clone, Copy)]
+pub struct JournalConfig {
+    /// Rotate to a fresh segment once the current one exceeds this many
+    /// bytes.
+    pub segment_bytes: u64,
+    /// Fsync policy for the commit path.
+    pub fsync: FsyncPolicy,
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        JournalConfig {
+            segment_bytes: 4 << 20,
+            fsync: FsyncPolicy::Always,
+        }
+    }
+}
+
+/// Receipt for a staged record: the sequence number `commit` must make
+/// durable.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a staged record is not durable until committed"]
+pub struct Ticket(u64);
+
+/// Outcome of one [`Journal::compact`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Snapshot records written to the fresh segment.
+    pub snapshot_frames: u64,
+    /// Bytes of snapshot payload (frames included) written.
+    pub snapshot_bytes: u64,
+    /// Dead segments removed.
+    pub segments_removed: u64,
+}
+
+/// Frames staged but not yet handed to the OS.
+struct Stage {
+    buf: Vec<u8>,
+    frames: u64,
+    /// Sequence number of the newest staged frame (0 = nothing ever staged).
+    staged_seq: u64,
+}
+
+/// The open segment and everything only the leader touches.
+struct Writer {
+    file: File,
+    segment_seq: u64,
+    /// Bytes written to the current segment (header included).
+    segment_len: u64,
+    /// Frames written since the last fsync (Batch policy bookkeeping).
+    unsynced_frames: u32,
+    /// First sticky failure, if any.
+    failed: Option<String>,
+}
+
+/// An append-only, checksummed, group-committed write-ahead log. See the
+/// module docs for the full contract.
+pub struct Journal {
+    dir: PathBuf,
+    config: JournalConfig,
+    stage: Mutex<Stage>,
+    writer: Mutex<Writer>,
+    /// Highest frame sequence number known durable (per the policy).
+    durable_seq: AtomicU64,
+    /// Mirrors `Writer::failed` for lock-free fast-path checks.
+    poisoned: AtomicBool,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("dir", &self.dir)
+            .field("config", &self.config)
+            .field("durable_seq", &self.durable_seq.load(Ordering::Relaxed))
+            .field("poisoned", &self.poisoned.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Lists `(seq, path)` of every segment file in `dir`, ascending by seq.
+/// Foreign files are ignored. A missing directory lists as empty.
+pub(crate) fn list_segments(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut segments: Vec<(u64, PathBuf)> = entries
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            let name = path.file_name()?.to_str()?;
+            let seq: u64 = name
+                .strip_prefix("wal-")?
+                .strip_suffix(".qkdj")?
+                .parse()
+                .ok()?;
+            Some((seq, path))
+        })
+        .collect();
+    segments.sort_unstable_by_key(|&(seq, _)| seq);
+    segments
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:08}.{SEGMENT_EXTENSION}"))
+}
+
+fn io_err(context: &str, err: &std::io::Error) -> QkdError {
+    QkdError::journal(format!("{context}: {err}"))
+}
+
+/// Creates segment `seq` in `dir` with its header written and synced.
+fn create_segment(dir: &Path, seq: u64) -> Result<File> {
+    let path = segment_path(dir, seq);
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(&path)
+        .map_err(|e| io_err("create segment", &e))?;
+    file.write_all(&frame::segment_header(seq))
+        .map_err(|e| io_err("write segment header", &e))?;
+    file.sync_data()
+        .map_err(|e| io_err("sync segment header", &e))?;
+    Ok(file)
+}
+
+/// Repairs the tail segment left by a previous process: truncates a torn
+/// tail back to the last valid frame boundary, or removes the file
+/// entirely when even its header never made it to disk. Returns `true`
+/// when something had to be repaired.
+fn repair_tail_segment(path: &Path) -> Result<bool> {
+    let bytes = fs::read(path).map_err(|e| io_err("read tail segment", &e))?;
+    match frame::check_segment_header(&bytes) {
+        frame::HeaderCheck::Valid { .. } => {}
+        frame::HeaderCheck::Truncated => {
+            // Crash mid-creation: no frame can exist, drop the file.
+            fs::remove_file(path).map_err(|e| io_err("remove headerless segment", &e))?;
+            return Ok(true);
+        }
+        frame::HeaderCheck::BadMagic => {
+            return Err(QkdError::journal(format!(
+                "{} is not a journal segment (bad magic)",
+                path.display()
+            )));
+        }
+        frame::HeaderCheck::BadVersion { found } => {
+            return Err(QkdError::journal(format!(
+                "{} has unsupported format version {found}",
+                path.display()
+            )));
+        }
+    }
+    let region = bytes.get(frame::SEGMENT_HEADER_LEN..).unwrap_or(&[]);
+    let scanned = frame::scan_frames(region);
+    match scanned.tail {
+        Tail::Clean => Ok(false),
+        Tail::Torn { offset } => {
+            let keep = (frame::SEGMENT_HEADER_LEN + offset) as u64;
+            let file = OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(|e| io_err("open tail segment for repair", &e))?;
+            file.set_len(keep)
+                .map_err(|e| io_err("truncate torn tail", &e))?;
+            file.sync_data()
+                .map_err(|e| io_err("sync repaired tail", &e))?;
+            Ok(true)
+        }
+    }
+}
+
+impl Journal {
+    /// Opens (creating if necessary) the journal directory and starts a
+    /// fresh segment.
+    ///
+    /// Old segments are left for the replayer — except the previous tail
+    /// segment, which is repaired in place if the last process died
+    /// mid-write. Appending never touches an old segment, which is what
+    /// confines torn frames to the final one.
+    ///
+    /// # Errors
+    ///
+    /// [`QkdError::JournalError`] on any I/O failure, or if an existing
+    /// tail segment has a foreign format.
+    pub fn open(dir: impl AsRef<Path>, config: JournalConfig) -> Result<Journal> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(|e| io_err("create journal directory", &e))?;
+        let segments = list_segments(&dir);
+        let mut next_seq = 1;
+        if let Some((last_seq, last_path)) = segments.last() {
+            next_seq = last_seq + 1;
+            if repair_tail_segment(last_path)? {
+                journal_obs().torn_tail_recoveries.inc();
+            }
+        }
+        let file = create_segment(&dir, next_seq)?;
+        Ok(Journal {
+            dir,
+            config,
+            stage: Mutex::new(Stage {
+                buf: Vec::new(),
+                frames: 0,
+                staged_seq: 0,
+            }),
+            writer: Mutex::new(Writer {
+                file,
+                segment_seq: next_seq,
+                segment_len: frame::SEGMENT_HEADER_LEN as u64,
+                unsynced_frames: 0,
+                failed: None,
+            }),
+            durable_seq: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+        })
+    }
+
+    /// The journal's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Sequence number of the segment currently being appended to.
+    pub fn current_segment(&self) -> u64 {
+        lock(&self.writer).segment_seq
+    }
+
+    /// Encodes and stages `record`, returning the ticket `commit` needs.
+    /// Cheap (no I/O, no fsync): the key store calls this while holding
+    /// its own lock so that journal order equals mutation order.
+    ///
+    /// # Errors
+    ///
+    /// [`QkdError::JournalError`] once the journal has poisoned itself; the
+    /// caller must fail the mutation rather than acknowledge it.
+    pub fn submit(&self, record: &Record) -> Result<Ticket> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(self.poison_error());
+        }
+        let mut payload = record.encode();
+        let ticket = {
+            let mut stage = lock(&self.stage);
+            frame::append_frame(&payload, &mut stage.buf);
+            stage.frames += 1;
+            stage.staged_seq += 1;
+            Ticket(stage.staged_seq)
+        };
+        // The staged copy survives until the leader writes it; this scratch
+        // copy of (possibly) key material dies here.
+        zeroize_bytes(&mut payload);
+        Ok(ticket)
+    }
+
+    /// Makes the staged frame behind `ticket` durable, group-committing
+    /// everything staged alongside it. Called *outside* the store lock.
+    ///
+    /// # Errors
+    ///
+    /// [`QkdError::JournalError`] if this or any earlier write failed — the
+    /// journal is then poisoned and the mutation must not be acknowledged.
+    pub fn commit(&self, ticket: Ticket) -> Result<()> {
+        self.flush_to(ticket.0, false)
+    }
+
+    /// Stages and immediately commits one record.
+    ///
+    /// # Errors
+    ///
+    /// As [`Journal::submit`] and [`Journal::commit`].
+    pub fn log(&self, record: &Record) -> Result<()> {
+        self.commit(self.submit(record)?)
+    }
+
+    /// Forces everything staged onto stable storage regardless of the
+    /// fsync policy (shutdown and pre-compaction barrier).
+    ///
+    /// # Errors
+    ///
+    /// [`QkdError::JournalError`] on write or sync failure.
+    pub fn sync(&self) -> Result<()> {
+        let staged = lock(&self.stage).staged_seq;
+        self.flush_to(staged, true)
+    }
+
+    fn poison_error(&self) -> QkdError {
+        let reason = lock(&self.writer)
+            .failed
+            .clone()
+            .unwrap_or_else(|| "journal failed".to_string());
+        QkdError::journal(reason)
+    }
+
+    /// The group-commit engine: returns once frame `target` is durable
+    /// under the policy (`force_sync` upgrades the policy to Always for
+    /// this call).
+    fn flush_to(&self, target: u64, force_sync: bool) -> Result<()> {
+        if !force_sync && self.durable_seq.load(Ordering::Acquire) >= target {
+            if self.poisoned.load(Ordering::Acquire) {
+                return Err(self.poison_error());
+            }
+            return Ok(());
+        }
+        // Followers pile up here while the leader writes; on acquiring the
+        // lock they usually find `durable_seq` already past their ticket.
+        let mut writer = lock(&self.writer);
+        if let Some(reason) = &writer.failed {
+            return Err(QkdError::journal(reason.clone()));
+        }
+        if !force_sync && self.durable_seq.load(Ordering::Acquire) >= target {
+            return Ok(());
+        }
+        let (mut batch, frames, staged_seq) = {
+            let mut stage = lock(&self.stage);
+            let batch = std::mem::take(&mut stage.buf);
+            let frames = stage.frames;
+            stage.frames = 0;
+            (batch, frames, stage.staged_seq)
+        };
+        let result = self.write_batch(&mut writer, &batch, frames, force_sync);
+        zeroize_bytes(&mut batch);
+        match result {
+            Ok(()) => {
+                self.durable_seq.store(staged_seq, Ordering::Release);
+                Ok(())
+            }
+            Err(err) => {
+                writer.failed = Some(err.to_string());
+                self.poisoned.store(true, Ordering::Release);
+                Err(err)
+            }
+        }
+    }
+
+    /// Leader-only: rotation, the actual write, and the policy fsync.
+    fn write_batch(
+        &self,
+        writer: &mut Writer,
+        batch: &[u8],
+        frames: u64,
+        force_sync: bool,
+    ) -> Result<()> {
+        let obs = journal_obs();
+        if writer.segment_len >= self.config.segment_bytes {
+            // Seal the full segment (its frames must be on disk before the
+            // replayer can be asked to treat it as non-final) and move on.
+            writer
+                .file
+                .sync_data()
+                .map_err(|e| io_err("sync sealed segment", &e))?;
+            let next = writer.segment_seq + 1;
+            writer.file = create_segment(&self.dir, next)?;
+            writer.segment_seq = next;
+            writer.segment_len = frame::SEGMENT_HEADER_LEN as u64;
+            writer.unsynced_frames = 0;
+            obs.segments_rotated.inc();
+        }
+        if !batch.is_empty() {
+            writer
+                .file
+                .write_all(batch)
+                .map_err(|e| io_err("append frames", &e))?;
+            writer.segment_len += batch.len() as u64;
+            obs.frames_appended.add(frames);
+            obs.bytes_written.add(batch.len() as u64);
+        }
+        let unsynced = writer.unsynced_frames.saturating_add(frames as u32);
+        let should_sync = force_sync
+            || match self.config.fsync {
+                FsyncPolicy::Always => true,
+                FsyncPolicy::Batch { max_frames } => unsynced >= max_frames,
+                FsyncPolicy::Never => false,
+            };
+        if should_sync {
+            let started = Instant::now();
+            writer
+                .file
+                .sync_data()
+                .map_err(|e| io_err("fsync journal", &e))?;
+            obs.fsync_seconds.observe_duration(started.elapsed());
+            writer.unsynced_frames = 0;
+        } else {
+            writer.unsynced_frames = unsynced;
+        }
+        Ok(())
+    }
+
+    /// Replaces the log's history with `snapshot`: flushes anything staged,
+    /// writes the snapshot records to a brand-new segment, fsyncs it, then
+    /// deletes every older segment.
+    ///
+    /// The caller must quiesce mutations for the duration (the key store
+    /// holds its own lock) and must pass a snapshot that reflects every
+    /// record submitted so far.
+    ///
+    /// # Errors
+    ///
+    /// [`QkdError::JournalError`] on any write or sync failure (the journal
+    /// poisons itself). Failure to *delete* a dead segment is not an error:
+    /// replay order still resets state at the snapshot.
+    pub fn compact(&self, snapshot: &[Record]) -> Result<CompactionStats> {
+        let mut writer = lock(&self.writer);
+        if let Some(reason) = &writer.failed {
+            return Err(QkdError::journal(reason.clone()));
+        }
+        let result = self.compact_locked(&mut writer, snapshot);
+        if let Err(err) = &result {
+            writer.failed = Some(err.to_string());
+            self.poisoned.store(true, Ordering::Release);
+        }
+        result
+    }
+
+    fn compact_locked(&self, writer: &mut Writer, snapshot: &[Record]) -> Result<CompactionStats> {
+        // Flush the stage into the old segment first so no staged frame is
+        // lost with the segments about to be deleted. (They are also in the
+        // snapshot, but a crash before the snapshot segment syncs must
+        // still find them.)
+        let (mut batch, frames, staged_seq) = {
+            let mut stage = lock(&self.stage);
+            let batch = std::mem::take(&mut stage.buf);
+            let frames = stage.frames;
+            stage.frames = 0;
+            (batch, frames, stage.staged_seq)
+        };
+        let flush = self.write_batch(writer, &batch, frames, true);
+        zeroize_bytes(&mut batch);
+        flush?;
+        self.durable_seq.store(staged_seq, Ordering::Release);
+
+        let retired_through = writer.segment_seq;
+        let next = retired_through + 1;
+        let mut stats = CompactionStats::default();
+        let mut buf = Vec::new();
+        for record in snapshot {
+            let mut payload = record.encode();
+            frame::append_frame(&payload, &mut buf);
+            zeroize_bytes(&mut payload);
+            stats.snapshot_frames += 1;
+        }
+        stats.snapshot_bytes = buf.len() as u64;
+        let mut file = create_segment(&self.dir, next)?;
+        let write = file
+            .write_all(&buf)
+            .and_then(|()| file.sync_data())
+            .map_err(|e| io_err("write snapshot segment", &e));
+        zeroize_bytes(&mut buf);
+        write?;
+        writer.file = file;
+        writer.segment_seq = next;
+        writer.segment_len = (frame::SEGMENT_HEADER_LEN as u64) + stats.snapshot_bytes;
+        writer.unsynced_frames = 0;
+
+        // The snapshot is durable; everything older is dead weight.
+        for (seq, path) in list_segments(&self.dir) {
+            if seq <= retired_through && fs::remove_file(&path).is_ok() {
+                stats.segments_removed += 1;
+            }
+        }
+        let obs = journal_obs();
+        obs.compactions.inc();
+        obs.frames_appended.add(stats.snapshot_frames);
+        obs.bytes_written.add(stats.snapshot_bytes);
+        Ok(stats)
+    }
+}
+
+/// Mutex acquisition that survives a poisoned lock (a panicking thread
+/// elsewhere must not wedge the journal; the data it guards stays
+/// internally consistent because every critical section completes or the
+/// journal poisons itself through `failed`).
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::replay;
+    use std::sync::atomic::{AtomicU32, Ordering as AtomicOrdering};
+    use std::sync::Arc;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        let n = NEXT.fetch_add(1, AtomicOrdering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("qkd-journal-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn deliver(link: u64, n_bits: u64) -> Record {
+        Record::Deliver {
+            link,
+            at_ms: n_bits,
+            n_bits,
+        }
+    }
+
+    #[test]
+    fn log_and_replay_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let journal = Journal::open(&dir, JournalConfig::default()).unwrap();
+        journal.log(&Record::Register { link: 0 }).unwrap();
+        journal.log(&deliver(0, 64)).unwrap();
+        drop(journal);
+        let replayed = replay(&dir).unwrap();
+        assert_eq!(replayed.records.len(), 2);
+        assert_eq!(replayed.records[0], Record::Register { link: 0 });
+        assert_eq!(replayed.records[1], deliver(0, 64));
+        assert!(!replayed.stats.torn_tail_recovered);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_covers_concurrent_submitters() {
+        let dir = temp_dir("group");
+        let journal = Arc::new(
+            Journal::open(
+                &dir,
+                JournalConfig {
+                    fsync: FsyncPolicy::Always,
+                    ..JournalConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let journal = Arc::clone(&journal);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        journal.log(&deliver(t, i)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        drop(journal);
+        let replayed = replay(&dir).unwrap();
+        assert_eq!(replayed.records.len(), 400);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_spreads_frames_across_segments() {
+        let dir = temp_dir("rotate");
+        let journal = Journal::open(
+            &dir,
+            JournalConfig {
+                segment_bytes: 256,
+                fsync: FsyncPolicy::Never,
+            },
+        )
+        .unwrap();
+        for i in 0..50 {
+            journal.log(&deliver(0, i)).unwrap();
+        }
+        journal.sync().unwrap();
+        assert!(journal.current_segment() > 1, "should have rotated");
+        drop(journal);
+        let replayed = replay(&dir).unwrap();
+        assert_eq!(replayed.records.len(), 50);
+        assert!(replayed.stats.segments > 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_starts_a_fresh_segment_and_keeps_history() {
+        let dir = temp_dir("reopen");
+        {
+            let journal = Journal::open(&dir, JournalConfig::default()).unwrap();
+            journal.log(&deliver(0, 1)).unwrap();
+        }
+        {
+            let journal = Journal::open(&dir, JournalConfig::default()).unwrap();
+            journal.log(&deliver(0, 2)).unwrap();
+            assert_eq!(journal.current_segment(), 2);
+        }
+        let replayed = replay(&dir).unwrap();
+        assert_eq!(replayed.records.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_repairs_a_torn_tail_in_place() {
+        let dir = temp_dir("repair");
+        {
+            let journal = Journal::open(&dir, JournalConfig::default()).unwrap();
+            journal.log(&deliver(0, 1)).unwrap();
+            journal.log(&deliver(0, 2)).unwrap();
+        }
+        // Tear the tail of segment 1 mid-frame.
+        let path = segment_path(&dir, 1);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        {
+            let journal = Journal::open(&dir, JournalConfig::default()).unwrap();
+            journal.log(&deliver(0, 3)).unwrap();
+        }
+        // Segment 1 is no longer final, but its torn frame was truncated
+        // away at open, so replay sees a clean multi-segment log.
+        let replayed = replay(&dir).unwrap();
+        assert_eq!(replayed.records, vec![deliver(0, 1), deliver(0, 3)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_truncates_history_to_a_snapshot() {
+        let dir = temp_dir("compact");
+        let journal = Journal::open(&dir, JournalConfig::default()).unwrap();
+        for i in 0..20 {
+            journal.log(&deliver(0, i)).unwrap();
+        }
+        let stats = journal
+            .compact(&[Record::Snapshot {
+                at_ms: 19,
+                links: Vec::new(),
+            }])
+            .unwrap();
+        assert_eq!(stats.snapshot_frames, 1);
+        assert!(stats.segments_removed >= 1);
+        journal.log(&deliver(0, 99)).unwrap();
+        drop(journal);
+        let replayed = replay(&dir).unwrap();
+        assert_eq!(
+            replayed.records,
+            vec![
+                Record::Snapshot {
+                    at_ms: 19,
+                    links: Vec::new()
+                },
+                deliver(0, 99)
+            ]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn submit_then_commit_orders_records() {
+        let dir = temp_dir("order");
+        let journal = Journal::open(&dir, JournalConfig::default()).unwrap();
+        let t1 = journal.submit(&deliver(0, 1)).unwrap();
+        let t2 = journal.submit(&deliver(0, 2)).unwrap();
+        // Committing the later ticket first must still cover the earlier.
+        journal.commit(t2).unwrap();
+        journal.commit(t1).unwrap();
+        drop(journal);
+        let replayed = replay(&dir).unwrap();
+        assert_eq!(replayed.records, vec![deliver(0, 1), deliver(0, 2)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

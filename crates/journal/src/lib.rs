@@ -1,0 +1,55 @@
+//! `qkd-journal`: the key store's durability tier — an append-only,
+//! checksummed write-ahead log with group-commit fsync, segment compaction
+//! and crash recovery.
+//!
+//! A restarted manager used to forget every deposited key, parked
+//! reservation and delivery serial. This crate makes the store's state
+//! survive: each mutation is encoded as a [`Record`], framed with a length
+//! prefix and CRC-32 ([`frame`]), appended to a segment file and made
+//! durable by a group-committed fsync ([`Journal`]) **before** the
+//! mutation is acknowledged to any caller. On startup, [`replay`] reads
+//! the segments back and the store re-applies the records, recovering
+//! parked reservations, TTL deadlines and `KeyId` serial continuity —
+//! serials are never reused after a restart, because a serial either
+//! reached the log (and replay re-burns it) or its request was never
+//! acknowledged (and handing the serial out again is indistinguishable
+//! from the first attempt).
+//!
+//! The pieces:
+//!
+//! * [`Record`] — one variant per store mutation (register / deposit /
+//!   deliver / reserve / redeem / expire / budget) plus the [`Record::Snapshot`]
+//!   compaction writes; key material rides in [`qkd_types::SecretBuf`] and
+//!   every scratch copy is zeroized behind it;
+//! * [`Journal`] — the WAL: cheap in-order staging under the store's lock
+//!   ([`Journal::submit`]), leader-elected batched write+fsync outside it
+//!   ([`Journal::commit`]), segment rotation, and snapshot
+//!   [`compaction`](Journal::compact) that truncates dead history;
+//! * [`replay`] — reads the segments back, tolerating a torn final frame
+//!   (a crash artifact that by construction corresponds to an
+//!   unacknowledged mutation) and refusing damage anywhere else;
+//! * [`StoreClock`] — the monotonic millisecond timeline that makes TTL
+//!   deadlines journal-able and restart-safe.
+//!
+//! The headline invariant (property-tested in `qkd-manager`): kill the
+//! process at **any byte prefix** of the journal, replay, and the
+//! recovered store's ledger reconciles bit-for-bit — and never re-delivers
+//! a redeemed key or reuses a serial.
+//!
+//! Wire-through lives in `qkd-manager` (`LinkManager::open_durable`) and
+//! `qkd-api` (server start-up recovery); this crate knows records and
+//! files, not stores.
+
+#![warn(missing_docs)]
+
+mod clock;
+pub mod frame;
+mod journal;
+mod obs;
+pub mod record;
+mod replay;
+
+pub use clock::StoreClock;
+pub use journal::{CompactionStats, FsyncPolicy, Journal, JournalConfig, Ticket};
+pub use record::{LinkSnapshot, Record, ReservationSnapshot, RECORD_VERSION};
+pub use replay::{replay, ReplayStats, Replayed};

@@ -1,0 +1,45 @@
+//! Journal metric handles (`qkd_journal_*` families).
+//!
+//! Handles are created once and shared by every journal in the process,
+//! mirroring the store's convention: handle methods are pure atomics, and
+//! `qkd_obs::registry()` (which takes the registry lock) is only ever
+//! called from the one-time initializer, never while a journal lock is
+//! held.
+
+use qkd_obs::{Counter, Histogram};
+
+pub(crate) struct JournalObs {
+    /// `qkd_journal_frames_appended_total`
+    pub frames_appended: Counter,
+    /// `qkd_journal_bytes_written_total`
+    pub bytes_written: Counter,
+    /// `qkd_journal_fsync_seconds`
+    pub fsync_seconds: Histogram,
+    /// `qkd_journal_segments_rotated_total`
+    pub segments_rotated: Counter,
+    /// `qkd_journal_compactions_total`
+    pub compactions: Counter,
+    /// `qkd_journal_replay_seconds`
+    pub replay_seconds: Histogram,
+    /// `qkd_journal_replayed_frames_total`
+    pub replayed_frames: Counter,
+    /// `qkd_journal_torn_tail_recoveries_total`
+    pub torn_tail_recoveries: Counter,
+}
+
+pub(crate) fn journal_obs() -> &'static JournalObs {
+    static OBS: std::sync::OnceLock<JournalObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let obs = qkd_obs::registry();
+        JournalObs {
+            frames_appended: obs.counter("qkd_journal_frames_appended_total", &[]),
+            bytes_written: obs.counter("qkd_journal_bytes_written_total", &[]),
+            fsync_seconds: obs.histogram("qkd_journal_fsync_seconds", &[]),
+            segments_rotated: obs.counter("qkd_journal_segments_rotated_total", &[]),
+            compactions: obs.counter("qkd_journal_compactions_total", &[]),
+            replay_seconds: obs.histogram("qkd_journal_replay_seconds", &[]),
+            replayed_frames: obs.counter("qkd_journal_replayed_frames_total", &[]),
+            torn_tail_recoveries: obs.counter("qkd_journal_torn_tail_recoveries_total", &[]),
+        }
+    })
+}

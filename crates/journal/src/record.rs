@@ -1,0 +1,719 @@
+//! The journal's logical records: one variant per key-store mutation, plus
+//! the snapshot record compaction writes.
+//!
+//! Records are the unit a frame carries. Each encodes to
+//! `[record version u8][kind u8][fields…]` with little-endian integers,
+//! `u32`-length-prefixed UTF-8 strings, `u8` presence tags for options, and
+//! bit buffers as a `u64` bit count followed by the packed bytes. Key
+//! material rides in [`SecretBuf`]s on both sides of the codec, and the
+//! encoder zeroizes its staging bytes the moment they are copied out, so
+//! secret bits never outlive the write path in plain heap memory.
+//!
+//! Replay semantics (applied by `qkd-manager`, which owns the store):
+//! mutation records re-run the mutation they logged; [`Record::Expire`]
+//! carries the *explicit* reclaimed serials so recovery can never expire
+//! more or less than the live process did; [`Record::Budget`] carries
+//! absolute totals (last one wins); [`Record::Snapshot`] resets the store
+//! to the carried state, which is what makes deleting pre-snapshot
+//! segments safe.
+//!
+//! This module is on the lint's panic-freedom hot path: decoding is
+//! `get`-checked end to end and returns [`QkdError::JournalError`] on any
+//! malformed input.
+
+use qkd_types::secret::zeroize_bytes;
+use qkd_types::{BitVec, QkdError, Result, SecretBuf};
+
+/// Version byte stamped into every record.
+pub const RECORD_VERSION: u8 = 1;
+
+const KIND_REGISTER: u8 = 1;
+const KIND_DEPOSIT: u8 = 2;
+const KIND_DELIVER: u8 = 3;
+const KIND_RESERVE: u8 = 4;
+const KIND_REDEEM: u8 = 5;
+const KIND_EXPIRE: u8 = 6;
+const KIND_BUDGET: u8 = 7;
+const KIND_SNAPSHOT: u8 = 8;
+
+/// A parked reservation inside a [`Record::Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReservationSnapshot {
+    /// Delivery serial the reservation is parked under.
+    pub serial: u64,
+    /// Security parameter frozen at reservation time.
+    pub epsilon: f64,
+    /// Claimant tag the pickup must present.
+    pub claim: Option<String>,
+    /// Absolute store-clock deadline in milliseconds, if the reservation
+    /// carries a TTL.
+    pub expires_at_ms: Option<u64>,
+    /// The parked key bits.
+    pub bits: SecretBuf,
+}
+
+/// One link's full state inside a [`Record::Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkSnapshot {
+    /// Link id.
+    pub link: u64,
+    /// Union-bound epsilon over every block deposited so far.
+    pub epsilon: f64,
+    /// Lifetime bits deposited.
+    pub deposited_bits: u64,
+    /// Lifetime bits delivered.
+    pub delivered_bits: u64,
+    /// Next delivery serial (serial continuity across restarts).
+    pub keys_delivered: u64,
+    /// Lifetime blocks deposited.
+    pub blocks_deposited: u64,
+    /// Lifetime reservations reclaimed by TTL expiry.
+    pub reservations_expired: u64,
+    /// The available pool (undelivered bits, delivery order).
+    pub pool: SecretBuf,
+    /// Reservations still parked for pickup.
+    pub parked: Vec<ReservationSnapshot>,
+}
+
+/// One journaled event. See the module docs for encoding and replay
+/// semantics. `at_ms` stamps are [`StoreClock`](crate::StoreClock) readings
+/// at submission time; recovery advances the clock past the largest stamp
+/// so surviving TTLs keep their remaining budget.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A link slot was created.
+    Register {
+        /// Link id.
+        link: u64,
+    },
+    /// A distilled block's secret bits entered the pool.
+    Deposit {
+        /// Link id.
+        link: u64,
+        /// Store-clock stamp (ms).
+        at_ms: u64,
+        /// The block's epsilon contribution.
+        epsilon: f64,
+        /// The deposited bits.
+        bits: SecretBuf,
+    },
+    /// Bits were drained and a delivery serial burned (`get_key`).
+    Deliver {
+        /// Link id.
+        link: u64,
+        /// Store-clock stamp (ms).
+        at_ms: u64,
+        /// Bits drained.
+        n_bits: u64,
+    },
+    /// Keys were drained and parked for pickup-by-ID (`reserve_keys`).
+    Reserve {
+        /// Link id.
+        link: u64,
+        /// Store-clock stamp (ms).
+        at_ms: u64,
+        /// Number of keys reserved.
+        count: u64,
+        /// Size of each key in bits.
+        size_bits: u64,
+        /// Claimant tag pickups must present.
+        claim: Option<String>,
+        /// Absolute store-clock deadline (ms) shared by the batch, if any.
+        expires_at_ms: Option<u64>,
+    },
+    /// Parked reservations were picked up (`get_key_by_id` /
+    /// `get_keys_by_id`).
+    Redeem {
+        /// Store-clock stamp (ms).
+        at_ms: u64,
+        /// `(link, serial)` of every redeemed reservation.
+        ids: Vec<(u64, u64)>,
+    },
+    /// The TTL sweeper reclaimed reservations. The list is explicit so
+    /// replay reclaims exactly what the live process did.
+    Expire {
+        /// Store-clock stamp (ms).
+        at_ms: u64,
+        /// `(link, serial)` of every reclaimed reservation.
+        expired: Vec<(u64, u64)>,
+    },
+    /// An SAE's budget counters moved (absolute values; last record wins).
+    Budget {
+        /// SAE id.
+        sae: String,
+        /// Lifetime requests consumed.
+        requests_used: u64,
+        /// Lifetime key bits consumed.
+        key_bits_used: u64,
+    },
+    /// Full store state as of compaction; resets the store on replay.
+    Snapshot {
+        /// Store-clock stamp (ms).
+        at_ms: u64,
+        /// Every link's state.
+        links: Vec<LinkSnapshot>,
+    },
+}
+
+impl Record {
+    /// Short kind name for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Record::Register { .. } => "register",
+            Record::Deposit { .. } => "deposit",
+            Record::Deliver { .. } => "deliver",
+            Record::Reserve { .. } => "reserve",
+            Record::Redeem { .. } => "redeem",
+            Record::Expire { .. } => "expire",
+            Record::Budget { .. } => "budget",
+            Record::Snapshot { .. } => "snapshot",
+        }
+    }
+
+    /// The record's store-clock stamp, for clock recovery (records that do
+    /// not advance the clock return `None`).
+    pub fn at_ms(&self) -> Option<u64> {
+        match self {
+            Record::Register { .. } | Record::Budget { .. } => None,
+            Record::Deposit { at_ms, .. }
+            | Record::Deliver { at_ms, .. }
+            | Record::Reserve { at_ms, .. }
+            | Record::Redeem { at_ms, .. }
+            | Record::Expire { at_ms, .. }
+            | Record::Snapshot { at_ms, .. } => Some(*at_ms),
+        }
+    }
+
+    /// Serializes the record into a fresh frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Record::Register { link } => {
+                w.u8(KIND_REGISTER);
+                w.u64(*link);
+            }
+            Record::Deposit {
+                link,
+                at_ms,
+                epsilon,
+                bits,
+            } => {
+                w.u8(KIND_DEPOSIT);
+                w.u64(*link);
+                w.u64(*at_ms);
+                w.f64(*epsilon);
+                w.bits(bits);
+            }
+            Record::Deliver {
+                link,
+                at_ms,
+                n_bits,
+            } => {
+                w.u8(KIND_DELIVER);
+                w.u64(*link);
+                w.u64(*at_ms);
+                w.u64(*n_bits);
+            }
+            Record::Reserve {
+                link,
+                at_ms,
+                count,
+                size_bits,
+                claim,
+                expires_at_ms,
+            } => {
+                w.u8(KIND_RESERVE);
+                w.u64(*link);
+                w.u64(*at_ms);
+                w.u64(*count);
+                w.u64(*size_bits);
+                w.opt_str(claim.as_deref());
+                w.opt_u64(*expires_at_ms);
+            }
+            Record::Redeem { at_ms, ids } => {
+                w.u8(KIND_REDEEM);
+                w.u64(*at_ms);
+                w.pairs(ids);
+            }
+            Record::Expire { at_ms, expired } => {
+                w.u8(KIND_EXPIRE);
+                w.u64(*at_ms);
+                w.pairs(expired);
+            }
+            Record::Budget {
+                sae,
+                requests_used,
+                key_bits_used,
+            } => {
+                w.u8(KIND_BUDGET);
+                w.str(sae);
+                w.u64(*requests_used);
+                w.u64(*key_bits_used);
+            }
+            Record::Snapshot { at_ms, links } => {
+                w.u8(KIND_SNAPSHOT);
+                w.u64(*at_ms);
+                w.u32(links.len() as u32);
+                for ls in links {
+                    w.u64(ls.link);
+                    w.f64(ls.epsilon);
+                    w.u64(ls.deposited_bits);
+                    w.u64(ls.delivered_bits);
+                    w.u64(ls.keys_delivered);
+                    w.u64(ls.blocks_deposited);
+                    w.u64(ls.reservations_expired);
+                    w.bits(&ls.pool);
+                    w.u32(ls.parked.len() as u32);
+                    for r in &ls.parked {
+                        w.u64(r.serial);
+                        w.f64(r.epsilon);
+                        w.opt_str(r.claim.as_deref());
+                        w.opt_u64(r.expires_at_ms);
+                        w.bits(&r.bits);
+                    }
+                }
+            }
+        }
+        w.finish()
+    }
+
+    /// Parses one record from a checksum-valid frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`QkdError::JournalError`] for an unknown record version or kind, a
+    /// short or overlong payload, or a malformed field. A CRC-valid frame
+    /// only fails here on a format bug or a foreign writer, never on a
+    /// crash, so the replayer treats this as fatal rather than torn.
+    pub fn decode(payload: &[u8]) -> Result<Record> {
+        let mut r = Reader::new(payload);
+        let version = r.u8()?;
+        if version != RECORD_VERSION {
+            return Err(QkdError::journal(format!(
+                "unknown record version {version} (this build reads {RECORD_VERSION})"
+            )));
+        }
+        let kind = r.u8()?;
+        let record = match kind {
+            KIND_REGISTER => Record::Register { link: r.u64()? },
+            KIND_DEPOSIT => Record::Deposit {
+                link: r.u64()?,
+                at_ms: r.u64()?,
+                epsilon: r.f64()?,
+                bits: r.bits()?,
+            },
+            KIND_DELIVER => Record::Deliver {
+                link: r.u64()?,
+                at_ms: r.u64()?,
+                n_bits: r.u64()?,
+            },
+            KIND_RESERVE => Record::Reserve {
+                link: r.u64()?,
+                at_ms: r.u64()?,
+                count: r.u64()?,
+                size_bits: r.u64()?,
+                claim: r.opt_string()?,
+                expires_at_ms: r.opt_u64()?,
+            },
+            KIND_REDEEM => Record::Redeem {
+                at_ms: r.u64()?,
+                ids: r.pairs()?,
+            },
+            KIND_EXPIRE => Record::Expire {
+                at_ms: r.u64()?,
+                expired: r.pairs()?,
+            },
+            KIND_BUDGET => Record::Budget {
+                sae: r.string()?,
+                requests_used: r.u64()?,
+                key_bits_used: r.u64()?,
+            },
+            KIND_SNAPSHOT => {
+                let at_ms = r.u64()?;
+                let count = r.checked_count(4)?;
+                let mut links = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let link = r.u64()?;
+                    let epsilon = r.f64()?;
+                    let deposited_bits = r.u64()?;
+                    let delivered_bits = r.u64()?;
+                    let keys_delivered = r.u64()?;
+                    let blocks_deposited = r.u64()?;
+                    let reservations_expired = r.u64()?;
+                    let pool = r.bits()?;
+                    let parked_count = r.checked_count(8)?;
+                    let mut parked = Vec::with_capacity(parked_count);
+                    for _ in 0..parked_count {
+                        parked.push(ReservationSnapshot {
+                            serial: r.u64()?,
+                            epsilon: r.f64()?,
+                            claim: r.opt_string()?,
+                            expires_at_ms: r.opt_u64()?,
+                            bits: r.bits()?,
+                        });
+                    }
+                    links.push(LinkSnapshot {
+                        link,
+                        epsilon,
+                        deposited_bits,
+                        delivered_bits,
+                        keys_delivered,
+                        blocks_deposited,
+                        reservations_expired,
+                        pool,
+                        parked,
+                    });
+                }
+                Record::Snapshot { at_ms, links }
+            }
+            other => {
+                return Err(QkdError::journal(format!("unknown record kind {other}")));
+            }
+        };
+        r.finish()?;
+        Ok(record)
+    }
+}
+
+fn truncated() -> QkdError {
+    QkdError::journal("record payload shorter than its fields")
+}
+
+/// Byte-stream writer for record encoding. Scratch copies of key material
+/// are zeroized as soon as they are appended.
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer {
+            buf: vec![RECORD_VERSION],
+        }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn opt_str(&mut self, s: Option<&str>) {
+        match s {
+            Some(s) => {
+                self.u8(1);
+                self.str(s);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(v) => {
+                self.u8(1);
+                self.u64(v);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    fn bits(&mut self, bits: &BitVec) {
+        self.u64(bits.len() as u64);
+        let mut bytes = bits.to_bytes();
+        self.buf.extend_from_slice(&bytes);
+        zeroize_bytes(&mut bytes);
+    }
+
+    fn pairs(&mut self, pairs: &[(u64, u64)]) {
+        self.u32(pairs.len() as u32);
+        for &(a, b) in pairs {
+            self.u64(a);
+            self.u64(b);
+        }
+    }
+
+    fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Checked byte-stream reader for record decoding; every read is bounds-
+/// validated so truncated or hostile payloads produce typed errors, never
+/// panics or unbounded allocations.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or_else(truncated)?;
+        let slice = self.buf.get(self.pos..end).ok_or_else(truncated)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.bytes(1)?.first().copied().unwrap_or(0))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(self.bytes(4)?);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.bytes(8)?);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.bytes(8)?);
+        Ok(f64::from_le_bytes(b))
+    }
+
+    /// Reads a `u32` element count and validates it against the bytes left
+    /// (each element occupies at least `min_elem_bytes`), so a corrupt
+    /// count cannot drive a huge allocation.
+    fn checked_count(&mut self, min_elem_bytes: usize) -> Result<usize> {
+        let count = self.u32()? as usize;
+        if count.saturating_mul(min_elem_bytes) > self.remaining() {
+            return Err(QkdError::journal(format!(
+                "element count {count} exceeds the bytes remaining in the record"
+            )));
+        }
+        Ok(count)
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let len = self.checked_count(1)?;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| QkdError::journal("record string is not valid UTF-8"))
+    }
+
+    fn opt_string(&mut self) -> Result<Option<String>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.string()?)),
+            tag => Err(QkdError::journal(format!("invalid option tag {tag}"))),
+        }
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            tag => Err(QkdError::journal(format!("invalid option tag {tag}"))),
+        }
+    }
+
+    fn bits(&mut self) -> Result<SecretBuf> {
+        let bit_len = self.u64()?;
+        let bit_len = usize::try_from(bit_len)
+            .map_err(|_| QkdError::journal("bit count does not fit this platform"))?;
+        let byte_len = bit_len.div_ceil(8);
+        if byte_len > self.remaining() {
+            return Err(truncated());
+        }
+        let bytes = self.bytes(byte_len)?;
+        Ok(SecretBuf::from_bits(BitVec::from_bytes(bytes, bit_len)))
+    }
+
+    fn pairs(&mut self) -> Result<Vec<(u64, u64)>> {
+        let count = self.checked_count(16)?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let a = self.u64()?;
+            let b = self.u64()?;
+            out.push((a, b));
+        }
+        Ok(out)
+    }
+
+    fn finish(self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(QkdError::journal(format!(
+                "{} trailing bytes after a complete record",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkd_types::rng::derive_rng;
+
+    fn sample_records() -> Vec<Record> {
+        let mut rng = derive_rng(7, "journal-record-test");
+        vec![
+            Record::Register { link: 3 },
+            Record::Deposit {
+                link: 0,
+                at_ms: 12,
+                epsilon: 1e-10,
+                bits: SecretBuf::from_bits(BitVec::random(&mut rng, 257)),
+            },
+            Record::Deliver {
+                link: 1,
+                at_ms: 40,
+                n_bits: 128,
+            },
+            Record::Reserve {
+                link: 0,
+                at_ms: 55,
+                count: 3,
+                size_bits: 64,
+                claim: Some("sae-bob".into()),
+                expires_at_ms: Some(5_055),
+            },
+            Record::Reserve {
+                link: 2,
+                at_ms: 56,
+                count: 1,
+                size_bits: 256,
+                claim: None,
+                expires_at_ms: None,
+            },
+            Record::Redeem {
+                at_ms: 60,
+                ids: vec![(0, 4), (0, 5), (2, 0)],
+            },
+            Record::Expire {
+                at_ms: 9_000,
+                expired: vec![(0, 6)],
+            },
+            Record::Budget {
+                sae: "sae-alice".into(),
+                requests_used: 17,
+                key_bits_used: 4_096,
+            },
+            Record::Snapshot {
+                at_ms: 10_000,
+                links: vec![
+                    LinkSnapshot {
+                        link: 0,
+                        epsilon: 2e-10,
+                        deposited_bits: 1_000,
+                        delivered_bits: 400,
+                        keys_delivered: 7,
+                        blocks_deposited: 2,
+                        reservations_expired: 1,
+                        pool: SecretBuf::from_bits(BitVec::random(&mut rng, 600)),
+                        parked: vec![ReservationSnapshot {
+                            serial: 6,
+                            epsilon: 2e-10,
+                            claim: Some("sae-bob".into()),
+                            expires_at_ms: Some(11_000),
+                            bits: SecretBuf::from_bits(BitVec::random(&mut rng, 64)),
+                        }],
+                    },
+                    LinkSnapshot {
+                        link: 5,
+                        epsilon: 0.0,
+                        deposited_bits: 0,
+                        delivered_bits: 0,
+                        keys_delivered: 0,
+                        blocks_deposited: 0,
+                        reservations_expired: 0,
+                        pool: SecretBuf::new(),
+                        parked: Vec::new(),
+                    },
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn every_record_roundtrips() {
+        for record in sample_records() {
+            let payload = record.encode();
+            let back =
+                Record::decode(&payload).unwrap_or_else(|e| panic!("{}: {e}", record.kind()));
+            assert_eq!(back, record, "{} roundtrip", record.kind());
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_error_not_panic() {
+        for record in sample_records() {
+            let payload = record.encode();
+            for cut in 0..payload.len() {
+                assert!(
+                    Record::decode(&payload[..cut]).is_err(),
+                    "{} truncated at {cut} must not decode",
+                    record.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = Record::Register { link: 1 }.encode();
+        payload.push(0);
+        assert!(Record::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn unknown_version_and_kind_are_rejected() {
+        let mut payload = Record::Register { link: 1 }.encode();
+        let saved = payload.clone();
+        payload[0] = 99;
+        assert!(Record::decode(&payload).is_err());
+        let mut payload = saved;
+        payload[1] = 200;
+        assert!(Record::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn hostile_counts_do_not_allocate() {
+        // Redeem with a count claiming 2^32-1 pairs but no bytes behind it.
+        let mut payload = vec![RECORD_VERSION, 5];
+        payload.extend_from_slice(&0u64.to_le_bytes()); // at_ms
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // count
+        assert!(Record::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn at_ms_covers_clock_bearing_records() {
+        for record in sample_records() {
+            match record {
+                Record::Register { .. } | Record::Budget { .. } => {
+                    assert_eq!(record.at_ms(), None)
+                }
+                _ => assert!(record.at_ms().is_some(), "{}", record.kind()),
+            }
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Reading a journal back: segment ordering, frame scanning, record
+//! decoding, and the torn-tail policy.
+//!
+//! [`replay`] walks every segment in ascending sequence order and returns
+//! the decoded records exactly as they were committed. The failure model
+//! follows from how the writer behaves (see `journal.rs`): a torn or
+//! checksum-failing frame is **routine in the final segment** (the process
+//! died mid-append; the record was never acknowledged, so dropping it is
+//! correct) and **fatal anywhere else** (earlier segments were sealed with
+//! an fsync before the next was opened, so damage there is real
+//! corruption, not a crash artifact).
+//!
+//! Applying the records to rebuild a `KeyStore` is the store's own
+//! business (`qkd-manager`), keeping this crate free of store internals.
+
+use std::fs;
+use std::path::Path;
+use std::time::Instant;
+
+use qkd_types::secret::zeroize_bytes;
+use qkd_types::{QkdError, Result};
+
+use crate::frame::{self, Tail};
+use crate::journal::list_segments;
+use crate::obs::journal_obs;
+use crate::record::Record;
+
+/// What [`replay`] saw on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Segment files read.
+    pub segments: u64,
+    /// Checksum-valid frames decoded.
+    pub frames: u64,
+    /// Bytes of journal read (headers and torn tails included).
+    pub bytes: u64,
+    /// Whether the final segment ended in a torn tail that was dropped.
+    pub torn_tail_recovered: bool,
+    /// Bytes discarded with the torn tail, if any.
+    pub torn_tail_bytes: u64,
+    /// Largest store-clock stamp seen across all records, for
+    /// [`StoreClock::advance_to`](crate::StoreClock::advance_to).
+    pub max_at_ms: u64,
+}
+
+/// A journal read back from disk: the committed records in order, plus
+/// what the reader saw.
+#[derive(Debug)]
+pub struct Replayed {
+    /// Every committed record, oldest first.
+    pub records: Vec<Record>,
+    /// Reader accounting.
+    pub stats: ReplayStats,
+}
+
+/// Reads every record committed to the journal at `dir`. A missing or
+/// empty directory replays to an empty record list (a fresh store).
+///
+/// # Errors
+///
+/// [`QkdError::JournalError`] for a torn or checksum-failing frame in a
+/// non-final segment, a segment with a foreign header, or a CRC-valid
+/// frame that fails to decode (format bug, not crash damage).
+pub fn replay(dir: impl AsRef<Path>) -> Result<Replayed> {
+    let started = Instant::now();
+    let dir = dir.as_ref();
+    let segments = list_segments(dir);
+    let mut records = Vec::new();
+    let mut stats = ReplayStats::default();
+    let last_index = segments.len().saturating_sub(1);
+    for (index, (seq, path)) in segments.iter().enumerate() {
+        let is_final = index == last_index;
+        let mut bytes =
+            fs::read(path).map_err(|e| QkdError::journal(format!("read segment: {e}")))?;
+        stats.segments += 1;
+        stats.bytes += bytes.len() as u64;
+        let outcome = read_segment(*seq, &bytes, is_final, &mut records, &mut stats);
+        // The raw file image holds every deposited key bit; scrub it as
+        // soon as the records (which carry their bits in `SecretBuf`s)
+        // have been copied out.
+        zeroize_bytes(&mut bytes);
+        outcome.map_err(|e| QkdError::journal(format!("segment {}: {e}", path.display())))?;
+    }
+    let obs = journal_obs();
+    obs.replay_seconds.observe_duration(started.elapsed());
+    obs.replayed_frames.add(stats.frames);
+    if stats.torn_tail_recovered {
+        obs.torn_tail_recoveries.inc();
+    }
+    Ok(Replayed { records, stats })
+}
+
+fn read_segment(
+    seq: u64,
+    bytes: &[u8],
+    is_final: bool,
+    records: &mut Vec<Record>,
+    stats: &mut ReplayStats,
+) -> Result<()> {
+    match frame::check_segment_header(bytes) {
+        frame::HeaderCheck::Valid { seq: header_seq } => {
+            if header_seq != seq {
+                return Err(QkdError::journal(format!(
+                    "header claims segment {header_seq}, file name says {seq}"
+                )));
+            }
+        }
+        frame::HeaderCheck::Truncated if is_final => {
+            // Crash while creating the file: nothing was ever committed to
+            // it, so there is nothing to lose.
+            stats.torn_tail_recovered = true;
+            stats.torn_tail_bytes += bytes.len() as u64;
+            return Ok(());
+        }
+        frame::HeaderCheck::Truncated => {
+            return Err(QkdError::journal("truncated header in non-final segment"));
+        }
+        frame::HeaderCheck::BadMagic => {
+            return Err(QkdError::journal("bad magic (not a journal segment)"));
+        }
+        frame::HeaderCheck::BadVersion { found } => {
+            return Err(QkdError::journal(format!(
+                "unsupported format version {found} (this build reads {})",
+                frame::FORMAT_VERSION
+            )));
+        }
+    }
+    let region = bytes.get(frame::SEGMENT_HEADER_LEN..).unwrap_or(&[]);
+    let scanned = frame::scan_frames(region);
+    match scanned.tail {
+        Tail::Clean => {}
+        Tail::Torn { offset } if is_final => {
+            stats.torn_tail_recovered = true;
+            stats.torn_tail_bytes += (region.len() - offset) as u64;
+        }
+        Tail::Torn { offset } => {
+            return Err(QkdError::journal(format!(
+                "torn frame at byte {} of a non-final segment",
+                frame::SEGMENT_HEADER_LEN + offset
+            )));
+        }
+    }
+    for payload in scanned.payloads {
+        let record = Record::decode(payload)?;
+        stats.frames += 1;
+        if let Some(at_ms) = record.at_ms() {
+            stats.max_at_ms = stats.max_at_ms.max(at_ms);
+        }
+        records.push(record);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{Journal, JournalConfig};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("qkd-replay-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fill(dir: &Path, n: u64) {
+        let journal = Journal::open(dir, JournalConfig::default()).unwrap();
+        for i in 0..n {
+            journal
+                .log(&Record::Deliver {
+                    link: 0,
+                    at_ms: i,
+                    n_bits: 8,
+                })
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn missing_directory_replays_empty() {
+        let replayed = replay(temp_dir("missing")).unwrap();
+        assert!(replayed.records.is_empty());
+        assert_eq!(replayed.stats, ReplayStats::default());
+    }
+
+    #[test]
+    fn max_at_ms_tracks_the_newest_stamp() {
+        let dir = temp_dir("stamps");
+        fill(&dir, 5);
+        let replayed = replay(&dir).unwrap();
+        assert_eq!(replayed.stats.max_at_ms, 4);
+        assert_eq!(replayed.stats.frames, 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_in_final_segment_is_recovered() {
+        let dir = temp_dir("torn-final");
+        fill(&dir, 3);
+        // Tear the last frame of the newest segment.
+        let (_, path) = list_segments(&dir).pop().unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+        let replayed = replay(&dir).unwrap();
+        assert_eq!(replayed.records.len(), 2);
+        assert!(replayed.stats.torn_tail_recovered);
+        assert!(replayed.stats.torn_tail_bytes > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_frame_in_non_final_segment_is_fatal() {
+        let dir = temp_dir("torn-mid");
+        fill(&dir, 3);
+        fill(&dir, 1); // second open → segment 2 exists
+        let (_, first) = list_segments(&dir).into_iter().next().unwrap();
+        let bytes = fs::read(&first).unwrap();
+        fs::write(&first, &bytes[..bytes.len() - 1]).unwrap();
+        let err = replay(&dir).unwrap_err();
+        assert!(err.to_string().contains("non-final"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn header_seq_mismatch_is_fatal() {
+        let dir = temp_dir("misnamed");
+        fill(&dir, 1);
+        let (_, path) = list_segments(&dir).into_iter().next().unwrap();
+        let renamed = dir.join("wal-00000009.qkdj");
+        fs::rename(&path, &renamed).unwrap();
+        assert!(replay(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn headerless_final_segment_is_recovered() {
+        let dir = temp_dir("headerless");
+        fill(&dir, 2);
+        // Simulate a crash during the *next* segment's creation.
+        fs::write(dir.join("wal-00000002.qkdj"), b"QK").unwrap();
+        let replayed = replay(&dir).unwrap();
+        assert_eq!(replayed.records.len(), 2);
+        assert!(replayed.stats.torn_tail_recovered);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

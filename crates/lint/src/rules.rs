@@ -19,6 +19,10 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/api/src/http.rs",
     "crates/api/src/router.rs",
     "crates/api/src/server.rs",
+    "crates/journal/src/frame.rs",
+    "crates/journal/src/journal.rs",
+    "crates/journal/src/record.rs",
+    "crates/journal/src/replay.rs",
     "crates/ldpc/src/decoder.rs",
     "crates/ldpc/src/simd.rs",
     "crates/manager/src/store.rs",

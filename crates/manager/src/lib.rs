@@ -56,4 +56,4 @@ pub mod store;
 pub use manager::LinkManager;
 pub use report::{jain_index, FleetLedger, FleetReport, LinkLedger, LinkReport};
 pub use spec::{Admission, AdmissionPolicy, FleetConfig, LinkSpec};
-pub use store::{DeliveredKey, KeyId, KeyStatus, KeyStore};
+pub use store::{DeliveredKey, KeyId, KeyStatus, KeyStore, RecoveredBudget};

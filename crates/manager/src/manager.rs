@@ -33,7 +33,7 @@ use qkd_types::{BitVec, DetectionEvent, QkdError, Result};
 
 use crate::report::{FleetLedger, FleetReport, LinkLedger, LinkReport};
 use crate::spec::{Admission, AdmissionPolicy, FleetConfig, LinkSpec};
-use crate::store::KeyStore;
+use crate::store::{KeyStore, RecoveredBudget};
 
 /// Registry handles for one link's fleet-level telemetry, labelled
 /// `{fleet="fleet<N>", link="<id>"}` so concurrent fleets in one process
@@ -225,6 +225,9 @@ pub struct LinkManager {
     config: FleetConfig,
     links: Vec<LinkRuntime>,
     store: Arc<KeyStore>,
+    /// SAE budgets restored by [`LinkManager::open_durable`], for the
+    /// delivery tier to seed its registry with. Empty for in-memory fleets.
+    recovered_budgets: Vec<RecoveredBudget>,
     last_wall: Duration,
     /// Telemetry instance label (`fleet0`, `fleet1`, …) distinguishing this
     /// fleet's metric series from other fleets in the same process.
@@ -253,9 +256,61 @@ impl LinkManager {
             config,
             links: Vec::new(),
             store: Arc::new(KeyStore::default()),
+            recovered_budgets: Vec::new(),
             last_wall: Duration::ZERO,
             fleet: qkd_obs::next_instance("fleet"),
         })
+    }
+
+    /// Creates a fleet whose key store is **durable**: backed by the
+    /// write-ahead journal at `dir` (created empty if absent). Whatever a
+    /// previous process journaled there — deposited pools, parked
+    /// reservations, TTL deadlines, delivery serials, SAE budgets — is
+    /// replayed into the store before the fleet starts, and every store
+    /// mutation from here on is made durable before it is acknowledged.
+    ///
+    /// Links added with [`LinkManager::add_link`] reuse the recovered
+    /// per-link state: link ids are dense from 0 in both lives, so a fleet
+    /// reopened with the same specs continues each link's pool and serial
+    /// stream where the last process left them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::InvalidParameter`] when the config is invalid,
+    /// or [`QkdError::JournalError`] when the journal cannot be read,
+    /// replayed or reopened for appending.
+    pub fn open_durable(config: FleetConfig, dir: impl AsRef<std::path::Path>) -> Result<Self> {
+        Self::open_durable_with(config, dir, qkd_journal::JournalConfig::default())
+    }
+
+    /// [`LinkManager::open_durable`] with explicit journal tuning (segment
+    /// size, fsync policy).
+    ///
+    /// # Errors
+    ///
+    /// As [`LinkManager::open_durable`].
+    pub fn open_durable_with(
+        config: FleetConfig,
+        dir: impl AsRef<std::path::Path>,
+        journal_config: qkd_journal::JournalConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        let (store, recovered_budgets) = KeyStore::open_durable(dir, journal_config)?;
+        Ok(Self {
+            config,
+            links: Vec::new(),
+            store: Arc::new(store),
+            recovered_budgets,
+            last_wall: Duration::ZERO,
+            fleet: qkd_obs::next_instance("fleet"),
+        })
+    }
+
+    /// SAE budgets restored from the journal (empty for in-memory fleets).
+    /// The delivery tier seeds its registry with these so consumers cannot
+    /// reset their rate limits by crashing the manager.
+    pub fn recovered_budgets(&self) -> &[RecoveredBudget] {
+        &self.recovered_budgets
     }
 
     /// Adds a link to the fleet, returning its id (dense, starting at 0).
@@ -269,7 +324,7 @@ impl LinkManager {
         let processor = spec.solo_processor()?;
         let source = spec.key_source()?;
         let link = self.links.len();
-        self.store.register(link);
+        self.store.register(link)?;
         self.links.push(LinkRuntime {
             spec,
             cell: Mutex::new(LinkCell {
@@ -484,26 +539,38 @@ impl LinkManager {
                 cell.batches_processed += 1;
                 cell.obs.processed.inc();
                 let mut completed = 1usize;
-                match outcome {
+                // A batch fails the link either in the engine (decode abort)
+                // or at the store door (the journal refused to make a
+                // deposit durable — key the log cannot capture must not
+                // accumulate). Both quarantine the link, not the fleet.
+                let failure = match outcome {
                     Ok(results) => {
                         let block_bits = self.links[link].spec.block_bits;
+                        let mut failure = None;
                         for result in &results {
-                            self.store.deposit(link, &result.secret_key);
-                            record_block(&mut cell.throughput, result, block_bits);
+                            match self.store.deposit(link, &result.secret_key) {
+                                Ok(()) => record_block(&mut cell.throughput, result, block_bits),
+                                Err(e) => {
+                                    failure = Some(e);
+                                    break;
+                                }
+                            }
                         }
+                        failure
                     }
-                    Err(e) => {
-                        // Fatal for the link, not the fleet: drop its backlog
-                        // and stop servicing it.
-                        let dropped = cell.pending.len();
-                        cell.pending.clear();
-                        cell.batches_abandoned += dropped as u64;
-                        cell.obs.abandoned.add(dropped as u64);
-                        cell.obs.quarantines.inc();
-                        qkd_obs::event!(Warn, "manager", "link {link} quarantined: {e}");
-                        cell.failed = Some(e);
-                        completed += dropped;
-                    }
+                    Err(e) => Some(e),
+                };
+                if let Some(e) = failure {
+                    // Fatal for the link, not the fleet: drop its backlog
+                    // and stop servicing it.
+                    let dropped = cell.pending.len();
+                    cell.pending.clear();
+                    cell.batches_abandoned += dropped as u64;
+                    cell.obs.abandoned.add(dropped as u64);
+                    cell.obs.quarantines.inc();
+                    qkd_obs::event!(Warn, "manager", "link {link} quarantined: {e}");
+                    cell.failed = Some(e);
+                    completed += dropped;
                 }
                 cell.obs.backlog.set(cell.pending.len() as f64);
                 let requeue = cell.failed.is_none() && !cell.pending.is_empty();
@@ -579,21 +646,26 @@ impl LinkManager {
             }
             let secret_bits_out = cell.processor.summary().secret_bits_out;
             let healthy = cell.failed.is_none();
-            if healthy && status.deposited_bits != secret_bits_out {
+            // A recovered store carries deposits from the previous life;
+            // this run's engines only account for their own, so compare
+            // against the delta above the replayed baseline.
+            let recovered = self.store.recovered_bits(link);
+            let deposited_this_run = status.deposited_bits.saturating_sub(recovered);
+            if healthy && deposited_this_run != secret_bits_out {
                 return Err(QkdError::invalid_parameter(
                     "key_store",
                     format!(
-                        "link {link} deposited {} bits but its session distilled {}",
-                        status.deposited_bits, secret_bits_out
+                        "link {link} deposited {} bits this run ({} total, {} recovered) but its session distilled {}",
+                        deposited_this_run, status.deposited_bits, recovered, secret_bits_out
                     ),
                 ));
             }
-            if !healthy && status.deposited_bits > secret_bits_out {
+            if !healthy && deposited_this_run > secret_bits_out {
                 return Err(QkdError::invalid_parameter(
                     "key_store",
                     format!(
-                        "failed link {link} deposited {} bits, more than its session's {}",
-                        status.deposited_bits, secret_bits_out
+                        "failed link {link} deposited {} bits this run, more than its session's {}",
+                        deposited_this_run, secret_bits_out
                     ),
                 ));
             }

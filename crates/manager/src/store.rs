@@ -29,8 +29,13 @@
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use qkd_journal::{
+    CompactionStats, Journal, LinkSnapshot, Record, Replayed, ReservationSnapshot, StoreClock,
+    Ticket,
+};
 use qkd_types::{QkdError, Result, SecretBuf, SecretKey};
 
 /// Registry handles for the store-level families. Shared by every store in
@@ -184,9 +189,10 @@ struct Reservation {
     /// claim is answered exactly like a non-existent ID, so a foreign
     /// consumer can neither redeem nor probe for the reservation.
     claim: Option<String>,
-    /// Deadline after which the sweeper may reclaim the reservation; `None`
-    /// parks the key forever (the pre-TTL behaviour).
-    expires_at: Option<Instant>,
+    /// Deadline after which the sweeper may reclaim the reservation, as an
+    /// absolute [`StoreClock`] millisecond (journal-able, so it survives a
+    /// restart); `None` parks the key forever (the pre-TTL behaviour).
+    expires_at: Option<u64>,
 }
 
 impl std::fmt::Debug for Reservation {
@@ -211,6 +217,11 @@ struct LinkStore {
     blocks_deposited: u64,
     reservations_expired: u64,
     epsilon: f64,
+    /// Bits of `deposited_bits` that were restored by journal replay rather
+    /// than deposited by this process's engines. The fleet reconciler
+    /// subtracts this baseline before comparing against the (fresh) session
+    /// ledgers.
+    recovered_bits: u64,
     /// Reserved deliveries awaiting the peer SAE, keyed by serial. Each entry
     /// is the peer's copy of bits already accounted as delivered — retrieval
     /// removes it, so the same key ID can never be picked up twice.
@@ -264,36 +275,126 @@ impl LinkStore {
     }
 }
 
+/// An SAE budget restored from the journal, handed to the delivery tier so
+/// consumers cannot reset their rate limits by crashing the manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredBudget {
+    /// The SAE the budget belongs to.
+    pub sae: String,
+    /// Lifetime requests consumed.
+    pub requests_used: u64,
+    /// Lifetime key bits consumed.
+    pub key_bits_used: u64,
+}
+
 /// Thread-safe multi-link key store (see the module docs for the contract).
 ///
 /// Stores are created and filled by the
 /// [`LinkManager`](crate::manager::LinkManager); consumers only read
 /// ([`KeyStore::status`]) and drain ([`KeyStore::get_key`]).
+///
+/// # Durability
+///
+/// A store opened through [`LinkManager::open_durable`] carries a
+/// [`Journal`]: every mutation **submits** its record while the store lock
+/// is held (so log order equals mutation order) and **commits** it — write
+/// plus group-commit fsync — after the lock is released, *before* the
+/// mutation is acknowledged to the caller. An in-memory store (the
+/// default) has no journal and skips both steps.
 #[derive(Debug, Default)]
 pub struct KeyStore {
     inner: Mutex<BTreeMap<usize, LinkStore>>,
+    /// Write-ahead log; `None` for an in-memory store.
+    journal: Option<Arc<Journal>>,
+    /// The store's monotonic timeline; TTL deadlines are absolute
+    /// milliseconds on it.
+    clock: StoreClock,
 }
 
 impl KeyStore {
+    /// The store's monotonic clock (shared timeline for TTL deadlines).
+    pub fn clock(&self) -> &StoreClock {
+        &self.clock
+    }
+
+    /// The write-ahead journal, if this store is durable. The delivery tier
+    /// shares it to journal SAE budgets into the same log.
+    pub fn journal(&self) -> Option<Arc<Journal>> {
+        self.journal.as_ref().map(Arc::clone)
+    }
+
+    /// Bits of a link's `deposited_bits` that were restored by replay (0
+    /// for unknown links and in-memory stores).
+    pub fn recovered_bits(&self, link: usize) -> u64 {
+        self.inner
+            .lock()
+            .get(&link)
+            .map_or(0, |store| store.recovered_bits)
+    }
+
+    /// Stages `record` in the journal (inside the store lock — order!).
+    /// No-op for in-memory stores. Called *before* the mutation it
+    /// describes so a poisoned journal blocks the mutation entirely.
+    fn submit_record(&self, make: impl FnOnce() -> Record) -> Result<Option<Ticket>> {
+        match &self.journal {
+            Some(journal) => Ok(Some(journal.submit(&make())?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Makes a staged record durable (outside the store lock). The
+    /// mutation must not be acknowledged if this fails.
+    fn commit_record(&self, ticket: Option<Ticket>) -> Result<()> {
+        match (&self.journal, ticket) {
+            (Some(journal), Some(ticket)) => journal.commit(ticket),
+            _ => Ok(()),
+        }
+    }
     /// Creates an empty link slot so `status` works before the first deposit.
-    pub(crate) fn register(&self, link: usize) {
-        self.inner.lock().entry(link).or_default();
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::JournalError`] when the store is durable and the
+    /// journal cannot record the registration.
+    pub(crate) fn register(&self, link: usize) -> Result<()> {
+        let ticket = {
+            let mut inner = self.inner.lock();
+            let ticket = self.submit_record(|| Record::Register { link: link as u64 })?;
+            inner.entry(link).or_default();
+            ticket
+        };
+        self.commit_record(ticket)
     }
 
     /// Appends a distilled block's secret bits to a link's store.
-    pub(crate) fn deposit(&self, link: usize, key: &SecretKey) {
-        {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::JournalError`] when the store is durable and the
+    /// deposit cannot be made durable; the fleet quarantines the link
+    /// rather than distil key the log cannot capture.
+    pub(crate) fn deposit(&self, link: usize, key: &SecretKey) -> Result<()> {
+        let ticket = {
             let mut inner = self.inner.lock();
+            let ticket = self.submit_record(|| Record::Deposit {
+                link: link as u64,
+                at_ms: self.clock.now_ms(),
+                epsilon: key.epsilon,
+                bits: key.bits.clone(),
+            })?;
             let store = inner.entry(link).or_default();
             store.buf.expose_mut().extend_from(&key.bits);
             store.deposited_bits += key.bits.len() as u64;
             store.blocks_deposited += 1;
             store.epsilon += key.epsilon;
-        }
+            ticket
+        };
+        self.commit_record(ticket)?;
         let obs = store_obs();
         obs.deposits.inc();
         obs.deposited_bits.add(key.bits.len() as u64);
         obs.available_bits.add(key.bits.len() as f64);
+        Ok(())
     }
 
     /// Links currently registered, in id order.
@@ -343,7 +444,7 @@ impl KeyStore {
                 "key requests must ask for at least one bit",
             ));
         }
-        let key = {
+        let (key, ticket) = {
             let mut inner = self.inner.lock();
             let store = inner.get_mut(&link).ok_or_else(|| {
                 QkdError::invalid_parameter("link", format!("unknown link {link}"))
@@ -355,8 +456,14 @@ impl KeyStore {
                     available: store.available() as u64,
                 });
             }
-            store.drain(link, n_bits)
+            let ticket = self.submit_record(|| Record::Deliver {
+                link: link as u64,
+                at_ms: self.clock.now_ms(),
+                n_bits: n_bits as u64,
+            })?;
+            (store.drain(link, n_bits), ticket)
         };
+        self.commit_record(ticket)?;
         let obs = store_obs();
         obs.keys_delivered.inc();
         obs.available_bits.add(-(n_bits as f64));
@@ -400,7 +507,7 @@ impl KeyStore {
             ));
         }
         let total = count * size_bits;
-        let keys = {
+        let (keys, ticket) = {
             let mut inner = self.inner.lock();
             let store = inner.get_mut(&link).ok_or_else(|| {
                 QkdError::invalid_parameter("link", format!("unknown link {link}"))
@@ -412,7 +519,17 @@ impl KeyStore {
                     available: store.available() as u64,
                 });
             }
-            let expires_at = ttl.map(|t| Instant::now() + t);
+            let now_ms = self.clock.now_ms();
+            let expires_at = ttl
+                .map(|t| now_ms.saturating_add(u64::try_from(t.as_millis()).unwrap_or(u64::MAX)));
+            let ticket = self.submit_record(|| Record::Reserve {
+                link: link as u64,
+                at_ms: now_ms,
+                count: count as u64,
+                size_bits: size_bits as u64,
+                claim: claim.map(str::to_string),
+                expires_at_ms: expires_at,
+            })?;
             let mut keys = Vec::with_capacity(count);
             for _ in 0..count {
                 let key = store.drain(link, size_bits);
@@ -427,8 +544,9 @@ impl KeyStore {
                 );
                 keys.push(key);
             }
-            keys
+            (keys, ticket)
         };
+        self.commit_record(ticket)?;
         let obs = store_obs();
         obs.keys_delivered.add(count as u64);
         obs.reservations.add(count as u64);
@@ -450,35 +568,58 @@ impl KeyStore {
     /// [`KeyStatus::reservations_expired`] counter advances, and the ID is
     /// answered like a never-reserved one from then on. Untimed
     /// reservations (`ttl == None`) are never touched.
-    pub fn expire_reservations(&self, now: Instant) -> u64 {
+    /// # Errors
+    ///
+    /// Returns [`QkdError::JournalError`] when the store is durable and the
+    /// reclaim record cannot be made durable (nothing is reclaimed then —
+    /// the reservations stay parked for a later sweep).
+    pub fn expire_reservations(&self, now: Instant) -> Result<u64> {
+        let now_ms = self.clock.at(now);
         let mut reclaimed = 0u64;
         let mut reclaimed_bits = 0u64;
-        {
+        let ticket = {
             let mut inner = self.inner.lock();
-            for store in inner.values_mut() {
-                let expired: Vec<u64> = store
-                    .parked
-                    .iter()
-                    .filter(|(_, r)| r.expires_at.is_some_and(|at| at <= now))
-                    .map(|(&serial, _)| serial)
-                    .collect();
-                for serial in expired {
-                    if let Some(reservation) = store.parked.remove(&serial) {
-                        store.buf.expose_mut().extend_from(&reservation.bits);
-                        store.delivered_bits -= reservation.bits.len() as u64;
-                        store.reservations_expired += 1;
-                        reclaimed += 1;
-                        reclaimed_bits += reservation.bits.len() as u64;
-                    }
+            // Decide-then-journal-then-apply: the record carries the
+            // explicit serial list, so replay reclaims exactly this set even
+            // if clocks drift across the restart.
+            let expired: Vec<(u64, u64)> = inner
+                .iter()
+                .flat_map(|(&link, store)| {
+                    store
+                        .parked
+                        .iter()
+                        .filter(|(_, r)| r.expires_at.is_some_and(|at| at <= now_ms))
+                        .map(move |(&serial, _)| (link as u64, serial))
+                })
+                .collect();
+            if expired.is_empty() {
+                return Ok(0);
+            }
+            let ticket = self.submit_record(|| Record::Expire {
+                at_ms: now_ms,
+                expired: expired.clone(),
+            })?;
+            for &(link, serial) in &expired {
+                let Some(store) = inner.get_mut(&(link as usize)) else {
+                    continue;
+                };
+                if let Some(reservation) = store.parked.remove(&serial) {
+                    store.buf.expose_mut().extend_from(&reservation.bits);
+                    store.delivered_bits -= reservation.bits.len() as u64;
+                    store.reservations_expired += 1;
+                    reclaimed += 1;
+                    reclaimed_bits += reservation.bits.len() as u64;
                 }
             }
-        }
+            ticket
+        };
+        self.commit_record(ticket)?;
         if reclaimed > 0 {
             let obs = store_obs();
             obs.expiries.add(reclaimed);
             obs.available_bits.add(reclaimed_bits as f64);
         }
-        reclaimed
+        Ok(reclaimed)
     }
 
     /// Retrieves the peer's copy of a reserved key, exactly once: the parked
@@ -493,30 +634,42 @@ impl KeyStore {
     /// * [`QkdError::UnknownKeyId`] when no reservation is parked under `id`
     ///   for this claim.
     pub fn get_key_by_id(&self, id: KeyId, claim: Option<&str>) -> Result<DeliveredKey> {
-        let key = {
+        let (key, ticket) = {
             let mut inner = self.inner.lock();
             let store = inner.get_mut(&id.link).ok_or_else(|| {
                 QkdError::invalid_parameter("link", format!("unknown link {}", id.link))
             })?;
-            match store.parked.entry(id.serial) {
-                std::collections::btree_map::Entry::Occupied(entry)
-                    if entry.get().claim.as_deref() == claim =>
-                {
-                    let reservation = entry.remove();
-                    DeliveredKey {
-                        id,
-                        bits: reservation.bits,
-                        epsilon: reservation.epsilon,
-                    }
-                }
-                _ => {
-                    return Err(QkdError::UnknownKeyId {
-                        link: id.link as u64,
-                        serial: id.serial,
-                    })
-                }
+            let matches = store
+                .parked
+                .get(&id.serial)
+                .is_some_and(|r| r.claim.as_deref() == claim);
+            if !matches {
+                return Err(QkdError::UnknownKeyId {
+                    link: id.link as u64,
+                    serial: id.serial,
+                });
             }
+            let ticket = self.submit_record(|| Record::Redeem {
+                at_ms: self.clock.now_ms(),
+                ids: vec![(id.link as u64, id.serial)],
+            })?;
+            let reservation = store
+                .parked
+                .remove(&id.serial)
+                .ok_or(QkdError::UnknownKeyId {
+                    link: id.link as u64,
+                    serial: id.serial,
+                })?;
+            (
+                DeliveredKey {
+                    id,
+                    bits: reservation.bits,
+                    epsilon: reservation.epsilon,
+                },
+                ticket,
+            )
         };
+        self.commit_record(ticket)?;
         store_obs().pickups.inc();
         Ok(key)
     }
@@ -565,6 +718,10 @@ impl KeyStore {
                 });
             }
         }
+        let ticket = self.submit_record(|| Record::Redeem {
+            at_ms: self.clock.now_ms(),
+            ids: ids.iter().map(|id| (id.link as u64, id.serial)).collect(),
+        })?;
         // Presence (and claim) of every ID was checked above under the same
         // lock, so the lookups cannot miss — but the path stays typed
         // rather than panicking on an impossible state.
@@ -584,9 +741,288 @@ impl KeyStore {
             });
         }
         drop(inner);
+        self.commit_record(ticket)?;
         store_obs().pickups.add(keys.len() as u64);
         Ok(keys)
     }
+
+    /// Opens a **durable** store backed by the journal directory at `dir`:
+    /// replays whatever history is there (none for a fresh directory),
+    /// rebuilds the store — pools, parked reservations, TTL deadlines,
+    /// delivery serials — and starts journaling to a fresh segment.
+    ///
+    /// Also returns the SAE budgets found in the log, for the delivery
+    /// tier to seed its registry with (the store does not own budgets).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::JournalError`] when the journal cannot be read,
+    /// is damaged anywhere but its final frame, or replays to a history the
+    /// store contract rejects (e.g. a redeem of a never-parked serial).
+    pub fn open_durable(
+        dir: impl AsRef<std::path::Path>,
+        config: qkd_journal::JournalConfig,
+    ) -> Result<(KeyStore, Vec<RecoveredBudget>)> {
+        let replayed = qkd_journal::replay(dir.as_ref())?;
+        let journal = Arc::new(Journal::open(dir.as_ref(), config)?);
+        KeyStore::recover(replayed, journal)
+    }
+
+    /// Rebuilds a store from replayed records and attaches `journal` for
+    /// the life ahead. The store clock is fast-forwarded past the newest
+    /// journaled stamp, so TTL deadlines that had budget left at the crash
+    /// keep (at least) that budget — recovery can delay an expiry, never
+    /// double-fire one.
+    fn recover(
+        replayed: Replayed,
+        journal: Arc<Journal>,
+    ) -> Result<(KeyStore, Vec<RecoveredBudget>)> {
+        let clock = StoreClock::new();
+        clock.advance_to(replayed.stats.max_at_ms);
+        let mut links: BTreeMap<usize, LinkStore> = BTreeMap::new();
+        let mut budgets: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for record in replayed.records {
+            apply_record(&mut links, &mut budgets, record)?;
+        }
+        for store in links.values_mut() {
+            store.recovered_bits = store.deposited_bits;
+        }
+        let budgets = budgets
+            .into_iter()
+            .map(|(sae, (requests_used, key_bits_used))| RecoveredBudget {
+                sae,
+                requests_used,
+                key_bits_used,
+            })
+            .collect();
+        Ok((
+            KeyStore {
+                inner: Mutex::new(links),
+                journal: Some(journal),
+                clock,
+            },
+            budgets,
+        ))
+    }
+
+    /// Compacts the journal: snapshots the entire live store into a fresh
+    /// segment and deletes the history it supersedes. `extra` records are
+    /// appended after the snapshot — the delivery tier passes its SAE
+    /// budget records here, since a snapshot resets only store state and
+    /// budget history would otherwise vanish with the dead segments.
+    ///
+    /// The store lock is held for the duration, so the snapshot is a
+    /// consistent cut: no mutation can slip between the state it captures
+    /// and the history it replaces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QkdError::JournalError`] for an in-memory store or when
+    /// the snapshot segment cannot be written.
+    pub fn compact_journal(&self, extra: &[Record]) -> Result<CompactionStats> {
+        let journal = self
+            .journal
+            .as_ref()
+            .ok_or_else(|| QkdError::journal("store has no journal to compact"))?;
+        let inner = self.inner.lock();
+        let snapshot = Record::Snapshot {
+            at_ms: self.clock.now_ms(),
+            links: inner
+                .iter()
+                .map(|(&link, store)| LinkSnapshot {
+                    link: link as u64,
+                    epsilon: store.epsilon,
+                    deposited_bits: store.deposited_bits,
+                    delivered_bits: store.delivered_bits,
+                    keys_delivered: store.keys_delivered,
+                    blocks_deposited: store.blocks_deposited,
+                    reservations_expired: store.reservations_expired,
+                    pool: store.buf.slice(store.cursor, store.buf.len()).into(),
+                    parked: store
+                        .parked
+                        .iter()
+                        .map(|(&serial, r)| ReservationSnapshot {
+                            serial,
+                            epsilon: r.epsilon,
+                            claim: r.claim.clone(),
+                            expires_at_ms: r.expires_at,
+                            bits: r.bits.clone(),
+                        })
+                        .collect(),
+                })
+                .collect(),
+        };
+        let mut records = Vec::with_capacity(1 + extra.len());
+        records.push(snapshot);
+        records.extend(extra.iter().cloned());
+        let stats = journal.compact(&records)?;
+        drop(inner);
+        Ok(stats)
+    }
+}
+
+fn diverged(what: impl std::fmt::Display) -> QkdError {
+    QkdError::journal(format!("replay diverged from the store contract: {what}"))
+}
+
+fn link_index(link: u64) -> Result<usize> {
+    usize::try_from(link).map_err(|_| diverged(format_args!("link id {link} overflows")))
+}
+
+/// Re-applies one journaled mutation to the store being rebuilt. Pure
+/// state transformation — nothing here journals, times, or records
+/// metrics; divergence from the store contract (a journal that could not
+/// have been written by this store) is a typed error.
+fn apply_record(
+    links: &mut BTreeMap<usize, LinkStore>,
+    budgets: &mut BTreeMap<String, (u64, u64)>,
+    record: Record,
+) -> Result<()> {
+    match record {
+        Record::Register { link } => {
+            links.entry(link_index(link)?).or_default();
+        }
+        Record::Deposit {
+            link,
+            at_ms: _,
+            epsilon,
+            bits,
+        } => {
+            let store = links.entry(link_index(link)?).or_default();
+            store.buf.expose_mut().extend_from(&bits);
+            store.deposited_bits += bits.len() as u64;
+            store.blocks_deposited += 1;
+            store.epsilon += epsilon;
+        }
+        Record::Deliver {
+            link,
+            at_ms: _,
+            n_bits,
+        } => {
+            let index = link_index(link)?;
+            let store = links
+                .get_mut(&index)
+                .ok_or_else(|| diverged(format_args!("deliver on unknown link {link}")))?;
+            let n_bits = usize::try_from(n_bits)
+                .map_err(|_| diverged(format_args!("deliver of {n_bits} bits")))?;
+            if store.available() < n_bits {
+                return Err(diverged(format_args!(
+                    "deliver of {n_bits} bits with {} available on link {link}",
+                    store.available()
+                )));
+            }
+            // Burns the serial and advances the ledger; the delivered copy
+            // went to a consumer in the previous life, so it is dropped
+            // (and zeroized) here.
+            drop(store.drain(index, n_bits));
+        }
+        Record::Reserve {
+            link,
+            at_ms: _,
+            count,
+            size_bits,
+            claim,
+            expires_at_ms,
+        } => {
+            let index = link_index(link)?;
+            let store = links
+                .get_mut(&index)
+                .ok_or_else(|| diverged(format_args!("reserve on unknown link {link}")))?;
+            let count = usize::try_from(count)
+                .map_err(|_| diverged(format_args!("reserve count {count}")))?;
+            let size_bits = usize::try_from(size_bits)
+                .map_err(|_| diverged(format_args!("reserve size {size_bits}")))?;
+            let total = count
+                .checked_mul(size_bits)
+                .ok_or_else(|| diverged("reserve size overflow"))?;
+            if store.available() < total {
+                return Err(diverged(format_args!(
+                    "reserve of {total} bits with {} available on link {link}",
+                    store.available()
+                )));
+            }
+            for _ in 0..count {
+                let key = store.drain(index, size_bits);
+                store.parked.insert(
+                    key.id.serial,
+                    Reservation {
+                        bits: key.bits.clone(),
+                        epsilon: key.epsilon,
+                        claim: claim.clone(),
+                        expires_at: expires_at_ms,
+                    },
+                );
+            }
+        }
+        Record::Redeem { at_ms: _, ids } => {
+            for (link, serial) in ids {
+                let index = link_index(link)?;
+                links
+                    .get_mut(&index)
+                    .and_then(|store| store.parked.remove(&serial))
+                    .ok_or_else(|| {
+                        diverged(format_args!("redeem of unparked link{link}/key{serial}"))
+                    })?;
+            }
+        }
+        Record::Expire { at_ms: _, expired } => {
+            for (link, serial) in expired {
+                let index = link_index(link)?;
+                let store = links
+                    .get_mut(&index)
+                    .ok_or_else(|| diverged(format_args!("expire on unknown link {link}")))?;
+                let reservation = store.parked.remove(&serial).ok_or_else(|| {
+                    diverged(format_args!("expire of unparked link{link}/key{serial}"))
+                })?;
+                store.buf.expose_mut().extend_from(&reservation.bits);
+                store.delivered_bits -= reservation.bits.len() as u64;
+                store.reservations_expired += 1;
+            }
+        }
+        Record::Budget {
+            sae,
+            requests_used,
+            key_bits_used,
+        } => {
+            budgets.insert(sae, (requests_used, key_bits_used));
+        }
+        Record::Snapshot {
+            at_ms: _,
+            links: snaps,
+        } => {
+            // A snapshot is a full reset of store state (budget records are
+            // re-appended alongside it by the compactor, so `budgets` is
+            // deliberately left alone).
+            links.clear();
+            for snap in snaps {
+                let mut store = LinkStore {
+                    buf: snap.pool,
+                    cursor: 0,
+                    deposited_bits: snap.deposited_bits,
+                    delivered_bits: snap.delivered_bits,
+                    keys_delivered: snap.keys_delivered,
+                    blocks_deposited: snap.blocks_deposited,
+                    reservations_expired: snap.reservations_expired,
+                    epsilon: snap.epsilon,
+                    recovered_bits: 0,
+                    parked: BTreeMap::new(),
+                };
+                for parked in snap.parked {
+                    store.parked.insert(
+                        parked.serial,
+                        Reservation {
+                            bits: parked.bits,
+                            epsilon: parked.epsilon,
+                            claim: parked.claim,
+                            expires_at: parked.expires_at_ms,
+                        },
+                    );
+                }
+                links.insert(link_index(snap.link)?, store);
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -609,8 +1045,8 @@ mod tests {
         let store = KeyStore::default();
         let k1 = secret(100, 1);
         let k2 = secret(60, 2);
-        store.deposit(0, &k1);
-        store.deposit(0, &k2);
+        store.deposit(0, &k1).unwrap();
+        store.deposit(0, &k2).unwrap();
 
         let mut expected = k1.bits.expose().clone();
         expected.extend_from(&k2.bits);
@@ -636,7 +1072,7 @@ mod tests {
     #[test]
     fn shortfall_reports_availability_and_delivers_nothing() {
         let store = KeyStore::default();
-        store.deposit(3, &secret(40, 3));
+        store.deposit(3, &secret(40, 3)).unwrap();
         match store.get_key(3, 50) {
             Err(QkdError::KeyStoreShortfall {
                 link,
@@ -659,7 +1095,7 @@ mod tests {
         let store = KeyStore::default();
         assert!(store.status(9).is_err());
         assert!(store.get_key(9, 8).is_err());
-        store.register(9);
+        store.register(9).unwrap();
         assert_eq!(store.status(9).unwrap().deposited_bits, 0);
         assert!(matches!(
             store.get_key(9, 0),
@@ -672,13 +1108,13 @@ mod tests {
     fn compaction_preserves_the_remaining_stream() {
         let store = KeyStore::default();
         let k = secret(1000, 5);
-        store.deposit(1, &k);
+        store.deposit(1, &k).unwrap();
         // Drain most of the buffer in small keys to trigger compaction.
         let mut delivered = BitVec::new();
         for _ in 0..9 {
             delivered.extend_from(&store.get_key(1, 100).unwrap().bits);
         }
-        store.deposit(1, &secret(24, 6));
+        store.deposit(1, &secret(24, 6)).unwrap();
         delivered.extend_from(&store.get_key(1, 124).unwrap().bits);
         let mut expected = k.bits.expose().clone();
         expected.extend_from(&secret(24, 6).bits);
@@ -704,7 +1140,7 @@ mod tests {
     fn reservation_parks_a_copy_for_exactly_one_pickup() {
         let store = KeyStore::default();
         let k = secret(512, 9);
-        store.deposit(0, &k);
+        store.deposit(0, &k).unwrap();
 
         let reserved = store.reserve_keys(0, 2, 100, None, None).unwrap();
         assert_eq!(reserved.len(), 2);
@@ -742,7 +1178,7 @@ mod tests {
     #[test]
     fn batched_pickup_is_all_or_nothing() {
         let store = KeyStore::default();
-        store.deposit(0, &secret(400, 13));
+        store.deposit(0, &secret(400, 13)).unwrap();
         let reserved = store
             .reserve_keys(0, 3, 100, Some("peer-sae"), None)
             .unwrap();
@@ -781,7 +1217,7 @@ mod tests {
     #[test]
     fn pickups_require_the_reservation_claim() {
         let store = KeyStore::default();
-        store.deposit(0, &secret(300, 17));
+        store.deposit(0, &secret(300, 17)).unwrap();
         let for_bob = store.reserve_keys(0, 1, 100, Some("bob"), None).unwrap();
         let untagged = store.reserve_keys(0, 1, 100, None, None).unwrap();
 
@@ -817,7 +1253,7 @@ mod tests {
     #[test]
     fn reservation_shortfall_and_bad_parameters_reserve_nothing() {
         let store = KeyStore::default();
-        store.deposit(2, &secret(100, 11));
+        store.deposit(2, &secret(100, 11)).unwrap();
         assert!(matches!(
             store.reserve_keys(2, 3, 40, None, None),
             Err(QkdError::KeyStoreShortfall {
@@ -842,7 +1278,7 @@ mod tests {
     fn expired_reservations_return_to_the_pool_and_the_ledger_balances() {
         let store = KeyStore::default();
         let k = secret(600, 21);
-        store.deposit(0, &k);
+        store.deposit(0, &k).unwrap();
 
         // Two timed reservations, one untimed, one already redeemed.
         let timed = store
@@ -866,12 +1302,14 @@ mod tests {
         assert_eq!(before.reservations_expired, 0);
 
         // Nothing is due yet: a sweep at "now" reclaims nothing.
-        assert_eq!(store.expire_reservations(Instant::now()), 0);
+        assert_eq!(store.expire_reservations(Instant::now()).unwrap(), 0);
         assert_eq!(store.status(0).unwrap(), before);
 
         // A sweep past the deadline reclaims exactly the two timed parked
         // reservations — the redeemed one is gone, the untimed one stays.
-        let reclaimed = store.expire_reservations(Instant::now() + Duration::from_secs(7200));
+        let reclaimed = store
+            .expire_reservations(Instant::now() + Duration::from_secs(7200))
+            .unwrap();
         assert_eq!(reclaimed, 2);
         let after = store.status(0).unwrap();
         assert_eq!(after.available_bits, 400, "bits are available again");
@@ -909,8 +1347,8 @@ mod tests {
     #[test]
     fn links_are_isolated() {
         let store = KeyStore::default();
-        store.deposit(0, &secret(64, 7));
-        store.deposit(1, &secret(32, 8));
+        store.deposit(0, &secret(64, 7)).unwrap();
+        store.deposit(1, &secret(32, 8)).unwrap();
         assert_eq!(store.status(0).unwrap().available_bits, 64);
         assert_eq!(store.status(1).unwrap().available_bits, 32);
         store.get_key(0, 64).unwrap();
@@ -951,7 +1389,7 @@ mod tests {
                 let mut expired_count = [0u64; LINKS];
                 for link in 0..LINKS {
                     let key = secret(2000, seed.wrapping_add(link as u64));
-                    store.deposit(link, &key);
+                    store.deposit(link, &key).unwrap();
                     pools.push(key.bits.to_bools().into());
                 }
                 // Parked reservations keyed exactly like the store's own
@@ -1025,7 +1463,7 @@ mod tests {
                                 .filter(|(_, (_, timed))| *timed)
                                 .map(|(&k, _)| k)
                                 .collect();
-                            let reclaimed = store.expire_reservations(now);
+                            let reclaimed = store.expire_reservations(now).unwrap();
                             prop_assert_eq!(reclaimed as usize, due.len());
                             for (l, serial) in due {
                                 let (bits, _) = parked.remove(&(l, serial)).unwrap();
@@ -1067,6 +1505,288 @@ mod tests {
                         want
                     );
                 }
+            }
+        }
+    }
+
+    /// The durability tier's headline invariant, end to end: run a mixed
+    /// workload against a journaled store, crash at **any byte prefix** of
+    /// the log, recover, and the rebuilt store agrees with an independent
+    /// fold of exactly the records that survived — ledger balanced bit for
+    /// bit, redeemed and expired IDs dead, parked reservations bit-exact
+    /// under their claims, serials never reused.
+    mod durability {
+        use super::*;
+        use proptest::prelude::*;
+        use qkd_journal::{JournalConfig, Record};
+        use std::path::{Path, PathBuf};
+
+        fn temp_dir(tag: &str) -> PathBuf {
+            use std::sync::atomic::{AtomicU32, Ordering};
+            static NEXT: AtomicU32 = AtomicU32::new(0);
+            std::env::temp_dir().join(format!(
+                "qkd-store-durable-{tag}-{}-{}",
+                std::process::id(),
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            ))
+        }
+
+        /// The one segment file a scripted history leaves behind.
+        fn segment(dir: &Path) -> PathBuf {
+            let mut segments: Vec<PathBuf> = std::fs::read_dir(dir)
+                .unwrap()
+                .map(|entry| entry.unwrap().path())
+                .collect();
+            segments.sort();
+            assert_eq!(segments.len(), 1, "history must fit one segment");
+            segments.pop().unwrap()
+        }
+
+        /// Independent model of one link, folded from raw records —
+        /// deliberately sharing no code with the store's own `apply_record`.
+        #[derive(Default)]
+        struct ModelLink {
+            /// All pool bits in delivery order; `cursor` marks the drained
+            /// prefix. Expired reservations re-enter at the tail.
+            stream: Vec<bool>,
+            cursor: usize,
+            deposited: u64,
+            delivered: u64,
+            next_serial: u64,
+            blocks: u64,
+            expired: u64,
+            parked: BTreeMap<u64, (Vec<bool>, Option<String>)>,
+        }
+
+        fn fold(records: &[Record]) -> (BTreeMap<usize, ModelLink>, Vec<KeyId>) {
+            let mut links: BTreeMap<usize, ModelLink> = BTreeMap::new();
+            let mut dead: Vec<KeyId> = Vec::new();
+            for record in records {
+                match record {
+                    Record::Register { link } => {
+                        links.entry(*link as usize).or_default();
+                    }
+                    Record::Deposit { link, bits, .. } => {
+                        let m = links.entry(*link as usize).or_default();
+                        m.stream.extend(bits.to_bools());
+                        m.deposited += bits.len() as u64;
+                        m.blocks += 1;
+                    }
+                    Record::Deliver { link, n_bits, .. } => {
+                        let m = links.get_mut(&(*link as usize)).unwrap();
+                        m.cursor += *n_bits as usize;
+                        m.delivered += n_bits;
+                        m.next_serial += 1;
+                    }
+                    Record::Reserve {
+                        link,
+                        count,
+                        size_bits,
+                        claim,
+                        ..
+                    } => {
+                        let m = links.get_mut(&(*link as usize)).unwrap();
+                        for _ in 0..*count {
+                            let size = *size_bits as usize;
+                            let bits = m.stream[m.cursor..m.cursor + size].to_vec();
+                            m.cursor += size;
+                            m.parked.insert(m.next_serial, (bits, claim.clone()));
+                            m.next_serial += 1;
+                        }
+                        m.delivered += count * size_bits;
+                    }
+                    Record::Redeem { ids, .. } => {
+                        for &(link, serial) in ids {
+                            let m = links.get_mut(&(link as usize)).unwrap();
+                            m.parked.remove(&serial).unwrap();
+                            dead.push(KeyId {
+                                link: link as usize,
+                                serial,
+                            });
+                        }
+                    }
+                    Record::Expire { expired, .. } => {
+                        for &(link, serial) in expired {
+                            let m = links.get_mut(&(link as usize)).unwrap();
+                            let (bits, _) = m.parked.remove(&serial).unwrap();
+                            m.delivered -= bits.len() as u64;
+                            m.expired += 1;
+                            m.stream.extend(bits);
+                            dead.push(KeyId {
+                                link: link as usize,
+                                serial,
+                            });
+                        }
+                    }
+                    Record::Budget { .. } | Record::Snapshot { .. } => {}
+                }
+            }
+            (links, dead)
+        }
+
+        /// Crash the log at `len` bytes, recover, and reconcile the rebuilt
+        /// store against the fold of exactly the surviving records.
+        fn check_prefix(tag: &str, full: &[u8], len: usize) {
+            let dir = temp_dir(tag);
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(dir.join("wal-00000001.qkdj"), &full[..len]).unwrap();
+
+            let replayed = qkd_journal::replay(&dir).unwrap();
+            let (model, dead) = fold(&replayed.records);
+            let (store, _budgets) = KeyStore::open_durable(&dir, JournalConfig::default()).unwrap();
+
+            // Redeemed and expired IDs stay dead across the crash.
+            for id in dead {
+                assert!(
+                    matches!(
+                        store.get_key_by_id(id, None),
+                        Err(QkdError::UnknownKeyId { .. })
+                    ),
+                    "prefix {len}: {id} must stay dead"
+                );
+            }
+            for (link, m) in &model {
+                let status = store.status(*link).unwrap();
+                assert!(status.balances(), "prefix {len}: {status:?}");
+                assert_eq!(status.deposited_bits, m.deposited, "prefix {len}");
+                assert_eq!(status.delivered_bits, m.delivered, "prefix {len}");
+                assert_eq!(
+                    status.available_bits,
+                    m.deposited - m.delivered,
+                    "prefix {len}"
+                );
+                assert_eq!(status.keys_delivered, m.next_serial, "prefix {len}");
+                assert_eq!(status.reserved_keys, m.parked.len() as u64, "prefix {len}");
+                assert_eq!(status.reservations_expired, m.expired, "prefix {len}");
+                assert_eq!(status.blocks_deposited, m.blocks, "prefix {len}");
+
+                // A fresh delivery burns a fresh serial (never one the log
+                // already has) and drains the recovered pool in order.
+                let left = m.stream.len() - m.cursor;
+                if left > 0 {
+                    let take = left.min(16);
+                    let key = store.get_key(*link, take).unwrap();
+                    assert_eq!(key.id.serial, m.next_serial, "prefix {len}: serial reuse");
+                    assert_eq!(
+                        key.bits.to_bools(),
+                        m.stream[m.cursor..m.cursor + take].to_vec(),
+                        "prefix {len}: recovered pool out of order"
+                    );
+                }
+
+                // Every parked reservation survives bit-exact under its
+                // claim — and redeems exactly once.
+                for (serial, (bits, claim)) in &m.parked {
+                    let id = KeyId {
+                        link: *link,
+                        serial: *serial,
+                    };
+                    let key = store.get_key_by_id(id, claim.as_deref()).unwrap();
+                    assert_eq!(&key.bits.to_bools(), bits, "prefix {len}");
+                    assert!(matches!(
+                        store.get_key_by_id(id, claim.as_deref()),
+                        Err(QkdError::UnknownKeyId { .. })
+                    ));
+                }
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+
+        /// A fixed mixed workload: deposits on two links, direct drains,
+        /// timed + untimed + redeemed reservations, and a TTL sweep.
+        fn scripted_history(dir: &Path) {
+            let (store, _) = KeyStore::open_durable(dir, JournalConfig::default()).unwrap();
+            store.deposit(0, &secret(512, 31)).unwrap();
+            store.deposit(1, &secret(256, 32)).unwrap();
+            store.get_key(0, 64).unwrap();
+            store
+                .reserve_keys(0, 2, 32, Some("slow-sae"), Some(Duration::from_secs(3600)))
+                .unwrap();
+            store.reserve_keys(1, 1, 16, None, None).unwrap();
+            let fast = store
+                .reserve_keys(1, 1, 16, Some("fast-sae"), Some(Duration::from_secs(3600)))
+                .unwrap();
+            store.get_key_by_id(fast[0].id, Some("fast-sae")).unwrap();
+            store.deposit(0, &secret(128, 33)).unwrap();
+            store
+                .expire_reservations(Instant::now() + Duration::from_secs(7200))
+                .unwrap();
+            store.get_key(0, 100).unwrap();
+            store.get_key(1, 32).unwrap();
+        }
+
+        /// Exhaustive: the scripted history is killed at **every** byte
+        /// prefix of its journal, and every cut recovers reconciled.
+        #[test]
+        fn crash_at_any_byte_prefix_recovers_a_reconciled_store() {
+            let dir = temp_dir("script");
+            scripted_history(&dir);
+            let full = std::fs::read(segment(&dir)).unwrap();
+            assert!(full.len() > 400, "script too small to be interesting");
+            for len in 0..=full.len() {
+                check_prefix("script-cut", &full, len);
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// Randomized histories, randomized crash points: whatever
+            /// interleaving of deposits, drains, reservations, pickups and
+            /// sweeps got journaled, any byte prefix of it recovers to a
+            /// store the surviving records explain exactly.
+            #[test]
+            fn crash_prefix_reconciles_for_random_histories(
+                seed in any::<u64>(),
+                ops in collection::vec((0u8..5, 0usize..2, 1usize..40), 1..40),
+                cut in 0f64..=1.0,
+            ) {
+                let dir = temp_dir("prop");
+                {
+                    let (store, _) =
+                        KeyStore::open_durable(&dir, JournalConfig::default()).unwrap();
+                    let mut issued: Vec<(KeyId, Option<String>)> = Vec::new();
+                    let mut n = 0u64;
+                    for (op, link, size) in ops {
+                        n += 1;
+                        match op {
+                            0 => store
+                                .deposit(link, &secret(size * 8, seed.wrapping_add(n)))
+                                .unwrap(),
+                            1 => {
+                                let _ = store.get_key(link, size);
+                            }
+                            2 => {
+                                let claim = (size % 2 == 0).then(|| format!("sae-{link}"));
+                                let ttl = (size % 3 == 0).then(|| Duration::from_secs(3600));
+                                if let Ok(keys) = store.reserve_keys(
+                                    link,
+                                    1 + size % 2,
+                                    size,
+                                    claim.as_deref(),
+                                    ttl,
+                                ) {
+                                    issued.extend(keys.iter().map(|k| (k.id, claim.clone())));
+                                }
+                            }
+                            3 => {
+                                if let Some((id, claim)) = issued.pop() {
+                                    let _ = store.get_key_by_id(id, claim.as_deref());
+                                }
+                            }
+                            _ => {
+                                let _ = store.expire_reservations(
+                                    Instant::now() + Duration::from_secs(7200),
+                                );
+                            }
+                        }
+                    }
+                }
+                let full = std::fs::read(segment(&dir)).unwrap();
+                let len = ((cut * full.len() as f64) as usize).min(full.len());
+                check_prefix("prop-cut", &full, len);
+                std::fs::remove_dir_all(&dir).ok();
             }
         }
     }

@@ -119,6 +119,14 @@ pub enum QkdError {
         /// Serial component of the rejected key ID.
         serial: u64,
     },
+    /// The durability journal could not be written, read or replayed (I/O
+    /// failure, checksum mismatch in a non-final frame, unknown format
+    /// version). A store whose journal has failed refuses further mutations
+    /// rather than diverging from its own log.
+    JournalError {
+        /// Description of the journal failure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for QkdError {
@@ -180,6 +188,7 @@ impl fmt::Display for QkdError {
             QkdError::UnknownKeyId { link, serial } => {
                 write!(f, "unknown key ID link{link}/key{serial}")
             }
+            QkdError::JournalError { reason } => write!(f, "journal error: {reason}"),
         }
     }
 }
@@ -199,6 +208,13 @@ impl QkdError {
     pub fn device(device: impl Into<String>, reason: impl Into<String>) -> Self {
         QkdError::DeviceError {
             device: device.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`QkdError::JournalError`].
+    pub fn journal(reason: impl Into<String>) -> Self {
+        QkdError::JournalError {
             reason: reason.into(),
         }
     }

@@ -40,6 +40,18 @@ pub fn zeroize_words(words: &mut [u64]) {
     compiler_fence(Ordering::SeqCst);
 }
 
+/// Volatile-zero for byte scratch (wire staging buffers that briefly hold
+/// exposed key material, e.g. the journal's frame encoder).
+pub fn zeroize_bytes(bytes: &mut [u8]) {
+    for b in bytes.iter_mut() {
+        // SAFETY: `b` comes from an exclusive iterator over a valid,
+        // properly aligned `&mut [u8]`, so the pointer is valid for a
+        // volatile write of one initialized `u8`.
+        unsafe { std::ptr::write_volatile(b, 0) };
+    }
+    compiler_fence(Ordering::SeqCst);
+}
+
 /// Volatile-zero for `f64` scratch (LLR posteriors and messages encode the
 /// key too; see `DecoderScratch`).
 pub fn zeroize_f64s(values: &mut [f64]) {

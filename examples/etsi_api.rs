@@ -165,4 +165,71 @@ fn main() {
         ledger.total_delivered(),
         ledger.total_available()
     );
+
+    // 8. Durability: the same flow over a *journaled* store. The fleet
+    //    deposits through a write-ahead log, the whole server side is torn
+    //    down with a reservation still parked (the "crash"), and a second
+    //    incarnation replays the log — the slave redeems the pre-crash
+    //    reservation bit-identically, budgets and delivery serials intact.
+    let dir = std::env::temp_dir().join(format!("qkd-etsi-api-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let saes = |registry: &SaeRegistry| {
+        for (id, token) in [
+            ("billing-app", "tok-billing"),
+            ("billing-backend", "tok-billing-backend"),
+        ] {
+            registry.register(SaeProfile::new(id, token)).unwrap();
+        }
+        registry
+            .entitle("billing-app", "billing-backend", 0)
+            .unwrap();
+    };
+    let (pending, pre_crash_bits) = {
+        let mut fleet =
+            LinkManager::open_durable(FleetConfig::default().with_workers(2), &dir).unwrap();
+        let link = fleet
+            .add_link(LinkSpec::from_preset(WorkloadPreset::Metro, 8192, 9))
+            .unwrap();
+        fleet.submit_epoch(link, 2).unwrap();
+        fleet.run().unwrap();
+        let registry = Arc::new(SaeRegistry::new());
+        saes(&registry);
+        registry.attach_journal(fleet.store().journal().unwrap());
+        let server = ApiServer::start(
+            fleet.store_handle(),
+            Arc::clone(&registry),
+            ApiConfig::default(),
+        )
+        .unwrap();
+        let master = ApiClient::new(server.local_addr(), "tok-billing");
+        let reserved = master.enc_keys("billing-backend", 1, 256).unwrap();
+        println!(
+            "\njournaled store: reserved {}, then tore the server down mid-session",
+            reserved[0].id
+        );
+        server.shutdown();
+        (reserved[0].id, reserved[0].bits.clone())
+    };
+    let fleet = LinkManager::open_durable(FleetConfig::default().with_workers(2), &dir).unwrap();
+    let registry = Arc::new(SaeRegistry::new());
+    saes(&registry);
+    registry.restore(fleet.recovered_budgets()).unwrap();
+    registry.attach_journal(fleet.store().journal().unwrap());
+    let server = ApiServer::start(
+        fleet.store_handle(),
+        Arc::clone(&registry),
+        ApiConfig::default(),
+    )
+    .unwrap();
+    let slave = ApiClient::new(server.local_addr(), "tok-billing-backend");
+    let picked = slave.dec_keys("billing-app", &[pending]).unwrap();
+    assert_eq!(picked[0].bits, pre_crash_bits);
+    println!(
+        "restarted from {} and redeemed {} bit-identically after recovery",
+        dir.display(),
+        pending
+    );
+    server.shutdown();
+    fleet.reconcile().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
 }

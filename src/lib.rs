@@ -14,6 +14,8 @@
 //! * [`core`] — the end-to-end post-processing engine;
 //! * [`manager`] — the fleet key-manager service: many links over a shared
 //!   worker pool, with a key-store delivery API;
+//! * [`journal`] — the store's durability tier: append-only checksummed
+//!   write-ahead log, group-commit fsync, compaction and crash recovery;
 //! * [`api`] — the ETSI GS QKD 014-shaped networked key-delivery front-end
 //!   (HTTP server, SAE registry, client).
 //!
@@ -37,6 +39,7 @@ pub use qkd_auth as auth;
 pub use qkd_cascade as cascade;
 pub use qkd_core as core;
 pub use qkd_hetero as hetero;
+pub use qkd_journal as journal;
 pub use qkd_ldpc as ldpc;
 pub use qkd_manager as manager;
 pub use qkd_privacy as privacy;
