@@ -23,7 +23,9 @@ const USAGE: &str = "usage: harness [FLAGS] [EXPERIMENTS...]
 Flags (each prints one JSON document to stdout):
   --smoke        quick kernel smoke benchmark        (qkd-bench-smoke/v1)
   --pipelined    sequential-vs-pipelined comparison  (qkd-bench-pipelined/v1)
-  --fleet        multi-link fleet over a shared pool (qkd-bench-fleet/v1)
+  --fleet        multi-link fleet over a shared pool: FIFO-vs-WFQ policy
+                 cells, cost-model placement and a
+                 links x workers grid              (qkd-bench-fleet/v2)
   --api          ETSI 014 delivery: keep-alive vs per-request connection
                  sweep, 64-4096 concurrent SAEs   (qkd-bench-api/v2)
   --journal      journaled vs in-memory store: deposit/redeem

@@ -936,7 +936,7 @@ pub fn smoke_pipelined() {
 /// can replay each link solo.
 fn run_fleet(
     workload: &qkd_simulator::FleetWorkload,
-    workers: usize,
+    config: qkd_manager::FleetConfig,
     epochs: usize,
     mean_blocks: usize,
 ) -> (
@@ -944,10 +944,6 @@ fn run_fleet(
     qkd_manager::FleetReport,
     Vec<Vec<usize>>,
 ) {
-    // A backlog large enough that this schedule is never rejected.
-    let config = qkd_manager::FleetConfig::default()
-        .with_workers(workers)
-        .with_max_backlog(64);
     let mut fleet = qkd_manager::LinkManager::new(config).unwrap();
     let ids: Vec<usize> = workload
         .specs()
@@ -975,15 +971,73 @@ fn run_fleet(
     (fleet, report, accepted)
 }
 
-/// Fleet benchmark: many links of mixed QBER share one bounded worker pool,
-/// depositing into the key store. Sweeps worker and link counts and prints
-/// one machine-readable JSON document (`qkd-bench-fleet/v1`) with the
-/// aggregate secret-key output rate and per-link fairness of each cell.
+/// Scheduling weights for the policy-comparison cells: one premium link that
+/// bought a 4× pool share next to three standard links.
+const POLICY_WEIGHTS: [f64; 4] = [4.0, 1.0, 1.0, 1.0];
+
+/// Weighted Jain fairness floor the WFQ cell must clear under contention.
+/// FIFO round-robin with the [`POLICY_WEIGHTS`] entitlements sits well below
+/// this (≈0.81 with equal per-batch service), so the gate separates the
+/// policies rather than merely passing both.
+const WFQ_WEIGHTED_JAIN_FLOOR: f64 = 0.9;
+
+/// Runs one policy-comparison cell: four uniform Metro links with the
+/// [`POLICY_WEIGHTS`] entitlements on a single worker, a fixed arrival
+/// schedule (`epochs` epochs of `blocks` blocks per link, no burstiness so
+/// per-batch service is comparable), drained under the given queueing
+/// policy, placement policy and dispatch budget.
+fn run_policy_cell(
+    block: usize,
+    seed: u64,
+    policy: qkd_manager::SchedPolicy,
+    placement: qkd_manager::PlacementPolicy,
+    budget: Option<usize>,
+    epochs: usize,
+    blocks: usize,
+) -> qkd_manager::FleetReport {
+    let config = qkd_manager::FleetConfig::default()
+        .with_workers(1)
+        .with_max_backlog(64)
+        .with_policy(policy)
+        .with_placement(placement)
+        .with_batch_budget(budget);
+    let mut fleet = qkd_manager::LinkManager::new(config).unwrap();
+    for (i, weight) in POLICY_WEIGHTS.iter().enumerate() {
+        let spec = qkd_manager::LinkSpec::from_preset(
+            qkd_simulator::WorkloadPreset::Metro,
+            block,
+            seed.wrapping_add(i as u64),
+        )
+        .with_weight(*weight);
+        fleet.add_link(spec).unwrap();
+    }
+    for _ in 0..epochs {
+        for link in 0..POLICY_WEIGHTS.len() {
+            assert!(fleet.submit_epoch(link, blocks).unwrap().accepted());
+        }
+    }
+    let report = fleet.run().unwrap();
+    fleet.reconcile().expect("fleet ledger must reconcile");
+    report
+}
+
+/// Fleet benchmark (`qkd-bench-fleet/v2`): many links share one bounded
+/// worker pool under the cost-model scheduler, depositing into the key
+/// store.
 ///
-/// The smallest cell doubles as a determinism check: every link is replayed
-/// on a solo engine with the same seed and the delivered keys must be
-/// bit-identical (`keys_identical` in the blob), with the key-store ledger
-/// reconciled exactly against the summed session accounting.
+/// Three parts:
+///
+/// * **Determinism check** — every link of a mixed fleet (under the default
+///   WFQ + cost-model-placement config) is replayed on a solo engine with
+///   the same seed; delivered keys must be bit-identical
+///   (`keys_identical`), with the key-store ledger reconciled exactly.
+/// * **Policy cells** — FIFO vs WFQ on identical contended workloads
+///   (a `batch_budget` stops each drain before backlogs empty, so service
+///   shares are observable). Gates: WFQ's weighted Jain fairness must be
+///   ≥ [`WFQ_WEIGHTED_JAIN_FLOOR`] and must beat FIFO's; the full-drain
+///   WFQ + cost-model-placement cell must beat the FIFO + CPU baseline on
+///   modeled aggregate output rate.
+/// * **Grid sweep** — aggregate rate and fairness vs worker and link count.
 pub fn smoke_fleet() {
     let total_start = std::time::Instant::now();
     let block = 8192usize;
@@ -991,9 +1045,16 @@ pub fn smoke_fleet() {
     let mean_blocks = 2usize;
     let seed = 0xF1EE7u64;
 
-    // Determinism + ledger check on the first grid cell.
+    // Determinism + ledger check under the default (WFQ + cost-model) config.
     let check_workload = qkd_simulator::FleetWorkload::mixed(4, block, seed).unwrap();
-    let (fleet, _, accepted) = run_fleet(&check_workload, 2, epochs, mean_blocks);
+    let (fleet, _, accepted) = run_fleet(
+        &check_workload,
+        qkd_manager::FleetConfig::default()
+            .with_workers(2)
+            .with_max_backlog(64),
+        epochs,
+        mean_blocks,
+    );
     for (link, spec) in check_workload.specs().iter().enumerate() {
         let link_spec = qkd_manager::LinkSpec::from_fleet(spec);
         let mut solo = link_spec.solo_processor().unwrap();
@@ -1033,21 +1094,124 @@ pub fn smoke_fleet() {
     }
     fleet.reconcile().expect("fleet ledger must reconcile");
 
+    // Policy cells: identical contended workloads under FIFO and WFQ. The
+    // budget (half the submitted batches) stops each drain while every link
+    // is still backlogged, so the service shares reflect the policy, not
+    // exhaustion.
+    let fair_budget = Some(POLICY_WEIGHTS.len() * epochs / 2);
+    let fifo_fair = run_policy_cell(
+        block,
+        seed,
+        qkd_manager::SchedPolicy::Fifo,
+        qkd_manager::PlacementPolicy::Cpu,
+        fair_budget,
+        epochs,
+        mean_blocks,
+    );
+    let wfq_fair = run_policy_cell(
+        block,
+        seed,
+        qkd_manager::SchedPolicy::Wfq,
+        qkd_manager::PlacementPolicy::Cpu,
+        fair_budget,
+        epochs,
+        mean_blocks,
+    );
+    // Full drains for the throughput comparison: the FIFO + CPU baseline vs
+    // the WFQ + cost-model scheduler that offloads modeled kernels once the
+    // calibrator warms up.
+    let fifo_full = run_policy_cell(
+        block,
+        seed,
+        qkd_manager::SchedPolicy::Fifo,
+        qkd_manager::PlacementPolicy::Cpu,
+        None,
+        epochs,
+        mean_blocks,
+    );
+    let wfq_placed = run_policy_cell(
+        block,
+        seed,
+        qkd_manager::SchedPolicy::Wfq,
+        qkd_manager::PlacementPolicy::CostModel,
+        None,
+        epochs,
+        mean_blocks,
+    );
+    assert!(
+        wfq_fair.fairness_weighted() >= WFQ_WEIGHTED_JAIN_FLOOR,
+        "WFQ weighted Jain {:.4} fell below the {} floor",
+        wfq_fair.fairness_weighted(),
+        WFQ_WEIGHTED_JAIN_FLOOR
+    );
+    assert!(
+        fifo_fair.fairness_weighted() < wfq_fair.fairness_weighted(),
+        "FIFO weighted Jain {:.4} must trail WFQ's {:.4} under contention",
+        fifo_fair.fairness_weighted(),
+        wfq_fair.fairness_weighted()
+    );
+    assert!(
+        wfq_placed.modeled_output_bps() > fifo_full.modeled_output_bps(),
+        "WFQ + placement modeled rate {:.1} must beat the FIFO + CPU baseline {:.1}",
+        wfq_placed.modeled_output_bps(),
+        fifo_full.modeled_output_bps()
+    );
+    let policy_cells = [
+        ("fifo+cpu/budgeted", &fifo_fair),
+        ("wfq+cpu/budgeted", &wfq_fair),
+        ("fifo+cpu/full", &fifo_full),
+        ("wfq+costmodel/full", &wfq_placed),
+    ];
+
     // The sweep: aggregate rate and fairness vs worker and link count.
     let mut cells = Vec::new();
     for &links in &[4usize, 8] {
         let workload = qkd_simulator::FleetWorkload::mixed(links, block, seed).unwrap();
         for &workers in &[1usize, 2, 4] {
-            let (fleet, report, _) = run_fleet(&workload, workers, epochs, mean_blocks);
+            let (fleet, report, _) = run_fleet(
+                &workload,
+                qkd_manager::FleetConfig::default()
+                    .with_workers(workers)
+                    .with_max_backlog(64),
+                epochs,
+                mean_blocks,
+            );
             fleet.reconcile().expect("fleet ledger must reconcile");
             cells.push((links, workers, report));
         }
     }
 
-    let mut json = String::from("{\n  \"schema\": \"qkd-bench-fleet/v1\",\n");
+    let mut json = String::from("{\n  \"schema\": \"qkd-bench-fleet/v2\",\n");
     json.push_str(&format!(
-        "  \"block_bits\": {block},\n  \"epochs\": {epochs},\n  \"mean_blocks\": {mean_blocks},\n  \"keys_identical\": true,\n  \"grid\": [\n"
+        "  \"block_bits\": {block},\n  \"epochs\": {epochs},\n  \"mean_blocks\": {mean_blocks},\n  \"keys_identical\": true,\n"
     ));
+    json.push_str(&format!(
+        "  \"gates\": {{\"wfq_weighted_jain_floor\": {WFQ_WEIGHTED_JAIN_FLOOR}, \"wfq_weighted_jain\": {:.4}, \"fifo_weighted_jain\": {:.4}, \"wfq_placed_modeled_bps\": {:.1}, \"fifo_cpu_modeled_bps\": {:.1}}},\n",
+        wfq_fair.fairness_weighted(),
+        fifo_fair.fairness_weighted(),
+        wfq_placed.modeled_output_bps(),
+        fifo_full.modeled_output_bps(),
+    ));
+    json.push_str("  \"policy_cells\": [\n");
+    for (i, (name, report)) in policy_cells.iter().enumerate() {
+        let placements: Vec<String> = report
+            .links
+            .iter()
+            .map(|l| format!("\"{}\"", l.placement))
+            .collect();
+        let comma = if i + 1 < policy_cells.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"cell\": \"{name}\", \"policy\": \"{}\", \"secret_bits\": {}, \"weighted_jain\": {:.4}, \"fairness_service\": {:.4}, \"aggregate_output_bps\": {:.1}, \"modeled_output_bps\": {:.1}, \"placements\": [{}]}}{comma}\n",
+            report.policy.label(),
+            report.total_secret_bits(),
+            report.fairness_weighted(),
+            report.fairness_service(),
+            report.aggregate_output_bps(),
+            report.modeled_output_bps(),
+            placements.join(", "),
+        ));
+    }
+    json.push_str("  ],\n  \"grid\": [\n");
     let num_cells = cells.len();
     for (i, (links, workers, report)) in cells.iter().enumerate() {
         json.push_str(&format!(

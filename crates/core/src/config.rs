@@ -98,6 +98,19 @@ impl PipelineOptions {
         self
     }
 
+    /// Options autoscaled from queue pressure: one shard as the baseline,
+    /// one more per four backlogged batches, never exceeding the spare cores
+    /// actually available to host the extra stage threads (and the same
+    /// cap of 4 as [`PipelineOptions::saturating`]). With an empty backlog
+    /// or no spare cores this is exactly the sequential-equivalent default.
+    pub fn for_backlog(backlog: usize, spare_cores: usize) -> Self {
+        let wanted = 1 + backlog / 4;
+        Self {
+            channel_capacity: 4,
+            shards: wanted.clamp(1, spare_cores.clamp(1, 4)),
+        }
+    }
+
     /// Validates the options.
     ///
     /// # Errors
@@ -143,6 +156,13 @@ pub struct PostProcessingConfig {
     pub channel: ChannelModel,
     /// Execution backend for reconciliation and privacy amplification.
     pub backend: ExecutionBackend,
+    /// Overrides `backend` for the LDPC decode (reconciliation) stage only.
+    /// Fleet placement uses this to offload just the decode — the paper's
+    /// "LDPC on the accelerator, everything else on the host" split —
+    /// without touching the other stages' modeled times. `None` means the
+    /// decode follows `backend`. Placement never changes key bits: backends
+    /// alter only modeled stage times.
+    pub decode_backend: Option<ExecutionBackend>,
     /// Bits of pre-shared authentication key available at session start.
     pub auth_pool_bits: usize,
     /// Skip QBER estimation sampling and trust the provided estimate
@@ -164,6 +184,7 @@ impl PostProcessingConfig {
             toeplitz_strategy: ToeplitzStrategy::Clmul,
             channel: ChannelModel::metro(),
             backend: ExecutionBackend::CpuSingle,
+            decode_backend: None,
             auth_pool_bits: 1 << 20,
             trust_external_qber: false,
         }
@@ -178,6 +199,13 @@ impl PostProcessingConfig {
     /// Switches the execution backend.
     pub fn with_backend(mut self, backend: ExecutionBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Overrides the backend of the LDPC decode stage only (`None` restores
+    /// following the whole-engine `backend`).
+    pub fn with_decode_backend(mut self, backend: Option<ExecutionBackend>) -> Self {
+        self.decode_backend = backend;
         self
     }
 

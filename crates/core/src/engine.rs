@@ -505,16 +505,15 @@ impl StageContext {
 
     /// Converts a measured host time into the modeled time for the configured
     /// backend. CPU backends report host time; simulated accelerators report
-    /// the analytic cost model's prediction for the same workload.
+    /// the analytic cost model's prediction for the same workload. The LDPC
+    /// decode honours `decode_backend` when set (decode-only placement).
     fn modeled_time(&self, kind: KernelKind, block_bits: usize, host: Duration) -> Duration {
-        let work_units = match kind {
-            KernelKind::LdpcDecode => block_bits as f64 * 3.0 * 20.0,
-            KernelKind::ToeplitzHash => {
-                (block_bits as f64 / 64.0) * (block_bits as f64 * 1.5 / 64.0)
-            }
-            _ => block_bits as f64,
+        let work_units = qkd_hetero::planned_work_units(kind, block_bits);
+        let backend = match kind {
+            KernelKind::LdpcDecode => self.config.decode_backend.unwrap_or(self.config.backend),
+            _ => self.config.backend,
         };
-        match self.config.backend {
+        match backend {
             ExecutionBackend::CpuSingle | ExecutionBackend::CpuMulti(_) => host,
             ExecutionBackend::SimGpu => {
                 CostModel::sim_gpu().predict_raw(kind, block_bits, block_bits, work_units)
@@ -656,6 +655,22 @@ impl PostProcessor {
     /// The configuration in use.
     pub fn config(&self) -> &PostProcessingConfig {
         &self.config
+    }
+
+    /// Re-points the whole engine at another execution backend, effective
+    /// from the next batch. Backends alter only modeled stage times — key
+    /// bits derive purely from the session seed and block ids — so fleet
+    /// placement can move a live link between backends without perturbing
+    /// its output.
+    pub fn set_backend(&mut self, backend: ExecutionBackend) {
+        Arc::make_mut(&mut self.config).backend = backend;
+    }
+
+    /// Overrides the backend of the LDPC decode stage only (`None` restores
+    /// following the whole-engine backend), effective from the next batch.
+    /// Same bit-exactness guarantee as [`PostProcessor::set_backend`].
+    pub fn set_decode_backend(&mut self, backend: Option<ExecutionBackend>) {
+        Arc::make_mut(&mut self.config).decode_backend = backend;
     }
 
     /// The running session summary.

@@ -171,6 +171,25 @@ impl CostModel {
     }
 }
 
+/// Abstract work units of one planned kernel invocation over a block of
+/// `block_bits` bits — the planning-time analogue of
+/// [`crate::KernelTask::work_units`], shared by the scheduler's task-graph
+/// builder, the engine's modeled stage times and cost calibration so all
+/// three price a stage identically.
+pub fn planned_work_units(kind: KernelKind, block_bits: usize) -> f64 {
+    let bits = block_bits as f64;
+    match kind {
+        KernelKind::Sift => bits,
+        KernelKind::Syndrome => bits * 3.0,
+        // ~3 edges/bit × ~20 decoder iterations.
+        KernelKind::LdpcDecode => bits * 3.0 * 20.0,
+        // Word-packed Toeplitz: (rows/64) × (cols/64) word multiplies.
+        KernelKind::ToeplitzHash => (bits / 64.0) * (bits * 1.5 / 64.0),
+        // Fixed-size polynomial MAC over the tag field.
+        KernelKind::PolyMac => 256.0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod calibrate;
 pub mod cost;
 pub mod device;
 pub mod kernel;
@@ -37,7 +38,8 @@ pub mod pipeline;
 pub mod profiler;
 pub mod scheduler;
 
-pub use cost::CostModel;
+pub use calibrate::{kernel_for_stage, CostCalibrator};
+pub use cost::{planned_work_units, CostModel};
 pub use device::{CpuDevice, Device, DeviceKind, SimFpga, SimGpu};
 pub use kernel::{KernelKind, KernelResult, KernelTask};
 pub use pipeline::{Pipeline, PipelineReport, Stage};

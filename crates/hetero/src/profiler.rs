@@ -8,8 +8,13 @@ use serde::{Deserialize, Serialize};
 /// Accumulated metrics of one pipeline stage or kernel kind.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct StageMetrics {
-    /// Number of items processed.
+    /// Number of recorded batches (one per [`StageMetrics::record`] call).
     pub count: usize,
+    /// Number of logical items (blocks) the recorded batches covered. Equal
+    /// to `count` when every record covers one block; larger when a stage
+    /// records whole multi-block batches. Cost-model calibration divides
+    /// time by this to fit ms/item.
+    pub items: u64,
     /// Total modeled time spent.
     pub modeled_time: Duration,
     /// Total host wall-clock time spent.
@@ -28,7 +33,20 @@ pub struct StageMetrics {
 impl StageMetrics {
     /// Records one processed item.
     pub fn record(&mut self, modeled: Duration, host: Duration, bits_in: usize, bits_out: usize) {
+        self.record_batch(modeled, host, bits_in, bits_out, 1);
+    }
+
+    /// Records one batch covering `items` logical items.
+    pub fn record_batch(
+        &mut self,
+        modeled: Duration,
+        host: Duration,
+        bits_in: usize,
+        bits_out: usize,
+        items: u64,
+    ) {
         self.count += 1;
+        self.items += items;
         self.modeled_time += modeled;
         self.host_time += host;
         self.bits_in += bits_in as u64;
@@ -43,11 +61,23 @@ impl StageMetrics {
     /// Merges another metrics record into this one.
     pub fn merge(&mut self, other: &StageMetrics) {
         self.count += other.count;
+        self.items += other.items;
         self.modeled_time += other.modeled_time;
         self.host_time += other.host_time;
         self.bits_in += other.bits_in;
         self.bits_out += other.bits_out;
         self.blocked_time += other.blocked_time;
+    }
+
+    /// Average host milliseconds per logical item; `None` until at least one
+    /// item has been recorded. This is the quantity online cost-model
+    /// calibration fits against backend predictions.
+    pub fn host_ms_per_item(&self) -> Option<f64> {
+        if self.items == 0 {
+            None
+        } else {
+            Some(self.host_time.as_secs_f64() * 1e3 / self.items as f64)
+        }
     }
 
     /// Modeled throughput in input bits per second.
@@ -365,5 +395,125 @@ mod tests {
         report.record_stage("pa", a);
         assert_eq!(report.stages["pa"].count, 2);
         assert_eq!(report.stages["pa"].bits_in, 200);
+    }
+
+    #[test]
+    fn batch_records_count_items_separately() {
+        let mut m = StageMetrics::default();
+        assert_eq!(m.host_ms_per_item(), None);
+        m.record_batch(
+            Duration::from_millis(6),
+            Duration::from_millis(6),
+            300,
+            150,
+            3,
+        );
+        assert_eq!(m.count, 1);
+        assert_eq!(m.items, 3);
+        assert!((m.host_ms_per_item().unwrap() - 2.0).abs() < 1e-9);
+        m.record(Duration::from_millis(2), Duration::from_millis(2), 100, 50);
+        assert_eq!(m.count, 2);
+        assert_eq!(m.items, 4);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// (items, micros, bits_in, bits_out) raw draws; the test body
+        /// assembles `StageMetrics` from them (the vendored proptest
+        /// stand-in has no `prop_map`).
+        type RawMetrics = (u64, u64, u64, u64);
+
+        fn metrics_from(raw: RawMetrics) -> StageMetrics {
+            let (items, micros, bits_in, bits_out) = raw;
+            StageMetrics {
+                count: (items % 7) as usize,
+                items,
+                modeled_time: Duration::from_micros(micros),
+                host_time: Duration::from_micros(micros / 2),
+                bits_in,
+                bits_out,
+                blocked_time: Duration::from_micros(micros / 4),
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Report merge must sum every `StageMetrics` field — including
+            /// the new `items` counter — per stage name, take the max
+            /// makespan, and add the report-level totals, regardless of how
+            /// stages are distributed across the two reports.
+            #[test]
+            fn report_merge_sums_every_stage_field(
+                stages_a in collection::vec(
+                    (0usize..4, (0u64..200, 0u64..10_000, 0u64..10_000, 0u64..10_000)),
+                    0..6,
+                ),
+                stages_b in collection::vec(
+                    (0usize..4, (0u64..200, 0u64..10_000, 0u64..10_000, 0u64..10_000)),
+                    0..6,
+                ),
+                makespans in (0u64..5_000, 0u64..5_000),
+                items in (0usize..100, 0usize..100),
+            ) {
+                let names = ["sift", "decode", "pa", "auth"];
+                let build = |specs: &[(usize, RawMetrics)], makespan: u64, items: usize| {
+                    let mut r = ThroughputReport {
+                        makespan: Duration::from_micros(makespan),
+                        items,
+                        input_bits: items as u64 * 8,
+                        output_bits: items as u64 * 4,
+                        ..Default::default()
+                    };
+                    for (name, raw) in specs {
+                        r.record_stage(names[*name], metrics_from(*raw));
+                    }
+                    r
+                };
+                let a = build(&stages_a, makespans.0, items.0);
+                let b = build(&stages_b, makespans.1, items.1);
+                let mut merged = a.clone();
+                merged.merge(&b);
+
+                prop_assert_eq!(merged.makespan, a.makespan.max(b.makespan));
+                prop_assert_eq!(merged.items, a.items + b.items);
+                prop_assert_eq!(merged.input_bits, a.input_bits + b.input_bits);
+                prop_assert_eq!(merged.output_bits, a.output_bits + b.output_bits);
+                for name in names {
+                    let expect = |r: &ThroughputReport, f: fn(&StageMetrics) -> u64| {
+                        r.stages.get(name).map_or(0, f)
+                    };
+                    let got = merged.stages.get(name);
+                    prop_assert_eq!(
+                        got.map_or(0, |m| m.items),
+                        expect(&a, |m| m.items) + expect(&b, |m| m.items)
+                    );
+                    prop_assert_eq!(
+                        got.map_or(0, |m| m.count as u64),
+                        expect(&a, |m| m.count as u64) + expect(&b, |m| m.count as u64)
+                    );
+                    prop_assert_eq!(
+                        got.map_or(0, |m| m.bits_in),
+                        expect(&a, |m| m.bits_in) + expect(&b, |m| m.bits_in)
+                    );
+                    prop_assert_eq!(
+                        got.map_or(0, |m| m.bits_out),
+                        expect(&a, |m| m.bits_out) + expect(&b, |m| m.bits_out)
+                    );
+                    prop_assert_eq!(
+                        got.map_or(Duration::ZERO, |m| m.modeled_time),
+                        a.stages.get(name).map_or(Duration::ZERO, |m| m.modeled_time)
+                            + b.stages.get(name).map_or(Duration::ZERO, |m| m.modeled_time)
+                    );
+                    prop_assert_eq!(
+                        got.map_or(Duration::ZERO, |m| m.blocked_time),
+                        a.stages.get(name).map_or(Duration::ZERO, |m| m.blocked_time)
+                            + b.stages.get(name).map_or(Duration::ZERO, |m| m.blocked_time)
+                    );
+                }
+            }
+        }
     }
 }

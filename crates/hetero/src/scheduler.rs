@@ -351,10 +351,10 @@ pub fn pipeline_task_graph(blocks: usize, block_bits: usize) -> Vec<TaskSpec> {
     let mut tasks = Vec::with_capacity(blocks * 5);
     for b in 0..blocks {
         let base = b * 5;
-        let work_sift = block_bits as f64;
-        let work_syndrome = block_bits as f64 * 3.0;
-        let work_decode = block_bits as f64 * 3.0 * 20.0;
-        let work_toeplitz = (block_bits as f64 / 64.0) * (block_bits as f64 * 1.5 / 64.0);
+        let work_sift = crate::cost::planned_work_units(KernelKind::Sift, block_bits);
+        let work_syndrome = crate::cost::planned_work_units(KernelKind::Syndrome, block_bits);
+        let work_decode = crate::cost::planned_work_units(KernelKind::LdpcDecode, block_bits);
+        let work_toeplitz = crate::cost::planned_work_units(KernelKind::ToeplitzHash, block_bits);
         tasks.push(TaskSpec {
             id: base,
             kind: KernelKind::Sift,

@@ -377,9 +377,10 @@ pub struct SyndromeDecoder {
     var_check: Vec<u32>,
     /// Start offset of each variable's edges in `var_edge` (length `n + 1`).
     var_offsets: Vec<u32>,
-    /// Lane-per-check schedule for the AVX2 min-sum layered sweep: quads of
-    /// consecutive variable-disjoint equal-degree checks, interleaved with
-    /// scalar singles. Empty when the host lacks AVX2 (scalar sweep runs).
+    /// Lane-per-check schedule for the AVX2 min-sum sweeps: quads of
+    /// consecutive equal-degree checks (additionally pairwise
+    /// variable-disjoint for the layered schedule), interleaved with scalar
+    /// singles. Empty when the host lacks AVX2 (scalar sweep runs).
     #[cfg(target_arch = "x86_64")]
     quad_sched: Vec<u32>,
     max_check_degree: usize,
@@ -439,17 +440,25 @@ impl SyndromeDecoder {
             }
         }
 
-        // Only the min-sum layered sweep consumes the quad schedule; other
-        // configurations skip the scan and the memory.
+        // Only the min-sum sweeps consume the quad schedule; other
+        // configurations skip the scan and the memory. Layered quads must be
+        // pairwise variable-disjoint (lanes would otherwise observe each
+        // other's posterior writes); flooding check updates are independent
+        // within a sweep, so consecutive equal-degree checks suffice.
         #[cfg(target_arch = "x86_64")]
         let quad_sched = if matches!(config.algorithm, DecoderAlgorithm::MinSum { .. })
-            && config.schedule == Schedule::Layered
             && std::arch::is_x86_feature_detected!("avx2")
         {
             // `var_degree` has served its purpose; reuse it as the stamp
             // buffer for the disjointness scan.
             var_degree.fill(0);
-            crate::simd::build_schedule(m, &check_offsets, &edge_var, &mut var_degree)
+            crate::simd::build_schedule(
+                m,
+                &check_offsets,
+                &edge_var,
+                &mut var_degree,
+                config.schedule == Schedule::Layered,
+            )
         } else {
             Vec::new()
         };
@@ -670,32 +679,73 @@ impl SyndromeDecoder {
         c2v: &mut [f64],
         target_words: &[u64],
     ) {
+        #[cfg(target_arch = "x86_64")]
+        if !self.quad_sched.is_empty() {
+            for &entry in &self.quad_sched {
+                if entry & crate::simd::QUAD != 0 {
+                    let c = (entry & !crate::simd::QUAD) as usize;
+                    let (s, e) = self.check_range(c);
+                    // SAFETY: the schedule was built for this exact graph
+                    // (quads are in-bounds and equal-degree) and only when
+                    // AVX2 was detected at construction.
+                    unsafe {
+                        crate::simd::min_sum_flooding_quad(
+                            c,
+                            e - s,
+                            &self.check_offsets,
+                            target_words,
+                            scale,
+                            v2c,
+                            c2v,
+                        );
+                    }
+                } else {
+                    self.min_sum_flooding_check(entry as usize, scale, v2c, c2v, target_words);
+                }
+            }
+            return;
+        }
         for c in 0..self.m {
-            let (s, e) = self.check_range(c);
-            let inputs = &v2c[s..e];
-            let mut min1 = f64::INFINITY;
-            let mut min2 = f64::INFINITY;
-            let mut min1_idx = 0usize;
-            let mut neg = false;
-            for (k, &v) in inputs.iter().enumerate() {
-                let a = v.abs();
-                let is_new_min = a < min1;
-                let runner_up = sel(is_new_min, min1, a);
-                min2 = sel(runner_up < min2, runner_up, min2);
-                min1 = sel(is_new_min, a, min1);
-                min1_idx = sel_idx(is_new_min, k, min1_idx);
-                neg ^= v < 0.0;
-            }
-            let sign_target = Self::target_sign(target_words, c);
-            let signed_scale = flip_if(sign_target * scale, neg);
-            // ±∞ survives only on degenerate degree-0/1 checks; the kernel
-            // substitutes zero there, and so must the pre-scaled magnitudes.
-            let mag1 = signed_scale * if min1.is_finite() { min1 } else { 0.0 };
-            let mag2 = signed_scale * if min2.is_finite() { min2 } else { 0.0 };
-            for (k, (&v, out)) in inputs.iter().zip(c2v[s..e].iter_mut()).enumerate() {
-                let mag = sel(k == min1_idx, mag2, mag1);
-                *out = flip_if(mag, v < 0.0);
-            }
+            self.min_sum_flooding_check(c, scale, v2c, c2v, target_words);
+        }
+    }
+
+    /// Scalar min-sum flooding update of one check (the fused two-pass form
+    /// shared by the non-quad entries of the AVX2 schedule and by hosts
+    /// without AVX2).
+    #[inline]
+    fn min_sum_flooding_check(
+        &self,
+        c: usize,
+        scale: f64,
+        v2c: &[f64],
+        c2v: &mut [f64],
+        target_words: &[u64],
+    ) {
+        let (s, e) = self.check_range(c);
+        let inputs = &v2c[s..e];
+        let mut min1 = f64::INFINITY;
+        let mut min2 = f64::INFINITY;
+        let mut min1_idx = 0usize;
+        let mut neg = false;
+        for (k, &v) in inputs.iter().enumerate() {
+            let a = v.abs();
+            let is_new_min = a < min1;
+            let runner_up = sel(is_new_min, min1, a);
+            min2 = sel(runner_up < min2, runner_up, min2);
+            min1 = sel(is_new_min, a, min1);
+            min1_idx = sel_idx(is_new_min, k, min1_idx);
+            neg ^= v < 0.0;
+        }
+        let sign_target = Self::target_sign(target_words, c);
+        let signed_scale = flip_if(sign_target * scale, neg);
+        // ±∞ survives only on degenerate degree-0/1 checks; the kernel
+        // substitutes zero there, and so must the pre-scaled magnitudes.
+        let mag1 = signed_scale * if min1.is_finite() { min1 } else { 0.0 };
+        let mag2 = signed_scale * if min2.is_finite() { min2 } else { 0.0 };
+        for (k, (&v, out)) in inputs.iter().zip(c2v[s..e].iter_mut()).enumerate() {
+            let mag = sel(k == min1_idx, mag2, mag1);
+            *out = flip_if(mag, v < 0.0);
         }
     }
 
@@ -1314,6 +1364,50 @@ mod tests {
                 reference, optimized,
                 "size {n} diverged with reused scratch"
             );
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// The min-sum flooding scratch path — which dispatches the AVX2
+            /// quad kernel on hosts that have it — must stay bit-identical
+            /// to the all-scalar reference decoder over random codes, error
+            /// densities and LLR overrides (the layered analogue of this
+            /// guarantee is covered by
+            /// `scratch_path_is_bit_identical_to_reference`).
+            #[test]
+            fn flooding_quad_kernel_is_bit_identical_to_scalar(
+                seed in any::<u64>(),
+                n_exp in 8u32..12,
+                true_qber in 0.005f64..0.10,
+                overrides in 0usize..32,
+            ) {
+                let n = 1usize << n_exp;
+                let h = setup(n, 0.5, seed % 1000);
+                let mut rng = derive_rng(seed, "flooding-quad-equiv");
+                let truth = random_error(&mut rng, h.num_vars(), true_qber);
+                let syndrome = h.syndrome(&truth);
+                let config = DecoderConfig {
+                    schedule: Schedule::Flooding,
+                    max_iterations: 30,
+                    ..DecoderConfig::default()
+                };
+                let dec = SyndromeDecoder::new(&h, config).unwrap();
+                let pins: Vec<(usize, f64)> =
+                    (0..overrides).map(|v| (v, 25.0)).collect();
+                let mut scratch = DecoderScratch::new();
+                let reference =
+                    dec.decode_reference(&syndrome, 0.03, &pins).unwrap();
+                let optimized = dec
+                    .decode_with_scratch(&syndrome, 0.03, &pins, &mut scratch)
+                    .unwrap();
+                prop_assert_eq!(reference, optimized);
+            }
         }
     }
 

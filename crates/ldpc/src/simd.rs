@@ -1,4 +1,4 @@
-//! AVX2 lane-per-check kernels for the min-sum layered sweep.
+//! AVX2 lane-per-check kernels for the min-sum layered and flooding sweeps.
 //!
 //! The layered schedule is sequential by definition — check `c + 1` must see
 //! the posterior updates of check `c` when they share a variable. The
@@ -10,6 +10,13 @@
 //! parity, same rounding). Results are bit-identical to the scalar sweep —
 //! and hence to the retained reference decoder — on every machine; hosts
 //! without AVX2 simply run the scalar sweep.
+//!
+//! The flooding schedule is easier: every check update within a sweep reads
+//! the variable-to-check messages and writes only its own check-to-variable
+//! slots, so checks are independent by construction and quads need only be
+//! consecutive and equal-degree (no disjointness scan). The flooding quad
+//! kernel mirrors the fused scalar sweep's arithmetic operation-for-operation
+//! and is likewise bit-identical.
 //!
 //! Safety: the only unsafe operations are AVX2 intrinsics on indices the
 //! decoder constructed and bounds-validated itself (every `edge_var` entry is
@@ -32,14 +39,18 @@ pub(crate) const QUAD: u32 = 0x8000_0000;
 pub(crate) const MAX_QUAD_DEGREE: usize = 16;
 
 /// Builds the quad schedule: entries are either `c | QUAD` (checks
-/// `c..c + 4` are pairwise variable-disjoint and share one degree) or a bare
-/// check index processed scalar. `stamp` is an `n`-sized scratch the caller
-/// provides.
+/// `c..c + 4` share one degree and, when `require_disjoint` is set, are
+/// pairwise variable-disjoint) or a bare check index processed scalar.
+/// `stamp` is an `n`-sized scratch the caller provides. Layered sweeps need
+/// the disjointness scan (quad lanes must not observe each other's posterior
+/// writes); flooding sweeps pass `false` because their check updates are
+/// independent within a sweep.
 pub(crate) fn build_schedule(
     m: usize,
     check_offsets: &[u32],
     edge_var: &[u32],
     stamp: &mut [u32],
+    require_disjoint: bool,
 ) -> Vec<u32> {
     let mut sched = Vec::with_capacity(m);
     let mut generation = 0u32;
@@ -56,6 +67,9 @@ pub(crate) fn build_schedule(
                     if e - s != deg {
                         quad_ok = false;
                         break 'quad;
+                    }
+                    if !require_disjoint {
+                        continue;
                     }
                     for &v in &edge_var[s..e] {
                         if stamp[v as usize] == generation {
@@ -207,6 +221,109 @@ pub(crate) unsafe fn min_sum_layered_quad(
             unsafe {
                 *c2v.get_unchecked_mut(starts_arr[q] as usize + k) = out_arr[q];
                 *posterior.get_unchecked_mut(var_arr[q] as usize) = post_arr[q];
+            }
+        }
+    }
+}
+
+/// Lane-per-check min-sum flooding update of one quad (checks `c..c + 4`,
+/// all of degree `deg`). Reads the variable-to-check messages, writes the
+/// four checks' contiguous check-to-variable slots; no posterior access, so
+/// quads need not be variable-disjoint. Each lane executes exactly the fused
+/// scalar sweep's instruction sequence (two-minimum scan, sign parity,
+/// signed-scale magnitudes) — bit-identical results.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available, `deg <= MAX_QUAD_DEGREE`, and the
+/// four checks' edge ranges lie inside `v2c`/`c2v`.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn min_sum_flooding_quad(
+    c: usize,
+    deg: usize,
+    check_offsets: &[u32],
+    target_words: &[u64],
+    scale: f64,
+    v2c: &[f64],
+    c2v: &mut [f64],
+) {
+    let sign_mask = _mm256_set1_pd(f64::from_bits(1u64 << 63));
+    let zero = _mm256_setzero_pd();
+
+    // Edge starts of the four checks.
+    let starts = _mm_set_epi32(
+        check_offsets[c + 3] as i32,
+        check_offsets[c + 2] as i32,
+        check_offsets[c + 1] as i32,
+        check_offsets[c] as i32,
+    );
+
+    let mut vals = [_mm256_setzero_pd(); MAX_QUAD_DEGREE];
+    let mut min1 = _mm256_set1_pd(f64::INFINITY);
+    let mut min2 = _mm256_set1_pd(f64::INFINITY);
+    let mut min1_idx = _mm256_setzero_si256();
+    let mut neg = _mm256_setzero_pd();
+
+    // Pass 1 — the two-minimum/sign scan over the incoming messages,
+    // lanewise.
+    for (k, val_k) in vals[..deg].iter_mut().enumerate() {
+        let edge_k = _mm_add_epi32(starts, _mm_set1_epi32(k as i32));
+        // SAFETY: each lane of `edge_k` is `check_offsets[c+q] + k` with
+        // `k < deg`, so all four 8-byte gather offsets land inside `v2c`
+        // (the caller guarantees the quad's edge ranges are in-bounds).
+        let val = unsafe { _mm256_i32gather_pd(v2c.as_ptr(), edge_k, 8) };
+        *val_k = val;
+        let a = _mm256_andnot_pd(sign_mask, val);
+        // Lanewise two-minimum update, mirroring the scalar selects exactly.
+        let lt1 = _mm256_cmp_pd(a, min1, _CMP_LT_OQ);
+        let runner_up = _mm256_blendv_pd(a, min1, lt1);
+        let lt2 = _mm256_cmp_pd(runner_up, min2, _CMP_LT_OQ);
+        min2 = _mm256_blendv_pd(min2, runner_up, lt2);
+        min1 = _mm256_blendv_pd(min1, a, lt1);
+        let k_vec = _mm256_set1_epi64x(k as i64);
+        min1_idx = _mm256_blendv_epi8(min1_idx, k_vec, _mm256_castpd_si256(lt1));
+        neg = _mm256_xor_pd(neg, _mm256_cmp_pd(val, zero, _CMP_LT_OQ));
+    }
+
+    // Per-lane signed scale: ±scale from the target syndrome bit, sign-
+    // flipped by the lane's accumulated parity.
+    let base = |q: usize| -> f64 {
+        let bit = (target_words[(c + q) >> 6] >> ((c + q) & 63)) & 1;
+        if bit == 1 {
+            -scale
+        } else {
+            scale
+        }
+    };
+    let base_v = _mm256_set_pd(base(3), base(2), base(1), base(0));
+    let signed_scale = _mm256_xor_pd(base_v, _mm256_and_pd(neg, sign_mask));
+    // Degree >= 2 in every quad, so both minima are finite.
+    let mag1 = _mm256_mul_pd(signed_scale, min1);
+    let mag2 = _mm256_mul_pd(signed_scale, min2);
+
+    // Pass 2 — outgoing messages, scattered to the four checks' contiguous
+    // message slots.
+    let mut starts_arr = [0i32; 4];
+    // SAFETY: `starts_arr` is a stack array of exactly four `i32`s (16
+    // bytes), matching the 128-bit store; `storeu` has no alignment
+    // requirement.
+    unsafe { _mm_storeu_si128(starts_arr.as_mut_ptr().cast::<__m128i>(), starts) };
+    for (k, &val) in vals[..deg].iter().enumerate() {
+        let is_min = _mm256_cmpeq_epi64(min1_idx, _mm256_set1_epi64x(k as i64));
+        let mag = _mm256_blendv_pd(mag1, mag2, _mm256_castsi256_pd(is_min));
+        let out = _mm256_xor_pd(
+            mag,
+            _mm256_and_pd(_mm256_cmp_pd(val, zero, _CMP_LT_OQ), sign_mask),
+        );
+        let mut out_arr = [0.0f64; 4];
+        // SAFETY: the destination is a stack array of exactly 4 × f64 (32
+        // bytes), matching the 256-bit unaligned store.
+        unsafe { _mm256_storeu_pd(out_arr.as_mut_ptr(), out) };
+        for q in 0..4 {
+            // SAFETY: `starts_arr[q] + k` is an edge index of check `c+q`
+            // with `k < deg`, in-bounds for `c2v` per the caller's contract.
+            unsafe {
+                *c2v.get_unchecked_mut(starts_arr[q] as usize + k) = out_arr[q];
             }
         }
     }

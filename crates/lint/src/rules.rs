@@ -12,9 +12,10 @@ use crate::parse::{FileModel, StructItem};
 use crate::{Finding, Rule};
 
 /// Hot-path modules under the panic-freedom gate: the request path of the
-/// delivery API, the decode/store loops, and the telemetry record path
-/// (which every one of those loops now calls into). Everything else may use
-/// `unwrap`/`expect` where a panic is a programming error.
+/// delivery API, the decode/store loops, the fleet scheduler's ready queue,
+/// and the telemetry record path (which every one of those loops now calls
+/// into). Everything else may use `unwrap`/`expect` where a panic is a
+/// programming error.
 pub const HOT_PATH_FILES: &[&str] = &[
     "crates/api/src/http.rs",
     "crates/api/src/router.rs",
@@ -25,6 +26,7 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/journal/src/replay.rs",
     "crates/ldpc/src/decoder.rs",
     "crates/ldpc/src/simd.rs",
+    "crates/manager/src/sched.rs",
     "crates/manager/src/store.rs",
     "crates/obs/src/registry.rs",
     "crates/obs/src/histogram.rs",

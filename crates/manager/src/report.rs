@@ -8,6 +8,8 @@ use serde::{Deserialize, Serialize};
 use qkd_core::SessionSummary;
 use qkd_hetero::ThroughputReport;
 
+use crate::sched::SchedPolicy;
+
 /// Jain's fairness index over a set of per-link allocations:
 /// `(Σx)² / (n·Σx²)`. 1.0 means perfectly even service; `1/n` means one link
 /// got everything. Empty or all-zero inputs report 1.0 (nothing was unfairly
@@ -53,6 +55,14 @@ pub struct LinkReport {
     pub batches_dropped: u64,
     /// Total worker time spent on this link.
     pub busy: Duration,
+    /// WFQ scheduling weight from the spec.
+    pub weight: f64,
+    /// Where the scheduler last placed this link's modeled kernels
+    /// (`cpu`, `whole:sim-gpu`, `decode:sim-fpga`, …).
+    pub placement: String,
+    /// Most pipeline shards any dispatch of this link ran with (1 = the
+    /// link never left the sequential path).
+    pub shards: usize,
     /// Fatal failure that stopped the link, if any (display form).
     pub failure: Option<String>,
 }
@@ -72,6 +82,17 @@ impl LinkReport {
     pub fn blocks_attempted(&self) -> u64 {
         (self.summary.blocks_ok + self.summary.blocks_failed) as u64
     }
+
+    /// Total *modeled* stage time of the link: host-measured for stages on
+    /// the CPU, the analytic cost model's prediction for stages placed on a
+    /// simulated accelerator. The quantity backend placement optimises.
+    pub fn modeled_busy(&self) -> Duration {
+        self.throughput
+            .stages
+            .values()
+            .map(|m| m.modeled_time)
+            .sum()
+    }
 }
 
 /// Aggregate view of a fleet run: per-link reports plus the merged session
@@ -89,6 +110,8 @@ pub struct FleetReport {
     pub wall_time: Duration,
     /// Worker threads the pool ran with.
     pub workers: usize,
+    /// Queueing policy the drain ran under.
+    pub policy: SchedPolicy,
 }
 
 impl FleetReport {
@@ -126,19 +149,70 @@ impl FleetReport {
         jain_index(&blocks)
     }
 
+    /// Jain fairness of *weighted* service: busy time normalised by each
+    /// link's scheduling weight, over the links that got any service. 1.0
+    /// means every link received pool time exactly proportional to its
+    /// weight — what WFQ guarantees under sustained backlog and what FIFO
+    /// round-robin violates as soon as weights differ. Only meaningful when
+    /// the drain ran under contention (e.g. a [`crate::FleetConfig`]
+    /// `batch_budget` that stopped before backlogs emptied); a full drain
+    /// eventually serves everything regardless of order.
+    pub fn fairness_weighted(&self) -> f64 {
+        let shares: Vec<f64> = self
+            .links
+            .iter()
+            .filter(|l| l.batches_processed > 0 && l.weight > 0.0)
+            .map(|l| l.busy.as_secs_f64() / l.weight)
+            .collect();
+        jain_index(&shares)
+    }
+
+    /// Total modeled stage time across the fleet (see
+    /// [`LinkReport::modeled_busy`]).
+    pub fn modeled_busy(&self) -> Duration {
+        self.links.iter().map(LinkReport::modeled_busy).sum()
+    }
+
+    /// Modeled aggregate output rate: total secret bits over the fleet's
+    /// modeled stage time divided across the pool's workers. Unlike
+    /// [`FleetReport::aggregate_output_bps`] (host wall clock) this reflects
+    /// what backend placement buys: offloading the decode shrinks its
+    /// modeled time to the accelerator's prediction.
+    pub fn modeled_output_bps(&self) -> f64 {
+        let secs = self.modeled_busy().as_secs_f64() / self.workers.max(1) as f64;
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.summary.secret_bits_out as f64 / secs
+        }
+    }
+
     /// Renders the fleet as an aligned text table.
     pub fn to_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<6} {:<10} {:>7} {:>8} {:>8} {:>12} {:>12} {:>10}\n",
-            "link", "label", "QBER%", "ok", "failed", "secret bits", "busy (ms)", "kbit/s"
+            "{:<6} {:<10} {:>7} {:>6} {:<14} {:>6} {:>8} {:>8} {:>12} {:>12} {:>10}\n",
+            "link",
+            "label",
+            "QBER%",
+            "wt",
+            "placement",
+            "shards",
+            "ok",
+            "failed",
+            "secret bits",
+            "busy (ms)",
+            "kbit/s"
         ));
         for l in &self.links {
             out.push_str(&format!(
-                "{:<6} {:<10} {:>7.2} {:>8} {:>8} {:>12} {:>12.2} {:>10.1}\n",
+                "{:<6} {:<10} {:>7.2} {:>6.1} {:<14} {:>6} {:>8} {:>8} {:>12} {:>12.2} {:>10.1}\n",
                 l.link,
                 l.label,
                 l.qber * 100.0,
+                l.weight,
+                l.placement,
+                l.shards,
                 l.summary.blocks_ok,
                 l.summary.blocks_failed,
                 l.summary.secret_bits_out,
@@ -147,14 +221,17 @@ impl FleetReport {
             ));
         }
         out.push_str(&format!(
-            "fleet: {} links, {} workers, {} secret bits in {:.2} ms ({:.1} kbit/s aggregate), fairness service {:.3} / blocks {:.3}\n",
+            "fleet: {} links, {} workers, {} policy, {} secret bits in {:.2} ms ({:.1} kbit/s aggregate, {:.1} modeled), fairness service {:.3} / blocks {:.3} / weighted {:.3}\n",
             self.links.len(),
             self.workers,
+            self.policy.label(),
             self.summary.secret_bits_out,
             self.wall_time.as_secs_f64() * 1e3,
             self.aggregate_output_bps() / 1e3,
+            self.modeled_output_bps() / 1e3,
             self.fairness_service(),
             self.fairness_blocks(),
+            self.fairness_weighted(),
         ));
         out
     }

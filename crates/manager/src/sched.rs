@@ -1,0 +1,511 @@
+//! Fleet scheduling: the ready queue (FIFO round-robin or weighted fair
+//! queueing) and cost-model-driven backend placement.
+//!
+//! **Queueing.** [`ReadyQueue`] replaces the old flat FIFO drain. Under
+//! [`SchedPolicy::Wfq`] every link carries a *virtual time*: measured worker
+//! seconds divided by the link's scheduling weight, accumulated as batches
+//! complete. Workers always serve the ready link with the lowest virtual
+//! time, so while links are backlogged each receives pool service
+//! proportional to its weight — a premium (high-weight) link buys a larger
+//! share, but a weight-ε link still has the lowest virtual time eventually
+//! and can never starve. FIFO round-robin (the previous behaviour) remains
+//! available as the baseline policy.
+//!
+//! **Placement.** [`decide_placement`] asks the online-calibrated cost
+//! models ([`qkd_hetero::CostCalibrator`]) where a link's modeled kernels
+//! are cheapest: whole-link on a simulated accelerator, the LDPC decode
+//! stage alone offloaded (the paper's "decoder on the device, everything
+//! else on the host" split), or everything on the host CPU. Placement only
+//! changes *modeled* stage times — every backend computes bit-identical
+//! results — so it composes with the fleet determinism invariant by
+//! construction.
+//!
+//! A [`ReadyQueue`] lives for one [`crate::LinkManager::run`] drain; virtual
+//! times start even at every drain, which is exactly the long-run fair
+//! share since weights do not change mid-run.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+use serde::{Deserialize, Serialize};
+
+use qkd_core::ExecutionBackend;
+use qkd_hetero::{CostCalibrator, CostModel, KernelKind};
+
+/// How the ready queue orders competing links.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedPolicy {
+    /// First-in first-out round-robin: a link rejoins the tail after every
+    /// batch. Equal shares regardless of link weight.
+    Fifo,
+    /// Weighted fair queueing: serve the ready link with the lowest
+    /// weighted-virtual-time; service shares track link weights under
+    /// sustained backlog and no link can starve.
+    #[default]
+    Wfq,
+}
+
+impl SchedPolicy {
+    /// Short label for reports and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedPolicy::Fifo => "fifo",
+            SchedPolicy::Wfq => "wfq",
+        }
+    }
+}
+
+/// How links are placed onto execution backends.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Everything on the host CPU (the baseline; no modeled offload).
+    Cpu,
+    /// Ask the calibrated cost models per batch and place the link (or just
+    /// its decode stage) on the backend predicted cheapest.
+    #[default]
+    CostModel,
+}
+
+impl PlacementPolicy {
+    /// Short label for reports and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementPolicy::Cpu => "cpu",
+            PlacementPolicy::CostModel => "cost-model",
+        }
+    }
+}
+
+/// Where the scheduler put a link's modeled kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkPlacement {
+    /// All stages on the host CPU.
+    Cpu,
+    /// Whole link (decode and privacy amplification) on the given simulated
+    /// accelerator.
+    Whole(ExecutionBackend),
+    /// Only the LDPC decode stage on the given accelerator; everything else
+    /// stays on the host.
+    DecodeOnly(ExecutionBackend),
+}
+
+impl LinkPlacement {
+    /// Short label for reports and metrics (`cpu`, `whole:sim-gpu`,
+    /// `decode:sim-fpga`, …).
+    pub fn label(&self) -> String {
+        match self {
+            LinkPlacement::Cpu => "cpu".to_string(),
+            LinkPlacement::Whole(b) => format!("whole:{}", b.label()),
+            LinkPlacement::DecodeOnly(b) => format!("decode:{}", b.label()),
+        }
+    }
+
+    /// The whole-engine backend this placement configures.
+    pub fn backend(&self) -> ExecutionBackend {
+        match self {
+            LinkPlacement::Whole(b) => *b,
+            LinkPlacement::Cpu | LinkPlacement::DecodeOnly(_) => ExecutionBackend::CpuSingle,
+        }
+    }
+
+    /// The decode-stage override this placement configures.
+    pub fn decode_backend(&self) -> Option<ExecutionBackend> {
+        match self {
+            LinkPlacement::DecodeOnly(b) => Some(*b),
+            LinkPlacement::Cpu | LinkPlacement::Whole(_) => None,
+        }
+    }
+}
+
+/// Picks the cheapest placement for a link's modeled stages.
+///
+/// The engine models backend time for exactly two kernels — the LDPC decode
+/// and the Toeplitz privacy amplification (everything else is host-measured
+/// regardless of backend) — so the comparison covers those two: host for
+/// both, a whole-link accelerator for both, or the decode alone offloaded
+/// with the hash left on the host. Predictions come from the calibrated
+/// models, so the absolute costs track the live host once the calibrator has
+/// samples. Ties keep the simpler option (host first, decode-only before
+/// whole-link).
+pub fn decide_placement(calibrator: &CostCalibrator, block_bits: usize) -> LinkPlacement {
+    let cpu = CostModel::cpu_core();
+    let decode_cpu = calibrator
+        .predict(&cpu, KernelKind::LdpcDecode, block_bits)
+        .as_secs_f64();
+    let hash_cpu = calibrator
+        .predict(&cpu, KernelKind::ToeplitzHash, block_bits)
+        .as_secs_f64();
+    let mut best = (LinkPlacement::Cpu, decode_cpu + hash_cpu);
+    for (backend, model) in [
+        (ExecutionBackend::SimGpu, CostModel::sim_gpu()),
+        (ExecutionBackend::SimFpga, CostModel::sim_fpga()),
+    ] {
+        let decode = calibrator
+            .predict(&model, KernelKind::LdpcDecode, block_bits)
+            .as_secs_f64();
+        let hash = calibrator
+            .predict(&model, KernelKind::ToeplitzHash, block_bits)
+            .as_secs_f64();
+        for (candidate, cost) in [
+            (LinkPlacement::DecodeOnly(backend), decode + hash_cpu),
+            (LinkPlacement::Whole(backend), decode + hash),
+        ] {
+            if cost < best.1 {
+                best = (candidate, cost);
+            }
+        }
+    }
+    best.0
+}
+
+/// One dispatch decision handed to a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Dispatch {
+    /// The link to serve one batch of.
+    pub link: usize,
+    /// How many pipeline shards the link may scale to right now: 1 plus the
+    /// pool workers not needed by other ready or in-flight links. Computed
+    /// from queue state at dispatch time, so a lone backlogged link on a
+    /// multi-worker pool may fan out while a contended pool keeps every
+    /// link sequential.
+    pub shard_cap: usize,
+}
+
+/// The shared ready queue of one drain: links eligible for service, ordered
+/// per [`SchedPolicy`], plus the outstanding-batch count idle workers watch
+/// to know when to exit and an optional dispatch budget.
+pub(crate) struct ReadyQueue {
+    policy: SchedPolicy,
+    workers: usize,
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+struct QueueState {
+    /// Links eligible for service. FIFO order for [`SchedPolicy::Fifo`];
+    /// membership set scanned for the minimum virtual time under
+    /// [`SchedPolicy::Wfq`] (fleets are small; a linear scan under the lock
+    /// beats a heap's bookkeeping).
+    ready: VecDeque<usize>,
+    /// Per-link virtual time: accumulated service seconds over weight.
+    vtime: Vec<f64>,
+    /// Per-link scheduling weight (validated positive by the spec).
+    weights: Vec<f64>,
+    /// Links seeded with work this drain (for the virtual-time lag metric).
+    active: Vec<bool>,
+    /// Batches seeded but not yet completed.
+    outstanding: usize,
+    /// Links currently being served by a worker.
+    in_flight: usize,
+    /// Dispatches remaining before the drain stops early (`None` = drain
+    /// everything).
+    budget: Option<usize>,
+}
+
+impl ReadyQueue {
+    pub(crate) fn new(
+        policy: SchedPolicy,
+        workers: usize,
+        budget: Option<usize>,
+        weights: Vec<f64>,
+    ) -> Self {
+        let links = weights.len();
+        Self {
+            policy,
+            workers,
+            state: Mutex::new(QueueState {
+                ready: VecDeque::new(),
+                vtime: vec![0.0; links],
+                weights,
+                active: vec![false; links],
+                outstanding: 0,
+                in_flight: 0,
+                budget,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// A poisoned queue lock means a worker panicked mid-batch; the scoped
+    /// pool is about to propagate that panic, so recovering the guard (the
+    /// counters may undercount one batch) beats poisoning every other worker
+    /// into a second panic.
+    fn lock_state(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Marks a link ready with `batches` queued batches.
+    pub(crate) fn seed(&self, link: usize, batches: usize) {
+        if batches == 0 {
+            return;
+        }
+        let mut st = self.lock_state();
+        st.ready.push_back(link);
+        st.outstanding += batches;
+        if let Some(flag) = st.active.get_mut(link) {
+            *flag = true;
+        }
+    }
+
+    /// Batches seeded and not yet completed.
+    pub(crate) fn outstanding(&self) -> usize {
+        self.lock_state().outstanding
+    }
+
+    /// Blocks until a link is eligible for service. Returns `None` once every
+    /// outstanding batch has completed or the dispatch budget is spent.
+    pub(crate) fn next(&self) -> Option<Dispatch> {
+        let mut st = self.lock_state();
+        loop {
+            if st.budget == Some(0) {
+                return None;
+            }
+            if let Some(link) = Self::pick(self.policy, &mut st) {
+                st.in_flight += 1;
+                if let Some(b) = st.budget.as_mut() {
+                    *b -= 1;
+                    if *b == 0 {
+                        // Waiters must wake to observe exhaustion.
+                        self.cv.notify_all();
+                    }
+                }
+                let spare = self.workers.saturating_sub(st.in_flight + st.ready.len());
+                return Some(Dispatch {
+                    link,
+                    shard_cap: 1 + spare,
+                });
+            }
+            if st.outstanding == 0 {
+                return None;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Removes the next link to serve from the ready set, or `None` when no
+    /// link is ready.
+    fn pick(policy: SchedPolicy, st: &mut QueueState) -> Option<usize> {
+        match policy {
+            SchedPolicy::Fifo => st.ready.pop_front(),
+            SchedPolicy::Wfq => {
+                let mut best: Option<(usize, f64, usize)> = None;
+                for (pos, &link) in st.ready.iter().enumerate() {
+                    let v = st.vtime.get(link).copied().unwrap_or(0.0);
+                    let better = match best {
+                        None => true,
+                        // Ties break towards the lower link id, so the order
+                        // is deterministic for equal-weight equal-service
+                        // links.
+                        Some((_, bv, bl)) => v < bv || (v == bv && link < bl),
+                    };
+                    if better {
+                        best = Some((pos, v, link));
+                    }
+                }
+                best.and_then(|(pos, _, _)| st.ready.remove(pos))
+            }
+        }
+    }
+
+    /// Marks `completed` batches done for `link` after `service_secs` of
+    /// measured worker time; re-queues the link when it still has work.
+    pub(crate) fn complete(&self, link: usize, service_secs: f64, completed: usize, requeue: bool) {
+        let mut st = self.lock_state();
+        st.outstanding = st.outstanding.saturating_sub(completed);
+        st.in_flight = st.in_flight.saturating_sub(1);
+        let weight = st.weights.get(link).copied().unwrap_or(1.0);
+        if weight > 0.0 && service_secs > 0.0 {
+            if let Some(v) = st.vtime.get_mut(link) {
+                *v += service_secs / weight;
+            }
+        }
+        if requeue {
+            st.ready.push_back(link);
+        }
+        if st.outstanding == 0 || st.budget == Some(0) {
+            self.cv.notify_all();
+        } else if requeue {
+            self.cv.notify_one();
+        }
+    }
+
+    /// Virtual-time lag of the drain so far: the spread between the most- and
+    /// least-advanced virtual times over the links that had work. Near zero
+    /// means weighted service shares were honoured; a large lag means some
+    /// link fell behind its entitlement (e.g. under FIFO with skewed
+    /// weights).
+    pub(crate) fn vtime_lag(&self) -> f64 {
+        let st = self.lock_state();
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        let mut seen = 0usize;
+        for (link, &v) in st.vtime.iter().enumerate() {
+            if st.active.get(link).copied().unwrap_or(false) {
+                seen += 1;
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        if seen < 2 {
+            0.0
+        } else {
+            hi - lo
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives a single synthetic worker: every batch takes `service(link)`
+    /// seconds; each link starts with `batches` queued. Returns the dispatch
+    /// order.
+    fn drive(
+        queue: &ReadyQueue,
+        mut pending: Vec<usize>,
+        service: impl Fn(usize) -> f64,
+    ) -> Vec<usize> {
+        for (link, &batches) in pending.iter().enumerate() {
+            queue.seed(link, batches);
+        }
+        let mut order = Vec::new();
+        while let Some(d) = queue.next() {
+            order.push(d.link);
+            pending[d.link] -= 1;
+            queue.complete(d.link, service(d.link), 1, pending[d.link] > 0);
+        }
+        order
+    }
+
+    #[test]
+    fn wfq_shares_track_weights() {
+        let queue = ReadyQueue::new(SchedPolicy::Wfq, 1, Some(10), vec![4.0, 1.0]);
+        let order = drive(&queue, vec![100, 100], |_| 1.0);
+        assert_eq!(order.len(), 10);
+        let link0 = order.iter().filter(|&&l| l == 0).count();
+        // 4:1 weights over 10 unit-service dispatches → 8:2.
+        assert_eq!(link0, 8, "order {order:?}");
+        // Weighted virtual times stay level: the lag is bounded by one
+        // weighted service quantum.
+        assert!(queue.vtime_lag() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn fifo_round_robin_ignores_weights() {
+        let queue = ReadyQueue::new(SchedPolicy::Fifo, 1, Some(10), vec![4.0, 1.0]);
+        let order = drive(&queue, vec![100, 100], |_| 1.0);
+        let link0 = order.iter().filter(|&&l| l == 0).count();
+        assert_eq!(link0, 5, "round robin splits evenly, order {order:?}");
+        // The weight-4 link is entitled to 4× the service it got: its
+        // virtual time lags the weight-1 link's by a factor of 4.
+        assert!(queue.vtime_lag() > 1.0);
+    }
+
+    #[test]
+    fn wfq_compensates_expensive_batches() {
+        // Equal weights but link 0's batches cost 3× as much: it should be
+        // served ~3× less often.
+        let queue = ReadyQueue::new(SchedPolicy::Wfq, 1, Some(12), vec![1.0, 1.0]);
+        let order = drive(&queue, vec![100, 100], |l| if l == 0 { 3.0 } else { 1.0 });
+        let link0 = order.iter().filter(|&&l| l == 0).count();
+        assert!(link0 <= 4, "expensive link overserved: {order:?}");
+    }
+
+    #[test]
+    fn budget_stops_the_drain_with_backlog_left() {
+        let queue = ReadyQueue::new(SchedPolicy::Wfq, 2, Some(3), vec![1.0]);
+        queue.seed(0, 8);
+        let mut served = 0;
+        while let Some(d) = queue.next() {
+            served += 1;
+            queue.complete(d.link, 0.5, 1, true);
+        }
+        assert_eq!(served, 3);
+        assert_eq!(queue.outstanding(), 5);
+    }
+
+    #[test]
+    fn full_drain_without_budget() {
+        let queue = ReadyQueue::new(SchedPolicy::Fifo, 1, None, vec![1.0, 1.0]);
+        let order = drive(&queue, vec![3, 2], |_| 0.1);
+        assert_eq!(order.len(), 5);
+        assert_eq!(queue.outstanding(), 0);
+    }
+
+    #[test]
+    fn shard_cap_reflects_idle_workers() {
+        // One link, four workers: the lone dispatch may fan out to all
+        // spare workers.
+        let queue = ReadyQueue::new(SchedPolicy::Wfq, 4, None, vec![1.0]);
+        queue.seed(0, 4);
+        let d = queue.next().unwrap();
+        assert_eq!(d.shard_cap, 4);
+        queue.complete(d.link, 0.1, 1, true);
+
+        // Four contending links on two workers: no spare capacity.
+        let queue = ReadyQueue::new(SchedPolicy::Wfq, 2, None, vec![1.0; 4]);
+        for link in 0..4 {
+            queue.seed(link, 2);
+        }
+        let d = queue.next().unwrap();
+        assert_eq!(d.shard_cap, 1);
+    }
+
+    #[test]
+    fn cost_model_places_large_blocks_on_the_gpu() {
+        let cal = CostCalibrator::new();
+        let p = decide_placement(&cal, 8192);
+        assert_eq!(p, LinkPlacement::Whole(ExecutionBackend::SimGpu));
+        assert_eq!(p.backend(), ExecutionBackend::SimGpu);
+        assert_eq!(p.decode_backend(), None);
+        assert_eq!(p.label(), "whole:sim-gpu");
+    }
+
+    #[test]
+    fn calibration_scales_cannot_invert_same_kind_comparisons() {
+        // The calibrator multiplies every backend's prediction of a kind by
+        // the same fitted scale, so whichever backend wins the decode
+        // statically keeps winning after calibration.
+        use qkd_hetero::StageMetrics;
+        use std::time::Duration;
+        let mut cal = CostCalibrator::new();
+        let mut m = StageMetrics::default();
+        m.record_batch(
+            Duration::from_millis(400),
+            Duration::from_millis(400),
+            8 * 8192,
+            8 * 8192,
+            8,
+        );
+        cal.observe(KernelKind::LdpcDecode, &m);
+        assert!(cal.scale(KernelKind::LdpcDecode) > 1.0);
+        assert_eq!(
+            decide_placement(&cal, 8192),
+            LinkPlacement::Whole(ExecutionBackend::SimGpu)
+        );
+    }
+
+    #[test]
+    fn placement_labels_cover_all_shapes() {
+        assert_eq!(LinkPlacement::Cpu.label(), "cpu");
+        assert_eq!(
+            LinkPlacement::DecodeOnly(ExecutionBackend::SimFpga).label(),
+            "decode:sim-fpga"
+        );
+        assert_eq!(
+            LinkPlacement::DecodeOnly(ExecutionBackend::SimFpga).decode_backend(),
+            Some(ExecutionBackend::SimFpga)
+        );
+        assert_eq!(
+            LinkPlacement::DecodeOnly(ExecutionBackend::SimFpga).backend(),
+            ExecutionBackend::CpuSingle
+        );
+        assert_eq!(SchedPolicy::Fifo.label(), "fifo");
+        assert_eq!(SchedPolicy::Wfq.label(), "wfq");
+        assert_eq!(PlacementPolicy::Cpu.label(), "cpu");
+        assert_eq!(PlacementPolicy::CostModel.label(), "cost-model");
+        assert_eq!(SchedPolicy::default(), SchedPolicy::Wfq);
+        assert_eq!(PlacementPolicy::default(), PlacementPolicy::CostModel);
+    }
+}

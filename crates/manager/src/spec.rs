@@ -6,6 +6,8 @@ use qkd_core::{PostProcessingConfig, PostProcessor};
 use qkd_simulator::{CorrelatedKeySource, FleetLinkSpec, WorkloadPreset};
 use qkd_types::{QkdError, Result};
 
+use crate::sched::{PlacementPolicy, SchedPolicy};
+
 /// Everything that defines one managed link: channel quality, block size and
 /// the single seed from which both the link's sifted-bit stream and its
 /// engine randomness derive.
@@ -27,6 +29,19 @@ pub struct LinkSpec {
     pub sample_fraction: f64,
     /// Pre-shared authentication key available to the link's session.
     pub auth_pool_bits: usize,
+    /// Scheduling weight under [`crate::sched::SchedPolicy::Wfq`]: a link
+    /// with weight 2.0 is entitled to twice the pool service of a weight-1.0
+    /// link while both are backlogged. Ignored under FIFO. Must be finite
+    /// and positive.
+    pub weight: f64,
+    /// Upper bound on pipeline shards the scheduler may autoscale this link
+    /// to when it is backlogged and spare cores exist. 1 (the default) keeps
+    /// the link on the sequential batch path; values above 1 opt the link
+    /// into [`qkd_core::PostProcessor::process_detections_pipelined`], which
+    /// is bit-identical for completed batches (see
+    /// [`qkd_core::PipelineOptions`] for the auth-pool draw-order caveat
+    /// under mid-batch abort).
+    pub max_shards: usize,
 }
 
 impl LinkSpec {
@@ -39,7 +54,21 @@ impl LinkSpec {
             seed,
             sample_fraction: 0.15,
             auth_pool_bits: 1 << 20,
+            weight: 1.0,
+            max_shards: 1,
         }
+    }
+
+    /// Sets the WFQ scheduling weight, keeping everything else.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Sets the pipeline-shard cap, keeping everything else.
+    pub fn with_max_shards(mut self, max_shards: usize) -> Self {
+        self.max_shards = max_shards;
+        self
     }
 
     /// A spec from a named workload preset.
@@ -90,6 +119,18 @@ impl LinkSpec {
         if !(0.0..0.5).contains(&self.qber) {
             return Err(QkdError::invalid_parameter("qber", "must lie in [0, 0.5)"));
         }
+        if !self.weight.is_finite() || self.weight <= 0.0 {
+            return Err(QkdError::invalid_parameter(
+                "weight",
+                "scheduling weight must be finite and positive",
+            ));
+        }
+        if self.max_shards == 0 {
+            return Err(QkdError::invalid_parameter(
+                "max_shards",
+                "a link needs at least one pipeline shard",
+            ));
+        }
         self.engine_config().validate()
     }
 }
@@ -111,7 +152,8 @@ pub enum AdmissionPolicy {
 }
 
 /// Fleet-level tuning: how many workers share the pool, how deep each link's
-/// batch backlog may grow, and what to do with arrivals past the cap.
+/// batch backlog may grow, what to do with arrivals past the cap, and how
+/// the scheduler orders and places the work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FleetConfig {
     /// Worker threads in the shared pool (the whole fleet's compute budget).
@@ -121,6 +163,17 @@ pub struct FleetConfig {
     pub max_backlog: usize,
     /// Backlog-overflow policy.
     pub admission: AdmissionPolicy,
+    /// How the ready queue orders competing links.
+    pub policy: SchedPolicy,
+    /// How links are placed onto execution backends.
+    pub placement: PlacementPolicy,
+    /// Optional dispatch budget for one [`crate::LinkManager::run`]: the pool
+    /// stops after this many batches even if backlogs remain, leaving the
+    /// rest queued for the next drain. `None` (the default) drains
+    /// everything. A finite budget makes service shares under contention
+    /// observable — with a full drain every policy eventually serves every
+    /// batch — which is what the fleet benchmark's fairness gate measures.
+    pub batch_budget: Option<usize>,
 }
 
 impl Default for FleetConfig {
@@ -130,6 +183,9 @@ impl Default for FleetConfig {
             workers: (cores / 2).clamp(1, 8),
             max_backlog: 8,
             admission: AdmissionPolicy::Reject,
+            policy: SchedPolicy::Wfq,
+            placement: PlacementPolicy::CostModel,
+            batch_budget: None,
         }
     }
 }
@@ -153,6 +209,24 @@ impl FleetConfig {
         self
     }
 
+    /// Sets the queueing policy, keeping everything else.
+    pub fn with_policy(mut self, policy: SchedPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the placement policy, keeping everything else.
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Sets the per-run dispatch budget, keeping everything else.
+    pub fn with_batch_budget(mut self, budget: Option<usize>) -> Self {
+        self.batch_budget = budget;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -169,6 +243,12 @@ impl FleetConfig {
             return Err(QkdError::invalid_parameter(
                 "max_backlog",
                 "links need room for at least one queued batch",
+            ));
+        }
+        if self.batch_budget == Some(0) {
+            return Err(QkdError::invalid_parameter(
+                "batch_budget",
+                "a dispatch budget must admit at least one batch (use None to drain fully)",
             ));
         }
         Ok(())
@@ -258,6 +338,31 @@ mod tests {
         }
         .accepted());
         assert!(!Admission::RejectedFailed.accepted());
+    }
+
+    #[test]
+    fn scheduling_knobs_validate() {
+        let spec = LinkSpec::new("weighted", 0.01, 4096, 7)
+            .with_weight(4.0)
+            .with_max_shards(2);
+        spec.validate().unwrap();
+        assert_eq!(spec.weight, 4.0);
+        assert_eq!(spec.max_shards, 2);
+        assert!(spec.clone().with_weight(0.0).validate().is_err());
+        assert!(spec.clone().with_weight(f64::NAN).validate().is_err());
+        assert!(spec.with_max_shards(0).validate().is_err());
+
+        let config = FleetConfig::default();
+        assert_eq!(config.policy, SchedPolicy::Wfq);
+        assert_eq!(config.placement, PlacementPolicy::CostModel);
+        assert_eq!(config.batch_budget, None);
+        config
+            .with_policy(SchedPolicy::Fifo)
+            .with_placement(PlacementPolicy::Cpu)
+            .with_batch_budget(Some(16))
+            .validate()
+            .unwrap();
+        assert!(config.with_batch_budget(Some(0)).validate().is_err());
     }
 
     #[test]

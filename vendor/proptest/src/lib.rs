@@ -167,7 +167,13 @@ macro_rules! impl_strategy_for_tuples {
     )+};
 }
 
-impl_strategy_for_tuples!((A, B), (A, B, C), (A, B, C, D));
+impl_strategy_for_tuples!(
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F)
+);
 
 pub mod collection {
     //! Collection strategies.
